@@ -1,0 +1,83 @@
+// Ablation study (ours, beyond the paper): contribution of each individual
+// transformation, measured as the issue-8 mean-speedup drop when it is
+// removed from the full Lev4 pipeline — plus the build-up when each is the
+// only addition over Lev2.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "frontend/compile.hpp"
+
+namespace {
+
+using namespace ilp;
+
+double mean_speedup_with(const TransformSet& set) {
+  const MachineModel m8 = MachineModel::issue(8);
+  const MachineModel m1 = MachineModel::issue(1);
+  double sum = 0.0;
+  for (const Workload& w : workload_suite()) {
+    DiagnosticEngine d1;
+    auto base = dsl::compile(w.source, d1);
+    compile_with_transforms(base->fn, TransformSet::for_level(OptLevel::Conv), m1);
+    const std::uint64_t base_cycles = simulate_cycles(base->fn, m1);
+
+    DiagnosticEngine d2;
+    auto opt = dsl::compile(w.source, d2);
+    compile_with_transforms(opt->fn, set, m8);
+    sum += static_cast<double>(base_cycles) /
+           static_cast<double>(simulate_cycles(opt->fn, m8));
+  }
+  return sum / static_cast<double>(workload_suite().size());
+}
+
+}  // namespace
+
+int main() {
+  using namespace ilp;
+  bench::print_header("Ablation: per-transformation contribution at issue-8");
+
+  const TransformSet lev4 = TransformSet::for_level(OptLevel::Lev4);
+  const double full = mean_speedup_with(lev4);
+  std::printf("full Lev4 pipeline mean speedup: %.2f\n\n", full);
+
+  struct Knob {
+    const char* name;
+    bool TransformSet::* member;
+  };
+  const Knob knobs[] = {
+      {"loop unrolling", &TransformSet::unroll},
+      {"register renaming", &TransformSet::rename},
+      {"operation combining", &TransformSet::combine},
+      {"strength reduction", &TransformSet::strength},
+      {"tree height reduction", &TransformSet::height},
+      {"accumulator expansion", &TransformSet::acc_expand},
+      {"induction expansion", &TransformSet::ind_expand},
+      {"search expansion", &TransformSet::search_expand},
+  };
+
+  std::printf("%-26s %10s %10s\n", "transformation removed", "mean", "drop");
+  for (const Knob& k : knobs) {
+    TransformSet s = lev4;
+    s.*(k.member) = false;
+    const double m = mean_speedup_with(s);
+    std::printf("%-26s %10.2f %10.2f\n", k.name, m, full - m);
+  }
+
+  std::printf("\n%-26s %10s %10s\n", "added alone over Lev2", "mean", "gain");
+  const double lev2 = mean_speedup_with(TransformSet::for_level(OptLevel::Lev2));
+  std::printf("%-26s %10.2f %10s\n", "(Lev2 baseline)", lev2, "-");
+  for (const Knob& k : knobs) {
+    TransformSet s = TransformSet::for_level(OptLevel::Lev2);
+    if (s.*(k.member)) continue;  // already in Lev2
+    s.*(k.member) = true;
+    const double m = mean_speedup_with(s);
+    std::printf("%-26s %10.2f %10.2f\n", k.name, m, m - lev2);
+  }
+
+  bench::paper_note(
+      "Paper Section 3.2: induction variable expansion is the most often "
+      "applied transformation; accumulator and search expansion give the "
+      "largest speedups beyond unrolling/renaming; strength reduction is the "
+      "least effective under these latencies.");
+  return 0;
+}

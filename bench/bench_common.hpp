@@ -1,0 +1,29 @@
+// Shared header for the figure-regeneration binaries: runs the full study
+// once and offers the paper-comparison footer.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "machine/machine.hpp"
+
+namespace ilp::bench {
+
+inline const StudyResult& study() {
+  static const StudyResult s = run_study();
+  return s;
+}
+
+inline void print_header(const char* what) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", what);
+  std::printf("Machine: %s\n", MachineModel::issue(8).describe().c_str());
+  std::printf("Base configuration: issue-1, conventional optimizations (Conv)\n");
+  std::printf("================================================================\n");
+}
+
+inline void paper_note(const char* note) { std::printf("\n[paper] %s\n", note); }
+
+}  // namespace ilp::bench

@@ -1,0 +1,26 @@
+// Regenerates Figure 11: register usage distribution (int + fp registers per
+// loop nest) for the issue-8 configuration at each level.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ilp;
+  bench::print_header("Figure 11: register usage distribution, issue-8 processor");
+  const StudyResult& s = bench::study();
+  const Histogram h = register_histogram(s);
+  std::printf("%s", render_histogram(h, "loops per register-usage range").c_str());
+  std::printf("\nmean registers:");
+  for (OptLevel l : kLevels)
+    std::printf("  %s=%.0f", level_name(l), s.mean_registers(l));
+  int under128 = 0;
+  for (const auto& l : s.loops)
+    if (l.regs[4].total() < 128) ++under128;
+  std::printf("\nloops under 128 registers at Lev4: %d / %zu   (paper: 37 / 40)\n",
+              under128, s.loops.size());
+  const double growth = s.mean_registers(OptLevel::Lev4) / s.mean_registers(OptLevel::Conv);
+  std::printf("register growth Conv -> Lev4: %.1fx   (paper: 2.6x)\n", growth);
+  bench::paper_note(
+      "Paper: averages 28 (Lev1) -> 57 (Lev2) -> 65 (Lev3) -> 71 (Lev4); the "
+      "largest increase comes from register renaming, and Lev3/Lev4 are "
+      "register-efficient ways to expose further ILP.");
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Regenerates Figures 12 and 13: speedup and register-usage distributions of
+// the DOALL loops only, issue-8 processor.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ilp;
+  bench::print_header("Figures 12-13: DOALL loops only, issue-8 processor");
+  const StudyResult& s = bench::study();
+
+  const Histogram hs =
+      speedup_histogram(s, 3, fig10_speedup_buckets(), LoopFilter::DoAllOnly);
+  std::printf("%s", render_histogram(hs, "Figure 12: DOALL speedup distribution").c_str());
+  std::printf("\nmean DOALL speedups:");
+  for (OptLevel l : kLevels)
+    std::printf("  %s=%.2f", level_name(l), s.mean_speedup_where(l, 3, true));
+  std::printf("\n\n");
+
+  const Histogram hr = register_histogram(s, LoopFilter::DoAllOnly);
+  std::printf("%s",
+              render_histogram(hr, "Figure 13: DOALL register usage distribution").c_str());
+  bench::paper_note(
+      "Paper: for DOALL loops unrolling+renaming expose most of the ILP "
+      "(average 6.8 at Lev2), with Lev3/Lev4 adding modestly (7.8); register "
+      "usage rises sharply with renaming.  'In general, though, "
+      "transformations beyond loop unrolling and register renaming are not "
+      "profitable for DOALL loops.'");
+  return 0;
+}

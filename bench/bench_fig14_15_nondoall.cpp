@@ -1,0 +1,50 @@
+// Regenerates Figures 14 and 15: speedup and register-usage distributions of
+// the non-DOALL (DOACROSS + serial) loops, issue-8 processor.
+#include "bench_common.hpp"
+#include "frontend/parser.hpp"
+
+int main() {
+  using namespace ilp;
+  bench::print_header("Figures 14-15: non-DOALL loops only, issue-8 processor");
+  const StudyResult& s = bench::study();
+
+  const Histogram hs =
+      speedup_histogram(s, 3, fig10_speedup_buckets(), LoopFilter::NonDoAllOnly);
+  std::printf("%s",
+              render_histogram(hs, "Figure 14: non-DOALL speedup distribution").c_str());
+  std::printf("\nmean non-DOALL speedups:");
+  for (OptLevel l : kLevels)
+    std::printf("  %s=%.2f", level_name(l), s.mean_speedup_where(l, 3, false));
+  std::printf("\n\n");
+
+  // Breakdown (ours): serial loops whose only recurrences are reductions are
+  // exactly what the Lev4 expansions fix; genuinely serial loops are not.
+  {
+    double fix2 = 0, fix4 = 0, gen2 = 0, gen4 = 0;
+    int nfix = 0, ngen = 0;
+    for (const auto& l : s.loops) {
+      if (l.type == dsl::LoopType::DoAll) continue;
+      DiagnosticEngine d;
+      const auto ast = dsl::parse(find_workload(l.name)->source, d);
+      const auto cls = dsl::classify_innermost_loops(*ast);
+      const bool fixable = cls[0].reduction_only;
+      (fixable ? fix2 : gen2) += l.speedup(OptLevel::Lev2, 3);
+      (fixable ? fix4 : gen4) += l.speedup(OptLevel::Lev4, 3);
+      (fixable ? nfix : ngen) += 1;
+    }
+    std::printf("reduction-only serial loops (%d): Lev2=%.2f -> Lev4=%.2f\n", nfix,
+                fix2 / nfix, fix4 / nfix);
+    std::printf("other non-DOALL loops       (%d): Lev2=%.2f -> Lev4=%.2f\n\n", ngen,
+                gen2 / ngen, gen4 / ngen);
+  }
+
+  const Histogram hr = register_histogram(s, LoopFilter::NonDoAllOnly);
+  std::printf(
+      "%s", render_histogram(hr, "Figure 15: non-DOALL register usage distribution").c_str());
+  bench::paper_note(
+      "Paper: non-DOALL loops average 3.7 at Lev2 and 5.8 with the expansion "
+      "transformations (Lev4), which remove the loop's recurrences; Lev3 "
+      "alone helps only a little.  Register usage stays below the DOALL "
+      "loops' (less overlap among unrolled bodies).");
+  return 0;
+}

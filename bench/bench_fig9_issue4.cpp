@@ -1,0 +1,28 @@
+// Regenerates Figure 9: speedup distribution for an issue-4 processor.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ilp;
+  bench::print_header("Figure 9: speedup distribution, issue-4 processor");
+  const StudyResult& s = bench::study();
+  const Histogram h = speedup_histogram(s, /*width_index=*/2, fig9_speedup_buckets());
+  std::printf("%s", render_histogram(h, "loops per speedup range (issue-4)").c_str());
+  std::printf("\nmean speedups:");
+  for (OptLevel l : kLevels) std::printf("  %s=%.2f", level_name(l), s.mean_speedup(l, 2));
+  // The paper's two checkpoint counts.
+  int lev2_ge3 = 0, lev2_ge4 = 0, lev4_ge3 = 0, lev4_ge4 = 0;
+  for (const auto& l : s.loops) {
+    if (l.speedup(OptLevel::Lev2, 2) >= 3.0) ++lev2_ge3;
+    if (l.speedup(OptLevel::Lev2, 2) >= 4.0) ++lev2_ge4;
+    if (l.speedup(OptLevel::Lev4, 2) >= 3.0) ++lev4_ge3;
+    if (l.speedup(OptLevel::Lev4, 2) >= 4.0) ++lev4_ge4;
+  }
+  std::printf("\nLev2: %d loops >=3x, %d loops >=4x   (paper: 29 and 18)\n", lev2_ge3,
+              lev2_ge4);
+  std::printf("Lev4: %d loops >=3x, %d loops >=4x   (paper: 36 and 23)\n", lev4_ge3,
+              lev4_ge4);
+  std::printf("\nper-loop speedups (issue-4):\n%s", render_speedup_table(s, 2).c_str());
+  bench::paper_note(
+      "Paper averages for issue-4: Lev3 = 3.73, Lev4 = 4.35 (Section 3.2).");
+  return 0;
+}

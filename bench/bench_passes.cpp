@@ -1,0 +1,141 @@
+// google-benchmark microbenchmarks of compiler-pass throughput: how fast each
+// phase of the pipeline runs on representative workloads.
+#include <benchmark/benchmark.h>
+
+#include "frontend/compile.hpp"
+#include "harness/experiment.hpp"
+#include "opt/constprop.hpp"
+#include "opt/cse.hpp"
+#include "opt/dce.hpp"
+#include "opt/pipeline.hpp"
+#include "regalloc/regalloc.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "trans/accexpand.hpp"
+#include "trans/combine.hpp"
+#include "trans/indexpand.hpp"
+#include "trans/rename.hpp"
+#include "trans/strengthred.hpp"
+#include "trans/treeheight.hpp"
+#include "trans/unroll.hpp"
+
+namespace {
+
+using namespace ilp;
+
+const Workload& big_loop() { return *find_workload("NAS-5"); }
+const Workload& small_loop() { return *find_workload("dotprod"); }
+
+Function compiled_conv(const Workload& w) {
+  DiagnosticEngine d;
+  auto r = dsl::compile(w.source, d);
+  run_conventional_optimizations(r->fn);
+  return std::move(r->fn);
+}
+
+void BM_FrontendCompile(benchmark::State& state) {
+  for (auto _ : state) {
+    DiagnosticEngine d;
+    auto r = dsl::compile(big_loop().source, d);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_FrontendCompile);
+
+void BM_ConventionalPipeline(benchmark::State& state) {
+  for (auto _ : state) {
+    DiagnosticEngine d;
+    auto r = dsl::compile(big_loop().source, d);
+    run_conventional_optimizations(r->fn);
+    benchmark::DoNotOptimize(r->fn.num_insts());
+  }
+}
+BENCHMARK(BM_ConventionalPipeline);
+
+void BM_UnrollPlusRename(benchmark::State& state) {
+  const Function base = compiled_conv(small_loop());
+  for (auto _ : state) {
+    Function fn = base;
+    unroll_loops(fn);
+    rename_registers(fn);
+    benchmark::DoNotOptimize(fn.num_insts());
+  }
+}
+BENCHMARK(BM_UnrollPlusRename);
+
+void BM_ExpansionTransforms(benchmark::State& state) {
+  Function base = compiled_conv(small_loop());
+  unroll_loops(base);
+  for (auto _ : state) {
+    Function fn = base;
+    accumulator_expansion(fn);
+    induction_expansion(fn);
+    benchmark::DoNotOptimize(fn.num_insts());
+  }
+}
+BENCHMARK(BM_ExpansionTransforms);
+
+void BM_Lev3Transforms(benchmark::State& state) {
+  Function base = compiled_conv(small_loop());
+  unroll_loops(base);
+  rename_registers(base);
+  for (auto _ : state) {
+    Function fn = base;
+    operation_combining(fn);
+    strength_reduction(fn);
+    tree_height_reduction(fn);
+    benchmark::DoNotOptimize(fn.num_insts());
+  }
+}
+BENCHMARK(BM_Lev3Transforms);
+
+void BM_SuperblockSchedule(benchmark::State& state) {
+  DiagnosticEngine d;
+  auto r = dsl::compile(big_loop().source, d);
+  compile_at_level(r->fn, OptLevel::Lev4, MachineModel::issue(8),
+                   CompileOptions{{8, 160}, /*schedule=*/false});
+  for (auto _ : state) {
+    Function fn = r->fn;
+    schedule_function(fn, MachineModel::issue(8));
+    benchmark::DoNotOptimize(fn.num_insts());
+  }
+}
+BENCHMARK(BM_SuperblockSchedule);
+
+void BM_RegisterUsageMeasurement(benchmark::State& state) {
+  DiagnosticEngine d;
+  auto r = dsl::compile(big_loop().source, d);
+  compile_at_level(r->fn, OptLevel::Lev4, MachineModel::issue(8));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(measure_register_usage(r->fn).total());
+  }
+}
+BENCHMARK(BM_RegisterUsageMeasurement);
+
+void BM_SimulatorThroughput(benchmark::State& state) {
+  DiagnosticEngine d;
+  auto r = dsl::compile(find_workload("NAS-3")->source, d);
+  compile_at_level(r->fn, OptLevel::Lev4, MachineModel::issue(8));
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    const RunOutcome out = run_seeded(r->fn, MachineModel::issue(8));
+    instructions += out.result.instructions;
+    benchmark::DoNotOptimize(out.result.cycles);
+  }
+  state.counters["instrs/s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorThroughput);
+
+void BM_EndToEndWorkload(benchmark::State& state) {
+  const Workload& w = *find_workload("add");
+  for (auto _ : state) {
+    const CompiledLoop c = compile_workload(w, OptLevel::Lev4, MachineModel::issue(8));
+    benchmark::DoNotOptimize(simulate_cycles(c.fn, MachineModel::issue(8)));
+  }
+}
+BENCHMARK(BM_EndToEndWorkload);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,36 @@
+// Regenerates the paper's Section 4 headline numbers side by side with ours.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ilp;
+  bench::print_header("Section 4 summary: paper vs. this reproduction");
+  const StudyResult& s = bench::study();
+
+  auto row = [](const char* what, double paper, double ours) {
+    std::printf("  %-58s %8.2f %8.2f\n", what, paper, ours);
+  };
+  std::printf("  %-58s %8s %8s\n", "metric", "paper", "ours");
+  row("issue-8 mean speedup, unroll+rename (Lev2)", 5.10, s.mean_speedup(OptLevel::Lev2, 3));
+  row("issue-8 mean speedup, all transformations (Lev4)", 6.68,
+      s.mean_speedup(OptLevel::Lev4, 3));
+  row("issue-4 mean speedup, Lev3", 3.73, s.mean_speedup(OptLevel::Lev3, 2));
+  row("issue-4 mean speedup, Lev4", 4.35, s.mean_speedup(OptLevel::Lev4, 2));
+  row("issue-8 DOALL mean, Lev2", 6.8, s.mean_speedup_where(OptLevel::Lev2, 3, true));
+  row("issue-8 DOALL mean, Lev4", 7.8, s.mean_speedup_where(OptLevel::Lev4, 3, true));
+  row("issue-8 non-DOALL mean, Lev2", 3.7,
+      s.mean_speedup_where(OptLevel::Lev2, 3, false));
+  row("issue-8 non-DOALL mean, Lev4", 5.8,
+      s.mean_speedup_where(OptLevel::Lev4, 3, false));
+  row("register growth factor, Conv -> Lev4", 2.6,
+      s.mean_registers(OptLevel::Lev4) / s.mean_registers(OptLevel::Conv));
+  int under128 = 0;
+  for (const auto& l : s.loops)
+    if (l.regs[4].total() < 128) ++under128;
+  row("loops under 128 registers at Lev4 (of 40)", 37, under128);
+
+  bench::paper_note(
+      "Absolute speedups depend on the reconstructed loop bodies; the claims "
+      "to check are the orderings: Lev2 >> Conv, Lev4 >> Lev2 for non-DOALL, "
+      "Lev4 ~ Lev2 for DOALL at low issue, and the ~2-3x register growth.");
+  return 0;
+}

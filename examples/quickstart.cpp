@@ -1,0 +1,67 @@
+// Quickstart: compile a loop at every transformation level and watch the
+// cycle counts drop.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+// The pipeline mirrors the paper: DSL source -> conventional optimizations
+// (Conv) -> loop unrolling (Lev1) -> register renaming (Lev2) -> operation
+// combining + strength reduction + tree height reduction (Lev3) ->
+// accumulator/induction/search variable expansion (Lev4) -> superblock
+// scheduling -> execution-driven simulation.
+#include <cstdio>
+
+#include "frontend/compile.hpp"
+#include "ir/printer.hpp"
+#include "machine/machine.hpp"
+#include "sim/simulator.hpp"
+#include "trans/level.hpp"
+
+int main() {
+  using namespace ilp;
+
+  // A dot product: the classic accumulator recurrence (paper Figure 3).
+  const char* source = R"(
+    program quickstart
+    array A[512] fp
+    array B[512] fp
+    scalar sum fp out
+    loop i = 0 to 511 {
+      sum = sum + A[i] * B[i];
+    }
+  )";
+
+  std::printf("source:\n%s\n", source);
+  const MachineModel machine = MachineModel::issue(8);
+  std::printf("machine: %s\n\n", machine.describe().c_str());
+
+  std::uint64_t base = 0;
+  for (OptLevel level : {OptLevel::Conv, OptLevel::Lev1, OptLevel::Lev2, OptLevel::Lev3,
+                         OptLevel::Lev4}) {
+    DiagnosticEngine diags;
+    auto compiled = dsl::compile(source, diags);
+    if (!compiled) {
+      std::fprintf(stderr, "compile error:\n%s", diags.to_string().c_str());
+      return 1;
+    }
+    compile_at_level(compiled->fn, level, machine);
+
+    const RunOutcome run = run_seeded(compiled->fn, machine);
+    if (!run.result.ok) {
+      std::fprintf(stderr, "simulation failed: %s\n", run.result.error.c_str());
+      return 1;
+    }
+    if (level == OptLevel::Conv) base = run.result.cycles;
+    std::printf("%-5s  cycles=%8llu   speedup over Conv: %5.2fx   (sum = %.6f)\n",
+                level_name(level), static_cast<unsigned long long>(run.result.cycles),
+                static_cast<double>(base) / static_cast<double>(run.result.cycles),
+                run.result.regs.get_fp(compiled->fn.live_out()[0].id));
+  }
+
+  std::printf(
+      "\nLev4's accumulator + induction variable expansion break the sum's\n"
+      "recurrence (paper Section 2, Figures 2-5); rerun with issue(2) in the\n"
+      "source to see the gains shrink on a narrower machine.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Domain scenario: a 1-D stencil sweep (tomcatv-style SOR smoothing) studied
+// across issue widths — the paper's central question "does widening the
+// processor help without the ILP transformations?" answered on one kernel.
+#include <cstdio>
+
+#include "frontend/compile.hpp"
+#include "machine/machine.hpp"
+#include "sim/simulator.hpp"
+#include "support/strings.hpp"
+#include "trans/level.hpp"
+
+int main() {
+  using namespace ilp;
+
+  // Jacobi-style smoother: reads the old grid, writes the new one (DOALL),
+  // plus a residual reduction that makes the nest serial overall.
+  const char* source = R"(
+    program stencil
+    array U[514] fp
+    array V[514] fp
+    array F[514] fp
+    scalar resid fp out
+    loop sweep = 0 to 2 {
+      loop i = 1 to 512 {
+        V[i] = (U[i-1] + U[i+1]) * 0.5 + F[i] * 0.25;
+        resid = resid + (V[i] - U[i]);
+      }
+    }
+  )";
+
+  std::printf("1-D stencil sweep with residual reduction\n\n");
+  std::printf("%-6s", "width");
+  for (OptLevel l : {OptLevel::Conv, OptLevel::Lev2, OptLevel::Lev4})
+    std::printf("  %10s", level_name(l));
+  std::printf("   Lev4/Conv\n");
+
+  for (int width : {1, 2, 4, 8, 16}) {
+    const MachineModel m = MachineModel::issue(width);
+    std::printf("%-6d", width);
+    std::uint64_t conv = 0;
+    std::uint64_t lev4 = 0;
+    for (OptLevel level : {OptLevel::Conv, OptLevel::Lev2, OptLevel::Lev4}) {
+      DiagnosticEngine diags;
+      auto compiled = dsl::compile(source, diags);
+      if (!compiled) {
+        std::fprintf(stderr, "%s", diags.to_string().c_str());
+        return 1;
+      }
+      compile_at_level(compiled->fn, level, m);
+      const RunOutcome run = run_seeded(compiled->fn, m);
+      if (!run.result.ok) {
+        std::fprintf(stderr, "simulation failed: %s\n", run.result.error.c_str());
+        return 1;
+      }
+      std::printf("  %10llu", static_cast<unsigned long long>(run.result.cycles));
+      if (level == OptLevel::Conv) conv = run.result.cycles;
+      if (level == OptLevel::Lev4) lev4 = run.result.cycles;
+    }
+    std::printf("   %8.2fx\n", static_cast<double>(conv) / static_cast<double>(lev4));
+  }
+
+  std::printf(
+      "\nReading the table: at width 1 the transformations barely matter; as\n"
+      "the machine widens, Conv cycles stop improving (the serial residual\n"
+      "chain binds) while Lev4 keeps scaling — the paper's Section 1 claim\n"
+      "that 'increasing execution resources yields little performance\n"
+      "improvement unless the ILP transformations are applied'.\n");
+  return 0;
+}

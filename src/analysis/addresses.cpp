@@ -1,0 +1,146 @@
+#include "analysis/addresses.hpp"
+
+#include <optional>
+#include <unordered_map>
+
+#include "ir/reg.hpp"
+
+namespace ilp {
+
+namespace {
+
+// Forward symbolic scan of one block: register -> (root, displacement).
+// `sym` may arrive pre-seeded; `next_root` supplies fresh root ids.
+void scan_block(const Block& blk, std::unordered_map<Reg, SymAddr, RegHash>& sym,
+                std::int32_t& next_root, std::vector<SymAddr>* mem_addr) {
+  auto value_of = [&](const Reg& r) -> SymAddr {
+    auto it = sym.find(r);
+    if (it != sym.end()) return it->second;
+    const SymAddr a{next_root++, 0};
+    sym.emplace(r, a);
+    return a;
+  };
+
+  for (std::size_t i = 0; i < blk.insts.size(); ++i) {
+    const Instruction& in = blk.insts[i];
+    if (in.is_memory() && mem_addr != nullptr) {
+      const SymAddr base = value_of(in.src1);
+      (*mem_addr)[i] = SymAddr{base.root, base.disp + in.ival};
+    }
+    if (!in.has_dest() || in.dst.cls != RegClass::Int) continue;
+    switch (in.op) {
+      case Opcode::LDI:
+        sym[in.dst] = SymAddr{0, in.ival};
+        break;
+      case Opcode::IMOV:
+        sym[in.dst] = value_of(in.src1);
+        break;
+      case Opcode::IADD:
+        if (in.src2_is_imm) {
+          const SymAddr a = value_of(in.src1);
+          sym[in.dst] = SymAddr{a.root, a.disp + in.ival};
+        } else {
+          sym[in.dst] = SymAddr{next_root++, 0};
+        }
+        break;
+      case Opcode::ISUB:
+        if (in.src2_is_imm) {
+          const SymAddr a = value_of(in.src1);
+          sym[in.dst] = SymAddr{a.root, a.disp - in.ival};
+        } else {
+          sym[in.dst] = SymAddr{next_root++, 0};
+        }
+        break;
+      default:
+        sym[in.dst] = SymAddr{next_root++, 0};
+        break;
+    }
+  }
+}
+
+// Net per-iteration delta of every register in the body: defined only when
+// all defs are "r = r (+|-) imm" with src1 == dst; nullopt otherwise.
+std::unordered_map<Reg, std::optional<std::int64_t>, RegHash> net_deltas(const Block& blk) {
+  std::unordered_map<Reg, std::optional<std::int64_t>, RegHash> out;
+  for (const Instruction& in : blk.insts) {
+    if (!in.has_dest()) continue;
+    auto& slot = out.try_emplace(in.dst, std::optional<std::int64_t>(0)).first->second;
+    const bool self_inc = (in.op == Opcode::IADD || in.op == Opcode::ISUB) &&
+                          in.src2_is_imm && in.src1 == in.dst;
+    if (!self_inc || !slot.has_value()) {
+      slot = std::nullopt;
+      continue;
+    }
+    *slot += in.op == Opcode::IADD ? in.ival : -in.ival;
+  }
+  return out;
+}
+
+}  // namespace
+
+BlockAddresses::BlockAddresses(const Function& fn, BlockId b, BlockId preheader) {
+  const Block& blk = fn.block(b);
+  mem_addr_.assign(blk.insts.size(), SymAddr{});
+
+  std::unordered_map<Reg, SymAddr, RegHash> sym;
+  std::int32_t next_root = 1;  // root 0 is the shared constant root
+
+  if (preheader != kNoBlock) {
+    // Derive entry relations from the preheader, then keep them only for
+    // registers whose per-iteration advance is a known constant, re-rooting
+    // so registers with different deltas never share a root.  Constant-root
+    // (root 0) entries are also only safe for delta-grouped registers, so
+    // they get group roots too.
+    std::unordered_map<Reg, SymAddr, RegHash> pre_sym;
+    std::int32_t pre_root = 1;
+    scan_block(fn.block(preheader), pre_sym, pre_root, nullptr);
+    const auto deltas = net_deltas(blk);
+
+    struct GroupKey {
+      std::int32_t root;
+      std::int64_t delta;
+      bool operator==(const GroupKey& o) const {
+        return root == o.root && delta == o.delta;
+      }
+    };
+    struct GroupHash {
+      std::size_t operator()(const GroupKey& k) const {
+        return std::hash<std::int64_t>()((static_cast<std::int64_t>(k.root) << 32) ^
+                                         k.delta);
+      }
+    };
+    std::unordered_map<GroupKey, std::int32_t, GroupHash> group_roots;
+
+    for (const auto& [reg, addr] : pre_sym) {
+      if (!addr.known()) continue;
+      std::int64_t delta = 0;  // not redefined in body => delta 0
+      const auto dit = deltas.find(reg);
+      if (dit != deltas.end()) {
+        if (!dit->second.has_value()) continue;  // non-uniform updates: unsafe
+        delta = *dit->second;
+      }
+      const GroupKey key{addr.root, delta};
+      auto [git, inserted] = group_roots.try_emplace(key, next_root);
+      if (inserted) ++next_root;
+      sym[reg] = SymAddr{git->second, addr.disp};
+    }
+  }
+
+  scan_block(blk, sym, next_root, &mem_addr_);
+}
+
+AddrRelation BlockAddresses::relation(std::size_t i, std::size_t j) const {
+  const SymAddr a = mem_addr_[i];
+  const SymAddr b = mem_addr_[j];
+  if (!a.known() || !b.known() || a.root != b.root) return AddrRelation::Unknown;
+  return a.disp == b.disp ? AddrRelation::Identical : AddrRelation::Distinct;
+}
+
+bool may_alias(const Instruction& a, const Instruction& b, AddrRelation rel) {
+  // Different front-end arrays never overlap.
+  if (a.array_id != kMayAliasAll && b.array_id != kMayAliasAll && a.array_id != b.array_id)
+    return false;
+  return rel != AddrRelation::Distinct;
+}
+
+}  // namespace ilp

@@ -1,0 +1,62 @@
+// Symbolic address analysis within one extended basic block.
+//
+// Tracks every integer register as (root, displacement): `root` names an
+// unknown base value (a block live-in or a non-affine definition) and the
+// displacement accumulates constant IADD/ISUB/IMOV chains.  Two memory
+// references whose addresses share a root but differ in displacement are
+// provably distinct; this is the disambiguation that lets unrolled loop
+// bodies overlap (paper Figure 1c/d: A+r1i vs A+r1i+4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace ilp {
+
+struct SymAddr {
+  std::int32_t root = -1;      // -1 = unknown/fresh; 0 = the constant root
+  std::int64_t disp = 0;
+
+  [[nodiscard]] bool known() const { return root >= 0; }
+};
+
+// Relationship between two memory references.
+enum class AddrRelation {
+  Identical,   // same root, same displacement
+  Distinct,    // provably different addresses
+  Unknown,     // cannot tell
+};
+
+class BlockAddresses {
+ public:
+  // Analyzes `fn.block(b)`; O(instructions).
+  //
+  // When `preheader` is given (b is a loop body whose unique out-of-loop
+  // predecessor is `preheader`), the analysis is seeded with register
+  // relations established there — e.g. induction-variable expansion's
+  // "p1 = p0 + 4".  A seeded relation between two registers stays valid on
+  // every iteration only if both advance by the same amount per iteration,
+  // so registers are grouped by their constant net per-iteration delta
+  // (sum of "r = r + C" updates in the body; any other def disqualifies)
+  // and only same-delta registers share a seeded root.
+  BlockAddresses(const Function& fn, BlockId b, BlockId preheader = kNoBlock);
+
+  // Symbolic address of memory instruction `idx` (which must be a load or
+  // store): symbolic(base register at that point) + offset immediate.
+  [[nodiscard]] SymAddr address_of(std::size_t idx) const { return mem_addr_[idx]; }
+
+  // Compares the addresses of two memory instructions in this block.
+  [[nodiscard]] AddrRelation relation(std::size_t i, std::size_t j) const;
+
+ private:
+  std::vector<SymAddr> mem_addr_;  // indexed by instruction position; memory ops only
+};
+
+// Combines alias-set ids and symbolic addresses: returns true when the two
+// memory operations may touch the same location.
+bool may_alias(const Instruction& a, const Instruction& b, AddrRelation rel);
+
+}  // namespace ilp

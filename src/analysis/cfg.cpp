@@ -1,0 +1,67 @@
+#include "analysis/cfg.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace ilp {
+
+Cfg::Cfg(const Function& fn) : fn_(&fn) {
+  const std::size_t n = fn.num_blocks();
+  succs_.resize(n);
+  preds_.resize(n);
+
+  for (const Block& b : fn.blocks()) {
+    auto& out = succs_[fn.layout_index(b.id)];
+    bool falls_through = true;
+    for (const Instruction& in : b.insts) {
+      if (in.is_branch()) {
+        if (std::find(out.begin(), out.end(), in.target) == out.end())
+          out.push_back(in.target);
+      } else if (in.op == Opcode::JUMP) {
+        if (std::find(out.begin(), out.end(), in.target) == out.end())
+          out.push_back(in.target);
+        falls_through = false;
+        break;
+      } else if (in.op == Opcode::RET) {
+        falls_through = false;
+        break;
+      }
+    }
+    if (falls_through) {
+      const BlockId next = fn.layout_next(b.id);
+      ILP_ASSERT(next != kNoBlock, "block falls through past end of function");
+      if (std::find(out.begin(), out.end(), next) == out.end()) out.push_back(next);
+    }
+  }
+  for (const Block& b : fn.blocks())
+    for (BlockId s : succs_[fn.layout_index(b.id)])
+      preds_[fn.layout_index(s)].push_back(b.id);
+
+  // Reverse postorder via iterative DFS.
+  std::vector<char> state(n, 0);  // 0 unvisited, 1 on stack, 2 done
+  std::vector<BlockId> post;
+  std::vector<std::pair<BlockId, std::size_t>> stack;
+  stack.emplace_back(entry(), 0);
+  state[fn.layout_index(entry())] = 1;
+  while (!stack.empty()) {
+    auto& [b, i] = stack.back();
+    const auto& out = succs_[fn.layout_index(b)];
+    if (i < out.size()) {
+      const BlockId s = out[i++];
+      if (state[fn.layout_index(s)] == 0) {
+        state[fn.layout_index(s)] = 1;
+        stack.emplace_back(s, 0);
+      }
+    } else {
+      state[fn.layout_index(b)] = 2;
+      post.push_back(b);
+      stack.pop_back();
+    }
+  }
+  rpo_.assign(post.rbegin(), post.rend());
+  for (const Block& b : fn.blocks())
+    if (state[fn.layout_index(b.id)] == 0) rpo_.push_back(b.id);
+}
+
+}  // namespace ilp

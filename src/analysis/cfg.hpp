@@ -1,0 +1,39 @@
+// Control-flow graph utilities over a Function's extended basic blocks.
+//
+// Successors of a block are every conditional-branch target inside it (side
+// exits included), its JUMP target, and its layout fall-through when the
+// block does not end in JUMP/RET.
+#pragma once
+
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace ilp {
+
+class Cfg {
+ public:
+  explicit Cfg(const Function& fn);
+
+  [[nodiscard]] const std::vector<BlockId>& succs(BlockId b) const {
+    return succs_[fn_->layout_index(b)];
+  }
+  [[nodiscard]] const std::vector<BlockId>& preds(BlockId b) const {
+    return preds_[fn_->layout_index(b)];
+  }
+  [[nodiscard]] BlockId entry() const { return fn_->blocks().front().id; }
+
+  // Blocks in reverse postorder from the entry (unreachable blocks appended
+  // at the end in layout order so analyses still see them).
+  [[nodiscard]] const std::vector<BlockId>& rpo() const { return rpo_; }
+
+  [[nodiscard]] const Function& function() const { return *fn_; }
+
+ private:
+  const Function* fn_;
+  std::vector<std::vector<BlockId>> succs_;  // indexed by layout position
+  std::vector<std::vector<BlockId>> preds_;
+  std::vector<BlockId> rpo_;
+};
+
+}  // namespace ilp

@@ -1,0 +1,128 @@
+#include "analysis/depgraph.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "analysis/addresses.hpp"
+#include "support/assert.hpp"
+
+namespace ilp {
+
+void DepGraph::add_edge(std::uint32_t from, std::uint32_t to, int latency, DepKind kind) {
+  ILP_ASSERT(from < to, "dependence edges must follow program order");
+  // Collapse duplicates, keeping the max latency.
+  for (std::uint32_t ei : out_edges_[from]) {
+    if (edges_[ei].to == to) {
+      edges_[ei].latency = std::max(edges_[ei].latency, latency);
+      return;
+    }
+  }
+  const auto idx = static_cast<std::uint32_t>(edges_.size());
+  edges_.push_back(DepEdge{from, to, latency, kind});
+  succs_[from].push_back(to);
+  preds_[to].push_back(from);
+  out_edges_[from].push_back(idx);
+  in_edges_[to].push_back(idx);
+}
+
+DepGraph::DepGraph(const Function& fn, BlockId block, const MachineModel& machine,
+                   const Liveness& liveness, BlockId preheader) {
+  const Block& blk = fn.block(block);
+  n_ = blk.insts.size();
+  preds_.resize(n_);
+  succs_.resize(n_);
+  in_edges_.resize(n_);
+  out_edges_.resize(n_);
+
+  // ---- Register dependences: last def and uses-since-last-def per register.
+  std::unordered_map<Reg, std::uint32_t, RegHash> last_def;
+  std::unordered_map<Reg, std::vector<std::uint32_t>, RegHash> uses_since_def;
+
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    const Instruction& in = blk.insts[i];
+    for (const Reg& u : in.uses()) {
+      const auto d = last_def.find(u);
+      if (d != last_def.end())
+        add_edge(d->second, i, machine.latency(blk.insts[d->second].op), DepKind::Flow);
+      uses_since_def[u].push_back(i);
+    }
+    if (in.has_dest()) {
+      const auto d = last_def.find(in.dst);
+      if (d != last_def.end()) add_edge(d->second, i, 0, DepKind::Output);
+      for (std::uint32_t u : uses_since_def[in.dst])
+        if (u != i) add_edge(u, i, 0, DepKind::Anti);
+      last_def[in.dst] = i;
+      uses_since_def[in.dst].clear();
+      // The def instruction itself may also read dst (e.g. r1 = r1 + 4);
+      // record it as a use of the *new* value? No: its read was of the old
+      // value, already handled above.  Nothing more to do.
+    }
+  }
+
+  // ---- Memory dependences with symbolic-address disambiguation.
+  const BlockAddresses addrs(fn, block, preheader);
+  std::vector<std::uint32_t> mem_ops;
+  for (std::uint32_t i = 0; i < n_; ++i)
+    if (blk.insts[i].is_memory()) mem_ops.push_back(i);
+  for (std::size_t a = 0; a < mem_ops.size(); ++a) {
+    for (std::size_t b = a + 1; b < mem_ops.size(); ++b) {
+      const std::uint32_t i = mem_ops[a];
+      const std::uint32_t j = mem_ops[b];
+      const Instruction& x = blk.insts[i];
+      const Instruction& y = blk.insts[j];
+      if (x.is_load() && y.is_load()) continue;
+      if (!may_alias(x, y, addrs.relation(i, j))) continue;
+      if (x.is_store() && y.is_load())
+        add_edge(i, j, machine.latency(x.op), DepKind::MemFlow);
+      else if (x.is_load() && y.is_store())
+        add_edge(i, j, 0, DepKind::MemAnti);
+      else
+        add_edge(i, j, 0, DepKind::MemOut);
+    }
+  }
+
+  // ---- Control (superblock-discipline) edges.
+  std::vector<std::uint32_t> branches;
+  for (std::uint32_t i = 0; i < n_; ++i)
+    if (blk.insts[i].is_control()) branches.push_back(i);
+
+  for (std::size_t bi = 0; bi < branches.size(); ++bi) {
+    const std::uint32_t br = branches[bi];
+    if (bi + 1 < branches.size()) add_edge(br, branches[bi + 1], 0, DepKind::Control);
+
+    const Instruction& brin = blk.insts[br];
+    const bool is_terminator = (br + 1 == n_) || brin.op == Opcode::JUMP ||
+                               brin.op == Opcode::RET;
+    BitVector target_live;
+    if (brin.is_branch() || brin.op == Opcode::JUMP)
+      target_live = liveness.live_in(brin.target);
+
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      if (i == br || blk.insts[i].is_control()) continue;
+      const Instruction& in = blk.insts[i];
+      const bool writes_live_at_target =
+          in.has_dest() && target_live.size() > 0 && target_live.test(RegKey::key(in.dst));
+      if (i < br) {
+        // Must stay above the branch: stores (exit path must see them) and
+        // defs of registers live at the target.
+        if (in.is_store() || writes_live_at_target) add_edge(i, br, 0, DepKind::Control);
+        if (is_terminator) add_edge(i, br, 0, DepKind::Control);
+      } else {
+        // Must stay below: stores (must not execute if the branch leaves) and
+        // defs that would clobber the target's live values.
+        if (in.is_store() || writes_live_at_target) add_edge(br, i, 0, DepKind::Control);
+      }
+    }
+  }
+
+  // ---- Critical-path heights (longest latency path to any sink).
+  height_.assign(n_, 0);
+  for (std::size_t i = n_; i-- > 0;) {
+    int h = 0;
+    for (std::uint32_t ei : out_edges_[i])
+      h = std::max(h, edges_[ei].latency + height_[edges_[ei].to]);
+    height_[i] = h;
+  }
+}
+
+}  // namespace ilp

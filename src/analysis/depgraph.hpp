@@ -1,0 +1,80 @@
+// Dependence DAG over one extended basic block (superblock), consumed by the
+// list scheduler.
+//
+// Edge kinds:
+//   Flow    def -> use        latency = producer latency
+//   Anti    use -> def        latency 0 (same-cycle ok when order preserved)
+//   Output  def -> def        latency 0 (machine applies writes in order)
+//   MemFlow store -> load     latency = store latency (simulator enforces it)
+//   MemAnti load -> store     latency 0
+//   MemOut  store -> store    latency 0
+//   Control superblock-discipline edges around branches, latency 0:
+//     * every branch is ordered after the previous branch,
+//     * a store never moves above or below a branch,
+//     * an instruction whose destination is live-in at a branch's target
+//       neither moves above the branch (would clobber the off-trace value)
+//       nor below it if it precedes the branch (the exit path needs it),
+//     * nothing moves below the block-terminating branch/jump.
+//   Loads may move above branches freely: the modeled processor supports
+//   non-excepting loads (paper Section 3.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/liveness.hpp"
+#include "ir/function.hpp"
+#include "machine/machine.hpp"
+
+namespace ilp {
+
+enum class DepKind : std::uint8_t { Flow, Anti, Output, MemFlow, MemAnti, MemOut, Control };
+
+struct DepEdge {
+  std::uint32_t from = 0;  // instruction index within the block
+  std::uint32_t to = 0;
+  int latency = 0;
+  DepKind kind = DepKind::Flow;
+};
+
+class DepGraph {
+ public:
+  // `liveness` supplies branch-target live-ins for the control edges; it must
+  // outlive this object only during construction.  `preheader`, when given,
+  // enables loop-relative memory disambiguation (see BlockAddresses).
+  DepGraph(const Function& fn, BlockId block, const MachineModel& machine,
+           const Liveness& liveness, BlockId preheader = kNoBlock);
+
+  [[nodiscard]] std::size_t num_nodes() const { return n_; }
+  [[nodiscard]] const std::vector<DepEdge>& edges() const { return edges_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& preds(std::size_t i) const {
+    return preds_[i];
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& succs(std::size_t i) const {
+    return succs_[i];
+  }
+  [[nodiscard]] const DepEdge& edge(std::size_t idx) const { return edges_[idx]; }
+  // Edge indices leaving / entering node i (parallel to succs/preds).
+  [[nodiscard]] const std::vector<std::uint32_t>& out_edges(std::size_t i) const {
+    return out_edges_[i];
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& in_edges(std::size_t i) const {
+    return in_edges_[i];
+  }
+
+  // Longest latency path from node i to any sink (critical-path priority).
+  [[nodiscard]] const std::vector<int>& height() const { return height_; }
+
+ private:
+  void add_edge(std::uint32_t from, std::uint32_t to, int latency, DepKind kind);
+
+  std::size_t n_ = 0;
+  std::vector<DepEdge> edges_;
+  std::vector<std::vector<std::uint32_t>> preds_;
+  std::vector<std::vector<std::uint32_t>> succs_;
+  std::vector<std::vector<std::uint32_t>> in_edges_;
+  std::vector<std::vector<std::uint32_t>> out_edges_;
+  std::vector<int> height_;
+};
+
+}  // namespace ilp

@@ -1,0 +1,60 @@
+#include "analysis/dominators.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace ilp {
+
+Dominators::Dominators(const Cfg& cfg) : fn_(&cfg.function()) {
+  const std::size_t n = fn_->num_blocks();
+  idom_.assign(n, kNoBlock);
+
+  // Map block -> position in RPO for the intersect walk.
+  std::vector<std::size_t> rpo_pos(n, static_cast<std::size_t>(-1));
+  const auto& order = cfg.rpo();
+  for (std::size_t i = 0; i < order.size(); ++i) rpo_pos[fn_->layout_index(order[i])] = i;
+
+  const BlockId entry = cfg.entry();
+  idom_[fn_->layout_index(entry)] = entry;
+
+  auto intersect = [&](BlockId a, BlockId b) {
+    while (a != b) {
+      while (rpo_pos[fn_->layout_index(a)] > rpo_pos[fn_->layout_index(b)])
+        a = idom_[fn_->layout_index(a)];
+      while (rpo_pos[fn_->layout_index(b)] > rpo_pos[fn_->layout_index(a)])
+        b = idom_[fn_->layout_index(b)];
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (BlockId b : order) {
+      if (b == entry) continue;
+      BlockId new_idom = kNoBlock;
+      for (BlockId p : cfg.preds(b)) {
+        if (idom_[fn_->layout_index(p)] == kNoBlock) continue;  // not yet processed
+        new_idom = new_idom == kNoBlock ? p : intersect(p, new_idom);
+      }
+      if (new_idom != kNoBlock && idom_[fn_->layout_index(b)] != new_idom) {
+        idom_[fn_->layout_index(b)] = new_idom;
+        changed = true;
+      }
+    }
+  }
+}
+
+bool Dominators::dominates(BlockId a, BlockId b) const {
+  if (idom_[fn_->layout_index(b)] == kNoBlock) return false;  // b unreachable
+  BlockId x = b;
+  while (true) {
+    if (x == a) return true;
+    const BlockId up = idom_[fn_->layout_index(x)];
+    if (up == x) return false;  // reached entry
+    x = up;
+  }
+}
+
+}  // namespace ilp

@@ -1,0 +1,29 @@
+// Dominator computation (Cooper–Harvey–Kennedy iterative algorithm).
+//
+// Used for natural-loop detection and for the global single-definition
+// constant/copy propagation in the conventional optimizer.
+#pragma once
+
+#include <vector>
+
+#include "analysis/cfg.hpp"
+
+namespace ilp {
+
+class Dominators {
+ public:
+  explicit Dominators(const Cfg& cfg);
+
+  // Immediate dominator; the entry block's idom is itself.  Unreachable
+  // blocks report kNoBlock.
+  [[nodiscard]] BlockId idom(BlockId b) const { return idom_[fn_->layout_index(b)]; }
+
+  // True if a dominates b (reflexive).
+  [[nodiscard]] bool dominates(BlockId a, BlockId b) const;
+
+ private:
+  const Function* fn_;
+  std::vector<BlockId> idom_;
+};
+
+}  // namespace ilp

@@ -1,0 +1,74 @@
+#include "analysis/liveness.hpp"
+
+namespace ilp {
+
+Liveness::Liveness(const Cfg& cfg) : fn_(&cfg.function()), cfg_(&cfg) {
+  const std::uint32_t maxid =
+      std::max(fn_->num_regs(RegClass::Int), fn_->num_regs(RegClass::Fp));
+  nkeys_ = 2 * static_cast<std::size_t>(maxid) + 2;
+
+  ret_live_ = BitVector(nkeys_);
+  for (const Reg& r : fn_->live_out()) ret_live_.set(RegKey::key(r));
+
+  const std::size_t n = fn_->num_blocks();
+  live_in_.assign(n, BitVector(nkeys_));
+
+  // Backward iterative fixpoint; visit blocks in reverse layout order (a good
+  // approximation of reverse topological order for loop bodies).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto it = fn_->blocks().rbegin(); it != fn_->blocks().rend(); ++it) {
+      const Block& b = *it;
+      BitVector live = exit_live(b.id);
+      for (auto ii = b.insts.rbegin(); ii != b.insts.rend(); ++ii) transfer(*ii, live);
+      if (!(live == live_in_[fn_->layout_index(b.id)])) {
+        live_in_[fn_->layout_index(b.id)] = std::move(live);
+        changed = true;
+      }
+    }
+  }
+}
+
+void Liveness::transfer(const Instruction& in, BitVector& live) const {
+  if (in.op == Opcode::RET) {
+    live = ret_live_;
+    return;
+  }
+  if (in.op == Opcode::JUMP) {
+    live = live_in_[fn_->layout_index(in.target)];
+    return;
+  }
+  if (in.is_branch()) live |= live_in_[fn_->layout_index(in.target)];
+  if (in.has_dest()) live.reset(RegKey::key(in.dst));
+  if (in.src1.valid()) live.set(RegKey::key(in.src1));
+  if (in.src2.valid() && !in.src2_is_imm) live.set(RegKey::key(in.src2));
+}
+
+BitVector Liveness::exit_live(BlockId b) const {
+  const Block& blk = fn_->block(b);
+  if (blk.has_terminator()) return BitVector(nkeys_);
+  const BlockId next = fn_->layout_next(b);
+  if (next == kNoBlock) return BitVector(nkeys_);
+  return live_in_[fn_->layout_index(next)];
+}
+
+BitVector Liveness::live_after(BlockId b, std::size_t idx) const {
+  const Block& blk = fn_->block(b);
+  BitVector live = exit_live(b);
+  for (std::size_t i = blk.insts.size(); i-- > idx + 1;) transfer(blk.insts[i], live);
+  return live;
+}
+
+std::vector<BitVector> Liveness::live_after_all(BlockId b) const {
+  const Block& blk = fn_->block(b);
+  std::vector<BitVector> out(blk.insts.size(), BitVector(nkeys_));
+  BitVector live = exit_live(b);
+  for (std::size_t i = blk.insts.size(); i-- > 0;) {
+    out[i] = live;
+    transfer(blk.insts[i], live);
+  }
+  return out;
+}
+
+}  // namespace ilp

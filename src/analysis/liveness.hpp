@@ -1,0 +1,56 @@
+// Register liveness over extended basic blocks.
+//
+// Side-exit branches in the middle of a block make classic block-summary
+// (use/def) liveness unsound, so the fixpoint recomputes each block's live-in
+// with a full backward instruction scan that unions target live-ins at every
+// branch.  RET instructions inject the function's declared live-out set.
+//
+// Register universe: both classes share one dense key space (RegKey), so one
+// bit vector covers integer and floating registers.
+#pragma once
+
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "support/bitvector.hpp"
+
+namespace ilp {
+
+class Liveness {
+ public:
+  explicit Liveness(const Cfg& cfg);
+
+  [[nodiscard]] const BitVector& live_in(BlockId b) const {
+    return live_in_[fn_->layout_index(b)];
+  }
+
+  // Live set immediately *after* instruction `idx` of block `b` (i.e. before
+  // the backward transfer of that instruction is applied).  Recomputed on
+  // demand by one backward scan of the block.
+  [[nodiscard]] BitVector live_after(BlockId b, std::size_t idx) const;
+
+  // Per-instruction live-after sets for a whole block, index-aligned with
+  // Block::insts.  (Used by the interference-graph builder.)
+  [[nodiscard]] std::vector<BitVector> live_after_all(BlockId b) const;
+
+  [[nodiscard]] bool is_live_in(BlockId b, const Reg& r) const {
+    return live_in(b).test(RegKey::key(r));
+  }
+
+  [[nodiscard]] std::size_t universe_size() const { return nkeys_; }
+
+ private:
+  // Applies the backward transfer of one instruction to `live`.
+  void transfer(const Instruction& in, BitVector& live) const;
+  // Live set at the end of the block (fallthrough successor's live-in, or
+  // empty if the block ends in JUMP/RET).
+  [[nodiscard]] BitVector exit_live(BlockId b) const;
+
+  const Function* fn_;
+  const Cfg* cfg_;
+  std::size_t nkeys_ = 0;
+  BitVector ret_live_;  // function live-out set as a bit vector
+  std::vector<BitVector> live_in_;
+};
+
+}  // namespace ilp

@@ -1,0 +1,148 @@
+#include "analysis/loops.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace ilp {
+
+bool NaturalLoop::contains(BlockId b) const {
+  return std::find(blocks.begin(), blocks.end(), b) != blocks.end();
+}
+
+std::vector<NaturalLoop> find_natural_loops(const Cfg& cfg, const Dominators& dom) {
+  const Function& fn = cfg.function();
+  std::vector<NaturalLoop> loops;
+
+  for (const Block& b : fn.blocks()) {
+    for (BlockId s : cfg.succs(b.id)) {
+      if (!dom.dominates(s, b.id)) continue;  // not a back edge
+      // Find or create the loop with header s.
+      NaturalLoop* loop = nullptr;
+      for (auto& l : loops)
+        if (l.header == s) loop = &l;
+      if (loop == nullptr) {
+        loops.push_back(NaturalLoop{s, {s}, {}});
+        loop = &loops.back();
+      }
+      loop->latches.push_back(b.id);
+      // Flood backwards from the latch, stopping at the header.
+      std::vector<BlockId> work{b.id};
+      while (!work.empty()) {
+        const BlockId x = work.back();
+        work.pop_back();
+        if (loop->contains(x)) continue;
+        loop->blocks.push_back(x);
+        for (BlockId p : cfg.preds(x)) work.push_back(p);
+      }
+    }
+  }
+  return loops;
+}
+
+std::vector<SimpleLoop> find_simple_loops(const Cfg& cfg, const Dominators& dom) {
+  (void)dom;
+  const Function& fn = cfg.function();
+  std::vector<SimpleLoop> out;
+
+  for (const Block& b : fn.blocks()) {
+    if (b.insts.empty()) continue;
+    const Instruction& last = b.insts.back();
+    if (!last.is_branch() || last.target != b.id) continue;  // need self back edge
+
+    SimpleLoop loop;
+    loop.body = b.id;
+    loop.back_branch = b.insts.size() - 1;
+
+    // Every other branch in the body must leave the loop (side exit); a
+    // second branch back to the body would make the shape non-simple.
+    bool simple = true;
+    for (std::size_t i = 0; i + 1 < b.insts.size(); ++i) {
+      const Instruction& in = b.insts[i];
+      if (in.op == Opcode::JUMP || in.op == Opcode::RET) {
+        simple = false;  // terminator mid-block would already fail the verifier
+        break;
+      }
+      if (in.is_branch()) {
+        if (in.target == b.id) {
+          simple = false;
+          break;
+        }
+        loop.side_exits.push_back(i);
+      }
+    }
+    if (!simple) continue;
+
+    // Unique out-of-loop predecessor = preheader.
+    BlockId pre = kNoBlock;
+    for (BlockId p : cfg.preds(b.id)) {
+      if (p == b.id) continue;
+      if (pre != kNoBlock) {
+        pre = kNoBlock;
+        break;
+      }
+      pre = p;
+    }
+    if (pre == kNoBlock) continue;
+    loop.preheader = pre;
+    out.push_back(std::move(loop));
+  }
+  return out;
+}
+
+std::optional<CountedLoopInfo> match_counted_loop(const Function& fn, const SimpleLoop& loop) {
+  const Block& body = fn.block(loop.body);
+  const Instruction& br = body.insts[loop.back_branch];
+  if (op_is_fp_compare(br.op) || br.op == Opcode::BEQ) return std::nullopt;
+
+  CountedLoopInfo info;
+  info.iv = br.src1;
+  info.cmp = br.op;
+  info.bound_is_imm = br.src2_is_imm;
+  info.bound_reg = br.src2;
+  info.bound_imm = br.ival;
+  if (!info.iv.is_int()) return std::nullopt;
+
+  // The bound must be loop-invariant.
+  if (!info.bound_is_imm) {
+    for (const Instruction& in : body.insts)
+      if (in.writes(info.bound_reg)) return std::nullopt;
+  }
+
+  // Exactly one def of iv, of the form iv = iv +/- C.
+  int defs = 0;
+  for (std::size_t i = 0; i < body.insts.size(); ++i) {
+    const Instruction& in = body.insts[i];
+    if (!in.writes(info.iv)) continue;
+    ++defs;
+    if (defs > 1) return std::nullopt;
+    const bool is_inc = (in.op == Opcode::IADD || in.op == Opcode::ISUB) && in.src2_is_imm &&
+                        in.src1 == info.iv;
+    if (!is_inc) return std::nullopt;
+    info.step = in.op == Opcode::IADD ? in.ival : -in.ival;
+    info.update_idx = i;
+  }
+  if (defs != 1 || info.step == 0) return std::nullopt;
+
+  // The trip direction must match the comparison, otherwise the loop is not
+  // counted by this iv (e.g. decrementing iv with BLT-against-upper-bound
+  // may never terminate; reject and let the caller skip unrolling).
+  const bool up = info.step > 0;
+  switch (info.cmp) {
+    case Opcode::BLT:
+    case Opcode::BLE:
+      if (!up) return std::nullopt;
+      break;
+    case Opcode::BGT:
+    case Opcode::BGE:
+      if (up) return std::nullopt;
+      break;
+    case Opcode::BNE:
+      break;  // direction-agnostic; trip count handled by caller
+    default:
+      return std::nullopt;
+  }
+  return info;
+}
+
+}  // namespace ilp

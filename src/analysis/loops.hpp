@@ -1,0 +1,75 @@
+// Natural-loop detection and the "simple loop" shape that the ILP
+// transformations operate on.
+//
+// The execution model (paper Section 1) exploits multiprocessor parallelism
+// in outer loops and ILP in inner loops; every transformation here targets an
+// innermost loop whose body is a single extended basic block:
+//
+//   preheader:  ...                         (falls through or jumps to body)
+//   body:       ...instructions...
+//               [optional side-exit branches out of the loop]
+//               <cond branch> body          (the back edge, last instruction)
+//   exit:       ...                         (layout fall-through)
+//
+// Counted loops additionally have a recognizable induction update
+// "iv = iv + step" (step a compile-time constant) feeding a back-edge
+// comparison against a loop-invariant bound, which is what loop unrolling's
+// preconditioning needs.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "analysis/dominators.hpp"
+
+namespace ilp {
+
+struct NaturalLoop {
+  BlockId header = kNoBlock;
+  std::vector<BlockId> blocks;  // includes header
+  std::vector<BlockId> latches;
+
+  [[nodiscard]] bool contains(BlockId b) const;
+};
+
+// All natural loops (one per header; back edges to the same header merged).
+std::vector<NaturalLoop> find_natural_loops(const Cfg& cfg, const Dominators& dom);
+
+// The restricted single-extended-block loop shape.
+struct SimpleLoop {
+  BlockId body = kNoBlock;       // the single block (header == latch)
+  BlockId preheader = kNoBlock;  // unique out-of-loop predecessor
+  std::size_t back_branch = 0;   // index of the back edge (last instruction)
+  std::vector<std::size_t> side_exits;  // indices of in-body exit branches
+
+  [[nodiscard]] bool has_side_exits() const { return !side_exits.empty(); }
+};
+
+// Recognizes simple loops; returns innermost-only (which, for this shape, is
+// every single-block self-loop whose preheader is unique).
+std::vector<SimpleLoop> find_simple_loops(const Cfg& cfg, const Dominators& dom);
+
+// Counted-loop pattern for preconditioned unrolling.
+struct CountedLoopInfo {
+  Reg iv;                      // induction register tested by the back edge
+  std::int64_t step = 0;       // compile-time constant per-iteration increment
+  std::size_t update_idx = 0;  // index of the "iv += step" instruction
+  // Back-edge comparison: iv <cmp> bound  (bound register or immediate).
+  Opcode cmp = Opcode::BLT;
+  Reg bound_reg;               // invalid if bound is an immediate
+  std::int64_t bound_imm = 0;
+  bool bound_is_imm = false;
+};
+
+// Matches the counted-loop pattern for `loop` in `fn`:
+//   * the back-edge branch compares an integer register `iv` (BLT/BLE/BGT/
+//     BGE/BNE) against a loop-invariant bound,
+//   * exactly one instruction in the body writes `iv`, and it is
+//     "iv = iv + C" or "iv = iv - C",
+//   * the bound operand is not written inside the body.
+// Returns nullopt if the loop is not counted (e.g. Figure 6's data-dependent
+// search loop).
+std::optional<CountedLoopInfo> match_counted_loop(const Function& fn, const SimpleLoop& loop);
+
+}  // namespace ilp

@@ -1,0 +1,110 @@
+// AST for the loop-nest DSL.
+//
+// The language models the paper's workloads: declarations of fp/int arrays
+// (1-D or 2-D) and scalars, then a statement list of loop nests containing
+// assignments, max/min search updates, and data-dependent early exits.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+
+namespace ilp::dsl {
+
+enum class Type : std::uint8_t { Int, Fp };
+
+// ---------------- Expressions ------------------------------------------------
+
+enum class ExprKind : std::uint8_t {
+  IntConst,
+  FpConst,
+  ScalarRef,
+  ArrayRef,
+  Binary,
+  Neg,
+  MinMax,
+};
+
+enum class BinOp : std::uint8_t { Add, Sub, Mul, Div, Rem };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind = ExprKind::IntConst;
+  SourceLoc loc;
+  Type type = Type::Int;  // filled by sema
+
+  std::int64_t ival = 0;           // IntConst
+  double fval = 0.0;               // FpConst
+  std::string name;                // ScalarRef / ArrayRef
+  std::vector<ExprPtr> subscripts; // ArrayRef (1 or 2)
+  BinOp op = BinOp::Add;           // Binary
+  bool is_max = false;             // MinMax
+  ExprPtr lhs;                     // Binary / Neg / MinMax
+  ExprPtr rhs;                     // Binary / MinMax
+};
+
+// ---------------- Statements --------------------------------------------------
+
+enum class StmtKind : std::uint8_t { Assign, Loop, IfBreak };
+
+enum class CmpOp : std::uint8_t { Lt, Le, Gt, Ge, Eq, Ne };
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  StmtKind kind = StmtKind::Assign;
+  SourceLoc loc;
+
+  // Assign: lhs_* describes the target, rhs the value.
+  std::string lhs_name;
+  std::vector<ExprPtr> lhs_subscripts;  // empty for scalar targets
+  ExprPtr rhs;
+
+  // Loop.
+  std::string loop_var;
+  ExprPtr lo;
+  ExprPtr hi;
+  std::int64_t step = 1;
+  std::vector<StmtPtr> body;
+
+  // IfBreak: if (cmp_lhs OP cmp_rhs) break;
+  CmpOp cmp = CmpOp::Lt;
+  ExprPtr cmp_lhs;
+  ExprPtr cmp_rhs;
+};
+
+// ---------------- Declarations & program ---------------------------------------
+
+struct ArrayDecl {
+  std::string name;
+  Type type = Type::Fp;
+  std::int64_t dim0 = 0;
+  std::int64_t dim1 = 0;  // 0 => 1-D
+  SourceLoc loc;
+  [[nodiscard]] std::int64_t elements() const { return dim1 > 0 ? dim0 * dim1 : dim0; }
+};
+
+struct ScalarDecl {
+  std::string name;
+  Type type = Type::Fp;
+  bool has_init = false;
+  double finit = 0.0;
+  std::int64_t iinit = 0;
+  bool is_out = false;  // live-out: observable after the program
+  SourceLoc loc;
+};
+
+struct Program {
+  std::string name;
+  std::vector<ArrayDecl> arrays;
+  std::vector<ScalarDecl> scalars;
+  std::vector<StmtPtr> stmts;
+};
+
+}  // namespace ilp::dsl

@@ -1,0 +1,345 @@
+#include "frontend/classify.hpp"
+
+#include <map>
+#include <optional>
+#include <cstdlib>
+#include <set>
+#include <string>
+
+namespace ilp::dsl {
+
+const char* loop_type_name(LoopType t) {
+  switch (t) {
+    case LoopType::DoAll: return "doall";
+    case LoopType::DoAcross: return "doacross";
+    case LoopType::Serial: return "serial";
+  }
+  return "?";
+}
+
+namespace {
+
+// Affine form over the innermost loop variable: coef*var + Σ others + cst.
+struct Affine {
+  std::int64_t coef = 0;
+  std::map<std::string, std::int64_t> others;
+  std::int64_t cst = 0;
+
+  [[nodiscard]] bool pure_const() const { return coef == 0 && others.empty(); }
+};
+
+std::optional<Affine> affine_of(const Expr& e, const std::string& var) {
+  switch (e.kind) {
+    case ExprKind::IntConst: {
+      Affine a;
+      a.cst = e.ival;
+      return a;
+    }
+    case ExprKind::ScalarRef: {
+      Affine a;
+      if (e.name == var)
+        a.coef = 1;
+      else
+        a.others[e.name] = 1;
+      return a;
+    }
+    case ExprKind::Neg: {
+      auto a = affine_of(*e.lhs, var);
+      if (!a) return std::nullopt;
+      a->coef = -a->coef;
+      a->cst = -a->cst;
+      for (auto& [k, v] : a->others) v = -v;
+      return a;
+    }
+    case ExprKind::Binary: {
+      auto l = affine_of(*e.lhs, var);
+      auto r = affine_of(*e.rhs, var);
+      if (!l || !r) return std::nullopt;
+      switch (e.op) {
+        case BinOp::Add:
+        case BinOp::Sub: {
+          const std::int64_t s = e.op == BinOp::Add ? 1 : -1;
+          Affine a = *l;
+          a.coef += s * r->coef;
+          a.cst += s * r->cst;
+          for (const auto& [k, v] : r->others) {
+            a.others[k] += s * v;
+            if (a.others[k] == 0) a.others.erase(k);
+          }
+          return a;
+        }
+        case BinOp::Mul: {
+          const Affine* scale = nullptr;
+          const Affine* val = nullptr;
+          if (l->pure_const()) {
+            scale = &*l;
+            val = &*r;
+          } else if (r->pure_const()) {
+            scale = &*r;
+            val = &*l;
+          } else {
+            return std::nullopt;
+          }
+          Affine a = *val;
+          a.coef *= scale->cst;
+          a.cst *= scale->cst;
+          for (auto& [k, v] : a.others) v *= scale->cst;
+          return a;
+        }
+        default:
+          return std::nullopt;  // div/rem: non-affine
+      }
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+// Linearized affine subscript of an array reference (folds 2-D refs).
+std::optional<Affine> ref_affine(const std::vector<ExprPtr>& subs, std::int64_t dim1,
+                                 const std::string& var) {
+  auto a0 = affine_of(*subs[0], var);
+  if (!a0) return std::nullopt;
+  if (subs.size() == 1) return a0;
+  auto a1 = affine_of(*subs[1], var);
+  if (!a1) return std::nullopt;
+  Affine a = *a0;
+  a.coef *= dim1;
+  a.cst *= dim1;
+  for (auto& [k, v] : a.others) v *= dim1;
+  a.coef += a1->coef;
+  a.cst += a1->cst;
+  for (const auto& [k, v] : a1->others) {
+    a.others[k] += v;
+    if (a.others[k] == 0) a.others.erase(k);
+  }
+  return a;
+}
+
+struct ArrayRefInfo {
+  std::string array;
+  bool is_store = false;
+  std::optional<Affine> addr;
+};
+
+// Does `e` read scalar `s` anywhere?
+bool expr_reads(const Expr& e, const std::string& s) {
+  if (e.kind == ExprKind::ScalarRef && e.name == s) return true;
+  if (e.lhs && expr_reads(*e.lhs, s)) return true;
+  if (e.rhs && expr_reads(*e.rhs, s)) return true;
+  for (const auto& sub : e.subscripts)
+    if (expr_reads(*sub, s)) return true;
+  return false;
+}
+
+void collect_scalar_reads(const Expr& e, std::set<std::string>& out) {
+  if (e.kind == ExprKind::ScalarRef) out.insert(e.name);
+  if (e.lhs) collect_scalar_reads(*e.lhs, out);
+  if (e.rhs) collect_scalar_reads(*e.rhs, out);
+  for (const auto& sub : e.subscripts) collect_scalar_reads(*sub, out);
+}
+
+void collect_array_refs(const Expr& e, const Program& prog, const std::string& var,
+                        std::vector<ArrayRefInfo>& out) {
+  if (e.kind == ExprKind::ArrayRef) {
+    std::int64_t dim1 = 0;
+    for (const auto& a : prog.arrays)
+      if (a.name == e.name) dim1 = a.dim1;
+    out.push_back(ArrayRefInfo{e.name, false, ref_affine(e.subscripts, dim1, var)});
+  }
+  if (e.lhs) collect_array_refs(*e.lhs, prog, var, out);
+  if (e.rhs) collect_array_refs(*e.rhs, prog, var, out);
+  for (const auto& sub : e.subscripts) collect_array_refs(*sub, prog, var, out);
+}
+
+bool expr_has_minmax(const Expr& e) {
+  if (e.kind == ExprKind::MinMax) return true;
+  if (e.lhs && expr_has_minmax(*e.lhs)) return true;
+  if (e.rhs && expr_has_minmax(*e.rhs)) return true;
+  for (const auto& sub : e.subscripts)
+    if (expr_has_minmax(*sub)) return true;
+  return false;
+}
+
+// Is `rhs` a reduction update of scalar s?  (s = s op e / s = e op s with e
+// not reading s; or s = max/min(s, e).)
+bool is_reduction(const Expr& rhs, const std::string& s) {
+  if (rhs.kind == ExprKind::MinMax) {
+    const bool l = rhs.lhs->kind == ExprKind::ScalarRef && rhs.lhs->name == s;
+    const bool r = rhs.rhs->kind == ExprKind::ScalarRef && rhs.rhs->name == s;
+    if (l && !expr_reads(*rhs.rhs, s)) return true;
+    if (r && !expr_reads(*rhs.lhs, s)) return true;
+    return false;
+  }
+  if (rhs.kind != ExprKind::Binary) return false;
+  if (rhs.op != BinOp::Add && rhs.op != BinOp::Sub && rhs.op != BinOp::Mul) return false;
+  const bool l = rhs.lhs->kind == ExprKind::ScalarRef && rhs.lhs->name == s;
+  const bool r = rhs.rhs->kind == ExprKind::ScalarRef && rhs.rhs->name == s;
+  if (l && !expr_reads(*rhs.rhs, s)) return true;
+  // s = e + s is a reduction; s = e - s is not (alternating sign recurrence).
+  if (r && rhs.op != BinOp::Sub && !expr_reads(*rhs.lhs, s)) return true;
+  return false;
+}
+
+LoopType classify_body(const Stmt& loop, const Program& prog, bool* reduction_only) {
+  const std::string& var = loop.loop_var;
+  bool serial = false;
+  bool carried_array = false;
+  bool general_recurrence = false;
+  bool nonscalar_serial = false;
+
+  // ---- Scalar dependences. ----
+  std::set<std::string> written;
+  std::set<std::string> written_anywhere;
+  for (const auto& st : loop.body)
+    if (st->kind == StmtKind::Assign && st->lhs_subscripts.empty())
+      written_anywhere.insert(st->lhs_name);
+
+  for (const auto& st : loop.body) {
+    std::set<std::string> reads;
+    if (st->kind == StmtKind::Assign) {
+      collect_scalar_reads(*st->rhs, reads);
+      for (const auto& sub : st->lhs_subscripts) collect_scalar_reads(*sub, reads);
+    } else if (st->kind == StmtKind::IfBreak) {
+      collect_scalar_reads(*st->cmp_lhs, reads);
+      collect_scalar_reads(*st->cmp_rhs, reads);
+    }
+    const bool scalar_assign =
+        st->kind == StmtKind::Assign && st->lhs_subscripts.empty();
+    for (const auto& r : reads) {
+      if (r == var) continue;
+      // A self-read inside the defining assignment is the recurrence case,
+      // handled below (and possibly a fixable reduction).
+      if (scalar_assign && r == st->lhs_name) continue;
+      if (written_anywhere.count(r) && !written.count(r)) {
+        serial = true;  // carried scalar value
+        nonscalar_serial = true;
+      }
+    }
+    if (st->kind == StmtKind::Assign && st->lhs_subscripts.empty()) {
+      const std::string& s = st->lhs_name;
+      if (expr_reads(*st->rhs, s)) {
+        serial = true;  // recurrence (incl. reductions)
+        if (!is_reduction(*st->rhs, s)) general_recurrence = true;
+      }
+      written.insert(s);
+    }
+  }
+
+  // ---- Array dependences. ----
+  std::vector<ArrayRefInfo> refs;
+  for (const auto& st : loop.body) {
+    if (st->kind == StmtKind::Assign) {
+      collect_array_refs(*st->rhs, prog, var, refs);
+      if (!st->lhs_subscripts.empty()) {
+        std::int64_t dim1 = 0;
+        for (const auto& a : prog.arrays)
+          if (a.name == st->lhs_name) dim1 = a.dim1;
+        refs.push_back(ArrayRefInfo{st->lhs_name, true,
+                                    ref_affine(st->lhs_subscripts, dim1, var)});
+      }
+      for (const auto& sub : st->lhs_subscripts) collect_array_refs(*sub, prog, var, refs);
+    } else if (st->kind == StmtKind::IfBreak) {
+      collect_array_refs(*st->cmp_lhs, prog, var, refs);
+      collect_array_refs(*st->cmp_rhs, prog, var, refs);
+    }
+  }
+  for (const ArrayRefInfo& r : refs) {
+    if (!r.is_store) continue;
+    // A store whose address is non-affine may collide with itself across
+    // iterations (indirect subscript), and a store to a fixed cell repeats
+    // every iteration: carried output dependences, conservatively serial.
+    if (!r.addr || r.addr->coef == 0) {
+      serial = true;
+      nonscalar_serial = true;
+    }
+  }
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    for (std::size_t j = 0; j < refs.size(); ++j) {
+      if (i == j) continue;
+      const ArrayRefInfo& a = refs[i];
+      const ArrayRefInfo& c = refs[j];
+      if (!a.is_store || a.array != c.array) continue;
+      if (!a.addr || !c.addr) {
+        serial = true;  // non-affine subscript: conservative
+        nonscalar_serial = true;
+        continue;
+      }
+      if (a.addr->coef != c.addr->coef || a.addr->others != c.addr->others) {
+        serial = true;  // differing shapes: conservative
+        nonscalar_serial = true;
+        continue;
+      }
+      const std::int64_t diff = a.addr->cst - c.addr->cst;
+      if (diff == 0) {
+        // Same address: iteration-local when the subscript moves with the
+        // loop, a carried dependence when it is a fixed cell.
+        if (a.addr->coef == 0) {
+          serial = true;
+          nonscalar_serial = true;
+        }
+        continue;
+      }
+      if (a.addr->coef == 0) continue;  // two distinct fixed cells: independent
+      // A collision needs var1 - var2 = diff/coef with both vars in the
+      // iteration set {lo, lo+step, ...}: diff must be a multiple of
+      // coef*step, and the iteration distance must fit in the trip span
+      // (when the bounds are compile-time constants; otherwise assume it
+      // does).  Out-of-span distances are dependences carried by an
+      // *enclosing* loop, which do not serialize this one.
+      const std::int64_t unit = a.addr->coef * loop.step;
+      if (unit == 0 || diff % unit != 0) continue;
+      const std::int64_t k = diff / unit;  // iteration distance
+      bool in_span = true;
+      if (loop.lo->kind == ExprKind::IntConst && loop.hi->kind == ExprKind::IntConst) {
+        const std::int64_t span =
+            (loop.hi->ival - loop.lo->ival) / loop.step;  // iterations - 1
+        if (span < 0 || std::abs(k) > span) in_span = false;
+      }
+      if (k != 0 && in_span) carried_array = true;
+    }
+  }
+
+  if (reduction_only != nullptr)
+    *reduction_only = serial && !general_recurrence && !nonscalar_serial;
+  if (serial) return LoopType::Serial;
+  if (carried_array) return LoopType::DoAcross;
+  return LoopType::DoAll;
+}
+
+bool body_has_conds(const Stmt& loop) {
+  for (const auto& st : loop.body) {
+    if (st->kind == StmtKind::IfBreak) return true;
+    if (st->kind == StmtKind::Assign && expr_has_minmax(*st->rhs)) return true;
+  }
+  return false;
+}
+
+void walk(const Stmt& st, const Program& prog, int depth,
+          std::vector<InnerLoopSummary>& out) {
+  if (st.kind != StmtKind::Loop) return;
+  bool has_inner = false;
+  for (const auto& inner : st.body)
+    if (inner->kind == StmtKind::Loop) has_inner = true;
+  if (has_inner) {
+    for (const auto& inner : st.body) walk(*inner, prog, depth + 1, out);
+    return;
+  }
+  InnerLoopSummary s;
+  s.var = st.loop_var;
+  s.nest_depth = depth;
+  s.body_stmts = static_cast<int>(st.body.size());
+  s.type = classify_body(st, prog, &s.reduction_only);
+  s.has_conds = body_has_conds(st);
+  out.push_back(s);
+}
+
+}  // namespace
+
+std::vector<InnerLoopSummary> classify_innermost_loops(const Program& program) {
+  std::vector<InnerLoopSummary> out;
+  for (const auto& st : program.stmts) walk(*st, program, 1, out);
+  return out;
+}
+
+}  // namespace ilp::dsl

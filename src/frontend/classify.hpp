@@ -1,0 +1,45 @@
+// KAP-style classification of innermost loops (paper Table 2): DOALL,
+// DOACROSS, or serial, plus the Conds flag and source-size metadata.
+//
+// Rules (applied to each innermost loop):
+//   * A scalar defined in terms of its own previous value is a recurrence:
+//     reductions (s = s + e, s = s - e, s = max/min(s, e)) and general
+//     recurrences both make the loop *serial* (the paper's dotprod/maxval
+//     loops are listed serial; their recurrences are exactly what Lev4's
+//     expansion transformations remove).
+//   * Affine array subscripts are compared store-vs-reference; a constant
+//     nonzero iteration distance makes the loop DOACROSS, distance zero is
+//     iteration-local, a non-affine or coefficient-mismatched pair is
+//     conservatively serial.
+//   * A scalar read before it is (re)written in the body carries a value
+//     across iterations: serial.
+//   * Otherwise the loop is DOALL.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "frontend/ast.hpp"
+
+namespace ilp::dsl {
+
+enum class LoopType { DoAll, DoAcross, Serial };
+
+[[nodiscard]] const char* loop_type_name(LoopType t);
+
+struct InnerLoopSummary {
+  std::string var;
+  int nest_depth = 1;     // 1 = not nested
+  int body_stmts = 0;     // statement count of the innermost body ("Size")
+  LoopType type = LoopType::DoAll;
+  bool has_conds = false; // if-break or max/min updates present
+  // Serial loops whose only recurrences are sum/product/max/min reductions:
+  // exactly the class Lev4's expansion transformations can fix (serial loops
+  // with general recurrences stay serial at every level).
+  bool reduction_only = false;
+};
+
+// Summaries for every innermost loop in the program, in source order.
+std::vector<InnerLoopSummary> classify_innermost_loops(const Program& program);
+
+}  // namespace ilp::dsl

@@ -1,0 +1,40 @@
+// Semantic analysis and lowering of the DSL AST to IR.
+//
+// Lowering is deliberately naive — subscript arithmetic is recomputed at
+// every reference, scalars live in fixed registers, loops are rotated into
+// guard + do-while form — because the paper's "Conv" baseline (constant/copy
+// propagation, CSE, LICM, induction-variable strength reduction/elimination)
+// is what turns this into the tight pointer-bumping loops of the paper's
+// examples.  Assignments evaluate into the target's register directly so
+// reductions keep the canonical "s = s + x" single-register shape the
+// expansion transformations pattern-match.
+//
+// Loop semantics: `loop i = lo to hi [step s]` iterates i = lo, lo+s, ...
+// while i <= hi (s > 0) or i >= hi (s < 0); zero-trip loops are skipped by a
+// guard branch.  `if (...) break;` exits the innermost enclosing loop (a
+// superblock side exit).  max()/min() lower to select-form FMAX/FMIN/IMAX/
+// IMIN — the if-converted shape search variable expansion operates on.
+#pragma once
+
+#include <optional>
+
+#include "frontend/ast.hpp"
+#include "ir/function.hpp"
+#include "support/diagnostics.hpp"
+
+namespace ilp::dsl {
+
+struct CompileResult {
+  Function fn{"dsl"};
+  // Scalar name -> register (for tests and harness observation).
+  std::vector<std::pair<std::string, Reg>> scalar_regs;
+};
+
+// Lowers a parsed program; returns nullopt (with diagnostics) on semantic
+// errors.  `out` scalars become the function's live-out registers.
+std::optional<CompileResult> lower(const Program& program, DiagnosticEngine& diags);
+
+// Convenience: parse + lower.
+std::optional<CompileResult> compile(std::string_view source, DiagnosticEngine& diags);
+
+}  // namespace ilp::dsl

@@ -1,0 +1,199 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "support/strings.hpp"
+
+namespace ilp {
+
+const char* token_name(Tok t) {
+  switch (t) {
+    case Tok::End: return "end of input";
+    case Tok::Ident: return "identifier";
+    case Tok::IntLit: return "integer literal";
+    case Tok::FpLit: return "fp literal";
+    case Tok::KwProgram: return "'program'";
+    case Tok::KwArray: return "'array'";
+    case Tok::KwScalar: return "'scalar'";
+    case Tok::KwLoop: return "'loop'";
+    case Tok::KwTo: return "'to'";
+    case Tok::KwStep: return "'step'";
+    case Tok::KwIf: return "'if'";
+    case Tok::KwBreak: return "'break'";
+    case Tok::KwFp: return "'fp'";
+    case Tok::KwInt: return "'int'";
+    case Tok::KwOut: return "'out'";
+    case Tok::KwInit: return "'init'";
+    case Tok::KwMax: return "'max'";
+    case Tok::KwMin: return "'min'";
+    case Tok::LBrace: return "'{'";
+    case Tok::RBrace: return "'}'";
+    case Tok::LBracket: return "'['";
+    case Tok::RBracket: return "']'";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::Comma: return "','";
+    case Tok::Semi: return "';'";
+    case Tok::Assign: return "'='";
+    case Tok::Plus: return "'+'";
+    case Tok::Minus: return "'-'";
+    case Tok::Star: return "'*'";
+    case Tok::Slash: return "'/'";
+    case Tok::Percent: return "'%'";
+    case Tok::Lt: return "'<'";
+    case Tok::Le: return "'<='";
+    case Tok::Gt: return "'>'";
+    case Tok::Ge: return "'>='";
+    case Tok::EqEq: return "'=='";
+    case Tok::Ne: return "'!='";
+  }
+  return "?";
+}
+
+char Lexer::advance() {
+  const char c = src_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+  return c;
+}
+
+Token Lexer::lex_number() {
+  const SourceLoc loc = here();
+  std::string text;
+  bool is_fp = false;
+  while (!at_end() && (std::isdigit(static_cast<unsigned char>(peek())) || peek() == '.' ||
+                       peek() == 'e' || peek() == 'E' ||
+                       ((peek() == '+' || peek() == '-') && !text.empty() &&
+                        (text.back() == 'e' || text.back() == 'E')))) {
+    if (peek() == '.' || peek() == 'e' || peek() == 'E') is_fp = true;
+    text.push_back(advance());
+  }
+  Token t;
+  t.loc = loc;
+  if (is_fp) {
+    t.kind = Tok::FpLit;
+    t.fval = std::strtod(text.c_str(), nullptr);
+  } else {
+    t.kind = Tok::IntLit;
+    t.ival = std::strtoll(text.c_str(), nullptr, 10);
+  }
+  return t;
+}
+
+Token Lexer::lex_ident() {
+  static const std::unordered_map<std::string_view, Tok> kKeywords = {
+      {"program", Tok::KwProgram}, {"array", Tok::KwArray}, {"scalar", Tok::KwScalar},
+      {"loop", Tok::KwLoop},       {"to", Tok::KwTo},       {"step", Tok::KwStep},
+      {"if", Tok::KwIf},           {"break", Tok::KwBreak}, {"fp", Tok::KwFp},
+      {"int", Tok::KwInt},         {"out", Tok::KwOut},     {"init", Tok::KwInit},
+      {"max", Tok::KwMax},         {"min", Tok::KwMin},
+  };
+  const SourceLoc loc = here();
+  std::string text;
+  while (!at_end() && (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_'))
+    text.push_back(advance());
+  Token t;
+  t.loc = loc;
+  const auto it = kKeywords.find(text);
+  if (it != kKeywords.end()) {
+    t.kind = it->second;
+  } else {
+    t.kind = Tok::Ident;
+    t.text = std::move(text);
+  }
+  return t;
+}
+
+std::vector<Token> Lexer::lex_all() {
+  std::vector<Token> out;
+  while (!at_end()) {
+    const char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+      continue;
+    }
+    if (c == '#') {
+      while (!at_end() && peek() != '\n') advance();
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      out.push_back(lex_number());
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      out.push_back(lex_ident());
+      continue;
+    }
+    const SourceLoc loc = here();
+    advance();
+    auto push = [&](Tok k) {
+      Token t;
+      t.kind = k;
+      t.loc = loc;
+      out.push_back(t);
+    };
+    switch (c) {
+      case '{': push(Tok::LBrace); break;
+      case '}': push(Tok::RBrace); break;
+      case '[': push(Tok::LBracket); break;
+      case ']': push(Tok::RBracket); break;
+      case '(': push(Tok::LParen); break;
+      case ')': push(Tok::RParen); break;
+      case ',': push(Tok::Comma); break;
+      case ';': push(Tok::Semi); break;
+      case '+': push(Tok::Plus); break;
+      case '-': push(Tok::Minus); break;
+      case '*': push(Tok::Star); break;
+      case '/': push(Tok::Slash); break;
+      case '%': push(Tok::Percent); break;
+      case '=':
+        if (peek() == '=') {
+          advance();
+          push(Tok::EqEq);
+        } else {
+          push(Tok::Assign);
+        }
+        break;
+      case '<':
+        if (peek() == '=') {
+          advance();
+          push(Tok::Le);
+        } else {
+          push(Tok::Lt);
+        }
+        break;
+      case '>':
+        if (peek() == '=') {
+          advance();
+          push(Tok::Ge);
+        } else {
+          push(Tok::Gt);
+        }
+        break;
+      case '!':
+        if (peek() == '=') {
+          advance();
+          push(Tok::Ne);
+        } else {
+          diags_->error(loc, "stray '!'");
+        }
+        break;
+      default:
+        diags_->error(loc, strformat("unexpected character '%c'", c));
+        break;
+    }
+  }
+  Token end;
+  end.kind = Tok::End;
+  end.loc = here();
+  out.push_back(end);
+  return out;
+}
+
+}  // namespace ilp

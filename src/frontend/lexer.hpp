@@ -1,0 +1,37 @@
+// Hand-written lexer for the loop-nest DSL.  '#' starts a to-end-of-line
+// comment.  Numbers with '.', 'e'/'E' exponents are fp literals.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "frontend/token.hpp"
+#include "support/diagnostics.hpp"
+
+namespace ilp {
+
+class Lexer {
+ public:
+  Lexer(std::string_view src, DiagnosticEngine& diags) : src_(src), diags_(&diags) {}
+
+  // Lexes the whole input; the final token is Tok::End.  On error, reports a
+  // diagnostic and skips the offending character.
+  std::vector<Token> lex_all();
+
+ private:
+  [[nodiscard]] bool at_end() const { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek() const { return at_end() ? '\0' : src_[pos_]; }
+  char advance();
+  [[nodiscard]] SourceLoc here() const { return SourceLoc{line_, col_}; }
+
+  Token lex_number();
+  Token lex_ident();
+
+  std::string_view src_;
+  DiagnosticEngine* diags_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace ilp

@@ -1,0 +1,31 @@
+// Recursive-descent parser for the loop-nest DSL.
+//
+// Grammar (EBNF; '#' comments, newline-insensitive):
+//
+//   program   := "program" IDENT decl* stmt*
+//   decl      := "array" IDENT "[" INT "]" ("[" INT "]")? ("fp"|"int")
+//              | "scalar" IDENT ("fp"|"int") ("init" number)? ("out")?
+//   stmt      := loop | assign | ifbreak
+//   loop      := "loop" IDENT "=" expr "to" expr ("step" INT)? "{" stmt* "}"
+//   assign    := lvalue "=" expr ";"
+//   ifbreak   := "if" "(" expr relop expr ")" "break" ";"
+//   lvalue    := IDENT ("[" expr "]" ("[" expr "]")?)?
+//   expr      := term (("+"|"-") term)*
+//   term      := factor (("*"|"/"|"%") factor)*
+//   factor    := number | lvalue | "(" expr ")" | "-" factor
+//              | ("max"|"min") "(" expr "," expr ")"
+//   relop     := "<" | "<=" | ">" | ">=" | "==" | "!="
+#pragma once
+
+#include <optional>
+
+#include "frontend/ast.hpp"
+#include "frontend/token.hpp"
+
+namespace ilp::dsl {
+
+// Parses source text into an AST; returns nullopt (with diagnostics) on
+// syntax errors.
+std::optional<Program> parse(std::string_view source, DiagnosticEngine& diags);
+
+}  // namespace ilp::dsl

@@ -1,0 +1,68 @@
+// Token definitions for the loop-nest DSL.
+//
+// The DSL expresses the paper's workload shape: FORTRAN-style loop nests over
+// arrays with affine subscripts, scalar reductions, max/min searches, and
+// data-dependent early exits.  See frontend/parser.hpp for the grammar.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/diagnostics.hpp"
+
+namespace ilp {
+
+enum class Tok : std::uint8_t {
+  End,
+  Ident,
+  IntLit,
+  FpLit,
+  // Keywords
+  KwProgram,
+  KwArray,
+  KwScalar,
+  KwLoop,
+  KwTo,
+  KwStep,
+  KwIf,
+  KwBreak,
+  KwFp,
+  KwInt,
+  KwOut,
+  KwInit,
+  KwMax,
+  KwMin,
+  // Punctuation / operators
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  LParen,
+  RParen,
+  Comma,
+  Semi,
+  Assign,  // =
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  EqEq,
+  Ne,
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;        // identifier spelling
+  std::int64_t ival = 0;   // IntLit value
+  double fval = 0.0;       // FpLit value
+  SourceLoc loc;
+};
+
+[[nodiscard]] const char* token_name(Tok t);
+
+}  // namespace ilp

@@ -1,0 +1,84 @@
+#include "harness/experiment.hpp"
+
+#include <cstdio>
+
+#include "frontend/compile.hpp"
+#include "sim/simulator.hpp"
+#include "support/assert.hpp"
+
+namespace ilp {
+
+CompiledLoop compile_workload(const Workload& w, OptLevel level, const MachineModel& m,
+                              const CompileOptions& opts) {
+  DiagnosticEngine diags;
+  auto r = dsl::compile(w.source, diags);
+  ILP_ASSERT(r.has_value(), "workload source must compile");
+  compile_at_level(r->fn, level, m, opts);
+  CompiledLoop out;
+  out.fn = std::move(r->fn);
+  out.regs = measure_register_usage(out.fn);
+  return out;
+}
+
+std::uint64_t simulate_cycles(const Function& fn, const MachineModel& m) {
+  const RunOutcome out = run_seeded(fn, m);
+  ILP_ASSERT(out.result.ok, out.result.error.c_str());
+  return out.result.cycles;
+}
+
+StudyResult run_study(const std::vector<Workload>& workloads, const StudyOptions& opts) {
+  StudyResult res;
+  for (const Workload& w : workloads) {
+    LoopStudy ls;
+    ls.name = w.name;
+    ls.group = w.group;
+    ls.type = w.type;
+    ls.conds = w.conds;
+    for (std::size_t li = 0; li < kLevels.size(); ++li) {
+      for (std::size_t wi = 0; wi < kIssueWidths.size(); ++wi) {
+        const MachineModel m = MachineModel::issue(kIssueWidths[wi]);
+        const CompiledLoop c = compile_workload(w, kLevels[li], m, opts.compile);
+        ls.cycles[li][wi] = simulate_cycles(c.fn, m);
+        if (kIssueWidths[wi] == 8) ls.regs[li] = c.regs;
+      }
+    }
+    if (opts.verbose)
+      std::fprintf(stderr, "  %-12s base=%llu lev4@8=%llu\n", ls.name.c_str(),
+                   static_cast<unsigned long long>(ls.base_cycles()),
+                   static_cast<unsigned long long>(ls.cycles[4][3]));
+    res.loops.push_back(std::move(ls));
+  }
+  return res;
+}
+
+StudyResult run_study(const StudyOptions& opts) { return run_study(workload_suite(), opts); }
+
+double StudyResult::mean_speedup(OptLevel level, int width_index) const {
+  if (loops.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& l : loops) sum += l.speedup(level, width_index);
+  return sum / static_cast<double>(loops.size());
+}
+
+double StudyResult::mean_speedup_where(OptLevel level, int width_index,
+                                       bool doall_only) const {
+  double sum = 0.0;
+  int n = 0;
+  for (const auto& l : loops) {
+    const bool is_doall = l.type == dsl::LoopType::DoAll;
+    if (is_doall != doall_only) continue;
+    sum += l.speedup(level, width_index);
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+double StudyResult::mean_registers(OptLevel level) const {
+  if (loops.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& l : loops)
+    sum += l.regs[static_cast<std::size_t>(level)].total();
+  return sum / static_cast<double>(loops.size());
+}
+
+}  // namespace ilp

@@ -1,0 +1,81 @@
+// The paper's experimental methodology (Section 3.1), end to end:
+//
+//   for each of the 40 loop nests
+//     for each transformation level Conv..Lev4
+//       compile (front end -> Conv -> ILP transformations -> superblock
+//       scheduling), measure graph-coloring register usage, and run the
+//       execution-driven simulator at issue rates 1, 2, 4, 8.
+//
+// Speedups are relative to the issue-1 processor with conventional
+// optimizations, exactly as in the paper ("the base configuration for all
+// speedup calculations is an issue-1 processor with conventional compiler
+// transformations"), so super-linear speedups can occur.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "regalloc/regalloc.hpp"
+#include "trans/level.hpp"
+#include "workloads/suite.hpp"
+
+namespace ilp {
+
+inline constexpr std::array<int, 4> kIssueWidths = {1, 2, 4, 8};
+inline constexpr std::array<OptLevel, 5> kLevels = {
+    OptLevel::Conv, OptLevel::Lev1, OptLevel::Lev2, OptLevel::Lev3, OptLevel::Lev4};
+
+struct LoopStudy {
+  std::string name;
+  std::string group;
+  dsl::LoopType type = dsl::LoopType::DoAll;
+  bool conds = false;
+
+  // cycles[level][width-index]; width indices follow kIssueWidths.
+  std::array<std::array<std::uint64_t, 4>, 5> cycles{};
+  // Register usage of the code compiled for the issue-8 machine, per level
+  // (Figure 11 reports usage for the issue-8 configuration).
+  std::array<RegUsage, 5> regs{};
+
+  [[nodiscard]] std::uint64_t base_cycles() const { return cycles[0][0]; }
+  [[nodiscard]] double speedup(OptLevel level, int width_index) const {
+    const auto c = cycles[static_cast<std::size_t>(level)][static_cast<std::size_t>(
+        width_index)];
+    return c == 0 ? 0.0 : static_cast<double>(base_cycles()) / static_cast<double>(c);
+  }
+};
+
+struct StudyOptions {
+  CompileOptions compile;   // unroll limits etc.
+  bool verbose = false;     // progress lines to stderr
+};
+
+struct StudyResult {
+  std::vector<LoopStudy> loops;
+
+  [[nodiscard]] double mean_speedup(OptLevel level, int width_index) const;
+  // Subset means (Figures 12/14): predicate over loop type.
+  [[nodiscard]] double mean_speedup_where(OptLevel level, int width_index,
+                                          bool doall_only) const;
+  [[nodiscard]] double mean_registers(OptLevel level) const;
+};
+
+// Runs the full study over the Table 2 suite (or a caller-provided subset).
+StudyResult run_study(const StudyOptions& opts = {});
+StudyResult run_study(const std::vector<Workload>& workloads,
+                      const StudyOptions& opts = {});
+
+// Compiles one workload at one level for one machine; exposed for benches.
+struct CompiledLoop {
+  Function fn{"x"};
+  RegUsage regs;
+};
+CompiledLoop compile_workload(const Workload& w, OptLevel level, const MachineModel& m,
+                              const CompileOptions& opts = {});
+
+// Simulates a compiled loop on seeded memory; returns cycle count.
+std::uint64_t simulate_cycles(const Function& fn, const MachineModel& m);
+
+}  // namespace ilp

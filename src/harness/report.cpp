@@ -1,0 +1,185 @@
+#include "harness/report.hpp"
+
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace ilp {
+
+namespace {
+
+std::vector<Bucket> make_buckets(const std::vector<std::pair<double, double>>& edges) {
+  std::vector<Bucket> out;
+  for (const auto& [lo, hi] : edges) {
+    Bucket b;
+    b.lo = lo;
+    b.hi = hi;
+    if (hi <= 0)
+      b.label = strformat("%.2f+", lo);
+    else
+      b.label = strformat("%.2f-%.2f", lo, hi - 0.01);
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+std::vector<Bucket> make_int_buckets(const std::vector<std::pair<int, int>>& edges) {
+  std::vector<Bucket> out;
+  for (const auto& [lo, hi] : edges) {
+    Bucket b;
+    b.lo = lo;
+    b.hi = hi <= 0 ? 0 : hi;
+    b.label = hi <= 0 ? strformat("%d+", lo) : strformat("%d-%d", lo, hi - 1);
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+bool keeps(const LoopStudy& l, LoopFilter f) {
+  switch (f) {
+    case LoopFilter::All: return true;
+    case LoopFilter::DoAllOnly: return l.type == dsl::LoopType::DoAll;
+    case LoopFilter::NonDoAllOnly: return l.type != dsl::LoopType::DoAll;
+  }
+  return true;
+}
+
+int bucket_of(const std::vector<Bucket>& buckets, double v) {
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const Bucket& b = buckets[i];
+    if (b.hi <= 0) {
+      if (v >= b.lo) return static_cast<int>(i);
+    } else if (v >= b.lo && v < b.hi) {
+      return static_cast<int>(i);
+    }
+  }
+  return v < buckets.front().lo ? 0 : static_cast<int>(buckets.size()) - 1;
+}
+
+}  // namespace
+
+const std::vector<Bucket>& fig8_speedup_buckets() {
+  static const auto b = make_buckets({{0.0, 1.25},
+                                      {1.25, 1.50},
+                                      {1.50, 1.75},
+                                      {1.75, 2.00},
+                                      {2.00, 2.50},
+                                      {2.50, 3.00},
+                                      {3.00, -1}});
+  return b;
+}
+
+const std::vector<Bucket>& fig9_speedup_buckets() {
+  static const auto b = make_buckets({{0.0, 1.50},
+                                      {1.50, 2.00},
+                                      {2.00, 2.50},
+                                      {2.50, 3.00},
+                                      {3.00, 3.50},
+                                      {3.50, 4.00},
+                                      {4.00, 5.00},
+                                      {5.00, 6.00},
+                                      {6.00, -1}});
+  return b;
+}
+
+const std::vector<Bucket>& fig10_speedup_buckets() {
+  static const auto b = make_buckets({{0.0, 2.00},
+                                      {2.00, 2.50},
+                                      {2.50, 3.00},
+                                      {3.00, 4.00},
+                                      {4.00, 5.00},
+                                      {5.00, 6.00},
+                                      {6.00, 7.00},
+                                      {7.00, 8.00},
+                                      {8.00, -1}});
+  return b;
+}
+
+const std::vector<Bucket>& fig11_register_buckets() {
+  static const auto b = make_int_buckets(
+      {{0, 16}, {16, 32}, {32, 48}, {48, 64}, {64, 96}, {96, 128}, {128, -1}});
+  return b;
+}
+
+Histogram speedup_histogram(const StudyResult& study, int width_index,
+                            const std::vector<Bucket>& buckets, LoopFilter filter) {
+  Histogram h;
+  h.buckets = buckets;
+  h.counts.assign(buckets.size(), {});
+  for (const auto& l : study.loops) {
+    if (!keeps(l, filter)) continue;
+    for (std::size_t li = 0; li < kLevels.size(); ++li) {
+      const double s = l.speedup(kLevels[li], width_index);
+      ++h.counts[static_cast<std::size_t>(bucket_of(buckets, s))][li];
+    }
+  }
+  return h;
+}
+
+Histogram register_histogram(const StudyResult& study, LoopFilter filter) {
+  Histogram h;
+  h.buckets = fig11_register_buckets();
+  h.counts.assign(h.buckets.size(), {});
+  for (const auto& l : study.loops) {
+    if (!keeps(l, filter)) continue;
+    for (std::size_t li = 0; li < kLevels.size(); ++li) {
+      const double r = l.regs[li].total();
+      ++h.counts[static_cast<std::size_t>(bucket_of(h.buckets, r))][li];
+    }
+  }
+  return h;
+}
+
+std::string render_histogram(const Histogram& h, const std::string& title) {
+  std::ostringstream os;
+  os << title << "\n";
+  os << pad_right("range", 14);
+  for (OptLevel l : kLevels) os << pad_left(level_name(l), 7);
+  os << "\n";
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    os << pad_right(h.buckets[i].label, 14);
+    for (std::size_t li = 0; li < kLevels.size(); ++li)
+      os << pad_left(strformat("%d", h.counts[i][li]), 7);
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string render_speedup_table(const StudyResult& study, int width_index) {
+  std::ostringstream os;
+  os << pad_right("loop", 14) << pad_right("type", 10);
+  for (OptLevel l : kLevels) os << pad_left(level_name(l), 8);
+  os << "\n";
+  for (const auto& l : study.loops) {
+    os << pad_right(l.name, 14) << pad_right(dsl::loop_type_name(l.type), 10);
+    for (OptLevel lvl : kLevels)
+      os << pad_left(strformat("%.2f", l.speedup(lvl, width_index)), 8);
+    os << "\n";
+  }
+  os << pad_right("MEAN", 24);
+  for (OptLevel lvl : kLevels)
+    os << pad_left(strformat("%.2f", study.mean_speedup(lvl, width_index)), 8);
+  os << "\n";
+  return os.str();
+}
+
+std::string render_table2() {
+  std::ostringstream os;
+  os << pad_right("Name", 14) << pad_left("Size", 6) << pad_left("Iters", 8)
+     << pad_left("Nest", 6) << pad_right("  Type", 11) << pad_right("Conds", 6) << "\n";
+  std::string group;
+  for (const auto& w : workload_suite()) {
+    if (w.group != group) {
+      group = w.group;
+      os << "-- " << group << " --\n";
+    }
+    os << pad_right(w.name, 14) << pad_left(strformat("%d", w.size), 6)
+       << pad_left(strformat("%lld", static_cast<long long>(w.iters)), 8)
+       << pad_left(strformat("%d", w.nest), 6) << "  "
+       << pad_right(dsl::loop_type_name(w.type), 9) << pad_right(w.conds ? "yes" : "no", 6)
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ilp

@@ -1,0 +1,14 @@
+#include "ir/builder.hpp"
+
+#include "support/assert.hpp"
+
+namespace ilp {
+
+Instruction& IRBuilder::append(Instruction in) {
+  ILP_ASSERT(cur_ != kNoBlock, "IRBuilder: no current block");
+  auto& insts = fn_.block(cur_).insts;
+  insts.push_back(in);
+  return insts.back();
+}
+
+}  // namespace ilp

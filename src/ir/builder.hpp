@@ -1,0 +1,141 @@
+// Fluent construction of IR functions.
+//
+// Used by the front end's lowering phase, the workload suite, tests, and the
+// transformations when they synthesize preheader/cleanup code.
+#pragma once
+
+#include "ir/function.hpp"
+#include "ir/instruction.hpp"
+
+namespace ilp {
+
+class IRBuilder {
+ public:
+  explicit IRBuilder(Function& fn) : fn_(fn) {}
+
+  [[nodiscard]] Function& function() { return fn_; }
+
+  BlockId create_block(std::string name) { return fn_.add_block(std::move(name)); }
+  void set_block(BlockId id) { cur_ = id; }
+  [[nodiscard]] BlockId current_block() const { return cur_; }
+
+  Reg new_int_reg() { return fn_.new_int_reg(); }
+  Reg new_fp_reg() { return fn_.new_fp_reg(); }
+
+  // Appends `in` to the current block and returns a reference to it.
+  Instruction& append(Instruction in);
+
+  // Integer arithmetic -------------------------------------------------------
+  Reg iadd(Reg a, Reg b) { return emit_bin(Opcode::IADD, a, b); }
+  Reg iaddi(Reg a, std::int64_t k) { return emit_bini(Opcode::IADD, a, k); }
+  Reg isub(Reg a, Reg b) { return emit_bin(Opcode::ISUB, a, b); }
+  Reg isubi(Reg a, std::int64_t k) { return emit_bini(Opcode::ISUB, a, k); }
+  Reg imul(Reg a, Reg b) { return emit_bin(Opcode::IMUL, a, b); }
+  Reg imuli(Reg a, std::int64_t k) { return emit_bini(Opcode::IMUL, a, k); }
+  Reg idiv(Reg a, Reg b) { return emit_bin(Opcode::IDIV, a, b); }
+  Reg idivi(Reg a, std::int64_t k) { return emit_bini(Opcode::IDIV, a, k); }
+  Reg iremi(Reg a, std::int64_t k) { return emit_bini(Opcode::IREM, a, k); }
+  Reg irem(Reg a, Reg b) { return emit_bin(Opcode::IREM, a, b); }
+  Reg ishli(Reg a, std::int64_t k) { return emit_bini(Opcode::ISHL, a, k); }
+  Reg imax(Reg a, Reg b) { return emit_bin(Opcode::IMAX, a, b); }
+  Reg imin(Reg a, Reg b) { return emit_bin(Opcode::IMIN, a, b); }
+  Reg imov(Reg a) { return emit_un(Opcode::IMOV, a); }
+  Reg ldi(std::int64_t v) {
+    Reg d = new_int_reg();
+    append(make_ldi(d, v));
+    return d;
+  }
+  // In-place variants writing a caller-chosen destination.
+  void iadd_to(Reg dst, Reg a, Reg b) { append(make_binary(Opcode::IADD, dst, a, b)); }
+  void iaddi_to(Reg dst, Reg a, std::int64_t k) {
+    append(make_binary_imm(Opcode::IADD, dst, a, k));
+  }
+  void imov_to(Reg dst, Reg a) { append(make_unary(Opcode::IMOV, dst, a)); }
+  void ldi_to(Reg dst, std::int64_t v) { append(make_ldi(dst, v)); }
+
+  // Floating point ------------------------------------------------------------
+  Reg fadd(Reg a, Reg b) { return emit_bin(Opcode::FADD, a, b); }
+  Reg fsub(Reg a, Reg b) { return emit_bin(Opcode::FSUB, a, b); }
+  Reg fsubi(Reg a, double k) { return emit_binf(Opcode::FSUB, a, k); }
+  Reg faddi(Reg a, double k) { return emit_binf(Opcode::FADD, a, k); }
+  Reg fmul(Reg a, Reg b) { return emit_bin(Opcode::FMUL, a, b); }
+  Reg fmuli(Reg a, double k) { return emit_binf(Opcode::FMUL, a, k); }
+  Reg fdiv(Reg a, Reg b) { return emit_bin(Opcode::FDIV, a, b); }
+  Reg fdivi(Reg a, double k) { return emit_binf(Opcode::FDIV, a, k); }
+  Reg fmax(Reg a, Reg b) { return emit_bin(Opcode::FMAX, a, b); }
+  Reg fmin(Reg a, Reg b) { return emit_bin(Opcode::FMIN, a, b); }
+  Reg fmov(Reg a) { return emit_un(Opcode::FMOV, a); }
+  Reg fneg(Reg a) { return emit_un(Opcode::FNEG, a); }
+  Reg itof(Reg a) { return emit_un(Opcode::ITOF, a); }
+  Reg ftoi(Reg a) { return emit_un(Opcode::FTOI, a); }
+  Reg fldi(double v) {
+    Reg d = new_fp_reg();
+    append(make_fldi(d, v));
+    return d;
+  }
+  void fmov_to(Reg dst, Reg a) { append(make_unary(Opcode::FMOV, dst, a)); }
+  void fldi_to(Reg dst, double v) { append(make_fldi(dst, v)); }
+  void fadd_to(Reg dst, Reg a, Reg b) { append(make_binary(Opcode::FADD, dst, a, b)); }
+
+  // Memory ---------------------------------------------------------------------
+  Reg ld(Reg base, std::int64_t off, std::int32_t array_id) {
+    Reg d = new_int_reg();
+    append(make_load(Opcode::LD, d, base, off, array_id));
+    return d;
+  }
+  Reg fld(Reg base, std::int64_t off, std::int32_t array_id) {
+    Reg d = new_fp_reg();
+    append(make_load(Opcode::FLD, d, base, off, array_id));
+    return d;
+  }
+  void ld_to(Reg dst, Reg base, std::int64_t off, std::int32_t array_id) {
+    append(make_load(Opcode::LD, dst, base, off, array_id));
+  }
+  void fld_to(Reg dst, Reg base, std::int64_t off, std::int32_t array_id) {
+    append(make_load(Opcode::FLD, dst, base, off, array_id));
+  }
+  void st(Reg base, std::int64_t off, Reg value, std::int32_t array_id) {
+    append(make_store(Opcode::ST, base, off, value, array_id));
+  }
+  void fst(Reg base, std::int64_t off, Reg value, std::int32_t array_id) {
+    append(make_store(Opcode::FST, base, off, value, array_id));
+  }
+
+  // Control ---------------------------------------------------------------------
+  void br(Opcode op, Reg a, Reg b, BlockId target) { append(make_branch(op, a, b, target)); }
+  void bri(Opcode op, Reg a, std::int64_t k, BlockId target) {
+    append(make_branch_imm(op, a, k, target));
+  }
+  void brf(Opcode op, Reg a, double k, BlockId target) {
+    append(make_branch_fimm(op, a, k, target));
+  }
+  void jump(BlockId target) { append(make_jump(target)); }
+  void ret() { append(make_ret()); }
+
+ private:
+  Reg emit_bin(Opcode op, Reg a, Reg b) {
+    Reg d = fn_.new_reg(op_dest_is_fp(op) ? RegClass::Fp : RegClass::Int);
+    append(make_binary(op, d, a, b));
+    return d;
+  }
+  Reg emit_bini(Opcode op, Reg a, std::int64_t k) {
+    Reg d = fn_.new_int_reg();
+    append(make_binary_imm(op, d, a, k));
+    return d;
+  }
+  Reg emit_binf(Opcode op, Reg a, double k) {
+    Reg d = fn_.new_fp_reg();
+    append(make_binary_fimm(op, d, a, k));
+    return d;
+  }
+  Reg emit_un(Opcode op, Reg a) {
+    Reg d = fn_.new_reg(op_dest_is_fp(op) ? RegClass::Fp : RegClass::Int);
+    append(make_unary(op, d, a));
+    return d;
+  }
+
+  Function& fn_;
+  BlockId cur_ = kNoBlock;
+};
+
+}  // namespace ilp

@@ -1,0 +1,202 @@
+// A single RISC instruction.
+//
+// Encoding conventions:
+//   arithmetic   dst = src1 op (src2 | imm)          (src2_is_imm selects)
+//   unary        dst = op src1                        (IMOV/FMOV/INEG/FNEG/ITOF/FTOI)
+//   constants    dst = imm                            (LDI uses ival, FLDI fval)
+//   loads        dst = MEM[src1 + ival]               (array_id = alias set)
+//   stores       MEM[src1 + ival] = src2
+//   branches     if (src1 cmp (src2|imm)) goto target
+//   jump/ret     goto target / leave function
+//
+// `uid` is a function-unique id assigned by Function::renumber(); analyses use
+// it as a stable key across pass-internal reordering.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/opcode.hpp"
+#include "ir/reg.hpp"
+#include "support/assert.hpp"
+
+namespace ilp {
+
+using BlockId = std::uint32_t;
+inline constexpr BlockId kNoBlock = 0xffffffffu;
+
+// Alias-set id for memory operations; kMayAliasAll means "unknown, conflicts
+// with everything".  Front-end-known arrays get non-negative ids.
+inline constexpr std::int32_t kMayAliasAll = -1;
+
+struct Instruction {
+  Opcode op = Opcode::NOP;
+  Reg dst;
+  Reg src1;
+  Reg src2;
+  bool src2_is_imm = false;
+  std::int64_t ival = 0;   // int immediate / memory offset
+  double fval = 0.0;       // fp immediate
+  std::int32_t array_id = kMayAliasAll;
+  BlockId target = kNoBlock;
+  std::uint32_t uid = 0;
+
+  [[nodiscard]] bool has_dest() const { return op_has_dest(op); }
+  [[nodiscard]] bool is_branch() const { return op_is_branch(op); }
+  [[nodiscard]] bool is_control() const { return op_is_control(op); }
+  [[nodiscard]] bool is_load() const { return op_is_load(op); }
+  [[nodiscard]] bool is_store() const { return op_is_store(op); }
+  [[nodiscard]] bool is_memory() const { return op_is_memory(op); }
+
+  // Registers read by this instruction (0..2 entries).
+  [[nodiscard]] std::vector<Reg> uses() const {
+    std::vector<Reg> out;
+    if (src1.valid()) out.push_back(src1);
+    if (src2.valid() && !src2_is_imm) out.push_back(src2);
+    return out;
+  }
+
+  // True if the instruction reads `r`.
+  [[nodiscard]] bool reads(const Reg& r) const {
+    return (src1.valid() && src1 == r) || (src2.valid() && !src2_is_imm && src2 == r);
+  }
+  // True if the instruction writes `r`.
+  [[nodiscard]] bool writes(const Reg& r) const { return has_dest() && dst == r; }
+
+  // Replaces every read of `from` with `to`.  Returns number of replacements.
+  int replace_uses(const Reg& from, const Reg& to) {
+    int n = 0;
+    if (src1.valid() && src1 == from) {
+      src1 = to;
+      ++n;
+    }
+    if (src2.valid() && !src2_is_imm && src2 == from) {
+      src2 = to;
+      ++n;
+    }
+    return n;
+  }
+};
+
+// Free-standing constructors keep call sites terse inside passes. -----------
+
+inline Instruction make_binary(Opcode op, Reg dst, Reg a, Reg b) {
+  ILP_ASSERT(op_is_binary_arith(op), "make_binary requires arithmetic opcode");
+  Instruction in;
+  in.op = op;
+  in.dst = dst;
+  in.src1 = a;
+  in.src2 = b;
+  return in;
+}
+
+inline Instruction make_binary_imm(Opcode op, Reg dst, Reg a, std::int64_t imm) {
+  ILP_ASSERT(op_is_binary_arith(op) && !op_dest_is_fp(op),
+             "make_binary_imm requires integer arithmetic opcode");
+  Instruction in;
+  in.op = op;
+  in.dst = dst;
+  in.src1 = a;
+  in.src2_is_imm = true;
+  in.ival = imm;
+  return in;
+}
+
+inline Instruction make_binary_fimm(Opcode op, Reg dst, Reg a, double imm) {
+  ILP_ASSERT(op_is_binary_arith(op) && op_dest_is_fp(op),
+             "make_binary_fimm requires fp arithmetic opcode");
+  Instruction in;
+  in.op = op;
+  in.dst = dst;
+  in.src1 = a;
+  in.src2_is_imm = true;
+  in.fval = imm;
+  return in;
+}
+
+inline Instruction make_unary(Opcode op, Reg dst, Reg a) {
+  Instruction in;
+  in.op = op;
+  in.dst = dst;
+  in.src1 = a;
+  return in;
+}
+
+inline Instruction make_ldi(Reg dst, std::int64_t v) {
+  Instruction in;
+  in.op = Opcode::LDI;
+  in.dst = dst;
+  in.ival = v;
+  return in;
+}
+
+inline Instruction make_fldi(Reg dst, double v) {
+  Instruction in;
+  in.op = Opcode::FLDI;
+  in.dst = dst;
+  in.fval = v;
+  return in;
+}
+
+inline Instruction make_load(Opcode op, Reg dst, Reg base, std::int64_t off,
+                             std::int32_t array_id) {
+  ILP_ASSERT(op_is_load(op), "make_load requires load opcode");
+  Instruction in;
+  in.op = op;
+  in.dst = dst;
+  in.src1 = base;
+  in.ival = off;
+  in.array_id = array_id;
+  return in;
+}
+
+inline Instruction make_store(Opcode op, Reg base, std::int64_t off, Reg value,
+                              std::int32_t array_id) {
+  ILP_ASSERT(op_is_store(op), "make_store requires store opcode");
+  Instruction in;
+  in.op = op;
+  in.src1 = base;
+  in.src2 = value;
+  in.ival = off;
+  in.array_id = array_id;
+  return in;
+}
+
+inline Instruction make_branch(Opcode op, Reg a, Reg b, BlockId target) {
+  ILP_ASSERT(op_is_branch(op), "make_branch requires branch opcode");
+  Instruction in;
+  in.op = op;
+  in.src1 = a;
+  in.src2 = b;
+  in.target = target;
+  return in;
+}
+
+inline Instruction make_branch_imm(Opcode op, Reg a, std::int64_t imm, BlockId target) {
+  Instruction in = make_branch(op, a, kNoReg, target);
+  in.src2_is_imm = true;
+  in.ival = imm;
+  return in;
+}
+
+inline Instruction make_branch_fimm(Opcode op, Reg a, double imm, BlockId target) {
+  Instruction in = make_branch(op, a, kNoReg, target);
+  in.src2_is_imm = true;
+  in.fval = imm;
+  return in;
+}
+
+inline Instruction make_jump(BlockId target) {
+  Instruction in;
+  in.op = Opcode::JUMP;
+  in.target = target;
+  return in;
+}
+
+inline Instruction make_ret() {
+  Instruction in;
+  in.op = Opcode::RET;
+  return in;
+}
+
+}  // namespace ilp

@@ -1,0 +1,212 @@
+#include "ir/opcode.hpp"
+
+#include "support/assert.hpp"
+
+namespace ilp {
+
+std::string_view opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::IADD: return "iadd";
+    case Opcode::ISUB: return "isub";
+    case Opcode::IMUL: return "imul";
+    case Opcode::IMULH: return "imulh";
+    case Opcode::IDIV: return "idiv";
+    case Opcode::IREM: return "irem";
+    case Opcode::ISHL: return "ishl";
+    case Opcode::ISHRA: return "ishra";
+    case Opcode::ISHRL: return "ishrl";
+    case Opcode::IAND: return "iand";
+    case Opcode::IOR: return "ior";
+    case Opcode::IXOR: return "ixor";
+    case Opcode::IMOV: return "imov";
+    case Opcode::INEG: return "ineg";
+    case Opcode::IMAX: return "imax";
+    case Opcode::IMIN: return "imin";
+    case Opcode::LDI: return "ldi";
+    case Opcode::FADD: return "fadd";
+    case Opcode::FSUB: return "fsub";
+    case Opcode::FMUL: return "fmul";
+    case Opcode::FDIV: return "fdiv";
+    case Opcode::FMOV: return "fmov";
+    case Opcode::FNEG: return "fneg";
+    case Opcode::FMAX: return "fmax";
+    case Opcode::FMIN: return "fmin";
+    case Opcode::FLDI: return "fldi";
+    case Opcode::ITOF: return "itof";
+    case Opcode::FTOI: return "ftoi";
+    case Opcode::LD: return "ld";
+    case Opcode::FLD: return "fld";
+    case Opcode::ST: return "st";
+    case Opcode::FST: return "fst";
+    case Opcode::BEQ: return "beq";
+    case Opcode::BNE: return "bne";
+    case Opcode::BLT: return "blt";
+    case Opcode::BLE: return "ble";
+    case Opcode::BGT: return "bgt";
+    case Opcode::BGE: return "bge";
+    case Opcode::FBEQ: return "fbeq";
+    case Opcode::FBNE: return "fbne";
+    case Opcode::FBLT: return "fblt";
+    case Opcode::FBLE: return "fble";
+    case Opcode::FBGT: return "fbgt";
+    case Opcode::FBGE: return "fbge";
+    case Opcode::JUMP: return "jump";
+    case Opcode::RET: return "ret";
+    case Opcode::NOP: return "nop";
+  }
+  ILP_UNREACHABLE("bad opcode");
+}
+
+bool op_is_branch(Opcode op) {
+  switch (op) {
+    case Opcode::BEQ:
+    case Opcode::BNE:
+    case Opcode::BLT:
+    case Opcode::BLE:
+    case Opcode::BGT:
+    case Opcode::BGE:
+    case Opcode::FBEQ:
+    case Opcode::FBNE:
+    case Opcode::FBLT:
+    case Opcode::FBLE:
+    case Opcode::FBGT:
+    case Opcode::FBGE:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool op_is_control(Opcode op) {
+  return op_is_branch(op) || op == Opcode::JUMP || op == Opcode::RET;
+}
+
+bool op_is_load(Opcode op) { return op == Opcode::LD || op == Opcode::FLD; }
+bool op_is_store(Opcode op) { return op == Opcode::ST || op == Opcode::FST; }
+bool op_is_memory(Opcode op) { return op_is_load(op) || op_is_store(op); }
+
+bool op_has_dest(Opcode op) {
+  if (op_is_control(op) || op_is_store(op) || op == Opcode::NOP) return false;
+  return true;
+}
+
+bool op_is_fp_compare(Opcode op) {
+  switch (op) {
+    case Opcode::FBEQ:
+    case Opcode::FBNE:
+    case Opcode::FBLT:
+    case Opcode::FBLE:
+    case Opcode::FBGT:
+    case Opcode::FBGE:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool op_is_binary_arith(Opcode op) {
+  switch (op) {
+    case Opcode::IADD:
+    case Opcode::ISUB:
+    case Opcode::IMUL:
+    case Opcode::IMULH:
+    case Opcode::IDIV:
+    case Opcode::IREM:
+    case Opcode::ISHL:
+    case Opcode::ISHRA:
+    case Opcode::ISHRL:
+    case Opcode::IAND:
+    case Opcode::IOR:
+    case Opcode::IXOR:
+    case Opcode::IMAX:
+    case Opcode::IMIN:
+    case Opcode::FADD:
+    case Opcode::FSUB:
+    case Opcode::FMUL:
+    case Opcode::FDIV:
+    case Opcode::FMAX:
+    case Opcode::FMIN:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool op_is_commutative(Opcode op) {
+  switch (op) {
+    case Opcode::IADD:
+    case Opcode::IMUL:
+    case Opcode::IMULH:
+    case Opcode::IAND:
+    case Opcode::IOR:
+    case Opcode::IXOR:
+    case Opcode::IMAX:
+    case Opcode::IMIN:
+    case Opcode::FADD:
+    case Opcode::FMUL:
+    case Opcode::FMAX:
+    case Opcode::FMIN:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool op_dest_is_fp(Opcode op) {
+  switch (op) {
+    case Opcode::FADD:
+    case Opcode::FSUB:
+    case Opcode::FMUL:
+    case Opcode::FDIV:
+    case Opcode::FMOV:
+    case Opcode::FNEG:
+    case Opcode::FMAX:
+    case Opcode::FMIN:
+    case Opcode::FLDI:
+    case Opcode::ITOF:
+    case Opcode::FLD:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Opcode op_invert_branch(Opcode op) {
+  switch (op) {
+    case Opcode::BEQ: return Opcode::BNE;
+    case Opcode::BNE: return Opcode::BEQ;
+    case Opcode::BLT: return Opcode::BGE;
+    case Opcode::BLE: return Opcode::BGT;
+    case Opcode::BGT: return Opcode::BLE;
+    case Opcode::BGE: return Opcode::BLT;
+    case Opcode::FBEQ: return Opcode::FBNE;
+    case Opcode::FBNE: return Opcode::FBEQ;
+    case Opcode::FBLT: return Opcode::FBGE;
+    case Opcode::FBLE: return Opcode::FBGT;
+    case Opcode::FBGT: return Opcode::FBLE;
+    case Opcode::FBGE: return Opcode::FBLT;
+    default:
+      ILP_UNREACHABLE("op_invert_branch on non-branch");
+  }
+}
+
+Opcode op_swap_branch(Opcode op) {
+  switch (op) {
+    case Opcode::BEQ: return Opcode::BEQ;
+    case Opcode::BNE: return Opcode::BNE;
+    case Opcode::BLT: return Opcode::BGT;
+    case Opcode::BLE: return Opcode::BGE;
+    case Opcode::BGT: return Opcode::BLT;
+    case Opcode::BGE: return Opcode::BLE;
+    case Opcode::FBEQ: return Opcode::FBEQ;
+    case Opcode::FBNE: return Opcode::FBNE;
+    case Opcode::FBLT: return Opcode::FBGT;
+    case Opcode::FBLE: return Opcode::FBGE;
+    case Opcode::FBGT: return Opcode::FBLT;
+    case Opcode::FBGE: return Opcode::FBLE;
+    default:
+      ILP_UNREACHABLE("op_swap_branch on non-branch");
+  }
+}
+
+}  // namespace ilp

@@ -1,0 +1,104 @@
+// Instruction opcodes for the RISC target ISA.
+//
+// The ISA mirrors the paper's assembly examples: a MIPS-R2000-like
+// register-register machine with integer and floating-point arithmetic,
+// [base + constant] addressing, and compare-and-branch control flow.
+// IMAX/IMIN/FMAX/FMIN are select-form conditional updates produced by
+// if-conversion of max/min search patterns during superblock formation;
+// search variable expansion (paper Section 2) operates on them.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ilp {
+
+enum class Opcode : std::uint8_t {
+  // Integer arithmetic/logical (Int ALU, latency 1 unless noted).
+  IADD,
+  ISUB,
+  IMUL,   // latency 3
+  IMULH,  // high 64 bits of signed product; latency 3 (MIPS-style HI)
+  IDIV,  // latency 10
+  IREM,  // latency 10
+  ISHL,
+  ISHRA,  // arithmetic shift right
+  ISHRL,  // logical shift right
+  IAND,
+  IOR,
+  IXOR,
+  IMOV,
+  INEG,
+  IMAX,
+  IMIN,
+  LDI,  // load integer immediate
+
+  // Floating point (FP ALU latency 3 unless noted).
+  FADD,
+  FSUB,
+  FMUL,  // latency 3
+  FDIV,  // latency 10
+  FMOV,  // register move, latency 1 (move unit)
+  FNEG,  // sign flip, latency 1
+  FMAX,
+  FMIN,
+  FLDI,  // load fp immediate, latency 1
+
+  // Conversions (latency 3).
+  ITOF,
+  FTOI,
+
+  // Memory (load latency 2, store latency 1).
+  LD,   // int load:  dst = MEM[src1 + imm]
+  FLD,  // fp load
+  ST,   // int store: MEM[src1 + imm] = src2
+  FST,  // fp store
+
+  // Control (latency 1, one branch slot per cycle).
+  BEQ,
+  BNE,
+  BLT,
+  BLE,
+  BGT,
+  BGE,
+  FBEQ,
+  FBNE,
+  FBLT,
+  FBLE,
+  FBGT,
+  FBGE,
+  JUMP,
+  RET,
+
+  NOP,
+};
+
+inline constexpr int kNumOpcodes = static_cast<int>(Opcode::NOP) + 1;
+
+[[nodiscard]] std::string_view opcode_name(Opcode op);
+
+// Structural predicates ------------------------------------------------------
+
+[[nodiscard]] bool op_is_branch(Opcode op);       // conditional branch
+[[nodiscard]] bool op_is_control(Opcode op);      // branch, jump, or ret
+[[nodiscard]] bool op_is_load(Opcode op);
+[[nodiscard]] bool op_is_store(Opcode op);
+[[nodiscard]] bool op_is_memory(Opcode op);
+[[nodiscard]] bool op_has_dest(Opcode op);
+[[nodiscard]] bool op_is_fp_compare(Opcode op);
+
+// True for two-source arithmetic ops (excludes moves, loads, control).
+[[nodiscard]] bool op_is_binary_arith(Opcode op);
+
+// Commutativity/associativity used by tree height reduction and combining.
+[[nodiscard]] bool op_is_commutative(Opcode op);
+
+// Destination register class for ops with a dest.
+[[nodiscard]] bool op_dest_is_fp(Opcode op);
+
+// Inverse / mirrored comparison for branch rewriting (e.g. BLT <-> BGE,
+// and BLT(a,b) == BGT(b,a)).
+[[nodiscard]] Opcode op_invert_branch(Opcode op);
+[[nodiscard]] Opcode op_swap_branch(Opcode op);
+
+}  // namespace ilp

@@ -1,0 +1,106 @@
+#include "ir/printer.hpp"
+
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace ilp {
+
+std::string to_string(const Reg& r) {
+  if (!r.valid()) return "r?.?";
+  return strformat("r%u.%c", r.id, r.cls == RegClass::Fp ? 'f' : 'i');
+}
+
+namespace {
+
+std::string mem_operand(const Instruction& in, const Function* fn) {
+  std::string base = to_string(in.src1);
+  const ArrayInfo* arr = fn ? fn->array(in.array_id) : nullptr;
+  std::ostringstream os;
+  os << "[" << base;
+  if (arr) {
+    os << " + " << arr->name;
+    const std::int64_t extra = in.ival - arr->base;
+    if (extra != 0) os << (extra > 0 ? "+" : "") << extra;
+  } else if (in.ival != 0) {
+    os << (in.ival > 0 ? " + " : " - ") << (in.ival > 0 ? in.ival : -in.ival);
+  }
+  os << "]";
+  return os.str();
+}
+
+std::string src2_operand(const Instruction& in, bool fp) {
+  if (!in.src2_is_imm) return to_string(in.src2);
+  if (fp) return strformat("%g", in.fval);
+  return strformat("%lld", static_cast<long long>(in.ival));
+}
+
+std::string block_label(const Function* fn, BlockId id) {
+  if (fn && id < fn->num_blocks()) return fn->block(id).name;
+  return strformat("B%u", id);
+}
+
+}  // namespace
+
+std::string to_string(const Instruction& in, const Function* fn) {
+  std::ostringstream os;
+  switch (in.op) {
+    case Opcode::LDI:
+      os << to_string(in.dst) << " = " << in.ival;
+      break;
+    case Opcode::FLDI:
+      os << to_string(in.dst) << " = " << strformat("%g", in.fval);
+      break;
+    case Opcode::IMOV:
+    case Opcode::FMOV:
+    case Opcode::INEG:
+    case Opcode::FNEG:
+    case Opcode::ITOF:
+    case Opcode::FTOI:
+      os << to_string(in.dst) << " = " << opcode_name(in.op) << " " << to_string(in.src1);
+      break;
+    case Opcode::LD:
+    case Opcode::FLD:
+      os << to_string(in.dst) << " = " << opcode_name(in.op) << " " << mem_operand(in, fn);
+      break;
+    case Opcode::ST:
+    case Opcode::FST:
+      os << opcode_name(in.op) << " " << mem_operand(in, fn) << " = " << to_string(in.src2);
+      break;
+    case Opcode::JUMP:
+      os << "jump -> " << block_label(fn, in.target);
+      break;
+    case Opcode::RET:
+      os << "ret";
+      break;
+    case Opcode::NOP:
+      os << "nop";
+      break;
+    default:
+      if (in.is_branch()) {
+        os << opcode_name(in.op) << " " << to_string(in.src1) << ", "
+           << src2_operand(in, op_is_fp_compare(in.op)) << " -> " << block_label(fn, in.target);
+      } else {
+        // Binary arithmetic.
+        os << to_string(in.dst) << " = " << opcode_name(in.op) << " " << to_string(in.src1)
+           << ", " << src2_operand(in, op_dest_is_fp(in.op));
+      }
+      break;
+  }
+  return os.str();
+}
+
+std::string to_string(const Function& fn) {
+  std::ostringstream os;
+  os << "function " << fn.name() << "\n";
+  for (const auto& arr : fn.arrays())
+    os << "  array " << arr.name << " base=" << arr.base << " elem=" << arr.elem_size
+       << " len=" << arr.length << (arr.is_fp ? " fp" : " int") << "\n";
+  for (const auto& b : fn.blocks()) {
+    os << b.name << ":\n";
+    for (const auto& in : b.insts) os << "  " << to_string(in, &fn) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ilp

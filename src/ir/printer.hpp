@@ -1,0 +1,23 @@
+// Textual rendering of IR for tests, debugging, and example output.
+#pragma once
+
+#include <string>
+
+#include "ir/function.hpp"
+
+namespace ilp {
+
+// "r12.i", "r4.f"
+std::string to_string(const Reg& r);
+
+// One-line instruction rendering, e.g.:
+//   "r4.f = fadd r2.f, r3.f"
+//   "r2.f = fld [r1.i + A]"       (offset folded into the symbol when known)
+//   "blt r1.i, r5.i -> L1"
+// `fn` supplies array names for symbolic memory operands; may be null.
+std::string to_string(const Instruction& in, const Function* fn = nullptr);
+
+// Full function listing with block labels.
+std::string to_string(const Function& fn);
+
+}  // namespace ilp

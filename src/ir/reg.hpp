@@ -1,0 +1,52 @@
+// Virtual registers.
+//
+// The modeled processor (paper Section 3.1) has an unlimited supply of
+// registers split into integer and floating-point classes; the compiler works
+// exclusively on virtual registers and the allocator reports how many are
+// needed.  A Reg is therefore (class, id) with ids dense per class.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace ilp {
+
+enum class RegClass : std::uint8_t { Int, Fp };
+
+struct Reg {
+  RegClass cls = RegClass::Int;
+  std::uint32_t id = kInvalidId;
+
+  static constexpr std::uint32_t kInvalidId = 0xffffffffu;
+
+  [[nodiscard]] bool valid() const { return id != kInvalidId; }
+  [[nodiscard]] bool is_int() const { return valid() && cls == RegClass::Int; }
+  [[nodiscard]] bool is_fp() const { return valid() && cls == RegClass::Fp; }
+
+  friend bool operator==(const Reg& a, const Reg& b) {
+    return a.cls == b.cls && a.id == b.id;
+  }
+  friend bool operator!=(const Reg& a, const Reg& b) { return !(a == b); }
+  friend bool operator<(const Reg& a, const Reg& b) {
+    if (a.cls != b.cls) return static_cast<int>(a.cls) < static_cast<int>(b.cls);
+    return a.id < b.id;
+  }
+};
+
+inline constexpr Reg kNoReg{};
+
+// Dense per-class key useful for indexing vectors sized by register count.
+struct RegKey {
+  [[nodiscard]] static std::size_t key(const Reg& r) {
+    // Interleave classes so a single dense table can hold both.
+    return (static_cast<std::size_t>(r.id) << 1) | (r.cls == RegClass::Fp ? 1u : 0u);
+  }
+};
+
+struct RegHash {
+  std::size_t operator()(const Reg& r) const {
+    return std::hash<std::size_t>()(RegKey::key(r));
+  }
+};
+
+}  // namespace ilp

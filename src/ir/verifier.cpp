@@ -1,0 +1,119 @@
+#include "ir/verifier.hpp"
+
+#include <cstdio>
+
+#include "ir/printer.hpp"
+#include "support/assert.hpp"
+#include "support/bitvector.hpp"
+#include "support/strings.hpp"
+
+namespace ilp {
+
+namespace {
+
+VerifyResult fail(const Function& fn, const Block& b, const Instruction& in,
+                  const char* why) {
+  VerifyResult r;
+  r.ok = false;
+  r.message = strformat("verify(%s): %s: in block %s: %s", fn.name().c_str(), why,
+                        b.name.c_str(), to_string(in, &fn).c_str());
+  return r;
+}
+
+bool operand_classes_ok(const Instruction& in) {
+  const Opcode op = in.op;
+  // Destination class.
+  if (in.has_dest()) {
+    if (!in.dst.valid()) return false;
+    if (op_dest_is_fp(op) != (in.dst.cls == RegClass::Fp)) return false;
+  }
+  // Sources by opcode family.
+  auto int_src = [](const Reg& r) { return r.valid() && r.cls == RegClass::Int; };
+  auto fp_src = [](const Reg& r) { return r.valid() && r.cls == RegClass::Fp; };
+  switch (op) {
+    case Opcode::LDI:
+    case Opcode::FLDI:
+    case Opcode::JUMP:
+    case Opcode::RET:
+    case Opcode::NOP:
+      return !in.src1.valid() && !in.src2.valid();
+    case Opcode::IMOV:
+    case Opcode::INEG:
+    case Opcode::FTOI:
+      return (op == Opcode::FTOI ? fp_src(in.src1) : int_src(in.src1)) && !in.src2.valid();
+    case Opcode::FMOV:
+    case Opcode::FNEG:
+      return fp_src(in.src1) && !in.src2.valid();
+    case Opcode::ITOF:
+      return int_src(in.src1) && !in.src2.valid();
+    case Opcode::LD:
+    case Opcode::FLD:
+      return int_src(in.src1) && !in.src2.valid();
+    case Opcode::ST:
+      return int_src(in.src1) && int_src(in.src2);
+    case Opcode::FST:
+      return int_src(in.src1) && fp_src(in.src2);
+    default:
+      break;
+  }
+  if (in.is_branch()) {
+    const bool fp = op_is_fp_compare(op);
+    if (!(fp ? fp_src(in.src1) : int_src(in.src1))) return false;
+    if (in.src2_is_imm) return !in.src2.valid();
+    return fp ? fp_src(in.src2) : int_src(in.src2);
+  }
+  if (op_is_binary_arith(op)) {
+    const bool fp = op_dest_is_fp(op);
+    if (!(fp ? fp_src(in.src1) : int_src(in.src1))) return false;
+    if (in.src2_is_imm) return !in.src2.valid();
+    return fp ? fp_src(in.src2) : int_src(in.src2);
+  }
+  return true;
+}
+
+}  // namespace
+
+VerifyResult verify(const Function& fn) {
+  if (fn.num_blocks() == 0) return {false, "function has no blocks"};
+
+  // Per-instruction structural checks.
+  bool saw_ret = false;
+  for (const auto& b : fn.blocks()) {
+    for (const auto& in : b.insts) {
+      if (!operand_classes_ok(in)) return fail(fn, b, in, "bad operand classes");
+      if ((in.is_branch() || in.op == Opcode::JUMP) && in.target >= fn.num_blocks())
+        return fail(fn, b, in, "branch to nonexistent block");
+      if (in.op == Opcode::RET) saw_ret = true;
+      if (in.is_memory() && in.array_id != kMayAliasAll && fn.array(in.array_id) == nullptr)
+        return fail(fn, b, in, "memory op references unknown array id");
+    }
+  }
+  if (!saw_ret) return {false, "function has no RET"};
+
+  // The last block in layout must not fall off the end of the function.
+  const Block& last = fn.blocks().back();
+  if (!last.has_terminator())
+    return {false, strformat("last block %s falls through past end of function",
+                             last.name.c_str())};
+
+  // Nothing should follow a JUMP/RET inside a block.
+  for (const auto& b : fn.blocks()) {
+    for (std::size_t i = 0; i + 1 < b.insts.size(); ++i) {
+      const Opcode op = b.insts[i].op;
+      if (op == Opcode::JUMP || op == Opcode::RET)
+        return fail(fn, b, b.insts[i], "unreachable code after terminator");
+    }
+  }
+  return {};
+}
+
+void verify_or_die(const Function& fn, const char* when) {
+  const VerifyResult r = verify(fn);
+  if (!r.ok) {
+    std::fprintf(stderr, "IR verification failed %s:\n%s\n%s\n", when, r.message.c_str(),
+                 to_string(fn).c_str());
+    ILP_ASSERT(false, "IR verification failed");
+  }
+}
+
+}  // namespace ilp

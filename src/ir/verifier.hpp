@@ -1,0 +1,25 @@
+// Structural IR verifier run between passes (and by tests).
+//
+// Checks, for every instruction, that operand presence/classes match the
+// opcode, that branch targets exist, that the function ends every path in
+// RET, and that no instruction reads a register that was never defined on
+// some path (a cheap forward "may be uninitialized" check).
+#pragma once
+
+#include <string>
+
+#include "ir/function.hpp"
+
+namespace ilp {
+
+struct VerifyResult {
+  bool ok = true;
+  std::string message;  // first failure description
+};
+
+VerifyResult verify(const Function& fn);
+
+// Asserts on failure; convenient inside pass pipelines.
+void verify_or_die(const Function& fn, const char* when);
+
+}  // namespace ilp

@@ -1,0 +1,70 @@
+#include "machine/machine.hpp"
+
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+
+namespace ilp {
+
+int MachineModel::latency(Opcode op) const {
+  switch (op) {
+    case Opcode::IADD:
+    case Opcode::ISUB:
+    case Opcode::ISHL:
+    case Opcode::ISHRA:
+    case Opcode::ISHRL:
+    case Opcode::IAND:
+    case Opcode::IOR:
+    case Opcode::IXOR:
+    case Opcode::IMOV:
+    case Opcode::INEG:
+    case Opcode::IMAX:
+    case Opcode::IMIN:
+    case Opcode::LDI:
+      return lat_int_alu;
+    case Opcode::IMUL:
+    case Opcode::IMULH:
+      return lat_int_mul;
+    case Opcode::IDIV:
+    case Opcode::IREM:
+      return lat_int_div;
+    case Opcode::FADD:
+    case Opcode::FSUB:
+    case Opcode::FMAX:
+    case Opcode::FMIN:
+      return lat_fp_alu;
+    case Opcode::FMUL:
+      return lat_fp_mul;
+    case Opcode::FDIV:
+      return lat_fp_div;
+    case Opcode::FMOV:
+    case Opcode::FNEG:
+    case Opcode::FLDI:
+      return 1;  // move/materialize unit; not on any paper example's critical path
+    case Opcode::ITOF:
+    case Opcode::FTOI:
+      return lat_fp_conv;
+    case Opcode::LD:
+    case Opcode::FLD:
+      return lat_load;
+    case Opcode::ST:
+    case Opcode::FST:
+      return lat_store;
+    case Opcode::JUMP:
+    case Opcode::RET:
+    case Opcode::NOP:
+      return lat_branch;
+    default:
+      if (op_is_branch(op)) return lat_branch;
+      ILP_UNREACHABLE("latency: bad opcode");
+  }
+}
+
+std::string MachineModel::describe() const {
+  return strformat(
+      "issue-%d in-order superscalar/VLIW; latencies: IntALU=%d IntMul=%d IntDiv=%d "
+      "Branch=%d(%d slot) Load=%d Store=%d FPALU=%d FPConv=%d FPMul=%d FPDiv=%d",
+      issue_width, lat_int_alu, lat_int_mul, lat_int_div, lat_branch, branch_slots,
+      lat_load, lat_store, lat_fp_alu, lat_fp_conv, lat_fp_mul, lat_fp_div);
+}
+
+}  // namespace ilp

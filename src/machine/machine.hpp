@@ -1,0 +1,46 @@
+// Parameterized superscalar/VLIW node-processor model (paper Section 3.1 and
+// Table 1).
+//
+// The microarchitecture is in-order issue with register interlocking and
+// deterministic latencies.  `issue_width` instructions may issue per cycle
+// with no restriction on the mix, except that only one branch may issue per
+// cycle (Table 1: "branch 1 / 1 slot").  Loads are non-excepting, the cache
+// always hits, and the register supply is unlimited.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/opcode.hpp"
+
+namespace ilp {
+
+struct MachineModel {
+  int issue_width = 1;
+  int branch_slots = 1;
+
+  // Table 1 latencies.
+  int lat_int_alu = 1;
+  int lat_int_mul = 3;
+  int lat_int_div = 10;
+  int lat_branch = 1;
+  int lat_load = 2;
+  int lat_store = 1;
+  int lat_fp_alu = 3;
+  int lat_fp_conv = 3;
+  int lat_fp_mul = 3;
+  int lat_fp_div = 10;
+
+  [[nodiscard]] int latency(Opcode op) const;
+
+  [[nodiscard]] static MachineModel issue(int width) {
+    MachineModel m;
+    m.issue_width = width;
+    return m;
+  }
+
+  // Human-readable one-line description for report headers.
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace ilp

@@ -1,0 +1,266 @@
+#include "opt/constprop.hpp"
+
+#include <optional>
+#include <unordered_map>
+
+#include "analysis/cfg.hpp"
+#include "analysis/dominators.hpp"
+#include "ir/reg.hpp"
+#include "support/assert.hpp"
+
+namespace ilp {
+
+namespace {
+
+struct ConstVal {
+  bool is_fp = false;
+  std::int64_t i = 0;
+  double f = 0.0;
+};
+
+std::optional<std::int64_t> fold_int(Opcode op, std::int64_t a, std::int64_t b) {
+  auto wrap = [](unsigned long long v) { return static_cast<std::int64_t>(v); };
+  switch (op) {
+    case Opcode::IADD: return wrap(static_cast<unsigned long long>(a) + static_cast<unsigned long long>(b));
+    case Opcode::ISUB: return wrap(static_cast<unsigned long long>(a) - static_cast<unsigned long long>(b));
+    case Opcode::IMUL: return wrap(static_cast<unsigned long long>(a) * static_cast<unsigned long long>(b));
+    case Opcode::IDIV:
+      if (b == 0 || (a == INT64_MIN && b == -1)) return std::nullopt;
+      return a / b;
+    case Opcode::IREM:
+      if (b == 0 || (a == INT64_MIN && b == -1)) return std::nullopt;
+      return a % b;
+    case Opcode::ISHL: return wrap(static_cast<unsigned long long>(a) << (b & 63));
+    case Opcode::ISHRL:
+      return wrap(static_cast<unsigned long long>(a) >> (b & 63));
+    case Opcode::ISHRA: return a >> (b & 63);
+    case Opcode::IAND: return a & b;
+    case Opcode::IOR: return a | b;
+    case Opcode::IXOR: return a ^ b;
+    case Opcode::IMAX: return a > b ? a : b;
+    case Opcode::IMIN: return a < b ? a : b;
+    default: return std::nullopt;
+  }
+}
+
+std::optional<double> fold_fp(Opcode op, double a, double b) {
+  switch (op) {
+    case Opcode::FADD: return a + b;
+    case Opcode::FSUB: return a - b;
+    case Opcode::FMUL: return a * b;
+    case Opcode::FDIV: return a / b;
+    case Opcode::FMAX: return a > b ? a : b;
+    case Opcode::FMIN: return a < b ? a : b;
+    default: return std::nullopt;
+  }
+}
+
+class ConstPropPass {
+ public:
+  explicit ConstPropPass(Function& fn) : fn_(fn) {}
+
+  bool run() {
+    collect_global_constants();
+    bool changed = false;
+    for (Block& b : fn_.blocks()) changed |= run_block(b);
+    return changed;
+  }
+
+ private:
+  void collect_global_constants() {
+    // Count definitions per register; single LDI/FLDI defs become global
+    // constants usable in every block their definition dominates.
+    std::unordered_map<Reg, int, RegHash> def_count;
+    std::unordered_map<Reg, std::pair<BlockId, ConstVal>, RegHash> single_const;
+    for (const Block& b : fn_.blocks()) {
+      for (const Instruction& in : b.insts) {
+        if (!in.has_dest()) continue;
+        const int n = ++def_count[in.dst];
+        if (n > 1) {
+          single_const.erase(in.dst);
+          continue;
+        }
+        if (in.op == Opcode::LDI)
+          single_const[in.dst] = {b.id, ConstVal{false, in.ival, 0.0}};
+        else if (in.op == Opcode::FLDI)
+          single_const[in.dst] = {b.id, ConstVal{true, 0, in.fval}};
+      }
+    }
+    for (auto& [reg, entry] : single_const)
+      if (def_count[reg] == 1) global_[reg] = entry;
+  }
+
+  std::optional<ConstVal> lookup(const Reg& r, BlockId block,
+                                 const std::unordered_map<Reg, ConstVal, RegHash>& local) {
+    const auto lit = local.find(r);
+    if (lit != local.end()) return lit->second;
+    const auto git = global_.find(r);
+    if (git != global_.end()) {
+      if (!dom_) {
+        cfg_.emplace(fn_);
+        dom_.emplace(*cfg_);
+      }
+      // Strict dominance: a def later in the same block must not propagate
+      // upward; same-block forward propagation is handled by the local env.
+      if (git->second.first != block && dom_->dominates(git->second.first, block))
+        return git->second.second;
+    }
+    return std::nullopt;
+  }
+
+  bool run_block(Block& b) {
+    bool changed = false;
+    std::unordered_map<Reg, ConstVal, RegHash> local;
+
+    for (Instruction& in : b.insts) {
+      // --- Try to rewrite sources with constants. ---
+      const bool fp_ctx = in.is_branch() ? op_is_fp_compare(in.op) : op_dest_is_fp(in.op);
+      if ((op_is_binary_arith(in.op) || in.is_branch()) && !in.src2_is_imm &&
+          in.src2.valid()) {
+        if (const auto c = lookup(in.src2, b.id, local)) {
+          in.src2 = kNoReg;
+          in.src2_is_imm = true;
+          if (fp_ctx)
+            in.fval = c->f;
+          else
+            in.ival = c->i;
+          changed = true;
+        }
+      }
+      // Commute a constant out of src1 when legal.
+      if ((op_is_binary_arith(in.op) && op_is_commutative(in.op)) && in.src1.valid() &&
+          !in.src2_is_imm && in.src2.valid()) {
+        if (lookup(in.src1, b.id, local) && !lookup(in.src2, b.id, local)) {
+          std::swap(in.src1, in.src2);
+          changed = true;
+          if (const auto c = lookup(in.src2, b.id, local)) {
+            in.src2 = kNoReg;
+            in.src2_is_imm = true;
+            if (fp_ctx)
+              in.fval = c->f;
+            else
+              in.ival = c->i;
+          }
+        }
+      }
+
+      // --- Full folds: all operands constant. ---
+      if (op_is_binary_arith(in.op) && in.src2_is_imm) {
+        if (const auto a = lookup(in.src1, b.id, local)) {
+          if (!fp_ctx) {
+            if (const auto r = fold_int(in.op, a->i, in.ival)) {
+              const Reg dst = in.dst;
+              in = make_ldi(dst, *r);
+              changed = true;
+            }
+          } else {
+            if (const auto r = fold_fp(in.op, a->f, in.fval)) {
+              const Reg dst = in.dst;
+              in = make_fldi(dst, *r);
+              changed = true;
+            }
+          }
+        }
+      }
+      if ((in.op == Opcode::IMOV || in.op == Opcode::INEG) && in.src1.valid()) {
+        if (const auto a = lookup(in.src1, b.id, local)) {
+          const Reg dst = in.dst;
+          in = make_ldi(dst, in.op == Opcode::INEG
+                                 ? static_cast<std::int64_t>(
+                                       0ull - static_cast<unsigned long long>(a->i))
+                                 : a->i);
+          changed = true;
+        }
+      }
+      if ((in.op == Opcode::FMOV || in.op == Opcode::FNEG) && in.src1.valid()) {
+        if (const auto a = lookup(in.src1, b.id, local)) {
+          const Reg dst = in.dst;
+          in = make_fldi(dst, in.op == Opcode::FNEG ? -a->f : a->f);
+          changed = true;
+        }
+      }
+      if (in.op == Opcode::ITOF && in.src1.valid()) {
+        if (const auto a = lookup(in.src1, b.id, local)) {
+          const Reg dst = in.dst;
+          in = make_fldi(dst, static_cast<double>(a->i));
+          changed = true;
+        }
+      }
+
+      // --- Algebraic identities (bit-exact only). ---
+      changed |= simplify(in);
+
+      // --- Update local environment. ---
+      if (in.has_dest()) {
+        if (in.op == Opcode::LDI)
+          local[in.dst] = ConstVal{false, in.ival, 0.0};
+        else if (in.op == Opcode::FLDI)
+          local[in.dst] = ConstVal{true, 0, in.fval};
+        else
+          local.erase(in.dst);
+      }
+    }
+    return changed;
+  }
+
+  static bool simplify(Instruction& in) {
+    if (!op_is_binary_arith(in.op) || !in.src2_is_imm) return false;
+    const Reg dst = in.dst;
+    const Reg a = in.src1;
+    switch (in.op) {
+      case Opcode::IADD:
+      case Opcode::ISUB:
+      case Opcode::IOR:
+      case Opcode::IXOR:
+        if (in.ival == 0) {
+          in = make_unary(Opcode::IMOV, dst, a);
+          return true;
+        }
+        return false;
+      case Opcode::ISHL:
+      case Opcode::ISHRA:
+      case Opcode::ISHRL:
+        if (in.ival == 0) {
+          in = make_unary(Opcode::IMOV, dst, a);
+          return true;
+        }
+        return false;
+      case Opcode::IMUL:
+        if (in.ival == 1) {
+          in = make_unary(Opcode::IMOV, dst, a);
+          return true;
+        }
+        if (in.ival == 0) {
+          in = make_ldi(dst, 0);
+          return true;
+        }
+        return false;
+      case Opcode::IDIV:
+        if (in.ival == 1) {
+          in = make_unary(Opcode::IMOV, dst, a);
+          return true;
+        }
+        return false;
+      case Opcode::FMUL:
+      case Opcode::FDIV:
+        if (in.fval == 1.0) {
+          in = make_unary(Opcode::FMOV, dst, a);
+          return true;
+        }
+        return false;
+      default:
+        return false;
+    }
+  }
+
+  Function& fn_;
+  std::unordered_map<Reg, std::pair<BlockId, ConstVal>, RegHash> global_;
+  std::optional<Cfg> cfg_;
+  std::optional<Dominators> dom_;
+};
+
+}  // namespace
+
+bool constant_propagation(Function& fn) { return ConstPropPass(fn).run(); }
+
+}  // namespace ilp

@@ -1,0 +1,21 @@
+// Constant folding, constant propagation, and algebraic simplification —
+// part of the paper's "conventional scalar optimizations" (Conv level).
+//
+// Two scopes:
+//   * function-global propagation of registers with exactly one definition
+//     that is an LDI/FLDI in a block dominating the use, and
+//   * block-local propagation with an environment killed at redefinitions.
+//
+// Fully constant pure operations fold to LDI/FLDI; partially constant ones
+// move the constant into the src2 immediate slot (commuting when legal).
+// Floating-point identities are applied only where bit-exact (x*1.0, x/1.0).
+#pragma once
+
+#include "ir/function.hpp"
+
+namespace ilp {
+
+// Returns true if anything changed.
+bool constant_propagation(Function& fn);
+
+}  // namespace ilp

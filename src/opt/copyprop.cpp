@@ -1,0 +1,40 @@
+#include "opt/copyprop.hpp"
+
+#include <unordered_map>
+
+#include "ir/reg.hpp"
+
+namespace ilp {
+
+bool copy_propagation(Function& fn) {
+  bool changed = false;
+  for (Block& b : fn.blocks()) {
+    // copy_of[d] = s while valid.
+    std::unordered_map<Reg, Reg, RegHash> copy_of;
+    for (Instruction& in : b.insts) {
+      auto subst = [&](Reg& r) {
+        const auto it = copy_of.find(r);
+        if (it != copy_of.end()) {
+          r = it->second;
+          changed = true;
+        }
+      };
+      if (in.src1.valid()) subst(in.src1);
+      if (in.src2.valid() && !in.src2_is_imm) subst(in.src2);
+
+      if (!in.has_dest()) continue;
+      // Any redefinition invalidates copies involving the dest.
+      for (auto it = copy_of.begin(); it != copy_of.end();) {
+        if (it->first == in.dst || it->second == in.dst)
+          it = copy_of.erase(it);
+        else
+          ++it;
+      }
+      if ((in.op == Opcode::IMOV || in.op == Opcode::FMOV) && in.src1 != in.dst)
+        copy_of[in.dst] = in.src1;
+    }
+  }
+  return changed;
+}
+
+}  // namespace ilp

@@ -1,0 +1,12 @@
+// Block-local copy propagation: after `d = mov s`, uses of d read s directly
+// while neither d nor s is redefined.  Conventional optimization (Conv) and
+// the cleanup pass after transformations that introduce moves.
+#pragma once
+
+#include "ir/function.hpp"
+
+namespace ilp {
+
+bool copy_propagation(Function& fn);
+
+}  // namespace ilp

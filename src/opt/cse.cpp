@@ -1,0 +1,172 @@
+#include "opt/cse.hpp"
+
+#include <cstring>
+#include <map>
+#include <optional>
+#include <tuple>
+#include <unordered_map>
+
+#include "ir/reg.hpp"
+
+namespace ilp {
+
+namespace {
+
+// Value-number key for a pure computation.  Immediates are hashed by raw
+// bits so -0.0 and +0.0 stay distinct (they behave differently under FDIV).
+struct ExprKey {
+  Opcode op;
+  std::uint32_t vn1;
+  std::uint32_t vn2;
+  std::uint64_t imm;
+  std::int32_t array;
+
+  bool operator<(const ExprKey& o) const {
+    return std::tie(op, vn1, vn2, imm, array) <
+           std::tie(o.op, o.vn1, o.vn2, o.imm, o.array);
+  }
+};
+
+class BlockCse {
+ public:
+  explicit BlockCse(Block& b) : b_(b) {}
+
+  bool run() {
+    bool changed = false;
+    for (Instruction& in : b_.insts) {
+      if (in.is_store()) {
+        handle_store(in);
+        continue;
+      }
+      if (!in.has_dest()) continue;
+
+      if (const auto key = key_of(in)) {
+        const auto it = table_.find(*key);
+        if (it != table_.end() && holds(it->second)) {
+          // Replace the computation with a move from the previous result.
+          const Reg prev = it->second.reg;
+          const Reg dst = in.dst;
+          in = make_unary(dst.cls == RegClass::Fp ? Opcode::FMOV : Opcode::IMOV, dst, prev);
+          changed = true;
+          define_as(dst, vn_of(prev));
+          continue;
+        }
+        const std::uint32_t v = fresh_vn();
+        define_as(in.dst, v);
+        table_[*key] = Binding{in.dst, v};
+        continue;
+      }
+      // Unknown computation: new value.
+      define_as(in.dst, fresh_vn());
+    }
+    return changed;
+  }
+
+ private:
+  struct Binding {
+    Reg reg;
+    std::uint32_t vn;
+  };
+
+  std::uint32_t fresh_vn() { return next_vn_++; }
+
+  std::uint32_t vn_of(const Reg& r) {
+    const auto it = vn_.find(r);
+    if (it != vn_.end()) return it->second;
+    const std::uint32_t v = fresh_vn();
+    vn_.emplace(r, v);
+    return v;
+  }
+
+  void define_as(const Reg& r, std::uint32_t v) { vn_[r] = v; }
+
+  bool holds(const Binding& bind) {
+    const auto it = vn_.find(bind.reg);
+    return it != vn_.end() && it->second == bind.vn;
+  }
+
+  std::optional<ExprKey> key_of(Instruction& in) {
+    if (op_is_binary_arith(in.op)) {
+      std::uint32_t v1 = vn_of(in.src1);
+      std::uint32_t v2 = 0;
+      std::uint64_t imm = 0;
+      if (in.src2_is_imm) {
+        if (op_dest_is_fp(in.op))
+          std::memcpy(&imm, &in.fval, sizeof imm);
+        else
+          imm = static_cast<std::uint64_t>(in.ival);
+      } else {
+        v2 = vn_of(in.src2);
+      }
+      if (op_is_commutative(in.op) && !in.src2_is_imm && v2 < v1) std::swap(v1, v2);
+      return ExprKey{in.op, v1, v2, imm, -1};
+    }
+    switch (in.op) {
+      case Opcode::LDI:
+        return ExprKey{in.op, 0, 0, static_cast<std::uint64_t>(in.ival), -1};
+      case Opcode::FLDI: {
+        std::uint64_t imm = 0;
+        std::memcpy(&imm, &in.fval, sizeof imm);
+        return ExprKey{in.op, 0, 0, imm, -1};
+      }
+      case Opcode::IMOV:
+      case Opcode::FMOV:
+      case Opcode::INEG:
+      case Opcode::FNEG:
+      case Opcode::ITOF:
+      case Opcode::FTOI:
+        return ExprKey{in.op, vn_of(in.src1), 0, 0, -1};
+      case Opcode::LD:
+      case Opcode::FLD:
+        return ExprKey{in.op, vn_of(in.src1), mem_epoch_for(in.array_id),
+                       static_cast<std::uint64_t>(in.ival), in.array_id};
+      default:
+        return std::nullopt;
+    }
+  }
+
+  void handle_store(const Instruction& in) {
+    // Invalidate loads that may alias, then forward this store's value to a
+    // matching future load by seeding the load-expression table.
+    bump_epochs(in.array_id);
+    const Opcode load_op = in.op == Opcode::FST ? Opcode::FLD : Opcode::LD;
+    const ExprKey key{load_op, vn_of(in.src1), mem_epoch_for(in.array_id),
+                      static_cast<std::uint64_t>(in.ival), in.array_id};
+    table_[key] = Binding{in.src2, vn_of(in.src2)};
+  }
+
+  // A load of a known array is invalidated by stores to that array and by
+  // stores to unknown memory; an unknown load is invalidated by every store.
+  std::uint32_t mem_epoch_for(std::int32_t array) {
+    if (array == kMayAliasAll) return total_stores_;
+    const auto it = epoch_.find(array);
+    const std::uint32_t e = it == epoch_.end() ? 0 : it->second;
+    return e * 0x10000u + unknown_stores_;
+  }
+
+  void bump_epochs(std::int32_t array) {
+    ++total_stores_;
+    if (array == kMayAliasAll)
+      ++unknown_stores_;
+    else
+      ++epoch_[array];
+  }
+
+  Block& b_;
+  std::uint32_t next_vn_ = 1;
+  std::uint32_t total_stores_ = 0;
+  std::uint32_t unknown_stores_ = 0;
+  std::unordered_map<Reg, std::uint32_t, RegHash> vn_;
+  std::unordered_map<std::int32_t, std::uint32_t> epoch_;
+  std::map<ExprKey, Binding> table_;
+};
+
+}  // namespace
+
+bool common_subexpression_elimination(Function& fn) {
+  bool changed = false;
+  for (Block& b : fn.blocks()) changed |= BlockCse(b).run();
+  return changed;
+}
+
+}  // namespace ilp

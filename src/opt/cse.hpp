@@ -1,0 +1,15 @@
+// Block-local common-subexpression elimination by value numbering, with
+// redundant-load elimination and store-to-load forwarding.
+//
+// Memory handling: loads are value-numbered by (opcode, value number of the
+// base register, offset, array).  A store forwards its value to later loads
+// of the same address and invalidates loads of any may-aliasing array.
+#pragma once
+
+#include "ir/function.hpp"
+
+namespace ilp {
+
+bool common_subexpression_elimination(Function& fn);
+
+}  // namespace ilp

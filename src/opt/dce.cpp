@@ -1,0 +1,84 @@
+#include "opt/dce.hpp"
+
+#include <unordered_set>
+
+#include "analysis/cfg.hpp"
+#include "analysis/liveness.hpp"
+#include "ir/reg.hpp"
+
+namespace ilp {
+
+namespace {
+
+// Faint-code elimination: removes self-sustaining dead cycles (e.g. a loop
+// counter "i = i + 1" whose value feeds nothing but itself), which
+// liveness-based DCE cannot see.  Flow-insensitive: a register is *needed*
+// iff some store/branch/live-out uses it or some kept definition of a needed
+// register reads it.
+bool remove_faint_code(Function& fn) {
+  std::unordered_set<Reg, RegHash> needed;
+  for (const Reg& r : fn.live_out()) needed.insert(r);
+  for (const Block& b : fn.blocks())
+    for (const Instruction& in : b.insts) {
+      if (in.has_dest()) continue;  // store/branch/jump/ret roots
+      if (in.src1.valid()) needed.insert(in.src1);
+      if (in.src2.valid() && !in.src2_is_imm) needed.insert(in.src2);
+    }
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const Block& b : fn.blocks())
+      for (const Instruction& in : b.insts) {
+        if (!in.has_dest() || needed.count(in.dst) == 0) continue;
+        if (in.src1.valid() && needed.insert(in.src1).second) grew = true;
+        if (in.src2.valid() && !in.src2_is_imm && needed.insert(in.src2).second)
+          grew = true;
+      }
+  }
+  bool removed = false;
+  for (Block& b : fn.blocks()) {
+    std::vector<Instruction> kept;
+    kept.reserve(b.insts.size());
+    for (const Instruction& in : b.insts) {
+      if (in.has_dest() && needed.count(in.dst) == 0) {
+        removed = true;
+        continue;
+      }
+      kept.push_back(in);
+    }
+    b.insts = std::move(kept);
+  }
+  return removed;
+}
+
+}  // namespace
+
+bool dead_code_elimination(Function& fn) {
+  bool any = false;
+  bool changed = true;
+  while (changed) {
+    changed = remove_faint_code(fn);
+    any |= changed;
+    const Cfg cfg(fn);
+    const Liveness live(cfg);
+    for (Block& b : fn.blocks()) {
+      const auto after = live.live_after_all(b.id);
+      std::vector<Instruction> kept;
+      kept.reserve(b.insts.size());
+      for (std::size_t i = 0; i < b.insts.size(); ++i) {
+        const Instruction& in = b.insts[i];
+        const bool removable = in.has_dest() && !after[i].test(RegKey::key(in.dst));
+        if (removable) {
+          changed = true;
+          any = true;
+          continue;
+        }
+        kept.push_back(in);
+      }
+      b.insts = std::move(kept);
+    }
+  }
+  return any;
+}
+
+}  // namespace ilp

@@ -1,0 +1,15 @@
+// Dead code elimination using global liveness.
+//
+// Removes pure instructions (arithmetic, moves, constants, loads — the
+// processor's loads are non-excepting) whose destination is dead at the
+// definition point.  Runs to a fixpoint; the function's declared live-out
+// registers are always preserved.
+#pragma once
+
+#include "ir/function.hpp"
+
+namespace ilp {
+
+bool dead_code_elimination(Function& fn);
+
+}  // namespace ilp

@@ -1,0 +1,247 @@
+#include "opt/ivopt.hpp"
+
+#include <unordered_map>
+
+#include "analysis/cfg.hpp"
+#include "analysis/liveness.hpp"
+#include "analysis/loops.hpp"
+#include "ir/reg.hpp"
+#include "support/assert.hpp"
+
+namespace ilp {
+
+namespace {
+
+struct IvInfo {
+  std::int64_t step = 0;    // per-iteration increment of the register
+  std::size_t update = 0;   // body index of the update instruction
+  Reg root;                 // basic IV this one is linear in
+  std::int64_t slope = 1;   // d(this)/d(root)
+};
+
+class LoopIvOpt {
+ public:
+  LoopIvOpt(Function& fn, const SimpleLoop& loop) : fn_(fn), loop_(loop) {}
+
+  bool run() {
+    Block& body = fn_.block(loop_.body);
+    for (std::size_t i = 0; i < body.insts.size(); ++i) {
+      const Instruction& in = body.insts[i];
+      if (in.has_dest()) ++defs_[in.dst];
+    }
+    find_basic_ivs();
+    if (ivs_.empty()) return false;
+    bool changed = false;
+    // Promote derived IVs until none match (promotions enable chains).
+    while (promote_one()) changed = true;
+    changed |= eliminate_branch_iv();
+    return changed;
+  }
+
+ private:
+  void find_basic_ivs() {
+    Block& body = fn_.block(loop_.body);
+    for (std::size_t i = 0; i < body.insts.size(); ++i) {
+      const Instruction& in = body.insts[i];
+      if ((in.op != Opcode::IADD && in.op != Opcode::ISUB) || !in.src2_is_imm) continue;
+      if (!in.dst.is_int() || in.src1 != in.dst) continue;
+      if (defs_[in.dst] != 1) continue;
+      IvInfo iv;
+      iv.step = in.op == Opcode::IADD ? in.ival : -in.ival;
+      iv.update = i;
+      iv.root = in.dst;
+      iv.slope = 1;
+      ivs_[in.dst] = iv;
+    }
+  }
+
+  [[nodiscard]] bool is_invariant(const Reg& r) const {
+    return !r.valid() || defs_.find(r) == defs_.end() || defs_.at(r) == 0;
+  }
+
+  // Inserts `in` just before the preheader's terminator.
+  void emit_preheader(Instruction in) {
+    Block& pre = fn_.block(loop_.preheader);
+    const std::size_t pos = pre.has_terminator() ? pre.insts.size() - 1 : pre.insts.size();
+    pre.insts.insert(pre.insts.begin() + static_cast<std::ptrdiff_t>(pos), in);
+  }
+
+  // Attempts one derived-IV promotion; returns true if performed.
+  bool promote_one() {
+    Block& body = fn_.block(loop_.body);
+    for (std::size_t q = 0; q < body.insts.size(); ++q) {
+      const Instruction in = body.insts[q];
+      if (!in.has_dest() || !in.dst.is_int()) continue;
+      if (defs_[in.dst] != 1) continue;
+      if (ivs_.count(in.dst)) continue;  // already an IV
+
+      const auto x_it = in.src1.valid() ? ivs_.find(in.src1) : ivs_.end();
+      if (x_it == ivs_.end()) continue;
+      const IvInfo& x = x_it->second;
+      const Reg xreg = in.src1;
+
+      // Match a promotable form and compute the slope over x.
+      std::int64_t a = 0;
+      bool profitable = false;
+      switch (in.op) {
+        case Opcode::IMUL:
+          if (!in.src2_is_imm) continue;
+          a = in.ival;
+          profitable = true;  // removes a multiply from the recurrence
+          break;
+        case Opcode::ISHL:
+          if (!in.src2_is_imm || in.ival < 0 || in.ival > 32) continue;
+          a = std::int64_t{1} << in.ival;
+          profitable = true;
+          break;
+        case Opcode::IADD:
+        case Opcode::ISUB:
+          if (in.src2_is_imm) {
+            // iv + const: only worth promoting on top of an already-promoted
+            // chain (collapses address arithmetic onto one register).
+            a = 1;
+            profitable = x.slope != 1 || x.root != xreg;
+          } else {
+            if (!is_invariant(in.src2)) continue;
+            a = 1;
+            profitable = x.slope != 1 || x.root != xreg;
+          }
+          break;
+        default:
+          continue;
+      }
+      if (a == 0) continue;
+      if (!profitable) continue;
+      if (in.op == Opcode::ISUB && !in.src2_is_imm) {
+        // t = invreg - iv has slope -1 only when src1 is the IV; src1 is the
+        // IV here, so t = iv - invreg keeps slope +1.  Nothing extra to do.
+      }
+
+      const std::int64_t delta = a * x.step;
+      if (delta == 0) continue;
+
+      // Preheader init: t = f(x_entry) [- delta if the def precedes x's
+      // update, since iteration 1 then sees f(x_entry) directly].
+      Instruction init = in;  // same op, same operands: x holds entry value
+      emit_preheader(init);
+      if (q <= x.update) {
+        // First-iteration value is f(x_entry); body update adds delta before
+        // first use?  No: the body update *replaces* the def, so iteration 1
+        // computes t = t_init + delta at q.  We therefore need
+        // t_init = f(x_entry) - delta.
+        emit_preheader(make_binary_imm(Opcode::ISUB, in.dst, in.dst, delta));
+      } else {
+        // Def after x's update: iteration 1 sees f(x_entry + x.step).
+        // t_init + delta must equal f(x_entry) + a*x.step, and
+        // f already evaluated at x_entry, so t_init = f(x_entry) + a*step -
+        // delta = f(x_entry) (they cancel: delta == a*step).  Nothing to add.
+      }
+
+      // Replace the body def with the IV update.
+      body.insts[q] = make_binary_imm(delta > 0 ? Opcode::IADD : Opcode::ISUB, in.dst,
+                                      in.dst, delta > 0 ? delta : -delta);
+
+      IvInfo t;
+      t.step = delta;
+      t.update = q;
+      t.root = x.root;
+      t.slope = a * x.slope;
+      ivs_[in.dst] = t;
+      return true;
+    }
+    return false;
+  }
+
+  // Counts body uses of `r` excluding instruction `skip`.
+  int body_uses(const Reg& r, std::size_t skip_a, std::size_t skip_b) const {
+    const Block& body = fn_.block(loop_.body);
+    int n = 0;
+    for (std::size_t i = 0; i < body.insts.size(); ++i) {
+      if (i == skip_a || i == skip_b) continue;
+      if (body.insts[i].reads(r)) ++n;
+    }
+    return n;
+  }
+
+  bool eliminate_branch_iv() {
+    Block& body = fn_.block(loop_.body);
+    Instruction& br = body.insts[loop_.back_branch];
+    if (op_is_fp_compare(br.op) || !br.src1.valid()) return false;
+    const Reg iv = br.src1;
+    const auto it = ivs_.find(iv);
+    if (it == ivs_.end() || it->second.root != iv) return false;  // basic only
+    const IvInfo& info = it->second;
+    if (info.update >= loop_.back_branch) return false;  // update must precede branch
+    // The bound must be loop-invariant or the precomputed bound' is stale.
+    if (!br.src2_is_imm && !is_invariant(br.src2)) return false;
+    // Retargeting is always semantics-preserving (the IV and its update stay;
+    // DCE removes them if dead), but it is only *profitable* when the branch
+    // was the IV's last non-update use inside the loop.
+    if (body_uses(iv, info.update, loop_.back_branch) != 0) return false;
+    // Replacement: any promoted IV rooted at iv with positive slope whose
+    // update precedes the branch.
+    const Reg* best = nullptr;
+    for (const auto& [reg, cand] : ivs_) {
+      if (reg == iv || cand.root != iv || cand.slope <= 0) continue;
+      if (cand.update >= loop_.back_branch) continue;
+      if (best == nullptr || cand.slope < ivs_.at(*best).slope) best = &reg;
+    }
+    if (best == nullptr) return false;
+    const Reg t = *best;
+    const std::int64_t A = ivs_.at(t).slope;
+
+    // bound' = t + A * (bound - iv), evaluated on preheader entry values.
+    const Reg d = fn_.new_int_reg();
+    if (br.src2_is_imm) {
+      emit_preheader(make_ldi(d, br.ival));
+      emit_preheader(make_binary(Opcode::ISUB, d, d, iv));
+    } else {
+      emit_preheader(make_binary(Opcode::ISUB, d, br.src2, iv));
+    }
+    const Reg m = fn_.new_int_reg();
+    emit_preheader(make_binary_imm(Opcode::IMUL, m, d, A));
+    const Reg bound = fn_.new_int_reg();
+    emit_preheader(make_binary(Opcode::IADD, bound, t, m));
+
+    br.src1 = t;
+    br.src2 = bound;
+    br.src2_is_imm = false;
+    br.ival = 0;
+
+    // The old counter's update is now dead unless the counter value escapes
+    // the loop (used at an exit).  Liveness-based DCE cannot remove the
+    // self-sustaining "iv = iv + step", so delete it here when provably dead.
+    {
+      const Cfg cfg(fn_);
+      const Liveness live(cfg);
+      bool escapes = false;
+      const BlockId fall = fn_.layout_next(loop_.body);
+      if (fall != kNoBlock && live.is_live_in(fall, iv)) escapes = true;
+      for (std::size_t se : loop_.side_exits) {
+        const Instruction& x = body.insts[se];
+        if (x.is_branch() && live.is_live_in(x.target, iv)) escapes = true;
+      }
+      if (!escapes)
+        body.insts.erase(body.insts.begin() + static_cast<std::ptrdiff_t>(info.update));
+    }
+    return true;
+  }
+
+  Function& fn_;
+  const SimpleLoop& loop_;
+  std::unordered_map<Reg, int, RegHash> defs_;
+  std::unordered_map<Reg, IvInfo, RegHash> ivs_;
+};
+
+}  // namespace
+
+bool induction_variable_optimization(Function& fn) {
+  const Cfg cfg(fn);
+  const Dominators dom(cfg);
+  bool changed = false;
+  for (const SimpleLoop& loop : find_simple_loops(cfg, dom))
+    changed |= LoopIvOpt(fn, loop).run();
+  return changed;
+}
+
+}  // namespace ilp

@@ -1,0 +1,27 @@
+// Induction-variable strength reduction and elimination — the paper's
+// conventional "loop induction variable strength reduction" and "loop
+// induction variable elimination".
+//
+// Strength reduction rewrites derived linear functions of a basic induction
+// variable (t = iv*c, t = iv<<k, and +/- chains on top of promoted IVs) into
+// independent induction variables updated by a constant, initialized in the
+// preheader.  This converts naively lowered subscript arithmetic
+// (offset = i*4 each iteration) into the pointer-bumping form of the paper's
+// examples (r1i = r1i + 4).
+//
+// Elimination then retargets the loop's back-edge comparison from a basic
+// induction variable whose only remaining uses are its own update and the
+// branch onto one of the promoted IVs (bound' = t + A*(bound - iv), computed
+// once in the preheader), letting DCE remove the original counter.
+//
+// Invariant used throughout: at the end of the preheader, every IV register
+// (basic or promoted) holds its iteration-entry value.
+#pragma once
+
+#include "ir/function.hpp"
+
+namespace ilp {
+
+bool induction_variable_optimization(Function& fn);
+
+}  // namespace ilp

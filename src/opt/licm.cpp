@@ -1,0 +1,94 @@
+#include "opt/licm.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analysis/cfg.hpp"
+#include "analysis/liveness.hpp"
+#include "analysis/loops.hpp"
+#include "ir/reg.hpp"
+
+namespace ilp {
+
+namespace {
+
+bool hoist_from_loop(Function& fn, const SimpleLoop& loop, const Liveness& live) {
+  Block& body = fn.block(loop.body);
+  Block& pre = fn.block(loop.preheader);
+
+  // Definition counts inside the body.
+  std::unordered_map<Reg, int, RegHash> defs;
+  bool loop_has_store = false;
+  std::unordered_set<std::int32_t> stored_arrays;
+  bool stores_unknown = false;
+  for (const Instruction& in : body.insts) {
+    if (in.has_dest()) ++defs[in.dst];
+    if (in.is_store()) {
+      loop_has_store = true;
+      if (in.array_id == kMayAliasAll)
+        stores_unknown = true;
+      else
+        stored_arrays.insert(in.array_id);
+    }
+  }
+
+  auto invariant_reg = [&](const Reg& r) { return !r.valid() || defs.count(r) == 0; };
+
+  bool changed = false;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < body.insts.size(); ++i) {
+      const Instruction& in = body.insts[i];
+      if (!in.has_dest() || in.is_store()) continue;
+      if (defs[in.dst] != 1) continue;
+      if (!invariant_reg(in.src1)) continue;
+      if (in.src2.valid() && !in.src2_is_imm && !invariant_reg(in.src2)) continue;
+      if (live.is_live_in(loop.body, in.dst)) continue;
+      if (in.is_load()) {
+        const bool clobbered = loop_has_store &&
+                               (stores_unknown || in.array_id == kMayAliasAll ||
+                                stored_arrays.count(in.array_id) > 0);
+        if (clobbered) continue;
+      }
+      if ((in.op == Opcode::IDIV || in.op == Opcode::IREM) &&
+          !(in.src2_is_imm && in.ival != 0))
+        continue;
+
+      // Hoist: insert before the preheader's terminator (or at its end).
+      Instruction moved = in;
+      defs.erase(moved.dst);
+      body.insts.erase(body.insts.begin() + static_cast<std::ptrdiff_t>(i));
+      const std::size_t pos =
+          pre.has_terminator() ? pre.insts.size() - 1 : pre.insts.size();
+      pre.insts.insert(pre.insts.begin() + static_cast<std::ptrdiff_t>(pos), moved);
+      changed = true;
+      progress = true;
+      break;  // indices shifted; restart the scan
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+bool loop_invariant_code_motion(Function& fn) {
+  bool changed = false;
+  bool outer_progress = true;
+  while (outer_progress) {
+    outer_progress = false;
+    const Cfg cfg(fn);
+    const Dominators dom(cfg);
+    const Liveness live(cfg);
+    for (const SimpleLoop& loop : find_simple_loops(cfg, dom)) {
+      if (hoist_from_loop(fn, loop, live)) {
+        changed = true;
+        outer_progress = true;
+        break;  // CFG-derived analyses are stale; recompute
+      }
+    }
+  }
+  return changed;
+}
+
+}  // namespace ilp

@@ -1,0 +1,23 @@
+// Loop-invariant code motion for simple (single-extended-block) loops —
+// the paper's "loop invariant code removal" conventional optimization.
+//
+// An instruction hoists to the preheader when:
+//   * it is pure (no store, no control; loads allowed — non-excepting — but
+//     only if no store in the loop may alias them and the address operand is
+//     invariant),
+//   * every register operand is loop-invariant (no definition in the body),
+//   * it is the only definition of its destination in the body, and the
+//     destination is not live into the loop header (hoisting must not
+//     clobber a value the first iteration would have read),
+//   * IDIV/IREM hoist only with a nonzero constant divisor (a side exit
+//     could otherwise skip a trapping division that the original code never
+//     executed).
+#pragma once
+
+#include "ir/function.hpp"
+
+namespace ilp {
+
+bool loop_invariant_code_motion(Function& fn);
+
+}  // namespace ilp

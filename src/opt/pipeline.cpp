@@ -1,0 +1,50 @@
+#include "opt/pipeline.hpp"
+
+#include "ir/verifier.hpp"
+#include "opt/constprop.hpp"
+#include "opt/copyprop.hpp"
+#include "opt/cse.hpp"
+#include "opt/dce.hpp"
+#include "opt/ivopt.hpp"
+#include "opt/licm.hpp"
+
+namespace ilp {
+
+void run_conventional_optimizations(Function& fn) {
+  verify_or_die(fn, "before conventional optimizations");
+  // Scalar cleanup to a bounded fixpoint.
+  for (int round = 0; round < 8; ++round) {
+    bool changed = false;
+    changed |= constant_propagation(fn);
+    changed |= copy_propagation(fn);
+    changed |= common_subexpression_elimination(fn);
+    changed |= copy_propagation(fn);
+    changed |= dead_code_elimination(fn);
+    if (!changed) break;
+  }
+  // Loop optimizations, then re-clean.
+  loop_invariant_code_motion(fn);
+  induction_variable_optimization(fn);
+  for (int round = 0; round < 8; ++round) {
+    bool changed = false;
+    changed |= constant_propagation(fn);
+    changed |= copy_propagation(fn);
+    changed |= common_subexpression_elimination(fn);
+    changed |= copy_propagation(fn);
+    changed |= dead_code_elimination(fn);
+    if (!changed) break;
+  }
+  verify_or_die(fn, "after conventional optimizations");
+}
+
+void run_cleanup(Function& fn) {
+  for (int round = 0; round < 4; ++round) {
+    bool changed = false;
+    changed |= copy_propagation(fn);
+    changed |= constant_propagation(fn);
+    changed |= dead_code_elimination(fn);
+    if (!changed) break;
+  }
+}
+
+}  // namespace ilp

@@ -1,0 +1,20 @@
+// The conventional ("Conv") optimization pipeline — the paper's baseline:
+// "constant propagation, copy propagation, common subexpression elimination,
+// constant folding, operation folding, redundant memory access elimination,
+// dead code removal, loop invariant code removal, loop induction variable
+// strength reduction, and loop induction variable elimination".
+#pragma once
+
+#include "ir/function.hpp"
+
+namespace ilp {
+
+// Runs the conventional pipeline to a fixpoint (bounded).  Verifies the IR
+// after each pass in debug flows via the verifier.
+void run_conventional_optimizations(Function& fn);
+
+// The post-transformation cleanup bundle (copy prop + const prop + DCE),
+// used by the ILP level driver between transformations.
+void run_cleanup(Function& fn);
+
+}  // namespace ilp

@@ -1,0 +1,99 @@
+#include "regalloc/regalloc.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "analysis/cfg.hpp"
+#include "analysis/liveness.hpp"
+
+namespace ilp {
+
+void InterferenceGraph::add_edge(std::size_t a, std::size_t b) {
+  if (a == b) return;
+  const auto au = static_cast<std::uint32_t>(a);
+  const auto bu = static_cast<std::uint32_t>(b);
+  if (std::find(adj_[a].begin(), adj_[a].end(), bu) == adj_[a].end()) {
+    adj_[a].push_back(bu);
+    adj_[b].push_back(au);
+  }
+}
+
+InterferenceGraph::InterferenceGraph(const Function& fn) {
+  const Cfg cfg(fn);
+  const Liveness live(cfg);
+  adj_.resize(live.universe_size());
+  present_.assign(live.universe_size(), false);
+
+  auto mark = [&](const Reg& r) { present_[RegKey::key(r)] = true; };
+  for (const Block& b : fn.blocks())
+    for (const Instruction& in : b.insts) {
+      if (in.has_dest()) mark(in.dst);
+      if (in.src1.valid()) mark(in.src1);
+      if (in.src2.valid() && !in.src2_is_imm) mark(in.src2);
+    }
+
+  // A definition interferes with everything live after the instruction
+  // (same class only; int and fp files are separate).
+  for (const Block& b : fn.blocks()) {
+    const std::vector<BitVector> after = live.live_after_all(b.id);
+    for (std::size_t i = 0; i < b.insts.size(); ++i) {
+      const Instruction& in = b.insts[i];
+      if (!in.has_dest()) continue;
+      const std::size_t dkey = RegKey::key(in.dst);
+      after[i].for_each_set([&](std::size_t key) {
+        // Same class: keys share parity (RegKey interleaves classes).
+        if ((key & 1) == (dkey & 1)) add_edge(dkey, key);
+      });
+    }
+  }
+  // Registers live into the entry block are function inputs; they coexist.
+  const BitVector& entry_in = live.live_in(cfg.entry());
+  std::vector<std::size_t> ins;
+  entry_in.for_each_set([&](std::size_t k) { ins.push_back(k); });
+  for (std::size_t i = 0; i < ins.size(); ++i)
+    for (std::size_t j = i + 1; j < ins.size(); ++j)
+      if ((ins[i] & 1) == (ins[j] & 1)) add_edge(ins[i], ins[j]);
+}
+
+bool InterferenceGraph::interferes(const Reg& a, const Reg& b) const {
+  const std::size_t ka = RegKey::key(a);
+  const auto kb = static_cast<std::uint32_t>(RegKey::key(b));
+  if (ka >= adj_.size()) return false;
+  return std::find(adj_[ka].begin(), adj_[ka].end(), kb) != adj_[ka].end();
+}
+
+int InterferenceGraph::color_count(RegClass cls) const {
+  const std::size_t parity = cls == RegClass::Fp ? 1 : 0;
+  std::vector<std::size_t> nodes;
+  for (std::size_t k = parity; k < adj_.size(); k += 2)
+    if (present_[k]) nodes.push_back(k);
+
+  // Largest-degree-first greedy coloring.
+  std::sort(nodes.begin(), nodes.end(), [&](std::size_t a, std::size_t b) {
+    if (adj_[a].size() != adj_[b].size()) return adj_[a].size() > adj_[b].size();
+    return a < b;
+  });
+  std::vector<int> color(adj_.size(), -1);
+  int max_color = -1;
+  std::vector<bool> used;
+  for (std::size_t node : nodes) {
+    used.assign(static_cast<std::size_t>(max_color) + 2, false);
+    for (std::uint32_t nb : adj_[node])
+      if (color[nb] >= 0) used[static_cast<std::size_t>(color[nb])] = true;
+    int c = 0;
+    while (used[static_cast<std::size_t>(c)]) ++c;
+    color[node] = c;
+    max_color = std::max(max_color, c);
+  }
+  return static_cast<int>(nodes.empty() ? 0 : max_color + 1);
+}
+
+RegUsage measure_register_usage(const Function& fn) {
+  const InterferenceGraph g(fn);
+  RegUsage u;
+  u.int_regs = g.color_count(RegClass::Int);
+  u.fp_regs = g.color_count(RegClass::Fp);
+  return u;
+}
+
+}  // namespace ilp

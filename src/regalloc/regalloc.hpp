@@ -1,0 +1,48 @@
+// Graph-coloring register usage measurement.
+//
+// The modeled processor has an unlimited register supply, but (paper Section
+// 3.1) "the register allocator attempts to utilize the least number of
+// registers required for a given loop... registers are reused as soon as
+// they become available".  We build the interference graph from
+// per-instruction liveness and color it greedily (largest-degree-first
+// simplification order); the number of colors per class approximates the
+// minimum register need, and the reported usage is the sum over both classes
+// — exactly what Figures 11/13/15 plot.
+#pragma once
+
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace ilp {
+
+struct RegUsage {
+  int int_regs = 0;
+  int fp_regs = 0;
+  [[nodiscard]] int total() const { return int_regs + fp_regs; }
+};
+
+// Colors the interference graph of `fn` and returns the per-class color
+// counts.  Read-only; virtual registers are not rewritten (nothing downstream
+// needs physical numbers).
+RegUsage measure_register_usage(const Function& fn);
+
+// The interference graph itself, exposed for tests and for the allocation
+// ablation bench.
+class InterferenceGraph {
+ public:
+  explicit InterferenceGraph(const Function& fn);
+
+  [[nodiscard]] std::size_t num_nodes() const { return adj_.size(); }
+  [[nodiscard]] bool interferes(const Reg& a, const Reg& b) const;
+  // Greedy coloring of one class; returns the color count.
+  [[nodiscard]] int color_count(RegClass cls) const;
+
+ private:
+  void add_edge(std::size_t a, std::size_t b);
+
+  std::vector<std::vector<std::uint32_t>> adj_;  // indexed by RegKey
+  std::vector<bool> present_;                    // register actually occurs
+};
+
+}  // namespace ilp

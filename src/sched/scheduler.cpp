@@ -1,0 +1,116 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+
+#include "analysis/cfg.hpp"
+#include "analysis/dominators.hpp"
+#include "analysis/liveness.hpp"
+#include "analysis/loops.hpp"
+#include "support/assert.hpp"
+
+namespace ilp {
+
+BlockSchedule list_schedule(const DepGraph& g, const Function& fn, BlockId block,
+                            const MachineModel& machine) {
+  const Block& blk = fn.block(block);
+  const std::size_t n = g.num_nodes();
+  BlockSchedule sched;
+  sched.issue_time.assign(n, 0);
+  sched.order.reserve(n);
+
+  std::vector<int> unscheduled_preds(n, 0);
+  std::vector<int> earliest(n, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    unscheduled_preds[i] = static_cast<int>(g.preds(i).size());
+
+  std::vector<std::uint32_t> ready;
+  for (std::uint32_t i = 0; i < n; ++i)
+    if (unscheduled_preds[i] == 0) ready.push_back(i);
+
+  std::size_t remaining = n;
+  int cycle = 0;
+  while (remaining > 0) {
+    int slots = machine.issue_width;
+    int branch_slots = machine.branch_slots;
+    bool placed_any = true;
+    while (placed_any && slots > 0) {
+      placed_any = false;
+      // Choose the ready node with the greatest height (critical path first);
+      // tie-break on original position for stability.
+      std::int64_t best = -1;
+      for (std::size_t k = 0; k < ready.size(); ++k) {
+        const std::uint32_t cand = ready[k];
+        if (earliest[cand] > cycle) continue;
+        if (blk.insts[cand].is_control() && branch_slots == 0) continue;
+        if (best < 0 || g.height()[cand] > g.height()[ready[static_cast<std::size_t>(best)]] ||
+            (g.height()[cand] == g.height()[ready[static_cast<std::size_t>(best)]] &&
+             cand < ready[static_cast<std::size_t>(best)]))
+          best = static_cast<std::int64_t>(k);
+      }
+      if (best < 0) break;
+      const std::uint32_t node = ready[static_cast<std::size_t>(best)];
+      ready.erase(ready.begin() + best);
+
+      sched.issue_time[node] = cycle;
+      sched.order.push_back(node);
+      --slots;
+      if (blk.insts[node].is_control()) --branch_slots;
+      --remaining;
+      placed_any = true;
+
+      for (std::uint32_t ei : g.out_edges(node)) {
+        const DepEdge& e = g.edge(ei);
+        earliest[e.to] = std::max(earliest[e.to], cycle + e.latency);
+        if (--unscheduled_preds[e.to] == 0) ready.push_back(e.to);
+      }
+    }
+    ++cycle;
+  }
+  sched.makespan = n == 0 ? 0 : sched.issue_time[sched.order.back()] + 1;
+  return sched;
+}
+
+namespace {
+
+void apply_schedule(Function& fn, BlockId block, const BlockSchedule& sched) {
+  Block& blk = fn.block(block);
+  std::vector<Instruction> out;
+  out.reserve(blk.insts.size());
+  for (std::uint32_t idx : sched.order) out.push_back(blk.insts[idx]);
+  blk.insts = std::move(out);
+}
+
+}  // namespace
+
+namespace {
+
+// Preheader of each simple-loop body (for loop-relative disambiguation).
+std::vector<BlockId> loop_preheaders(const Function& fn, const Cfg& cfg) {
+  std::vector<BlockId> pre(fn.num_blocks(), kNoBlock);
+  const Dominators dom(cfg);
+  for (const SimpleLoop& loop : find_simple_loops(cfg, dom))
+    pre[loop.body] = loop.preheader;
+  return pre;
+}
+
+}  // namespace
+
+void schedule_block(Function& fn, BlockId block, const MachineModel& machine) {
+  const Cfg cfg(fn);
+  const Liveness live(cfg);
+  const DepGraph g(fn, block, machine, live, loop_preheaders(fn, cfg)[block]);
+  apply_schedule(fn, block, list_schedule(g, fn, block, machine));
+}
+
+void schedule_function(Function& fn, const MachineModel& machine) {
+  const Cfg cfg(fn);
+  const Liveness live(cfg);
+  const std::vector<BlockId> pre = loop_preheaders(fn, cfg);
+  for (const Block& b : fn.blocks()) {
+    if (b.insts.size() < 2) continue;
+    const DepGraph g(fn, b.id, machine, live, pre[b.id]);
+    apply_schedule(fn, b.id, list_schedule(g, fn, b.id, machine));
+  }
+}
+
+}  // namespace ilp

@@ -1,0 +1,41 @@
+// Superblock list scheduling (paper Section 3.1: "superblock scheduling and
+// graph-coloring-based register allocation").
+//
+// Each extended basic block is scheduled independently against the machine's
+// issue width and branch-slot limit using critical-path list scheduling over
+// the DepGraph.  The block's instructions are then re-emitted in selection
+// order ("sorting by issue time yields the scheduled code" — paper Fig. 1);
+// because selection respects every dependence edge, the emitted order is a
+// topological order of the DAG and executes correctly on the in-order
+// machine.
+//
+// Cross-iteration overlap is not modeled here (no software pipelining, as in
+// the paper); the execution-driven simulator accounts for loop-carried
+// interlocks at run time.
+#pragma once
+
+#include <vector>
+
+#include "analysis/depgraph.hpp"
+#include "ir/function.hpp"
+#include "machine/machine.hpp"
+
+namespace ilp {
+
+struct BlockSchedule {
+  std::vector<std::uint32_t> order;  // emission order (original indices)
+  std::vector<int> issue_time;      // modeled issue cycle per original index
+  int makespan = 0;                 // last issue cycle + 1
+};
+
+// Computes a schedule for one block without mutating the function.
+BlockSchedule list_schedule(const DepGraph& g, const Function& fn, BlockId block,
+                            const MachineModel& machine);
+
+// Schedules `block` in place (reorders its instructions).
+void schedule_block(Function& fn, BlockId block, const MachineModel& machine);
+
+// Schedules every block of the function in place.
+void schedule_function(Function& fn, const MachineModel& machine);
+
+}  // namespace ilp

@@ -1,0 +1,44 @@
+// Simulated data memory.
+//
+// Byte addresses key logical cells: every distinct address used by the
+// program denotes one 64-bit cell (the workloads address arrays at a fixed
+// element stride, so cells never overlap).  Stores record raw bits; integer
+// and floating loads reinterpret them, matching a real memory.  The paper
+// assumes a 100% cache hit rate, so timing is uniform and lives in the
+// simulator, not here.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <unordered_map>
+
+namespace ilp {
+
+class Memory {
+ public:
+  void store_int(std::int64_t addr, std::int64_t v) {
+    cells_[addr] = std::bit_cast<std::uint64_t>(v);
+  }
+  void store_fp(std::int64_t addr, double v) {
+    cells_[addr] = std::bit_cast<std::uint64_t>(v);
+  }
+  [[nodiscard]] std::int64_t load_int(std::int64_t addr) const {
+    const auto it = cells_.find(addr);
+    return it == cells_.end() ? 0 : std::bit_cast<std::int64_t>(it->second);
+  }
+  [[nodiscard]] double load_fp(std::int64_t addr) const {
+    const auto it = cells_.find(addr);
+    return it == cells_.end() ? 0.0 : std::bit_cast<double>(it->second);
+  }
+
+  [[nodiscard]] std::size_t footprint() const { return cells_.size(); }
+  [[nodiscard]] const std::unordered_map<std::int64_t, std::uint64_t>& cells() const {
+    return cells_;
+  }
+  [[nodiscard]] bool operator==(const Memory& o) const { return cells_ == o.cells_; }
+
+ private:
+  std::unordered_map<std::int64_t, std::uint64_t> cells_;
+};
+
+}  // namespace ilp

@@ -1,0 +1,402 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+
+namespace ilp {
+
+namespace {
+
+// Wrapping signed arithmetic without UB.
+std::int64_t wrap_add(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                   static_cast<std::uint64_t>(b));
+}
+std::int64_t wrap_sub(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
+                                   static_cast<std::uint64_t>(b));
+}
+std::int64_t wrap_mul(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) *
+                                   static_cast<std::uint64_t>(b));
+}
+
+struct Cursor {
+  std::size_t block_pos = 0;  // layout position
+  std::size_t inst_idx = 0;
+};
+
+}  // namespace
+
+SimResult Simulator::run(const Function& fn, Memory& mem) const {
+  SimResult res;
+  if (fn.num_blocks() == 0) {
+    res.error = "empty function";
+    return res;
+  }
+
+  // Register state and per-register ready cycles.
+  std::vector<std::int64_t> ints(std::max<std::size_t>(fn.num_regs(RegClass::Int), 1), 0);
+  std::vector<double> fps(std::max<std::size_t>(fn.num_regs(RegClass::Fp), 1), 0.0);
+  for (std::size_t i = 0; i < options_.init_ints.size() && i < ints.size(); ++i)
+    ints[i] = options_.init_ints[i];
+  for (std::size_t i = 0; i < options_.init_fps.size() && i < fps.size(); ++i)
+    fps[i] = options_.init_fps[i];
+  std::vector<std::uint64_t> ready_int(ints.size(), 0);
+  std::vector<std::uint64_t> ready_fp(fps.size(), 0);
+  std::unordered_map<std::int64_t, std::uint64_t> mem_ready;
+
+  const auto& blocks = fn.blocks();
+  Cursor pc;
+  std::uint64_t cycle = 0;
+  bool done = false;
+
+  auto reg_ready = [&](const Reg& r) -> std::uint64_t {
+    return r.cls == RegClass::Int ? ready_int[r.id] : ready_fp[r.id];
+  };
+  auto set_ready = [&](const Reg& r, std::uint64_t c) {
+    (r.cls == RegClass::Int ? ready_int[r.id] : ready_fp[r.id]) = c;
+  };
+  auto iget = [&](const Reg& r) { return ints[r.id]; };
+  auto fget = [&](const Reg& r) { return fps[r.id]; };
+
+  auto fail = [&](std::string msg) {
+    res.ok = false;
+    res.error = std::move(msg);
+    res.cycles = cycle;
+  };
+
+  while (!done) {
+    int issued = 0;
+    int branches_this_cycle = 0;
+    bool advanced = false;
+
+    while (issued < machine_.issue_width) {
+      // Fallthrough across block boundaries is free (sequential fetch).
+      while (pc.inst_idx >= blocks[pc.block_pos].insts.size()) {
+        if (pc.block_pos + 1 >= blocks.size()) {
+          fail("fell off end of function");
+          return res;
+        }
+        ++pc.block_pos;
+        pc.inst_idx = 0;
+      }
+      const Instruction& in = blocks[pc.block_pos].insts[pc.inst_idx];
+
+      // Branch-slot restriction.
+      if (in.is_control() && branches_this_cycle >= machine_.branch_slots) break;
+
+      // Register interlocks: every source must be ready.
+      bool stalled = false;
+      if (in.src1.valid() && reg_ready(in.src1) > cycle) stalled = true;
+      if (!stalled && in.src2.valid() && !in.src2_is_imm && reg_ready(in.src2) > cycle)
+        stalled = true;
+      // Load waits for the latest store to the same address to complete.
+      std::int64_t addr = 0;
+      if (!stalled && in.is_memory()) {
+        addr = wrap_add(iget(in.src1), in.ival);
+        if (in.is_load()) {
+          const auto it = mem_ready.find(addr);
+          if (it != mem_ready.end() && it->second > cycle) stalled = true;
+        }
+      }
+      if (stalled) break;
+
+      // ---- Issue: apply functional semantics. ----
+      if (res.instructions >= options_.max_instructions) {
+        fail(strformat("instruction budget exceeded (%llu)",
+                       static_cast<unsigned long long>(options_.max_instructions)));
+        return res;
+      }
+      ++res.instructions;
+      ++issued;
+      advanced = true;
+      if (options_.trace && options_.trace->size() < options_.trace_limit)
+        options_.trace->push_back(IssueEvent{in.uid, cycle});
+
+      const int lat = machine_.latency(in.op);
+      bool taken = false;
+      switch (in.op) {
+        case Opcode::IADD:
+          ints[in.dst.id] = wrap_add(iget(in.src1), in.src2_is_imm ? in.ival : iget(in.src2));
+          break;
+        case Opcode::ISUB:
+          ints[in.dst.id] = wrap_sub(iget(in.src1), in.src2_is_imm ? in.ival : iget(in.src2));
+          break;
+        case Opcode::IMUL:
+          ints[in.dst.id] = wrap_mul(iget(in.src1), in.src2_is_imm ? in.ival : iget(in.src2));
+          break;
+        case Opcode::IMULH: {
+          const __int128 p = static_cast<__int128>(iget(in.src1)) *
+                             static_cast<__int128>(in.src2_is_imm ? in.ival : iget(in.src2));
+          ints[in.dst.id] = static_cast<std::int64_t>(p >> 64);
+          break;
+        }
+        case Opcode::IDIV:
+        case Opcode::IREM: {
+          const std::int64_t a = iget(in.src1);
+          const std::int64_t b = in.src2_is_imm ? in.ival : iget(in.src2);
+          if (b == 0) {
+            fail("integer division by zero");
+            return res;
+          }
+          std::int64_t q;
+          if (a == INT64_MIN && b == -1)
+            q = INT64_MIN;  // wraps
+          else
+            q = a / b;
+          ints[in.dst.id] = in.op == Opcode::IDIV ? q : wrap_sub(a, wrap_mul(q, b));
+          break;
+        }
+        case Opcode::ISHL:
+        case Opcode::ISHRA:
+        case Opcode::ISHRL: {
+          const std::uint64_t a = static_cast<std::uint64_t>(iget(in.src1));
+          const int s =
+              static_cast<int>((in.src2_is_imm ? in.ival : iget(in.src2)) & 63);
+          std::uint64_t r = 0;
+          if (in.op == Opcode::ISHL)
+            r = a << s;
+          else if (in.op == Opcode::ISHRL)
+            r = a >> s;
+          else
+            r = static_cast<std::uint64_t>(static_cast<std::int64_t>(a) >> s);
+          ints[in.dst.id] = static_cast<std::int64_t>(r);
+          break;
+        }
+        case Opcode::IAND:
+          ints[in.dst.id] = iget(in.src1) & (in.src2_is_imm ? in.ival : iget(in.src2));
+          break;
+        case Opcode::IOR:
+          ints[in.dst.id] = iget(in.src1) | (in.src2_is_imm ? in.ival : iget(in.src2));
+          break;
+        case Opcode::IXOR:
+          ints[in.dst.id] = iget(in.src1) ^ (in.src2_is_imm ? in.ival : iget(in.src2));
+          break;
+        case Opcode::IMAX:
+          ints[in.dst.id] =
+              std::max(iget(in.src1), in.src2_is_imm ? in.ival : iget(in.src2));
+          break;
+        case Opcode::IMIN:
+          ints[in.dst.id] =
+              std::min(iget(in.src1), in.src2_is_imm ? in.ival : iget(in.src2));
+          break;
+        case Opcode::IMOV:
+          ints[in.dst.id] = iget(in.src1);
+          break;
+        case Opcode::INEG:
+          ints[in.dst.id] = wrap_sub(0, iget(in.src1));
+          break;
+        case Opcode::LDI:
+          ints[in.dst.id] = in.ival;
+          break;
+        case Opcode::FADD:
+          fps[in.dst.id] = fget(in.src1) + (in.src2_is_imm ? in.fval : fget(in.src2));
+          break;
+        case Opcode::FSUB:
+          fps[in.dst.id] = fget(in.src1) - (in.src2_is_imm ? in.fval : fget(in.src2));
+          break;
+        case Opcode::FMUL:
+          fps[in.dst.id] = fget(in.src1) * (in.src2_is_imm ? in.fval : fget(in.src2));
+          break;
+        case Opcode::FDIV:
+          fps[in.dst.id] = fget(in.src1) / (in.src2_is_imm ? in.fval : fget(in.src2));
+          break;
+        case Opcode::FMAX:
+          fps[in.dst.id] = std::max(fget(in.src1), in.src2_is_imm ? in.fval : fget(in.src2));
+          break;
+        case Opcode::FMIN:
+          fps[in.dst.id] = std::min(fget(in.src1), in.src2_is_imm ? in.fval : fget(in.src2));
+          break;
+        case Opcode::FMOV:
+          fps[in.dst.id] = fget(in.src1);
+          break;
+        case Opcode::FNEG:
+          fps[in.dst.id] = -fget(in.src1);
+          break;
+        case Opcode::FLDI:
+          fps[in.dst.id] = in.fval;
+          break;
+        case Opcode::ITOF:
+          fps[in.dst.id] = static_cast<double>(iget(in.src1));
+          break;
+        case Opcode::FTOI: {
+          const double v = fget(in.src1);
+          if (!(v >= -9.2e18 && v <= 9.2e18)) {
+            fail("ftoi out of range");
+            return res;
+          }
+          ints[in.dst.id] = static_cast<std::int64_t>(v);
+          break;
+        }
+        case Opcode::LD:
+          ints[in.dst.id] = mem.load_int(addr);
+          break;
+        case Opcode::FLD:
+          fps[in.dst.id] = mem.load_fp(addr);
+          break;
+        case Opcode::ST:
+          mem.store_int(addr, iget(in.src2));
+          mem_ready[addr] = cycle + static_cast<std::uint64_t>(lat);
+          break;
+        case Opcode::FST:
+          mem.store_fp(addr, fget(in.src2));
+          mem_ready[addr] = cycle + static_cast<std::uint64_t>(lat);
+          break;
+        case Opcode::JUMP:
+          taken = true;
+          break;
+        case Opcode::RET:
+          done = true;
+          break;
+        case Opcode::NOP:
+          break;
+        default: {
+          ILP_ASSERT(in.is_branch(), "unhandled opcode in simulator");
+          bool cond;
+          if (op_is_fp_compare(in.op)) {
+            const double a = fget(in.src1);
+            const double b = in.src2_is_imm ? in.fval : fget(in.src2);
+            switch (in.op) {
+              case Opcode::FBEQ: cond = a == b; break;
+              case Opcode::FBNE: cond = a != b; break;
+              case Opcode::FBLT: cond = a < b; break;
+              case Opcode::FBLE: cond = a <= b; break;
+              case Opcode::FBGT: cond = a > b; break;
+              default: cond = a >= b; break;  // FBGE
+            }
+          } else {
+            const std::int64_t a = iget(in.src1);
+            const std::int64_t b = in.src2_is_imm ? in.ival : iget(in.src2);
+            switch (in.op) {
+              case Opcode::BEQ: cond = a == b; break;
+              case Opcode::BNE: cond = a != b; break;
+              case Opcode::BLT: cond = a < b; break;
+              case Opcode::BLE: cond = a <= b; break;
+              case Opcode::BGT: cond = a > b; break;
+              default: cond = a >= b; break;  // BGE
+            }
+          }
+          taken = cond;
+          break;
+        }
+      }
+
+      if (in.has_dest()) set_ready(in.dst, cycle + static_cast<std::uint64_t>(lat));
+      if (in.is_control()) {
+        ++branches_this_cycle;
+        ++res.branches;
+      }
+      if (done) break;
+
+      if (taken) {
+        // Redirect: target issues no earlier than cycle + branch latency.
+        pc.block_pos = fn.layout_index(in.target);
+        pc.inst_idx = 0;
+        break;  // taken control transfer ends the issue cycle
+      }
+      ++pc.inst_idx;
+    }
+
+    if (done) {
+      res.cycles = cycle + 1;
+      break;
+    }
+    if (!advanced) ++res.stall_cycles;
+    ++cycle;
+  }
+
+  res.ok = true;
+  res.regs.ints = std::move(ints);
+  res.regs.fps = std::move(fps);
+  return res;
+}
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& s) {
+  std::uint64_t z = (s += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+void seed_arrays(const Function& fn, Memory& mem, std::uint64_t seed) {
+  for (const auto& arr : fn.arrays()) {
+    std::uint64_t s = seed;
+    for (char c : arr.name) s = s * 131 + static_cast<std::uint64_t>(c);
+    for (std::int64_t i = 0; i < arr.length; ++i) {
+      const std::int64_t addr = arr.base + i * arr.elem_size;
+      const std::uint64_t r = splitmix64(s);
+      if (arr.is_fp) {
+        // Values in (0.0625, 2.0625): positive, away from zero, modest
+        // magnitude so products/sums stay finite across long loops.
+        const double v = 0.0625 + static_cast<double>(r % 1024) / 512.0;
+        mem.store_fp(addr, v);
+      } else {
+        mem.store_int(addr, static_cast<std::int64_t>(1 + r % 16));
+      }
+    }
+  }
+}
+
+RunOutcome run_seeded(const Function& fn, const MachineModel& machine, SimOptions options) {
+  RunOutcome out;
+  seed_arrays(fn, out.memory);
+  Simulator sim(machine, std::move(options));
+  out.result = sim.run(fn, out.memory);
+  return out;
+}
+
+std::string compare_observable(const Function& fn, const RunOutcome& a, const RunOutcome& b,
+                               double fp_tolerance) {
+  if (!a.result.ok) return "first run failed: " + a.result.error;
+  if (!b.result.ok) return "second run failed: " + b.result.error;
+
+  auto fp_close = [&](double x, double y) {
+    const double diff = std::fabs(x - y);
+    const double scale = std::max({std::fabs(x), std::fabs(y), 1.0});
+    return diff <= fp_tolerance * scale;
+  };
+
+  for (const auto& arr : fn.arrays()) {
+    for (std::int64_t i = 0; i < arr.length; ++i) {
+      const std::int64_t addr = arr.base + i * arr.elem_size;
+      if (arr.is_fp) {
+        const double x = a.memory.load_fp(addr);
+        const double y = b.memory.load_fp(addr);
+        if (!fp_close(x, y))
+          return strformat("%s[%lld]: %.17g vs %.17g", arr.name.c_str(),
+                           static_cast<long long>(i), x, y);
+      } else {
+        const std::int64_t x = a.memory.load_int(addr);
+        const std::int64_t y = b.memory.load_int(addr);
+        if (x != y)
+          return strformat("%s[%lld]: %lld vs %lld", arr.name.c_str(),
+                           static_cast<long long>(i), static_cast<long long>(x),
+                           static_cast<long long>(y));
+      }
+    }
+  }
+  for (const Reg& r : fn.live_out()) {
+    if (r.cls == RegClass::Fp) {
+      const double x = a.result.regs.get_fp(r.id);
+      const double y = b.result.regs.get_fp(r.id);
+      if (!fp_close(x, y))
+        return strformat("live-out r%u.f: %.17g vs %.17g", r.id, x, y);
+    } else {
+      const std::int64_t x = a.result.regs.get_int(r.id);
+      const std::int64_t y = b.result.regs.get_int(r.id);
+      if (x != y)
+        return strformat("live-out r%u.i: %lld vs %lld", r.id, static_cast<long long>(x),
+                         static_cast<long long>(y));
+    }
+  }
+  return {};
+}
+
+}  // namespace ilp

@@ -1,0 +1,106 @@
+// Execution-driven simulator for the parameterized in-order superscalar/VLIW
+// processor of the paper (Section 3.1).
+//
+// Functional semantics and timing are computed together while running the
+// program on real data — the same methodology the paper uses to derive
+// execution times.  Timing model:
+//
+//   * Up to `issue_width` instructions issue per cycle, in program order.
+//   * An instruction stalls (blocking all later ones — in-order issue with
+//     register interlocks) until every source register is ready.  A dest
+//     register written by an op of latency L at cycle c is ready at c+L.
+//   * At most `branch_slots` (=1) control instructions issue per cycle.  A
+//     taken branch/jump ends the issue cycle; the target instruction issues
+//     no earlier than cycle + branch latency.  Untaken branches allow
+//     continued same-cycle issue of fall-through instructions.
+//   * A load from address a stalls until the latest store to a completes
+//     (store latency 1 ⇒ the following cycle).
+//
+// This model reproduces every issue-time (IT) table in the paper's Figures
+// 1, 3, 5, 6 and 7 exactly (see tests/sim/figures_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/function.hpp"
+#include "machine/machine.hpp"
+#include "sim/memory.hpp"
+
+namespace ilp {
+
+// Final architectural register state.
+struct RegFile {
+  std::vector<std::int64_t> ints;
+  std::vector<double> fps;
+
+  [[nodiscard]] std::int64_t get_int(std::uint32_t id) const {
+    return id < ints.size() ? ints[id] : 0;
+  }
+  [[nodiscard]] double get_fp(std::uint32_t id) const {
+    return id < fps.size() ? fps[id] : 0.0;
+  }
+};
+
+struct IssueEvent {
+  std::uint32_t uid = 0;    // Instruction::uid
+  std::uint64_t cycle = 0;  // issue cycle
+};
+
+struct SimOptions {
+  std::uint64_t max_instructions = 2'000'000'000ull;
+  // When set, the first `trace_limit` issue events are recorded.
+  std::vector<IssueEvent>* trace = nullptr;
+  std::size_t trace_limit = 4096;
+  // Initial register values (id -> value); vectors may be shorter than the
+  // function's register count.
+  std::vector<std::int64_t> init_ints;
+  std::vector<double> init_fps;
+};
+
+struct SimResult {
+  bool ok = false;
+  std::string error;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;  // dynamically issued
+  std::uint64_t branches = 0;      // dynamic control instructions
+  std::uint64_t stall_cycles = 0;  // cycles where slot 0 could not issue
+  RegFile regs;
+};
+
+class Simulator {
+ public:
+  Simulator(const MachineModel& machine, SimOptions options = {})
+      : machine_(machine), options_(std::move(options)) {}
+
+  // Runs `fn` to RET, mutating `mem`.  The function's entry point is its
+  // first block in layout order.
+  [[nodiscard]] SimResult run(const Function& fn, Memory& mem) const;
+
+ private:
+  MachineModel machine_;
+  SimOptions options_;
+};
+
+// Deterministically fills every array of `fn` with pseudo-random data (seeded
+// by array name) so all transformation levels of the same source loop observe
+// identical inputs.  Int arrays get small positive ints; fp arrays get values
+// in (0, 2).
+void seed_arrays(const Function& fn, Memory& mem, std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+// Convenience for differential tests: runs and returns (result, memory).
+struct RunOutcome {
+  SimResult result;
+  Memory memory;
+};
+RunOutcome run_seeded(const Function& fn, const MachineModel& machine,
+                      SimOptions options = {});
+
+// Compares two runs' observable behaviour: final memory images and the
+// function's declared live-out registers.  Returns an empty string when
+// equivalent, else a human-readable difference.
+std::string compare_observable(const Function& fn, const RunOutcome& a, const RunOutcome& b,
+                               double fp_tolerance = 1e-9);
+
+}  // namespace ilp

@@ -1,0 +1,26 @@
+// Lightweight always-on assertion macros for internal invariants.
+//
+// ILP_ASSERT is used for programmer errors inside the compiler/simulator
+// (malformed IR, broken pass invariants).  It is kept enabled in all build
+// types: this library's correctness story rests on differential testing, and
+// a silently corrupted IR would invalidate every downstream measurement.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ilp::detail {
+[[noreturn]] inline void assert_fail(const char* cond, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "ILP_ASSERT failed: %s\n  at %s:%d\n  %s\n", cond, file, line,
+               msg ? msg : "");
+  std::abort();
+}
+}  // namespace ilp::detail
+
+#define ILP_ASSERT(cond, msg)                                          \
+  do {                                                                 \
+    if (!(cond)) ::ilp::detail::assert_fail(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define ILP_UNREACHABLE(msg) ::ilp::detail::assert_fail("unreachable", __FILE__, __LINE__, (msg))

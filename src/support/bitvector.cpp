@@ -1,0 +1,48 @@
+#include "support/bitvector.hpp"
+
+#include <bit>
+
+namespace ilp {
+
+void BitVector::resize(std::size_t nbits, bool value) {
+  const std::size_t old_bits = nbits_;
+  nbits_ = nbits;
+  words_.resize(word_count(nbits), value ? ~0ull : 0ull);
+  if (value && old_bits < nbits && old_bits % 64 != 0) {
+    // Fill the tail of the previously-partial word.
+    words_[old_bits >> 6] |= ~((1ull << (old_bits % 64)) - 1);
+  }
+  clear_padding();
+}
+
+BitVector& BitVector::operator|=(const BitVector& o) {
+  ILP_ASSERT(nbits_ == o.nbits_, "BitVector size mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+  return *this;
+}
+
+BitVector& BitVector::operator&=(const BitVector& o) {
+  ILP_ASSERT(nbits_ == o.nbits_, "BitVector size mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+  return *this;
+}
+
+BitVector& BitVector::subtract(const BitVector& o) {
+  ILP_ASSERT(nbits_ == o.nbits_, "BitVector size mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+  return *this;
+}
+
+bool BitVector::any() const {
+  for (auto w : words_)
+    if (w != 0) return true;
+  return false;
+}
+
+std::size_t BitVector::count() const {
+  std::size_t n = 0;
+  for (auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+}  // namespace ilp

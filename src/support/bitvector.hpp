@@ -1,0 +1,85 @@
+// Dense bit vector used by the dataflow analyses (liveness, reaching defs).
+//
+// Dataflow over loop bodies of a few thousand instructions dominates analysis
+// time, so the set operations are word-parallel and allocation-free once
+// sized.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace ilp {
+
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(std::size_t nbits, bool value = false)
+      : nbits_(nbits), words_(word_count(nbits), value ? ~0ull : 0ull) {
+    clear_padding();
+  }
+
+  [[nodiscard]] std::size_t size() const { return nbits_; }
+  [[nodiscard]] bool empty() const { return nbits_ == 0; }
+
+  void resize(std::size_t nbits, bool value = false);
+
+  [[nodiscard]] bool test(std::size_t i) const {
+    ILP_ASSERT(i < nbits_, "BitVector::test out of range");
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void set(std::size_t i) {
+    ILP_ASSERT(i < nbits_, "BitVector::set out of range");
+    words_[i >> 6] |= (1ull << (i & 63));
+  }
+  void reset(std::size_t i) {
+    ILP_ASSERT(i < nbits_, "BitVector::reset out of range");
+    words_[i >> 6] &= ~(1ull << (i & 63));
+  }
+  void set_all() {
+    for (auto& w : words_) w = ~0ull;
+    clear_padding();
+  }
+  void reset_all() {
+    for (auto& w : words_) w = 0;
+  }
+
+  // Word-parallel set algebra; operands must be the same size.
+  BitVector& operator|=(const BitVector& o);
+  BitVector& operator&=(const BitVector& o);
+  // this = this & ~o
+  BitVector& subtract(const BitVector& o);
+
+  [[nodiscard]] bool operator==(const BitVector& o) const {
+    return nbits_ == o.nbits_ && words_ == o.words_;
+  }
+  [[nodiscard]] bool any() const;
+  [[nodiscard]] std::size_t count() const;
+
+  // Calls fn(index) for every set bit, in increasing index order.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w != 0) {
+        const int bit = __builtin_ctzll(w);
+        fn(wi * 64 + static_cast<std::size_t>(bit));
+        w &= w - 1;
+      }
+    }
+  }
+
+ private:
+  static std::size_t word_count(std::size_t nbits) { return (nbits + 63) / 64; }
+  void clear_padding() {
+    if (nbits_ % 64 != 0 && !words_.empty())
+      words_.back() &= (1ull << (nbits_ % 64)) - 1;
+  }
+
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace ilp

@@ -1,0 +1,26 @@
+#include "support/diagnostics.hpp"
+
+#include <sstream>
+
+namespace ilp {
+
+void DiagnosticEngine::report(Severity sev, SourceLoc loc, std::string message) {
+  if (sev == Severity::Error) ++error_count_;
+  diags_.push_back(Diagnostic{sev, loc, std::move(message)});
+}
+
+std::string DiagnosticEngine::to_string() const {
+  std::ostringstream os;
+  for (const auto& d : diags_) {
+    if (d.loc.line > 0) os << d.loc.line << ":" << d.loc.column << ": ";
+    switch (d.severity) {
+      case Severity::Note: os << "note: "; break;
+      case Severity::Warning: os << "warning: "; break;
+      case Severity::Error: os << "error: "; break;
+    }
+    os << d.message << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ilp

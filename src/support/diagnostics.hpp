@@ -1,0 +1,45 @@
+// Diagnostic reporting shared by the front end (syntax/semantic errors with
+// source positions) and the pass pipeline (verifier failures).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ilp {
+
+struct SourceLoc {
+  int line = 0;    // 1-based; 0 means "no location"
+  int column = 0;  // 1-based
+};
+
+enum class Severity { Note, Warning, Error };
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceLoc loc;
+  std::string message;
+};
+
+// Collects diagnostics; callers test has_errors() after each phase.
+class DiagnosticEngine {
+ public:
+  void report(Severity sev, SourceLoc loc, std::string message);
+  void error(SourceLoc loc, std::string message) {
+    report(Severity::Error, loc, std::move(message));
+  }
+  void warning(SourceLoc loc, std::string message) {
+    report(Severity::Warning, loc, std::move(message));
+  }
+
+  [[nodiscard]] bool has_errors() const { return error_count_ > 0; }
+  [[nodiscard]] const std::vector<Diagnostic>& all() const { return diags_; }
+
+  // Render "line:col: error: message" lines, one per diagnostic.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+  int error_count_ = 0;
+};
+
+}  // namespace ilp

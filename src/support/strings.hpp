@@ -1,0 +1,23 @@
+// Small string/format helpers used by printers and report generators.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ilp {
+
+// printf-style formatting into a std::string.
+std::string strformat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Splits on a single character; keeps empty fields.
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+// Left/right pads `s` with spaces to at least `width` characters.
+std::string pad_right(std::string_view s, std::size_t width);
+std::string pad_left(std::string_view s, std::size_t width);
+
+}  // namespace ilp

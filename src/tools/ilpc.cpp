@@ -1,0 +1,203 @@
+// ilpc — command-line driver for the ILP transformation compiler.
+//
+// Usage:
+//   ilpc [options] <source.ilp>
+//   ilpc --workload <name>            (compile a built-in Table 2 nest)
+//
+// Options:
+//   --level conv|lev1|lev2|lev3|lev4  transformation level (default lev4)
+//   --issue N                         issue width (default 8)
+//   --unroll N                        max unroll factor (default 8)
+//   --emit-ir                         print the final IR
+//   --emit-ir-before                  print the IR before optimization
+//   --no-sim                          skip simulation
+//   --classify                        print the loop classification and exit
+//   --list-workloads                  list the built-in Table 2 suite
+//
+// Exit codes: 0 ok, 1 usage, 2 compile error, 3 simulation error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "frontend/classify.hpp"
+#include "frontend/compile.hpp"
+#include "frontend/parser.hpp"
+#include "ir/printer.hpp"
+#include "machine/machine.hpp"
+#include "regalloc/regalloc.hpp"
+#include "sim/simulator.hpp"
+#include "trans/level.hpp"
+#include "workloads/suite.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: ilpc [--level conv|lev1|lev2|lev3|lev4] [--issue N] "
+               "[--unroll N]\n"
+               "            [--emit-ir] [--emit-ir-before] [--no-sim] [--classify]\n"
+               "            (<source.ilp> | --workload <name> | --list-workloads)\n");
+}
+
+std::optional<ilp::OptLevel> parse_level(const char* s) {
+  using ilp::OptLevel;
+  if (!std::strcmp(s, "conv")) return OptLevel::Conv;
+  if (!std::strcmp(s, "lev1")) return OptLevel::Lev1;
+  if (!std::strcmp(s, "lev2")) return OptLevel::Lev2;
+  if (!std::strcmp(s, "lev3")) return OptLevel::Lev3;
+  if (!std::strcmp(s, "lev4")) return OptLevel::Lev4;
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ilp;
+
+  OptLevel level = OptLevel::Lev4;
+  int issue = 8;
+  int unroll = 8;
+  bool emit_ir = false;
+  bool emit_ir_before = false;
+  bool do_sim = true;
+  bool classify_only = false;
+  std::string source_path;
+  std::string workload_name;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (a == "--level") {
+      const auto l = parse_level(next());
+      if (!l) {
+        usage();
+        return 1;
+      }
+      level = *l;
+    } else if (a == "--issue") {
+      issue = std::atoi(next());
+      if (issue < 1) {
+        usage();
+        return 1;
+      }
+    } else if (a == "--unroll") {
+      unroll = std::atoi(next());
+    } else if (a == "--emit-ir") {
+      emit_ir = true;
+    } else if (a == "--emit-ir-before") {
+      emit_ir_before = true;
+    } else if (a == "--no-sim") {
+      do_sim = false;
+    } else if (a == "--classify") {
+      classify_only = true;
+    } else if (a == "--workload") {
+      workload_name = next();
+    } else if (a == "--list-workloads") {
+      for (const auto& w : workload_suite())
+        std::printf("%-14s %-8s size=%-3d iters=%-5lld nest=%d %s%s\n", w.name.c_str(),
+                    w.group.c_str(), w.size, static_cast<long long>(w.iters), w.nest,
+                    dsl::loop_type_name(w.type), w.conds ? " conds" : "");
+      return 0;
+    } else if (a == "--help" || a == "-h") {
+      usage();
+      return 0;
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", a.c_str());
+      usage();
+      return 1;
+    } else {
+      source_path = a;
+    }
+  }
+
+  // Load the source text.
+  std::string source;
+  if (!workload_name.empty()) {
+    const Workload* w = find_workload(workload_name);
+    if (w == nullptr) {
+      std::fprintf(stderr, "unknown workload '%s' (try --list-workloads)\n",
+                   workload_name.c_str());
+      return 1;
+    }
+    source = w->source;
+  } else if (!source_path.empty()) {
+    std::ifstream in(source_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", source_path.c_str());
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    source = ss.str();
+  } else {
+    usage();
+    return 1;
+  }
+
+  DiagnosticEngine diags;
+  if (classify_only) {
+    const auto ast = dsl::parse(source, diags);
+    if (!ast) {
+      std::fprintf(stderr, "%s", diags.to_string().c_str());
+      return 2;
+    }
+    for (const auto& l : dsl::classify_innermost_loops(*ast))
+      std::printf("loop %-8s depth=%d stmts=%-3d %s%s\n", l.var.c_str(), l.nest_depth,
+                  l.body_stmts, dsl::loop_type_name(l.type),
+                  l.has_conds ? " conds" : "");
+    return 0;
+  }
+
+  auto compiled = dsl::compile(source, diags);
+  if (!compiled) {
+    std::fprintf(stderr, "%s", diags.to_string().c_str());
+    return 2;
+  }
+  if (emit_ir_before) std::printf("%s\n", to_string(compiled->fn).c_str());
+
+  const MachineModel machine = MachineModel::issue(issue);
+  CompileOptions opts;
+  opts.unroll.max_factor = unroll;
+  compile_at_level(compiled->fn, level, machine, opts);
+
+  if (emit_ir) std::printf("%s\n", to_string(compiled->fn).c_str());
+
+  const RegUsage regs = measure_register_usage(compiled->fn);
+  std::printf("level=%s issue=%d instructions=%zu registers=%d(int)+%d(fp)\n",
+              level_name(level), issue, compiled->fn.num_insts(), regs.int_regs,
+              regs.fp_regs);
+
+  if (do_sim) {
+    const RunOutcome run = run_seeded(compiled->fn, machine);
+    if (!run.result.ok) {
+      std::fprintf(stderr, "simulation failed: %s\n", run.result.error.c_str());
+      return 3;
+    }
+    std::printf("cycles=%llu dynamic-instructions=%llu ipc=%.2f\n",
+                static_cast<unsigned long long>(run.result.cycles),
+                static_cast<unsigned long long>(run.result.instructions),
+                static_cast<double>(run.result.instructions) /
+                    static_cast<double>(run.result.cycles));
+    for (const auto& [name, reg] : compiled->scalar_regs) {
+      bool is_out = false;
+      for (const Reg& r : compiled->fn.live_out())
+        if (r == reg) is_out = true;
+      if (!is_out) continue;
+      if (reg.is_fp())
+        std::printf("out %s = %.9g\n", name.c_str(), run.result.regs.get_fp(reg.id));
+      else
+        std::printf("out %s = %lld\n", name.c_str(),
+                    static_cast<long long>(run.result.regs.get_int(reg.id)));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,144 @@
+#include "trans/accexpand.hpp"
+
+#include <unordered_map>
+
+#include "analysis/cfg.hpp"
+#include "analysis/dominators.hpp"
+#include "analysis/loops.hpp"
+#include "ir/reg.hpp"
+#include "trans/expand_common.hpp"
+
+namespace ilp {
+
+namespace {
+
+enum class AccKind { None, Additive, Multiplicative };
+
+// Classifies one definition of V as an accumulation step.
+AccKind classify_def(const Instruction& in, const Reg& v) {
+  switch (in.op) {
+    case Opcode::IADD:
+    case Opcode::FADD:
+      // V = V + x or V = x + V.
+      if (in.src1 == v || (!in.src2_is_imm && in.src2 == v)) return AccKind::Additive;
+      return AccKind::None;
+    case Opcode::ISUB:
+    case Opcode::FSUB:
+      // Only V = V - x is an accumulation (x - V is not).
+      if (in.src1 == v) return AccKind::Additive;
+      return AccKind::None;
+    case Opcode::IMUL:
+    case Opcode::FMUL:
+      if (in.src1 == v || (!in.src2_is_imm && in.src2 == v))
+        return AccKind::Multiplicative;
+      return AccKind::None;
+    default:
+      return AccKind::None;
+  }
+}
+
+struct Candidate {
+  Reg v;
+  AccKind kind = AccKind::None;
+  std::vector<std::size_t> def_idx;
+};
+
+int expand_in_loop(Function& fn, const SimpleLoop& loop, const AccExpandOptions& opts) {
+  // Phase 1: classify candidates without mutating anything (block references
+  // are invalidated once fixup blocks get spliced in).
+  std::vector<Candidate> candidates;
+  {
+    const Block& body = fn.block(loop.body);
+    std::unordered_map<Reg, int, RegHash> defs;
+    for (const Instruction& in : body.insts)
+      if (in.has_dest()) ++defs[in.dst];
+
+    for (const auto& [v, count] : defs) {
+      if (count < 2) continue;
+      // Condition 1+2: every def of v is an accumulation of a uniform kind
+      // and every read of v inside the loop is the self-operand of such a
+      // def.
+      Candidate cand;
+      cand.v = v;
+      bool ok = true;
+      for (std::size_t i = 0; i < body.insts.size() && ok; ++i) {
+        const Instruction& in = body.insts[i];
+        if (in.writes(v)) {
+          const AccKind k = classify_def(in, v);
+          if (k == AccKind::None || (cand.kind != AccKind::None && k != cand.kind)) {
+            ok = false;
+            break;
+          }
+          cand.kind = k;
+          cand.def_idx.push_back(i);
+          // The def may read v only as its self-operand; a def like
+          // v = v + v accumulates nonlinearly: reject.
+          const int reads = (in.src1 == v ? 1 : 0) +
+                            (!in.src2_is_imm && in.src2 == v ? 1 : 0);
+          if (reads != 1) ok = false;
+        } else if (in.reads(v)) {
+          ok = false;  // used outside accumulation instructions
+        }
+      }
+      if (!ok || cand.kind == AccKind::None) continue;
+      if (cand.kind == AccKind::Multiplicative && !opts.expand_products) continue;
+      candidates.push_back(std::move(cand));
+    }
+  }
+
+  // Phase 2: apply.
+  int expanded = 0;
+  for (const Candidate& cand : candidates) {
+    const Reg v = cand.v;
+    const AccKind kind = cand.kind;
+    const std::vector<std::size_t>& def_idx = cand.def_idx;
+    const std::size_t k = def_idx.size();
+    const bool fp = v.cls == RegClass::Fp;
+    const Opcode sum_op = kind == AccKind::Additive ? (fp ? Opcode::FADD : Opcode::IADD)
+                                                    : (fp ? Opcode::FMUL : Opcode::IMUL);
+
+    // Allocate temporaries; init first to V, rest to the identity.
+    std::vector<Reg> temps;
+    std::vector<Instruction> init;
+    for (std::size_t i = 0; i < k; ++i) {
+      const Reg t = fn.new_reg(v.cls);
+      temps.push_back(t);
+      if (i == 0) {
+        init.push_back(make_unary(fp ? Opcode::FMOV : Opcode::IMOV, t, v));
+      } else if (kind == AccKind::Additive) {
+        init.push_back(fp ? make_fldi(t, 0.0) : make_ldi(t, 0));
+      } else {
+        init.push_back(fp ? make_fldi(t, 1.0) : make_ldi(t, 1));
+      }
+    }
+    append_to_preheader(fn, loop, init);
+
+    // Replace each definition's register by its temporary.
+    for (std::size_t i = 0; i < k; ++i) {
+      Instruction& in = fn.block(loop.body).insts[def_idx[i]];
+      in.replace_uses(v, temps[i]);
+      in.dst = temps[i];
+    }
+
+    // Exit fixups: V = fold(temps).  Identical on every exit path.
+    const std::vector<Instruction> fix = make_fold(sum_op, v, temps);
+    splice_fallthrough_fixup(fn, loop, fix);
+    for (std::size_t se : loop.side_exits) splice_side_exit_fixup(fn, loop, se, fix);
+    ++expanded;
+  }
+  return expanded;
+}
+
+}  // namespace
+
+int accumulator_expansion(Function& fn, const AccExpandOptions& opts) {
+  const Cfg cfg(fn);
+  const Dominators dom(cfg);
+  int n = 0;
+  for (const SimpleLoop& loop : find_simple_loops(cfg, dom))
+    n += expand_in_loop(fn, loop, opts);
+  if (n > 0) fn.renumber();
+  return n;
+}
+
+}  // namespace ilp

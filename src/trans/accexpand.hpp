@@ -1,0 +1,30 @@
+// Accumulator variable expansion (paper Figure 2).
+//
+// For each register V in a simple loop where
+//   1. all instructions modifying V are increment/decrement instructions
+//      (V = V + x, V = V - x; integer or floating point),
+//   2. V is referenced only by those instructions inside the loop,
+//   3. there is more than one such instruction (i.e. the loop is unrolled),
+// the k definitions get k temporary accumulators: the first initialized to
+// V, the rest to zero, each replacing one definition; every loop exit gains
+// a summation of the temporaries into V.  This removes the flow, anti and
+// output dependences between the accumulation instructions — the critical
+// path of reduction loops (Figure 3).
+//
+// Floating-point expansion reassociates the reduction, as in the paper.
+#pragma once
+
+#include "ir/function.hpp"
+
+namespace ilp {
+
+struct AccExpandOptions {
+  // Extension beyond the paper's algorithm: also expand multiplicative
+  // accumulators (V = V * x) with temporaries initialized to 1.
+  bool expand_products = false;
+};
+
+// Returns the number of accumulators expanded.
+int accumulator_expansion(Function& fn, const AccExpandOptions& opts = {});
+
+}  // namespace ilp

@@ -1,0 +1,232 @@
+#include "trans/combine.hpp"
+
+#include <cmath>
+#include <optional>
+
+#include "ir/reg.hpp"
+#include "support/assert.hpp"
+
+namespace ilp {
+
+namespace {
+
+bool is_int_addsub_imm(const Instruction& in) {
+  return (in.op == Opcode::IADD || in.op == Opcode::ISUB) && in.src2_is_imm;
+}
+bool is_fp_addsub_imm(const Instruction& in) {
+  return (in.op == Opcode::FADD || in.op == Opcode::FSUB) && in.src2_is_imm;
+}
+bool is_fp_muldiv_imm(const Instruction& in) {
+  return (in.op == Opcode::FMUL || in.op == Opcode::FDIV) && in.src2_is_imm;
+}
+bool is_int_branch(const Instruction& in) {
+  return in.is_branch() && !op_is_fp_compare(in.op);
+}
+
+// The register whose producing instruction we try to combine away, for a
+// given I2 form; invalid Reg if the form is not combinable.
+Reg combinable_source(const Instruction& i2) {
+  if (is_int_addsub_imm(i2) || is_fp_addsub_imm(i2) || is_fp_muldiv_imm(i2)) return i2.src1;
+  if (i2.op == Opcode::IMUL && i2.src2_is_imm) return i2.src1;
+  if (i2.is_memory()) return i2.src1;  // address base; offset is the constant
+  if (i2.is_branch() && i2.src2_is_imm) return i2.src1;
+  return kNoReg;
+}
+
+// Attempts to rewrite `i2` to read `i1`'s source instead of its result.
+// Returns the rewritten instruction, or nullopt when the pair is not
+// combinable (including int-overflow aborts).
+std::optional<Instruction> combine_pair(const Instruction& i1, const Instruction& i2) {
+  Instruction out = i2;
+
+  // ---- Integer add/sub producer. ----
+  if (is_int_addsub_imm(i1) && i1.dst.is_int()) {
+    const std::int64_t d1 = i1.op == Opcode::IADD ? i1.ival : -i1.ival;
+    if (is_int_addsub_imm(i2)) {
+      const std::int64_t d2 = i2.op == Opcode::IADD ? i2.ival : -i2.ival;
+      std::int64_t net = 0;
+      if (__builtin_add_overflow(d1, d2, &net) || net == INT64_MIN) return std::nullopt;
+      out.op = net >= 0 ? Opcode::IADD : Opcode::ISUB;
+      out.ival = net >= 0 ? net : -net;
+      out.src1 = i1.src1;
+      return out;
+    }
+    if (i2.is_memory() && i2.src1 == i1.dst) {
+      std::int64_t off = 0;
+      if (__builtin_add_overflow(i2.ival, d1, &off)) return std::nullopt;
+      out.ival = off;
+      out.src1 = i1.src1;
+      return out;
+    }
+    if (is_int_branch(i2) && i2.src2_is_imm) {
+      std::int64_t c = 0;
+      if (__builtin_sub_overflow(i2.ival, d1, &c)) return std::nullopt;
+      out.ival = c;
+      out.src1 = i1.src1;
+      return out;
+    }
+    return std::nullopt;
+  }
+
+  // ---- Integer multiply producer. ----
+  if (i1.op == Opcode::IMUL && i1.src2_is_imm) {
+    if (i2.op != Opcode::IMUL || !i2.src2_is_imm) return std::nullopt;
+    std::int64_t c = 0;
+    if (__builtin_mul_overflow(i1.ival, i2.ival, &c)) return std::nullopt;
+    out.ival = c;
+    out.src1 = i1.src1;
+    return out;
+  }
+
+  // ---- FP add/sub producer. ----
+  if (is_fp_addsub_imm(i1)) {
+    const double d1 = i1.op == Opcode::FADD ? i1.fval : -i1.fval;
+    if (is_fp_addsub_imm(i2)) {
+      const double d2 = i2.op == Opcode::FADD ? i2.fval : -i2.fval;
+      const double net = d1 + d2;
+      if (!std::isfinite(net)) return std::nullopt;
+      out.op = Opcode::FADD;
+      out.fval = net;
+      out.src1 = i1.src1;
+      return out;
+    }
+    if (op_is_fp_compare(i2.op) && i2.src2_is_imm) {
+      const double c = i2.fval - d1;
+      if (!std::isfinite(c)) return std::nullopt;
+      out.fval = c;
+      out.src1 = i1.src1;
+      return out;
+    }
+    return std::nullopt;
+  }
+
+  // ---- FP multiply/divide producer. ----
+  if (is_fp_muldiv_imm(i1)) {
+    if (!is_fp_muldiv_imm(i2)) return std::nullopt;
+    const bool m1 = i1.op == Opcode::FMUL;
+    const bool m2 = i2.op == Opcode::FMUL;
+    double c = 0.0;
+    Opcode op = Opcode::FMUL;
+    if (m1 && m2) {
+      c = i1.fval * i2.fval;
+      op = Opcode::FMUL;
+    } else if (m1 && !m2) {
+      c = i1.fval / i2.fval;
+      op = Opcode::FMUL;
+    } else if (!m1 && m2) {
+      c = i2.fval / i1.fval;
+      op = Opcode::FMUL;
+    } else {
+      c = i1.fval * i2.fval;
+      op = Opcode::FDIV;
+    }
+    if (!std::isfinite(c) || c == 0.0) return std::nullopt;
+    out.op = op;
+    out.fval = c;
+    out.src1 = i1.src1;
+    return out;
+  }
+
+  return std::nullopt;
+}
+
+// Legality of moving rewritten `i2p` from position j to just before i
+// ("exchange positions", needed when I1 increments its own source).
+bool can_exchange(const Block& b, std::size_t i, std::size_t j, const Instruction& i2p) {
+  if (i2p.is_branch()) return false;  // never reorder control
+  for (std::size_t k = i; k < j; ++k) {
+    const Instruction& x = b.insts[k];
+    if (x.is_control()) return false;
+    // X must not write i2p's sources (the pre-increment read is the point of
+    // the exchange, so the producer's own write of src1 at k == i is fine
+    // for the source it rewrote; any other hazard aborts).
+    if (k != i) {
+      if (x.has_dest() && i2p.reads(x.dst)) return false;
+    } else {
+      // The producer may only redefine the register i2p now reads *as* the
+      // pre-increment value (its own source); other overlaps abort.
+      if (x.has_dest() && i2p.reads(x.dst) && x.dst != x.src1) return false;
+    }
+    if (i2p.has_dest() && (x.reads(i2p.dst) || (x.has_dest() && x.dst == i2p.dst)))
+      return false;
+    // Memory hazards: conservatively keep relative order of memory ops.
+    if (i2p.is_load() && x.is_store()) return false;
+    if (i2p.is_store() && x.is_memory()) return false;
+  }
+  return true;
+}
+
+// Phase 1 rewrites memory and branch consumers only; phase 2 collapses
+// arithmetic chains.  Doing memory/branches first matters: once an address
+// chain like "r37 = r6+4; r6 = r37+4" collapses to "r6 = r6+8", later
+// references through the old names can no longer be rewritten, and the
+// self-incremented register pins every reference behind an anti-dependence
+// mid-block (serializing unrolled copies).
+int combine_block_phase(Block& b, bool memory_and_branches) {
+  int combined = 0;
+  bool changed = true;
+  int guard = 0;
+  while (changed && guard++ < 64) {
+    changed = false;
+    for (std::size_t j = 0; j < b.insts.size(); ++j) {
+      const bool is_mb = b.insts[j].is_memory() || b.insts[j].is_branch();
+      if (is_mb != memory_and_branches) continue;
+      const Reg r1 = combinable_source(b.insts[j]);
+      if (!r1.valid()) continue;
+
+      // Nearest preceding definition of r1.
+      std::size_t i = j;
+      bool found = false;
+      while (i-- > 0) {
+        if (b.insts[i].writes(r1)) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) continue;
+      const Instruction i1 = b.insts[i];
+
+      auto i2p = combine_pair(i1, b.insts[j]);
+      if (!i2p) continue;
+
+      const bool self_inc = i1.has_dest() && i1.dst == i1.src1;
+      // The rewritten source must still hold I1's input at j.
+      bool src_clobbered = false;
+      for (std::size_t k = i + 1; k < j; ++k)
+        if (b.insts[k].writes(i1.src1)) src_clobbered = true;
+      if (src_clobbered) continue;
+
+      if (!self_inc) {
+        b.insts[j] = *i2p;
+        ++combined;
+        changed = true;
+        continue;
+      }
+      // Producer overwrote its own source: exchange positions.
+      if (!can_exchange(b, i, j, *i2p)) continue;
+      b.insts.erase(b.insts.begin() + static_cast<std::ptrdiff_t>(j));
+      b.insts.insert(b.insts.begin() + static_cast<std::ptrdiff_t>(i), *i2p);
+      ++combined;
+      changed = true;
+    }
+  }
+  return combined;
+}
+
+int combine_block(Block& b) {
+  int n = combine_block_phase(b, /*memory_and_branches=*/true);
+  n += combine_block_phase(b, /*memory_and_branches=*/false);
+  n += combine_block_phase(b, /*memory_and_branches=*/true);
+  return n;
+}
+
+}  // namespace
+
+int operation_combining(Function& fn) {
+  int n = 0;
+  for (Block& b : fn.blocks()) n += combine_block(b);
+  if (n > 0) fn.renumber();
+  return n;
+}
+
+}  // namespace ilp

@@ -1,0 +1,29 @@
+// Operation combining (paper Section 2, after Nakatani & Ebcioglu).
+//
+// Eliminates the flow dependence between two instructions that each carry a
+// compile-time constant operand:
+//
+//   I1: r1 = r2 op1 C1
+//   I2: r3 = r1 op2 C2        =>   I2': r3 = r2 op2 (C1 op3 C2)
+//
+// Allowed combinations (paper's table):
+//   (add.i, sub.i) -> add.i, sub.i, int compare-branch, load, store
+//   (mul.i)        -> mul.i
+//   (add.f, sub.f) -> add.f, sub.f, fp compare-branch
+//   (mul.f, div.f) -> mul.f, div.f
+//
+// When I1 writes its own source (r1 = r1 + C), the combined I2' must read the
+// pre-increment value, so the two instructions exchange positions (paper
+// Figure 6); the exchange is performed only when no intervening instruction
+// conflicts.  Integer constant evaluation that overflows aborts the rewrite
+// (paper footnote 1).
+#pragma once
+
+#include "ir/function.hpp"
+
+namespace ilp {
+
+// Returns the number of pairs combined.
+int operation_combining(Function& fn);
+
+}  // namespace ilp

@@ -1,0 +1,54 @@
+#include "trans/expand_common.hpp"
+
+#include "support/assert.hpp"
+
+namespace ilp {
+
+BlockId splice_fallthrough_fixup(Function& fn, const SimpleLoop& loop,
+                                 const std::vector<Instruction>& code) {
+  const BlockId fix = fn.insert_block_after(loop.body, fn.block(loop.body).name + ".fx");
+  Block& fb = fn.block(fix);
+  fb.insts = code;
+  return fix;
+}
+
+BlockId splice_side_exit_fixup(Function& fn, const SimpleLoop& loop,
+                               std::size_t side_exit_idx,
+                               const std::vector<Instruction>& code) {
+  Block& body = fn.block(loop.body);
+  Instruction& br = body.insts[side_exit_idx];
+  ILP_ASSERT(br.is_branch(), "side exit index must be a branch");
+  const BlockId target = br.target;
+  // Place the stub at the very end of the layout (it ends in a jump).
+  const BlockId last = fn.blocks().back().id;
+  const BlockId stub = fn.insert_block_after(last, fn.block(loop.body).name + ".se");
+  Block& sb = fn.block(stub);
+  sb.insts = code;
+  sb.insts.push_back(make_jump(target));
+  fn.block(loop.body).insts[side_exit_idx].target = stub;
+  return stub;
+}
+
+void append_to_preheader(Function& fn, const SimpleLoop& loop,
+                         const std::vector<Instruction>& code) {
+  Block& pre = fn.block(loop.preheader);
+  const std::size_t pos = pre.has_terminator() ? pre.insts.size() - 1 : pre.insts.size();
+  pre.insts.insert(pre.insts.begin() + static_cast<std::ptrdiff_t>(pos), code.begin(),
+                   code.end());
+}
+
+std::vector<Instruction> make_fold(Opcode op, Reg dst, const std::vector<Reg>& values) {
+  ILP_ASSERT(!values.empty(), "make_fold needs at least one value");
+  std::vector<Instruction> out;
+  if (values.size() == 1) {
+    out.push_back(make_unary(dst.cls == RegClass::Fp ? Opcode::FMOV : Opcode::IMOV, dst,
+                             values[0]));
+    return out;
+  }
+  out.push_back(make_binary(op, dst, values[0], values[1]));
+  for (std::size_t i = 2; i < values.size(); ++i)
+    out.push_back(make_binary(op, dst, dst, values[i]));
+  return out;
+}
+
+}  // namespace ilp

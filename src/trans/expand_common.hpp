@@ -1,0 +1,41 @@
+// Shared machinery for the three expansion transformations (accumulator,
+// induction, search variable expansion — paper Section 2).
+//
+// Each expansion rewrites a loop-carried register recurrence into k
+// independent temporaries and recovers the original register's value at
+// every loop exit.  Exits are:
+//   * the fall-through exit: fixup code goes into a new block spliced
+//     between the loop body and its layout successor (other predecessors of
+//     the old exit block, e.g. the unroller's guard, correctly bypass it);
+//   * side exits: each branch out of the body is retargeted at a fresh stub
+//     block holding the fixup code and a jump to the original target.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/loops.hpp"
+#include "ir/function.hpp"
+
+namespace ilp {
+
+// Inserts `code` on the fall-through exit edge of `loop`.  Returns the new
+// block's id.
+BlockId splice_fallthrough_fixup(Function& fn, const SimpleLoop& loop,
+                                 const std::vector<Instruction>& code);
+
+// Retargets side-exit branch `side_exit_idx` through a stub containing
+// `code`.  Returns the stub's id.
+BlockId splice_side_exit_fixup(Function& fn, const SimpleLoop& loop,
+                               std::size_t side_exit_idx,
+                               const std::vector<Instruction>& code);
+
+// Appends `code` to the end of the loop's preheader (before its terminator).
+void append_to_preheader(Function& fn, const SimpleLoop& loop,
+                         const std::vector<Instruction>& code);
+
+// Builds a balanced left-to-right fold `dst = combine(values...)` using the
+// given binary opcode (used for accumulator sums and search max/min chains).
+std::vector<Instruction> make_fold(Opcode op, Reg dst, const std::vector<Reg>& values);
+
+}  // namespace ilp

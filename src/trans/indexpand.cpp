@@ -1,0 +1,233 @@
+#include "trans/indexpand.hpp"
+
+#include <optional>
+#include <unordered_map>
+
+#include "analysis/cfg.hpp"
+#include "analysis/dominators.hpp"
+#include "analysis/loops.hpp"
+#include "ir/reg.hpp"
+#include "trans/expand_common.hpp"
+
+namespace ilp {
+
+namespace {
+
+// The uniform per-iteration step: either an immediate delta or +/- an
+// invariant register.
+struct Step {
+  bool is_imm = true;
+  std::int64_t imm = 0;  // signed delta when is_imm
+  Reg reg;               // step register otherwise
+  bool negate = false;   // V = V - reg
+};
+
+struct Candidate {
+  Reg v;
+  Step step;
+  std::vector<std::size_t> def_idx;
+};
+
+std::optional<Step> classify_def(const Instruction& in, const Reg& v,
+                                 const std::unordered_map<Reg, int, RegHash>& defs) {
+  if (in.op != Opcode::IADD && in.op != Opcode::ISUB) return std::nullopt;
+  if (!in.dst.is_int()) return std::nullopt;
+  Step s;
+  if (in.src2_is_imm) {
+    if (in.src1 != v) return std::nullopt;
+    s.is_imm = true;
+    s.imm = in.op == Opcode::IADD ? in.ival : -in.ival;
+    if (s.imm == 0) return std::nullopt;
+    return s;
+  }
+  // Register step; must be loop-invariant.
+  Reg m;
+  if (in.src1 == v)
+    m = in.src2;
+  else if (in.op == Opcode::IADD && in.src2 == v)
+    m = in.src1;  // V = m + V
+  else
+    return std::nullopt;
+  if (m == v) return std::nullopt;  // V = V + V is not an induction step
+  if (defs.count(m) > 0) return std::nullopt;
+  s.is_imm = false;
+  s.reg = m;
+  s.negate = in.op == Opcode::ISUB;
+  return s;
+}
+
+bool same_step(const Step& a, const Step& b) {
+  if (a.is_imm != b.is_imm) return false;
+  if (a.is_imm) return a.imm == b.imm;
+  return a.reg == b.reg && a.negate == b.negate;
+}
+
+// Finds one expandable induction variable in `loop`, or nullopt.
+std::optional<Candidate> find_candidate(const Function& fn, const SimpleLoop& loop) {
+  const Block& body = fn.block(loop.body);
+  std::unordered_map<Reg, int, RegHash> defs;
+  for (const Instruction& in : body.insts)
+    if (in.has_dest()) ++defs[in.dst];
+
+  for (const auto& [v, count] : defs) {
+    if (count < 2 || !v.is_int()) continue;
+    Candidate cand;
+    cand.v = v;
+    bool ok = true;
+    bool first = true;
+    int other_uses = 0;
+    for (std::size_t i = 0; i < body.insts.size() && ok; ++i) {
+      const Instruction& in = body.insts[i];
+      if (in.writes(v)) {
+        const auto s = classify_def(in, v, defs);
+        if (!s || (!first && !same_step(cand.step, *s))) {
+          ok = false;
+          break;
+        }
+        cand.step = *s;
+        first = false;
+        cand.def_idx.push_back(i);
+      } else if (in.reads(v)) {
+        ++other_uses;
+      }
+    }
+    // The back-branch's second operand testing V is not supported (the
+    // post-bump rewrite only adjusts a src1 test).
+    const Instruction& back = body.insts[loop.back_branch];
+    if (!back.src2_is_imm && back.src2 == v) ok = false;
+    // Distinguishing condition from accumulators: the value is used by at
+    // least one other instruction (paper Section 2).
+    if (ok && !first && other_uses > 0) return cand;
+  }
+  return std::nullopt;
+}
+
+void expand(Function& fn, const SimpleLoop& loop, const Candidate& cand) {
+  const Reg v = cand.v;
+  const Step& st = cand.step;
+  const std::size_t k = cand.def_idx.size();
+
+  // Temporaries p_0..p_k and preheader initialization p_i = V + i*m.
+  std::vector<Reg> p(k + 1);
+  std::vector<Instruction> init;
+  for (std::size_t i = 0; i <= k; ++i) {
+    p[i] = fn.new_int_reg();
+    if (i == 0) {
+      init.push_back(make_unary(Opcode::IMOV, p[0], v));
+    } else if (st.is_imm) {
+      init.push_back(make_binary_imm(Opcode::IADD, p[i], p[i - 1], st.imm));
+    } else {
+      init.push_back(make_binary(st.negate ? Opcode::ISUB : Opcode::IADD, p[i], p[i - 1],
+                                 st.reg));
+    }
+  }
+  // z = k * m for register steps.
+  Reg z;
+  if (!st.is_imm) {
+    z = fn.new_int_reg();
+    init.push_back(make_binary_imm(Opcode::IMUL, z, st.reg, static_cast<std::int64_t>(k)));
+  }
+  append_to_preheader(fn, loop, init);
+
+  // Side-exit stubs first (indices are still the original ones): after i
+  // updates the original V equals p_i's (un-bumped) value.
+  for (std::size_t se : loop.side_exits) {
+    std::size_t crossed = 0;
+    for (std::size_t d : cand.def_idx)
+      if (d < se) ++crossed;
+    const std::vector<Instruction> fix{make_unary(Opcode::IMOV, v, p[crossed])};
+    splice_side_exit_fixup(fn, loop, se, fix);
+  }
+
+  // Rewrite the body: drop the updates, substitute versioned reads, bump all
+  // temporaries before the back edge, and retarget a V-testing back branch.
+  {
+    Block& body = fn.block(loop.body);
+    std::vector<Instruction> out;
+    out.reserve(body.insts.size() + k + 1);
+    std::size_t version = 0;
+    std::size_t def_cursor = 0;
+    const std::size_t back = loop.back_branch;
+    for (std::size_t i = 0; i < body.insts.size(); ++i) {
+      Instruction in = body.insts[i];
+      if (def_cursor < k && i == cand.def_idx[def_cursor]) {
+        ++def_cursor;
+        ++version;
+        continue;  // update removed
+      }
+      if (i == back) {
+        // Emit the bumps, then the branch.
+        const std::int64_t zi = st.imm * static_cast<std::int64_t>(k);
+        for (std::size_t j = 0; j <= k; ++j) {
+          if (st.is_imm)
+            out.push_back(make_binary_imm(zi >= 0 ? Opcode::IADD : Opcode::ISUB, p[j],
+                                          p[j], zi >= 0 ? zi : -zi));
+          else
+            out.push_back(make_binary(st.negate ? Opcode::ISUB : Opcode::IADD, p[j],
+                                      p[j], z));
+        }
+        if (in.src1 == v) {
+          // The branch tested V: compare the (bumped) p_k against bound+z.
+          in.src1 = p[k];
+          if (st.is_imm && in.src2_is_imm) {
+            in.ival += zi;
+          } else {
+            // bound' = bound + k*m, computed in the preheader.
+            const Reg bound = fn.new_int_reg();
+            std::vector<Instruction> pre;
+            if (in.src2_is_imm) {
+              pre.push_back(make_ldi(bound, in.ival));
+            } else {
+              pre.push_back(make_unary(Opcode::IMOV, bound, in.src2));
+            }
+            if (st.is_imm) {
+              pre.push_back(make_binary_imm(Opcode::IADD, bound, bound, zi));
+            } else {
+              pre.push_back(make_binary(st.negate ? Opcode::ISUB : Opcode::IADD, bound,
+                                        bound, z));
+            }
+            append_to_preheader(fn, loop, pre);
+            in.src2 = bound;
+            in.src2_is_imm = false;
+          }
+        } else {
+          in.replace_uses(v, p[version]);
+        }
+        out.push_back(in);
+        continue;
+      }
+      in.replace_uses(v, p[version]);
+      out.push_back(in);
+    }
+    fn.block(loop.body).insts = std::move(out);
+  }
+
+  // Fall-through exit: V = p_0 (post-bump p_0 equals V's exit value).
+  const std::vector<Instruction> fix{make_unary(Opcode::IMOV, v, p[0])};
+  splice_fallthrough_fixup(fn, loop, fix);
+}
+
+}  // namespace
+
+int induction_expansion(Function& fn) {
+  int n = 0;
+  // Expanding changes instruction indices, so re-derive loops per expansion.
+  while (true) {
+    const Cfg cfg(fn);
+    const Dominators dom(cfg);
+    bool did = false;
+    for (const SimpleLoop& loop : find_simple_loops(cfg, dom)) {
+      if (const auto cand = find_candidate(fn, loop)) {
+        expand(fn, loop, *cand);
+        ++n;
+        did = true;
+        break;
+      }
+    }
+    if (!did) break;
+  }
+  if (n > 0) fn.renumber();
+  return n;
+}
+
+}  // namespace ilp

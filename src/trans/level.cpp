@@ -1,0 +1,79 @@
+#include "trans/level.hpp"
+
+#include "ir/verifier.hpp"
+#include "opt/pipeline.hpp"
+#include "sched/scheduler.hpp"
+#include "trans/accexpand.hpp"
+#include "trans/combine.hpp"
+#include "trans/indexpand.hpp"
+#include "trans/rename.hpp"
+#include "trans/searchexpand.hpp"
+#include "trans/strengthred.hpp"
+#include "trans/treeheight.hpp"
+#include "trans/unroll.hpp"
+
+namespace ilp {
+
+TransformSet TransformSet::for_level(OptLevel level) {
+  TransformSet s;
+  const int l = static_cast<int>(level);
+  s.unroll = l >= 1;
+  s.rename = l >= 2;
+  s.combine = s.strength = s.height = l >= 3;
+  s.acc_expand = s.ind_expand = s.search_expand = l >= 4;
+  return s;
+}
+
+void compile_with_transforms(Function& fn, const TransformSet& set,
+                             const MachineModel& machine, const CompileOptions& opts) {
+  run_conventional_optimizations(fn);
+
+  if (set.unroll) {
+    unroll_loops(fn, opts.unroll);
+    verify_or_die(fn, "after unrolling");
+  }
+  // Expansions run before renaming so each recurrence still targets a single
+  // register name (the shapes of Figures 2 and 4).
+  if (set.acc_expand) {
+    accumulator_expansion(fn);
+    verify_or_die(fn, "after accumulator expansion");
+  }
+  if (set.ind_expand) {
+    induction_expansion(fn);
+    verify_or_die(fn, "after induction expansion");
+  }
+  if (set.search_expand) {
+    search_expansion(fn);
+    verify_or_die(fn, "after search expansion");
+  }
+  if (set.rename) {
+    rename_registers(fn);
+    verify_or_die(fn, "after renaming");
+  }
+  if (set.combine) {
+    operation_combining(fn);
+    verify_or_die(fn, "after operation combining");
+  }
+  if (set.strength) {
+    strength_reduction(fn);
+    verify_or_die(fn, "after strength reduction");
+  }
+  if (set.height) {
+    tree_height_reduction(fn);
+    verify_or_die(fn, "after tree height reduction");
+  }
+  run_cleanup(fn);
+  verify_or_die(fn, "after cleanup");
+  if (opts.schedule) {
+    schedule_function(fn, machine);
+    verify_or_die(fn, "after scheduling");
+  }
+  fn.renumber();
+}
+
+void compile_at_level(Function& fn, OptLevel level, const MachineModel& machine,
+                      const CompileOptions& opts) {
+  compile_with_transforms(fn, TransformSet::for_level(level), machine, opts);
+}
+
+}  // namespace ilp

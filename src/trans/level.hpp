@@ -1,0 +1,61 @@
+// The cumulative transformation levels of the paper's evaluation
+// (Section 3.2):
+//
+//   Conv  conventional scalar optimizations only
+//   Lev1  + loop unrolling
+//   Lev2  + register renaming
+//   Lev3  + operation combining, strength reduction, tree height reduction
+//   Lev4  + accumulator / induction / search variable expansion
+//
+// Pipeline order (each level enables a subset):
+//   conventional -> unroll -> expansions (pre-renaming, so the recurrence
+//   registers still carry one name) -> renaming -> combining/strength/height
+//   -> cleanup -> superblock scheduling.
+#pragma once
+
+#include "ir/function.hpp"
+#include "machine/machine.hpp"
+#include "trans/unroll.hpp"
+
+namespace ilp {
+
+enum class OptLevel { Conv = 0, Lev1 = 1, Lev2 = 2, Lev3 = 3, Lev4 = 4 };
+
+inline const char* level_name(OptLevel l) {
+  switch (l) {
+    case OptLevel::Conv: return "Conv";
+    case OptLevel::Lev1: return "Lev1";
+    case OptLevel::Lev2: return "Lev2";
+    case OptLevel::Lev3: return "Lev3";
+    case OptLevel::Lev4: return "Lev4";
+  }
+  return "?";
+}
+
+struct CompileOptions {
+  UnrollOptions unroll;
+  bool schedule = true;  // superblock-schedule at the end
+};
+
+// Applies the full pipeline for `level`, scheduling for `machine`.
+void compile_at_level(Function& fn, OptLevel level, const MachineModel& machine,
+                      const CompileOptions& opts = {});
+
+// Individual-transformation toggles, used by the ablation bench.
+struct TransformSet {
+  bool unroll = false;
+  bool rename = false;
+  bool combine = false;
+  bool strength = false;
+  bool height = false;
+  bool acc_expand = false;
+  bool ind_expand = false;
+  bool search_expand = false;
+
+  static TransformSet for_level(OptLevel level);
+};
+
+void compile_with_transforms(Function& fn, const TransformSet& set,
+                             const MachineModel& machine, const CompileOptions& opts = {});
+
+}  // namespace ilp

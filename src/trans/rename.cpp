@@ -1,0 +1,86 @@
+#include "trans/rename.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analysis/cfg.hpp"
+#include "analysis/dominators.hpp"
+#include "analysis/liveness.hpp"
+#include "analysis/loops.hpp"
+#include "ir/reg.hpp"
+
+namespace ilp {
+
+namespace {
+
+int rename_in_loop(Function& fn, const SimpleLoop& loop, const Liveness& live) {
+  Block& body = fn.block(loop.body);
+
+  // Count defs per register.
+  std::unordered_map<Reg, int, RegHash> defs;
+  for (const Instruction& in : body.insts)
+    if (in.has_dest()) ++defs[in.dst];
+
+  // Registers live into any side-exit target must keep their names.
+  std::unordered_set<Reg, RegHash> pinned;
+  for (std::size_t se : loop.side_exits) {
+    const Instruction& br = body.insts[se];
+    live.live_in(br.target).for_each_set([&](std::size_t key) {
+      const Reg r{(key & 1) ? RegClass::Fp : RegClass::Int,
+                  static_cast<std::uint32_t>(key >> 1)};
+      pinned.insert(r);
+    });
+  }
+
+  // Whether the register's final value must land back in the original name:
+  // live around the back edge (live-in of the body) or live at the exit.
+  const BlockId exit_id = fn.layout_next(loop.body);
+
+  int split = 0;
+  // Collect candidates first: renaming one register does not affect others'
+  // def counts.
+  std::vector<Reg> candidates;
+  for (const auto& [reg, count] : defs)
+    if (count >= 2 && pinned.count(reg) == 0) candidates.push_back(reg);
+
+  for (const Reg& reg : candidates) {
+    const bool carried = live.is_live_in(loop.body, reg);
+    const bool live_at_exit =
+        exit_id != kNoBlock && live.is_live_in(exit_id, reg);
+    const int total_defs = defs[reg];
+
+    Reg cur = reg;  // name holding the register's current value
+    int seen = 0;
+    for (Instruction& in : body.insts) {
+      // Uses read the current version.
+      if (cur != reg) in.replace_uses(reg, cur);
+      if (!in.writes(reg)) continue;
+      ++seen;
+      const bool last = seen == total_defs;
+      Reg next;
+      if (last && (carried || live_at_exit))
+        next = reg;  // final value flows out in the original name
+      else
+        next = fn.new_reg(reg.cls);
+      in.dst = next;
+      cur = next;
+    }
+    ++split;
+  }
+  return split;
+}
+
+}  // namespace
+
+int rename_registers(Function& fn) {
+  const Cfg cfg(fn);
+  const Dominators dom(cfg);
+  const Liveness live(cfg);
+  int split = 0;
+  for (const SimpleLoop& loop : find_simple_loops(cfg, dom))
+    split += rename_in_loop(fn, loop, live);
+  if (split > 0) fn.renumber();
+  return split;
+}
+
+}  // namespace ilp

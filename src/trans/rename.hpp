@@ -1,0 +1,24 @@
+// Register renaming (paper Section 2, "Register Renaming").
+//
+// "Register renaming assigns unique registers to different definitions of the
+// same register.  A common use ... is to rename registers within individual
+// loop bodies of an unrolled loop."
+//
+// Within each simple-loop body, every register with multiple definitions is
+// split: uses before the first definition keep the original name (the
+// loop-carried or preheader value), each definition d_i gets a fresh name
+// used until d_{i+1}, and the *last* definition writes the original register
+// again when its value is needed around the back edge or at the fall-through
+// exit (Figure 1d: r11i -> r12i -> r13i -> r11i).  A register that is live-in
+// at a side-exit target is skipped: an early exit must observe the partially
+// updated original name.
+#pragma once
+
+#include "ir/function.hpp"
+
+namespace ilp {
+
+// Renames within every simple loop body; returns number of registers split.
+int rename_registers(Function& fn);
+
+}  // namespace ilp

@@ -1,0 +1,112 @@
+#include "trans/searchexpand.hpp"
+
+#include <optional>
+#include <unordered_map>
+
+#include "analysis/cfg.hpp"
+#include "analysis/dominators.hpp"
+#include "analysis/loops.hpp"
+#include "ir/reg.hpp"
+#include "trans/expand_common.hpp"
+
+namespace ilp {
+
+namespace {
+
+bool is_search_op(Opcode op) {
+  return op == Opcode::FMAX || op == Opcode::FMIN || op == Opcode::IMAX ||
+         op == Opcode::IMIN;
+}
+
+struct Candidate {
+  Reg v;
+  Opcode op = Opcode::NOP;
+  std::vector<std::size_t> def_idx;
+};
+
+std::optional<Candidate> find_candidate(const Function& fn, const SimpleLoop& loop) {
+  const Block& body = fn.block(loop.body);
+  std::unordered_map<Reg, int, RegHash> defs;
+  for (const Instruction& in : body.insts)
+    if (in.has_dest()) ++defs[in.dst];
+
+  for (const auto& [v, count] : defs) {
+    if (count < 2) continue;
+    Candidate cand;
+    cand.v = v;
+    bool ok = true;
+    for (std::size_t i = 0; i < body.insts.size() && ok; ++i) {
+      const Instruction& in = body.insts[i];
+      if (in.writes(v)) {
+        // V = max(V, x) or V = max(x, V), uniformly max or uniformly min.
+        if (!is_search_op(in.op) || (cand.op != Opcode::NOP && in.op != cand.op)) {
+          ok = false;
+          break;
+        }
+        const bool self = in.src1 == v || (!in.src2_is_imm && in.src2 == v);
+        if (!self) {
+          ok = false;
+          break;
+        }
+        cand.op = in.op;
+        cand.def_idx.push_back(i);
+      } else if (in.reads(v)) {
+        ok = false;  // the search value is only referenced by its updates
+      }
+    }
+    if (ok && cand.def_idx.size() >= 2) return cand;
+  }
+  return std::nullopt;
+}
+
+void expand(Function& fn, const SimpleLoop& loop, const Candidate& cand) {
+  const Reg v = cand.v;
+  const bool fp = v.cls == RegClass::Fp;
+  const std::size_t k = cand.def_idx.size();
+
+  // Temporaries, all initialized to V (identity for a running max/min).
+  std::vector<Reg> temps;
+  std::vector<Instruction> init;
+  for (std::size_t i = 0; i < k; ++i) {
+    const Reg t = fn.new_reg(v.cls);
+    temps.push_back(t);
+    init.push_back(make_unary(fp ? Opcode::FMOV : Opcode::IMOV, t, v));
+  }
+  append_to_preheader(fn, loop, init);
+
+  for (std::size_t i = 0; i < k; ++i) {
+    Instruction& in = fn.block(loop.body).insts[cand.def_idx[i]];
+    in.replace_uses(v, temps[i]);
+    in.dst = temps[i];
+  }
+
+  // Every exit recovers V = fold(op, temps); correct on partial iterations
+  // too, since untouched temporaries still hold a previous running value.
+  const std::vector<Instruction> fix = make_fold(cand.op, v, temps);
+  splice_fallthrough_fixup(fn, loop, fix);
+  for (std::size_t se : loop.side_exits) splice_side_exit_fixup(fn, loop, se, fix);
+}
+
+}  // namespace
+
+int search_expansion(Function& fn) {
+  int n = 0;
+  while (true) {
+    const Cfg cfg(fn);
+    const Dominators dom(cfg);
+    bool did = false;
+    for (const SimpleLoop& loop : find_simple_loops(cfg, dom)) {
+      if (const auto cand = find_candidate(fn, loop)) {
+        expand(fn, loop, *cand);
+        ++n;
+        did = true;
+        break;
+      }
+    }
+    if (!did) break;
+  }
+  if (n > 0) fn.renumber();
+  return n;
+}
+
+}  // namespace ilp

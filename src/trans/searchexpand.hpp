@@ -1,0 +1,20 @@
+// Search variable expansion (paper Section 2, "Search Variable Expansion").
+//
+// A search variable accumulates a maximum or minimum across iterations
+// ("a single value, such as a maximum or minimum, is often determined for
+// matrices or arrays").  The front end if-converts `if (x > V) V = x` into
+// select-form FMAX/FMIN/IMAX/IMIN updates during superblock formation, so
+// inside an unrolled body the pattern is a chain of k dependent max/min
+// updates of V.  Expansion gives each update its own temporary — every
+// temporary initialized to V, which is the identity for the running
+// max/min — and compares the temporaries into V at every loop exit.
+#pragma once
+
+#include "ir/function.hpp"
+
+namespace ilp {
+
+// Returns the number of search variables expanded.
+int search_expansion(Function& fn);
+
+}  // namespace ilp

@@ -1,0 +1,251 @@
+#include "trans/strengthred.hpp"
+
+#include <cstdlib>
+#include <vector>
+
+#include "ir/reg.hpp"
+#include "support/assert.hpp"
+
+namespace ilp {
+
+namespace {
+
+bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+int log2_u64(std::uint64_t v) { return 63 - __builtin_clzll(v); }
+
+// Signed magic numbers (Hacker's Delight, 2nd ed., Fig. 10-1) for 64-bit
+// division by a constant d with |d| >= 2.
+struct Magic {
+  std::int64_t m = 0;
+  int s = 0;
+};
+
+Magic signed_magic(std::int64_t d) {
+  const std::uint64_t two63 = 1ull << 63;
+  const std::uint64_t ad = d < 0 ? 0ull - static_cast<std::uint64_t>(d)
+                                 : static_cast<std::uint64_t>(d);
+  const std::uint64_t t = two63 + (static_cast<std::uint64_t>(d) >> 63);
+  const std::uint64_t anc = t - 1 - t % ad;
+  int p = 63;
+  std::uint64_t q1 = two63 / anc;
+  std::uint64_t r1 = two63 - q1 * anc;
+  std::uint64_t q2 = two63 / ad;
+  std::uint64_t r2 = two63 - q2 * ad;
+  std::uint64_t delta = 0;
+  do {
+    ++p;
+    q1 *= 2;
+    r1 *= 2;
+    if (r1 >= anc) {
+      ++q1;
+      r1 -= anc;
+    }
+    q2 *= 2;
+    r2 *= 2;
+    if (r2 >= ad) {
+      ++q2;
+      r2 -= ad;
+    }
+    delta = ad - r2;
+  } while (q1 < delta || (q1 == delta && r1 == 0));
+  Magic mag;
+  mag.m = static_cast<std::int64_t>(q2 + 1);
+  if (d < 0) mag.m = -mag.m;
+  mag.s = p - 64;
+  return mag;
+}
+
+class Reducer {
+ public:
+  Reducer(Function& fn, const StrengthRedOptions& opts) : fn_(fn), opts_(opts) {}
+
+  int run() {
+    int n = 0;
+    for (Block& b : fn_.blocks()) {
+      std::vector<Instruction> out;
+      out.reserve(b.insts.size());
+      for (const Instruction& in : b.insts) {
+        const std::size_t before = out.size();
+        if (try_reduce(in, out)) {
+          ++n;
+          (void)before;
+          continue;
+        }
+        out.push_back(in);
+      }
+      b.insts = std::move(out);
+    }
+    if (n > 0) fn_.renumber();
+    return n;
+  }
+
+ private:
+  bool try_reduce(const Instruction& in, std::vector<Instruction>& out) {
+    if (!in.src2_is_imm) return false;
+    switch (in.op) {
+      case Opcode::IMUL:
+        return opts_.reduce_mul && reduce_mul(in, out);
+      case Opcode::IDIV:
+        if (in.ival == 0) return false;
+        if (is_pow2(std::llabs(in.ival)))
+          return opts_.reduce_div_pow2 && reduce_div_pow2(in, out);
+        return opts_.reduce_div_magic && std::llabs(in.ival) >= 2 &&
+               in.ival != INT64_MIN && reduce_div_magic(in, out);
+      case Opcode::IREM:
+        if (in.ival == 0 || in.ival == INT64_MIN) return false;
+        return opts_.reduce_rem_pow2 && is_pow2(std::llabs(in.ival)) &&
+               reduce_rem_pow2(in, out);
+      default:
+        return false;
+    }
+  }
+
+  // x * C  ->  shifts/adds when the dependence height beats IntMul (3).
+  bool reduce_mul(const Instruction& in, std::vector<Instruction>& out) {
+    const std::int64_t c = in.ival;
+    if (c == 0 || c == 1) return false;  // handled by algebraic simplification
+    if (c == -1) {
+      out.push_back(make_unary(Opcode::INEG, in.dst, in.src1));
+      return true;
+    }
+    const bool neg = c < 0;
+    if (c == INT64_MIN) return false;
+    const std::uint64_t a = static_cast<std::uint64_t>(neg ? -c : c);
+
+    if (is_pow2(a)) {  // height 1 (+1 for negation, still < 3)
+      const int k = log2_u64(a);
+      if (neg) {
+        const Reg t = fn_.new_int_reg();
+        out.push_back(make_binary_imm(Opcode::ISHL, t, in.src1, k));
+        out.push_back(make_unary(Opcode::INEG, in.dst, t));
+      } else {
+        out.push_back(make_binary_imm(Opcode::ISHL, in.dst, in.src1, k));
+      }
+      return true;
+    }
+    if (neg) return false;  // two terms + neg = height 3: no better than IMUL
+
+    // a = 2^hi + 2^lo  (two set bits): shl, shl, add — height 2.
+    if (__builtin_popcountll(a) == 2) {
+      const int hi = log2_u64(a);
+      const int lo = __builtin_ctzll(a);
+      const Reg t1 = fn_.new_int_reg();
+      out.push_back(make_binary_imm(Opcode::ISHL, t1, in.src1, hi));
+      if (lo == 0) {
+        out.push_back(make_binary(Opcode::IADD, in.dst, t1, in.src1));
+      } else {
+        const Reg t2 = fn_.new_int_reg();
+        out.push_back(make_binary_imm(Opcode::ISHL, t2, in.src1, lo));
+        out.push_back(make_binary(Opcode::IADD, in.dst, t1, t2));
+      }
+      return true;
+    }
+    // a = 2^hi - 2^lo: shl, shl, sub — height 2.  (a + 2^ctz(a) is a power
+    // of two exactly in this case.)
+    {
+      const std::uint64_t lo_bit = a & (0ull - a);
+      if (is_pow2(a + lo_bit) && a + lo_bit != 0) {
+        const int hi = log2_u64(a + lo_bit);
+        const int lo = __builtin_ctzll(a);
+        if (hi <= 62) {
+          const Reg t1 = fn_.new_int_reg();
+          out.push_back(make_binary_imm(Opcode::ISHL, t1, in.src1, hi));
+          if (lo == 0) {
+            out.push_back(make_binary(Opcode::ISUB, in.dst, t1, in.src1));
+          } else {
+            const Reg t2 = fn_.new_int_reg();
+            out.push_back(make_binary_imm(Opcode::ISHL, t2, in.src1, lo));
+            out.push_back(make_binary(Opcode::ISUB, in.dst, t1, t2));
+          }
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  // Emits the round-toward-zero shift sequence for x / 2^k into `q`.
+  void emit_div_pow2(const Reg& x, int k, const Reg& q, std::vector<Instruction>& out) {
+    // t1 = x >> 63 (all sign bits); t2 = t1 & (2^k - 1); q = (x + t2) >> k.
+    const Reg t1 = fn_.new_int_reg();
+    const Reg t2 = fn_.new_int_reg();
+    const Reg t3 = fn_.new_int_reg();
+    out.push_back(make_binary_imm(Opcode::ISHRA, t1, x, 63));
+    out.push_back(make_binary_imm(Opcode::IAND, t2, t1, (std::int64_t{1} << k) - 1));
+    out.push_back(make_binary(Opcode::IADD, t3, x, t2));
+    out.push_back(make_binary_imm(Opcode::ISHRA, q, t3, k));
+  }
+
+  bool reduce_div_pow2(const Instruction& in, std::vector<Instruction>& out) {
+    const bool neg = in.ival < 0;
+    const std::uint64_t a = static_cast<std::uint64_t>(neg ? -in.ival : in.ival);
+    const int k = log2_u64(a);
+    if (k == 0) return false;  // |c| == 1: algebraic
+    if (neg) {
+      const Reg q = fn_.new_int_reg();
+      emit_div_pow2(in.src1, k, q, out);
+      out.push_back(make_unary(Opcode::INEG, in.dst, q));
+    } else {
+      emit_div_pow2(in.src1, k, in.dst, out);
+    }
+    return true;
+  }
+
+  bool reduce_rem_pow2(const Instruction& in, std::vector<Instruction>& out) {
+    // x % (+/-2^k) = x - (x / 2^k) * 2^k  (C truncation: sign of dividend).
+    const std::uint64_t a =
+        static_cast<std::uint64_t>(in.ival < 0 ? -in.ival : in.ival);
+    const int k = log2_u64(a);
+    if (k == 0) {  // x % 1 == 0
+      out.push_back(make_ldi(in.dst, 0));
+      return true;
+    }
+    const Reg q = fn_.new_int_reg();
+    emit_div_pow2(in.src1, k, q, out);
+    const Reg m = fn_.new_int_reg();
+    out.push_back(make_binary_imm(Opcode::ISHL, m, q, k));
+    out.push_back(make_binary(Opcode::ISUB, in.dst, in.src1, m));
+    return true;
+  }
+
+  bool reduce_div_magic(const Instruction& in, std::vector<Instruction>& out) {
+    const std::int64_t d = in.ival;
+    const Magic mag = signed_magic(d);
+    const Reg x = in.src1;
+    const Reg mreg = fn_.new_int_reg();
+    const Reg hi = fn_.new_int_reg();
+    out.push_back(make_ldi(mreg, mag.m));
+    out.push_back(make_binary(Opcode::IMULH, hi, x, mreg));
+    Reg q = hi;
+    if (d > 0 && mag.m < 0) {
+      const Reg t = fn_.new_int_reg();
+      out.push_back(make_binary(Opcode::IADD, t, hi, x));
+      q = t;
+    } else if (d < 0 && mag.m > 0) {
+      const Reg t = fn_.new_int_reg();
+      out.push_back(make_binary(Opcode::ISUB, t, hi, x));
+      q = t;
+    }
+    if (mag.s > 0) {
+      const Reg t = fn_.new_int_reg();
+      out.push_back(make_binary_imm(Opcode::ISHRA, t, q, mag.s));
+      q = t;
+    }
+    // q += sign bit of q (round toward zero).
+    const Reg sign = fn_.new_int_reg();
+    out.push_back(make_binary_imm(Opcode::ISHRL, sign, q, 63));
+    out.push_back(make_binary(Opcode::IADD, in.dst, q, sign));
+    return true;
+  }
+
+  Function& fn_;
+  StrengthRedOptions opts_;
+};
+
+}  // namespace
+
+int strength_reduction(Function& fn, const StrengthRedOptions& opts) {
+  return Reducer(fn, opts).run();
+}
+
+}  // namespace ilp

@@ -1,0 +1,36 @@
+// Strength reduction (paper Section 2, "Strength Reduction").
+//
+// Replaces long-latency integer multiply/divide/remainder by a compile-time
+// constant with shorter shift/add sequences.  On a superscalar the generated
+// instructions are mostly independent, so the profitability bar is the
+// *dependence height* of the replacement versus the original latency
+// (IntMul = 3, IntDiv = 10):
+//
+//   * multiply by 2^k                  -> 1 shift                 (height 1)
+//   * multiply by +/-(2^a +/- 2^b)     -> 2 shifts + add/sub(+neg)(height 2)
+//   * divide by 2^k (signed, exact
+//     round-toward-zero)               -> shra/and/add/shra       (height 4)
+//   * remainder by 2^k                 -> div sequence + shl + sub(height 6)
+//   * divide by other constants        -> magic-number multiply
+//     (Granlund–Montgomery)            -> mul + shifts + adds     (height ~6)
+//
+// The magic-number path is the paper's "more opportunities ... for
+// superscalar and VLIW processors" observation taken to its standard
+// modern form; it can be disabled to match a minimal 1992 implementation.
+#pragma once
+
+#include "ir/function.hpp"
+
+namespace ilp {
+
+struct StrengthRedOptions {
+  bool reduce_mul = true;
+  bool reduce_div_pow2 = true;
+  bool reduce_rem_pow2 = true;
+  bool reduce_div_magic = true;
+};
+
+// Returns the number of instructions reduced.
+int strength_reduction(Function& fn, const StrengthRedOptions& opts = {});
+
+}  // namespace ilp

@@ -1,0 +1,138 @@
+#include "trans/swp.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "analysis/cfg.hpp"
+#include "analysis/depgraph.hpp"
+#include "analysis/dominators.hpp"
+#include "analysis/liveness.hpp"
+#include "analysis/loops.hpp"
+#include "sched/scheduler.hpp"
+#include "trans/tripcount.hpp"
+#include "support/assert.hpp"
+
+namespace ilp {
+
+namespace {
+
+// One shift round on `loop`.  Returns the new kernel block id, or kNoBlock
+// when the loop is ineligible.
+BlockId shift_loop(Function& fn, const SimpleLoop& loop, const MachineModel& machine,
+                   const SwpOptions& opts) {
+  if (loop.has_side_exits()) return kNoBlock;
+  const Block& body0 = fn.block(loop.body);
+  if (body0.insts.size() < 3 || body0.insts.size() > opts.max_body_insts) return kNoBlock;
+  const auto counted = match_counted_loop(fn, loop);
+  if (!counted) return kNoBlock;
+  const BlockId exit_id = fn.layout_next(loop.body);
+  if (exit_id == kNoBlock) return kNoBlock;
+
+  // Partition the body (minus the back edge) at the midpoint of its
+  // dependence-respecting schedule.  Cutting by issue time keeps P closed
+  // under dependence predecessors: pred_time <= succ_time on every edge.
+  const Cfg cfg(fn);
+  const Liveness live(cfg);
+  const DepGraph g(fn, loop.body, machine, live, loop.preheader);
+  const BlockSchedule sched = list_schedule(g, fn, loop.body, machine);
+  int max_time = 0;
+  for (std::size_t i = 0; i < body0.insts.size(); ++i) {
+    if (i == loop.back_branch) continue;
+    max_time = std::max(max_time, sched.issue_time[i]);
+  }
+  const int cut = (max_time + 1) / 2;
+  std::vector<Instruction> P;
+  std::vector<Instruction> Q;
+  for (std::size_t i = 0; i < body0.insts.size(); ++i) {
+    if (i == loop.back_branch) continue;
+    (sched.issue_time[i] < cut ? P : Q).push_back(body0.insts[i]);
+  }
+  if (P.empty() || Q.empty()) return kNoBlock;
+
+  // ---- Runtime trip count, kernel countdown, and the T<2 guard. ----
+  const Reg t = emit_trip_count(fn, loop.preheader, *counted);
+  const Reg kc = fn.new_int_reg();
+  {
+    Block& pre = fn.block(loop.preheader);
+    const std::size_t pos =
+        pre.has_terminator() ? pre.insts.size() - 1 : pre.insts.size();
+    std::vector<Instruction> code;
+    code.push_back(make_binary_imm(Opcode::ISUB, kc, t, 1));  // kernel runs T-1 times
+    code.push_back(make_branch_imm(Opcode::BLT, t, 2, loop.body));  // fallback guard
+    pre.insts.insert(pre.insts.begin() + static_cast<std::ptrdiff_t>(pos), code.begin(),
+                     code.end());
+  }
+
+  // ---- New blocks: PRO -> KERNEL -> EPI, spliced before the fallback. ----
+  const std::string base = fn.block(loop.body).name;
+  const BlockId pro = fn.insert_block_after(loop.preheader, base + ".pro");
+  const BlockId kernel = fn.insert_block_after(pro, base + ".swp");
+  const BlockId epi = fn.insert_block_after(kernel, base + ".epi");
+
+  // If the preheader jumped to the body explicitly, enter the pipeline
+  // instead; a fallthrough edge now reaches PRO naturally.
+  {
+    Block& pre = fn.block(loop.preheader);
+    if (!pre.insts.empty() && pre.insts.back().op == Opcode::JUMP &&
+        pre.insts.back().target == loop.body)
+      pre.insts.back().target = pro;
+  }
+
+  fn.block(pro).insts = P;
+
+  {
+    Block& k = fn.block(kernel);
+    k.insts = Q;
+    k.insts.insert(k.insts.end(), P.begin(), P.end());
+    k.insts.push_back(make_binary_imm(Opcode::ISUB, kc, kc, 1));
+    k.insts.push_back(make_branch_imm(Opcode::BGT, kc, 0, kernel));
+  }
+
+  {
+    Block& e = fn.block(epi);
+    e.insts = Q;
+    e.insts.push_back(make_jump(exit_id));
+  }
+  fn.renumber();
+  return kernel;
+}
+
+}  // namespace
+
+SwpResult software_pipeline(Function& fn, const MachineModel& machine,
+                            const SwpOptions& opts) {
+  SwpResult res;
+  // Fallback copies (the original loops kept behind the T<2 guard) must
+  // never themselves be pipelined — they are the cold path.
+  std::unordered_set<BlockId> fallbacks;
+
+  for (int round = 0; round < opts.stages - 1; ++round) {
+    std::unordered_set<BlockId> done_this_round;  // kernels made or rejected
+    bool any = false;
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      const Cfg cfg(fn);
+      const Dominators dom(cfg);
+      for (const SimpleLoop& loop : find_simple_loops(cfg, dom)) {
+        if (fallbacks.count(loop.body) || done_this_round.count(loop.body)) continue;
+        const BlockId kernel = shift_loop(fn, loop, machine, opts);
+        if (kernel == kNoBlock) {
+          done_this_round.insert(loop.body);
+          continue;
+        }
+        fallbacks.insert(loop.body);
+        done_this_round.insert(kernel);
+        ++res.shifts_applied;
+        if (round == 0) ++res.loops_pipelined;
+        any = true;
+        progress = true;
+        break;  // blocks changed; re-derive the loop list
+      }
+    }
+    if (!any) break;
+  }
+  return res;
+}
+
+}  // namespace ilp

@@ -1,0 +1,49 @@
+// Software pipelining by iterated loop shifting (extension).
+//
+// The paper's Related Work cites software pipelining (Rau's Cydra 5 work,
+// Lam, Aiken/Nicolau) and notes that "these methods also benefit from
+// dependence elimination but the effect of the transformations on these
+// methods is not evaluated in this study".  This module supplies that
+// evaluation with a correctness-first formulation: instead of a modulo
+// scheduler with modulo variable expansion, each pipelining round *shifts*
+// the loop — a dependence-closed early partition P of the body moves across
+// the back edge:
+//
+//     original stream:   P(1) Q(1) P(2) Q(2) ... P(T) Q(T)
+//     shifted:           [P(1)] { Q(i) P(i+1) } x (T-1)  [Q(T)]
+//
+// The global instruction stream is unchanged (P is closed under dependence
+// predecessors, so Q(i) never feeds P(i) and the per-iteration reordering is
+// dependence-free), which makes the transformation semantics-preserving by
+// construction; the existing superblock scheduler then overlaps Q(i) with
+// P(i+1) inside the new kernel — the same overlap a modulo schedule of II =
+// makespan/2 would expose.  Applying the shift k-1 times yields a k-stage
+// pipeline (each round re-partitions the current kernel).
+//
+// Eligibility per loop (conservative): simple counted loop, no side exits,
+// bounded body size.  The kernel runs T-1 times under a fresh countdown
+// counter; a runtime guard (T >= 2) falls back to the original loop, which is
+// kept intact.
+#pragma once
+
+#include "ir/function.hpp"
+#include "machine/machine.hpp"
+
+namespace ilp {
+
+struct SwpOptions {
+  int stages = 2;                    // 2 => one shift, 3 => two shifts, ...
+  std::size_t max_body_insts = 96;   // eligibility bound per round
+};
+
+struct SwpResult {
+  int loops_pipelined = 0;  // loops shifted at least once
+  int shifts_applied = 0;   // total shift rounds across all loops
+};
+
+// Applies software pipelining to every eligible innermost loop.  Run after
+// the level transformations and before final scheduling.
+SwpResult software_pipeline(Function& fn, const MachineModel& machine,
+                            const SwpOptions& opts = {});
+
+}  // namespace ilp

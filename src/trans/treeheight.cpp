@@ -1,0 +1,354 @@
+#include "trans/treeheight.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ir/reg.hpp"
+#include "support/assert.hpp"
+
+namespace ilp {
+
+namespace {
+
+enum class Family { FpAdd, FpMul, IntAdd, IntMul };
+
+std::optional<Family> family_of(Opcode op) {
+  switch (op) {
+    case Opcode::FADD:
+    case Opcode::FSUB:
+      return Family::FpAdd;
+    case Opcode::FMUL:
+    case Opcode::FDIV:
+      return Family::FpMul;
+    case Opcode::IADD:
+    case Opcode::ISUB:
+      return Family::IntAdd;
+    case Opcode::IMUL:
+      return Family::IntMul;
+    default:
+      return std::nullopt;
+  }
+}
+
+bool family_is_fp(Family f) { return f == Family::FpAdd || f == Family::FpMul; }
+bool family_is_mul(Family f) { return f == Family::FpMul || f == Family::IntMul; }
+
+// A leaf or partially combined node during the rebuild.
+struct Node {
+  bool is_imm = false;
+  Reg reg;
+  double fimm = 0.0;
+  std::int64_t iimm = 0;
+  int depth = 0;
+  // True when the leaf register is produced inside this block (its value is
+  // ready later than pure inputs; pairing prefers pure inputs for divides).
+  bool def_in_block = false;
+};
+
+struct Leaf {
+  Node node;
+  bool inverted = false;  // negative sign / reciprocal
+};
+
+class TreePass {
+ public:
+  TreePass(Function& fn, const TreeHeightOptions& opts) : fn_(fn), opts_(opts) {
+    for (const Block& b : fn.blocks())
+      for (const Instruction& in : b.insts) {
+        if (in.src1.valid()) ++use_count_[in.src1];
+        if (in.src2.valid() && !in.src2_is_imm) ++use_count_[in.src2];
+        if (in.has_dest()) ++def_count_[in.dst];
+      }
+    for (const Reg& r : fn.live_out()) ++use_count_[r];
+  }
+
+  int run() {
+    int n = 0;
+    for (Block& b : fn_.blocks()) n += run_block(b);
+    if (n > 0) fn_.renumber();
+    return n;
+  }
+
+ private:
+  // A register is absorbable into a tree when its defining instruction can be
+  // deleted after the rebuild: single def, single use, defined in this block.
+  [[nodiscard]] bool absorbable(const Reg& r) const {
+    const auto d = def_count_.find(r);
+    const auto u = use_count_.find(r);
+    return d != def_count_.end() && d->second == 1 && u != use_count_.end() &&
+           u->second == 1;
+  }
+
+  int run_block(Block& b) {
+    // Map register -> defining index inside this block.
+    std::unordered_map<Reg, std::size_t, RegHash> def_at;
+    for (std::size_t i = 0; i < b.insts.size(); ++i)
+      if (b.insts[i].has_dest()) def_at[b.insts[i].dst] = i;
+
+    int rebuilt = 0;
+    // Scan for roots from the top so inner (other-family) subtrees are
+    // rebalanced before the outer trees that consume them.
+    for (std::size_t root = 0; root < b.insts.size(); ++root) {
+      const Instruction& rin = b.insts[root];
+      const auto fam = family_of(rin.op);
+      if (!fam) continue;
+      // A root's dest must not itself be absorbed into a same-family parent
+      // (that parent will collect this node anyway).
+      if (absorbable(rin.dst)) {
+        const auto uit = find_single_use(b, rin.dst, root);
+        if (uit && family_of(b.insts[*uit].op) == fam) continue;
+      }
+
+      // Collect leaves.
+      std::vector<Leaf> leaves;
+      std::vector<std::size_t> members;
+      if (!collect(b, def_at, root, *fam, false, leaves, members)) continue;
+      if (leaves.size() < 3) continue;
+
+      // Leaf registers must be stable between the earliest member and root.
+      const std::size_t first = *std::min_element(members.begin(), members.end());
+      std::unordered_set<Reg, RegHash> leaf_regs;
+      for (const Leaf& l : leaves)
+        if (!l.node.is_imm) leaf_regs.insert(l.node.reg);
+      std::unordered_set<std::size_t> member_set(members.begin(), members.end());
+      bool stable = true;
+      for (std::size_t i = first; i < root && stable; ++i) {
+        if (member_set.count(i)) continue;
+        const Instruction& x = b.insts[i];
+        if (x.has_dest() && leaf_regs.count(x.dst)) stable = false;
+      }
+      if (!stable) continue;
+
+      // Rebuild a balanced tree at the root position.
+      std::vector<Instruction> seq = rebuild(*fam, rin.dst, leaves);
+      if (seq.empty()) continue;
+      // Replace the root instruction with the sequence; the absorbed chain
+      // instructions become dead (cleaned up by DCE).
+      b.insts.erase(b.insts.begin() + static_cast<std::ptrdiff_t>(root));
+      b.insts.insert(b.insts.begin() + static_cast<std::ptrdiff_t>(root), seq.begin(),
+                     seq.end());
+      // Maintain bookkeeping for subsequent roots in this block.
+      def_at.clear();
+      for (std::size_t i = 0; i < b.insts.size(); ++i)
+        if (b.insts[i].has_dest()) def_at[b.insts[i].dst] = i;
+      root += seq.size() - 1;
+      ++rebuilt;
+    }
+    return rebuilt;
+  }
+
+  std::optional<std::size_t> find_single_use(const Block& b, const Reg& r,
+                                             std::size_t after) const {
+    for (std::size_t i = after + 1; i < b.insts.size(); ++i)
+      if (b.insts[i].reads(r)) return i;
+    return std::nullopt;
+  }
+
+  // Recursively flattens the operand tree of instruction `idx`.
+  bool collect(const Block& b, const std::unordered_map<Reg, std::size_t, RegHash>& def_at,
+               std::size_t idx, Family fam, bool inverted, std::vector<Leaf>& leaves,
+               std::vector<std::size_t>& members) {
+    if (members.size() > 64) return false;  // runaway guard
+    const Instruction& in = b.insts[idx];
+    members.push_back(idx);
+    const bool second_inverts = in.op == Opcode::FSUB || in.op == Opcode::ISUB ||
+                                in.op == Opcode::FDIV;
+    // src1
+    if (!descend(b, def_at, in.src1, idx, fam, inverted, leaves, members)) return false;
+    // src2 (register or immediate)
+    if (in.src2_is_imm) {
+      Leaf l;
+      l.node.is_imm = true;
+      l.node.fimm = in.fval;
+      l.node.iimm = in.ival;
+      l.inverted = inverted ^ second_inverts;
+      leaves.push_back(l);
+    } else {
+      if (!descend(b, def_at, in.src2, idx, fam, inverted ^ second_inverts, leaves,
+                   members))
+        return false;
+    }
+    return true;
+  }
+
+  bool descend(const Block& b, const std::unordered_map<Reg, std::size_t, RegHash>& def_at,
+               const Reg& r, std::size_t user_idx, Family fam, bool inverted,
+               std::vector<Leaf>& leaves, std::vector<std::size_t>& members) {
+    const auto it = def_at.find(r);
+    if (it != def_at.end() && it->second < user_idx && absorbable(r) &&
+        family_of(b.insts[it->second].op) == fam) {
+      return collect(b, def_at, it->second, fam, inverted, leaves, members);
+    }
+    Leaf l;
+    l.node.reg = r;
+    // Constant materializations count as pure inputs: their values are ready
+    // immediately, unlike interior arithmetic results.
+    if (it != def_at.end()) {
+      const Opcode dop = b.insts[it->second].op;
+      l.node.def_in_block = dop != Opcode::LDI && dop != Opcode::FLDI;
+      // Latency-weighted mode: a leaf computed in this block is ready no
+      // earlier than its producer's latency; weight it so slow producers
+      // (divides, loads) join the balanced tree late.
+      if (opts_.latency_weighted && l.node.def_in_block)
+        l.node.depth = opts_.machine.latency(dop);
+    }
+    l.inverted = inverted;
+    leaves.push_back(l);
+    return true;
+  }
+
+  // ---- Balanced rebuild -----------------------------------------------------
+
+  Node combine(Family fam, Opcode op, const Node& a, const Node& c,
+               std::vector<Instruction>& seq) {
+    const bool fp = family_is_fp(fam);
+    Node out;
+    // Balanced assuming equal latencies (the paper's Baer–Bovet variant),
+    // except that divides count as several levels so they start early and
+    // finish off the critical path (reproduces Figure 7's 13-cycle result).
+    // The latency-weighted mode (paper future work) uses the machine's
+    // actual latencies as weights instead.
+    if (opts_.latency_weighted)
+      out.depth = std::max(a.depth, c.depth) + opts_.machine.latency(op);
+    else
+      out.depth = std::max(a.depth, c.depth) + (op == Opcode::FDIV ? 4 : 1);
+    const Reg dst = fn_.new_reg(fp ? RegClass::Fp : RegClass::Int);
+    out.reg = dst;
+    ILP_ASSERT(!(a.is_imm && c.is_imm), "constant pairs folded before combine");
+    if (c.is_imm) {
+      seq.push_back(fp ? make_binary_fimm(op, dst, a.reg, c.fimm)
+                       : make_binary_imm(op, dst, a.reg, c.iimm));
+    } else if (a.is_imm) {
+      if (op_is_commutative(op)) {
+        seq.push_back(fp ? make_binary_fimm(op, dst, c.reg, a.fimm)
+                         : make_binary_imm(op, dst, c.reg, a.iimm));
+      } else {
+        // imm - x / imm / x: materialize the constant.
+        const Reg k = fn_.new_reg(fp ? RegClass::Fp : RegClass::Int);
+        seq.push_back(fp ? make_fldi(k, a.fimm) : make_ldi(k, a.iimm));
+        seq.push_back(make_binary(op, dst, k, c.reg));
+      }
+    } else {
+      seq.push_back(make_binary(op, dst, a.reg, c.reg));
+    }
+    return out;
+  }
+
+  // Combines nodes pairwise, shallowest first, with `op`.
+  Node balanced_fold(Family fam, Opcode op, std::vector<Node> nodes,
+                     std::vector<Instruction>& seq) {
+    ILP_ASSERT(!nodes.empty(), "balanced_fold needs nodes");
+    while (nodes.size() > 1) {
+      std::sort(nodes.begin(), nodes.end(),
+                [](const Node& a, const Node& c) { return a.depth < c.depth; });
+      const Node a = nodes[0];
+      const Node c = nodes[1];
+      nodes.erase(nodes.begin(), nodes.begin() + 2);
+      nodes.push_back(combine(fam, op, a, c, seq));
+    }
+    return nodes[0];
+  }
+
+  std::vector<Instruction> rebuild(Family fam, Reg dst, const std::vector<Leaf>& leaves) {
+    const bool fp = family_is_fp(fam);
+    const bool mul = family_is_mul(fam);
+    const Opcode join = mul ? (fp ? Opcode::FMUL : Opcode::IMUL)
+                            : (fp ? Opcode::FADD : Opcode::IADD);
+    const Opcode anti = mul ? Opcode::FDIV : (fp ? Opcode::FSUB : Opcode::ISUB);
+
+    // Fold constants: signed sum (additive) or product/quotient (mult).
+    std::vector<Node> plain;
+    std::vector<Node> inv;
+    double fconst = mul ? 1.0 : 0.0;
+    std::int64_t iconst = mul ? 1 : 0;
+    bool have_const = false;
+    for (const Leaf& l : leaves) {
+      if (l.node.is_imm) {
+        have_const = true;
+        if (fp) {
+          if (mul)
+            fconst = l.inverted ? fconst / l.node.fimm : fconst * l.node.fimm;
+          else
+            fconst = l.inverted ? fconst - l.node.fimm : fconst + l.node.fimm;
+        } else {
+          if (mul)
+            iconst *= l.node.iimm;  // int family has no inverted mul leaves
+          else
+            iconst = l.inverted ? iconst - l.node.iimm : iconst + l.node.iimm;
+        }
+        continue;
+      }
+      (l.inverted ? inv : plain).push_back(l.node);
+    }
+    if (have_const && fp && !std::isfinite(fconst)) return {};
+    if (have_const) {
+      // Drop identity constants; otherwise append as a plain leaf.
+      const bool identity = fp ? (fconst == (mul ? 1.0 : 0.0)) : (iconst == (mul ? 1 : 0));
+      if (!identity) {
+        Node c;
+        c.is_imm = true;
+        c.fimm = fconst;
+        c.iimm = iconst;
+        plain.push_back(c);
+      }
+    }
+
+    std::vector<Instruction> seq;
+    // Pair inverted leaves with plain leaves first (sub/div starts early);
+    // prefer plain leaves that are pure inputs so the long-latency divide's
+    // operand is ready immediately (Figure 7 pairs F/G, not (C+D)/G).
+    std::stable_partition(plain.begin(), plain.end(),
+                          [](const Node& n) { return !n.def_in_block && !n.is_imm; });
+    std::vector<Node> nodes;
+    std::size_t pi = 0;
+    std::size_t ii = 0;
+    while (pi < plain.size() && ii < inv.size())
+      nodes.push_back(combine(fam, anti, plain[pi++], inv[ii++], seq));
+    for (; pi < plain.size(); ++pi) nodes.push_back(plain[pi]);
+
+    std::optional<Node> leftover_inv;
+    if (ii < inv.size()) {
+      std::vector<Node> rest(inv.begin() + static_cast<std::ptrdiff_t>(ii), inv.end());
+      leftover_inv = balanced_fold(fam, join, std::move(rest), seq);
+    }
+
+    Node result;
+    if (nodes.empty()) {
+      ILP_ASSERT(leftover_inv.has_value(), "tree with no leaves");
+      // Pure inverted result: 0 - x or 1 / x.
+      Node zero;
+      zero.is_imm = true;
+      zero.fimm = mul ? 1.0 : 0.0;
+      zero.iimm = mul ? 1 : 0;
+      result = combine(fam, anti, zero, *leftover_inv, seq);
+    } else {
+      result = balanced_fold(fam, join, std::move(nodes), seq);
+      if (leftover_inv) result = combine(fam, anti, result, *leftover_inv, seq);
+    }
+
+    // Route the final value into the root's destination.
+    if (result.is_imm) return {};  // fully constant: leave to constprop
+    if (!seq.empty() && seq.back().dst == result.reg) {
+      seq.back().dst = dst;
+    } else {
+      seq.push_back(make_unary(fp ? Opcode::FMOV : Opcode::IMOV, dst, result.reg));
+    }
+    return seq;
+  }
+
+  Function& fn_;
+  TreeHeightOptions opts_;
+  std::unordered_map<Reg, int, RegHash> use_count_;
+  std::unordered_map<Reg, int, RegHash> def_count_;
+};
+
+}  // namespace
+
+int tree_height_reduction(Function& fn, const TreeHeightOptions& opts) {
+  return TreePass(fn, opts).run();
+}
+
+}  // namespace ilp

@@ -1,0 +1,39 @@
+// Tree height reduction (paper Section 2, after Baer & Bovet).
+//
+// Rebuilds single-use chains of associative/commutative arithmetic into
+// balanced trees, reducing the dependence height of long expressions
+// (Figure 7: B*(C+D)*E*F/G drops from 22 to 13 cycles).  As in the paper the
+// algorithm works on intermediate code, uses commutativity + associativity
+// but NOT distributivity, and balances assuming equal operation latencies.
+//
+// Families:
+//   * fp additive  (FADD/FSUB — leaves carry signs),
+//   * fp multiplicative (FMUL/FDIV — leaves carry inversion flags; division
+//     reassociation is the paper's, e.g. x*F/G == x*(F/G)),
+//   * int additive (IADD/ISUB),
+//   * int multiplicative (IMUL only; integer division is not associative).
+//
+// Negated/inverted leaves pair with plain leaves first (emitting SUB/DIV
+// early), which is what lets Figure 7's divide start at cycle 0.
+// Floating-point rebalancing reassociates, as the paper's does.
+#pragma once
+
+#include "ir/function.hpp"
+#include "machine/machine.hpp"
+
+namespace ilp {
+
+struct TreeHeightOptions {
+  // The paper's future work ("allow different latencies for operations"):
+  // balance by operation latencies from the machine model instead of
+  // counting levels.  Leaves produced by in-block instructions are weighted
+  // by their producer's latency, so e.g. a divide feeding a sum joins the
+  // tree last instead of being treated like any other operand.
+  bool latency_weighted = false;
+  MachineModel machine;  // consulted only when latency_weighted
+};
+
+// Returns the number of expression trees rebalanced.
+int tree_height_reduction(Function& fn, const TreeHeightOptions& opts = {});
+
+}  // namespace ilp

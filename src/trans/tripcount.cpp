@@ -1,0 +1,49 @@
+#include "trans/tripcount.hpp"
+
+#include "support/assert.hpp"
+
+namespace ilp {
+
+Reg emit_trip_count(Function& fn, BlockId pre_id, const CountedLoopInfo& info) {
+  std::vector<Instruction> code;
+  const Reg diff = fn.new_int_reg();
+  // diff = bound - iv   (sign-normalized below by dividing by step)
+  if (info.bound_is_imm) {
+    code.push_back(make_ldi(diff, info.bound_imm));
+    code.push_back(make_binary(Opcode::ISUB, diff, diff, info.iv));
+  } else {
+    code.push_back(make_binary(Opcode::ISUB, diff, info.bound_reg, info.iv));
+  }
+  // T before clamping, by comparison kind:
+  //   BLT/BGT:  ceil(diff/step)
+  //   BLE/BGE:  floor(diff/step) + 1
+  //   BNE:      diff/step  (assumed exact)
+  const Reg t = fn.new_int_reg();
+  switch (info.cmp) {
+    case Opcode::BLT:
+    case Opcode::BGT:
+      code.push_back(make_binary_imm(Opcode::IADD, t, diff,
+                                     info.step > 0 ? info.step - 1 : info.step + 1));
+      code.push_back(make_binary_imm(Opcode::IDIV, t, t, info.step));
+      break;
+    case Opcode::BLE:
+    case Opcode::BGE:
+      code.push_back(make_binary_imm(Opcode::IDIV, t, diff, info.step));
+      code.push_back(make_binary_imm(Opcode::IADD, t, t, 1));
+      break;
+    case Opcode::BNE:
+      code.push_back(make_binary_imm(Opcode::IDIV, t, diff, info.step));
+      break;
+    default:
+      ILP_UNREACHABLE("unexpected counted-loop comparison");
+  }
+  code.push_back(make_binary_imm(Opcode::IMAX, t, t, 1));  // do-while: T >= 1
+
+  Block& pre = fn.block(pre_id);
+  const std::size_t pos = pre.has_terminator() ? pre.insts.size() - 1 : pre.insts.size();
+  pre.insts.insert(pre.insts.begin() + static_cast<std::ptrdiff_t>(pos), code.begin(),
+                   code.end());
+  return t;
+}
+
+}  // namespace ilp

@@ -1,0 +1,16 @@
+// Runtime trip-count materialization for counted loops, shared by
+// preconditioned unrolling and software pipelining.
+#pragma once
+
+#include "analysis/loops.hpp"
+#include "ir/function.hpp"
+
+namespace ilp {
+
+// Emits, just before `pre`'s terminator, code computing the loop's remaining
+// trip count T = max(1, iterations until `info`'s comparison fails), using
+// the do-while convention (the body always runs at least once).  Returns the
+// register holding T.
+Reg emit_trip_count(Function& fn, BlockId pre, const CountedLoopInfo& info);
+
+}  // namespace ilp

@@ -1,0 +1,203 @@
+#include "trans/unroll.hpp"
+
+#include <algorithm>
+
+#include "analysis/cfg.hpp"
+#include "analysis/dominators.hpp"
+#include "analysis/liveness.hpp"
+#include "analysis/loops.hpp"
+#include "ir/builder.hpp"
+#include "trans/tripcount.hpp"
+#include "support/assert.hpp"
+
+namespace ilp {
+
+namespace {
+
+// Emits, into the preheader, runtime computation of the preconditioning bound
+// pre_bound = iv + (((T-1) mod N) + 1) * step, where T is the trip count.
+// Returns the register holding pre_bound.
+Reg emit_precondition_bound(Function& fn, BlockId pre_id, const CountedLoopInfo& info,
+                            int n) {
+  const Reg t = emit_trip_count(fn, pre_id, info);
+  std::vector<Instruction> code;
+  // rem = ((T-1) mod N) + 1
+  const Reg rem = fn.new_int_reg();
+  code.push_back(make_binary_imm(Opcode::ISUB, rem, t, 1));
+  code.push_back(make_binary_imm(Opcode::IREM, rem, rem, n));
+  code.push_back(make_binary_imm(Opcode::IADD, rem, rem, 1));
+  // pre_bound = iv + rem * step
+  const Reg pb = fn.new_int_reg();
+  code.push_back(make_binary_imm(Opcode::IMUL, pb, rem, info.step));
+  code.push_back(make_binary(Opcode::IADD, pb, pb, info.iv));
+
+  Block& pre = fn.block(pre_id);
+  const std::size_t pos = pre.has_terminator() ? pre.insts.size() - 1 : pre.insts.size();
+  pre.insts.insert(pre.insts.begin() + static_cast<std::ptrdiff_t>(pos), code.begin(),
+                   code.end());
+  return pb;
+}
+
+bool unroll_counted(Function& fn, const SimpleLoop& loop, const CountedLoopInfo& info,
+                    int n, bool allow_merge) {
+  const BlockId exit_id = fn.layout_next(loop.body);
+  ILP_ASSERT(exit_id != kNoBlock, "loop body must fall through to an exit");
+
+  const Reg pre_bound = emit_precondition_bound(fn, loop.preheader, info, n);
+
+  // Create GUARD and MAIN after the (preconditioning) body.
+  const BlockId guard_id = fn.insert_block_after(loop.body, fn.block(loop.body).name + ".g");
+  const BlockId main_id = fn.insert_block_after(guard_id, fn.block(loop.body).name + ".u");
+
+  // Snapshot the body before rewriting its back edge.
+  const std::vector<Instruction> body_copy = fn.block(loop.body).insts;
+
+  // PRE: retarget the back edge at pre_bound with a direction-exact compare.
+  {
+    Block& body = fn.block(loop.body);
+    Instruction& br = body.insts[loop.back_branch];
+    br.op = info.step > 0 ? Opcode::BLT : Opcode::BGT;
+    br.src1 = info.iv;
+    br.src2 = pre_bound;
+    br.src2_is_imm = false;
+  }
+
+  // GUARD: skip MAIN when the remaining count is zero (exit condition holds).
+  {
+    Block& guard = fn.block(guard_id);
+    Instruction g = body_copy[loop.back_branch];  // original compare
+    g.op = op_invert_branch(g.op);
+    g.target = exit_id;
+    guard.insts.push_back(g);
+  }
+
+  // Decide whether the counted IV's per-copy updates can merge into a single
+  // "iv += N*step" before the back edge (the paper's Figure 5c shows the
+  // unrolled counter as one "r1 = r1 + 3").  Legal when every use of the IV
+  // is the update itself, the back-edge compare, or a memory base /
+  // immediate add-sub whose constant can absorb the copy offset — and the IV
+  // is not observed at a side exit (an early exit must see the partially
+  // advanced value).
+  bool merge_updates = allow_merge;
+  if (merge_updates) {
+    const Cfg cfg2(fn);
+    const Liveness live(cfg2);
+    for (std::size_t se : loop.side_exits) {
+      const Instruction& br = body_copy[se];
+      if (live.live_in(br.target).test(RegKey::key(info.iv))) merge_updates = false;
+    }
+    for (std::size_t i = 0; i < body_copy.size() && merge_updates; ++i) {
+      if (i == info.update_idx || i == loop.back_branch) continue;
+      const Instruction& in = body_copy[i];
+      if (!in.reads(info.iv)) continue;
+      const bool foldable_mem = in.is_memory() && in.src1 == info.iv &&
+                                !(in.src2.valid() && in.src2 == info.iv);
+      const bool foldable_addsub = (in.op == Opcode::IADD || in.op == Opcode::ISUB) &&
+                                   in.src2_is_imm && in.src1 == info.iv;
+      const bool foldable_branch =
+          in.is_branch() && in.src2_is_imm && in.src1 == info.iv;
+      if (!foldable_mem && !foldable_addsub && !foldable_branch) merge_updates = false;
+    }
+  }
+
+  // MAIN: N copies; inner back edges removed, last one kept (original form,
+  // retargeted at MAIN itself).  With merged updates, copy c reads the
+  // pre-update IV with its offsets adjusted by c*step, and one update
+  // "iv += N*step" is emitted before the branch.
+  {
+    Block& main = fn.block(main_id);
+    for (int copy = 0; copy < n; ++copy) {
+      for (std::size_t i = 0; i < body_copy.size(); ++i) {
+        // Folded offset = steps the read expects minus steps already applied
+        // to the register at that point.  A read in copy c expects
+        // c (+1 when it follows the original update position) steps; the
+        // register has advanced only once the merged update (emitted at the
+        // last copy's update position) has executed.
+        // The merged update is deferred to just before the back edge, so no
+        // read ever sees a partially advanced register: every read in copy c
+        // folds (c + 1-if-after-the-original-update) steps.
+        const std::int64_t offset =
+            merge_updates ? (copy + (i > info.update_idx ? 1 : 0)) * info.step : 0;
+        if (i == info.update_idx && merge_updates) continue;
+        if (i == loop.back_branch) {
+          if (copy == n - 1) {
+            if (merge_updates) {
+              Instruction upd = body_copy[info.update_idx];  // iv = iv +/- C
+              upd.ival = upd.ival * n;
+              main.insts.push_back(upd);
+            }
+            Instruction br = body_copy[i];
+            br.target = main_id;
+            main.insts.push_back(br);
+          }
+          continue;
+        }
+        Instruction in = body_copy[i];
+        if (offset != 0 && in.reads(info.iv)) {
+          if (in.is_memory() && in.src1 == info.iv) {
+            in.ival += offset;
+          } else if ((in.op == Opcode::IADD || in.op == Opcode::ISUB) && in.src2_is_imm &&
+                     in.src1 == info.iv) {
+            in.ival += in.op == Opcode::IADD ? offset : -offset;
+          } else if (in.is_branch() && in.src2_is_imm && in.src1 == info.iv) {
+            in.ival -= offset;
+          }
+        }
+        main.insts.push_back(in);
+      }
+    }
+  }
+  return true;
+}
+
+bool unroll_uncounted(Function& fn, const SimpleLoop& loop, int n) {
+  const BlockId exit_id = fn.layout_next(loop.body);
+  ILP_ASSERT(exit_id != kNoBlock, "loop body must fall through to an exit");
+  Block& body = fn.block(loop.body);
+  const std::vector<Instruction> body_copy = body.insts;
+
+  std::vector<Instruction> out;
+  out.reserve(body_copy.size() * static_cast<std::size_t>(n));
+  for (int copy = 0; copy < n; ++copy) {
+    for (std::size_t i = 0; i < body_copy.size(); ++i) {
+      if (i == loop.back_branch && copy != n - 1) {
+        // Intermediate back edge becomes an inverted side exit.
+        Instruction br = body_copy[i];
+        br.op = op_invert_branch(br.op);
+        br.target = exit_id;
+        out.push_back(br);
+        continue;
+      }
+      out.push_back(body_copy[i]);
+    }
+  }
+  body.insts = std::move(out);
+  return true;
+}
+
+}  // namespace
+
+int unroll_loops(Function& fn, const UnrollOptions& opts) {
+  if (opts.max_factor < 2) return 0;
+  const Cfg cfg(fn);
+  const Dominators dom(cfg);
+  const auto loops = find_simple_loops(cfg, dom);
+
+  int unrolled = 0;
+  for (const SimpleLoop& loop : loops) {
+    const std::size_t body_size = fn.block(loop.body).insts.size();
+    const int by_size = static_cast<int>(opts.max_body_insts / std::max<std::size_t>(1, body_size));
+    const int n = std::min(opts.max_factor, by_size);
+    if (n < 2) continue;
+
+    if (const auto counted = match_counted_loop(fn, loop)) {
+      if (unroll_counted(fn, loop, *counted, n, opts.merge_counter_updates)) ++unrolled;
+    } else {
+      if (unroll_uncounted(fn, loop, n)) ++unrolled;
+    }
+  }
+  fn.renumber();
+  return unrolled;
+}
+
+}  // namespace ilp

@@ -1,0 +1,42 @@
+// Loop unrolling (paper Section 2, "Loop Unrolling").
+//
+// A loop unrolled N times has N-1 copies of the loop body appended to the
+// original.  For counted loops ("if the iteration count is known on loop
+// entry") the intermediate control transfers are removed by executing the
+// first ((T-1) mod N) + 1 iterations in a *preconditioning loop* — the
+// original body, retargeted at a runtime-computed intermediate bound — so the
+// main unrolled loop always runs a multiple of N iterations:
+//
+//   preheader:  ...original...  T = max(1, ceil((bound-iv)/step))   (runtime)
+//               rem = ((T-1) mod N) + 1;  pre_bound = iv + rem*step
+//   PRE:        original body, back edge vs pre_bound
+//   GUARD:      if exit-condition holds -> EXIT        (skip empty main loop)
+//   MAIN:       N copies of the body, inner back edges removed,
+//               final back edge vs the original bound
+//   EXIT:       ...
+//
+// rem is in 1..N, so the do-while-shaped preconditioning loop never
+// zero-trips.  Non-counted loops (data-dependent exits, e.g. Figure 6) are
+// unrolled in place with the intermediate back edges inverted into side
+// exits.  The unroll factor is the paper's: at most `max_factor` (8), bounded
+// by a maximum unrolled body size.
+#pragma once
+
+#include "ir/function.hpp"
+
+namespace ilp {
+
+struct UnrollOptions {
+  int max_factor = 8;
+  std::size_t max_body_insts = 160;  // cap on the *unrolled* body size
+  // Merge the counted IV's per-copy updates into one "iv += N*step" with the
+  // copy offsets folded into addressing constants, as the paper's Figure 5c
+  // shows ("r1 = r1 + 3").  Figure 1c/1d illustrate the unmerged form; tests
+  // reproducing those disable this.
+  bool merge_counter_updates = true;
+};
+
+// Unrolls every simple innermost loop; returns the number of loops unrolled.
+int unroll_loops(Function& fn, const UnrollOptions& opts = {});
+
+}  // namespace ilp

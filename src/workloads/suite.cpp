@@ -1,0 +1,673 @@
+#include "workloads/suite.hpp"
+
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+
+namespace ilp {
+
+namespace {
+
+using dsl::LoopType;
+
+// ---- Generators for the large bodies ----------------------------------------
+
+// N pairs of "store temp / consume temp" element-wise statements (2N stmts).
+std::string elementwise_pairs(const char* idx, int pairs, std::int64_t len,
+                              std::string* decls) {
+  std::string body;
+  for (int p = 0; p < pairs; ++p) {
+    *decls += strformat("array T%d[%lld] fp\narray U%d[%lld] fp\n", p,
+                        static_cast<long long>(len), p, static_cast<long long>(len));
+    body += strformat("    T%d[%s] = A[%s] * %d.5 + B[%s];\n", p, idx, idx, p + 1, idx);
+    body += strformat("    U%d[%s] = T%d[%s] * D[%s];\n", p, idx, p, idx, idx);
+  }
+  return body;
+}
+
+// NAS-1: 22 statements, 1500 iterations, depth 1, DOALL.
+Workload nas1() {
+  std::string decls =
+      "program nas1\n"
+      "array A[1500] fp\narray B[1500] fp\narray D[1500] fp\n";
+  const std::string body = elementwise_pairs("i", 11, 1500, &decls);
+  return {"NAS-1", "PERFECT", 22, 1500, 1, LoopType::DoAll, false,
+          decls + "loop i = 0 to 1499 {\n" + body + "}\n"};
+}
+
+// NAS-5: 71 statements, 1500 iterations, depth 2, serial (one reduction).
+Workload nas5() {
+  std::string decls =
+      "program nas5\n"
+      "array A[1500] fp\narray B[1500] fp\narray D[1500] fp\n"
+      "scalar s fp out\n";
+  const std::string body = elementwise_pairs("i", 35, 1500, &decls);
+  const std::string src = decls +
+                          "loop o = 0 to 2 {\n"
+                          "  loop i = 0 to 1499 {\n" +
+                          body + "    s = s + T0[i] * U34[i];\n  }\n}\n";
+  return {"NAS-5", "PERFECT", 71, 1500, 2, LoopType::Serial, false, src};
+}
+
+// NAS-6: 24 statements, 635 iterations, depth 2, DOACROSS (distance 5).
+Workload nas6() {
+  std::string decls =
+      "program nas6\n"
+      "array A[1500] fp\narray B[1500] fp\narray D[1500] fp\narray R[1500] fp\n";
+  const std::string body = elementwise_pairs("i", 11, 1500, &decls);  // 22 stmts
+  const std::string src = decls +
+                          "loop o = 0 to 2 {\n"
+                          "  loop i = 5 to 639 {\n"
+                          "    R[i] = R[i-5] * 0.5 + B[i];\n" +
+                          body + "    A[i] = U10[i] + R[i];\n  }\n}\n";
+  return {"NAS-6", "PERFECT", 24, 635, 2, LoopType::DoAcross, false, src};
+}
+
+// SRS-5: 21 statements, 287 iterations, depth 2, DOALL.
+Workload srs5() {
+  std::string decls =
+      "program srs5\n"
+      "array A[300] fp\narray B[300] fp\narray D[300] fp\n"
+      "array V[300] fp\n";
+  const std::string body = elementwise_pairs("i", 10, 300, &decls);  // 20 stmts
+  const std::string src = decls +
+                          "loop o = 0 to 2 {\n"
+                          "  loop i = 0 to 286 {\n" +
+                          body + "    V[i] = T9[i] / U0[i];\n  }\n}\n";
+  return {"SRS-5", "PERFECT", 21, 287, 2, LoopType::DoAll, false, src};
+}
+
+// TFS-1: 11 statements, 89 iterations, depth 2, DOALL, long expressions.
+Workload tfs1() {
+  std::string decls =
+      "program tfs1\n"
+      "array A[100] fp\narray B[100] fp\narray C[100] fp\narray D[100] fp\n"
+      "array F[100] fp\narray G[100] fp\n";
+  std::string body;
+  for (int p = 0; p < 11; ++p) {
+    decls += strformat("array E%d[100] fp\n", p);
+    body += strformat(
+        "    E%d[i] = B[i] * (C[i] + D[i]) * A[i] * F[i] / (G[i] + %d.0);\n", p, p + 1);
+  }
+  const std::string src = decls +
+                          "loop o = 0 to 2 {\n"
+                          "  loop i = 0 to 88 {\n" +
+                          body + "  }\n}\n";
+  return {"TFS-1", "PERFECT", 11, 89, 2, LoopType::DoAll, false, src};
+}
+
+// tomcatv-1: 21 statements, 255 iterations, depth 2, DOALL, stencil loads.
+Workload tomcatv1() {
+  std::string decls =
+      "program tomcatv1\n"
+      "array X[260] fp\narray Y[260] fp\n";
+  std::string body;
+  for (int p = 0; p < 21; ++p) {
+    decls += strformat("array W%d[260] fp\n", p);
+    body += strformat(
+        "    W%d[i] = (X[i-1] + X[i+1] - X[i] * 2.0) * %d.25 + Y[i] * (X[i] + %d.5);\n",
+        p, p + 1, p);
+  }
+  const std::string src = decls +
+                          "loop o = 0 to 2 {\n"
+                          "  loop i = 1 to 255 {\n" +
+                          body + "  }\n}\n";
+  return {"tomcatv-1", "SPEC", 21, 255, 2, LoopType::DoAll, false, src};
+}
+
+// doduc-1: 38 statements, 13 iterations, depth 1, serial, with a break.
+Workload doduc1() {
+  std::string decls =
+      "program doduc1\n"
+      "array A[20] fp\narray B[20] fp\narray C[20] fp\narray D[20] fp\n"
+      "scalar acc fp out\nscalar t fp\n";
+  std::string body;
+  body += "    t = t * 0.5 + A[i] * B[i];\n";           // general recurrence
+  for (int p = 0; p < 35; ++p) {
+    decls += strformat("array P%d[20] fp\n", p);
+    body += strformat("    P%d[i] = (A[i] + %d.25) * (B[i] - %d.125) * C[i] / (D[i] + "
+                      "%d.5);\n",
+                      p, p + 1, p, p + 2);
+  }
+  body += "    acc = acc + t;\n";
+  body += "    if (acc > 1.0e15) break;\n";
+  const std::string src =
+      decls + "loop i = 0 to 12 {\n" + body + "}\n";
+  return {"doduc-1", "SPEC", 38, 13, 1, LoopType::Serial, true, src};
+}
+
+std::vector<Workload> build_suite() {
+  std::vector<Workload> w;
+
+  // ---------------- PERFECT club ---------------------------------------------
+  w.push_back({"APS-1", "PERFECT", 2, 64, 2, LoopType::DoAll, false, R"(
+program aps1
+array A[64] fp
+array B[64] fp
+array E[64] fp
+array T[64] fp
+array D[64] fp
+scalar c1 fp init 1.25
+loop o = 0 to 2 {
+  loop i = 0 to 63 {
+    T[i] = A[i] * c1 + B[i];
+    D[i] = T[i] * E[i];
+  }
+}
+)"});
+
+  w.push_back({"APS-2", "PERFECT", 8, 31, 2, LoopType::DoAll, false, R"(
+program aps2
+array A[31] fp
+array B[31] fp
+array C[31] fp
+array D[31] fp
+array E[31] fp
+array F[31] fp
+array G[31] fp
+array H[31] fp
+array P[31] fp
+array Q[31] fp
+loop o = 0 to 2 {
+  loop i = 0 to 30 {
+    P[i] = A[i] + B[i];
+    Q[i] = C[i] - D[i];
+    E[i] = P[i] * Q[i];
+    F[i] = P[i] + Q[i] * 0.5;
+    G[i] = A[i] * C[i] + B[i] * D[i];
+    H[i] = A[i] / (B[i] + 3.0);
+    A[i] = A[i] * 1.0625;
+    B[i] = B[i] * 0.9375;
+  }
+}
+)"});
+
+  w.push_back({"APS-3", "PERFECT", 2, 776, 1, LoopType::DoAll, false, R"(
+program aps3
+array A[776] fp
+array B[776] fp
+array C[776] fp
+array D[776] fp
+loop i = 0 to 775 {
+  C[i] = A[i] * B[i];
+  D[i] = A[i] + B[i] * 2.0;
+}
+)"});
+
+  w.push_back({"CSS-1", "PERFECT", 6, 67, 1, LoopType::Serial, true, R"(
+program css1
+array A[67] fp
+array B[67] fp
+array C[67] fp
+array D[67] fp
+array E[67] fp
+scalar acc fp out
+scalar t fp
+scalar u fp
+loop i = 0 to 66 {
+  t = A[i] * B[i];
+  u = t + C[i];
+  D[i] = u * 0.5;
+  acc = acc + u;
+  E[i] = u - t;
+  if (acc > 1.0e12) break;
+}
+)"});
+
+  w.push_back({"LWS-1", "PERFECT", 2, 343, 2, LoopType::Serial, false, R"(
+program lws1
+array A[343] fp
+array B[343] fp
+scalar t fp out
+loop o = 0 to 2 {
+  loop i = 0 to 342 {
+    t = t * 0.75 + A[i];
+    B[i] = t;
+  }
+}
+)"});
+
+  w.push_back({"LWS-2", "PERFECT", 1, 3087, 2, LoopType::Serial, false, R"(
+program lws2
+array A[3087] fp
+array B[3087] fp
+scalar s fp out
+loop o = 0 to 1 {
+  loop i = 0 to 3086 {
+    s = s + A[i] * B[i];
+  }
+}
+)"});
+
+  w.push_back({"MTS-1", "PERFECT", 2, 423, 2, LoopType::Serial, true, R"(
+program mts1
+array W[423] fp
+scalar m fp init -1.0e30 out
+scalar s fp out
+loop o = 0 to 2 {
+  loop i = 0 to 422 {
+    m = max(m, W[i]);
+    s = s + W[i];
+  }
+}
+)"});
+
+  w.push_back({"MTS-2", "PERFECT", 2, 24, 3, LoopType::Serial, true, R"(
+program mts2
+array M[2][24] fp
+scalar m fp init 1.0e30 out
+scalar n fp out
+loop o = 0 to 2 {
+  loop j = 0 to 1 {
+    loop k = 0 to 23 {
+      m = min(m, M[j][k]);
+      n = n + M[j][k];
+    }
+  }
+}
+)"});
+
+  w.push_back(nas1());
+
+  w.push_back({"NAS-2", "PERFECT", 5, 1520, 1, LoopType::DoAll, false, R"(
+program nas2
+array A[1520] fp
+array B[1520] fp
+array C[1520] fp
+array D[1520] fp
+array E[1520] fp
+array F[1520] fp
+array G[1520] fp
+loop i = 0 to 1519 {
+  C[i] = A[i] + B[i];
+  D[i] = A[i] - B[i];
+  E[i] = C[i] * D[i];
+  F[i] = C[i] / (D[i] + 4.0);
+  G[i] = E[i] + F[i];
+}
+)"});
+
+  w.push_back({"NAS-3", "PERFECT", 6, 6000, 1, LoopType::DoAll, false, R"(
+program nas3
+array A[6000] fp
+array B[6000] fp
+array C[6000] fp
+array D[6000] fp
+array E[6000] fp
+array F[6000] fp
+array G[6000] fp
+array H[6000] fp
+loop i = 0 to 5999 {
+  C[i] = A[i] * 2.5;
+  D[i] = B[i] * 0.5;
+  E[i] = C[i] + D[i];
+  F[i] = C[i] - D[i];
+  G[i] = E[i] * F[i];
+  H[i] = E[i] + F[i] * 3.0;
+}
+)"});
+
+  w.push_back({"NAS-4", "PERFECT", 2, 1204, 1, LoopType::Serial, false, R"(
+program nas4
+array A[1204] fp
+array B[1204] fp
+array C[1204] fp
+scalar s1 fp out
+scalar s2 fp out
+loop i = 0 to 1203 {
+  s1 = s1 + A[i] * B[i];
+  s2 = s2 + (A[i] - C[i]);
+}
+)"});
+
+  w.push_back(nas5());
+  w.push_back(nas6());
+
+  w.push_back({"SDS-1", "PERFECT", 1, 25, 2, LoopType::Serial, false, R"(
+program sds1
+array A[25] fp
+scalar s fp out
+loop o = 0 to 2 {
+  loop i = 0 to 24 {
+    s = s + A[i] * A[i];
+  }
+}
+)"});
+
+  w.push_back({"SDS-2", "PERFECT", 1, 32, 3, LoopType::Serial, false, R"(
+program sds2
+array M[2][32] fp
+scalar t fp out
+loop o = 0 to 2 {
+  loop j = 0 to 1 {
+    loop k = 0 to 31 {
+      t = t * 0.875 + M[j][k];
+    }
+  }
+}
+)"});
+
+  w.push_back({"SDS-3", "PERFECT", 1, 25, 2, LoopType::Serial, false, R"(
+program sds3
+array A[25] fp
+scalar p fp init 1.0 out
+loop o = 0 to 2 {
+  loop i = 0 to 24 {
+    p = p * (1.0 + A[i] * 0.001);
+  }
+}
+)"});
+
+  w.push_back({"SDS-4", "PERFECT", 3, 25, 2, LoopType::DoAcross, false, R"(
+program sds4
+array A[30] fp
+array B[30] fp
+array C[30] fp
+array D[30] fp
+loop o = 0 to 2 {
+  loop i = 3 to 27 {
+    A[i] = A[i-3] + B[i];
+    C[i] = B[i] * 1.5;
+    D[i] = C[i] + A[i];
+  }
+}
+)"});
+
+  w.push_back({"SRS-1", "PERFECT", 3, 287, 1, LoopType::DoAll, false, R"(
+program srs1
+array A[287] fp
+array B[287] fp
+array C[287] fp
+array D[287] fp
+array E[287] fp
+loop i = 0 to 286 {
+  C[i] = A[i] * 0.25 + B[i];
+  D[i] = A[i] - B[i] * 0.125;
+  E[i] = C[i] * D[i];
+}
+)"});
+
+  w.push_back({"SRS-2", "PERFECT", 5, 287, 2, LoopType::DoAcross, false, R"(
+program srs2
+array A[300] fp
+array B[300] fp
+array C[300] fp
+array D[300] fp
+array E[300] fp
+loop o = 0 to 2 {
+  loop i = 2 to 288 {
+    A[i] = A[i-2] * 0.5 + B[i];
+    C[i] = B[i] + 2.0;
+    D[i] = C[i] * B[i];
+    E[i] = D[i] - C[i];
+    B[i] = B[i] * 1.0078125;
+  }
+}
+)"});
+
+  w.push_back({"SRS-3", "PERFECT", 1, 287, 2, LoopType::DoAll, false, R"(
+program srs3
+array A[287] fp
+array B[287] fp
+loop o = 0 to 2 {
+  loop i = 0 to 286 {
+    B[i] = A[i] * 2.5;
+  }
+}
+)"});
+
+  w.push_back({"SRS-4", "PERFECT", 9, 87, 3, LoopType::DoAll, false, R"(
+program srs4
+array A[87] fp
+array B[87] fp
+array C[87] fp
+array D[87] fp
+array E[87] fp
+array F[87] fp
+array G[87] fp
+array H[87] fp
+array P[87] fp
+array Q[87] fp
+loop o = 0 to 1 {
+  loop j = 0 to 1 {
+    loop k = 0 to 86 {
+      C[k] = A[k] + B[k];
+      D[k] = A[k] - B[k];
+      E[k] = C[k] * 0.5;
+      F[k] = D[k] * 0.25;
+      G[k] = E[k] + F[k];
+      H[k] = E[k] - F[k];
+      P[k] = G[k] * H[k];
+      Q[k] = G[k] / (H[k] + 2.0);
+      A[k] = A[k] * 1.03125;
+    }
+  }
+}
+)"});
+
+  w.push_back(srs5());
+
+  w.push_back({"SRS-6", "PERFECT", 1, 287, 2, LoopType::Serial, false, R"(
+program srs6
+array A[287] fp
+scalar s fp out
+loop o = 0 to 2 {
+  loop i = 0 to 286 {
+    s = s + A[i];
+  }
+}
+)"});
+
+  w.push_back(tfs1());
+
+  w.push_back({"TFS-2", "PERFECT", 7, 120, 2, LoopType::DoAcross, false, R"(
+program tfs2
+array A[130] fp
+array B[130] fp
+array C[130] fp
+array D[130] fp
+array E[130] fp
+array F[130] fp
+loop o = 0 to 2 {
+  loop i = 4 to 123 {
+    A[i] = A[i-4] * 0.25 + B[i];
+    C[i] = (B[i] + D[i]) * (B[i] - D[i]);
+    E[i] = C[i] * B[i] + D[i];
+    F[i] = E[i] / (C[i] + 3.0);
+    D[i] = D[i] * 1.015625;
+    B[i] = B[i] + 0.125;
+    E[i] = E[i] + A[i];
+  }
+}
+)"});
+
+  w.push_back({"TFS-3", "PERFECT", 2, 49, 3, LoopType::DoAll, false, R"(
+program tfs3
+array A[49] fp
+array B[49] fp
+array C[49] fp
+array D[49] fp
+loop o = 0 to 1 {
+  loop j = 0 to 1 {
+    loop k = 0 to 48 {
+      C[k] = A[k] * B[k] + 1.5;
+      D[k] = A[k] / (B[k] + 2.0);
+    }
+  }
+}
+)"});
+
+  w.push_back({"WSS-1", "PERFECT", 1, 96, 2, LoopType::DoAll, false, R"(
+program wss1
+array A[96] fp
+array B[96] fp
+loop o = 0 to 2 {
+  loop i = 0 to 95 {
+    B[i] = A[i] * 0.333 + 1.0;
+  }
+}
+)"});
+
+  w.push_back({"WSS-2", "PERFECT", 4, 39, 2, LoopType::DoAcross, false, R"(
+program wss2
+array A[45] fp
+array B[45] fp
+array C[45] fp
+array D[45] fp
+loop o = 0 to 2 {
+  loop i = 2 to 40 {
+    A[i] = A[i-2] + B[i] * 0.5;
+    C[i] = B[i] * B[i];
+    D[i] = C[i] - B[i];
+    B[i] = B[i] * 1.0009765625;
+  }
+}
+)"});
+
+  // ---------------- SPEC ------------------------------------------------------
+  w.push_back(doduc1());
+
+  w.push_back({"matrix300-1", "SPEC", 1, 300, 1, LoopType::DoAll, false, R"(
+program matrix300
+array A[300] fp
+array C[300] fp
+scalar bk fp init 1.2
+loop i = 0 to 299 {
+  C[i] = C[i] + A[i] * bk;
+}
+)"});
+
+  w.push_back({"nasa7-1", "SPEC", 1, 256, 3, LoopType::DoAll, false, R"(
+program nasa7a
+array M[2][256] fp
+array X[256] fp
+loop o = 0 to 1 {
+  loop j = 0 to 1 {
+    loop k = 0 to 255 {
+      X[k] = X[k] + M[j][k];
+    }
+  }
+}
+)"});
+
+  w.push_back({"nasa7-2", "SPEC", 3, 1000, 3, LoopType::DoAcross, false, R"(
+program nasa7b
+array A[1010] fp
+array B[1010] fp
+array C[1010] fp
+loop o = 0 to 1 {
+  loop j = 0 to 1 {
+    loop k = 8 to 1007 {
+      A[k] = A[k-8] * 0.5 + B[k];
+      C[k] = B[k] * 2.0;
+      B[k] = B[k] + 0.0625;
+    }
+  }
+}
+)"});
+
+  w.push_back(tomcatv1());
+
+  w.push_back({"tomcatv-2", "SPEC", 8, 255, 2, LoopType::Serial, true, R"(
+program tomcatv2
+array X[255] fp
+array Y[255] fp
+array XO[255] fp
+array YO[255] fp
+scalar dx fp
+scalar dy fp
+scalar rx fp init -1.0e30 out
+scalar ry fp init -1.0e30 out
+scalar sx fp out
+scalar sy fp out
+loop o = 0 to 2 {
+  loop i = 0 to 254 {
+    dx = X[i] - XO[i];
+    dy = Y[i] - YO[i];
+    rx = max(rx, dx);
+    ry = max(ry, dy);
+    XO[i] = X[i];
+    YO[i] = Y[i];
+    sx = sx + dx;
+    sy = sy + dy;
+  }
+}
+)"});
+
+  // ---------------- Vector library --------------------------------------------
+  w.push_back({"add", "VECTOR", 1, 1024, 1, LoopType::DoAll, false, R"(
+program vadd
+array A[1024] fp
+array B[1024] fp
+array C[1024] fp
+loop i = 0 to 1023 {
+  C[i] = A[i] + B[i];
+}
+)"});
+
+  w.push_back({"dotprod", "VECTOR", 1, 1024, 1, LoopType::Serial, false, R"(
+program dotprod
+array A[1024] fp
+array B[1024] fp
+scalar s fp out
+loop i = 0 to 1023 {
+  s = s + A[i] * B[i];
+}
+)"});
+
+  w.push_back({"maxval", "VECTOR", 3, 1024, 1, LoopType::Serial, true, R"(
+program maxval
+array A[1024] fp
+array W[1024] fp
+scalar t fp
+scalar m fp init -1.0e30 out
+scalar s fp out
+loop i = 0 to 1023 {
+  t = A[i] * W[i];
+  m = max(m, t);
+  s = s + t;
+}
+)"});
+
+  w.push_back({"merge", "VECTOR", 4, 1024, 1, LoopType::DoAll, true, R"(
+program vmerge
+array A[1024] fp
+array B[1024] fp
+array C[1024] fp
+scalar a fp
+scalar b fp
+scalar c fp
+loop i = 0 to 1023 {
+  a = A[i];
+  b = B[i];
+  c = max(a, b);
+  C[i] = c;
+}
+)"});
+
+  w.push_back({"sum", "VECTOR", 1, 1024, 1, LoopType::Serial, false, R"(
+program vsum
+array A[1024] fp
+scalar s fp out
+loop i = 0 to 1023 {
+  s = s + A[i];
+}
+)"});
+
+  ILP_ASSERT(w.size() == 40, "Table 2 has 40 loop nests");
+  return w;
+}
+
+}  // namespace
+
+const std::vector<Workload>& workload_suite() {
+  static const std::vector<Workload> suite = build_suite();
+  return suite;
+}
+
+const Workload* find_workload(std::string_view name) {
+  for (const auto& w : workload_suite())
+    if (w.name == name) return &w;
+  return nullptr;
+}
+
+}  // namespace ilp

@@ -1,0 +1,43 @@
+// The 40 loop nests of the paper's Table 2, reconstructed in the DSL.
+//
+// The original PERFECT club / SPEC / vector-library Fortran sources are not
+// available, so each nest is synthesized to match every attribute the paper
+// publishes: innermost source size (statement count), average innermost
+// iteration count, nesting depth, KAP classification (DOALL / DOACROSS /
+// serial), and the presence of conditionals — and to exercise the same
+// transformation opportunities (reductions, searches, induction streams,
+// recurrences, long arithmetic expressions).  Outer-loop trip counts are
+// scaled down (2-3 iterations) so execution-driven simulation of the whole
+// study stays fast; ILP and the paper's speedups are properties of the
+// innermost loops, which run at the published iteration counts.
+//
+// Each workload's metadata is validated against its own source by
+// tests/workloads/suite_test.cpp using the front end's classifier.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "frontend/classify.hpp"
+
+namespace ilp {
+
+struct Workload {
+  std::string name;   // Table 2 "Name" (e.g. "APS-1")
+  std::string group;  // PERFECT / SPEC / VECTOR
+  int size = 0;       // innermost body statements (Table 2 "Size")
+  std::int64_t iters = 0;  // innermost iterations (Table 2 "Iters")
+  int nest = 1;            // nesting depth (Table 2 "Nest")
+  dsl::LoopType type = dsl::LoopType::DoAll;  // Table 2 "Type"
+  bool conds = false;                         // Table 2 "Conds"
+  std::string source;                         // DSL program text
+};
+
+// The full 40-nest suite, in Table 2 order.
+const std::vector<Workload>& workload_suite();
+
+// Lookup by name; nullptr if absent.
+const Workload* find_workload(std::string_view name);
+
+}  // namespace ilp

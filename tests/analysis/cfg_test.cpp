@@ -1,0 +1,106 @@
+#include "analysis/cfg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/dominators.hpp"
+#include "ir/builder.hpp"
+
+namespace ilp {
+namespace {
+
+// entry -> loop (self edge + fallthrough to exit), side exit from loop to out.
+struct Diamond {
+  Function fn;
+  BlockId entry, loop, exit, out;
+  Diamond() {
+    IRBuilder b(fn);
+    entry = b.create_block("entry");
+    loop = b.create_block("loop");
+    exit = b.create_block("exit");
+    out = b.create_block("out");
+    b.set_block(entry);
+    const Reg i = b.ldi(0);
+    const Reg n = b.ldi(10);
+    b.jump(loop);
+    b.set_block(loop);
+    b.bri(Opcode::BGT, i, 100, out);  // side exit
+    b.iaddi_to(i, i, 1);
+    b.br(Opcode::BLT, i, n, loop);
+    b.set_block(exit);
+    b.jump(out);
+    b.set_block(out);
+    b.ret();
+    fn.renumber();
+  }
+};
+
+TEST(Cfg, SuccessorsIncludeSideExitsAndFallthrough) {
+  Diamond d;
+  const Cfg cfg(d.fn);
+  const auto& s = cfg.succs(d.loop);
+  // side exit target, back edge, fallthrough
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_NE(std::find(s.begin(), s.end(), d.out), s.end());
+  EXPECT_NE(std::find(s.begin(), s.end(), d.loop), s.end());
+  EXPECT_NE(std::find(s.begin(), s.end(), d.exit), s.end());
+  EXPECT_EQ(cfg.succs(d.entry).size(), 1u);
+  EXPECT_TRUE(cfg.succs(d.out).empty());
+}
+
+TEST(Cfg, PredecessorsMirrorSuccessors) {
+  Diamond d;
+  const Cfg cfg(d.fn);
+  const auto& p = cfg.preds(d.loop);
+  EXPECT_EQ(p.size(), 2u);  // entry and self
+  EXPECT_EQ(cfg.preds(d.entry).size(), 0u);
+  EXPECT_EQ(cfg.preds(d.out).size(), 2u);  // loop (side exit) and exit
+}
+
+TEST(Cfg, RpoStartsAtEntry) {
+  Diamond d;
+  const Cfg cfg(d.fn);
+  ASSERT_EQ(cfg.rpo().size(), 4u);
+  EXPECT_EQ(cfg.rpo().front(), d.entry);
+}
+
+TEST(Cfg, JumpBlockHasNoFallthrough) {
+  Function fn;
+  IRBuilder b(fn);
+  const BlockId a = b.create_block("a");
+  const BlockId mid = b.create_block("mid");
+  const BlockId c = b.create_block("c");
+  b.set_block(a);
+  b.jump(c);
+  b.set_block(mid);
+  b.jump(c);
+  b.set_block(c);
+  b.ret();
+  const Cfg cfg(fn);
+  EXPECT_EQ(cfg.succs(a).size(), 1u);
+  EXPECT_EQ(cfg.succs(a)[0], c);
+}
+
+TEST(Dominators, EntryDominatesAll) {
+  Diamond d;
+  const Cfg cfg(d.fn);
+  const Dominators dom(cfg);
+  EXPECT_TRUE(dom.dominates(d.entry, d.loop));
+  EXPECT_TRUE(dom.dominates(d.entry, d.out));
+  EXPECT_TRUE(dom.dominates(d.loop, d.exit));
+  EXPECT_FALSE(dom.dominates(d.exit, d.out));  // out also reached via side exit
+  EXPECT_TRUE(dom.dominates(d.loop, d.out));
+  EXPECT_TRUE(dom.dominates(d.loop, d.loop));
+}
+
+TEST(Dominators, IdomChain) {
+  Diamond d;
+  const Cfg cfg(d.fn);
+  const Dominators dom(cfg);
+  EXPECT_EQ(dom.idom(d.entry), d.entry);
+  EXPECT_EQ(dom.idom(d.loop), d.entry);
+  EXPECT_EQ(dom.idom(d.exit), d.loop);
+  EXPECT_EQ(dom.idom(d.out), d.loop);
+}
+
+}  // namespace
+}  // namespace ilp

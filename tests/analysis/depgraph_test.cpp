@@ -1,0 +1,230 @@
+#include "analysis/depgraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/addresses.hpp"
+#include "ir/builder.hpp"
+
+namespace ilp {
+namespace {
+
+struct GraphFixture {
+  Function fn;
+  BlockId blk;
+  const DepEdge* find(std::uint32_t from, std::uint32_t to, const DepGraph& g) const {
+    for (const auto& e : g.edges())
+      if (e.from == from && e.to == to) return &e;
+    return nullptr;
+  }
+};
+
+TEST(Addresses, DistinguishesOffsetsFromSameBase) {
+  Function fn;
+  const std::int32_t A = fn.add_array({"A", 0, 4, 16, true});
+  IRBuilder b(fn);
+  const BlockId blk = b.create_block("b");
+  b.set_block(blk);
+  const Reg base = fn.new_int_reg();  // live-in
+  b.fld(base, 0, A);                  // idx 0
+  b.fld(base, 4, A);                  // idx 1
+  b.iaddi_to(base, base, 4);          // idx 2
+  b.fld(base, 0, A);                  // idx 3 == idx 1's address
+  b.ret();
+  const BlockAddresses addrs(fn, blk);
+  EXPECT_EQ(addrs.relation(0, 1), AddrRelation::Distinct);
+  EXPECT_EQ(addrs.relation(1, 3), AddrRelation::Identical);
+  EXPECT_EQ(addrs.relation(0, 3), AddrRelation::Distinct);
+}
+
+TEST(Addresses, UnknownRootsAreUnknown) {
+  Function fn;
+  IRBuilder b(fn);
+  const BlockId blk = b.create_block("b");
+  b.set_block(blk);
+  const Reg p = fn.new_int_reg();
+  const Reg q = fn.new_int_reg();
+  b.fld(p, 0, kMayAliasAll);  // 0
+  b.fld(q, 0, kMayAliasAll);  // 1
+  b.ret();
+  const BlockAddresses addrs(fn, blk);
+  EXPECT_EQ(addrs.relation(0, 1), AddrRelation::Unknown);
+}
+
+TEST(Addresses, DifferentArraysNeverAlias) {
+  Function fn;
+  const std::int32_t A = fn.add_array({"A", 0, 4, 4, true});
+  const std::int32_t B = fn.add_array({"B", 100, 4, 4, true});
+  IRBuilder b(fn);
+  const BlockId blk = b.create_block("b");
+  b.set_block(blk);
+  const Reg p = fn.new_int_reg();
+  const Reg q = fn.new_int_reg();
+  const Reg v = fn.new_fp_reg();
+  b.fst(p, 0, v, A);
+  b.fst(q, 0, v, B);
+  b.ret();
+  const BlockAddresses addrs(fn, blk);
+  const Block& bb = fn.block(blk);
+  EXPECT_FALSE(may_alias(bb.insts[0], bb.insts[1], addrs.relation(0, 1)));
+}
+
+TEST(DepGraph, FlowAntiOutputEdges) {
+  GraphFixture f;
+  IRBuilder b(f.fn);
+  f.blk = b.create_block("b");
+  b.set_block(f.blk);
+  const Reg x = b.ldi(1);       // 0: def x
+  const Reg y = b.iaddi(x, 1);  // 1: use x, def y
+  b.ldi_to(x, 5);               // 2: redef x
+  (void)y;
+  b.ret();                      // 3
+  f.fn.renumber();
+  const Cfg cfg(f.fn);
+  const Liveness live(cfg);
+  const DepGraph g(f.fn, f.blk, MachineModel::issue(8), live);
+
+  const DepEdge* flow = f.find(0, 1, g);
+  ASSERT_NE(flow, nullptr);
+  EXPECT_EQ(flow->kind, DepKind::Flow);
+  EXPECT_EQ(flow->latency, 1);
+
+  const DepEdge* anti = f.find(1, 2, g);
+  ASSERT_NE(anti, nullptr);
+  EXPECT_EQ(anti->kind, DepKind::Anti);
+  EXPECT_EQ(anti->latency, 0);
+
+  const DepEdge* outp = f.find(0, 2, g);
+  ASSERT_NE(outp, nullptr);
+  EXPECT_EQ(outp->kind, DepKind::Output);
+}
+
+TEST(DepGraph, FlowLatencyTracksProducer) {
+  GraphFixture f;
+  IRBuilder b(f.fn);
+  f.blk = b.create_block("b");
+  b.set_block(f.blk);
+  const Reg x = b.fldi(1.0);   // 0
+  const Reg y = b.fmul(x, x);  // 1 (latency 3 producer for 2)
+  b.fdiv(y, x);                // 2 (latency 10 producer)
+  b.fadd(b.fldi(0.0), y);      // 3: fldi, 4: fadd
+  b.ret();
+  f.fn.renumber();
+  const Cfg cfg(f.fn);
+  const Liveness live(cfg);
+  const DepGraph g(f.fn, f.blk, MachineModel::issue(8), live);
+  EXPECT_EQ(f.find(1, 2, g)->latency, 3);
+  EXPECT_EQ(f.find(1, 4, g)->latency, 3);
+}
+
+TEST(DepGraph, MemoryDisambiguationSkipsProvablyDistinct) {
+  GraphFixture f;
+  const std::int32_t A = f.fn.add_array({"A", 0, 4, 16, true});
+  IRBuilder b(f.fn);
+  f.blk = b.create_block("b");
+  b.set_block(f.blk);
+  const Reg base = f.fn.new_int_reg();
+  const Reg v = f.fn.new_fp_reg();
+  b.fst(base, 0, v, A);   // 0
+  b.fld(base, 4, A);      // 1: distinct offset: no edge
+  b.fld(base, 0, A);      // 2: same address: MemFlow edge
+  b.ret();
+  f.fn.renumber();
+  const Cfg cfg(f.fn);
+  const Liveness live(cfg);
+  const DepGraph g(f.fn, f.blk, MachineModel::issue(8), live);
+  EXPECT_EQ(f.find(0, 1, g), nullptr);
+  const DepEdge* e = f.find(0, 2, g);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->kind, DepKind::MemFlow);
+  EXPECT_EQ(e->latency, 1);  // store latency
+}
+
+TEST(DepGraph, StoresOrderedAcrossBranches) {
+  GraphFixture f;
+  const std::int32_t A = f.fn.add_array({"A", 0, 4, 16, true});
+  IRBuilder b(f.fn);
+  f.blk = b.create_block("b");
+  const BlockId out = b.create_block("out");
+  b.set_block(f.blk);
+  const Reg base = f.fn.new_int_reg();
+  const Reg v = f.fn.new_fp_reg();
+  b.fst(base, 0, v, A);             // 0: store before branch
+  b.bri(Opcode::BEQ, base, 0, out); // 1: side exit
+  b.fst(base, 4, v, A);             // 2: store after branch
+  b.ret();                          // 3
+  b.set_block(out);
+  b.ret();
+  f.fn.renumber();
+  const Cfg cfg(f.fn);
+  const Liveness live(cfg);
+  const DepGraph g(f.fn, f.blk, MachineModel::issue(8), live);
+  ASSERT_NE(f.find(0, 1, g), nullptr);  // store must stay above exit
+  EXPECT_EQ(f.find(0, 1, g)->kind, DepKind::Control);
+  ASSERT_NE(f.find(1, 2, g), nullptr);  // store must stay below exit
+}
+
+TEST(DepGraph, DefLiveAtSideExitTargetPinnedAroundBranch) {
+  GraphFixture f;
+  IRBuilder b(f.fn);
+  f.blk = b.create_block("b");
+  const BlockId out = b.create_block("out");
+  b.set_block(f.blk);
+  const Reg x = f.fn.new_int_reg();
+  const Reg c = f.fn.new_int_reg();
+  b.bri(Opcode::BEQ, c, 0, out);  // 0
+  b.ldi_to(x, 1);                 // 1: x live at `out` => cannot hoist above 0
+  b.ret();                        // 2
+  b.set_block(out);
+  b.iaddi(x, 1);  // use x
+  b.ret();
+  f.fn.renumber();
+  const Cfg cfg(f.fn);
+  const Liveness live(cfg);
+  const DepGraph g(f.fn, f.blk, MachineModel::issue(8), live);
+  const DepEdge* e = f.find(0, 1, g);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->kind, DepKind::Control);
+}
+
+TEST(DepGraph, LoadsMayFloatAboveBranches) {
+  GraphFixture f;
+  const std::int32_t A = f.fn.add_array({"A", 0, 4, 16, true});
+  IRBuilder b(f.fn);
+  f.blk = b.create_block("b");
+  const BlockId out = b.create_block("out");
+  b.set_block(f.blk);
+  const Reg base = f.fn.new_int_reg();
+  const Reg c = f.fn.new_int_reg();
+  b.bri(Opcode::BEQ, c, 0, out);  // 0
+  b.fld(base, 0, A);              // 1: dest not live at out -> speculatable
+  b.ret();                        // 2
+  b.set_block(out);
+  b.ret();
+  f.fn.renumber();
+  const Cfg cfg(f.fn);
+  const Liveness live(cfg);
+  const DepGraph g(f.fn, f.blk, MachineModel::issue(8), live);
+  EXPECT_EQ(f.find(0, 1, g), nullptr);
+}
+
+TEST(DepGraph, HeightsAreCriticalPaths) {
+  GraphFixture f;
+  IRBuilder b(f.fn);
+  f.blk = b.create_block("b");
+  b.set_block(f.blk);
+  const Reg x = b.fldi(1.0);   // 0: 1 + 3 + 10 = 14 to the end of the chain
+  const Reg y = b.fmul(x, x);  // 1: height 3 + 10 = 13
+  b.fdiv(y, y);                // 2: height 10
+  b.ret();                     // 3
+  f.fn.renumber();
+  const Cfg cfg(f.fn);
+  const Liveness live(cfg);
+  const DepGraph g(f.fn, f.blk, MachineModel::issue(8), live);
+  // ret is pinned after everything (terminator control edges, latency 0).
+  EXPECT_EQ(g.height()[2], 0 + 0);       // fdiv -> ret (control, 0)
+  EXPECT_EQ(g.height()[1], 3);           // fmul -> fdiv (3) -> ...
+  EXPECT_EQ(g.height()[0], 1 + 3);       // fldi(1) -> fmul -> fdiv
+}
+
+}  // namespace
+}  // namespace ilp

@@ -1,0 +1,116 @@
+#include "analysis/liveness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+
+namespace ilp {
+namespace {
+
+TEST(Liveness, LoopCarriedValueIsLiveIn) {
+  // loop: i += 1; blt i, n, loop  — both i and n live into the loop block.
+  Function fn;
+  IRBuilder b(fn);
+  const BlockId e = b.create_block("entry");
+  const BlockId loop = b.create_block("loop");
+  const BlockId x = b.create_block("exit");
+  b.set_block(e);
+  const Reg i = b.ldi(0);
+  const Reg n = b.ldi(10);
+  b.jump(loop);
+  b.set_block(loop);
+  b.iaddi_to(i, i, 1);
+  b.br(Opcode::BLT, i, n, loop);
+  b.set_block(x);
+  b.ret();
+
+  const Cfg cfg(fn);
+  const Liveness live(cfg);
+  EXPECT_TRUE(live.is_live_in(loop, i));
+  EXPECT_TRUE(live.is_live_in(loop, n));
+  EXPECT_FALSE(live.is_live_in(e, i));
+}
+
+TEST(Liveness, DefKillsLiveness) {
+  Function fn;
+  IRBuilder b(fn);
+  const BlockId e = b.create_block("entry");
+  const BlockId t = b.create_block("tail");
+  b.set_block(e);
+  const Reg a = b.ldi(1);
+  b.jump(t);
+  b.set_block(t);
+  b.ldi_to(a, 2);  // kills incoming a before any use
+  b.iaddi(a, 1);
+  b.ret();
+  const Cfg cfg(fn);
+  const Liveness live(cfg);
+  EXPECT_FALSE(live.is_live_in(t, a));
+}
+
+TEST(Liveness, SideExitKeepsValueLiveDespiteLaterKill) {
+  // Block: br cond -> out;  x = 0;  ...  with x live at `out`.
+  // Block-summary liveness would kill x; the scan-based analysis must not.
+  Function fn;
+  IRBuilder b(fn);
+  const BlockId e = b.create_block("entry");
+  const BlockId body = b.create_block("body");
+  const BlockId out = b.create_block("out");
+  b.set_block(e);
+  const Reg x = b.ldi(7);
+  const Reg c = b.ldi(0);
+  b.jump(body);
+  b.set_block(body);
+  b.bri(Opcode::BEQ, c, 1, out);
+  b.ldi_to(x, 0);  // kill after the side exit
+  b.ret();
+  b.set_block(out);
+  const Reg y = b.iaddi(x, 1);  // use of x on the exit path
+  (void)y;
+  b.ret();
+
+  const Cfg cfg(fn);
+  const Liveness live(cfg);
+  EXPECT_TRUE(live.is_live_in(body, x));
+  EXPECT_TRUE(live.is_live_in(out, x));
+}
+
+TEST(Liveness, RetInjectsFunctionLiveOut) {
+  Function fn;
+  IRBuilder b(fn);
+  const BlockId e = b.create_block("entry");
+  b.set_block(e);
+  const Reg a = b.ldi(1);
+  const Reg dead = b.ldi(2);
+  (void)dead;
+  b.ret();
+  fn.add_live_out(a);
+  const Cfg cfg(fn);
+  const Liveness live(cfg);
+  // After the first ldi, `a` is live (needed at RET); `dead` never is.
+  const BitVector after0 = live.live_after(e, 0);
+  EXPECT_TRUE(after0.test(RegKey::key(a)));
+  const BitVector after1 = live.live_after(e, 1);
+  EXPECT_TRUE(after1.test(RegKey::key(a)));
+  EXPECT_FALSE(after1.test(RegKey::key(dead)));
+}
+
+TEST(Liveness, LiveAfterAllMatchesPointQueries) {
+  Function fn;
+  IRBuilder b(fn);
+  const BlockId e = b.create_block("entry");
+  b.set_block(e);
+  const Reg a = b.ldi(1);
+  const Reg c = b.iaddi(a, 1);
+  b.iadd(a, c);
+  b.ret();
+  const Cfg cfg(fn);
+  const Liveness live(cfg);
+  const auto all = live.live_after_all(e);
+  ASSERT_EQ(all.size(), 4u);
+  for (std::size_t i = 0; i < all.size(); ++i)
+    EXPECT_TRUE(all[i] == live.live_after(e, i)) << "at " << i;
+}
+
+}  // namespace
+}  // namespace ilp

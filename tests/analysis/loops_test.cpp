@@ -1,0 +1,130 @@
+#include "analysis/loops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/fixtures.hpp"
+#include "ir/builder.hpp"
+
+namespace ilp {
+namespace {
+
+TEST(Loops, FindsSimpleLoopInFig1) {
+  const Function fn = ilp::testing::make_fig1_loop(8);
+  const Cfg cfg(fn);
+  const Dominators dom(cfg);
+  const auto loops = find_simple_loops(cfg, dom);
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_EQ(fn.block(loops[0].body).name, "L1");
+  EXPECT_EQ(fn.block(loops[0].preheader).name, "entry");
+  EXPECT_FALSE(loops[0].has_side_exits());
+  EXPECT_EQ(loops[0].back_branch, fn.block(loops[0].body).insts.size() - 1);
+}
+
+TEST(Loops, NaturalLoopMatchesSimpleLoop) {
+  const Function fn = ilp::testing::make_fig1_loop(8);
+  const Cfg cfg(fn);
+  const Dominators dom(cfg);
+  const auto nat = find_natural_loops(cfg, dom);
+  ASSERT_EQ(nat.size(), 1u);
+  EXPECT_EQ(nat[0].blocks.size(), 1u);
+  EXPECT_EQ(nat[0].latches.size(), 1u);
+  EXPECT_EQ(nat[0].header, nat[0].latches[0]);
+}
+
+TEST(Loops, SideExitLoopIsStillSimple) {
+  Function fn;
+  IRBuilder b(fn);
+  const BlockId e = b.create_block("entry");
+  const BlockId loop = b.create_block("loop");
+  const BlockId out = b.create_block("out");
+  b.set_block(e);
+  const Reg i = b.ldi(0);
+  b.jump(loop);
+  b.set_block(loop);
+  b.bri(Opcode::BGT, i, 50, out);  // side exit
+  b.iaddi_to(i, i, 1);
+  b.bri(Opcode::BLT, i, 10, loop);
+  b.set_block(out);
+  b.ret();
+  const Cfg cfg(fn);
+  const Dominators dom(cfg);
+  const auto loops = find_simple_loops(cfg, dom);
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_TRUE(loops[0].has_side_exits());
+  EXPECT_EQ(loops[0].side_exits.size(), 1u);
+  EXPECT_EQ(loops[0].side_exits[0], 0u);
+}
+
+TEST(Loops, MatchesCountedLoop) {
+  const Function fn = ilp::testing::make_fig1_loop(8);
+  const Cfg cfg(fn);
+  const Dominators dom(cfg);
+  const auto loops = find_simple_loops(cfg, dom);
+  ASSERT_EQ(loops.size(), 1u);
+  const auto info = match_counted_loop(fn, loops[0]);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->step, 4);
+  EXPECT_EQ(info->cmp, Opcode::BLT);
+  EXPECT_FALSE(info->bound_is_imm);
+  EXPECT_TRUE(info->iv.is_int());
+}
+
+TEST(Loops, DataDependentLoopIsNotCounted) {
+  // Figure 6's loop exits on a loaded value: not counted.
+  const Function fn = ilp::testing::make_fig6_loop(8);
+  const Cfg cfg(fn);
+  const Dominators dom(cfg);
+  const auto loops = find_simple_loops(cfg, dom);
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_FALSE(match_counted_loop(fn, loops[0]).has_value());
+}
+
+TEST(Loops, VaryingStepIsNotCounted) {
+  // i += k where k is a register: unrollable only without preconditioning.
+  Function fn;
+  IRBuilder b(fn);
+  const BlockId e = b.create_block("entry");
+  const BlockId loop = b.create_block("loop");
+  const BlockId x = b.create_block("exit");
+  b.set_block(e);
+  const Reg i = b.ldi(0);
+  const Reg k = b.ldi(3);
+  b.jump(loop);
+  b.set_block(loop);
+  b.iadd_to(i, i, k);  // register step
+  b.bri(Opcode::BLT, i, 30, loop);
+  b.set_block(x);
+  b.ret();
+  const Cfg cfg(fn);
+  const Dominators dom(cfg);
+  const auto loops = find_simple_loops(cfg, dom);
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_FALSE(match_counted_loop(fn, loops[0]).has_value());
+}
+
+TEST(Loops, BoundModifiedInLoopIsNotCounted) {
+  Function fn;
+  IRBuilder b(fn);
+  const BlockId e = b.create_block("entry");
+  const BlockId loop = b.create_block("loop");
+  const BlockId x = b.create_block("exit");
+  b.set_block(e);
+  const Reg i = b.ldi(0);
+  const Reg n = b.ldi(10);
+  b.jump(loop);
+  b.set_block(loop);
+  b.iaddi_to(i, i, 1);
+  b.isubi(n, 0);  // new def is a different reg; now really modify n:
+  b.iaddi_to(n, n, 0);
+  b.br(Opcode::BLT, i, n, loop);
+  b.set_block(x);
+  b.ret();
+  const Cfg cfg(fn);
+  const Dominators dom(cfg);
+  const auto loops = find_simple_loops(cfg, dom);
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_FALSE(match_counted_loop(fn, loops[0]).has_value());
+}
+
+}  // namespace
+}  // namespace ilp

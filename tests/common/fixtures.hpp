@@ -1,0 +1,235 @@
+// Shared test helpers: construction of the paper's example loops (Figures 1,
+// 3, 5, 6, 7) and steady-state cycle measurement.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "ir/builder.hpp"
+#include "ir/function.hpp"
+#include "machine/machine.hpp"
+#include "sim/simulator.hpp"
+
+namespace ilp::testing {
+
+// Measures steady-state cycles per innermost iteration by differencing two
+// runs with different trip counts (removes entry/exit overhead exactly for
+// loops whose per-iteration cost is constant).
+inline double cycles_per_iteration(const std::function<Function(std::int64_t)>& make,
+                                   std::int64_t n1, std::int64_t n2,
+                                   const MachineModel& machine) {
+  const Function f1 = make(n1);
+  const Function f2 = make(n2);
+  const RunOutcome r1 = run_seeded(f1, machine);
+  const RunOutcome r2 = run_seeded(f2, machine);
+  if (!r1.result.ok || !r2.result.ok) return -1.0;
+  return static_cast<double>(r2.result.cycles - r1.result.cycles) /
+         static_cast<double>(n2 - n1);
+}
+
+// A machine with effectively unlimited issue slots, as assumed by all the
+// paper's Section 2 examples ("a superscalar processor with infinite
+// resources and no register renaming hardware").
+inline MachineModel infinite_issue() { return MachineModel::issue(64); }
+
+// --- Figure 1(a/b): do j = 1,n: C(j) = A(j) + B(j) --------------------------
+//
+//   L1: r2f = MEM(A+r1i)
+//       r3f = MEM(B+r1i)
+//       r4f = r2f+r3f
+//       MEM(C+r1i) = r4f
+//       r1i = r1i + 4
+//       blt (r1i r5i) L1
+//
+// 7 cycles / iteration on the infinite-issue machine.
+inline Function make_fig1_loop(std::int64_t n) {
+  Function fn("fig1");
+  const std::int32_t A = fn.add_array({"A", 1000, 4, n, true});
+  const std::int32_t B = fn.add_array({"B", 9000, 4, n, true});
+  const std::int32_t C = fn.add_array({"C", 17000, 4, n, true});
+  IRBuilder b(fn);
+  const BlockId entry = b.create_block("entry");
+  const BlockId loop = b.create_block("L1");
+  const BlockId exit = b.create_block("exit");
+
+  b.set_block(entry);
+  const Reg r1 = b.ldi(0);          // r1i: byte index
+  const Reg r5 = b.ldi(4 * n);      // r5i: limit
+  b.jump(loop);
+
+  b.set_block(loop);
+  const Reg r2 = b.fld(r1, fn.array(A)->base, A);
+  const Reg r3 = b.fld(r1, fn.array(B)->base, B);
+  const Reg r4 = b.fadd(r2, r3);
+  b.fst(r1, fn.array(C)->base, r4, C);
+  b.iaddi_to(r1, r1, 4);
+  b.br(Opcode::BLT, r1, r5, loop);
+
+  b.set_block(exit);
+  b.ret();
+  fn.renumber();
+  return fn;
+}
+
+// --- Figure 3(a/b): do k = 1,SIZE: C(i,j) += A(i,k)*B(k,j) ------------------
+//
+//       r1f = MEM(C+r2i)            (preheader)
+//   L1: r3f = MEM(A+r4i)
+//       r5f = MEM(B+r6i)
+//       r7f = r3f * r5f
+//       r1f = r1f + r7f
+//       r4i = r4i + 4
+//       r6i = r6i + r8i
+//       blt (r4i r9i) L1
+//       MEM(C+r2i) = r1f            (exit)
+//
+// 8 cycles / iteration.
+inline Function make_fig3_loop(std::int64_t n) {
+  Function fn("fig3");
+  const std::int32_t A = fn.add_array({"A", 1000, 4, n, true});
+  const std::int32_t B = fn.add_array({"B", 9000, 4, 8 * n, true});
+  const std::int32_t C = fn.add_array({"C", 17000, 4, 1, true});
+  IRBuilder b(fn);
+  const BlockId entry = b.create_block("entry");
+  const BlockId loop = b.create_block("L1");
+  const BlockId exit = b.create_block("exit");
+
+  b.set_block(entry);
+  const Reg r2 = b.ldi(0);        // C index
+  const Reg r4 = b.ldi(0);        // A stream
+  const Reg r6 = b.ldi(0);        // B stream
+  const Reg r8 = b.ldi(32);       // B stride (row stride)
+  const Reg r9 = b.ldi(4 * n);    // limit
+  const Reg r1 = fn.new_fp_reg();
+  b.fld_to(r1, r2, fn.array(C)->base, C);
+  b.jump(loop);
+
+  b.set_block(loop);
+  const Reg r3 = b.fld(r4, fn.array(A)->base, A);
+  const Reg r5 = b.fld(r6, fn.array(B)->base, B);
+  const Reg r7 = b.fmul(r3, r5);
+  b.fadd_to(r1, r1, r7);
+  b.iaddi_to(r4, r4, 4);
+  b.iadd_to(r6, r6, r8);
+  b.br(Opcode::BLT, r4, r9, loop);
+
+  b.set_block(exit);
+  b.fst(r2, fn.array(C)->base, r1, C);
+  b.ret();
+  fn.add_live_out(r1);
+  fn.renumber();
+  return fn;
+}
+
+// --- Figure 5(a/b): do i = 1,n: C(j) = A(j)*B(j); j += K --------------------
+//
+//   L1: r3f = MEM(A+r2i)
+//       r4f = MEM(B+r2i)
+//       r5f = r3f * r4f
+//       MEM(C+r2i) = r5f
+//       r2i = r2i + r7i
+//       r1i = r1i + 1
+//       blt (r1 r6) L1
+//
+// 6 cycles / iteration.
+inline Function make_fig5_loop(std::int64_t n) {
+  Function fn("fig5");
+  const std::int64_t k_stride = 8;  // K elements = 2, byte stride 8
+  const std::int64_t span = n * k_stride / 4 + 4;
+  const std::int32_t A = fn.add_array({"A", 1000, 4, span, true});
+  const std::int32_t B = fn.add_array({"B", 9000, 4, span, true});
+  const std::int32_t C = fn.add_array({"C", 17000, 4, span, true});
+  IRBuilder b(fn);
+  const BlockId entry = b.create_block("entry");
+  const BlockId loop = b.create_block("L1");
+  const BlockId exit = b.create_block("exit");
+
+  b.set_block(entry);
+  const Reg r2 = b.ldi(0);         // j byte offset
+  const Reg r7 = b.ldi(k_stride);  // K byte stride
+  const Reg r1 = b.ldi(0);         // i
+  const Reg r6 = b.ldi(n);         // n
+  b.jump(loop);
+
+  b.set_block(loop);
+  const Reg r3 = b.fld(r2, fn.array(A)->base, A);
+  const Reg r4 = b.fld(r2, fn.array(B)->base, B);
+  const Reg r5 = b.fmul(r3, r4);
+  b.fst(r2, fn.array(C)->base, r5, C);
+  b.iadd_to(r2, r2, r7);
+  b.iaddi_to(r1, r1, 1);
+  b.br(Opcode::BLT, r1, r6, loop);
+
+  b.set_block(exit);
+  b.ret();
+  fn.renumber();
+  return fn;
+}
+
+// --- Figure 6(a/b): t = A(i+2) - 3.2; if (t < 10.0) continue ----------------
+//
+//   L1: r1i = r1i + 4
+//       r2f = MEM(r1i+8)
+//       r3f = r2f - 3.2
+//       blt (r3f 10.0) L1
+//
+// 7 cycles / iteration.  The loop runs while A(i+2) < 13.2; the caller
+// controls iteration count through array contents.
+inline Function make_fig6_loop(std::int64_t n) {
+  Function fn("fig6");
+  const std::int32_t A = fn.add_array({"A", 1000, 4, n + 4, true});
+  IRBuilder b(fn);
+  const BlockId entry = b.create_block("entry");
+  const BlockId loop = b.create_block("L1");
+  const BlockId exit = b.create_block("exit");
+
+  b.set_block(entry);
+  const Reg r1 = b.ldi(0);
+  b.jump(loop);
+
+  b.set_block(loop);
+  b.iaddi_to(r1, r1, 4);
+  const Reg r2 = b.fld(r1, fn.array(A)->base + 8, A);
+  const Reg r3 = b.fsubi(r2, 3.2);
+  b.brf(Opcode::FBLT, r3, 10.0, loop);
+  fn.add_live_out(r3);
+
+  b.set_block(exit);
+  b.ret();
+  fn.renumber();
+  return fn;
+}
+
+// Fills Figure 6's array so the loop executes exactly n iterations.
+inline void fill_fig6_memory(const Function& fn, Memory& mem, std::int64_t n) {
+  const ArrayInfo* a = fn.array(0);
+  for (std::int64_t i = 0; i < a->length; ++i)
+    mem.store_fp(a->base + 4 * i, i < n + 2 ? 1.0 : 99.0);
+}
+
+// --- Figure 7(a/b): A = B * (C + D) * E * F / G -----------------------------
+//
+// Sequential evaluation; result ready 22 cycles after the first issue.
+inline Function make_fig7_expr() {
+  Function fn("fig7");
+  IRBuilder b(fn);
+  const BlockId entry = b.create_block("entry");
+  b.set_block(entry);
+  const Reg rB = b.fldi(2.0);
+  const Reg rC = b.fldi(3.0);
+  const Reg rD = b.fldi(4.0);
+  const Reg rE = b.fldi(5.0);
+  const Reg rF = b.fldi(6.0);
+  const Reg rG = b.fldi(7.0);
+  const Reg t1 = b.fadd(rC, rD);
+  const Reg t2 = b.fmul(t1, rB);
+  const Reg t3 = b.fmul(t2, rE);
+  const Reg t4 = b.fmul(t3, rF);
+  const Reg rA = b.fdiv(t4, rG);
+  b.ret();
+  fn.add_live_out(rA);
+  fn.renumber();
+  return fn;
+}
+
+}  // namespace ilp::testing

@@ -1,0 +1,293 @@
+#include "frontend/classify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "frontend/parser.hpp"
+#include "workloads/suite.hpp"
+
+namespace ilp::dsl {
+namespace {
+
+std::vector<InnerLoopSummary> classify(std::string_view src) {
+  DiagnosticEngine diags;
+  const auto p = parse(src, diags);
+  EXPECT_TRUE(p.has_value()) << diags.to_string();
+  if (!p) return {};
+  return classify_innermost_loops(*p);
+}
+
+TEST(Classify, VectorAddIsDoall) {
+  const auto s = classify(R"(
+    program p
+    array A[8] fp
+    array B[8] fp
+    array C[8] fp
+    loop i = 0 to 7 { C[i] = A[i] + B[i]; }
+  )");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].type, LoopType::DoAll);
+  EXPECT_FALSE(s[0].has_conds);
+  EXPECT_EQ(s[0].nest_depth, 1);
+  EXPECT_EQ(s[0].body_stmts, 1);
+}
+
+TEST(Classify, ReductionIsSerial) {
+  const auto s = classify(R"(
+    program p
+    array A[8] fp
+    scalar sum fp out
+    loop i = 0 to 7 { sum = sum + A[i]; }
+  )");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].type, LoopType::Serial);
+}
+
+TEST(Classify, SearchIsSerialWithConds) {
+  const auto s = classify(R"(
+    program p
+    array A[8] fp
+    scalar m fp out
+    loop i = 0 to 7 { m = max(m, A[i]); }
+  )");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].type, LoopType::Serial);
+  EXPECT_TRUE(s[0].has_conds);
+}
+
+TEST(Classify, CarriedArrayDependenceIsDoacross) {
+  const auto s = classify(R"(
+    program p
+    array A[64] fp
+    array B[64] fp
+    loop i = 2 to 63 { A[i] = A[i-2] + B[i]; }
+  )");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].type, LoopType::DoAcross);
+}
+
+TEST(Classify, IterationLocalArrayUseIsDoall) {
+  const auto s = classify(R"(
+    program p
+    array A[64] fp
+    loop i = 0 to 63 { A[i] = A[i] * 2.0; }
+  )");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].type, LoopType::DoAll);
+}
+
+TEST(Classify, NonCollidingOffsetsAreIndependent) {
+  // Writes even cells, reads odd cells: distance is fractional => no dep.
+  const auto s = classify(R"(
+    program p
+    array A[128] fp
+    loop i = 0 to 30 { A[2*i] = A[2*i + 1] * 0.5; }
+  )");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].type, LoopType::DoAll);
+}
+
+TEST(Classify, StrideTwoCarriedDependence) {
+  const auto s = classify(R"(
+    program p
+    array A[128] fp
+    loop i = 1 to 30 { A[2*i] = A[2*i - 2] + 1.0; }
+  )");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].type, LoopType::DoAcross);
+}
+
+TEST(Classify, PrivateScalarStaysDoall) {
+  // t written before read inside each iteration: privatizable.
+  const auto s = classify(R"(
+    program p
+    array A[8] fp
+    array C[8] fp
+    scalar t fp
+    loop i = 0 to 7 {
+      t = A[i] * 2.0;
+      C[i] = t + 1.0;
+    }
+  )");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].type, LoopType::DoAll);
+}
+
+TEST(Classify, ScalarReadBeforeWriteIsSerial) {
+  const auto s = classify(R"(
+    program p
+    array A[8] fp
+    array C[8] fp
+    scalar t fp
+    loop i = 0 to 7 {
+      C[i] = t + 1.0;
+      t = A[i] * 2.0;
+    }
+  )");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].type, LoopType::Serial);
+}
+
+TEST(Classify, GeneralRecurrenceIsSerial) {
+  const auto s = classify(R"(
+    program p
+    array B[8] fp
+    scalar t fp out
+    loop i = 0 to 7 { t = t * 0.5 + B[i]; }
+  )");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].type, LoopType::Serial);
+}
+
+TEST(Classify, OuterLoopVarTreatedAsInvariant) {
+  const auto s = classify(R"(
+    program p
+    array M[8][8] fp
+    array V[8] fp
+    loop i = 0 to 7 {
+      loop j = 0 to 7 {
+        M[i][j] = V[j] * 2.0;
+      }
+    }
+  )");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].nest_depth, 2);
+  EXPECT_EQ(s[0].type, LoopType::DoAll);
+}
+
+TEST(Classify, RowRecurrenceAcrossOuterVarIsDoallInner) {
+  // Dependence is carried by the *outer* loop (i-1 row): the inner loop is
+  // still DOALL.
+  const auto s = classify(R"(
+    program p
+    array M[8][8] fp
+    loop i = 1 to 7 {
+      loop j = 0 to 7 {
+        M[i][j] = M[i-1][j] + 1.0;
+      }
+    }
+  )");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].type, LoopType::DoAll);
+}
+
+TEST(Classify, IfBreakMarksConds) {
+  const auto s = classify(R"(
+    program p
+    array A[8] fp
+    scalar n int out
+    loop i = 0 to 7 {
+      n = n + 1;
+      if (A[i] > 10.0) break;
+    }
+  )");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s[0].has_conds);
+}
+
+TEST(Classify, MultipleInnermostLoopsReported) {
+  const auto s = classify(R"(
+    program p
+    array A[8] fp
+    array B[8] fp
+    scalar x fp out
+    loop i = 0 to 7 { A[i] = B[i] + 1.0; }
+    loop j = 0 to 7 { x = x + A[j]; }
+  )");
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0].type, LoopType::DoAll);
+  EXPECT_EQ(s[1].type, LoopType::Serial);
+}
+
+TEST(Classify, NonAffineSubscriptIsSerial) {
+  const auto s = classify(R"(
+    program p
+    array A[64] fp
+    array K[64] int
+    loop i = 0 to 7 { A[K[i]] = 1.0; }
+  )");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].type, LoopType::Serial);
+}
+
+TEST(Classify, ReductionOnlyDistinguishesFixableSerialLoops) {
+  // Sum reduction: serial but fixable by Lev4.
+  auto s1 = classify(R"(
+    program p
+    array A[8] fp
+    scalar sum fp out
+    loop i = 0 to 7 { sum = sum + A[i]; }
+  )");
+  ASSERT_EQ(s1.size(), 1u);
+  EXPECT_EQ(s1[0].type, LoopType::Serial);
+  EXPECT_TRUE(s1[0].reduction_only);
+
+  // Linear recurrence: serial and NOT fixable.
+  auto s2 = classify(R"(
+    program p
+    array A[8] fp
+    scalar t fp out
+    loop i = 0 to 7 { t = t * 0.5 + A[i]; }
+  )");
+  ASSERT_EQ(s2.size(), 1u);
+  EXPECT_EQ(s2[0].type, LoopType::Serial);
+  EXPECT_FALSE(s2[0].reduction_only);
+
+  // Search reduction: fixable.
+  auto s3 = classify(R"(
+    program p
+    array A[8] fp
+    scalar m fp out
+    loop i = 0 to 7 { m = max(m, A[i]); }
+  )");
+  EXPECT_TRUE(s3[0].reduction_only);
+
+  // Reduction plus a carried scalar: not reduction-only.
+  auto s4 = classify(R"(
+    program p
+    array A[8] fp
+    array C[8] fp
+    scalar sum fp out
+    scalar t fp
+    loop i = 0 to 7 {
+      C[i] = t + 1.0;
+      t = A[i];
+      sum = sum + A[i];
+    }
+  )");
+  EXPECT_EQ(s4[0].type, LoopType::Serial);
+  EXPECT_FALSE(s4[0].reduction_only);
+
+  // DOALL loops are trivially not reduction-only.
+  auto s5 = classify(R"(
+    program p
+    array A[8] fp
+    array C[8] fp
+    loop i = 0 to 7 { C[i] = A[i]; }
+  )");
+  EXPECT_FALSE(s5[0].reduction_only);
+}
+
+TEST(Classify, ReductionOnlyLoopsInSuiteTakeOffAtLev4) {
+  // Structural cross-check over Table 2: the fixable-serial marker matches
+  // the loops EXPERIMENTS.md reports as Lev4's big winners.
+  int fixable = 0;
+  for (const char* name : {"dotprod", "sum", "maxval", "SRS-6", "SDS-1", "NAS-4"}) {
+    DiagnosticEngine d;
+    const auto ast = parse(ilp::find_workload(name)->source, d);
+    ASSERT_TRUE(ast.has_value());
+    const auto loops = classify_innermost_loops(*ast);
+    EXPECT_TRUE(loops[0].reduction_only) << name;
+    ++fixable;
+  }
+  EXPECT_EQ(fixable, 6);
+  // And the genuinely serial ones are not marked.
+  for (const char* name : {"LWS-1", "SDS-2", "nasa7-2"}) {
+    DiagnosticEngine d;
+    const auto ast = parse(ilp::find_workload(name)->source, d);
+    const auto loops = classify_innermost_loops(*ast);
+    EXPECT_FALSE(loops[0].reduction_only) << name;
+  }
+}
+
+}  // namespace
+}  // namespace ilp::dsl

@@ -1,0 +1,273 @@
+#include "frontend/compile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/fixtures.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "machine/machine.hpp"
+#include "sim/simulator.hpp"
+#include "trans/level.hpp"
+
+namespace ilp::dsl {
+namespace {
+
+using ilp::testing::infinite_issue;
+
+CompileResult must_compile(std::string_view src) {
+  DiagnosticEngine diags;
+  auto r = compile(src, diags);
+  EXPECT_TRUE(r.has_value()) << diags.to_string();
+  return std::move(*r);
+}
+
+Reg scalar_reg(const CompileResult& r, std::string_view name) {
+  for (const auto& [n, reg] : r.scalar_regs)
+    if (n == name) return reg;
+  ADD_FAILURE() << "no scalar " << name;
+  return kNoReg;
+}
+
+TEST(Compile, VectorAddComputesCorrectly) {
+  CompileResult r = must_compile(R"(
+    program vadd
+    array A[32] fp
+    array B[32] fp
+    array C[32] fp
+    loop i = 0 to 31 {
+      C[i] = A[i] + B[i];
+    }
+  )");
+  const RunOutcome out = run_seeded(r.fn, infinite_issue());
+  ASSERT_TRUE(out.result.ok) << out.result.error;
+  const ArrayInfo* a = r.fn.array(0);
+  const ArrayInfo* b = r.fn.array(1);
+  const ArrayInfo* c = r.fn.array(2);
+  Memory ref;
+  seed_arrays(r.fn, ref);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_DOUBLE_EQ(out.memory.load_fp(c->base + 4 * i),
+                     ref.load_fp(a->base + 4 * i) + ref.load_fp(b->base + 4 * i))
+        << i;
+  }
+}
+
+TEST(Compile, DotProductLiveOut) {
+  CompileResult r = must_compile(R"(
+    program dot
+    array A[16] fp
+    array B[16] fp
+    scalar sum fp out
+    loop i = 0 to 15 {
+      sum = sum + A[i] * B[i];
+    }
+  )");
+  const RunOutcome out = run_seeded(r.fn, infinite_issue());
+  ASSERT_TRUE(out.result.ok);
+  Memory ref;
+  seed_arrays(r.fn, ref);
+  double want = 0.0;
+  for (int i = 0; i < 16; ++i)
+    want += ref.load_fp(r.fn.array(0)->base + 4 * i) *
+            ref.load_fp(r.fn.array(1)->base + 4 * i);
+  EXPECT_NEAR(out.result.regs.get_fp(scalar_reg(r, "sum").id), want, 1e-12);
+}
+
+TEST(Compile, ReductionLowersToSingleRegisterShape) {
+  CompileResult r = must_compile(R"(
+    program dot
+    array A[8] fp
+    scalar sum fp out
+    loop i = 0 to 7 {
+      sum = sum + A[i];
+    }
+  )");
+  // The loop body must contain exactly one FADD targeting sum's register
+  // (the canonical accumulator shape, no extra moves).
+  const Reg sum = scalar_reg(r, "sum");
+  int fadds_to_sum = 0;
+  int fmovs = 0;
+  for (const auto& b : r.fn.blocks()) {
+    if (b.name.rfind("loop.", 0) != 0) continue;
+    for (const auto& in : b.insts) {
+      if (in.op == Opcode::FADD && in.dst == sum) ++fadds_to_sum;
+      if (in.op == Opcode::FMOV) ++fmovs;
+    }
+  }
+  EXPECT_EQ(fadds_to_sum, 1);
+  EXPECT_EQ(fmovs, 0);
+}
+
+TEST(Compile, TwoDimensionalArrays) {
+  CompileResult r = must_compile(R"(
+    program mat
+    array M[4][8] fp
+    array V[8] fp
+    array O[4] fp
+    scalar t fp
+    loop i = 0 to 3 {
+      t = 0.0;
+      loop j = 0 to 7 {
+        t = t + M[i][j] * V[j];
+      }
+      O[i] = t;
+    }
+  )");
+  const RunOutcome out = run_seeded(r.fn, infinite_issue());
+  ASSERT_TRUE(out.result.ok) << out.result.error;
+  Memory ref;
+  seed_arrays(r.fn, ref);
+  const std::int64_t mb = r.fn.array(0)->base;
+  const std::int64_t vb = r.fn.array(1)->base;
+  const std::int64_t ob = r.fn.array(2)->base;
+  for (int i = 0; i < 4; ++i) {
+    double want = 0.0;
+    for (int j = 0; j < 8; ++j)
+      want += ref.load_fp(mb + 4 * (8 * i + j)) * ref.load_fp(vb + 4 * j);
+    EXPECT_NEAR(out.memory.load_fp(ob + 4 * i), want, 1e-12) << i;
+  }
+}
+
+TEST(Compile, StridedAndOffsetSubscripts) {
+  CompileResult r = must_compile(R"(
+    program stride
+    array A[64] fp
+    array C[64] fp
+    loop i = 0 to 9 {
+      C[2*i + 3] = A[i + 2] * 2.0;
+    }
+  )");
+  const RunOutcome out = run_seeded(r.fn, infinite_issue());
+  ASSERT_TRUE(out.result.ok);
+  Memory ref;
+  seed_arrays(r.fn, ref);
+  for (int i = 0; i <= 9; ++i)
+    EXPECT_DOUBLE_EQ(out.memory.load_fp(r.fn.array(1)->base + 4 * (2 * i + 3)),
+                     ref.load_fp(r.fn.array(0)->base + 4 * (i + 2)) * 2.0);
+}
+
+TEST(Compile, IntArraysAndModulo) {
+  CompileResult r = must_compile(R"(
+    program ints
+    array K[16] int
+    scalar s int out
+    loop i = 0 to 15 {
+      s = s + K[i] % 3;
+    }
+  )");
+  const RunOutcome out = run_seeded(r.fn, infinite_issue());
+  ASSERT_TRUE(out.result.ok);
+  Memory ref;
+  seed_arrays(r.fn, ref);
+  std::int64_t want = 0;
+  for (int i = 0; i < 16; ++i) want += ref.load_int(r.fn.array(0)->base + 4 * i) % 3;
+  EXPECT_EQ(out.result.regs.get_int(scalar_reg(r, "s").id), want);
+}
+
+TEST(Compile, MaxLowersToFmax) {
+  CompileResult r = must_compile(R"(
+    program mx
+    array A[8] fp
+    scalar m fp init -1.0e30 out
+    loop i = 0 to 7 {
+      m = max(m, A[i]);
+    }
+  )");
+  int fmax_count = 0;
+  for (const auto& b : r.fn.blocks())
+    for (const auto& in : b.insts)
+      if (in.op == Opcode::FMAX) ++fmax_count;
+  EXPECT_EQ(fmax_count, 1);
+  const RunOutcome out = run_seeded(r.fn, infinite_issue());
+  Memory ref;
+  seed_arrays(r.fn, ref);
+  double want = -1.0e30;
+  for (int i = 0; i < 8; ++i)
+    want = std::max(want, ref.load_fp(r.fn.array(0)->base + 4 * i));
+  EXPECT_DOUBLE_EQ(out.result.regs.get_fp(scalar_reg(r, "m").id), want);
+}
+
+TEST(Compile, BreakExitsLoopEarly) {
+  CompileResult r = must_compile(R"(
+    program brk
+    scalar n int out
+    loop i = 0 to 99 {
+      n = n + 1;
+      if (n >= 5) break;
+    }
+  )");
+  const RunOutcome out = run_seeded(r.fn, infinite_issue());
+  ASSERT_TRUE(out.result.ok);
+  EXPECT_EQ(out.result.regs.get_int(scalar_reg(r, "n").id), 5);
+}
+
+TEST(Compile, ZeroTripLoopSkipped) {
+  CompileResult r = must_compile(R"(
+    program zt
+    scalar n int out
+    loop i = 5 to 2 {
+      n = n + 1;
+    }
+  )");
+  const RunOutcome out = run_seeded(r.fn, infinite_issue());
+  ASSERT_TRUE(out.result.ok);
+  EXPECT_EQ(out.result.regs.get_int(scalar_reg(r, "n").id), 0);
+}
+
+TEST(Compile, NegativeStepLoop) {
+  CompileResult r = must_compile(R"(
+    program down
+    scalar n int out
+    loop i = 10 to 1 step -2 {
+      n = n + i;
+    }
+  )");
+  const RunOutcome out = run_seeded(r.fn, infinite_issue());
+  ASSERT_TRUE(out.result.ok);
+  EXPECT_EQ(out.result.regs.get_int(scalar_reg(r, "n").id), 10 + 8 + 6 + 4 + 2);
+}
+
+TEST(Compile, SemanticErrors) {
+  auto fails = [](std::string_view src) {
+    DiagnosticEngine diags;
+    const auto r = compile(src, diags);
+    EXPECT_FALSE(r.has_value());
+    EXPECT_TRUE(diags.has_errors());
+  };
+  fails("program p\nscalar s fp\ns = t;\n");                       // unknown scalar
+  fails("program p\narray A[4] fp\nA[0] = B[0];\n");               // unknown array
+  fails("program p\narray A[4][4] fp\nA[1] = 0.0;\n");             // missing subscript
+  fails("program p\nscalar s int\ns = 1.5;\n");                    // fp into int
+  fails("program p\nscalar s fp\ns = 1.0 % 2.0;\n");               // fp modulo
+  fails("program p\narray A[4] fp\nscalar s fp\ns = A[1.5];\n");   // fp subscript
+  fails("program p\nscalar i int\nloop i = 0 to 3 { i = 1; }\n");  // shadow + assign
+  fails("program p\nscalar s int\nif (s < 1) break;\n");           // break outside loop
+}
+
+TEST(Compile, FullPipelineOverDslProgram) {
+  // End-to-end: DSL -> Conv..Lev4 -> identical observable results.
+  const char* src = R"(
+    program pipeline
+    array A[64] fp
+    array B[64] fp
+    array C[64] fp
+    scalar sum fp out
+    loop i = 0 to 63 {
+      C[i] = A[i] * 2.0 + B[i];
+      sum = sum + C[i];
+    }
+  )";
+  CompileResult base = must_compile(src);
+  const RunOutcome want = run_seeded(base.fn, infinite_issue());
+  ASSERT_TRUE(want.result.ok);
+  for (OptLevel lvl : {OptLevel::Conv, OptLevel::Lev1, OptLevel::Lev2, OptLevel::Lev3,
+                       OptLevel::Lev4}) {
+    CompileResult r = must_compile(src);
+    compile_at_level(r.fn, lvl, MachineModel::issue(8));
+    const RunOutcome got = run_seeded(r.fn, MachineModel::issue(8));
+    ASSERT_EQ(compare_observable(base.fn, want, got), "") << level_name(lvl);
+  }
+}
+
+}  // namespace
+}  // namespace ilp::dsl

@@ -1,0 +1,140 @@
+#include "frontend/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ilp::dsl {
+namespace {
+
+std::optional<Program> try_parse(std::string_view src) {
+  DiagnosticEngine diags;
+  return parse(src, diags);
+}
+
+TEST(Parser, MinimalProgram) {
+  const auto p = try_parse("program p\n");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->name, "p");
+  EXPECT_TRUE(p->stmts.empty());
+}
+
+TEST(Parser, Declarations) {
+  const auto p = try_parse(R"(
+    program decls
+    array A[64] fp
+    array M[8][16] int
+    scalar s fp init 1.5 out
+    scalar n int init -3
+  )");
+  ASSERT_TRUE(p.has_value());
+  ASSERT_EQ(p->arrays.size(), 2u);
+  EXPECT_EQ(p->arrays[0].name, "A");
+  EXPECT_EQ(p->arrays[0].dim0, 64);
+  EXPECT_EQ(p->arrays[0].dim1, 0);
+  EXPECT_EQ(p->arrays[1].dim1, 16);
+  EXPECT_EQ(p->arrays[1].type, Type::Int);
+  ASSERT_EQ(p->scalars.size(), 2u);
+  EXPECT_TRUE(p->scalars[0].is_out);
+  EXPECT_DOUBLE_EQ(p->scalars[0].finit, 1.5);
+  EXPECT_EQ(p->scalars[1].iinit, -3);
+  EXPECT_FALSE(p->scalars[1].is_out);
+}
+
+TEST(Parser, LoopNest) {
+  const auto p = try_parse(R"(
+    program nest
+    array A[8][8] fp
+    scalar s fp out
+    loop i = 0 to 7 {
+      loop j = 0 to 7 step 2 {
+        s = s + A[i][j];
+      }
+    }
+  )");
+  ASSERT_TRUE(p.has_value());
+  ASSERT_EQ(p->stmts.size(), 1u);
+  const Stmt& outer = *p->stmts[0];
+  EXPECT_EQ(outer.kind, StmtKind::Loop);
+  EXPECT_EQ(outer.loop_var, "i");
+  ASSERT_EQ(outer.body.size(), 1u);
+  const Stmt& inner = *outer.body[0];
+  EXPECT_EQ(inner.loop_var, "j");
+  EXPECT_EQ(inner.step, 2);
+  ASSERT_EQ(inner.body.size(), 1u);
+  EXPECT_EQ(inner.body[0]->kind, StmtKind::Assign);
+}
+
+TEST(Parser, ExpressionsWithPrecedence) {
+  const auto p = try_parse(R"(
+    program e
+    scalar a fp
+    scalar b fp
+    scalar c fp
+    a = b + c * 2.0 - (a / b);
+  )");
+  ASSERT_TRUE(p.has_value());
+  const Stmt& s = *p->stmts[0];
+  // ((b + (c*2.0)) - (a/b))
+  ASSERT_EQ(s.rhs->kind, ExprKind::Binary);
+  EXPECT_EQ(s.rhs->op, BinOp::Sub);
+  EXPECT_EQ(s.rhs->lhs->op, BinOp::Add);
+  EXPECT_EQ(s.rhs->lhs->rhs->op, BinOp::Mul);
+  EXPECT_EQ(s.rhs->rhs->op, BinOp::Div);
+}
+
+TEST(Parser, MaxMinAndBreak) {
+  const auto p = try_parse(R"(
+    program m
+    array A[16] fp
+    scalar mx fp out
+    loop i = 0 to 15 {
+      mx = max(mx, A[i]);
+      if (mx > 100.0) break;
+    }
+  )");
+  ASSERT_TRUE(p.has_value());
+  const Stmt& loop = *p->stmts[0];
+  EXPECT_EQ(loop.body[0]->rhs->kind, ExprKind::MinMax);
+  EXPECT_TRUE(loop.body[0]->rhs->is_max);
+  EXPECT_EQ(loop.body[1]->kind, StmtKind::IfBreak);
+  EXPECT_EQ(loop.body[1]->cmp, CmpOp::Gt);
+}
+
+TEST(Parser, CommentsAndNegativeLiterals) {
+  const auto p = try_parse(R"(
+    program c  # trailing comment
+    scalar x fp init -2.5e1   # scientific
+    # whole-line comment
+    x = -x;
+  )");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(p->scalars[0].finit, -25.0);
+  EXPECT_EQ(p->stmts[0]->rhs->kind, ExprKind::Neg);
+}
+
+TEST(Parser, ErrorsAreReported) {
+  DiagnosticEngine d1;
+  EXPECT_FALSE(parse("program\n", d1).has_value());
+  EXPECT_TRUE(d1.has_errors());
+
+  DiagnosticEngine d2;
+  EXPECT_FALSE(parse("program p\nscalar s fp\ns = ;\n", d2).has_value());
+  EXPECT_TRUE(d2.has_errors());
+
+  DiagnosticEngine d3;
+  EXPECT_FALSE(parse("program p\nloop i = 0 to 3 { \n", d3).has_value());
+
+  DiagnosticEngine d4;  // general if bodies are unsupported
+  EXPECT_FALSE(parse("program p\nscalar s int\nloop i = 0 to 3 { if (s < 2) s = 3; }\n",
+                     d4)
+                   .has_value());
+}
+
+TEST(Parser, ZeroStepRejected) {
+  DiagnosticEngine d;
+  EXPECT_FALSE(
+      parse("program p\nscalar s int\nloop i = 0 to 3 step 0 { s = 1; }\n", d)
+          .has_value());
+}
+
+}  // namespace
+}  // namespace ilp::dsl

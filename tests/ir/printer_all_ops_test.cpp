@@ -1,0 +1,91 @@
+// Printer coverage across every opcode form, and opcode-property sanity.
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/printer.hpp"
+
+namespace ilp {
+namespace {
+
+TEST(PrinterAllOps, EveryOpcodeHasANameAndPrints) {
+  Function fn;
+  const std::int32_t arr = fn.add_array({"A", 64, 4, 4, true});
+  IRBuilder b(fn);
+  const BlockId e = b.create_block("e");
+  const BlockId t = b.create_block("t");
+  b.set_block(e);
+  const Reg i1 = b.ldi(3);
+  const Reg i2 = b.ldi(4);
+  const Reg f1 = b.fldi(1.5);
+  const Reg f2 = b.fldi(2.5);
+
+  // Every binary arithmetic opcode in reg-reg and reg-imm form.
+  for (int op = 0; op < kNumOpcodes; ++op) {
+    const Opcode o = static_cast<Opcode>(op);
+    EXPECT_FALSE(opcode_name(o).empty());
+    if (!op_is_binary_arith(o)) continue;
+    const bool fp = op_dest_is_fp(o);
+    const Reg d = fn.new_reg(fp ? RegClass::Fp : RegClass::Int);
+    Instruction rr = make_binary(o, d, fp ? f1 : i1, fp ? f2 : i2);
+    EXPECT_FALSE(to_string(rr, &fn).empty()) << opcode_name(o);
+    Instruction ri = fp ? make_binary_fimm(o, d, f1, 2.0) : make_binary_imm(o, d, i1, 2);
+    const std::string s = to_string(ri, &fn);
+    EXPECT_NE(s.find(opcode_name(o)), std::string::npos) << s;
+  }
+
+  // Memory, branches, moves.
+  b.fld(i1, 64, arr);
+  b.fst(i1, 64, f1, arr);
+  b.ld(i1, 200, kMayAliasAll);
+  b.st(i1, 200, i2, kMayAliasAll);
+  b.br(Opcode::FBGE, f1, f2, t);
+  b.bri(Opcode::BNE, i1, 7, t);
+  b.brf(Opcode::FBLE, f1, 9.5, t);
+  b.jump(t);
+  b.set_block(t);
+  b.imov(i1);
+  b.fmov(f1);
+  b.fneg(f1);
+  b.itof(i1);
+  b.ftoi(f1);
+  b.imax(i1, i2);
+  b.fmin(f1, f2);
+  b.ret();
+  fn.renumber();
+
+  for (const auto& blk : fn.blocks())
+    for (const auto& in : blk.insts) {
+      const std::string s = to_string(in, &fn);
+      EXPECT_FALSE(s.empty());
+    }
+  // Specific renderings.
+  const auto& insts = fn.block(e).insts;
+  const std::size_t n = insts.size();
+  EXPECT_EQ(to_string(insts[n - 3], &fn), "bne r0.i, 7 -> t");
+  EXPECT_EQ(to_string(insts[n - 2], &fn), "fble r0.f, 9.5 -> t");
+  EXPECT_EQ(to_string(insts[n - 1], &fn), "jump -> t");
+}
+
+TEST(PrinterAllOps, BranchHelpersAreInverses) {
+  for (Opcode op : {Opcode::BEQ, Opcode::BNE, Opcode::BLT, Opcode::BLE, Opcode::BGT,
+                    Opcode::BGE, Opcode::FBEQ, Opcode::FBNE, Opcode::FBLT, Opcode::FBLE,
+                    Opcode::FBGT, Opcode::FBGE}) {
+    EXPECT_EQ(op_invert_branch(op_invert_branch(op)), op) << opcode_name(op);
+    EXPECT_EQ(op_swap_branch(op_swap_branch(op)), op) << opcode_name(op);
+    EXPECT_EQ(op_is_fp_compare(op), op_is_fp_compare(op_invert_branch(op)));
+  }
+}
+
+TEST(PrinterAllOps, UnknownOffsetsRenderNumerically) {
+  Function fn;
+  IRBuilder b(fn);
+  b.set_block(b.create_block("e"));
+  const Reg base = b.ldi(0);
+  const Reg v = b.fld(base, 48, kMayAliasAll);
+  (void)v;
+  b.ret();
+  EXPECT_EQ(to_string(fn.blocks().front().insts[1], &fn), "r0.f = fld [r0.i + 48]");
+}
+
+}  // namespace
+}  // namespace ilp

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+
+namespace ilp {
+namespace {
+
+Function valid_fn() {
+  Function fn;
+  IRBuilder b(fn);
+  const BlockId e = b.create_block("entry");
+  b.set_block(e);
+  const Reg x = b.ldi(1);
+  b.iaddi(x, 1);
+  b.ret();
+  return fn;
+}
+
+TEST(Verifier, AcceptsValidFunction) {
+  const Function fn = valid_fn();
+  EXPECT_TRUE(verify(fn).ok) << verify(fn).message;
+}
+
+TEST(Verifier, RejectsEmptyFunction) {
+  Function fn;
+  EXPECT_FALSE(verify(fn).ok);
+}
+
+TEST(Verifier, RejectsMissingRet) {
+  Function fn;
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  b.ldi(1);
+  EXPECT_FALSE(verify(fn).ok);
+}
+
+TEST(Verifier, RejectsFallthroughPastEnd) {
+  Function fn;
+  IRBuilder b(fn);
+  const BlockId e = b.create_block("entry");
+  const BlockId t = b.create_block("tail");
+  b.set_block(e);
+  b.ret();
+  b.set_block(t);
+  b.ldi(1);  // tail has no terminator and is last in layout
+  EXPECT_FALSE(verify(fn).ok);
+}
+
+TEST(Verifier, RejectsClassMismatch) {
+  Function fn;
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg i = b.ldi(1);
+  Instruction bad = make_unary(Opcode::FMOV, fn.new_fp_reg(), i);  // fp move of int src
+  bad.src1 = i;
+  b.append(bad);
+  b.ret();
+  EXPECT_FALSE(verify(fn).ok);
+}
+
+TEST(Verifier, RejectsBranchToNowhere) {
+  Function fn;
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg i = b.ldi(1);
+  b.bri(Opcode::BLT, i, 5, BlockId{42});
+  b.ret();
+  EXPECT_FALSE(verify(fn).ok);
+}
+
+TEST(Verifier, RejectsCodeAfterTerminator) {
+  Function fn;
+  IRBuilder b(fn);
+  const BlockId e = b.create_block("entry");
+  b.set_block(e);
+  b.ret();
+  fn.block(e).insts.push_back(make_ldi(fn.new_int_reg(), 3));
+  // RET is now mid-block.
+  fn.block(e).insts.push_back(make_ret());
+  EXPECT_FALSE(verify(fn).ok);
+}
+
+TEST(Verifier, RejectsUnknownArrayId) {
+  Function fn;
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg i = b.ldi(0);
+  b.fld(i, 0, 7);  // array id 7 does not exist
+  b.ret();
+  EXPECT_FALSE(verify(fn).ok);
+}
+
+TEST(Verifier, AcceptsMayAliasAllMemoryOps) {
+  Function fn;
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg i = b.ldi(0);
+  b.fld(i, 0, kMayAliasAll);
+  b.ret();
+  EXPECT_TRUE(verify(fn).ok) << verify(fn).message;
+}
+
+}  // namespace
+}  // namespace ilp

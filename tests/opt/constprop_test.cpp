@@ -1,0 +1,174 @@
+#include "opt/constprop.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+#include "opt/dce.hpp"
+#include "sim/simulator.hpp"
+
+namespace ilp {
+namespace {
+
+TEST(ConstProp, FoldsConstantChains) {
+  Function fn;
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg a = b.ldi(6);
+  const Reg c = b.ldi(7);
+  const Reg p = b.imul(a, c);   // folds to 42
+  const Reg q = b.iaddi(p, 8);  // folds to 50
+  b.ret();
+  fn.add_live_out(q);
+  fn.renumber();
+  constant_propagation(fn);
+  const Block& blk = fn.blocks().front();
+  EXPECT_EQ(blk.insts[2].op, Opcode::LDI);
+  EXPECT_EQ(blk.insts[2].ival, 42);
+  EXPECT_EQ(blk.insts[3].op, Opcode::LDI);
+  EXPECT_EQ(blk.insts[3].ival, 50);
+}
+
+TEST(ConstProp, MovesConstantIntoImmediateSlot) {
+  Function fn;
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg x = fn.new_int_reg();  // unknown live-in
+  const Reg c = b.ldi(5);
+  const Reg s = b.iadd(x, c);
+  b.ret();
+  fn.add_live_out(s);
+  fn.renumber();
+  constant_propagation(fn);
+  const Instruction& add = fn.blocks().front().insts[1];
+  EXPECT_TRUE(add.src2_is_imm);
+  EXPECT_EQ(add.ival, 5);
+}
+
+TEST(ConstProp, CommutesConstantOutOfSrc1) {
+  Function fn;
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg c = b.ldi(5);
+  const Reg x = fn.new_int_reg();
+  const Reg s = b.iadd(c, x);  // 5 + x -> x + 5
+  b.ret();
+  fn.add_live_out(s);
+  fn.renumber();
+  constant_propagation(fn);
+  const Instruction& add = fn.blocks().front().insts[1];
+  EXPECT_EQ(add.src1, x);
+  EXPECT_TRUE(add.src2_is_imm);
+  EXPECT_EQ(add.ival, 5);
+}
+
+TEST(ConstProp, PropagatesGloballyAcrossDominatedBlocks) {
+  Function fn;
+  IRBuilder b(fn);
+  const BlockId e = b.create_block("entry");
+  const BlockId t = b.create_block("tail");
+  b.set_block(e);
+  const Reg n = b.ldi(100);
+  b.jump(t);
+  b.set_block(t);
+  const Reg x = fn.new_int_reg();
+  b.br(Opcode::BLT, x, n, t);
+  b.ret();
+  fn.renumber();
+  constant_propagation(fn);
+  const Instruction& br = fn.block(t).insts[0];
+  EXPECT_TRUE(br.src2_is_imm);
+  EXPECT_EQ(br.ival, 100);
+}
+
+TEST(ConstProp, DoesNotPropagateMultiplyDefined) {
+  Function fn;
+  IRBuilder b(fn);
+  const BlockId e = b.create_block("entry");
+  const BlockId loop = b.create_block("loop");
+  const BlockId x = b.create_block("exit");
+  b.set_block(e);
+  const Reg i = b.ldi(0);
+  b.jump(loop);
+  b.set_block(loop);
+  b.iaddi_to(i, i, 1);  // second def of i
+  const Reg u = b.iaddi(i, 0);
+  b.bri(Opcode::BLT, i, 3, loop);
+  b.set_block(x);
+  b.ret();
+  fn.add_live_out(u);
+  fn.renumber();
+  constant_propagation(fn);
+  // The use of i inside the loop must not have been replaced by 0.
+  const Instruction& upd = fn.block(loop).insts[0];
+  EXPECT_EQ(upd.src1, i);
+  EXPECT_FALSE(upd.op == Opcode::LDI);
+}
+
+TEST(ConstProp, FpIdentityMulOne) {
+  Function fn;
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg x = fn.new_fp_reg();
+  const Reg y = b.fmuli(x, 1.0);
+  b.ret();
+  fn.add_live_out(y);
+  fn.renumber();
+  constant_propagation(fn);
+  EXPECT_EQ(fn.blocks().front().insts[0].op, Opcode::FMOV);
+}
+
+TEST(ConstProp, IntAlgebraicIdentities) {
+  Function fn;
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg x = fn.new_int_reg();
+  const Reg a = b.iaddi(x, 0);   // -> imov
+  const Reg m = b.imuli(x, 0);   // -> ldi 0
+  const Reg s = b.ishli(x, 0);   // -> imov
+  b.ret();
+  fn.add_live_out(a);
+  fn.add_live_out(m);
+  fn.add_live_out(s);
+  fn.renumber();
+  constant_propagation(fn);
+  const auto& insts = fn.blocks().front().insts;
+  EXPECT_EQ(insts[0].op, Opcode::IMOV);
+  EXPECT_EQ(insts[1].op, Opcode::LDI);
+  EXPECT_EQ(insts[1].ival, 0);
+  EXPECT_EQ(insts[2].op, Opcode::IMOV);
+}
+
+TEST(ConstProp, BehaviourPreservedOnFigureLoop) {
+  Function fn;
+  fn.add_array({"A", 0, 4, 8, true});
+  IRBuilder b(fn);
+  const BlockId e = b.create_block("entry");
+  const BlockId loop = b.create_block("loop");
+  const BlockId x = b.create_block("exit");
+  b.set_block(e);
+  const Reg i = b.ldi(0);
+  const Reg four = b.ldi(4);
+  const Reg lim = b.ldi(32);
+  b.jump(loop);
+  b.set_block(loop);
+  const Reg v = b.fld(i, 0, 0);
+  const Reg w = b.fmuli(v, 2.0);
+  b.fst(i, 0, w, 0);
+  b.iadd_to(i, i, four);
+  b.br(Opcode::BLT, i, lim, loop);
+  b.set_block(x);
+  b.ret();
+  fn.renumber();
+
+  const Function before = fn;
+  constant_propagation(fn);
+  dead_code_elimination(fn);
+  EXPECT_TRUE(verify(fn).ok) << verify(fn).message;
+  const RunOutcome ra = run_seeded(before, MachineModel::issue(8));
+  const RunOutcome rb = run_seeded(fn, MachineModel::issue(8));
+  EXPECT_EQ(compare_observable(before, ra, rb), "");
+}
+
+}  // namespace
+}  // namespace ilp

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "opt/copyprop.hpp"
+#include "opt/cse.hpp"
+#include "opt/dce.hpp"
+#include "sim/simulator.hpp"
+
+namespace ilp {
+namespace {
+
+int count_op(const Function& fn, Opcode op) {
+  int n = 0;
+  for (const auto& b : fn.blocks())
+    for (const auto& in : b.insts)
+      if (in.op == op) ++n;
+  return n;
+}
+
+TEST(Cse, ReusesIdenticalArithmetic) {
+  Function fn;
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg x = fn.new_int_reg();
+  const Reg a = b.imuli(x, 3);
+  const Reg c = b.imuli(x, 3);  // duplicate -> becomes imov
+  const Reg s = b.iadd(a, c);
+  b.ret();
+  fn.add_live_out(s);
+  fn.renumber();
+  EXPECT_TRUE(common_subexpression_elimination(fn));
+  EXPECT_EQ(count_op(fn, Opcode::IMUL), 1);
+  EXPECT_EQ(count_op(fn, Opcode::IMOV), 1);
+}
+
+TEST(Cse, CommutativeOperandsMatch) {
+  Function fn;
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg x = fn.new_int_reg();
+  const Reg y = fn.new_int_reg();
+  const Reg a = b.iadd(x, y);
+  const Reg c = b.iadd(y, x);  // same value
+  const Reg s = b.iadd(a, c);
+  b.ret();
+  fn.add_live_out(s);
+  fn.renumber();
+  EXPECT_TRUE(common_subexpression_elimination(fn));
+  EXPECT_EQ(count_op(fn, Opcode::IMOV), 1);
+}
+
+TEST(Cse, InvalidatedByRedefinition) {
+  Function fn;
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg x = fn.new_int_reg();
+  const Reg a = b.imuli(x, 3);
+  b.iaddi_to(x, x, 1);          // x changes
+  const Reg c = b.imuli(x, 3);  // NOT a duplicate
+  const Reg s = b.iadd(a, c);
+  b.ret();
+  fn.add_live_out(s);
+  fn.renumber();
+  common_subexpression_elimination(fn);
+  EXPECT_EQ(count_op(fn, Opcode::IMUL), 2);
+}
+
+TEST(Cse, RedundantLoadEliminated) {
+  Function fn;
+  const std::int32_t A = fn.add_array({"A", 0, 4, 8, true});
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg base = fn.new_int_reg();
+  const Reg v1 = b.fld(base, 0, A);
+  const Reg v2 = b.fld(base, 0, A);  // same address, no store between
+  const Reg s = b.fadd(v1, v2);
+  b.ret();
+  fn.add_live_out(s);
+  fn.renumber();
+  EXPECT_TRUE(common_subexpression_elimination(fn));
+  EXPECT_EQ(count_op(fn, Opcode::FLD), 1);
+}
+
+TEST(Cse, LoadNotEliminatedAcrossAliasingStore) {
+  Function fn;
+  const std::int32_t A = fn.add_array({"A", 0, 4, 8, true});
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg base = fn.new_int_reg();
+  const Reg w = fn.new_fp_reg();
+  const Reg v1 = b.fld(base, 0, A);
+  b.fst(base, 0, w, A);              // clobbers (same array, same addr)
+  const Reg v2 = b.fld(base, 0, A);  // forwarded from the store instead
+  const Reg s = b.fadd(v1, v2);
+  b.ret();
+  fn.add_live_out(s);
+  fn.renumber();
+  common_subexpression_elimination(fn);
+  // Second load replaced by a move of the stored value, not of v1.
+  const auto& insts = fn.blocks().front().insts;
+  EXPECT_EQ(insts[2].op, Opcode::FMOV);
+  EXPECT_EQ(insts[2].src1, w);
+}
+
+TEST(Cse, LoadSurvivesStoreToDifferentArray) {
+  Function fn;
+  const std::int32_t A = fn.add_array({"A", 0, 4, 8, true});
+  const std::int32_t B = fn.add_array({"B", 100, 4, 8, true});
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg base = fn.new_int_reg();
+  const Reg w = fn.new_fp_reg();
+  const Reg v1 = b.fld(base, 0, A);
+  b.fst(base, 100, w, B);            // different array: no clobber
+  const Reg v2 = b.fld(base, 0, A);  // still redundant
+  const Reg s = b.fadd(v1, v2);
+  b.ret();
+  fn.add_live_out(s);
+  fn.renumber();
+  EXPECT_TRUE(common_subexpression_elimination(fn));
+  EXPECT_EQ(count_op(fn, Opcode::FLD), 1);
+}
+
+TEST(Cse, UnknownAliasStoreClobbersEverything) {
+  Function fn;
+  const std::int32_t A = fn.add_array({"A", 0, 4, 8, true});
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg base = fn.new_int_reg();
+  const Reg p = fn.new_int_reg();
+  const Reg w = fn.new_fp_reg();
+  const Reg v1 = b.fld(base, 0, A);
+  b.fst(p, 0, w, kMayAliasAll);
+  const Reg v2 = b.fld(base, 0, A);
+  const Reg s = b.fadd(v1, v2);
+  b.ret();
+  fn.add_live_out(s);
+  fn.renumber();
+  common_subexpression_elimination(fn);
+  EXPECT_EQ(count_op(fn, Opcode::FLD), 2);
+}
+
+TEST(Dce, RemovesDeadKeepsLive) {
+  Function fn;
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg keep = b.ldi(1);
+  const Reg dead1 = b.ldi(2);
+  const Reg dead2 = b.iaddi(dead1, 1);  // chain of dead code
+  (void)dead2;
+  b.ret();
+  fn.add_live_out(keep);
+  fn.renumber();
+  EXPECT_TRUE(dead_code_elimination(fn));
+  EXPECT_EQ(fn.num_insts(), 2u);  // ldi + ret
+}
+
+TEST(Dce, KeepsStoresAndValuesTheyNeed) {
+  Function fn;
+  fn.add_array({"A", 0, 4, 4, true});
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg base = b.ldi(0);
+  const Reg v = b.fldi(2.0);
+  b.fst(base, 0, v, 0);
+  b.ret();
+  fn.renumber();
+  EXPECT_FALSE(dead_code_elimination(fn));
+  EXPECT_EQ(fn.num_insts(), 4u);
+}
+
+TEST(Dce, KeepsBranchOperands) {
+  Function fn;
+  IRBuilder b(fn);
+  const BlockId e = b.create_block("entry");
+  const BlockId t = b.create_block("t");
+  b.set_block(e);
+  const Reg c = b.ldi(1);
+  b.bri(Opcode::BEQ, c, 1, t);
+  b.ret();
+  b.set_block(t);
+  b.ret();
+  fn.renumber();
+  dead_code_elimination(fn);
+  EXPECT_EQ(fn.block(e).insts.size(), 3u);
+}
+
+TEST(CopyProp, ForwardsThroughMove) {
+  Function fn;
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg x = fn.new_int_reg();
+  const Reg m = b.imov(x);
+  const Reg s = b.iaddi(m, 1);
+  b.ret();
+  fn.add_live_out(s);
+  fn.renumber();
+  EXPECT_TRUE(copy_propagation(fn));
+  EXPECT_EQ(fn.blocks().front().insts[1].src1, x);
+  dead_code_elimination(fn);
+  EXPECT_EQ(fn.num_insts(), 2u);  // iaddi + ret
+}
+
+TEST(CopyProp, StopsAtRedefinitionOfSource) {
+  Function fn;
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg x = fn.new_int_reg();
+  const Reg m = b.imov(x);
+  b.iaddi_to(x, x, 1);          // source changes
+  const Reg s = b.iaddi(m, 1);  // must still read m
+  b.ret();
+  fn.add_live_out(s);
+  fn.renumber();
+  copy_propagation(fn);
+  EXPECT_EQ(fn.blocks().front().insts[2].src1, m);
+}
+
+}  // namespace
+}  // namespace ilp

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "analysis/cfg.hpp"
+#include "analysis/loops.hpp"
+#include "ir/builder.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "machine/machine.hpp"
+#include "opt/dce.hpp"
+#include "opt/ivopt.hpp"
+#include "opt/licm.hpp"
+#include "opt/pipeline.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/simulator.hpp"
+
+namespace ilp {
+namespace {
+
+int count_in_block(const Function& fn, BlockId b, Opcode op) {
+  int n = 0;
+  for (const auto& in : fn.block(b).insts)
+    if (in.op == op) ++n;
+  return n;
+}
+
+// A naive lowered loop:  for i in 0..n-1 { C[i] = A[i] * s }  with the
+// address arithmetic recomputed every iteration, plus an invariant multiply.
+struct NaiveLoop {
+  Function fn{"naive"};
+  BlockId entry, loop, exit;
+  Reg i, n, s, inv_a, inv_b;
+  NaiveLoop(std::int64_t trip = 16) {
+    fn.add_array({"A", 1000, 4, trip, true});
+    fn.add_array({"C", 5000, 4, trip, true});
+    IRBuilder b(fn);
+    entry = b.create_block("entry");
+    loop = b.create_block("loop");
+    exit = b.create_block("exit");
+    b.set_block(entry);
+    i = b.ldi(0);
+    n = b.ldi(trip);
+    s = b.fldi(1.5);
+    inv_a = b.ldi(21);
+    inv_b = b.ldi(2);
+    b.jump(loop);
+    b.set_block(loop);
+    const Reg invariant = b.imul(inv_a, inv_b);  // hoistable
+    (void)invariant;
+    const Reg off = b.imuli(i, 4);          // derived IV: i*4
+    const Reg v = b.fld(off, 1000, 0);      // A[i]
+    const Reg w = b.fmul(v, s);
+    b.fst(off, 5000, w, 1);                 // C[i]
+    b.iaddi_to(i, i, 1);
+    b.br(Opcode::BLT, i, n, loop);
+    b.set_block(exit);
+    b.ret();
+    fn.renumber();
+  }
+};
+
+TEST(Licm, HoistsInvariantComputation) {
+  NaiveLoop nl;
+  const Function before = nl.fn;
+  EXPECT_TRUE(loop_invariant_code_motion(nl.fn));
+  EXPECT_TRUE(verify(nl.fn).ok) << verify(nl.fn).message;
+  EXPECT_EQ(count_in_block(nl.fn, nl.loop, Opcode::IMUL), 1);   // only i*4 left
+  EXPECT_EQ(count_in_block(nl.fn, nl.entry, Opcode::IMUL), 1);  // hoisted
+  const RunOutcome a = run_seeded(before, MachineModel::issue(8));
+  const RunOutcome b = run_seeded(nl.fn, MachineModel::issue(8));
+  EXPECT_EQ(compare_observable(before, a, b), "");
+}
+
+TEST(Licm, DoesNotHoistVariantOrStores) {
+  NaiveLoop nl;
+  loop_invariant_code_motion(nl.fn);
+  // The loads/stores and IV arithmetic must stay.
+  EXPECT_EQ(count_in_block(nl.fn, nl.loop, Opcode::FLD), 1);
+  EXPECT_EQ(count_in_block(nl.fn, nl.loop, Opcode::FST), 1);
+  EXPECT_EQ(count_in_block(nl.fn, nl.loop, Opcode::IADD), 1);
+}
+
+TEST(Licm, LoadHoistBlockedByAliasingStore) {
+  // load A[0] is invariant but a store to A stays in the loop: no hoist.
+  Function fn;
+  fn.add_array({"A", 0, 4, 8, true});
+  IRBuilder b(fn);
+  const BlockId e = b.create_block("entry");
+  const BlockId loop = b.create_block("loop");
+  const BlockId x = b.create_block("exit");
+  b.set_block(e);
+  const Reg i = b.ldi(0);
+  const Reg zero = b.ldi(0);
+  b.jump(loop);
+  b.set_block(loop);
+  const Reg v = b.fld(zero, 0, 0);   // A[0], loop-invariant address
+  const Reg w = b.faddi(v, 1.0);
+  b.fst(zero, 0, w, 0);              // stores A[0]: recurrence!
+  b.iaddi_to(i, i, 1);
+  b.bri(Opcode::BLT, i, 4, loop);
+  b.set_block(x);
+  b.ret();
+  fn.renumber();
+  const Function before = fn;
+  loop_invariant_code_motion(fn);
+  EXPECT_EQ(count_in_block(fn, loop, Opcode::FLD), 1);  // not hoisted
+  const RunOutcome ra = run_seeded(before, MachineModel::issue(8));
+  const RunOutcome rb = run_seeded(fn, MachineModel::issue(8));
+  EXPECT_EQ(compare_observable(before, ra, rb), "");
+}
+
+TEST(Licm, HoistsLoadFromUnstoredArray) {
+  Function fn;
+  fn.add_array({"K", 0, 4, 1, true});
+  fn.add_array({"C", 100, 4, 8, true});
+  IRBuilder b(fn);
+  const BlockId e = b.create_block("entry");
+  const BlockId loop = b.create_block("loop");
+  const BlockId x = b.create_block("exit");
+  b.set_block(e);
+  const Reg i = b.ldi(0);
+  const Reg zero = b.ldi(0);
+  b.jump(loop);
+  b.set_block(loop);
+  const Reg k = b.fld(zero, 0, 0);  // K[0]: invariant, K never stored
+  const Reg off = b.imuli(i, 4);
+  b.fst(off, 100, k, 1);
+  b.iaddi_to(i, i, 1);
+  b.bri(Opcode::BLT, i, 8, loop);
+  b.set_block(x);
+  b.ret();
+  fn.renumber();
+  EXPECT_TRUE(loop_invariant_code_motion(fn));
+  EXPECT_EQ(count_in_block(fn, loop, Opcode::FLD), 0);
+}
+
+TEST(IvOpt, StrengthReducesSubscriptMultiply) {
+  NaiveLoop nl;
+  const Function before = nl.fn;
+  loop_invariant_code_motion(nl.fn);
+  EXPECT_TRUE(induction_variable_optimization(nl.fn));
+  dead_code_elimination(nl.fn);
+  EXPECT_TRUE(verify(nl.fn).ok) << verify(nl.fn).message;
+  // The i*4 multiply is gone from the loop body.
+  EXPECT_EQ(count_in_block(nl.fn, nl.loop, Opcode::IMUL), 0) << to_string(nl.fn);
+  const RunOutcome a = run_seeded(before, MachineModel::issue(8));
+  const RunOutcome b = run_seeded(nl.fn, MachineModel::issue(8));
+  EXPECT_EQ(compare_observable(before, a, b), "");
+}
+
+TEST(IvOpt, EliminatesLoopCounter) {
+  NaiveLoop nl;
+  const Function before = nl.fn;
+  loop_invariant_code_motion(nl.fn);
+  induction_variable_optimization(nl.fn);
+  dead_code_elimination(nl.fn);
+  // After elimination + DCE only one IV update remains (the promoted one),
+  // and the branch compares the promoted IV.
+  EXPECT_EQ(count_in_block(nl.fn, nl.loop, Opcode::IADD), 1) << to_string(nl.fn);
+  const Instruction& br = nl.fn.block(nl.loop).insts.back();
+  EXPECT_NE(br.src1, nl.i);
+  const RunOutcome a = run_seeded(before, MachineModel::issue(8));
+  const RunOutcome b = run_seeded(nl.fn, MachineModel::issue(8));
+  EXPECT_EQ(compare_observable(before, a, b), "");
+}
+
+TEST(IvOpt, HandlesDownCountingLoops) {
+  Function fn;
+  fn.add_array({"A", 0, 4, 32, true});
+  IRBuilder b(fn);
+  const BlockId e = b.create_block("entry");
+  const BlockId loop = b.create_block("loop");
+  const BlockId x = b.create_block("exit");
+  b.set_block(e);
+  const Reg i = b.ldi(15);
+  const Reg s = b.fldi(0.5);
+  b.jump(loop);
+  b.set_block(loop);
+  const Reg off = b.imuli(i, 4);
+  const Reg v = b.fld(off, 0, 0);
+  const Reg w = b.fmul(v, s);
+  b.fst(off, 0, w, 0);
+  b.append(make_binary_imm(Opcode::ISUB, i, i, 1));
+  b.bri(Opcode::BGE, i, 0, loop);
+  b.set_block(x);
+  b.ret();
+  fn.renumber();
+  const Function before = fn;
+  induction_variable_optimization(fn);
+  dead_code_elimination(fn);
+  EXPECT_EQ(count_in_block(fn, loop, Opcode::IMUL), 0);
+  const RunOutcome ra = run_seeded(before, MachineModel::issue(8));
+  const RunOutcome rb = run_seeded(fn, MachineModel::issue(8));
+  EXPECT_EQ(compare_observable(before, ra, rb), "");
+}
+
+TEST(Pipeline, NaiveLoopReachesFigure1Shape) {
+  // The integration claim: naive lowering + Conv + scheduling reaches the
+  // paper's Figure-1b steady state of 7 cycles/iteration for C(j)=A(j)+B(j).
+  auto make = [](std::int64_t n) {
+    Function fn("vadd");
+    fn.add_array({"A", 1000, 4, n, true});
+    fn.add_array({"B", 9000, 4, n, true});
+    fn.add_array({"C", 17000, 4, n, true});
+    IRBuilder b(fn);
+    const BlockId e = b.create_block("entry");
+    const BlockId loop = b.create_block("loop");
+    const BlockId x = b.create_block("exit");
+    b.set_block(e);
+    const Reg i = b.ldi(0);
+    const Reg lim = b.ldi(n);
+    b.jump(loop);
+    b.set_block(loop);
+    const Reg off = b.imuli(i, 4);
+    const Reg va = b.fld(off, 1000, 0);
+    const Reg vb = b.fld(off, 9000, 1);
+    const Reg vc = b.fadd(va, vb);
+    b.fst(off, 17000, vc, 2);
+    b.iaddi_to(i, i, 1);
+    b.br(Opcode::BLT, i, lim, loop);
+    b.set_block(x);
+    b.ret();
+    fn.renumber();
+    run_conventional_optimizations(fn);
+    schedule_function(fn, MachineModel::issue(64));
+    return fn;
+  };
+  const Function f1 = make(50);
+  const Function f2 = make(150);
+  const RunOutcome r1 = run_seeded(f1, MachineModel::issue(64));
+  const RunOutcome r2 = run_seeded(f2, MachineModel::issue(64));
+  ASSERT_TRUE(r1.result.ok && r2.result.ok);
+  EXPECT_EQ((r2.result.cycles - r1.result.cycles) / 100, 7u)
+      << to_string(f1);
+}
+
+}  // namespace
+}  // namespace ilp

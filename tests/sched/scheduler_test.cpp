@@ -1,0 +1,166 @@
+#include "sched/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/cfg.hpp"
+#include "analysis/liveness.hpp"
+#include "common/fixtures.hpp"
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+#include "sim/simulator.hpp"
+
+namespace ilp {
+namespace {
+
+using ilp::testing::cycles_per_iteration;
+using ilp::testing::infinite_issue;
+
+TEST(Scheduler, EmissionOrderIsTopological) {
+  Function fn = ilp::testing::make_fig1_loop(30);
+  const Function before = fn;
+  schedule_function(fn, infinite_issue());
+  EXPECT_TRUE(verify(fn).ok) << verify(fn).message;
+  // Behaviour unchanged.
+  const RunOutcome a = run_seeded(before, infinite_issue());
+  const RunOutcome b = run_seeded(fn, infinite_issue());
+  EXPECT_EQ(compare_observable(before, a, b), "");
+}
+
+TEST(Scheduler, Fig5bSchedulesTo6CyclesPerIteration) {
+  // The paper's Figure 5b: scheduled conventional code runs at 6 cycles per
+  // iteration (the i++ hoists to cycle 0; the branch pairs with the store).
+  auto make = [](std::int64_t n) {
+    Function fn = ilp::testing::make_fig5_loop(n);
+    schedule_function(fn, infinite_issue());
+    return fn;
+  };
+  EXPECT_DOUBLE_EQ(cycles_per_iteration(make, 50, 150, infinite_issue()), 6.0);
+}
+
+TEST(Scheduler, Fig1bScheduleKeeps7Cycles) {
+  // No schedule can beat the recurrence in Figure 1b's body.
+  auto make = [](std::int64_t n) {
+    Function fn = ilp::testing::make_fig1_loop(n);
+    schedule_function(fn, infinite_issue());
+    return fn;
+  };
+  EXPECT_DOUBLE_EQ(cycles_per_iteration(make, 50, 150, infinite_issue()), 7.0);
+}
+
+TEST(Scheduler, KeepsStoreBeforeSideExit) {
+  Function fn;
+  const std::int32_t A = fn.add_array({"A", 0, 4, 8, true});
+  IRBuilder b(fn);
+  const BlockId e = b.create_block("entry");
+  const BlockId body = b.create_block("body");
+  const BlockId out = b.create_block("out");
+  b.set_block(e);
+  const Reg base = b.ldi(0);
+  const Reg v = b.fldi(1.5);
+  const Reg c = b.ldi(1);
+  b.jump(body);
+  b.set_block(body);
+  b.fst(base, 0, v, A);
+  b.bri(Opcode::BEQ, c, 1, out);
+  b.fst(base, 4, v, A);
+  b.ret();
+  b.set_block(out);
+  b.ret();
+  fn.renumber();
+
+  schedule_function(fn, infinite_issue());
+  const Block& body_blk = fn.block(body);
+  std::size_t st1 = 99, br = 99, st2 = 99;
+  for (std::size_t i = 0; i < body_blk.insts.size(); ++i) {
+    const Instruction& in = body_blk.insts[i];
+    if (in.op == Opcode::FST && in.ival == 0) st1 = i;
+    if (in.is_branch()) br = i;
+    if (in.op == Opcode::FST && in.ival == 4) st2 = i;
+  }
+  EXPECT_LT(st1, br);
+  EXPECT_LT(br, st2);
+}
+
+TEST(Scheduler, WidthLimitedScheduleRespectsIssueWidth) {
+  // Eight independent constant loads on a 2-wide machine: makespan >= 4.
+  Function fn;
+  IRBuilder b(fn);
+  const BlockId e = b.create_block("entry");
+  b.set_block(e);
+  for (int i = 0; i < 8; ++i) b.ldi(i);
+  b.ret();
+  fn.renumber();
+  const Cfg cfg(fn);
+  const Liveness live(cfg);
+  const MachineModel m2 = MachineModel::issue(2);
+  const DepGraph g(fn, e, m2, live);
+  const BlockSchedule s = list_schedule(g, fn, e, m2);
+  EXPECT_GE(s.makespan, 5);  // 4 cycles of ldis + ret
+  int per_cycle[16] = {0};
+  for (std::size_t i = 0; i + 1 < s.issue_time.size(); ++i)
+    per_cycle[s.issue_time[i]]++;
+  for (int c = 0; c < 16; ++c) EXPECT_LE(per_cycle[c], 2);
+}
+
+TEST(Scheduler, CriticalPathScheduledFirst) {
+  // A long fdiv chain and independent cheap ops: the chain head must issue
+  // at cycle 0 on a 1-wide machine.
+  Function fn;
+  IRBuilder b(fn);
+  const BlockId e = b.create_block("entry");
+  b.set_block(e);
+  const Reg x = b.fldi(1.0);  // head of critical chain
+  b.ldi(1);
+  b.ldi(2);
+  const Reg y = b.fdiv(x, x);
+  b.fdiv(y, y);
+  b.ret();
+  fn.renumber();
+  const Cfg cfg(fn);
+  const Liveness live(cfg);
+  const MachineModel m1 = MachineModel::issue(1);
+  const DepGraph g(fn, e, m1, live);
+  const BlockSchedule s = list_schedule(g, fn, e, m1);
+  EXPECT_EQ(s.issue_time[0], 0);  // fldi first despite ldi ties
+  EXPECT_EQ(s.order[0], 0u);
+}
+
+TEST(Scheduler, BranchSlotLimitInSchedule) {
+  Function fn;
+  IRBuilder b(fn);
+  const BlockId e = b.create_block("entry");
+  const BlockId out = b.create_block("out");
+  b.set_block(e);
+  const Reg c = fn.new_int_reg();
+  b.bri(Opcode::BEQ, c, 1, out);
+  b.bri(Opcode::BEQ, c, 2, out);
+  b.ret();
+  b.set_block(out);
+  b.ret();
+  fn.renumber();
+  const Cfg cfg(fn);
+  const Liveness live(cfg);
+  const MachineModel m = infinite_issue();
+  const DepGraph g(fn, e, m, live);
+  const BlockSchedule s = list_schedule(g, fn, e, m);
+  // Three control ops, one branch slot each cycle.
+  EXPECT_EQ(s.issue_time[0], 0);
+  EXPECT_EQ(s.issue_time[1], 1);
+  EXPECT_EQ(s.issue_time[2], 2);
+}
+
+TEST(Scheduler, SchedulerNeverWorsensTheSimulatedLoop) {
+  for (std::int64_t n : {30, 60}) {
+    Function plain = ilp::testing::make_fig3_loop(n);
+    Function sched = ilp::testing::make_fig3_loop(n);
+    schedule_function(sched, infinite_issue());
+    const RunOutcome a = run_seeded(plain, infinite_issue());
+    const RunOutcome b = run_seeded(sched, infinite_issue());
+    ASSERT_TRUE(a.result.ok && b.result.ok);
+    EXPECT_LE(b.result.cycles, a.result.cycles);
+    EXPECT_EQ(compare_observable(plain, a, b), "");
+  }
+}
+
+}  // namespace
+}  // namespace ilp

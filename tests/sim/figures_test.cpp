@@ -1,0 +1,209 @@
+// Calibration against the paper's Section 2 examples (Figures 1, 3, 5, 6, 7).
+//
+// The paper's issue-time tables assume an infinite-issue in-order machine.
+// Where a figure's cycle count is for *scheduled* code (the paper prints
+// unscheduled code with post-scheduling issue times), we hand-emit the
+// schedule here; the list-scheduler tests later verify our scheduler finds
+// schedules at least as good.
+//
+// Two deliberate deviations from the paper's illustrative labels (the
+// evaluation figures come from execution-driven simulation, which is what we
+// measure):
+//  * Fig 3b is labeled "8 cycles/iteration" (completion of the accumulator
+//    add); steady-state initiation interval under execution is 7.
+//  * Fig 5b's "6 cycles" is post-scheduling; the unscheduled body runs at 7.
+#include <gtest/gtest.h>
+
+#include "common/fixtures.hpp"
+#include "ir/builder.hpp"
+#include "sim/simulator.hpp"
+
+namespace ilp {
+namespace {
+
+using ilp::testing::cycles_per_iteration;
+using ilp::testing::infinite_issue;
+
+TEST(Figures, Fig1bOriginalLoopRunsAt7CyclesPerIteration) {
+  const double cpi =
+      cycles_per_iteration(ilp::testing::make_fig1_loop, 50, 150, infinite_issue());
+  EXPECT_DOUBLE_EQ(cpi, 7.0);
+}
+
+TEST(Figures, Fig1bComputesVectorAdd) {
+  const Function fn = ilp::testing::make_fig1_loop(32);
+  const RunOutcome out = run_seeded(fn, infinite_issue());
+  ASSERT_TRUE(out.result.ok) << out.result.error;
+  Memory ref;
+  seed_arrays(fn, ref);
+  for (int j = 0; j < 32; ++j) {
+    const double a = ref.load_fp(1000 + 4 * j);
+    const double b = ref.load_fp(9000 + 4 * j);
+    EXPECT_DOUBLE_EQ(out.memory.load_fp(17000 + 4 * j), a + b) << "j=" << j;
+  }
+}
+
+// Figure 1c: the same loop unrolled 3x without renaming, in the paper's
+// program order.  19 cycles / 3 iterations.
+Function make_fig1c(std::int64_t n) {
+  Function fn("fig1c");
+  const std::int32_t A = fn.add_array({"A", 1000, 4, n, true});
+  const std::int32_t B = fn.add_array({"B", 9000, 4, n, true});
+  const std::int32_t C = fn.add_array({"C", 17000, 4, n, true});
+  IRBuilder b(fn);
+  const BlockId entry = b.create_block("entry");
+  const BlockId loop = b.create_block("L1");
+  const BlockId exit = b.create_block("exit");
+  b.set_block(entry);
+  const Reg r1 = b.ldi(0);
+  const Reg r5 = b.ldi(4 * n);
+  b.jump(loop);
+  b.set_block(loop);
+  const Reg r2 = fn.new_fp_reg();
+  const Reg r3 = fn.new_fp_reg();
+  const Reg r4 = fn.new_fp_reg();
+  for (int u = 0; u < 3; ++u) {
+    b.fld_to(r2, r1, fn.array(A)->base, A);
+    b.fld_to(r3, r1, fn.array(B)->base, B);
+    b.fadd_to(r4, r2, r3);
+    b.fst(r1, fn.array(C)->base, r4, C);
+    b.iaddi_to(r1, r1, 4);
+  }
+  b.br(Opcode::BLT, r1, r5, loop);
+  b.set_block(exit);
+  b.ret();
+  fn.renumber();
+  return fn;
+}
+
+TEST(Figures, Fig1cUnrolledRunsAt19CyclesPer3Iterations) {
+  const double cpg = cycles_per_iteration(make_fig1c, 51, 150, infinite_issue());
+  EXPECT_DOUBLE_EQ(cpg * 3.0, 19.0);
+}
+
+// Figure 1d: unrolled 3x + renamed, hand-emitted in scheduled order.
+// 8 cycles / 3 iterations.
+Function make_fig1d(std::int64_t n) {
+  Function fn("fig1d");
+  const std::int32_t A = fn.add_array({"A", 1000, 4, n, true});
+  const std::int32_t B = fn.add_array({"B", 9000, 4, n, true});
+  const std::int32_t C = fn.add_array({"C", 17000, 4, n, true});
+  IRBuilder b(fn);
+  const BlockId entry = b.create_block("entry");
+  const BlockId loop = b.create_block("L1");
+  const BlockId exit = b.create_block("exit");
+  b.set_block(entry);
+  const Reg r11 = b.ldi(0);
+  const Reg r5 = b.ldi(4 * n);
+  b.jump(loop);
+
+  b.set_block(loop);
+  const Reg r12 = fn.new_int_reg();
+  const Reg r13 = fn.new_int_reg();
+  const std::int64_t ab = fn.array(A)->base;
+  const std::int64_t bb = fn.array(B)->base;
+  const std::int64_t cb = fn.array(C)->base;
+  const Reg a1 = b.fld(r11, ab, A);
+  const Reg b1 = b.fld(r11, bb, B);
+  b.iaddi_to(r12, r11, 4);
+  const Reg a2 = b.fld(r12, ab, A);
+  const Reg b2 = b.fld(r12, bb, B);
+  b.iaddi_to(r13, r12, 4);
+  const Reg a3 = b.fld(r13, ab, A);
+  const Reg b3 = b.fld(r13, bb, B);
+  const Reg s1 = b.fadd(a1, b1);
+  const Reg s2 = b.fadd(a2, b2);
+  const Reg s3 = b.fadd(a3, b3);
+  b.fst(r11, cb, s1, C);
+  b.iaddi_to(r11, r13, 4);  // after the store that reads the old r11 (WAR)
+  b.fst(r12, cb, s2, C);
+  b.fst(r13, cb, s3, C);
+  b.br(Opcode::BLT, r11, r5, loop);
+
+  b.set_block(exit);
+  b.ret();
+  fn.renumber();
+  return fn;
+}
+
+TEST(Figures, Fig1dUnrolledRenamedRunsAt8CyclesPer3Iterations) {
+  const double cpg = cycles_per_iteration(make_fig1d, 51, 150, infinite_issue());
+  EXPECT_DOUBLE_EQ(cpg * 3.0, 8.0);
+}
+
+TEST(Figures, Fig1dStillComputesVectorAdd) {
+  const Function ref = ilp::testing::make_fig1_loop(30);
+  const Function opt = make_fig1d(30);
+  const RunOutcome a = run_seeded(ref, infinite_issue());
+  const RunOutcome b = run_seeded(opt, infinite_issue());
+  EXPECT_EQ(compare_observable(ref, a, b), "");
+}
+
+TEST(Figures, Fig3bMatmulInnerLoopSteadyState) {
+  // Paper labels the displayed table "8 cycles/iteration" (accumulator
+  // completion); execution-driven steady state is 7 — see file comment.
+  const double cpi =
+      cycles_per_iteration(ilp::testing::make_fig3_loop, 50, 150, infinite_issue());
+  EXPECT_DOUBLE_EQ(cpi, 7.0);
+}
+
+TEST(Figures, Fig3bComputesDotProductIntoC) {
+  const std::int64_t n = 24;
+  const Function fn = ilp::testing::make_fig3_loop(n);
+  const RunOutcome out = run_seeded(fn, infinite_issue());
+  ASSERT_TRUE(out.result.ok) << out.result.error;
+  Memory ref;
+  seed_arrays(fn, ref);
+  double acc = ref.load_fp(17000);
+  for (int k = 0; k < n; ++k)
+    acc += ref.load_fp(1000 + 4 * k) * ref.load_fp(9000 + 32 * k);  // B stride r8=32
+  EXPECT_NEAR(out.memory.load_fp(17000), acc, 1e-9);
+}
+
+TEST(Figures, Fig5bStridedLoopSteadyState) {
+  // 7 cycles unscheduled; the paper's "6 cycles" is post-scheduling and is
+  // verified in the scheduler tests.
+  const double cpi =
+      cycles_per_iteration(ilp::testing::make_fig5_loop, 50, 150, infinite_issue());
+  EXPECT_DOUBLE_EQ(cpi, 7.0);
+}
+
+TEST(Figures, Fig6bSearchLoopRunsAt7CyclesPerIteration) {
+  auto run_n = [&](std::int64_t n) -> std::uint64_t {
+    const Function fn = ilp::testing::make_fig6_loop(n);
+    Memory mem;
+    ilp::testing::fill_fig6_memory(fn, mem, n);
+    Simulator sim(infinite_issue());
+    const SimResult r = sim.run(fn, mem);
+    EXPECT_TRUE(r.ok) << r.error;
+    return r.cycles;
+  };
+  const std::uint64_t c1 = run_n(50);
+  const std::uint64_t c2 = run_n(150);
+  EXPECT_EQ((c2 - c1) / 100, 7u);
+}
+
+TEST(Figures, Fig7SequentialExpressionCompletesIn22Cycles) {
+  const Function fn = ilp::testing::make_fig7_expr();
+  std::vector<IssueEvent> trace;
+  SimOptions opts;
+  opts.trace = &trace;
+  Memory mem;
+  Simulator sim(infinite_issue(), std::move(opts));
+  const SimResult r = sim.run(fn, mem);
+  ASSERT_TRUE(r.ok);
+  // Instruction uids: 0..5 = constants, 6 = fadd, 7..9 = fmuls, 10 = fdiv.
+  std::uint64_t t_add = 0;
+  std::uint64_t t_div = 0;
+  for (const auto& ev : trace) {
+    if (ev.uid == 6) t_add = ev.cycle;
+    if (ev.uid == 10) t_div = ev.cycle;
+  }
+  // add(3) + mul(3) + mul(3) + mul(3) = 12 cycles of issue delay, then the
+  // divide takes 10 more: 22 cycles from first issue to result.
+  EXPECT_EQ(t_div - t_add, 12u);
+  EXPECT_DOUBLE_EQ(r.regs.get_fp(fn.live_out()[0].id), 2.0 * (3.0 + 4.0) * 5.0 * 6.0 / 7.0);
+}
+
+}  // namespace
+}  // namespace ilp

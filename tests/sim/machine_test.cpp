@@ -1,0 +1,94 @@
+// Machine-model tests: the latency table must match the paper's Table 1.
+#include "machine/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "sim/simulator.hpp"
+
+namespace ilp {
+namespace {
+
+TEST(Machine, Table1Latencies) {
+  const MachineModel m = MachineModel::issue(4);
+  // Int ALU = 1
+  for (Opcode op : {Opcode::IADD, Opcode::ISUB, Opcode::ISHL, Opcode::ISHRA,
+                    Opcode::ISHRL, Opcode::IAND, Opcode::IOR, Opcode::IXOR, Opcode::IMOV,
+                    Opcode::INEG, Opcode::IMAX, Opcode::IMIN, Opcode::LDI})
+    EXPECT_EQ(m.latency(op), 1) << opcode_name(op);
+  // Int multiply = 3, divide = 10 (remainder shares the divider).
+  EXPECT_EQ(m.latency(Opcode::IMUL), 3);
+  EXPECT_EQ(m.latency(Opcode::IMULH), 3);
+  EXPECT_EQ(m.latency(Opcode::IDIV), 10);
+  EXPECT_EQ(m.latency(Opcode::IREM), 10);
+  // FP ALU = 3, multiply = 3, divide = 10, conversion = 3.
+  for (Opcode op : {Opcode::FADD, Opcode::FSUB, Opcode::FMAX, Opcode::FMIN})
+    EXPECT_EQ(m.latency(op), 3) << opcode_name(op);
+  EXPECT_EQ(m.latency(Opcode::FMUL), 3);
+  EXPECT_EQ(m.latency(Opcode::FDIV), 10);
+  EXPECT_EQ(m.latency(Opcode::ITOF), 3);
+  EXPECT_EQ(m.latency(Opcode::FTOI), 3);
+  // Memory: load = 2, store = 1.
+  EXPECT_EQ(m.latency(Opcode::LD), 2);
+  EXPECT_EQ(m.latency(Opcode::FLD), 2);
+  EXPECT_EQ(m.latency(Opcode::ST), 1);
+  EXPECT_EQ(m.latency(Opcode::FST), 1);
+  // Branch = 1, 1 slot.
+  EXPECT_EQ(m.latency(Opcode::BLT), 1);
+  EXPECT_EQ(m.latency(Opcode::JUMP), 1);
+  EXPECT_EQ(m.branch_slots, 1);
+}
+
+TEST(Machine, DescribeMentionsKeyParameters) {
+  const std::string d = MachineModel::issue(8).describe();
+  EXPECT_NE(d.find("issue-8"), std::string::npos);
+  EXPECT_NE(d.find("IntDiv=10"), std::string::npos);
+  EXPECT_NE(d.find("Load=2"), std::string::npos);
+}
+
+TEST(Machine, CustomLatenciesFlowThroughSimulation) {
+  // Doubling the fp-add latency doubles a pure fadd chain's runtime.
+  Function fn;
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  Reg t = b.fldi(1.0);
+  for (int i = 0; i < 10; ++i) t = b.faddi(t, 1.0);
+  b.ret();
+  fn.add_live_out(t);
+  fn.renumber();
+
+  MachineModel fast = MachineModel::issue(8);
+  MachineModel slow = MachineModel::issue(8);
+  slow.lat_fp_alu = 6;
+  Memory m1;
+  Memory m2;
+  const SimResult r1 = Simulator(fast).run(fn, m1);
+  const SimResult r2 = Simulator(slow).run(fn, m2);
+  ASSERT_TRUE(r1.ok && r2.ok);
+  EXPECT_DOUBLE_EQ(r1.regs.get_fp(fn.live_out()[0].id), 11.0);
+  EXPECT_GT(r2.cycles, r1.cycles + 25);  // ~10 extra 3-cycle bubbles
+}
+
+TEST(Machine, MulhComputesHighBits) {
+  Function fn;
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg a = b.ldi(INT64_MAX);
+  const Reg c = b.ldi(16);
+  const Reg hi = fn.new_int_reg();
+  b.append(make_binary(Opcode::IMULH, hi, a, c));
+  const Reg neg = b.ldi(-1);
+  const Reg hi2 = fn.new_int_reg();
+  b.append(make_binary(Opcode::IMULH, hi2, neg, c));
+  b.ret();
+  fn.renumber();
+  Memory mem;
+  const SimResult r = Simulator(MachineModel::issue(8)).run(fn, mem);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.regs.get_int(hi.id),
+            static_cast<std::int64_t>((static_cast<__int128>(INT64_MAX) * 16) >> 64));
+  EXPECT_EQ(r.regs.get_int(hi2.id), -1);  // (-1 * 16) >> 64 == -1
+}
+
+}  // namespace
+}  // namespace ilp

@@ -1,0 +1,370 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "machine/machine.hpp"
+
+namespace ilp {
+namespace {
+
+// Runs a single-block straight-line function and returns the result.
+SimResult run_straightline(Function& fn, int width = 8, SimOptions opts = {}) {
+  fn.renumber();
+  Memory mem;
+  Simulator sim(MachineModel::issue(width), std::move(opts));
+  return sim.run(fn, mem);
+}
+
+TEST(Simulator, IntegerArithmeticSemantics) {
+  Function fn;
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg a = b.ldi(17);
+  const Reg c = b.ldi(5);
+  const Reg sum = b.iadd(a, c);
+  const Reg dif = b.isub(a, c);
+  const Reg prd = b.imul(a, c);
+  const Reg quo = b.idiv(a, c);
+  const Reg rem = b.irem(a, c);
+  const Reg neg = b.imov(a);
+  const Reg shl = b.ishli(a, 2);
+  const Reg mx = b.imax(a, c);
+  const Reg mn = b.imin(a, c);
+  b.ret();
+  const SimResult r = run_straightline(fn);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.regs.get_int(sum.id), 22);
+  EXPECT_EQ(r.regs.get_int(dif.id), 12);
+  EXPECT_EQ(r.regs.get_int(prd.id), 85);
+  EXPECT_EQ(r.regs.get_int(quo.id), 3);
+  EXPECT_EQ(r.regs.get_int(rem.id), 2);
+  EXPECT_EQ(r.regs.get_int(neg.id), 17);
+  EXPECT_EQ(r.regs.get_int(shl.id), 68);
+  EXPECT_EQ(r.regs.get_int(mx.id), 17);
+  EXPECT_EQ(r.regs.get_int(mn.id), 5);
+}
+
+TEST(Simulator, NegativeDivisionTruncatesTowardZero) {
+  Function fn;
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg a = b.ldi(-17);
+  const Reg q = b.idivi(a, 5);
+  const Reg m = b.iremi(a, 5);
+  b.ret();
+  const SimResult r = run_straightline(fn);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.regs.get_int(q.id), -3);
+  EXPECT_EQ(r.regs.get_int(m.id), -2);
+}
+
+TEST(Simulator, DivisionByZeroFails) {
+  Function fn;
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg a = b.ldi(1);
+  b.idivi(a, 0);
+  b.ret();
+  const SimResult r = run_straightline(fn);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Simulator, FloatArithmeticSemantics) {
+  Function fn;
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg x = b.fldi(6.0);
+  const Reg y = b.fldi(1.5);
+  const Reg s = b.fadd(x, y);
+  const Reg d = b.fsub(x, y);
+  const Reg p = b.fmul(x, y);
+  const Reg q = b.fdiv(x, y);
+  const Reg mx = b.fmax(x, y);
+  const Reg mn = b.fmin(x, y);
+  const Reg ng = b.fneg(x);
+  b.ret();
+  const SimResult r = run_straightline(fn);
+  ASSERT_TRUE(r.ok);
+  EXPECT_DOUBLE_EQ(r.regs.get_fp(s.id), 7.5);
+  EXPECT_DOUBLE_EQ(r.regs.get_fp(d.id), 4.5);
+  EXPECT_DOUBLE_EQ(r.regs.get_fp(p.id), 9.0);
+  EXPECT_DOUBLE_EQ(r.regs.get_fp(q.id), 4.0);
+  EXPECT_DOUBLE_EQ(r.regs.get_fp(mx.id), 6.0);
+  EXPECT_DOUBLE_EQ(r.regs.get_fp(mn.id), 1.5);
+  EXPECT_DOUBLE_EQ(r.regs.get_fp(ng.id), -6.0);
+}
+
+TEST(Simulator, Conversions) {
+  Function fn;
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg i = b.ldi(-7);
+  const Reg f = b.itof(i);
+  const Reg x = b.fldi(3.9);
+  const Reg j = b.ftoi(x);
+  b.ret();
+  const SimResult r = run_straightline(fn);
+  ASSERT_TRUE(r.ok);
+  EXPECT_DOUBLE_EQ(r.regs.get_fp(f.id), -7.0);
+  EXPECT_EQ(r.regs.get_int(j.id), 3);  // truncation
+}
+
+TEST(Simulator, MemoryRoundTrip) {
+  Function fn;
+  fn.add_array({"A", 100, 8, 4, false});
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg base = b.ldi(0);
+  const Reg v = b.ldi(42);
+  b.st(base, 100, v, 0);
+  const Reg w = b.ld(base, 100, 0);
+  const Reg zero = b.ld(base, 108, 0);  // never written: reads 0
+  b.ret();
+  const SimResult r = run_straightline(fn);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.regs.get_int(w.id), 42);
+  EXPECT_EQ(r.regs.get_int(zero.id), 0);
+}
+
+TEST(Simulator, FpMemoryKeepsBits) {
+  Function fn;
+  fn.add_array({"A", 100, 4, 4, true});
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg base = b.ldi(0);
+  const Reg v = b.fldi(2.75);
+  b.fst(base, 104, v, 0);
+  const Reg w = b.fld(base, 104, 0);
+  b.ret();
+  const SimResult r = run_straightline(fn);
+  ASSERT_TRUE(r.ok);
+  EXPECT_DOUBLE_EQ(r.regs.get_fp(w.id), 2.75);
+}
+
+TEST(Simulator, BranchTakenAndFallthrough) {
+  // if (3 < 5) skip the poison store.
+  Function fn;
+  fn.add_array({"A", 0, 8, 1, false});
+  IRBuilder b(fn);
+  const BlockId e = b.create_block("entry");
+  const BlockId skip = b.create_block("skip");
+  b.set_block(e);
+  const Reg a = b.ldi(3);
+  const Reg base = b.ldi(0);
+  b.bri(Opcode::BLT, a, 5, skip);
+  const Reg poison = b.ldi(99);
+  b.st(base, 0, poison, 0);
+  b.jump(skip);
+  b.set_block(skip);
+  const Reg v = b.ld(base, 0, 0);
+  b.ret();
+  fn.renumber();
+  Memory mem;
+  Simulator sim(MachineModel::issue(8));
+  const SimResult r = sim.run(fn, mem);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.regs.get_int(v.id), 0);  // store was skipped
+}
+
+TEST(Simulator, LoopExecutesCorrectIterationCount) {
+  // for (i = 0; i < 10; ++i) sum += i;  => sum = 45
+  Function fn;
+  IRBuilder b(fn);
+  const BlockId e = b.create_block("entry");
+  const BlockId loop = b.create_block("loop");
+  const BlockId x = b.create_block("exit");
+  b.set_block(e);
+  const Reg i = b.ldi(0);
+  const Reg sum = b.ldi(0);
+  b.jump(loop);
+  b.set_block(loop);
+  b.iadd_to(sum, sum, i);
+  b.iaddi_to(i, i, 1);
+  b.bri(Opcode::BLT, i, 10, loop);
+  b.set_block(x);
+  b.ret();
+  fn.renumber();
+  Memory mem;
+  Simulator sim(MachineModel::issue(4));
+  const SimResult r = sim.run(fn, mem);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.regs.get_int(sum.id), 45);
+  EXPECT_EQ(r.branches, 12u);  // jump + 10 loop branches + ret
+}
+
+TEST(Simulator, LatencyChainOnWideMachine) {
+  // Three dependent fp adds: each waits 3 cycles for its input.
+  Function fn;
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg a = b.fldi(1.0);   // issues cycle 0, ready 1
+  const Reg t1 = b.faddi(a, 1.0);   // issue 1, ready 4
+  const Reg t2 = b.faddi(t1, 1.0);  // issue 4, ready 7
+  b.faddi(t2, 1.0);                 // issue 7
+  b.ret();                          // issue 7 (same cycle; no deps)
+  std::vector<IssueEvent> trace;
+  SimOptions opts;
+  opts.trace = &trace;
+  const SimResult r = run_straightline(fn, 8, std::move(opts));
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(trace.size(), 5u);
+  EXPECT_EQ(trace[0].cycle, 0u);
+  EXPECT_EQ(trace[1].cycle, 1u);
+  EXPECT_EQ(trace[2].cycle, 4u);
+  EXPECT_EQ(trace[3].cycle, 7u);
+}
+
+TEST(Simulator, IssueWidthLimitsParallelism) {
+  // Eight independent LDIs on a 2-wide machine need 4 cycles.
+  Function fn;
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  for (int i = 0; i < 8; ++i) b.ldi(i);
+  b.ret();
+  std::vector<IssueEvent> trace;
+  SimOptions opts;
+  opts.trace = &trace;
+  const SimResult r = run_straightline(fn, 2, std::move(opts));
+  ASSERT_TRUE(r.ok);
+  ASSERT_GE(trace.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(trace[static_cast<size_t>(i)].cycle,
+                                        static_cast<std::uint64_t>(i / 2));
+}
+
+TEST(Simulator, OneBranchSlotPerCycle) {
+  // Two untaken branches cannot issue in the same cycle.
+  Function fn;
+  IRBuilder b(fn);
+  const BlockId e = b.create_block("entry");
+  const BlockId next = b.create_block("next");
+  b.set_block(e);
+  const Reg a = b.ldi(10);
+  b.bri(Opcode::BLT, a, 5, next);  // untaken
+  b.bri(Opcode::BLT, a, 6, next);  // untaken
+  b.jump(next);
+  b.set_block(next);
+  b.ret();
+  fn.renumber();
+  std::vector<IssueEvent> trace;
+  SimOptions opts;
+  opts.trace = &trace;
+  Memory mem;
+  Simulator sim(MachineModel::issue(8), std::move(opts));
+  const SimResult r = sim.run(fn, mem);
+  ASSERT_TRUE(r.ok);
+  // ldi@0; br1@1 (needs a ready); br2@2; jump@3; ret@4.
+  ASSERT_EQ(trace.size(), 5u);
+  EXPECT_EQ(trace[1].cycle, 1u);
+  EXPECT_EQ(trace[2].cycle, 2u);
+  EXPECT_EQ(trace[3].cycle, 3u);
+  EXPECT_EQ(trace[4].cycle, 4u);
+}
+
+TEST(Simulator, TakenBranchEndsIssueCycle) {
+  Function fn;
+  IRBuilder b(fn);
+  const BlockId e = b.create_block("entry");
+  const BlockId next = b.create_block("next");
+  b.set_block(e);
+  b.jump(next);  // taken at cycle 0
+  b.set_block(next);
+  b.ldi(1);  // must wait for redirect: cycle 1
+  b.ret();
+  fn.renumber();
+  std::vector<IssueEvent> trace;
+  SimOptions opts;
+  opts.trace = &trace;
+  Memory mem;
+  Simulator sim(MachineModel::issue(8), std::move(opts));
+  const SimResult r = sim.run(fn, mem);
+  ASSERT_TRUE(r.ok);
+  ASSERT_GE(trace.size(), 2u);
+  EXPECT_EQ(trace[0].cycle, 0u);
+  EXPECT_EQ(trace[1].cycle, 1u);
+}
+
+TEST(Simulator, LoadWaitsForStoreToSameAddress) {
+  Function fn;
+  fn.add_array({"A", 0, 8, 1, false});
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg base = b.ldi(0);       // cycle 0
+  const Reg v = b.ldi(7);          // cycle 0
+  b.st(base, 0, v, 0);             // cycle 1 (base,v ready)
+  const Reg w = b.ld(base, 0, 0);  // must wait for store done: cycle 2
+  b.ret();
+  std::vector<IssueEvent> trace;
+  SimOptions opts;
+  opts.trace = &trace;
+  const SimResult r = run_straightline(fn, 8, std::move(opts));
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.regs.get_int(w.id), 7);
+  ASSERT_GE(trace.size(), 4u);
+  EXPECT_EQ(trace[2].cycle, 1u);  // store
+  EXPECT_EQ(trace[3].cycle, 2u);  // load delayed by store completion
+}
+
+TEST(Simulator, InitRegistersFlowIn) {
+  Function fn;
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg a = fn.new_int_reg();
+  const Reg f = fn.new_fp_reg();
+  const Reg s = b.iaddi(a, 1);
+  const Reg g = b.faddi(f, 0.5);
+  b.ret();
+  fn.renumber();
+  SimOptions opts;
+  opts.init_ints = {41};
+  opts.init_fps = {1.25};
+  Memory mem;
+  Simulator sim(MachineModel::issue(4), std::move(opts));
+  const SimResult r = sim.run(fn, mem);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.regs.get_int(s.id), 42);
+  EXPECT_DOUBLE_EQ(r.regs.get_fp(g.id), 1.75);
+}
+
+TEST(Simulator, InstructionBudgetGuardsInfiniteLoops) {
+  Function fn;
+  IRBuilder b(fn);
+  const BlockId loop = b.create_block("loop");
+  b.set_block(loop);
+  b.jump(loop);
+  b.create_block("tail");
+  b.set_block(BlockId{1});
+  b.ret();
+  fn.renumber();
+  SimOptions opts;
+  opts.max_instructions = 1000;
+  Memory mem;
+  Simulator sim(MachineModel::issue(1), std::move(opts));
+  const SimResult r = sim.run(fn, mem);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Simulator, SeededArraysAreDeterministic) {
+  Function fn;
+  fn.add_array({"A", 1000, 4, 16, true});
+  fn.add_array({"N", 2000, 8, 8, false});
+  Memory m1;
+  Memory m2;
+  seed_arrays(fn, m1);
+  seed_arrays(fn, m2);
+  EXPECT_TRUE(m1 == m2);
+  // fp values positive and bounded; int values in [1,16].
+  for (int i = 0; i < 16; ++i) {
+    const double v = m1.load_fp(1000 + 4 * i);
+    EXPECT_GT(v, 0.0);
+    EXPECT_LT(v, 3.0);
+  }
+  for (int i = 0; i < 8; ++i) {
+    const std::int64_t v = m1.load_int(2000 + 8 * i);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 16);
+  }
+}
+
+}  // namespace
+}  // namespace ilp

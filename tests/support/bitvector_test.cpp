@@ -1,0 +1,87 @@
+#include "support/bitvector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ilp {
+namespace {
+
+TEST(BitVector, SetTestReset) {
+  BitVector v(130);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_FALSE(v.any());
+  v.set(0);
+  v.set(64);
+  v.set(129);
+  EXPECT_TRUE(v.test(0));
+  EXPECT_TRUE(v.test(64));
+  EXPECT_TRUE(v.test(129));
+  EXPECT_FALSE(v.test(1));
+  EXPECT_EQ(v.count(), 3u);
+  v.reset(64);
+  EXPECT_FALSE(v.test(64));
+  EXPECT_EQ(v.count(), 2u);
+}
+
+TEST(BitVector, SetAllRespectsSize) {
+  BitVector v(70, true);
+  EXPECT_EQ(v.count(), 70u);
+  v.reset_all();
+  EXPECT_FALSE(v.any());
+  v.set_all();
+  EXPECT_EQ(v.count(), 70u);
+}
+
+TEST(BitVector, UnionIntersectSubtract) {
+  BitVector a(100);
+  BitVector b(100);
+  a.set(3);
+  a.set(50);
+  b.set(50);
+  b.set(99);
+  BitVector u = a;
+  u |= b;
+  EXPECT_EQ(u.count(), 3u);
+  BitVector i = a;
+  i &= b;
+  EXPECT_EQ(i.count(), 1u);
+  EXPECT_TRUE(i.test(50));
+  BitVector s = a;
+  s.subtract(b);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_TRUE(s.test(3));
+}
+
+TEST(BitVector, ForEachSetIteratesInOrder) {
+  BitVector v(200);
+  const std::vector<std::size_t> want = {1, 63, 64, 65, 128, 199};
+  for (auto i : want) v.set(i);
+  std::vector<std::size_t> got;
+  v.for_each_set([&](std::size_t i) { got.push_back(i); });
+  EXPECT_EQ(got, want);
+}
+
+TEST(BitVector, ResizeGrowWithValue) {
+  BitVector v(10);
+  v.set(9);
+  v.resize(100, true);
+  EXPECT_TRUE(v.test(9));
+  EXPECT_FALSE(v.test(0));
+  EXPECT_TRUE(v.test(10));
+  EXPECT_TRUE(v.test(99));
+  EXPECT_EQ(v.count(), 91u);
+}
+
+TEST(BitVector, EqualityIgnoresNothing) {
+  BitVector a(65);
+  BitVector b(65);
+  EXPECT_TRUE(a == b);
+  a.set(64);
+  EXPECT_FALSE(a == b);
+  b.set(64);
+  EXPECT_TRUE(a == b);
+}
+
+}  // namespace
+}  // namespace ilp

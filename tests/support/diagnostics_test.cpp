@@ -1,0 +1,32 @@
+#include "support/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ilp {
+namespace {
+
+TEST(Diagnostics, CollectsAndCountsErrors) {
+  DiagnosticEngine d;
+  EXPECT_FALSE(d.has_errors());
+  d.warning({1, 2}, "w");
+  EXPECT_FALSE(d.has_errors());
+  d.error({3, 4}, "e");
+  EXPECT_TRUE(d.has_errors());
+  ASSERT_EQ(d.all().size(), 2u);
+  EXPECT_EQ(d.all()[0].severity, Severity::Warning);
+  EXPECT_EQ(d.all()[1].severity, Severity::Error);
+}
+
+TEST(Diagnostics, RendersLocations) {
+  DiagnosticEngine d;
+  d.error({7, 12}, "bad token");
+  d.report(Severity::Note, {}, "hint");
+  const std::string s = d.to_string();
+  EXPECT_NE(s.find("7:12: error: bad token"), std::string::npos);
+  EXPECT_NE(s.find("note: hint"), std::string::npos);
+  // Locationless notes must not print "0:0".
+  EXPECT_EQ(s.find("0:0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ilp

@@ -1,0 +1,36 @@
+#include "support/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ilp {
+namespace {
+
+TEST(Strings, Format) {
+  EXPECT_EQ(strformat("x=%d y=%s", 3, "abc"), "x=3 y=abc");
+  EXPECT_EQ(strformat("%.2f", 1.5), "1.50");
+  EXPECT_EQ(strformat("empty"), "empty");
+}
+
+TEST(Strings, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hi \n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, Pad) {
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_right("abcdef", 3), "abcdef");
+}
+
+}  // namespace
+}  // namespace ilp

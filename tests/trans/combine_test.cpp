@@ -1,0 +1,226 @@
+#include "trans/combine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/fixtures.hpp"
+#include "ir/builder.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/simulator.hpp"
+
+namespace ilp {
+namespace {
+
+using ilp::testing::infinite_issue;
+
+TEST(Combine, AddAddChainCollapses) {
+  Function fn;
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg x = fn.new_int_reg();
+  const Reg a = b.iaddi(x, 4);
+  const Reg c = b.iaddi(a, 4);   // -> c = x + 8
+  const Reg d = b.isubi(c, 3);   // -> d = x + 5
+  b.ret();
+  fn.add_live_out(a);
+  fn.add_live_out(c);
+  fn.add_live_out(d);
+  fn.renumber();
+  EXPECT_GE(operation_combining(fn), 2);
+  const auto& insts = fn.blocks().front().insts;
+  EXPECT_EQ(insts[1].src1, x);
+  EXPECT_EQ(insts[1].ival, 8);
+  EXPECT_EQ(insts[2].src1, x);
+  EXPECT_EQ(insts[2].op, Opcode::IADD);
+  EXPECT_EQ(insts[2].ival, 5);
+}
+
+TEST(Combine, LoadOffsetAbsorbsIncrement) {
+  // Figure 6's first pair: r1 = r1 + 4; r2 = MEM(r1 + 8)  =>
+  // load moves above the add and reads MEM(r1 + 12).
+  Function fn;
+  fn.add_array({"A", 0, 4, 16, true});
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg r1 = fn.new_int_reg();
+  b.iaddi_to(r1, r1, 4);
+  const Reg v = b.fld(r1, 8, 0);
+  b.ret();
+  fn.add_live_out(v);
+  fn.add_live_out(r1);
+  fn.renumber();
+  EXPECT_EQ(operation_combining(fn), 1);
+  const auto& insts = fn.blocks().front().insts;
+  // Exchange happened: load first with offset 12, then the add.
+  EXPECT_EQ(insts[0].op, Opcode::FLD);
+  EXPECT_EQ(insts[0].ival, 12);
+  EXPECT_EQ(insts[1].op, Opcode::IADD);
+}
+
+TEST(Combine, FpCompareAbsorbsSubtract) {
+  // Figure 6's second pair: r3 = r2 - 3.2; blt (r3 10.0) => blt (r2 13.2).
+  Function fn;
+  IRBuilder b(fn);
+  const BlockId e = b.create_block("entry");
+  const BlockId t = b.create_block("t");
+  b.set_block(e);
+  const Reg r2 = fn.new_fp_reg();
+  const Reg r3 = b.fsubi(r2, 3.2);
+  b.brf(Opcode::FBLT, r3, 10.0, t);
+  b.ret();
+  b.set_block(t);
+  b.ret();
+  fn.add_live_out(r3);
+  fn.renumber();
+  EXPECT_EQ(operation_combining(fn), 1);
+  const Instruction& br = fn.block(e).insts[1];
+  EXPECT_EQ(br.src1, r2);
+  EXPECT_DOUBLE_EQ(br.fval, 13.2);
+}
+
+TEST(Combine, Figure6LoopDropsTo5Cycles) {
+  // The full Figure 6 example: 7 cycles/iteration before combining, 5 after
+  // (the paper's cycle label; execution-driven steady state goes from 7 to 3
+  // because the branch resolves at cycle 2 — we assert the ratio the paper
+  // cares about: combining strictly improves the loop).
+  auto measure = [](bool combine) {
+    auto run_n = [&](std::int64_t n) {
+      Function fn = ilp::testing::make_fig6_loop(n);
+      if (combine) operation_combining(fn);
+      schedule_function(fn, infinite_issue());
+      Memory mem;
+      ilp::testing::fill_fig6_memory(fn, mem, n);
+      Simulator sim(infinite_issue());
+      const SimResult r = sim.run(fn, mem);
+      EXPECT_TRUE(r.ok) << r.error;
+      return r.cycles;
+    };
+    return static_cast<double>(run_n(150) - run_n(50)) / 100.0;
+  };
+  const double before = measure(false);
+  const double after = measure(true);
+  EXPECT_DOUBLE_EQ(before, 7.0);
+  EXPECT_LE(after, 5.0);
+  EXPECT_LT(after, before);
+}
+
+TEST(Combine, MulMulChain) {
+  Function fn;
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg x = fn.new_int_reg();
+  const Reg a = b.imuli(x, 3);
+  const Reg c = b.imuli(a, 5);  // -> x * 15
+  b.ret();
+  fn.add_live_out(a);
+  fn.add_live_out(c);
+  fn.renumber();
+  EXPECT_EQ(operation_combining(fn), 1);
+  EXPECT_EQ(fn.blocks().front().insts[1].ival, 15);
+  EXPECT_EQ(fn.blocks().front().insts[1].src1, x);
+}
+
+TEST(Combine, FpMulDivPairs) {
+  Function fn;
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg x = fn.new_fp_reg();
+  const Reg a = b.fmuli(x, 8.0);
+  const Reg c = b.fdivi(a, 2.0);  // -> x * 4.0
+  b.ret();
+  fn.add_live_out(a);
+  fn.add_live_out(c);
+  fn.renumber();
+  EXPECT_EQ(operation_combining(fn), 1);
+  EXPECT_EQ(fn.blocks().front().insts[1].op, Opcode::FMUL);
+  EXPECT_DOUBLE_EQ(fn.blocks().front().insts[1].fval, 4.0);
+}
+
+TEST(Combine, DoesNotCombineAcrossClobber) {
+  Function fn;
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg x = fn.new_int_reg();
+  const Reg a = b.iaddi(x, 4);
+  b.ldi_to(x, 99);              // x redefined between producer and consumer
+  const Reg c = b.iaddi(a, 4);  // must NOT become x + 8
+  b.ret();
+  fn.add_live_out(c);
+  fn.add_live_out(x);
+  fn.renumber();
+  EXPECT_EQ(operation_combining(fn), 0);
+}
+
+TEST(Combine, MixedPrecedenceNotCombined) {
+  // add then mul cannot combine (different precedence).
+  Function fn;
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg x = fn.new_int_reg();
+  const Reg a = b.iaddi(x, 4);
+  const Reg c = b.imuli(a, 2);
+  b.ret();
+  fn.add_live_out(c);
+  fn.renumber();
+  EXPECT_EQ(operation_combining(fn), 0);
+}
+
+TEST(Combine, UnrolledCounterChainBecomesParallel) {
+  // After unrolling+renaming, the counter chain r12=r11+4; r13=r12+4;
+  // r11=r13+4 combines into independent adds off r11.
+  Function fn;
+  IRBuilder b(fn);
+  const BlockId e = b.create_block("entry");
+  b.set_block(e);
+  const Reg r11 = fn.new_int_reg();
+  const Reg r12 = b.iaddi(r11, 4);
+  const Reg r13 = b.iaddi(r12, 4);
+  const Reg r14 = b.iaddi(r13, 4);
+  b.ret();
+  fn.add_live_out(r12);
+  fn.add_live_out(r13);
+  fn.add_live_out(r14);
+  fn.renumber();
+  EXPECT_EQ(operation_combining(fn), 2);
+  const auto& insts = fn.blocks().front().insts;
+  EXPECT_EQ(insts[1].src1, r11);
+  EXPECT_EQ(insts[1].ival, 8);
+  EXPECT_EQ(insts[2].src1, r11);
+  EXPECT_EQ(insts[2].ival, 12);
+}
+
+TEST(Combine, BehaviourPreservedOnRandomizedConstants) {
+  for (int seed = 0; seed < 10; ++seed) {
+    Function fn;
+    IRBuilder b(fn);
+    b.set_block(b.create_block("entry"));
+    const Reg x = fn.new_int_reg();
+    Reg cur = x;
+    std::uint64_t s = static_cast<std::uint64_t>(seed) * 2654435761u + 17;
+    for (int i = 0; i < 6; ++i) {
+      s = s * 6364136223846793005ull + 1442695040888963407ull;
+      const std::int64_t k = static_cast<std::int64_t>(s % 37) - 18;
+      cur = (s >> 40) % 2 ? b.iaddi(cur, k) : b.isubi(cur, k);
+      fn.add_live_out(cur);
+    }
+    b.ret();
+    fn.renumber();
+    Function plain = fn;
+    operation_combining(fn);
+    EXPECT_TRUE(verify(fn).ok) << verify(fn).message;
+    SimOptions o1;
+    o1.init_ints = {1234};
+    SimOptions o2 = o1;
+    Memory m1;
+    Memory m2;
+    const SimResult r1 = Simulator(infinite_issue(), std::move(o1)).run(plain, m1);
+    const SimResult r2 = Simulator(infinite_issue(), std::move(o2)).run(fn, m2);
+    ASSERT_TRUE(r1.ok && r2.ok);
+    for (const Reg& r : plain.live_out())
+      EXPECT_EQ(r1.regs.get_int(r.id), r2.regs.get_int(r.id)) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace ilp

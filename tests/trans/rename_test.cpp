@@ -1,0 +1,159 @@
+#include "trans/rename.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "common/fixtures.hpp"
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "trans/unroll.hpp"
+
+namespace ilp {
+namespace {
+
+using ilp::testing::cycles_per_iteration;
+using ilp::testing::infinite_issue;
+
+// After renaming, no register may be defined twice in the unrolled body
+// except the loop-carried finals.
+int max_defs_in_block(const Function& fn, std::string_view name) {
+  std::unordered_map<std::uint64_t, int> defs;
+  int mx = 0;
+  for (const auto& b : fn.blocks()) {
+    if (b.name != name) continue;
+    for (const auto& in : b.insts)
+      if (in.has_dest()) mx = std::max(mx, ++defs[RegKey::key(in.dst)]);
+  }
+  return mx;
+}
+
+TEST(Rename, SplitsMultiplyDefinedRegisters) {
+  Function fn = ilp::testing::make_fig1_loop(30);
+  unroll_loops(fn, {3, 160});
+  EXPECT_GT(max_defs_in_block(fn, "L1.u"), 1);
+  EXPECT_GT(rename_registers(fn), 0);
+  EXPECT_TRUE(verify(fn).ok) << verify(fn).message;
+  EXPECT_EQ(max_defs_in_block(fn, "L1.u"), 1);
+}
+
+TEST(Rename, PreservesBehaviour) {
+  for (std::int64_t n : {1, 5, 9, 30}) {
+    Function plain = ilp::testing::make_fig1_loop(n);
+    Function ren = ilp::testing::make_fig1_loop(n);
+    unroll_loops(ren, {3, 160});
+    rename_registers(ren);
+    const RunOutcome a = run_seeded(plain, infinite_issue());
+    const RunOutcome b = run_seeded(ren, infinite_issue());
+    ASSERT_EQ(compare_observable(plain, a, b), "") << "n=" << n;
+  }
+}
+
+TEST(Rename, Figure1dReaches8CyclesPer3Iterations) {
+  // The paper's headline Figure 1 result: unroll 3x + rename + schedule
+  // -> 8 cycles / 3 iterations on the infinite-issue machine.  The figure
+  // keeps the three counter adds separate, so counter merging is disabled.
+  auto make = [](std::int64_t n) {
+    Function fn = ilp::testing::make_fig1_loop(n);
+    UnrollOptions u{3, 160};
+    u.merge_counter_updates = false;
+    unroll_loops(fn, u);
+    rename_registers(fn);
+    schedule_function(fn, infinite_issue());
+    return fn;
+  };
+  const double cpg = cycles_per_iteration(make, 51, 150, infinite_issue());
+  EXPECT_DOUBLE_EQ(cpg * 3.0, 8.0);
+}
+
+TEST(Rename, CounterMergingBeatsFigure1d) {
+  // With the Figure-5c-style merged counter the same loop reaches 7 cycles
+  // per 3 iterations — strictly better than Figure 1d's 8.
+  auto make = [](std::int64_t n) {
+    Function fn = ilp::testing::make_fig1_loop(n);
+    unroll_loops(fn, {3, 160});
+    rename_registers(fn);
+    schedule_function(fn, infinite_issue());
+    return fn;
+  };
+  const double cpg = cycles_per_iteration(make, 51, 150, infinite_issue());
+  EXPECT_LE(cpg * 3.0, 8.0);
+}
+
+TEST(Rename, WithoutRenamingUnrolledLoopStaysSerial) {
+  // Figure 1c: unrolling alone (unmerged counters) reaches only 19 cycles /
+  // 3 iterations.
+  auto make = [](std::int64_t n) {
+    Function fn = ilp::testing::make_fig1_loop(n);
+    UnrollOptions u{3, 160};
+    u.merge_counter_updates = false;
+    unroll_loops(fn, u);
+    schedule_function(fn, infinite_issue());
+    return fn;
+  };
+  const double cpg = cycles_per_iteration(make, 51, 150, infinite_issue());
+  EXPECT_GE(cpg * 3.0, 17.0);
+  EXPECT_LE(cpg * 3.0, 19.0);
+}
+
+TEST(Rename, SkipsRegistersLiveAtSideExits) {
+  // x is updated twice in the loop and read at the side-exit target: renaming
+  // must leave it alone or the early exit observes a stale name.
+  Function fn;
+  IRBuilder b(fn);
+  const BlockId e = b.create_block("entry");
+  const BlockId loop = b.create_block("loop");
+  const BlockId out = b.create_block("out");
+  const BlockId tail = b.create_block("tail");
+  b.set_block(e);
+  const Reg i = b.ldi(0);
+  const Reg x = b.ldi(0);
+  b.jump(loop);
+  b.set_block(loop);
+  b.iaddi_to(x, x, 1);
+  b.bri(Opcode::BGT, x, 13, out);  // side exit reading nothing, but x live at out
+  b.iaddi_to(x, x, 1);
+  b.iaddi_to(i, i, 1);
+  b.bri(Opcode::BLT, i, 50, loop);
+  b.set_block(tail);
+  b.jump(out);
+  b.set_block(out);
+  const Reg y = b.iaddi(x, 100);
+  b.ret();
+  fn.add_live_out(y);
+  fn.add_live_out(x);
+  fn.renumber();
+
+  Function plain = fn;
+  rename_registers(fn);
+  EXPECT_TRUE(verify(fn).ok) << verify(fn).message;
+  const RunOutcome a = run_seeded(plain, infinite_issue());
+  const RunOutcome c = run_seeded(fn, infinite_issue());
+  EXPECT_EQ(compare_observable(plain, a, c), "");
+}
+
+TEST(Rename, LoopCarriedFinalLandsInOriginalRegister) {
+  Function fn = ilp::testing::make_fig1_loop(30);
+  unroll_loops(fn, {3, 160});
+  // r1 (the address IV) is carried; find it as the branch source before
+  // renaming, and verify the last def of the unrolled body still writes it.
+  const Block* main = nullptr;
+  for (const auto& b : fn.blocks())
+    if (b.name == "L1.u") main = &b;
+  ASSERT_NE(main, nullptr);
+  const Reg iv = main->insts.back().src1;
+  rename_registers(fn);
+  const Block* main2 = nullptr;
+  for (const auto& b : fn.blocks())
+    if (b.name == "L1.u") main2 = &b;
+  int defs_of_iv = 0;
+  for (const auto& in : main2->insts)
+    if (in.writes(iv)) ++defs_of_iv;
+  EXPECT_EQ(defs_of_iv, 1);  // exactly the final def
+  EXPECT_EQ(main2->insts.back().src1, iv);  // branch still tests it
+}
+
+}  // namespace
+}  // namespace ilp

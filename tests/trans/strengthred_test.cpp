@@ -1,0 +1,209 @@
+#include "trans/strengthred.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/fixtures.hpp"
+#include "ir/builder.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "sim/simulator.hpp"
+
+namespace ilp {
+namespace {
+
+using ilp::testing::infinite_issue;
+
+int count_op(const Function& fn, Opcode op) {
+  int n = 0;
+  for (const auto& b : fn.blocks())
+    for (const auto& in : b.insts)
+      if (in.op == op) ++n;
+  return n;
+}
+
+// Builds r = x <op> C, reduces, and evaluates both for the given inputs.
+struct ReducedEval {
+  std::int64_t plain = 0;
+  std::int64_t reduced = 0;
+  bool did_reduce = false;
+};
+
+ReducedEval eval(Opcode op, std::int64_t c, std::int64_t x) {
+  auto build = [&]() {
+    Function fn;
+    IRBuilder b(fn);
+    b.set_block(b.create_block("entry"));
+    const Reg xr = fn.new_int_reg();
+    const Reg r = fn.new_int_reg();
+    b.append(make_binary_imm(op, r, xr, c));
+    b.ret();
+    fn.add_live_out(r);
+    fn.renumber();
+    return std::pair<Function, Reg>(std::move(fn), r);
+  };
+  auto [plain, pr] = build();
+  auto [red, rr] = build();
+  const int n = strength_reduction(red);
+  EXPECT_TRUE(verify(red).ok) << verify(red).message;
+
+  auto run = [&](const Function& f, const Reg& out_reg) {
+    SimOptions o;
+    o.init_ints = {x};
+    Memory mem;
+    const SimResult r = Simulator(infinite_issue(), std::move(o)).run(f, mem);
+    EXPECT_TRUE(r.ok) << r.error;
+    return r.regs.get_int(out_reg.id);
+  };
+  ReducedEval out;
+  out.plain = run(plain, pr);
+  out.reduced = run(red, rr);
+  out.did_reduce = n > 0;
+  return out;
+}
+
+const std::int64_t kProbes[] = {0,      1,       -1,      2,     -2,    7,
+                                -7,     100,     -100,    4095,  -4096, 123456789,
+                                -987654321, INT64_MAX, INT64_MIN + 1, INT64_MIN};
+
+TEST(StrengthRed, MulByPowerOfTwo) {
+  for (std::int64_t c : {std::int64_t{2}, std::int64_t{4}, std::int64_t{8},
+                         std::int64_t{1024}, std::int64_t{1} << 40}) {
+    for (std::int64_t x : kProbes) {
+      const ReducedEval e = eval(Opcode::IMUL, c, x);
+      EXPECT_TRUE(e.did_reduce) << c;
+      EXPECT_EQ(e.plain, e.reduced) << "c=" << c << " x=" << x;
+    }
+  }
+}
+
+TEST(StrengthRed, MulByTwoTermConstants) {
+  for (std::int64_t c : {3, 5, 6, 7, 9, 10, 12, 15, 17, 24, 31, 33, 48, 96, 255}) {
+    for (std::int64_t x : kProbes) {
+      const ReducedEval e = eval(Opcode::IMUL, c, x);
+      EXPECT_TRUE(e.did_reduce) << c;
+      EXPECT_EQ(e.plain, e.reduced) << "c=" << c << " x=" << x;
+    }
+  }
+}
+
+TEST(StrengthRed, MulByNegativeAndOddConstants) {
+  // -2 and -8 reduce (shift+neg); dense-bit constants like 11 may not.
+  for (std::int64_t c : {-2, -8, -1}) {
+    for (std::int64_t x : kProbes) {
+      const ReducedEval e = eval(Opcode::IMUL, c, x);
+      EXPECT_TRUE(e.did_reduce) << c;
+      EXPECT_EQ(e.plain, e.reduced) << "c=" << c << " x=" << x;
+    }
+  }
+  // Whatever happens for hard constants, semantics must hold.
+  for (std::int64_t c : {11, 37, -37, 1000003}) {
+    for (std::int64_t x : kProbes) {
+      const ReducedEval e = eval(Opcode::IMUL, c, x);
+      EXPECT_EQ(e.plain, e.reduced) << "c=" << c << " x=" << x;
+    }
+  }
+}
+
+TEST(StrengthRed, DivByPowerOfTwoMatchesTruncatingDivision) {
+  for (std::int64_t c : {std::int64_t{2}, std::int64_t{4}, std::int64_t{8},
+                         std::int64_t{64}, std::int64_t{4096}, std::int64_t{1} << 32}) {
+    for (std::int64_t x : kProbes) {
+      const ReducedEval e = eval(Opcode::IDIV, c, x);
+      EXPECT_TRUE(e.did_reduce) << c;
+      EXPECT_EQ(e.plain, e.reduced) << "c=" << c << " x=" << x;
+    }
+  }
+}
+
+TEST(StrengthRed, DivByNegativePowerOfTwo) {
+  for (std::int64_t c : {-2, -16, -1024}) {
+    for (std::int64_t x : kProbes) {
+      const ReducedEval e = eval(Opcode::IDIV, c, x);
+      EXPECT_TRUE(e.did_reduce) << c;
+      EXPECT_EQ(e.plain, e.reduced) << "c=" << c << " x=" << x;
+    }
+  }
+}
+
+TEST(StrengthRed, DivByMagicConstants) {
+  for (std::int64_t c : {3, 5, 7, 9, 10, 11, 12, 25, 100, 1000, 1000003, -3, -7, -100}) {
+    for (std::int64_t x : kProbes) {
+      const ReducedEval e = eval(Opcode::IDIV, c, x);
+      EXPECT_TRUE(e.did_reduce) << c;
+      EXPECT_EQ(e.plain, e.reduced) << "c=" << c << " x=" << x;
+    }
+  }
+}
+
+TEST(StrengthRed, DivMagicRandomSweep) {
+  std::uint64_t s = 0x123456789abcdefull;
+  for (int i = 0; i < 2000; ++i) {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    std::int64_t c = static_cast<std::int64_t>(s >> 20) % 100000;
+    if (c == 0 || c == 1 || c == -1) c = 3;
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    const std::int64_t x = static_cast<std::int64_t>(s);
+    const ReducedEval e = eval(Opcode::IDIV, c, x);
+    ASSERT_EQ(e.plain, e.reduced) << "c=" << c << " x=" << x;
+  }
+}
+
+TEST(StrengthRed, RemByPowerOfTwo) {
+  for (std::int64_t c : {2, 8, 256, -2, -64}) {
+    for (std::int64_t x : kProbes) {
+      const ReducedEval e = eval(Opcode::IREM, c, x);
+      EXPECT_TRUE(e.did_reduce) << c;
+      EXPECT_EQ(e.plain, e.reduced) << "c=" << c << " x=" << x;
+    }
+  }
+}
+
+TEST(StrengthRed, ReducedCodeContainsNoDivide) {
+  Function fn;
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg x = fn.new_int_reg();
+  const Reg q = b.idivi(x, 10);
+  const Reg m = b.iremi(x, 8);
+  const Reg p = b.imuli(x, 40);
+  b.ret();
+  fn.add_live_out(q);
+  fn.add_live_out(m);
+  fn.add_live_out(p);
+  fn.renumber();
+  EXPECT_EQ(strength_reduction(fn), 3);
+  EXPECT_EQ(count_op(fn, Opcode::IDIV), 0);
+  EXPECT_EQ(count_op(fn, Opcode::IREM), 0);
+  EXPECT_EQ(count_op(fn, Opcode::IMUL), 0);
+}
+
+TEST(StrengthRed, OptionsDisableEachReduction) {
+  StrengthRedOptions off;
+  off.reduce_mul = off.reduce_div_pow2 = off.reduce_rem_pow2 = off.reduce_div_magic = false;
+  Function fn;
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg x = fn.new_int_reg();
+  const Reg q = b.idivi(x, 10);
+  b.ret();
+  fn.add_live_out(q);
+  fn.renumber();
+  EXPECT_EQ(strength_reduction(fn, off), 0);
+  EXPECT_EQ(count_op(fn, Opcode::IDIV), 1);
+}
+
+TEST(StrengthRed, DoesNotTouchRegisterOperands) {
+  Function fn;
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg x = fn.new_int_reg();
+  const Reg y = fn.new_int_reg();
+  const Reg q = b.idiv(x, y);
+  b.ret();
+  fn.add_live_out(q);
+  fn.renumber();
+  EXPECT_EQ(strength_reduction(fn), 0);
+}
+
+}  // namespace
+}  // namespace ilp

@@ -1,0 +1,139 @@
+#include "trans/swp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/fixtures.hpp"
+#include "frontend/compile.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "trans/level.hpp"
+#include "workloads/suite.hpp"
+
+namespace ilp {
+namespace {
+
+using ilp::testing::cycles_per_iteration;
+using ilp::testing::infinite_issue;
+
+TEST(Swp, ShiftsFig1LoopAndPreservesBehaviour) {
+  for (std::int64_t n : {1, 2, 3, 5, 9, 30}) {
+    Function plain = ilp::testing::make_fig1_loop(n);
+    Function swp = ilp::testing::make_fig1_loop(n);
+    const SwpResult r = software_pipeline(swp, infinite_issue());
+    EXPECT_EQ(r.loops_pipelined, 1);
+    EXPECT_TRUE(verify(swp).ok) << verify(swp).message;
+    const RunOutcome a = run_seeded(plain, infinite_issue());
+    const RunOutcome b = run_seeded(swp, infinite_issue());
+    ASSERT_EQ(compare_observable(plain, a, b), "") << "n=" << n << "\n" << to_string(swp);
+  }
+}
+
+TEST(Swp, TwoStagePipelineBeatsPlainScheduleOnFig1) {
+  // Fig 1's body is a 7-cycle chain; overlapping halves of consecutive
+  // iterations should cut the steady-state initiation interval.
+  auto plain = [](std::int64_t n) {
+    Function fn = ilp::testing::make_fig1_loop(n);
+    schedule_function(fn, infinite_issue());
+    return fn;
+  };
+  auto swp = [](std::int64_t n) {
+    Function fn = ilp::testing::make_fig1_loop(n);
+    software_pipeline(fn, infinite_issue());
+    schedule_function(fn, infinite_issue());
+    return fn;
+  };
+  const double c_plain = cycles_per_iteration(plain, 64, 256, infinite_issue());
+  const double c_swp = cycles_per_iteration(swp, 64, 256, infinite_issue());
+  EXPECT_DOUBLE_EQ(c_plain, 7.0);
+  EXPECT_LT(c_swp, c_plain);
+}
+
+TEST(Swp, DeeperPipelinesKeepImprovingOrHold) {
+  auto cpi_at = [](int stages) {
+    auto make = [stages](std::int64_t n) {
+      Function fn = ilp::testing::make_fig1_loop(n);
+      SwpOptions o;
+      o.stages = stages;
+      software_pipeline(fn, infinite_issue(), o);
+      schedule_function(fn, infinite_issue());
+      return fn;
+    };
+    return cycles_per_iteration(make, 64, 256, infinite_issue());
+  };
+  const double s2 = cpi_at(2);
+  const double s3 = cpi_at(3);
+  const double s4 = cpi_at(4);
+  EXPECT_LE(s3, s2 + 1e-9);
+  EXPECT_LE(s4, s3 + 1e-9);
+  EXPECT_LT(s4, 7.0);
+}
+
+TEST(Swp, ThreeStageBehaviourPreserved) {
+  for (std::int64_t n : {1, 2, 3, 4, 7, 20}) {
+    Function plain = ilp::testing::make_fig1_loop(n);
+    Function swp = ilp::testing::make_fig1_loop(n);
+    SwpOptions o;
+    o.stages = 4;
+    software_pipeline(swp, infinite_issue(), o);
+    EXPECT_TRUE(verify(swp).ok) << verify(swp).message;
+    const RunOutcome a = run_seeded(plain, infinite_issue());
+    const RunOutcome b = run_seeded(swp, infinite_issue());
+    ASSERT_EQ(compare_observable(plain, a, b), "") << "n=" << n;
+  }
+}
+
+TEST(Swp, SkipsUncountedAndSideExitLoops) {
+  Function fig6 = ilp::testing::make_fig6_loop(10);
+  const SwpResult r = software_pipeline(fig6, infinite_issue());
+  EXPECT_EQ(r.loops_pipelined, 0);  // data-dependent exit: not counted
+}
+
+TEST(Swp, AccumulatorLoopStaysCorrect) {
+  for (std::int64_t n : {1, 2, 5, 24}) {
+    Function plain = ilp::testing::make_fig3_loop(n);
+    Function swp = ilp::testing::make_fig3_loop(n);
+    software_pipeline(swp, infinite_issue());
+    EXPECT_TRUE(verify(swp).ok) << verify(swp).message;
+    const RunOutcome a = run_seeded(plain, infinite_issue());
+    const RunOutcome b = run_seeded(swp, infinite_issue());
+    ASSERT_EQ(compare_observable(plain, a, b), "") << "n=" << n;
+  }
+}
+
+TEST(Swp, ComposesWithLev4AcrossSuiteSubset) {
+  // The paper's open question: do the ILP transformations still help under
+  // software pipelining?  At minimum the composition must stay correct.
+  const MachineModel m8 = MachineModel::issue(8);
+  for (const char* name : {"add", "dotprod", "matrix300-1", "SDS-4", "NAS-2"}) {
+    const Workload* w = find_workload(name);
+    DiagnosticEngine d0;
+    auto base = dsl::compile(w->source, d0);
+    const RunOutcome want = run_seeded(base->fn, m8);
+
+    DiagnosticEngine d1;
+    auto opt = dsl::compile(w->source, d1);
+    CompileOptions copts;
+    copts.schedule = false;
+    compile_at_level(opt->fn, OptLevel::Lev4, m8, copts);
+    software_pipeline(opt->fn, m8);
+    schedule_function(opt->fn, m8);
+    EXPECT_TRUE(verify(opt->fn).ok) << name;
+    const RunOutcome got = run_seeded(opt->fn, m8);
+    ASSERT_EQ(compare_observable(base->fn, want, got, 1e-6), "") << name;
+  }
+}
+
+TEST(Swp, FallbackPathHandlesTinyTrips) {
+  // T == 1 must take the guard to the original loop.
+  Function plain = ilp::testing::make_fig1_loop(1);
+  Function swp = ilp::testing::make_fig1_loop(1);
+  software_pipeline(swp, infinite_issue());
+  const RunOutcome a = run_seeded(plain, infinite_issue());
+  const RunOutcome b = run_seeded(swp, infinite_issue());
+  EXPECT_EQ(compare_observable(plain, a, b), "");
+}
+
+}  // namespace
+}  // namespace ilp

@@ -1,0 +1,347 @@
+#include "trans/treeheight.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "common/fixtures.hpp"
+#include "ir/builder.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "opt/dce.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/simulator.hpp"
+
+namespace ilp {
+namespace {
+
+using ilp::testing::infinite_issue;
+
+// Cycle at which the function's first live-out fp register becomes ready,
+// relative to the first arithmetic issue (constants excluded).
+std::uint64_t result_ready_cycle(Function fn) {
+  fn.renumber();
+  std::vector<IssueEvent> trace;
+  SimOptions opts;
+  opts.trace = &trace;
+  Memory mem;
+  Simulator sim(infinite_issue(), std::move(opts));
+  const SimResult r = sim.run(fn, mem);
+  EXPECT_TRUE(r.ok) << r.error;
+  // Locate the instruction writing the live-out register last, and the first
+  // non-constant arithmetic issue.
+  const Reg out = fn.live_out().front();
+  std::unordered_map<std::uint32_t, std::uint64_t> cycle_of;
+  for (const auto& ev : trace) cycle_of.emplace(ev.uid, ev.cycle);
+  std::uint64_t ready = 0;
+  std::uint64_t first_arith = UINT64_MAX;
+  const MachineModel m = infinite_issue();
+  for (const auto& b : fn.blocks()) {
+    for (const auto& in : b.insts) {
+      const auto it = cycle_of.find(in.uid);
+      if (it == cycle_of.end()) continue;
+      const std::uint64_t cyc = it->second;
+      if (op_is_binary_arith(in.op)) first_arith = std::min(first_arith, cyc);
+      if (in.has_dest() && in.dst == out)
+        ready = std::max(ready, cyc + static_cast<std::uint64_t>(m.latency(in.op)));
+    }
+  }
+  return ready - first_arith;
+}
+
+TEST(TreeHeight, Figure7DropsFrom22To13Cycles) {
+  Function plain = ilp::testing::make_fig7_expr();
+  EXPECT_EQ(result_ready_cycle(plain), 22u);
+
+  Function reduced = ilp::testing::make_fig7_expr();
+  EXPECT_EQ(tree_height_reduction(reduced), 1);
+  EXPECT_TRUE(verify(reduced).ok) << verify(reduced).message;
+  dead_code_elimination(reduced);
+  schedule_function(reduced, infinite_issue());
+  EXPECT_EQ(result_ready_cycle(reduced), 13u) << to_string(reduced);
+}
+
+TEST(TreeHeight, Figure7ValuePreserved) {
+  Function plain = ilp::testing::make_fig7_expr();
+  Function reduced = ilp::testing::make_fig7_expr();
+  tree_height_reduction(reduced);
+  dead_code_elimination(reduced);
+  const RunOutcome a = run_seeded(plain, infinite_issue());
+  const RunOutcome b = run_seeded(reduced, infinite_issue());
+  EXPECT_EQ(compare_observable(plain, a, b, 1e-12), "");
+}
+
+TEST(TreeHeight, LongAddChainBalances) {
+  // sum of 8 leaves: chain height 7*3=21 cycles; balanced: 3*3=9.
+  auto make = [](bool reduce) {
+    Function fn;
+    IRBuilder b(fn);
+    b.set_block(b.create_block("entry"));
+    std::vector<Reg> leaves;
+    for (int i = 0; i < 8; ++i) leaves.push_back(b.fldi(1.0 + i));
+    Reg acc = leaves[0];
+    for (int i = 1; i < 8; ++i) acc = b.fadd(acc, leaves[static_cast<std::size_t>(i)]);
+    b.ret();
+    fn.add_live_out(acc);
+    fn.renumber();
+    if (reduce) {
+      EXPECT_GE(tree_height_reduction(fn), 1);
+      dead_code_elimination(fn);
+      schedule_function(fn, ilp::testing::infinite_issue());
+    }
+    return fn;
+  };
+  EXPECT_EQ(result_ready_cycle(make(false)), 21u);
+  EXPECT_EQ(result_ready_cycle(make(true)), 9u);
+  // Value identical (integer-valued doubles: exact under reassociation).
+  const RunOutcome a = run_seeded(make(false), infinite_issue());
+  const RunOutcome b = run_seeded(make(true), infinite_issue());
+  EXPECT_EQ(compare_observable(make(false), a, b, 1e-12), "");
+}
+
+TEST(TreeHeight, SubtractionSignsPreserved) {
+  // a - b + c - d - e  with distinctive values.
+  auto make = [](bool reduce) {
+    Function fn;
+    IRBuilder b(fn);
+    b.set_block(b.create_block("entry"));
+    const Reg a = b.fldi(100.0);
+    const Reg b2 = b.fldi(7.0);
+    const Reg c = b.fldi(31.0);
+    const Reg d = b.fldi(2.0);
+    const Reg e = b.fldi(1.0);
+    Reg t = b.fsub(a, b2);
+    t = b.fadd(t, c);
+    t = b.fsub(t, d);
+    t = b.fsub(t, e);
+    b.ret();
+    fn.add_live_out(t);
+    fn.renumber();
+    if (reduce) {
+      tree_height_reduction(fn);
+      dead_code_elimination(fn);
+    }
+    return fn;
+  };
+  Function r = make(true);
+  Memory mem;
+  Simulator sim(infinite_issue());
+  const SimResult res = sim.run(r, mem);
+  ASSERT_TRUE(res.ok);
+  EXPECT_DOUBLE_EQ(res.regs.get_fp(r.live_out()[0].id), 121.0);
+}
+
+TEST(TreeHeight, IntegerChainsBalanceExactly) {
+  auto make = [](bool reduce) {
+    Function fn;
+    IRBuilder b(fn);
+    b.set_block(b.create_block("entry"));
+    const Reg x = fn.new_int_reg();
+    Reg t = b.iaddi(x, 3);
+    t = b.iadd(t, x);
+    t = b.isubi(t, 7);
+    t = b.iadd(t, x);
+    b.ret();
+    fn.add_live_out(t);
+    fn.renumber();
+    if (reduce) {
+      tree_height_reduction(fn);
+      dead_code_elimination(fn);
+    }
+    return fn;
+  };
+  for (std::int64_t x : {0, 5, -13, 1 << 20}) {
+    SimOptions o1, o2;
+    o1.init_ints = {x};
+    o2.init_ints = {x};
+    Memory m1, m2;
+    Function f1 = make(false);
+    Function f2 = make(true);
+    const SimResult r1 = Simulator(infinite_issue(), std::move(o1)).run(f1, m1);
+    const SimResult r2 = Simulator(infinite_issue(), std::move(o2)).run(f2, m2);
+    ASSERT_TRUE(r1.ok && r2.ok);
+    EXPECT_EQ(r1.regs.get_int(f1.live_out()[0].id), r2.regs.get_int(f2.live_out()[0].id))
+        << "x=" << x;
+  }
+}
+
+TEST(TreeHeight, MultiUseIntermediateBecomesLeafBoundary) {
+  // t = a + b is used twice: the second tree must treat t as a leaf and the
+  // rebuild must not delete or duplicate it incorrectly.
+  Function fn;
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg a = b.fldi(1.0);
+  const Reg c = b.fldi(2.0);
+  const Reg t = b.fadd(a, c);
+  Reg u = b.fadd(t, a);
+  u = b.fadd(u, c);
+  u = b.fadd(u, t);  // t used twice overall
+  b.ret();
+  fn.add_live_out(u);
+  fn.add_live_out(t);
+  fn.renumber();
+  Function plain = fn;
+  tree_height_reduction(fn);
+  EXPECT_TRUE(verify(fn).ok) << verify(fn).message;
+  dead_code_elimination(fn);
+  const RunOutcome x = run_seeded(plain, infinite_issue());
+  const RunOutcome y = run_seeded(fn, infinite_issue());
+  EXPECT_EQ(compare_observable(plain, x, y, 1e-12), "");
+}
+
+TEST(TreeHeight, DoesNotFireBelowThreeLeaves) {
+  Function fn;
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg a = b.fldi(1.0);
+  const Reg c = b.fldi(2.0);
+  const Reg t = b.fadd(a, c);
+  b.ret();
+  fn.add_live_out(t);
+  fn.renumber();
+  EXPECT_EQ(tree_height_reduction(fn), 0);
+}
+
+TEST(TreeHeight, LeafClobberBetweenChainAndRootBlocksRebuild) {
+  // The leaf register is redefined mid-chain; rebuilding at the root would
+  // read the wrong value, so the pass must skip the tree.
+  Function fn;
+  IRBuilder b(fn);
+  b.set_block(b.create_block("entry"));
+  const Reg a = fn.new_fp_reg();
+  const Reg c = fn.new_fp_reg();
+  const Reg d = fn.new_fp_reg();
+  Reg t = b.fadd(a, c);
+  b.fldi_to(a, 99.0);  // clobber a
+  t = b.fadd(t, d);
+  t = b.fadd(t, a);    // reads the NEW a; absorbing old reads would break
+  b.ret();
+  fn.add_live_out(t);
+  fn.renumber();
+  Function plain = fn;
+  tree_height_reduction(fn);
+  EXPECT_TRUE(verify(fn).ok);
+  SimOptions o1, o2;
+  o1.init_fps = {1.0, 2.0, 3.0};
+  o2.init_fps = {1.0, 2.0, 3.0};
+  Memory m1, m2;
+  const SimResult r1 = Simulator(infinite_issue(), std::move(o1)).run(plain, m1);
+  const SimResult r2 = Simulator(infinite_issue(), std::move(o2)).run(fn, m2);
+  ASSERT_TRUE(r1.ok && r2.ok);
+  EXPECT_DOUBLE_EQ(r1.regs.get_fp(plain.live_out()[0].id),
+                   r2.regs.get_fp(fn.live_out()[0].id));
+}
+
+TEST(TreeHeight, LatencyWeightedModeDelaysSlowLeaves) {
+  // d = x/y (ready late) feeds a sum of five terms.  Equal-latency balancing
+  // may pair d early; the latency-weighted mode (paper future work) keeps it
+  // for the final add, cutting the expression's completion time.
+  auto make = [](bool weighted) {
+    Function fn;
+    IRBuilder b(fn);
+    b.set_block(b.create_block("entry"));
+    const Reg x = b.fldi(40.0);
+    const Reg y = b.fldi(4.0);
+    const Reg d = b.fdiv(x, y);
+    const Reg a = b.fldi(1.0);
+    const Reg c = b.fldi(2.0);
+    const Reg e = b.fldi(3.0);
+    const Reg f = b.fldi(4.5);
+    Reg t = b.fadd(d, a);
+    t = b.fadd(t, c);
+    t = b.fadd(t, e);
+    t = b.fadd(t, f);
+    b.ret();
+    fn.add_live_out(t);
+    fn.renumber();
+    TreeHeightOptions opts;
+    opts.latency_weighted = weighted;
+    opts.machine = ilp::testing::infinite_issue();
+    EXPECT_GE(tree_height_reduction(fn, opts), 1);
+    dead_code_elimination(fn);
+    schedule_function(fn, ilp::testing::infinite_issue());
+    return fn;
+  };
+  const std::uint64_t plain_cycles = result_ready_cycle(make(false));
+  const std::uint64_t weighted_cycles = result_ready_cycle(make(true));
+  EXPECT_LE(weighted_cycles, plain_cycles);
+  // Both modes compute the same value.
+  Function w = make(true);
+  Memory mem;
+  const SimResult r = Simulator(infinite_issue()).run(w, mem);
+  ASSERT_TRUE(r.ok);
+  EXPECT_DOUBLE_EQ(r.regs.get_fp(w.live_out()[0].id), 40.0 / 4.0 + 1.0 + 2.0 + 3.0 + 4.5);
+}
+
+TEST(TreeHeight, LatencyWeightedPreservesRandomizedSums) {
+  // Weighted balancing over mixed add/sub chains with in-block mul/div
+  // leaves must stay value-correct.
+  for (int seed = 1; seed <= 8; ++seed) {
+    Function fn;
+    IRBuilder b(fn);
+    b.set_block(b.create_block("entry"));
+    std::uint64_t s = static_cast<std::uint64_t>(seed) * 0x9e3779b97f4a7c15ull;
+    auto rnd = [&]() {
+      s = s * 6364136223846793005ull + 1442695040888963407ull;
+      return (s >> 33) % 7;
+    };
+    std::vector<Reg> leaves;
+    for (int i = 0; i < 6; ++i) {
+      const Reg k = b.fldi(1.0 + static_cast<double>(rnd()));
+      if (rnd() < 2) {
+        const Reg k2 = b.fldi(2.0 + static_cast<double>(rnd()));
+        leaves.push_back(rnd() < 3 ? b.fmul(k, k2) : b.fdiv(k, k2));
+      } else {
+        leaves.push_back(k);
+      }
+    }
+    Reg t = leaves[0];
+    for (std::size_t i = 1; i < leaves.size(); ++i)
+      t = rnd() < 2 ? b.fsub(t, leaves[i]) : b.fadd(t, leaves[i]);
+    b.ret();
+    fn.add_live_out(t);
+    fn.renumber();
+    Function plain = fn;
+    TreeHeightOptions opts;
+    opts.latency_weighted = true;
+    opts.machine = infinite_issue();
+    tree_height_reduction(fn, opts);
+    dead_code_elimination(fn);
+    const RunOutcome a = run_seeded(plain, infinite_issue());
+    const RunOutcome c = run_seeded(fn, infinite_issue());
+    ASSERT_EQ(compare_observable(plain, a, c, 1e-12), "") << "seed=" << seed;
+  }
+}
+
+TEST(TreeHeight, DivisionHeavyExpression) {
+  // (a/b)/(c/d) style chains reassociate into mul/div combinations.
+  auto make = [](bool reduce) {
+    Function fn;
+    IRBuilder b(fn);
+    b.set_block(b.create_block("entry"));
+    const Reg a = b.fldi(40.0);
+    const Reg b2 = b.fldi(2.0);
+    const Reg c = b.fldi(5.0);
+    const Reg d = b.fldi(4.0);
+    Reg t = b.fdiv(a, b2);
+    t = b.fdiv(t, c);
+    t = b.fmul(t, d);
+    b.ret();
+    fn.add_live_out(t);
+    fn.renumber();
+    if (reduce) {
+      tree_height_reduction(fn);
+      dead_code_elimination(fn);
+    }
+    return fn;
+  };
+  Function f = make(true);
+  Memory mem;
+  const SimResult r = Simulator(infinite_issue()).run(f, mem);
+  ASSERT_TRUE(r.ok);
+  EXPECT_NEAR(r.regs.get_fp(f.live_out()[0].id), 16.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ilp

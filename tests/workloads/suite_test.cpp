@@ -1,0 +1,138 @@
+// Validates the reconstructed Table 2 suite: every workload's published
+// attributes (size, iterations, nest depth, type, conds) must match what the
+// front end actually sees in its source, and every workload must compile,
+// run, and survive all optimization levels unchanged.
+#include "workloads/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include "frontend/compile.hpp"
+#include "frontend/parser.hpp"
+#include "ir/verifier.hpp"
+#include "sim/simulator.hpp"
+#include "trans/level.hpp"
+
+namespace ilp {
+namespace {
+
+TEST(Suite, HasExactlyFortyNests) { EXPECT_EQ(workload_suite().size(), 40u); }
+
+TEST(Suite, GroupBreakdownMatchesTable2) {
+  int perfect = 0;
+  int spec = 0;
+  int vec = 0;
+  for (const auto& w : workload_suite()) {
+    if (w.group == "PERFECT") ++perfect;
+    if (w.group == "SPEC") ++spec;
+    if (w.group == "VECTOR") ++vec;
+  }
+  EXPECT_EQ(perfect, 29);
+  EXPECT_EQ(spec, 6);
+  EXPECT_EQ(vec, 5);
+}
+
+TEST(Suite, TypeDistributionMatchesTable2) {
+  int doall = 0;
+  int doacross = 0;
+  int serial = 0;
+  for (const auto& w : workload_suite()) {
+    switch (w.type) {
+      case dsl::LoopType::DoAll: ++doall; break;
+      case dsl::LoopType::DoAcross: ++doacross; break;
+      case dsl::LoopType::Serial: ++serial; break;
+    }
+  }
+  // Table 2: 18 DOALL, 6 DOACROSS, 16 serial.
+  EXPECT_EQ(doall, 18);
+  EXPECT_EQ(doacross, 6);
+  EXPECT_EQ(serial, 16);
+}
+
+TEST(Suite, MetadataMatchesClassifier) {
+  for (const auto& w : workload_suite()) {
+    DiagnosticEngine diags;
+    const auto ast = dsl::parse(w.source, diags);
+    ASSERT_TRUE(ast.has_value()) << w.name << "\n" << diags.to_string();
+    const auto loops = dsl::classify_innermost_loops(*ast);
+    ASSERT_EQ(loops.size(), 1u) << w.name << ": exactly one innermost loop expected";
+    const auto& l = loops[0];
+    EXPECT_EQ(l.body_stmts, w.size) << w.name << " Size";
+    EXPECT_EQ(l.nest_depth, w.nest) << w.name << " Nest";
+    EXPECT_EQ(l.type, w.type) << w.name << " Type: classifier says "
+                              << dsl::loop_type_name(l.type);
+    EXPECT_EQ(l.has_conds, w.conds) << w.name << " Conds";
+  }
+}
+
+TEST(Suite, InnerTripCountsMatchTable2) {
+  for (const auto& w : workload_suite()) {
+    DiagnosticEngine diags;
+    const auto ast = dsl::parse(w.source, diags);
+    ASSERT_TRUE(ast.has_value()) << w.name;
+    // Find the innermost loop and check (hi - lo)/step + 1.
+    const dsl::Stmt* loop = nullptr;
+    std::vector<const dsl::Stmt*> work;
+    for (const auto& s : ast->stmts) work.push_back(s.get());
+    while (!work.empty()) {
+      const dsl::Stmt* s = work.back();
+      work.pop_back();
+      if (s->kind != dsl::StmtKind::Loop) continue;
+      bool inner = true;
+      for (const auto& c : s->body) {
+        if (c->kind == dsl::StmtKind::Loop) {
+          inner = false;
+          work.push_back(c.get());
+        }
+      }
+      if (inner) loop = s;
+    }
+    ASSERT_NE(loop, nullptr) << w.name;
+    ASSERT_EQ(loop->lo->kind, dsl::ExprKind::IntConst) << w.name;
+    ASSERT_EQ(loop->hi->kind, dsl::ExprKind::IntConst) << w.name;
+    const std::int64_t trips = (loop->hi->ival - loop->lo->ival) / loop->step + 1;
+    EXPECT_EQ(trips, w.iters) << w.name;
+  }
+}
+
+TEST(Suite, AllWorkloadsCompileAndRun) {
+  for (const auto& w : workload_suite()) {
+    DiagnosticEngine diags;
+    auto r = dsl::compile(w.source, diags);
+    ASSERT_TRUE(r.has_value()) << w.name << "\n" << diags.to_string();
+    EXPECT_TRUE(verify(r->fn).ok) << w.name;
+    const RunOutcome out = run_seeded(r->fn, MachineModel::issue(8));
+    EXPECT_TRUE(out.result.ok) << w.name << ": " << out.result.error;
+    EXPECT_GT(out.result.instructions, 0u) << w.name;
+  }
+}
+
+TEST(Suite, EveryLevelPreservesEveryWorkload) {
+  // The global differential test: all 40 nests, all 5 levels, issue-8.
+  const MachineModel m8 = MachineModel::issue(8);
+  for (const auto& w : workload_suite()) {
+    DiagnosticEngine d0;
+    auto base = dsl::compile(w.source, d0);
+    ASSERT_TRUE(base.has_value()) << w.name;
+    const RunOutcome want = run_seeded(base->fn, m8);
+    ASSERT_TRUE(want.result.ok) << w.name;
+    for (OptLevel lvl : {OptLevel::Conv, OptLevel::Lev1, OptLevel::Lev2, OptLevel::Lev3,
+                         OptLevel::Lev4}) {
+      DiagnosticEngine d1;
+      auto r = dsl::compile(w.source, d1);
+      ASSERT_TRUE(r.has_value());
+      compile_at_level(r->fn, lvl, m8);
+      const RunOutcome got = run_seeded(r->fn, m8);
+      ASSERT_EQ(compare_observable(base->fn, want, got, 1e-6), "")
+          << w.name << " at " << level_name(lvl);
+    }
+  }
+}
+
+TEST(Suite, FindWorkload) {
+  EXPECT_NE(find_workload("dotprod"), nullptr);
+  EXPECT_EQ(find_workload("dotprod")->iters, 1024);
+  EXPECT_EQ(find_workload("nope"), nullptr);
+}
+
+}  // namespace
+}  // namespace ilp
