@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_13_doall.dir/bench_fig12_13_doall.cpp.o"
+  "CMakeFiles/bench_fig12_13_doall.dir/bench_fig12_13_doall.cpp.o.d"
+  "bench_fig12_13_doall"
+  "bench_fig12_13_doall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_13_doall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

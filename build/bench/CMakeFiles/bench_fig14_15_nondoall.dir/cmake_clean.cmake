@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_15_nondoall.dir/bench_fig14_15_nondoall.cpp.o"
+  "CMakeFiles/bench_fig14_15_nondoall.dir/bench_fig14_15_nondoall.cpp.o.d"
+  "bench_fig14_15_nondoall"
+  "bench_fig14_15_nondoall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_15_nondoall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

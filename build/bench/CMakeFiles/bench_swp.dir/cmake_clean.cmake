@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_swp.dir/bench_swp.cpp.o"
+  "CMakeFiles/bench_swp.dir/bench_swp.cpp.o.d"
+  "bench_swp"
+  "bench_swp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_swp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

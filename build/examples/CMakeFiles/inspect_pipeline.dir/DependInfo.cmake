@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/inspect_pipeline.cpp" "examples/CMakeFiles/inspect_pipeline.dir/inspect_pipeline.cpp.o" "gcc" "examples/CMakeFiles/inspect_pipeline.dir/inspect_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/ilp_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ilp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/ilp_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/trans/CMakeFiles/ilp_trans.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ilp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/regalloc/CMakeFiles/ilp_regalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ilp_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ilp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ilp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/ilp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ilp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ilp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

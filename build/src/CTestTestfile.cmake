@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ir")
+subdirs("machine")
+subdirs("sim")
+subdirs("analysis")
+subdirs("opt")
+subdirs("trans")
+subdirs("sched")
+subdirs("regalloc")
+subdirs("frontend")
+subdirs("workloads")
+subdirs("harness")
+subdirs("tools")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/addresses.cpp" "src/analysis/CMakeFiles/ilp_analysis.dir/addresses.cpp.o" "gcc" "src/analysis/CMakeFiles/ilp_analysis.dir/addresses.cpp.o.d"
+  "/root/repo/src/analysis/cfg.cpp" "src/analysis/CMakeFiles/ilp_analysis.dir/cfg.cpp.o" "gcc" "src/analysis/CMakeFiles/ilp_analysis.dir/cfg.cpp.o.d"
+  "/root/repo/src/analysis/depgraph.cpp" "src/analysis/CMakeFiles/ilp_analysis.dir/depgraph.cpp.o" "gcc" "src/analysis/CMakeFiles/ilp_analysis.dir/depgraph.cpp.o.d"
+  "/root/repo/src/analysis/dominators.cpp" "src/analysis/CMakeFiles/ilp_analysis.dir/dominators.cpp.o" "gcc" "src/analysis/CMakeFiles/ilp_analysis.dir/dominators.cpp.o.d"
+  "/root/repo/src/analysis/liveness.cpp" "src/analysis/CMakeFiles/ilp_analysis.dir/liveness.cpp.o" "gcc" "src/analysis/CMakeFiles/ilp_analysis.dir/liveness.cpp.o.d"
+  "/root/repo/src/analysis/loops.cpp" "src/analysis/CMakeFiles/ilp_analysis.dir/loops.cpp.o" "gcc" "src/analysis/CMakeFiles/ilp_analysis.dir/loops.cpp.o.d"
+  "/root/repo/src/analysis/reaching.cpp" "src/analysis/CMakeFiles/ilp_analysis.dir/reaching.cpp.o" "gcc" "src/analysis/CMakeFiles/ilp_analysis.dir/reaching.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ilp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/ilp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ilp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

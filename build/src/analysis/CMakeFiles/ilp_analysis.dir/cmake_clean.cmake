@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_analysis.dir/addresses.cpp.o"
+  "CMakeFiles/ilp_analysis.dir/addresses.cpp.o.d"
+  "CMakeFiles/ilp_analysis.dir/cfg.cpp.o"
+  "CMakeFiles/ilp_analysis.dir/cfg.cpp.o.d"
+  "CMakeFiles/ilp_analysis.dir/depgraph.cpp.o"
+  "CMakeFiles/ilp_analysis.dir/depgraph.cpp.o.d"
+  "CMakeFiles/ilp_analysis.dir/dominators.cpp.o"
+  "CMakeFiles/ilp_analysis.dir/dominators.cpp.o.d"
+  "CMakeFiles/ilp_analysis.dir/liveness.cpp.o"
+  "CMakeFiles/ilp_analysis.dir/liveness.cpp.o.d"
+  "CMakeFiles/ilp_analysis.dir/loops.cpp.o"
+  "CMakeFiles/ilp_analysis.dir/loops.cpp.o.d"
+  "CMakeFiles/ilp_analysis.dir/reaching.cpp.o"
+  "CMakeFiles/ilp_analysis.dir/reaching.cpp.o.d"
+  "libilp_analysis.a"
+  "libilp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_frontend.dir/classify.cpp.o"
+  "CMakeFiles/ilp_frontend.dir/classify.cpp.o.d"
+  "CMakeFiles/ilp_frontend.dir/compile.cpp.o"
+  "CMakeFiles/ilp_frontend.dir/compile.cpp.o.d"
+  "CMakeFiles/ilp_frontend.dir/lexer.cpp.o"
+  "CMakeFiles/ilp_frontend.dir/lexer.cpp.o.d"
+  "CMakeFiles/ilp_frontend.dir/parser.cpp.o"
+  "CMakeFiles/ilp_frontend.dir/parser.cpp.o.d"
+  "libilp_frontend.a"
+  "libilp_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_harness.dir/experiment.cpp.o"
+  "CMakeFiles/ilp_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/ilp_harness.dir/report.cpp.o"
+  "CMakeFiles/ilp_harness.dir/report.cpp.o.d"
+  "libilp_harness.a"
+  "libilp_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

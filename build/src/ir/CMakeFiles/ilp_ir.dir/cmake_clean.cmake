@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_ir.dir/builder.cpp.o"
+  "CMakeFiles/ilp_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/ilp_ir.dir/function.cpp.o"
+  "CMakeFiles/ilp_ir.dir/function.cpp.o.d"
+  "CMakeFiles/ilp_ir.dir/opcode.cpp.o"
+  "CMakeFiles/ilp_ir.dir/opcode.cpp.o.d"
+  "CMakeFiles/ilp_ir.dir/printer.cpp.o"
+  "CMakeFiles/ilp_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/ilp_ir.dir/verifier.cpp.o"
+  "CMakeFiles/ilp_ir.dir/verifier.cpp.o.d"
+  "libilp_ir.a"
+  "libilp_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_machine.dir/machine.cpp.o"
+  "CMakeFiles/ilp_machine.dir/machine.cpp.o.d"
+  "libilp_machine.a"
+  "libilp_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

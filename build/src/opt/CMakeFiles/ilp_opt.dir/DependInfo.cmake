@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/constprop.cpp" "src/opt/CMakeFiles/ilp_opt.dir/constprop.cpp.o" "gcc" "src/opt/CMakeFiles/ilp_opt.dir/constprop.cpp.o.d"
+  "/root/repo/src/opt/copyprop.cpp" "src/opt/CMakeFiles/ilp_opt.dir/copyprop.cpp.o" "gcc" "src/opt/CMakeFiles/ilp_opt.dir/copyprop.cpp.o.d"
+  "/root/repo/src/opt/cse.cpp" "src/opt/CMakeFiles/ilp_opt.dir/cse.cpp.o" "gcc" "src/opt/CMakeFiles/ilp_opt.dir/cse.cpp.o.d"
+  "/root/repo/src/opt/dce.cpp" "src/opt/CMakeFiles/ilp_opt.dir/dce.cpp.o" "gcc" "src/opt/CMakeFiles/ilp_opt.dir/dce.cpp.o.d"
+  "/root/repo/src/opt/ivopt.cpp" "src/opt/CMakeFiles/ilp_opt.dir/ivopt.cpp.o" "gcc" "src/opt/CMakeFiles/ilp_opt.dir/ivopt.cpp.o.d"
+  "/root/repo/src/opt/licm.cpp" "src/opt/CMakeFiles/ilp_opt.dir/licm.cpp.o" "gcc" "src/opt/CMakeFiles/ilp_opt.dir/licm.cpp.o.d"
+  "/root/repo/src/opt/pipeline.cpp" "src/opt/CMakeFiles/ilp_opt.dir/pipeline.cpp.o" "gcc" "src/opt/CMakeFiles/ilp_opt.dir/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/ilp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ilp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/ilp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ilp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_opt.dir/constprop.cpp.o"
+  "CMakeFiles/ilp_opt.dir/constprop.cpp.o.d"
+  "CMakeFiles/ilp_opt.dir/copyprop.cpp.o"
+  "CMakeFiles/ilp_opt.dir/copyprop.cpp.o.d"
+  "CMakeFiles/ilp_opt.dir/cse.cpp.o"
+  "CMakeFiles/ilp_opt.dir/cse.cpp.o.d"
+  "CMakeFiles/ilp_opt.dir/dce.cpp.o"
+  "CMakeFiles/ilp_opt.dir/dce.cpp.o.d"
+  "CMakeFiles/ilp_opt.dir/ivopt.cpp.o"
+  "CMakeFiles/ilp_opt.dir/ivopt.cpp.o.d"
+  "CMakeFiles/ilp_opt.dir/licm.cpp.o"
+  "CMakeFiles/ilp_opt.dir/licm.cpp.o.d"
+  "CMakeFiles/ilp_opt.dir/pipeline.cpp.o"
+  "CMakeFiles/ilp_opt.dir/pipeline.cpp.o.d"
+  "libilp_opt.a"
+  "libilp_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/regalloc/assign.cpp" "src/regalloc/CMakeFiles/ilp_regalloc.dir/assign.cpp.o" "gcc" "src/regalloc/CMakeFiles/ilp_regalloc.dir/assign.cpp.o.d"
+  "/root/repo/src/regalloc/regalloc.cpp" "src/regalloc/CMakeFiles/ilp_regalloc.dir/regalloc.cpp.o" "gcc" "src/regalloc/CMakeFiles/ilp_regalloc.dir/regalloc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/ilp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ilp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/ilp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ilp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_regalloc.dir/assign.cpp.o"
+  "CMakeFiles/ilp_regalloc.dir/assign.cpp.o.d"
+  "CMakeFiles/ilp_regalloc.dir/regalloc.cpp.o"
+  "CMakeFiles/ilp_regalloc.dir/regalloc.cpp.o.d"
+  "libilp_regalloc.a"
+  "libilp_regalloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_regalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

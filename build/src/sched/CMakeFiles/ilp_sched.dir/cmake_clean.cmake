@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/ilp_sched.dir/scheduler.cpp.o.d"
+  "libilp_sched.a"
+  "libilp_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_sim.dir/simulator.cpp.o"
+  "CMakeFiles/ilp_sim.dir/simulator.cpp.o.d"
+  "libilp_sim.a"
+  "libilp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

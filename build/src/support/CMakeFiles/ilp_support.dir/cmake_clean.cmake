@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_support.dir/bitvector.cpp.o"
+  "CMakeFiles/ilp_support.dir/bitvector.cpp.o.d"
+  "CMakeFiles/ilp_support.dir/diagnostics.cpp.o"
+  "CMakeFiles/ilp_support.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/ilp_support.dir/strings.cpp.o"
+  "CMakeFiles/ilp_support.dir/strings.cpp.o.d"
+  "libilp_support.a"
+  "libilp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

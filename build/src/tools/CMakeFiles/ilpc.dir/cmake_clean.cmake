@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilpc.dir/ilpc.cpp.o"
+  "CMakeFiles/ilpc.dir/ilpc.cpp.o.d"
+  "ilpc"
+  "ilpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

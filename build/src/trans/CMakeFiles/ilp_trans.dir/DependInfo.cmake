@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trans/accexpand.cpp" "src/trans/CMakeFiles/ilp_trans.dir/accexpand.cpp.o" "gcc" "src/trans/CMakeFiles/ilp_trans.dir/accexpand.cpp.o.d"
+  "/root/repo/src/trans/combine.cpp" "src/trans/CMakeFiles/ilp_trans.dir/combine.cpp.o" "gcc" "src/trans/CMakeFiles/ilp_trans.dir/combine.cpp.o.d"
+  "/root/repo/src/trans/expand_common.cpp" "src/trans/CMakeFiles/ilp_trans.dir/expand_common.cpp.o" "gcc" "src/trans/CMakeFiles/ilp_trans.dir/expand_common.cpp.o.d"
+  "/root/repo/src/trans/indexpand.cpp" "src/trans/CMakeFiles/ilp_trans.dir/indexpand.cpp.o" "gcc" "src/trans/CMakeFiles/ilp_trans.dir/indexpand.cpp.o.d"
+  "/root/repo/src/trans/level.cpp" "src/trans/CMakeFiles/ilp_trans.dir/level.cpp.o" "gcc" "src/trans/CMakeFiles/ilp_trans.dir/level.cpp.o.d"
+  "/root/repo/src/trans/rename.cpp" "src/trans/CMakeFiles/ilp_trans.dir/rename.cpp.o" "gcc" "src/trans/CMakeFiles/ilp_trans.dir/rename.cpp.o.d"
+  "/root/repo/src/trans/searchexpand.cpp" "src/trans/CMakeFiles/ilp_trans.dir/searchexpand.cpp.o" "gcc" "src/trans/CMakeFiles/ilp_trans.dir/searchexpand.cpp.o.d"
+  "/root/repo/src/trans/strengthred.cpp" "src/trans/CMakeFiles/ilp_trans.dir/strengthred.cpp.o" "gcc" "src/trans/CMakeFiles/ilp_trans.dir/strengthred.cpp.o.d"
+  "/root/repo/src/trans/swp.cpp" "src/trans/CMakeFiles/ilp_trans.dir/swp.cpp.o" "gcc" "src/trans/CMakeFiles/ilp_trans.dir/swp.cpp.o.d"
+  "/root/repo/src/trans/treeheight.cpp" "src/trans/CMakeFiles/ilp_trans.dir/treeheight.cpp.o" "gcc" "src/trans/CMakeFiles/ilp_trans.dir/treeheight.cpp.o.d"
+  "/root/repo/src/trans/tripcount.cpp" "src/trans/CMakeFiles/ilp_trans.dir/tripcount.cpp.o" "gcc" "src/trans/CMakeFiles/ilp_trans.dir/tripcount.cpp.o.d"
+  "/root/repo/src/trans/unroll.cpp" "src/trans/CMakeFiles/ilp_trans.dir/unroll.cpp.o" "gcc" "src/trans/CMakeFiles/ilp_trans.dir/unroll.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/opt/CMakeFiles/ilp_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ilp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ilp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ilp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/ilp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ilp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_trans.dir/accexpand.cpp.o"
+  "CMakeFiles/ilp_trans.dir/accexpand.cpp.o.d"
+  "CMakeFiles/ilp_trans.dir/combine.cpp.o"
+  "CMakeFiles/ilp_trans.dir/combine.cpp.o.d"
+  "CMakeFiles/ilp_trans.dir/expand_common.cpp.o"
+  "CMakeFiles/ilp_trans.dir/expand_common.cpp.o.d"
+  "CMakeFiles/ilp_trans.dir/indexpand.cpp.o"
+  "CMakeFiles/ilp_trans.dir/indexpand.cpp.o.d"
+  "CMakeFiles/ilp_trans.dir/level.cpp.o"
+  "CMakeFiles/ilp_trans.dir/level.cpp.o.d"
+  "CMakeFiles/ilp_trans.dir/rename.cpp.o"
+  "CMakeFiles/ilp_trans.dir/rename.cpp.o.d"
+  "CMakeFiles/ilp_trans.dir/searchexpand.cpp.o"
+  "CMakeFiles/ilp_trans.dir/searchexpand.cpp.o.d"
+  "CMakeFiles/ilp_trans.dir/strengthred.cpp.o"
+  "CMakeFiles/ilp_trans.dir/strengthred.cpp.o.d"
+  "CMakeFiles/ilp_trans.dir/swp.cpp.o"
+  "CMakeFiles/ilp_trans.dir/swp.cpp.o.d"
+  "CMakeFiles/ilp_trans.dir/treeheight.cpp.o"
+  "CMakeFiles/ilp_trans.dir/treeheight.cpp.o.d"
+  "CMakeFiles/ilp_trans.dir/tripcount.cpp.o"
+  "CMakeFiles/ilp_trans.dir/tripcount.cpp.o.d"
+  "CMakeFiles/ilp_trans.dir/unroll.cpp.o"
+  "CMakeFiles/ilp_trans.dir/unroll.cpp.o.d"
+  "libilp_trans.a"
+  "libilp_trans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_trans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_workloads.dir/suite.cpp.o"
+  "CMakeFiles/ilp_workloads.dir/suite.cpp.o.d"
+  "libilp_workloads.a"
+  "libilp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trans/combine_test.cpp" "tests/CMakeFiles/trans_test.dir/trans/combine_test.cpp.o" "gcc" "tests/CMakeFiles/trans_test.dir/trans/combine_test.cpp.o.d"
+  "/root/repo/tests/trans/expand_test.cpp" "tests/CMakeFiles/trans_test.dir/trans/expand_test.cpp.o" "gcc" "tests/CMakeFiles/trans_test.dir/trans/expand_test.cpp.o.d"
+  "/root/repo/tests/trans/level_test.cpp" "tests/CMakeFiles/trans_test.dir/trans/level_test.cpp.o" "gcc" "tests/CMakeFiles/trans_test.dir/trans/level_test.cpp.o.d"
+  "/root/repo/tests/trans/rename_test.cpp" "tests/CMakeFiles/trans_test.dir/trans/rename_test.cpp.o" "gcc" "tests/CMakeFiles/trans_test.dir/trans/rename_test.cpp.o.d"
+  "/root/repo/tests/trans/strengthred_test.cpp" "tests/CMakeFiles/trans_test.dir/trans/strengthred_test.cpp.o" "gcc" "tests/CMakeFiles/trans_test.dir/trans/strengthred_test.cpp.o.d"
+  "/root/repo/tests/trans/swp_test.cpp" "tests/CMakeFiles/trans_test.dir/trans/swp_test.cpp.o" "gcc" "tests/CMakeFiles/trans_test.dir/trans/swp_test.cpp.o.d"
+  "/root/repo/tests/trans/treeheight_test.cpp" "tests/CMakeFiles/trans_test.dir/trans/treeheight_test.cpp.o" "gcc" "tests/CMakeFiles/trans_test.dir/trans/treeheight_test.cpp.o.d"
+  "/root/repo/tests/trans/unroll_test.cpp" "tests/CMakeFiles/trans_test.dir/trans/unroll_test.cpp.o" "gcc" "tests/CMakeFiles/trans_test.dir/trans/unroll_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/ilp_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ilp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/ilp_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/trans/CMakeFiles/ilp_trans.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ilp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/regalloc/CMakeFiles/ilp_regalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ilp_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ilp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ilp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/ilp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ilp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ilp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

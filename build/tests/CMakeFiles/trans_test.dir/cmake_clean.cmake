@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trans_test.dir/trans/combine_test.cpp.o"
+  "CMakeFiles/trans_test.dir/trans/combine_test.cpp.o.d"
+  "CMakeFiles/trans_test.dir/trans/expand_test.cpp.o"
+  "CMakeFiles/trans_test.dir/trans/expand_test.cpp.o.d"
+  "CMakeFiles/trans_test.dir/trans/level_test.cpp.o"
+  "CMakeFiles/trans_test.dir/trans/level_test.cpp.o.d"
+  "CMakeFiles/trans_test.dir/trans/rename_test.cpp.o"
+  "CMakeFiles/trans_test.dir/trans/rename_test.cpp.o.d"
+  "CMakeFiles/trans_test.dir/trans/strengthred_test.cpp.o"
+  "CMakeFiles/trans_test.dir/trans/strengthred_test.cpp.o.d"
+  "CMakeFiles/trans_test.dir/trans/swp_test.cpp.o"
+  "CMakeFiles/trans_test.dir/trans/swp_test.cpp.o.d"
+  "CMakeFiles/trans_test.dir/trans/treeheight_test.cpp.o"
+  "CMakeFiles/trans_test.dir/trans/treeheight_test.cpp.o.d"
+  "CMakeFiles/trans_test.dir/trans/unroll_test.cpp.o"
+  "CMakeFiles/trans_test.dir/trans/unroll_test.cpp.o.d"
+  "trans_test"
+  "trans_test.pdb"
+  "trans_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trans_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
