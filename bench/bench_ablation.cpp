@@ -32,7 +32,8 @@ double mean_speedup_with(const TransformSet& set) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ilp::bench::init(argc, argv);
   using namespace ilp;
   bench::print_header("Ablation: per-transformation contribution at issue-8");
 
@@ -79,5 +80,6 @@ int main() {
       "applied transformation; accumulator and search expansion give the "
       "largest speedups beyond unrolling/renaming; strength reduction is the "
       "least effective under these latencies.");
+  ilp::bench::finish();
   return 0;
 }

@@ -41,7 +41,8 @@ void report(const char* figure, const char* what,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ilp::bench::init(argc, argv);
   using namespace ilp;
   bench::print_header(
       "Figures 1/3/5/6/7: worked examples, cycles per innermost iteration "
@@ -118,5 +119,6 @@ loop i = 0 to %lld {
       "factors (8x) and extra transformations can beat the figures' 3x "
       "illustrations.  Exact figure-for-figure issue-time checks live in "
       "tests/sim/figures_test.cpp and the transformation tests.");
+  ilp::bench::finish();
   return 0;
 }

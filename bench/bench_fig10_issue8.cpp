@@ -1,7 +1,8 @@
 // Regenerates Figure 10: speedup distribution for an issue-8 processor.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ilp::bench::init(argc, argv);
   using namespace ilp;
   bench::print_header("Figure 10: speedup distribution, issue-8 processor");
   const StudyResult& s = bench::study();
@@ -14,5 +15,6 @@ int main() {
       "Paper averages for issue-8: Lev3 = 5.10, Lev4 = 6.68 (Section 3.2); "
       "unrolling+renaming alone average 5.1 with the advanced transformations "
       "adding the rest (Section 4).");
+  ilp::bench::finish();
   return 0;
 }

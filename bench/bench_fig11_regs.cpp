@@ -2,7 +2,8 @@
 // loop nest) for the issue-8 configuration at each level.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ilp::bench::init(argc, argv);
   using namespace ilp;
   bench::print_header("Figure 11: register usage distribution, issue-8 processor");
   const StudyResult& s = bench::study();
@@ -22,5 +23,6 @@ int main() {
       "Paper: averages 28 (Lev1) -> 57 (Lev2) -> 65 (Lev3) -> 71 (Lev4); the "
       "largest increase comes from register renaming, and Lev3/Lev4 are "
       "register-efficient ways to expose further ILP.");
+  ilp::bench::finish();
   return 0;
 }

@@ -2,7 +2,8 @@
 // the DOALL loops only, issue-8 processor.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ilp::bench::init(argc, argv);
   using namespace ilp;
   bench::print_header("Figures 12-13: DOALL loops only, issue-8 processor");
   const StudyResult& s = bench::study();
@@ -24,5 +25,6 @@ int main() {
       "usage rises sharply with renaming.  'In general, though, "
       "transformations beyond loop unrolling and register renaming are not "
       "profitable for DOALL loops.'");
+  ilp::bench::finish();
   return 0;
 }

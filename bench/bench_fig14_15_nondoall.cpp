@@ -3,7 +3,8 @@
 #include "bench_common.hpp"
 #include "frontend/parser.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ilp::bench::init(argc, argv);
   using namespace ilp;
   bench::print_header("Figures 14-15: non-DOALL loops only, issue-8 processor");
   const StudyResult& s = bench::study();
@@ -46,5 +47,6 @@ int main() {
       "transformations (Lev4), which remove the loop's recurrences; Lev3 "
       "alone helps only a little.  Register usage stays below the DOALL "
       "loops' (less overlap among unrolled bodies).");
+  ilp::bench::finish();
   return 0;
 }

@@ -2,7 +2,8 @@
 // processor at transformation levels Conv..Lev4.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ilp::bench::init(argc, argv);
   using namespace ilp;
   bench::print_header("Figure 8: speedup distribution, issue-2 processor");
   const StudyResult& s = bench::study();
@@ -15,5 +16,6 @@ int main() {
       "For an issue-2 processor, loop unrolling and register renaming are "
       "sufficient compiler transformations to fully utilize the processor "
       "resources (Section 3.2): Lev3/Lev4 should add little over Lev2 here.");
+  ilp::bench::finish();
   return 0;
 }

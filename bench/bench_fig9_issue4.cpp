@@ -1,7 +1,8 @@
 // Regenerates Figure 9: speedup distribution for an issue-4 processor.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ilp::bench::init(argc, argv);
   using namespace ilp;
   bench::print_header("Figure 9: speedup distribution, issue-4 processor");
   const StudyResult& s = bench::study();
@@ -24,5 +25,6 @@ int main() {
   std::printf("\nper-loop speedups (issue-4):\n%s", render_speedup_table(s, 2).c_str());
   bench::paper_note(
       "Paper averages for issue-4: Lev3 = 3.73, Lev4 = 4.35 (Section 3.2).");
+  ilp::bench::finish();
   return 0;
 }

@@ -54,7 +54,8 @@ Row measure(int k) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ilp::bench::init(argc, argv);
   using namespace ilp;
   bench::print_header(
       "Register pressure: issue-8 Lev4 mean speedup vs. register file size");
@@ -76,5 +77,6 @@ int main() {
       "so the 128-row should match 'unlimited'; the knee below it shows what "
       "the paper's 'production compiler can control register usage with "
       "Lev3/Lev4' remark is protecting against.");
+  ilp::bench::finish();
   return 0;
 }

@@ -1,7 +1,8 @@
 // Regenerates the paper's Section 4 headline numbers side by side with ours.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ilp::bench::init(argc, argv);
   using namespace ilp;
   bench::print_header("Section 4 summary: paper vs. this reproduction");
   const StudyResult& s = bench::study();
@@ -32,5 +33,6 @@ int main() {
       "Absolute speedups depend on the reconstructed loop bodies; the claims "
       "to check are the orderings: Lev2 >> Conv, Lev4 >> Lev2 for non-DOALL, "
       "Lev4 ~ Lev2 for DOALL at low issue, and the ~2-3x register growth.");
+  ilp::bench::finish();
   return 0;
 }

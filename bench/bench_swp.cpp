@@ -43,7 +43,8 @@ double mean_speedup(OptLevel level, int stages) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ilp::bench::init(argc, argv);
   using namespace ilp;
   bench::print_header(
       "Software pipelining (loop shifting) x transformation level, issue-8");
@@ -60,5 +61,6 @@ int main() {
       "question: the ILP transformations and software pipelining attack the "
       "same recurrences, and the expansions still matter because pipelining "
       "alone cannot break an accumulator's dependence chain.");
+  ilp::bench::finish();
   return 0;
 }

@@ -2,11 +2,13 @@
 // classifier re-deriving Type/Conds from each reconstructed source.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ilp::bench::init(argc, argv);
   ilp::bench::print_header("Table 2: description of the 40 loop nests");
   std::printf("%s", ilp::render_table2().c_str());
   ilp::bench::paper_note(
       "Loop nests reconstructed to match the published Size/Iters/Nest/Type/"
       "Conds attributes; see DESIGN.md for the substitution rationale.");
+  ilp::bench::finish();
   return 0;
 }

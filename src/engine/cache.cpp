@@ -1,0 +1,133 @@
+#include "engine/cache.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace ilp::engine {
+
+std::uint64_t fnv1a(const void* data, std::size_t n, std::uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+HashStream& HashStream::bytes(const void* data, std::size_t n) {
+  h_ = fnv1a(data, n, h_);
+  return *this;
+}
+
+HashStream& HashStream::str(std::string_view s) {
+  u64(s.size());
+  return bytes(s.data(), s.size());
+}
+
+HashStream& HashStream::u64(std::uint64_t v) {
+  unsigned char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
+  return bytes(buf, sizeof buf);
+}
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::string ResultCache::path_for(std::uint64_t key) const {
+  char name[32];
+  std::snprintf(name, sizeof name, "%016llx.cell",
+                static_cast<unsigned long long>(key));
+  return dir_ + "/" + name;
+}
+
+std::optional<std::string> ResultCache::lookup(std::uint64_t key) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = mem_.find(key);
+    if (it != mem_.end()) {
+      ++stats_.hits;
+      return it->second;
+    }
+  }
+  if (!dir_.empty()) {
+    std::ifstream in(path_for(key), std::ios::binary);
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      std::string payload = ss.str();
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.disk_hits;
+      mem_.emplace(key, payload);
+      return payload;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void ResultCache::store(std::uint64_t key, std::string_view payload) {
+  bool write_disk = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.stores;
+    mem_.insert_or_assign(key, std::string(payload));
+    if (!dir_.empty()) {
+      if (!dir_ready_) {
+        std::error_code ec;
+        std::filesystem::create_directories(dir_, ec);
+        dir_ready_ = !ec || std::filesystem::is_directory(dir_, ec);
+      }
+      write_disk = dir_ready_;
+    }
+  }
+  if (write_disk) {
+    // Write-then-rename so concurrent readers never see a torn file.  The
+    // temp name is keyed by thread to avoid collisions between writers.
+    const std::string final_path = path_for(key);
+    std::ostringstream tmp;
+    tmp << final_path << ".tmp." << std::hash<std::thread::id>{}(std::this_thread::get_id());
+    {
+      std::ofstream out(tmp.str(), std::ios::binary | std::ios::trunc);
+      if (!out) return;
+      out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+      if (!out) return;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp.str(), final_path, ec);
+    if (ec) std::filesystem::remove(tmp.str(), ec);
+  }
+}
+
+void ResultCache::invalidate(std::uint64_t key) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.invalid;
+    mem_.erase(key);
+  }
+  if (!dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove(path_for(key), ec);
+  }
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return mem_.size();
+}
+
+void ResultCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  mem_.clear();
+  stats_ = CacheStats{};
+}
+
+}  // namespace ilp::engine

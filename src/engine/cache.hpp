@@ -1,0 +1,105 @@
+// Content-addressed result cache for the experiment engine.
+//
+// Every (workload source, transformation level, machine configuration,
+// compile options) cell of the study is deterministic: same inputs, same
+// cycles and register counts.  The cache exploits that with two tiers:
+//
+//   * an in-memory map, shared by all jobs of a process (thread-safe), and
+//   * an optional on-disk tier (one small text file per key under a caller
+//     supplied directory, `--cache-dir` in the benches), which makes re-runs
+//     of unchanged cells near-free *across* bench binaries and processes.
+//
+// Keys are 64-bit FNV-1a digests of the full key material, built with
+// HashStream so every field is length-delimited (no concatenation
+// ambiguity).  Payloads are opaque strings; the harness owns their schema
+// and embeds a format version so stale disk entries are ignored, not
+// misread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include <mutex>
+
+namespace ilp::engine {
+
+// --- FNV-1a ----------------------------------------------------------------
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+[[nodiscard]] std::uint64_t fnv1a(const void* data, std::size_t n,
+                                  std::uint64_t seed = kFnvOffsetBasis);
+
+// Incremental, field-delimited hasher: each value is prefixed with its
+// length (or a fixed-width tag), so ("ab","c") and ("a","bc") differ.
+class HashStream {
+ public:
+  HashStream& bytes(const void* data, std::size_t n);
+  HashStream& str(std::string_view s);
+  HashStream& u64(std::uint64_t v);
+  HashStream& i64(std::int64_t v) { return u64(static_cast<std::uint64_t>(v)); }
+  HashStream& i32(std::int32_t v) { return u64(static_cast<std::uint64_t>(v)); }
+  HashStream& boolean(bool v) { return u64(v ? 1 : 0); }
+  [[nodiscard]] std::uint64_t digest() const { return h_; }
+
+ private:
+  std::uint64_t h_ = kFnvOffsetBasis;
+};
+
+// --- Result cache ----------------------------------------------------------
+
+struct CacheStats {
+  std::uint64_t hits = 0;       // in-memory hits
+  std::uint64_t disk_hits = 0;  // misses served from the disk tier
+  std::uint64_t misses = 0;     // full misses (caller must compute)
+  std::uint64_t invalid = 0;    // hits whose payload the caller rejected
+  std::uint64_t stores = 0;
+
+  [[nodiscard]] std::uint64_t total_hits() const { return hits + disk_hits - invalid; }
+  [[nodiscard]] std::uint64_t lookups() const { return hits + disk_hits + misses; }
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t n = lookups();
+    return n == 0 ? 0.0 : static_cast<double>(total_hits()) / static_cast<double>(n);
+  }
+};
+
+class ResultCache {
+ public:
+  // dir == "" keeps the cache memory-only.  The directory is created on
+  // first store; an unwritable directory degrades to memory-only silently
+  // (the cache is an optimization, never a correctness dependency).
+  explicit ResultCache(std::string dir = "");
+
+  // Returns the payload, or nullopt on a full miss.  A disk-tier hit is
+  // promoted into the memory tier.
+  [[nodiscard]] std::optional<std::string> lookup(std::uint64_t key);
+
+  void store(std::uint64_t key, std::string_view payload);
+
+  // Reclassifies a hit whose payload the caller could not decode (stale or
+  // corrupted entry): counts it as invalid, evicts it from the memory tier
+  // and deletes the disk file so the poisoned entry cannot re-promote.
+  void invalidate(std::uint64_t key);
+
+  [[nodiscard]] CacheStats stats() const;
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+  [[nodiscard]] std::size_t size() const;
+
+  void clear();  // memory tier + stats only; disk entries are left alone
+
+ private:
+  [[nodiscard]] std::string path_for(std::uint64_t key) const;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::string> mem_;
+  std::string dir_;
+  CacheStats stats_;
+  bool dir_ready_ = false;
+};
+
+}  // namespace ilp::engine

@@ -1,0 +1,59 @@
+#include "engine/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ilp::engine {
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry reg;
+  return reg;
+}
+
+void MetricsRegistry::add_time(std::string_view name, std::uint64_t ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricStat& s = stats_[std::string(name)];
+  ++s.count;
+  s.total_ns += ns;
+}
+
+void MetricsRegistry::add_count(std::string_view name, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_[std::string(name)].count += delta;
+}
+
+std::vector<std::pair<std::string, MetricStat>> MetricsRegistry::snapshot() const {
+  std::vector<std::pair<std::string, MetricStat>> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.assign(stats_.begin(), stats_.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+std::string MetricsRegistry::to_json(int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  std::string out = "{\n";
+  const auto snap = snapshot();
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "%s  \"%s\": {\"count\": %llu, \"total_ms\": %.3f, \"mean_us\": %.3f}%s\n",
+                  pad.c_str(), snap[i].first.c_str(),
+                  static_cast<unsigned long long>(snap[i].second.count),
+                  snap[i].second.total_ms(), snap[i].second.mean_us(),
+                  i + 1 < snap.size() ? "," : "");
+    out += line;
+  }
+  out += pad + "}";
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.clear();
+}
+
+}  // namespace ilp::engine

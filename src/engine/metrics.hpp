@@ -1,0 +1,95 @@
+// Telemetry counters and timers for the experiment engine.
+//
+// A process-wide MetricsRegistry accumulates named statistics from any
+// thread: pass wall times (hooked into compile_at_level via ScopedPassTimer),
+// per-job durations, cache hit/miss counters, queue depths.  Snapshots are
+// name-sorted so exported JSON is deterministic for a given set of values;
+// the *values* are wall-clock measurements and therefore intentionally live
+// outside the deterministic study JSON (StudyResult::to_json) — they are
+// exported separately (telemetry_json, --metrics).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace ilp::engine {
+
+struct MetricStat {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;  // 0 for pure counters
+
+  [[nodiscard]] double total_ms() const { return static_cast<double>(total_ns) / 1e6; }
+  [[nodiscard]] double mean_us() const {
+    return count == 0 ? 0.0 : static_cast<double>(total_ns) / 1e3 / static_cast<double>(count);
+  }
+};
+
+class MetricsRegistry {
+ public:
+  // The process-wide registry used by the pass-timing hooks.
+  static MetricsRegistry& global();
+
+  // Adds one timed sample (count += 1, total_ns += ns).
+  void add_time(std::string_view name, std::uint64_t ns);
+  // Adds to a pure counter.
+  void add_count(std::string_view name, std::uint64_t delta = 1);
+
+  // Name-sorted snapshot.
+  [[nodiscard]] std::vector<std::pair<std::string, MetricStat>> snapshot() const;
+  [[nodiscard]] std::string to_json(int indent = 0) const;
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, MetricStat> stats_;
+};
+
+// Times a scope and records it into a registry (the global one by default).
+// Used inside compile_at_level for per-pass wall times: the names form the
+// "pass.<name>" namespace of the telemetry output.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string_view name,
+                       MetricsRegistry& reg = MetricsRegistry::global())
+      : reg_(reg), name_(name), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    reg_.add_time(name_, static_cast<std::uint64_t>(ns));
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  MetricsRegistry& reg_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Monotonic wall-clock helper for coarse phase timing.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  [[nodiscard]] std::uint64_t micros() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace ilp::engine

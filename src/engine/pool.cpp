@@ -1,0 +1,75 @@
+#include "engine/pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ilp::engine {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::enqueue(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) throw std::runtime_error("ThreadPool::submit after shutdown");
+    queue_.push_back(std::move(job));
+    peak_depth_ = std::max(peak_depth_, queue_.size());
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    job();  // packaged_task: exceptions land in the future, not here
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      ++executed_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_ && workers_.empty()) return;
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_)
+    if (w.joinable()) w.join();
+  workers_.clear();
+}
+
+std::size_t ThreadPool::jobs_executed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return executed_;
+}
+
+std::size_t ThreadPool::peak_queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_depth_;
+}
+
+}  // namespace ilp::engine

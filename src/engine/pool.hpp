@@ -1,0 +1,80 @@
+// Thread pool for the parallel experiment engine.
+//
+// The paper's methodology (Section 3.1) is an embarrassingly parallel sweep:
+// 40 loop nests x 5 levels x 4 issue widths = 800 independent
+// compile+schedule+simulate jobs.  This pool runs them on N worker threads
+// behind a futures-style submit() API:
+//
+//   * submit(f) returns a std::future for f's result; exceptions thrown by
+//     the job are captured in the future and rethrown at get(), never
+//     aborting the pool or sibling jobs.
+//   * Destruction / shutdown() is graceful: already-queued jobs drain before
+//     the workers join, so no submitted work is silently dropped.
+//   * Queue depth and executed-job counts are tracked for the telemetry
+//     layer (engine/metrics.hpp).
+//
+// Determinism contract: the pool itself promises nothing about execution
+// order.  Callers that need byte-identical output (the harness does — see
+// run_study) must aggregate results by submission index, not completion
+// order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace ilp::engine {
+
+class ThreadPool {
+ public:
+  // threads == 0 picks std::thread::hardware_concurrency() (at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a nullary callable; returns a future for its result.  Throws
+  // std::runtime_error if the pool has been shut down.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return fut;
+  }
+
+  // Blocks until every queued and running job has finished.
+  void wait_idle();
+
+  // Drains the queue, joins all workers.  Idempotent; called by ~ThreadPool.
+  void shutdown();
+
+  [[nodiscard]] unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+  [[nodiscard]] std::size_t jobs_executed() const;
+  [[nodiscard]] std::size_t peak_queue_depth() const;
+
+ private:
+  void enqueue(std::function<void()> job);
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for jobs / stop
+  std::condition_variable idle_cv_;   // wait_idle waits for quiescence
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;            // jobs currently executing
+  std::size_t executed_ = 0;
+  std::size_t peak_depth_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace ilp::engine

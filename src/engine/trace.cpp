@@ -1,0 +1,74 @@
+#include "engine/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace ilp::engine {
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder rec;
+  return rec;
+}
+
+void TraceRecorder::enable() { enabled_.store(true, std::memory_order_relaxed); }
+void TraceRecorder::disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+std::uint64_t TraceRecorder::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+std::uint32_t TraceRecorder::dense_tid_locked(std::thread::id id) {
+  auto it = tids_.find(id);
+  if (it != tids_.end()) return it->second;
+  const auto next = static_cast<std::uint32_t>(tids_.size());
+  tids_.emplace(id, next);
+  return next;
+}
+
+void TraceRecorder::record(std::string_view name, std::string_view category,
+                           std::uint64_t ts_us, std::uint64_t dur_us) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(TraceEvent{std::string(name), std::string(category), ts_us, dur_us,
+                               dense_tid_locked(std::this_thread::get_id())});
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+bool TraceRecorder::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  out << "{\"traceEvents\": [\n";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    char line[512];
+    std::snprintf(line, sizeof line,
+                  "  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", \"pid\": 1, "
+                  "\"tid\": %u, \"ts\": %llu, \"dur\": %llu}%s\n",
+                  e.name.c_str(), e.category.c_str(), e.tid,
+                  static_cast<unsigned long long>(e.ts_us),
+                  static_cast<unsigned long long>(e.dur_us),
+                  i + 1 < events_.size() ? "," : "");
+    out << line;
+  }
+  out << "]}\n";
+  return static_cast<bool>(out);
+}
+
+void TraceRecorder::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  tids_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+}  // namespace ilp::engine

@@ -1,0 +1,90 @@
+// Chrome-trace event recorder for the experiment engine.
+//
+// When enabled, each study job (and any other instrumented scope) records a
+// complete "X"-phase event; write_chrome_trace() emits the JSON array format
+// that chrome://tracing, Perfetto and speedscope all load directly, giving a
+// flamegraph of how the 800 study cells packed onto the worker threads.
+//
+// Recording is off by default and costs one atomic load per scope when off.
+// Thread ids are remapped to small dense integers in first-seen order so the
+// trace rows read "worker 0..N-1" rather than opaque pthread handles.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace ilp::engine {
+
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  std::uint64_t ts_us = 0;   // start, microseconds since recorder epoch
+  std::uint64_t dur_us = 0;  // duration, microseconds
+  std::uint32_t tid = 0;     // dense thread id
+};
+
+class TraceRecorder {
+ public:
+  static TraceRecorder& global();
+
+  void enable();
+  void disable();
+  [[nodiscard]] bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Microseconds since the recorder's epoch (set at construction/reset).
+  [[nodiscard]] std::uint64_t now_us() const;
+
+  // Records a complete event; no-op when disabled.
+  void record(std::string_view name, std::string_view category, std::uint64_t ts_us,
+              std::uint64_t dur_us);
+
+  [[nodiscard]] std::size_t event_count() const;
+  // Writes the Chrome trace JSON; returns false on I/O failure.
+  bool write_chrome_trace(const std::string& path) const;
+  void reset();
+
+ private:
+  TraceRecorder();
+  std::uint32_t dense_tid_locked(std::thread::id id);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::unordered_map<std::thread::id, std::uint32_t> tids_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+// RAII scope: measures [construction, destruction) and records it.
+class TraceScope {
+ public:
+  TraceScope(std::string_view name, std::string_view category,
+             TraceRecorder& rec = TraceRecorder::global())
+      : rec_(rec), active_(rec.enabled()) {
+    if (active_) {
+      name_ = name;
+      category_ = category;
+      start_us_ = rec_.now_us();
+    }
+  }
+  ~TraceScope() {
+    if (active_) rec_.record(name_, category_, start_us_, rec_.now_us() - start_us_);
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceRecorder& rec_;
+  bool active_;
+  std::string name_;
+  std::string category_;
+  std::uint64_t start_us_ = 0;
+};
+
+}  // namespace ilp::engine

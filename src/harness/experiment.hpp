@@ -10,6 +10,14 @@
 // optimizations, exactly as in the paper ("the base configuration for all
 // speedup calculations is an issue-1 processor with conventional compiler
 // transformations"), so super-linear speedups can occur.
+//
+// The sweep is embarrassingly parallel (800 independent cells for the full
+// suite) and runs through the experiment engine (src/engine/): a thread pool
+// executes the cells (`StudyOptions::jobs`), a content-addressed cache
+// memoizes them across runs and processes (`StudyOptions::cache_dir`), and
+// the telemetry layer records per-pass and per-cell wall times.  Results are
+// aggregated by cell index, so parallel output — including the serialized
+// JSON — is byte-identical to a serial run.
 #pragma once
 
 #include <array>
@@ -17,7 +25,9 @@
 #include <string>
 #include <vector>
 
+#include "engine/cache.hpp"
 #include "regalloc/regalloc.hpp"
+#include "support/expected.hpp"
 #include "trans/level.hpp"
 #include "workloads/suite.hpp"
 
@@ -32,6 +42,10 @@ struct LoopStudy {
   std::string group;
   dsl::LoopType type = dsl::LoopType::DoAll;
   bool conds = false;
+  // Empty when every cell of this loop succeeded; otherwise the first
+  // failing cell's message (tagged with level/width).  Failed cells leave
+  // cycles == 0, which speedup() already maps to 0.0.
+  std::string error;
 
   // cycles[level][width-index]; width indices follow kIssueWidths.
   std::array<std::array<std::uint64_t, 4>, 5> cycles{};
@@ -39,6 +53,7 @@ struct LoopStudy {
   // (Figure 11 reports usage for the issue-8 configuration).
   std::array<RegUsage, 5> regs{};
 
+  [[nodiscard]] bool ok() const { return error.empty(); }
   [[nodiscard]] std::uint64_t base_cycles() const { return cycles[0][0]; }
   [[nodiscard]] double speedup(OptLevel level, int width_index) const {
     const auto c = cycles[static_cast<std::size_t>(level)][static_cast<std::size_t>(
@@ -50,16 +65,58 @@ struct LoopStudy {
 struct StudyOptions {
   CompileOptions compile;   // unroll limits etc.
   bool verbose = false;     // progress lines to stderr
+  // Worker threads for the cell sweep: 1 = serial in the calling thread
+  // (the default, and the reference for determinism checks), 0 = one per
+  // hardware thread, N = exactly N pool workers.
+  int jobs = 1;
+  // Non-empty: persist cell results under this directory (created lazily)
+  // so re-runs of unchanged cells are near-free across processes.
+  std::string cache_dir;
+  // Optional externally owned cache (takes precedence over cache_dir); lets
+  // several run_study calls in one process share a memoization tier.
+  engine::ResultCache* cache = nullptr;
+};
+
+// Engine observability for one run_study call.  Wall-clock values vary run
+// to run, so none of this participates in StudyResult::to_json (which must
+// stay byte-identical between serial and parallel runs); it is exported
+// separately via telemetry_json().
+struct StudyStats {
+  std::uint64_t cells = 0;         // total study cells executed or recalled
+  std::uint64_t failed_cells = 0;  // cells that recorded an error
+  std::uint64_t cache_hits = 0;    // memory-tier hits during this run
+  std::uint64_t cache_disk_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_invalid = 0;  // hits rejected as stale/corrupted
+  int jobs = 1;                    // resolved worker count actually used
+  std::size_t peak_queue_depth = 0;
+  double wall_seconds = 0.0;
+
+  [[nodiscard]] double cache_hit_rate() const {
+    const std::uint64_t n = cache_hits + cache_disk_hits + cache_misses;
+    return n == 0 ? 0.0
+                  : static_cast<double>(cache_hits + cache_disk_hits - cache_invalid) /
+                        static_cast<double>(n);
+  }
 };
 
 struct StudyResult {
   std::vector<LoopStudy> loops;
+  StudyStats stats;
 
   [[nodiscard]] double mean_speedup(OptLevel level, int width_index) const;
   // Subset means (Figures 12/14): predicate over loop type.
   [[nodiscard]] double mean_speedup_where(OptLevel level, int width_index,
                                           bool doall_only) const;
   [[nodiscard]] double mean_registers(OptLevel level) const;
+
+  // Deterministic serialization of the study (schema "ilp92-study-v1"):
+  // loops with per-cell cycles, per-level registers, speedups and the mean
+  // tables.  Byte-identical for a given workload set regardless of jobs or
+  // cache state; see tests/engine/study_engine_test.cpp.
+  [[nodiscard]] std::string to_json() const;
+  // Engine telemetry (stats above + the global pass-timing registry).
+  [[nodiscard]] std::string telemetry_json() const;
 };
 
 // Runs the full study over the Table 2 suite (or a caller-provided subset).
@@ -72,10 +129,25 @@ struct CompiledLoop {
   Function fn{"x"};
   RegUsage regs;
 };
+
+// Error-returning paths used by the study so one bad workload fails its
+// cell, not the whole sweep.
+Expected<CompiledLoop> try_compile_workload(const Workload& w, OptLevel level,
+                                            const MachineModel& m,
+                                            const CompileOptions& opts = {});
+Expected<std::uint64_t> try_simulate_cycles(const Function& fn, const MachineModel& m);
+
+// Hard-failing convenience wrappers (abort with the error message), kept for
+// direct callers — the ablation/regpressure/swp benches — where a failure is
+// a programming error rather than data.
 CompiledLoop compile_workload(const Workload& w, OptLevel level, const MachineModel& m,
                               const CompileOptions& opts = {});
-
-// Simulates a compiled loop on seeded memory; returns cycle count.
 std::uint64_t simulate_cycles(const Function& fn, const MachineModel& m);
+
+// Content-address of one study cell: FNV-1a over the workload source, level,
+// every machine parameter and every compile option (plus a schema version).
+// Exposed for the cache tests.
+std::uint64_t study_cell_key(const Workload& w, OptLevel level, const MachineModel& m,
+                             const CompileOptions& opts);
 
 }  // namespace ilp

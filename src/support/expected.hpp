@@ -1,0 +1,52 @@
+// Minimal expected-style result type (C++20; std::expected is C++23).
+//
+// Used by the experiment harness so a malformed workload or a failing
+// simulation fails *its* study cell with a recorded message instead of
+// ILP_ASSERT-aborting the whole 800-cell sweep.  Deliberately tiny: value or
+// error string, no monadic interface.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "support/assert.hpp"
+
+namespace ilp {
+
+struct Error {
+  std::string message;
+};
+
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : v_(std::move(value)) {}                 // NOLINT(implicit)
+  Expected(Error error) : v_(std::move(error)) {}             // NOLINT(implicit)
+
+  [[nodiscard]] bool has_value() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return has_value(); }
+
+  [[nodiscard]] T& value() {
+    ILP_ASSERT(has_value(), error_message().c_str());
+    return std::get<T>(v_);
+  }
+  [[nodiscard]] const T& value() const {
+    ILP_ASSERT(has_value(), error_message().c_str());
+    return std::get<T>(v_);
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  [[nodiscard]] const std::string& error_message() const {
+    static const std::string ok = "(no error)";
+    return has_value() ? ok : std::get<Error>(v_).message;
+  }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+}  // namespace ilp

@@ -20,4 +20,8 @@ std::string_view trim(std::string_view s);
 std::string pad_right(std::string_view s, std::size_t width);
 std::string pad_left(std::string_view s, std::size_t width);
 
+// Escapes `s` for inclusion inside a double-quoted JSON string literal
+// (quotes, backslashes, control characters).
+std::string json_escape(std::string_view s);
+
 }  // namespace ilp

@@ -14,6 +14,15 @@
 //   --classify                        print the loop classification and exit
 //   --list-workloads                  list the built-in Table 2 suite
 //
+// Study mode (runs Section 3.1's full 800-cell sweep through the engine):
+//   --study                           run the Table 2 study and print means
+//   --jobs N                          pool workers (0 = hardware threads)
+//   --seq                             serial execution (same as --jobs 1)
+//   --json PATH                       write deterministic study JSON
+//   --cache-dir DIR                   persistent per-cell result cache
+//   --metrics PATH                    write engine telemetry JSON
+//   --trace PATH                      write a Chrome trace of the sweep
+//
 // Exit codes: 0 ok, 1 usage, 2 compile error, 3 simulation error.
 #include <cstdio>
 #include <cstring>
@@ -22,9 +31,11 @@
 #include <sstream>
 #include <string>
 
+#include "engine/trace.hpp"
 #include "frontend/classify.hpp"
 #include "frontend/compile.hpp"
 #include "frontend/parser.hpp"
+#include "harness/experiment.hpp"
 #include "ir/printer.hpp"
 #include "machine/machine.hpp"
 #include "regalloc/regalloc.hpp"
@@ -39,7 +50,55 @@ void usage() {
                "usage: ilpc [--level conv|lev1|lev2|lev3|lev4] [--issue N] "
                "[--unroll N]\n"
                "            [--emit-ir] [--emit-ir-before] [--no-sim] [--classify]\n"
-               "            (<source.ilp> | --workload <name> | --list-workloads)\n");
+               "            (<source.ilp> | --workload <name> | --list-workloads)\n"
+               "       ilpc --study [--jobs N | --seq] [--json PATH] "
+               "[--cache-dir DIR]\n"
+               "            [--metrics PATH] [--trace PATH]\n");
+}
+
+// Runs the full Table 2 study through the experiment engine.
+int run_study_mode(int jobs, const std::string& json_path, const std::string& cache_dir,
+                   const std::string& metrics_path, const std::string& trace_path) {
+  using namespace ilp;
+  if (!trace_path.empty()) engine::TraceRecorder::global().enable();
+  StudyOptions opts;
+  opts.jobs = jobs;
+  opts.cache_dir = cache_dir;
+  const StudyResult s = run_study(opts);
+
+  std::printf("study: %zu loops, %llu cells, %d jobs, %.2fs wall, cache hit rate %.1f%%\n",
+              s.loops.size(), static_cast<unsigned long long>(s.stats.cells),
+              s.stats.jobs, s.stats.wall_seconds, 100.0 * s.stats.cache_hit_rate());
+  std::printf("%-6s", "level");
+  for (const int w : kIssueWidths) std::printf("  issue-%d", w);
+  std::printf("\n");
+  for (const OptLevel l : kLevels) {
+    std::printf("%-6s", level_name(l));
+    for (std::size_t wi = 0; wi < kIssueWidths.size(); ++wi)
+      std::printf("  %7.2f", s.mean_speedup(l, static_cast<int>(wi)));
+    std::printf("\n");
+  }
+  int failed = 0;
+  for (const auto& l : s.loops)
+    if (!l.ok()) {
+      std::fprintf(stderr, "FAILED %s: %s\n", l.name.c_str(), l.error.c_str());
+      ++failed;
+    }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 3;
+    }
+    out << s.to_json();
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path, std::ios::trunc);
+    if (out) out << s.telemetry_json();
+  }
+  if (!trace_path.empty())
+    engine::TraceRecorder::global().write_chrome_trace(trace_path);
+  return failed == 0 ? 0 : 3;
 }
 
 std::optional<ilp::OptLevel> parse_level(const char* s) {
@@ -64,6 +123,12 @@ int main(int argc, char** argv) {
   bool emit_ir_before = false;
   bool do_sim = true;
   bool classify_only = false;
+  bool study_mode = false;
+  int jobs = 1;
+  std::string json_path;
+  std::string cache_dir;
+  std::string metrics_path;
+  std::string trace_path;
   std::string source_path;
   std::string workload_name;
 
@@ -99,6 +164,24 @@ int main(int argc, char** argv) {
       do_sim = false;
     } else if (a == "--classify") {
       classify_only = true;
+    } else if (a == "--study") {
+      study_mode = true;
+    } else if (a == "--jobs") {
+      jobs = std::atoi(next());
+      if (jobs < 0) {
+        usage();
+        return 1;
+      }
+    } else if (a == "--seq") {
+      jobs = 1;
+    } else if (a == "--json") {
+      json_path = next();
+    } else if (a == "--cache-dir") {
+      cache_dir = next();
+    } else if (a == "--metrics") {
+      metrics_path = next();
+    } else if (a == "--trace") {
+      trace_path = next();
     } else if (a == "--workload") {
       workload_name = next();
     } else if (a == "--list-workloads") {
@@ -118,6 +201,9 @@ int main(int argc, char** argv) {
       source_path = a;
     }
   }
+
+  if (study_mode)
+    return run_study_mode(jobs, json_path, cache_dir, metrics_path, trace_path);
 
   // Load the source text.
   std::string source;

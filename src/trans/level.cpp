@@ -1,5 +1,6 @@
 #include "trans/level.hpp"
 
+#include "engine/metrics.hpp"
 #include "ir/verifier.hpp"
 #include "opt/pipeline.hpp"
 #include "sched/scheduler.hpp"
@@ -24,50 +25,55 @@ TransformSet TransformSet::for_level(OptLevel level) {
   return s;
 }
 
+namespace {
+
+// Per-pass wall-time telemetry (engine/metrics.hpp): each pass of every
+// compile lands in the "pass.<name>" namespace of the global registry,
+// exported via StudyResult::telemetry_json / the benches' --metrics flag.
+template <typename F>
+void timed_pass(const char* name, Function& fn, const char* verify_msg, F&& pass) {
+  engine::ScopedTimer timer(name);
+  pass();
+  verify_or_die(fn, verify_msg);
+}
+
+}  // namespace
+
 void compile_with_transforms(Function& fn, const TransformSet& set,
                              const MachineModel& machine, const CompileOptions& opts) {
-  run_conventional_optimizations(fn);
-
-  if (set.unroll) {
-    unroll_loops(fn, opts.unroll);
-    verify_or_die(fn, "after unrolling");
+  {
+    engine::ScopedTimer timer("pass.conventional");
+    run_conventional_optimizations(fn);
   }
+
+  if (set.unroll)
+    timed_pass("pass.unroll", fn, "after unrolling", [&] { unroll_loops(fn, opts.unroll); });
   // Expansions run before renaming so each recurrence still targets a single
   // register name (the shapes of Figures 2 and 4).
-  if (set.acc_expand) {
-    accumulator_expansion(fn);
-    verify_or_die(fn, "after accumulator expansion");
-  }
-  if (set.ind_expand) {
-    induction_expansion(fn);
-    verify_or_die(fn, "after induction expansion");
-  }
-  if (set.search_expand) {
-    search_expansion(fn);
-    verify_or_die(fn, "after search expansion");
-  }
-  if (set.rename) {
-    rename_registers(fn);
-    verify_or_die(fn, "after renaming");
-  }
-  if (set.combine) {
-    operation_combining(fn);
-    verify_or_die(fn, "after operation combining");
-  }
-  if (set.strength) {
-    strength_reduction(fn);
-    verify_or_die(fn, "after strength reduction");
-  }
-  if (set.height) {
-    tree_height_reduction(fn);
-    verify_or_die(fn, "after tree height reduction");
-  }
-  run_cleanup(fn);
-  verify_or_die(fn, "after cleanup");
-  if (opts.schedule) {
-    schedule_function(fn, machine);
-    verify_or_die(fn, "after scheduling");
-  }
+  if (set.acc_expand)
+    timed_pass("pass.accexpand", fn, "after accumulator expansion",
+               [&] { accumulator_expansion(fn); });
+  if (set.ind_expand)
+    timed_pass("pass.indexpand", fn, "after induction expansion",
+               [&] { induction_expansion(fn); });
+  if (set.search_expand)
+    timed_pass("pass.searchexpand", fn, "after search expansion",
+               [&] { search_expansion(fn); });
+  if (set.rename)
+    timed_pass("pass.rename", fn, "after renaming", [&] { rename_registers(fn); });
+  if (set.combine)
+    timed_pass("pass.combine", fn, "after operation combining",
+               [&] { operation_combining(fn); });
+  if (set.strength)
+    timed_pass("pass.strengthred", fn, "after strength reduction",
+               [&] { strength_reduction(fn); });
+  if (set.height)
+    timed_pass("pass.treeheight", fn, "after tree height reduction",
+               [&] { tree_height_reduction(fn); });
+  timed_pass("pass.cleanup", fn, "after cleanup", [&] { run_cleanup(fn); });
+  if (opts.schedule)
+    timed_pass("pass.schedule", fn, "after scheduling",
+               [&] { schedule_function(fn, machine); });
   fn.renumber();
 }
 

@@ -1,0 +1,126 @@
+#include "engine/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ilp::engine {
+namespace {
+
+// Unique scratch directory per test, removed on destruction.
+struct TempDir {
+  std::string path;
+  TempDir() {
+    const auto base = std::filesystem::temp_directory_path() /
+                      ("ilp_cache_test_" + std::to_string(::getpid()) + "_" +
+                       std::to_string(counter()++));
+    std::filesystem::create_directories(base);
+    path = base.string();
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  static int& counter() {
+    static int c = 0;
+    return c;
+  }
+};
+
+TEST(Fnv1a, MatchesPublishedVectors) {
+  // Reference digests of the 64-bit FNV-1a specification.
+  EXPECT_EQ(fnv1a("", 0), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a("a", 1), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a("foobar", 6), 0x85944171f73967e8ull);
+}
+
+TEST(HashStream, FieldDelimitingPreventsConcatenationCollisions) {
+  const auto h1 = HashStream().str("ab").str("c").digest();
+  const auto h2 = HashStream().str("a").str("bc").digest();
+  EXPECT_NE(h1, h2);
+  const auto h3 = HashStream().u64(1).u64(2).digest();
+  const auto h4 = HashStream().u64(2).u64(1).digest();
+  EXPECT_NE(h3, h4);
+}
+
+TEST(ResultCache, MemoryTierRoundTrip) {
+  ResultCache cache;
+  EXPECT_FALSE(cache.lookup(42).has_value());
+  cache.store(42, "payload-42");
+  const auto got = cache.lookup(42);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "payload-42");
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.stores, 1u);
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 0.5);
+}
+
+TEST(ResultCache, DiskTierSurvivesProcessRestart) {
+  TempDir dir;
+  {
+    ResultCache writer(dir.path);
+    writer.store(7, "persisted");
+  }
+  // A fresh instance (fresh memory tier) models a new process.
+  ResultCache reader(dir.path);
+  const auto got = reader.lookup(7);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "persisted");
+  EXPECT_EQ(reader.stats().disk_hits, 1u);
+  // The disk hit was promoted: second lookup is a memory hit.
+  ASSERT_TRUE(reader.lookup(7).has_value());
+  EXPECT_EQ(reader.stats().hits, 1u);
+}
+
+TEST(ResultCache, InvalidateEvictsBothTiersAndCorrectsStats) {
+  TempDir dir;
+  ResultCache cache(dir.path);
+  cache.store(9, "garbage the caller will reject");
+  ASSERT_TRUE(cache.lookup(9).has_value());
+  cache.invalidate(9);
+  // The poisoned entry is gone from memory and disk: next lookup is a miss.
+  EXPECT_FALSE(cache.lookup(9).has_value());
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.invalid, 1u);
+  EXPECT_EQ(s.total_hits(), 0u);
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 0.0);
+}
+
+TEST(ResultCache, UnwritableDirDegradesToMemoryOnly) {
+  ResultCache cache("/proc/definitely/not/writable");
+  cache.store(1, "x");
+  const auto got = cache.lookup(1);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "x");
+}
+
+TEST(ResultCache, ConcurrentStoreLookupIsRaceFree) {
+  TempDir dir;
+  ResultCache cache(dir.path);
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int t = 0; t < 8; ++t)
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 100; ++i) {
+        const std::uint64_t key = static_cast<std::uint64_t>(i % 25);
+        cache.store(key, "v" + std::to_string(i % 25));
+        const auto got = cache.lookup(key);
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(*got, "v" + std::to_string(i % 25));
+      }
+      (void)t;
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(cache.size(), 25u);
+}
+
+}  // namespace
+}  // namespace ilp::engine

@@ -1,0 +1,135 @@
+// End-to-end tests of the engine-backed study: parallel runs must be
+// byte-identical to serial ones, warm caches must recall every cell with
+// identical results, and a bad workload must fail its own cells only.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "engine/cache.hpp"
+#include "harness/experiment.hpp"
+
+namespace ilp {
+namespace {
+
+std::vector<Workload> mini_suite() {
+  std::vector<Workload> out;
+  for (const char* name : {"add", "dotprod", "SDS-4", "maxval"})
+    out.push_back(*find_workload(name));
+  return out;
+}
+
+TEST(StudyEngine, ParallelRunIsByteIdenticalToSerial) {
+  StudyOptions serial;
+  serial.jobs = 1;
+  const StudyResult a = run_study(mini_suite(), serial);
+
+  StudyOptions parallel;
+  parallel.jobs = 4;
+  const StudyResult b = run_study(mini_suite(), parallel);
+
+  ASSERT_EQ(a.loops.size(), b.loops.size());
+  for (std::size_t i = 0; i < a.loops.size(); ++i) {
+    EXPECT_EQ(a.loops[i].cycles, b.loops[i].cycles) << a.loops[i].name;
+    for (std::size_t li = 0; li < kLevels.size(); ++li) {
+      EXPECT_EQ(a.loops[i].regs[li].int_regs, b.loops[i].regs[li].int_regs);
+      EXPECT_EQ(a.loops[i].regs[li].fp_regs, b.loops[i].regs[li].fp_regs);
+    }
+  }
+  // The serialized study — the artifact the benches write — must match byte
+  // for byte regardless of the worker count.
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_EQ(b.stats.jobs, 4);
+}
+
+TEST(StudyEngine, WarmCacheRecallsEveryCellIdentically) {
+  engine::ResultCache cache;  // memory-only, shared across both runs
+  StudyOptions opts;
+  opts.jobs = 2;
+  opts.cache = &cache;
+
+  const StudyResult cold = run_study(mini_suite(), opts);
+  EXPECT_EQ(cold.stats.cache_hits, 0u);
+  EXPECT_EQ(cold.stats.cache_misses, cold.stats.cells);
+
+  const StudyResult warm = run_study(mini_suite(), opts);
+  EXPECT_EQ(warm.stats.cache_hits, warm.stats.cells);
+  EXPECT_EQ(warm.stats.cache_misses, 0u);
+  EXPECT_GT(warm.stats.cache_hit_rate(), 0.9);
+  // Recalled cycles and registers are identical to the computed ones.
+  EXPECT_EQ(cold.to_json(), warm.to_json());
+}
+
+TEST(StudyEngine, DiskCachePersistsAcrossCacheInstances) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("ilp_study_cache_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+
+  StudyOptions opts;
+  opts.jobs = 2;
+  opts.cache_dir = dir.string();
+  const StudyResult cold = run_study(mini_suite(), opts);
+  EXPECT_EQ(cold.stats.cache_misses, cold.stats.cells);
+
+  // A fresh ResultCache (fresh process, in effect) hits the disk tier.
+  const StudyResult warm = run_study(mini_suite(), opts);
+  EXPECT_EQ(warm.stats.cache_disk_hits, warm.stats.cells);
+  EXPECT_EQ(cold.to_json(), warm.to_json());
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(StudyEngine, BadWorkloadFailsItsCellsNotTheStudy) {
+  std::vector<Workload> suite = mini_suite();
+  Workload bad = suite[0];
+  bad.name = "broken";
+  bad.source = "program broken\nthis is not a valid DSL program\n";
+  suite.insert(suite.begin() + 1, bad);
+
+  for (const int jobs : {1, 4}) {
+    StudyOptions opts;
+    opts.jobs = jobs;
+    const StudyResult s = run_study(suite, opts);
+    ASSERT_EQ(s.loops.size(), 5u);
+    EXPECT_FALSE(s.loops[1].ok());
+    EXPECT_NE(s.loops[1].error.find("broken"), std::string::npos);
+    EXPECT_EQ(s.stats.failed_cells, kLevels.size() * kIssueWidths.size());
+    // Every healthy workload still produced a full result grid.
+    for (const std::size_t i : {0ul, 2ul, 3ul, 4ul}) {
+      EXPECT_TRUE(s.loops[i].ok()) << s.loops[i].error;
+      EXPECT_GT(s.loops[i].base_cycles(), 0u);
+      EXPECT_DOUBLE_EQ(s.loops[i].speedup(OptLevel::Conv, 0), 1.0);
+    }
+    // Failed cells read as speedup 0, never as aborts.
+    EXPECT_DOUBLE_EQ(s.loops[1].speedup(OptLevel::Lev4, 3), 0.0);
+  }
+}
+
+TEST(StudyEngine, CellKeyDiscriminatesEveryInput) {
+  const Workload& w = *find_workload("dotprod");
+  const MachineModel m8 = MachineModel::issue(8);
+  const CompileOptions base;
+  const auto key = study_cell_key(w, OptLevel::Lev4, m8, base);
+
+  EXPECT_EQ(key, study_cell_key(w, OptLevel::Lev4, m8, base));  // deterministic
+  EXPECT_NE(key, study_cell_key(w, OptLevel::Lev3, m8, base));
+  EXPECT_NE(key, study_cell_key(w, OptLevel::Lev4, MachineModel::issue(4), base));
+
+  Workload edited = w;
+  edited.source += " ";
+  EXPECT_NE(key, study_cell_key(edited, OptLevel::Lev4, m8, base));
+
+  CompileOptions opts2;
+  opts2.unroll.max_factor = 4;
+  EXPECT_NE(key, study_cell_key(w, OptLevel::Lev4, m8, opts2));
+
+  MachineModel slow_mul = m8;
+  slow_mul.lat_fp_mul = 5;
+  EXPECT_NE(key, study_cell_key(w, OptLevel::Lev4, slow_mul, base));
+}
+
+}  // namespace
+}  // namespace ilp
