@@ -1,7 +1,21 @@
 // google-benchmark microbenchmarks of compiler-pass throughput: how fast each
 // phase of the pipeline runs on representative workloads.
+//
+// The "HotPath" benchmarks isolate the per-cell pipeline the study spends its
+// cold-cache time in — dependence-graph construction, list scheduling and
+// cycle-accurate simulation on the largest Lev4/issue-8 superblock — plus one
+// end-to-end cold study.  Their JSON output (--benchmark_format=json) is the
+// perf-trajectory record checked in as BENCH_<pr>.json; CI runs them as a
+// crash smoke without asserting timings.
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
+
+#include "analysis/cfg.hpp"
+#include "analysis/depgraph.hpp"
+#include "analysis/dominators.hpp"
+#include "analysis/liveness.hpp"
+#include "analysis/loops.hpp"
 #include "frontend/compile.hpp"
 #include "harness/experiment.hpp"
 #include "opt/constprop.hpp"
@@ -135,6 +149,139 @@ void BM_EndToEndWorkload(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EndToEndWorkload);
+
+// ---- Hot-path suite -------------------------------------------------------
+// Fixture: the largest workload of the suite (NAS-5, 71 statements) at Lev4
+// for the issue-8 machine, unscheduled — the biggest superblock the study
+// ever hands to DepGraph/list_schedule.
+
+struct HotPathFixture {
+  Function fn{"x"};
+  BlockId big_block = kNoBlock;
+  std::vector<BlockId> preheaders;
+
+  HotPathFixture() {
+    DiagnosticEngine d;
+    auto r = dsl::compile(find_workload("NAS-5")->source, d);
+    fn = std::move(r->fn);
+    compile_at_level(fn, OptLevel::Lev4, MachineModel::issue(8),
+                     CompileOptions{{}, /*schedule=*/false});
+    const Cfg cfg(fn);
+    const Dominators dom(cfg);
+    preheaders.assign(fn.num_blocks(), kNoBlock);
+    for (const SimpleLoop& loop : find_simple_loops(cfg, dom))
+      preheaders[loop.body] = loop.preheader;
+    std::size_t best = 0;
+    for (const Block& b : fn.blocks())
+      if (b.insts.size() > best) {
+        best = b.insts.size();
+        big_block = b.id;
+      }
+  }
+};
+
+const HotPathFixture& hot_path() {
+  static HotPathFixture f;
+  return f;
+}
+
+void BM_HotPathDepGraphBuild(benchmark::State& state) {
+  const HotPathFixture& f = hot_path();
+  const MachineModel m = MachineModel::issue(8);
+  const Cfg cfg(f.fn);
+  const Liveness live(cfg);
+  for (auto _ : state) {
+    const DepGraph g(f.fn, f.big_block, m, live, f.preheaders[f.big_block]);
+    benchmark::DoNotOptimize(g.edges().size());
+  }
+  state.counters["insts"] =
+      static_cast<double>(f.fn.block(f.big_block).insts.size());
+}
+BENCHMARK(BM_HotPathDepGraphBuild);
+
+void BM_HotPathListSchedule(benchmark::State& state) {
+  const HotPathFixture& f = hot_path();
+  const MachineModel m = MachineModel::issue(8);
+  const Cfg cfg(f.fn);
+  const Liveness live(cfg);
+  const DepGraph g(f.fn, f.big_block, m, live, f.preheaders[f.big_block]);
+  for (auto _ : state) {
+    const BlockSchedule s = list_schedule(g, f.fn, f.big_block, m);
+    benchmark::DoNotOptimize(s.makespan);
+  }
+}
+BENCHMARK(BM_HotPathListSchedule);
+
+// The acceptance metric for this PR's speedup target: dependence-graph
+// construction plus list scheduling of the largest Lev4/issue-8 superblock.
+void BM_HotPathDepGraphPlusSchedule(benchmark::State& state) {
+  const HotPathFixture& f = hot_path();
+  const MachineModel m = MachineModel::issue(8);
+  const Cfg cfg(f.fn);
+  const Liveness live(cfg);
+  for (auto _ : state) {
+    const DepGraph g(f.fn, f.big_block, m, live, f.preheaders[f.big_block]);
+    const BlockSchedule s = list_schedule(g, f.fn, f.big_block, m);
+    benchmark::DoNotOptimize(s.makespan);
+  }
+}
+BENCHMARK(BM_HotPathDepGraphPlusSchedule);
+
+void BM_HotPathScheduleFunction(benchmark::State& state) {
+  const HotPathFixture& f = hot_path();
+  const MachineModel m = MachineModel::issue(8);
+  for (auto _ : state) {
+    Function fn = f.fn;
+    schedule_function(fn, m);
+    benchmark::DoNotOptimize(fn.num_insts());
+  }
+}
+BENCHMARK(BM_HotPathScheduleFunction);
+
+// Interlock-heavy simulation: dotprod's loop-carried fadd recurrence on the
+// issue-8 machine stalls most cycles, the case stall cycle-skipping targets.
+void BM_HotPathSimulateStallHeavy(benchmark::State& state) {
+  DiagnosticEngine d;
+  auto r = dsl::compile(find_workload("dotprod")->source, d);
+  compile_at_level(r->fn, OptLevel::Conv, MachineModel::issue(8));
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    const RunOutcome out = run_seeded(r->fn, MachineModel::issue(8));
+    cycles += out.result.cycles;
+    benchmark::DoNotOptimize(out.result.stall_cycles);
+  }
+  state.counters["cycles/s"] =
+      benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_HotPathSimulateStallHeavy);
+
+void BM_HotPathSimulateLev4Issue8(benchmark::State& state) {
+  const HotPathFixture& f = hot_path();
+  Function fn = f.fn;
+  schedule_function(fn, MachineModel::issue(8));
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    const RunOutcome out = run_seeded(fn, MachineModel::issue(8));
+    instructions += out.result.instructions;
+    benchmark::DoNotOptimize(out.result.cycles);
+  }
+  state.counters["instrs/s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_HotPathSimulateLev4Issue8);
+
+// Full cold-cache study, serial: every cell recompiled, rescheduled and
+// resimulated — the end-to-end wall-time figure the ROADMAP tracks.
+void BM_HotPathColdStudySerial(benchmark::State& state) {
+  for (auto _ : state) {
+    StudyOptions opts;
+    opts.jobs = 1;
+    const StudyResult res = run_study(opts);
+    benchmark::DoNotOptimize(res.loops.size());
+    if (res.stats.failed_cells != 0) state.SkipWithError("study cell failed");
+  }
+}
+BENCHMARK(BM_HotPathColdStudySerial)->Unit(benchmark::kMillisecond)->Iterations(2);
 
 }  // namespace
 

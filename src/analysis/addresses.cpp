@@ -1,6 +1,6 @@
 #include "analysis/addresses.hpp"
 
-#include <optional>
+#include <algorithm>
 #include <unordered_map>
 
 #include "ir/reg.hpp"
@@ -9,15 +9,26 @@ namespace ilp {
 
 namespace {
 
+// Dense register -> (root, displacement) table keyed by RegKey.  A root of
+// -1 marks "no value yet" (every assigned entry has root >= 0), so the table
+// doubles as its own presence bitmap; using it instead of a hash map keeps
+// the per-instruction scan allocation- and hash-free.
+struct SymTable {
+  explicit SymTable(std::size_t nkeys) : addr(nkeys, SymAddr{-1, 0}) {}
+  std::vector<SymAddr> addr;
+
+  [[nodiscard]] bool has(std::size_t k) const { return addr[k].root >= 0; }
+};
+
 // Forward symbolic scan of one block: register -> (root, displacement).
 // `sym` may arrive pre-seeded; `next_root` supplies fresh root ids.
-void scan_block(const Block& blk, std::unordered_map<Reg, SymAddr, RegHash>& sym,
-                std::int32_t& next_root, std::vector<SymAddr>* mem_addr) {
+void scan_block(const Block& blk, SymTable& sym, std::int32_t& next_root,
+                std::vector<SymAddr>* mem_addr) {
   auto value_of = [&](const Reg& r) -> SymAddr {
-    auto it = sym.find(r);
-    if (it != sym.end()) return it->second;
+    const std::size_t k = RegKey::key(r);
+    if (sym.has(k)) return sym.addr[k];
     const SymAddr a{next_root++, 0};
-    sym.emplace(r, a);
+    sym.addr[k] = a;
     return a;
   };
 
@@ -28,50 +39,60 @@ void scan_block(const Block& blk, std::unordered_map<Reg, SymAddr, RegHash>& sym
       (*mem_addr)[i] = SymAddr{base.root, base.disp + in.ival};
     }
     if (!in.has_dest() || in.dst.cls != RegClass::Int) continue;
+    const std::size_t kd = RegKey::key(in.dst);
     switch (in.op) {
       case Opcode::LDI:
-        sym[in.dst] = SymAddr{0, in.ival};
+        sym.addr[kd] = SymAddr{0, in.ival};
         break;
       case Opcode::IMOV:
-        sym[in.dst] = value_of(in.src1);
+        sym.addr[kd] = value_of(in.src1);
         break;
       case Opcode::IADD:
         if (in.src2_is_imm) {
           const SymAddr a = value_of(in.src1);
-          sym[in.dst] = SymAddr{a.root, a.disp + in.ival};
+          sym.addr[kd] = SymAddr{a.root, a.disp + in.ival};
         } else {
-          sym[in.dst] = SymAddr{next_root++, 0};
+          sym.addr[kd] = SymAddr{next_root++, 0};
         }
         break;
       case Opcode::ISUB:
         if (in.src2_is_imm) {
           const SymAddr a = value_of(in.src1);
-          sym[in.dst] = SymAddr{a.root, a.disp - in.ival};
+          sym.addr[kd] = SymAddr{a.root, a.disp - in.ival};
         } else {
-          sym[in.dst] = SymAddr{next_root++, 0};
+          sym.addr[kd] = SymAddr{next_root++, 0};
         }
         break;
       default:
-        sym[in.dst] = SymAddr{next_root++, 0};
+        sym.addr[kd] = SymAddr{next_root++, 0};
         break;
     }
   }
 }
 
-// Net per-iteration delta of every register in the body: defined only when
-// all defs are "r = r (+|-) imm" with src1 == dst; nullopt otherwise.
-std::unordered_map<Reg, std::optional<std::int64_t>, RegHash> net_deltas(const Block& blk) {
-  std::unordered_map<Reg, std::optional<std::int64_t>, RegHash> out;
+// Net per-iteration delta of every register in the body, dense by RegKey:
+// defined only when all defs are "r = r (+|-) imm" with src1 == dst.
+enum class DeltaState : std::uint8_t { NotSeen, Known, Unsafe };
+
+struct Deltas {
+  std::vector<DeltaState> state;
+  std::vector<std::int64_t> delta;
+};
+
+Deltas net_deltas(const Block& blk, std::size_t nkeys) {
+  Deltas out{std::vector<DeltaState>(nkeys, DeltaState::NotSeen),
+             std::vector<std::int64_t>(nkeys, 0)};
   for (const Instruction& in : blk.insts) {
     if (!in.has_dest()) continue;
-    auto& slot = out.try_emplace(in.dst, std::optional<std::int64_t>(0)).first->second;
+    const std::size_t k = RegKey::key(in.dst);
     const bool self_inc = (in.op == Opcode::IADD || in.op == Opcode::ISUB) &&
                           in.src2_is_imm && in.src1 == in.dst;
-    if (!self_inc || !slot.has_value()) {
-      slot = std::nullopt;
+    if (!self_inc || out.state[k] == DeltaState::Unsafe) {
+      out.state[k] = DeltaState::Unsafe;
       continue;
     }
-    *slot += in.op == Opcode::IADD ? in.ival : -in.ival;
+    out.state[k] = DeltaState::Known;
+    out.delta[k] += in.op == Opcode::IADD ? in.ival : -in.ival;
   }
   return out;
 }
@@ -82,7 +103,9 @@ BlockAddresses::BlockAddresses(const Function& fn, BlockId b, BlockId preheader)
   const Block& blk = fn.block(b);
   mem_addr_.assign(blk.insts.size(), SymAddr{});
 
-  std::unordered_map<Reg, SymAddr, RegHash> sym;
+  const std::size_t nkeys =
+      2 * std::max(fn.num_regs(RegClass::Int), fn.num_regs(RegClass::Fp)) + 2;
+  SymTable sym(nkeys);
   std::int32_t next_root = 1;  // root 0 is the shared constant root
 
   if (preheader != kNoBlock) {
@@ -91,10 +114,10 @@ BlockAddresses::BlockAddresses(const Function& fn, BlockId b, BlockId preheader)
     // so registers with different deltas never share a root.  Constant-root
     // (root 0) entries are also only safe for delta-grouped registers, so
     // they get group roots too.
-    std::unordered_map<Reg, SymAddr, RegHash> pre_sym;
+    SymTable pre_sym(nkeys);
     std::int32_t pre_root = 1;
     scan_block(fn.block(preheader), pre_sym, pre_root, nullptr);
-    const auto deltas = net_deltas(blk);
+    const Deltas deltas = net_deltas(blk, nkeys);
 
     struct GroupKey {
       std::int32_t root;
@@ -111,18 +134,16 @@ BlockAddresses::BlockAddresses(const Function& fn, BlockId b, BlockId preheader)
     };
     std::unordered_map<GroupKey, std::int32_t, GroupHash> group_roots;
 
-    for (const auto& [reg, addr] : pre_sym) {
-      if (!addr.known()) continue;
+    for (std::size_t k = 0; k < nkeys; ++k) {
+      if (!pre_sym.has(k)) continue;
+      const SymAddr addr = pre_sym.addr[k];
       std::int64_t delta = 0;  // not redefined in body => delta 0
-      const auto dit = deltas.find(reg);
-      if (dit != deltas.end()) {
-        if (!dit->second.has_value()) continue;  // non-uniform updates: unsafe
-        delta = *dit->second;
-      }
+      if (deltas.state[k] == DeltaState::Unsafe) continue;  // non-uniform: unsafe
+      if (deltas.state[k] == DeltaState::Known) delta = deltas.delta[k];
       const GroupKey key{addr.root, delta};
       auto [git, inserted] = group_roots.try_emplace(key, next_root);
       if (inserted) ++next_root;
-      sym[reg] = SymAddr{git->second, addr.disp};
+      sym.addr[k] = SymAddr{git->second, addr.disp};
     }
   }
 

@@ -1,90 +1,284 @@
 #include "analysis/depgraph.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "analysis/addresses.hpp"
 #include "support/assert.hpp"
 
 namespace ilp {
 
+// Construction is built to be allocation-light and linear-ish; the profile of
+// the original implementation was dominated not by the O(n^2) scans but by
+// per-node adjacency vectors (4 heap vectors per instruction) and node-based
+// hashing in the duplicate-edge check.  Hence:
+//   * edges are collected into one flat vector, deduplicated through an
+//     open-addressed (from,to) index; adjacency is materialized once at the
+//     end in compressed-sparse-row form (finalize());
+//   * register dependences track last-def and uses-since-def per register in
+//     dense RegKey-indexed arrays, with the use lists pooled in a single
+//     vector threaded as linked lists;
+//   * memory dependences come from last-store/loads-since-store tracking per
+//     disambiguation class (array, root, displacement) instead of the
+//     all-pairs scan.  The emitted edges are a subset of the all-pairs edges
+//     whose transitive closure carries at least the same latency along every
+//     removed pair, so critical-path heights and list schedules are
+//     unchanged (tests/sched/scheduler_diff_test.cpp proves this against the
+//     retained all-pairs reference);
+//   * control edges iterate only candidate instructions (stores and defs of
+//     registers live at the branch target) instead of all n per branch, and
+//     read the target live-in set by reference.
+
 void DepGraph::add_edge(std::uint32_t from, std::uint32_t to, int latency, DepKind kind) {
   ILP_ASSERT(from < to, "dependence edges must follow program order");
-  // Collapse duplicates, keeping the max latency.
-  for (std::uint32_t ei : out_edges_[from]) {
-    if (edges_[ei].to == to) {
-      edges_[ei].latency = std::max(edges_[ei].latency, latency);
-      return;
-    }
+  // Collapse duplicates, keeping the max latency (first edge keeps its kind).
+  const auto key =
+      static_cast<std::int64_t>((static_cast<std::uint64_t>(from) << 32) | to);
+  const auto [slot, inserted] = edge_index_.try_emplace(key, edges_.size());
+  if (!inserted) {
+    DepEdge& e = edges_[*slot];
+    e.latency = std::max(e.latency, latency);
+    return;
   }
-  const auto idx = static_cast<std::uint32_t>(edges_.size());
   edges_.push_back(DepEdge{from, to, latency, kind});
-  succs_[from].push_back(to);
-  preds_[to].push_back(from);
-  out_edges_[from].push_back(idx);
-  in_edges_[to].push_back(idx);
 }
+
+void DepGraph::finalize() {
+  const auto ne = static_cast<std::uint32_t>(edges_.size());
+  out_off_.assign(n_ + 1, 0);
+  in_off_.assign(n_ + 1, 0);
+  for (const DepEdge& e : edges_) {
+    ++out_off_[e.from + 1];
+    ++in_off_[e.to + 1];
+  }
+  for (std::size_t i = 1; i <= n_; ++i) {
+    out_off_[i] += out_off_[i - 1];
+    in_off_[i] += in_off_[i - 1];
+  }
+  out_nodes_.resize(ne);
+  out_eids_.resize(ne);
+  in_nodes_.resize(ne);
+  in_eids_.resize(ne);
+  std::vector<std::uint32_t> out_cur(out_off_.begin(), out_off_.end() - 1);
+  std::vector<std::uint32_t> in_cur(in_off_.begin(), in_off_.end() - 1);
+  for (std::uint32_t ei = 0; ei < ne; ++ei) {
+    const DepEdge& e = edges_[ei];
+    const std::uint32_t o = out_cur[e.from]++;
+    out_nodes_[o] = e.to;
+    out_eids_[o] = ei;
+    const std::uint32_t p = in_cur[e.to]++;
+    in_nodes_[p] = e.from;
+    in_eids_[p] = ei;
+  }
+
+  // Critical-path heights (longest latency path to any sink); edges always
+  // point forward in program order, so a reverse sweep is topological.
+  height_.assign(n_, 0);
+  for (std::size_t i = n_; i-- > 0;) {
+    int h = 0;
+    for (std::uint32_t ei : out_edges(i)) {
+      const DepEdge& e = edges_[ei];
+      h = std::max(h, e.latency + height_[e.to]);
+    }
+    height_[i] = h;
+  }
+}
+
+namespace {
+
+// Memory ops sharing (array id, address root, displacement) — the unit of
+// disambiguation: ops in one class always alias, classes with the same root
+// but different displacements are provably distinct, and classes with
+// different roots may alias when their arrays are compatible.
+struct MemClass {
+  std::int32_t array_id = kMayAliasAll;
+  std::int32_t root = -1;
+  std::int64_t disp = 0;
+  std::int32_t last_store = -1;            // instruction index, -1 = none yet
+  std::vector<std::uint32_t> loads_since;  // loads after last_store
+};
+
+bool arrays_compatible(std::int32_t a, std::int32_t b) {
+  return a == kMayAliasAll || b == kMayAliasAll || a == b;
+}
+
+}  // namespace
 
 DepGraph::DepGraph(const Function& fn, BlockId block, const MachineModel& machine,
                    const Liveness& liveness, BlockId preheader) {
   const Block& blk = fn.block(block);
   n_ = blk.insts.size();
-  preds_.resize(n_);
-  succs_.resize(n_);
-  in_edges_.resize(n_);
-  out_edges_.resize(n_);
+  edges_.reserve(n_ * 4);
+  edge_index_.reserve(n_ * 4);
 
-  // ---- Register dependences: last def and uses-since-last-def per register.
-  std::unordered_map<Reg, std::uint32_t, RegHash> last_def;
-  std::unordered_map<Reg, std::vector<std::uint32_t>, RegHash> uses_since_def;
+  // ---- Register dependences: last def and uses-since-last-def per register,
+  // in dense RegKey-indexed tables (no hashing in the inner loop).  The use
+  // lists live in one pooled vector threaded as per-key linked lists; each
+  // entry is visited at most once when the next def of its key walks the
+  // chain, so the pass is linear in uses.
+  const std::size_t nkeys = liveness.universe_size();
+  std::vector<std::int32_t> last_def(nkeys, -1);
+  std::vector<std::int32_t> use_head(nkeys, -1);  // newest-first chains
+  struct UseEntry {
+    std::uint32_t inst;
+    std::int32_t next;
+  };
+  std::vector<UseEntry> use_pool;
+  use_pool.reserve(2 * n_);
 
   for (std::uint32_t i = 0; i < n_; ++i) {
     const Instruction& in = blk.insts[i];
-    for (const Reg& u : in.uses()) {
-      const auto d = last_def.find(u);
-      if (d != last_def.end())
-        add_edge(d->second, i, machine.latency(blk.insts[d->second].op), DepKind::Flow);
-      uses_since_def[u].push_back(i);
-    }
+    const auto use = [&](const Reg& u) {
+      const std::size_t k = RegKey::key(u);
+      if (last_def[k] >= 0)
+        add_edge(static_cast<std::uint32_t>(last_def[k]), i,
+                 machine.latency(blk.insts[static_cast<std::size_t>(last_def[k])].op),
+                 DepKind::Flow);
+      use_pool.push_back(UseEntry{i, use_head[k]});
+      use_head[k] = static_cast<std::int32_t>(use_pool.size() - 1);
+    };
+    if (in.src1.valid()) use(in.src1);
+    if (in.src2.valid() && !in.src2_is_imm) use(in.src2);
     if (in.has_dest()) {
-      const auto d = last_def.find(in.dst);
-      if (d != last_def.end()) add_edge(d->second, i, 0, DepKind::Output);
-      for (std::uint32_t u : uses_since_def[in.dst])
-        if (u != i) add_edge(u, i, 0, DepKind::Anti);
-      last_def[in.dst] = i;
-      uses_since_def[in.dst].clear();
+      const std::size_t k = RegKey::key(in.dst);
+      if (last_def[k] >= 0)
+        add_edge(static_cast<std::uint32_t>(last_def[k]), i, 0, DepKind::Output);
+      for (std::int32_t u = use_head[k]; u >= 0; u = use_pool[u].next)
+        if (use_pool[u].inst != i) add_edge(use_pool[u].inst, i, 0, DepKind::Anti);
+      last_def[k] = static_cast<std::int32_t>(i);
+      use_head[k] = -1;
       // The def instruction itself may also read dst (e.g. r1 = r1 + 4);
-      // record it as a use of the *new* value? No: its read was of the old
-      // value, already handled above.  Nothing more to do.
+      // its read was of the old value, already handled above.
     }
   }
 
   // ---- Memory dependences with symbolic-address disambiguation.
+  //
+  // For each memory op, edges are drawn from the last store (and, for
+  // stores, the loads since that store) of every class it may alias: its own
+  // exact-location class plus every class under a different root with a
+  // compatible array.  Older ops of those classes are already ordered behind
+  // the class's last store by earlier edges, so the all-pairs constraints
+  // survive transitively with identical path latencies.
   const BlockAddresses addrs(fn, block, preheader);
-  std::vector<std::uint32_t> mem_ops;
-  for (std::uint32_t i = 0; i < n_; ++i)
-    if (blk.insts[i].is_memory()) mem_ops.push_back(i);
-  for (std::size_t a = 0; a < mem_ops.size(); ++a) {
-    for (std::size_t b = a + 1; b < mem_ops.size(); ++b) {
-      const std::uint32_t i = mem_ops[a];
-      const std::uint32_t j = mem_ops[b];
-      const Instruction& x = blk.insts[i];
-      const Instruction& y = blk.insts[j];
-      if (x.is_load() && y.is_load()) continue;
-      if (!may_alias(x, y, addrs.relation(i, j))) continue;
-      if (x.is_store() && y.is_load())
-        add_edge(i, j, machine.latency(x.op), DepKind::MemFlow);
-      else if (x.is_load() && y.is_store())
-        add_edge(i, j, 0, DepKind::MemAnti);
-      else
-        add_edge(i, j, 0, DepKind::MemOut);
+  std::vector<MemClass> classes;
+  // Classes are threaded through two intrusive lists (no per-bucket vectors):
+  //   * loc_index/loc_next buckets classes by hashed (root, disp) for the
+  //     exact-location lookup.  A hash collision merges buckets, which only
+  //     adds visits — every emitted edge is still guarded by may_alias, and
+  //     class registration compares all three fields exactly;
+  //   * array_head/arr_next groups classes by array id (slot 0 holds the
+  //     kMayAliasAll wildcard group) for the cross-root scan.
+  std::vector<std::int32_t> loc_next;
+  std::vector<std::int32_t> arr_next;
+  std::vector<std::int32_t> array_head(fn.arrays().size() + 1, -1);
+  FlatHashMap64 loc_index;
+  const auto group_of = [](std::int32_t array_id) {
+    return array_id == kMayAliasAll ? std::size_t{0}
+                                    : static_cast<std::size_t>(array_id) + 1;
+  };
+  const auto loc_key = [](const SymAddr& a) {
+    return static_cast<std::int64_t>(
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a.root)) << 32) ^
+        static_cast<std::uint64_t>(a.disp * 0x9e3779b97f4a7c15ull));
+  };
+
+  for (std::uint32_t j = 0; j < n_; ++j) {
+    const Instruction& y = blk.insts[j];
+    if (!y.is_memory()) continue;
+    const SymAddr aj = addrs.address_of(j);
+    const bool is_store = y.is_store();
+
+    const auto visit_class = [&](MemClass& c) {
+      if (c.last_store >= 0) {
+        const std::uint32_t i = static_cast<std::uint32_t>(c.last_store);
+        const Instruction& x = blk.insts[i];
+        if (may_alias(x, y, addrs.relation(i, j))) {
+          if (is_store)
+            add_edge(i, j, 0, DepKind::MemOut);
+          else
+            add_edge(i, j, machine.latency(x.op), DepKind::MemFlow);
+        }
+      }
+      if (is_store) {
+        for (std::uint32_t l : c.loads_since)
+          if (may_alias(blk.insts[l], y, addrs.relation(l, j)))
+            add_edge(l, j, 0, DepKind::MemAnti);
+      }
+    };
+
+    // Same-root aliasing is exact-location only: classes at (root, disp).
+    const std::int64_t lk = loc_key(aj);
+    if (const std::uint64_t* head = loc_index.find(lk))
+      for (auto ci = static_cast<std::int32_t>(*head); ci >= 0; ci = loc_next[ci])
+        if (arrays_compatible(classes[ci].array_id, y.array_id))
+          visit_class(classes[ci]);
+    // Cross-root classes may alias whenever the arrays are compatible.
+    const auto scan_array_group = [&](std::size_t gi) {
+      for (std::int32_t ci = array_head[gi]; ci >= 0; ci = arr_next[ci])
+        if (classes[ci].root != aj.root) visit_class(classes[ci]);
+    };
+    if (y.array_id == kMayAliasAll) {
+      for (std::size_t gi = 0; gi < array_head.size(); ++gi) scan_array_group(gi);
+    } else {
+      scan_array_group(group_of(y.array_id));
+      scan_array_group(0);  // wildcard group
+    }
+
+    // Record this op in its own class (exact three-field match within the
+    // location bucket; create and push-front if absent).
+    const auto [slot, inserted] =
+        loc_index.try_emplace(lk, static_cast<std::uint64_t>(-1));
+    std::int32_t own_id = -1;
+    if (!inserted)
+      for (auto ci = static_cast<std::int32_t>(*slot); ci >= 0; ci = loc_next[ci])
+        if (classes[ci].array_id == y.array_id && classes[ci].root == aj.root &&
+            classes[ci].disp == aj.disp) {
+          own_id = ci;
+          break;
+        }
+    if (own_id < 0) {
+      own_id = static_cast<std::int32_t>(classes.size());
+      classes.push_back(MemClass{y.array_id, aj.root, aj.disp, -1, {}});
+      loc_next.push_back(inserted ? -1 : static_cast<std::int32_t>(*slot));
+      *slot = static_cast<std::uint64_t>(own_id);
+      const std::size_t gi = group_of(y.array_id);
+      arr_next.push_back(array_head[gi]);
+      array_head[gi] = own_id;
+    }
+    MemClass& own = classes[own_id];
+    if (is_store) {
+      own.last_store = static_cast<std::int32_t>(j);
+      own.loads_since.clear();
+    } else {
+      own.loads_since.push_back(j);
     }
   }
 
-  // ---- Control (superblock-discipline) edges.
+  // ---- Control (superblock-discipline) edges.  Candidates (stores, defs of
+  // each register) are pre-indexed once; def lists reuse the linked-list pool
+  // trick keyed by RegKey.
   std::vector<std::uint32_t> branches;
-  for (std::uint32_t i = 0; i < n_; ++i)
-    if (blk.insts[i].is_control()) branches.push_back(i);
+  std::vector<std::uint32_t> stores;
+  std::vector<std::int32_t> def_head;
+  struct DefEntry {
+    std::uint32_t inst;
+    std::int32_t next;
+  };
+  std::vector<DefEntry> def_pool;
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    const Instruction& in = blk.insts[i];
+    if (in.is_control()) {
+      branches.push_back(i);
+      continue;
+    }
+    if (in.is_store()) stores.push_back(i);
+    if (in.has_dest()) {
+      if (def_head.empty()) def_head.assign(nkeys, -1);
+      const std::size_t k = RegKey::key(in.dst);
+      def_pool.push_back(DefEntry{i, def_head[k]});
+      def_head[k] = static_cast<std::int32_t>(def_pool.size() - 1);
+    }
+  }
 
   for (std::size_t bi = 0; bi < branches.size(); ++bi) {
     const std::uint32_t br = branches[bi];
@@ -93,36 +287,31 @@ DepGraph::DepGraph(const Function& fn, BlockId block, const MachineModel& machin
     const Instruction& brin = blk.insts[br];
     const bool is_terminator = (br + 1 == n_) || brin.op == Opcode::JUMP ||
                                brin.op == Opcode::RET;
-    BitVector target_live;
-    if (brin.is_branch() || brin.op == Opcode::JUMP)
-      target_live = liveness.live_in(brin.target);
+    const BitVector* target_live =
+        (brin.is_branch() || brin.op == Opcode::JUMP) ? &liveness.live_in(brin.target)
+                                                      : nullptr;
 
-    for (std::uint32_t i = 0; i < n_; ++i) {
-      if (i == br || blk.insts[i].is_control()) continue;
-      const Instruction& in = blk.insts[i];
-      const bool writes_live_at_target =
-          in.has_dest() && target_live.size() > 0 && target_live.test(RegKey::key(in.dst));
-      if (i < br) {
-        // Must stay above the branch: stores (exit path must see them) and
-        // defs of registers live at the target.
-        if (in.is_store() || writes_live_at_target) add_edge(i, br, 0, DepKind::Control);
-        if (is_terminator) add_edge(i, br, 0, DepKind::Control);
-      } else {
-        // Must stay below: stores (must not execute if the branch leaves) and
-        // defs that would clobber the target's live values.
-        if (in.is_store() || writes_live_at_target) add_edge(br, i, 0, DepKind::Control);
-      }
+    // Stores must stay above the branch (the exit path must see them) and
+    // below it (they must not execute if the branch leaves).
+    for (std::uint32_t s : stores)
+      add_edge(std::min(s, br), std::max(s, br), 0, DepKind::Control);
+    // Defs of registers live at the target neither hoist above the branch
+    // (would clobber the off-trace value) nor sink below it from above (the
+    // exit path needs them).
+    if (target_live != nullptr && !def_head.empty()) {
+      target_live->for_each_set([&](std::size_t k) {
+        for (std::int32_t d = def_head[k]; d >= 0; d = def_pool[d].next)
+          add_edge(std::min(def_pool[d].inst, br), std::max(def_pool[d].inst, br), 0,
+                   DepKind::Control);
+      });
     }
+    // Nothing moves below the block-terminating branch/jump.
+    if (is_terminator)
+      for (std::uint32_t i = 0; i < br; ++i)
+        if (!blk.insts[i].is_control()) add_edge(i, br, 0, DepKind::Control);
   }
 
-  // ---- Critical-path heights (longest latency path to any sink).
-  height_.assign(n_, 0);
-  for (std::size_t i = n_; i-- > 0;) {
-    int h = 0;
-    for (std::uint32_t ei : out_edges_[i])
-      h = std::max(h, edges_[ei].latency + height_[edges_[ei].to]);
-    height_[i] = h;
-  }
+  finalize();
 }
 
 }  // namespace ilp

@@ -20,11 +20,13 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "analysis/liveness.hpp"
 #include "ir/function.hpp"
 #include "machine/machine.hpp"
+#include "support/flat_map.hpp"
 
 namespace ilp {
 
@@ -47,19 +49,22 @@ class DepGraph {
 
   [[nodiscard]] std::size_t num_nodes() const { return n_; }
   [[nodiscard]] const std::vector<DepEdge>& edges() const { return edges_; }
-  [[nodiscard]] const std::vector<std::uint32_t>& preds(std::size_t i) const {
-    return preds_[i];
-  }
-  [[nodiscard]] const std::vector<std::uint32_t>& succs(std::size_t i) const {
-    return succs_[i];
-  }
   [[nodiscard]] const DepEdge& edge(std::size_t idx) const { return edges_[idx]; }
-  // Edge indices leaving / entering node i (parallel to succs/preds).
-  [[nodiscard]] const std::vector<std::uint32_t>& out_edges(std::size_t i) const {
-    return out_edges_[i];
+  // Adjacency in compressed-sparse-row form: six flat arrays instead of
+  // per-node vectors, so construction does O(1) allocations rather than O(n).
+  // Spans stay valid for the lifetime of the graph.
+  [[nodiscard]] std::span<const std::uint32_t> preds(std::size_t i) const {
+    return {in_nodes_.data() + in_off_[i], in_off_[i + 1] - in_off_[i]};
   }
-  [[nodiscard]] const std::vector<std::uint32_t>& in_edges(std::size_t i) const {
-    return in_edges_[i];
+  [[nodiscard]] std::span<const std::uint32_t> succs(std::size_t i) const {
+    return {out_nodes_.data() + out_off_[i], out_off_[i + 1] - out_off_[i]};
+  }
+  // Edge indices leaving / entering node i (parallel to succs/preds).
+  [[nodiscard]] std::span<const std::uint32_t> out_edges(std::size_t i) const {
+    return {out_eids_.data() + out_off_[i], out_off_[i + 1] - out_off_[i]};
+  }
+  [[nodiscard]] std::span<const std::uint32_t> in_edges(std::size_t i) const {
+    return {in_eids_.data() + in_off_[i], in_off_[i + 1] - in_off_[i]};
   }
 
   // Longest latency path from node i to any sink (critical-path priority).
@@ -67,13 +72,15 @@ class DepGraph {
 
  private:
   void add_edge(std::uint32_t from, std::uint32_t to, int latency, DepKind kind);
+  // Builds the CSR adjacency and the heights once every edge is collected.
+  void finalize();
 
   std::size_t n_ = 0;
+  // (from << 32 | to) -> edge index; O(1) duplicate collapse in add_edge.
+  FlatHashMap64 edge_index_;
   std::vector<DepEdge> edges_;
-  std::vector<std::vector<std::uint32_t>> preds_;
-  std::vector<std::vector<std::uint32_t>> succs_;
-  std::vector<std::vector<std::uint32_t>> in_edges_;
-  std::vector<std::vector<std::uint32_t>> out_edges_;
+  std::vector<std::uint32_t> out_off_, out_nodes_, out_eids_;
+  std::vector<std::uint32_t> in_off_, in_nodes_, in_eids_;
   std::vector<int> height_;
 };
 

@@ -38,6 +38,7 @@ Expected<CompiledLoop> try_compile_workload(const Workload& w, OptLevel level,
 }
 
 Expected<std::uint64_t> try_simulate_cycles(const Function& fn, const MachineModel& m) {
+  engine::ScopedTimer timer("pass.simulate");
   const RunOutcome out = run_seeded(fn, m);
   if (!out.result.ok) return Error{"simulation failed: " + out.result.error};
   return out.result.cycles;

@@ -57,53 +57,6 @@ std::string_view opcode_name(Opcode op) {
   ILP_UNREACHABLE("bad opcode");
 }
 
-bool op_is_branch(Opcode op) {
-  switch (op) {
-    case Opcode::BEQ:
-    case Opcode::BNE:
-    case Opcode::BLT:
-    case Opcode::BLE:
-    case Opcode::BGT:
-    case Opcode::BGE:
-    case Opcode::FBEQ:
-    case Opcode::FBNE:
-    case Opcode::FBLT:
-    case Opcode::FBLE:
-    case Opcode::FBGT:
-    case Opcode::FBGE:
-      return true;
-    default:
-      return false;
-  }
-}
-
-bool op_is_control(Opcode op) {
-  return op_is_branch(op) || op == Opcode::JUMP || op == Opcode::RET;
-}
-
-bool op_is_load(Opcode op) { return op == Opcode::LD || op == Opcode::FLD; }
-bool op_is_store(Opcode op) { return op == Opcode::ST || op == Opcode::FST; }
-bool op_is_memory(Opcode op) { return op_is_load(op) || op_is_store(op); }
-
-bool op_has_dest(Opcode op) {
-  if (op_is_control(op) || op_is_store(op) || op == Opcode::NOP) return false;
-  return true;
-}
-
-bool op_is_fp_compare(Opcode op) {
-  switch (op) {
-    case Opcode::FBEQ:
-    case Opcode::FBNE:
-    case Opcode::FBLT:
-    case Opcode::FBLE:
-    case Opcode::FBGT:
-    case Opcode::FBGE:
-      return true;
-    default:
-      return false;
-  }
-}
-
 bool op_is_binary_arith(Opcode op) {
   switch (op) {
     case Opcode::IADD:

@@ -78,14 +78,40 @@ inline constexpr int kNumOpcodes = static_cast<int>(Opcode::NOP) + 1;
 [[nodiscard]] std::string_view opcode_name(Opcode op);
 
 // Structural predicates ------------------------------------------------------
+//
+// These run once or more per instruction in the simulator and dependence
+// passes, so they are inline range tests over the enum layout above (the
+// static_asserts pin the ranges they rely on).
 
-[[nodiscard]] bool op_is_branch(Opcode op);       // conditional branch
-[[nodiscard]] bool op_is_control(Opcode op);      // branch, jump, or ret
-[[nodiscard]] bool op_is_load(Opcode op);
-[[nodiscard]] bool op_is_store(Opcode op);
-[[nodiscard]] bool op_is_memory(Opcode op);
-[[nodiscard]] bool op_has_dest(Opcode op);
-[[nodiscard]] bool op_is_fp_compare(Opcode op);
+static_assert(Opcode::LD < Opcode::FLD && Opcode::FLD < Opcode::ST &&
+                  Opcode::ST < Opcode::FST && Opcode::FST < Opcode::BEQ &&
+                  Opcode::BEQ < Opcode::FBEQ && Opcode::FBGE < Opcode::JUMP &&
+                  Opcode::JUMP < Opcode::RET && Opcode::RET < Opcode::NOP,
+              "predicates below depend on this opcode ordering");
+
+// Conditional branch.
+[[nodiscard]] constexpr bool op_is_branch(Opcode op) {
+  return op >= Opcode::BEQ && op <= Opcode::FBGE;
+}
+// Branch, jump, or ret.
+[[nodiscard]] constexpr bool op_is_control(Opcode op) {
+  return op >= Opcode::BEQ && op <= Opcode::RET;
+}
+[[nodiscard]] constexpr bool op_is_load(Opcode op) {
+  return op == Opcode::LD || op == Opcode::FLD;
+}
+[[nodiscard]] constexpr bool op_is_store(Opcode op) {
+  return op == Opcode::ST || op == Opcode::FST;
+}
+[[nodiscard]] constexpr bool op_is_memory(Opcode op) {
+  return op >= Opcode::LD && op <= Opcode::FST;
+}
+// Everything before the stores (arithmetic, moves, conversions, loads)
+// writes a destination register.
+[[nodiscard]] constexpr bool op_has_dest(Opcode op) { return op < Opcode::ST; }
+[[nodiscard]] constexpr bool op_is_fp_compare(Opcode op) {
+  return op >= Opcode::FBEQ && op <= Opcode::FBGE;
+}
 
 // True for two-source arithmetic ops (excludes moves, loads, control).
 [[nodiscard]] bool op_is_binary_arith(Opcode op);

@@ -1,0 +1,65 @@
+// Reference (textbook) implementations of dependence-graph construction and
+// list scheduling, retained verbatim from the original code as the oracle for
+// differential testing of the optimized hot path:
+//
+//   * RefDepGraph builds edges with the all-pairs memory-dependence scan, a
+//     linear duplicate-edge scan, and the all-instructions-per-branch
+//     control pass — O(n^2) but trivially auditable against the paper.
+//   * reference_list_schedule selects from a flat ready vector by linear
+//     scan-and-erase.
+//
+// The optimized DepGraph / list_schedule (analysis/depgraph.cpp,
+// sched/scheduler.cpp) must produce byte-identical schedules — the same
+// issue_time, order and makespan — for every block of every workload;
+// tests/sched/scheduler_diff_test.cpp enforces this across the full study
+// grid.  Do not "optimize" this file: its value is being the slow, obviously
+// correct version.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/liveness.hpp"
+#include "ir/function.hpp"
+#include "machine/machine.hpp"
+#include "sched/scheduler.hpp"
+
+namespace ilp {
+
+class RefDepGraph {
+ public:
+  RefDepGraph(const Function& fn, BlockId block, const MachineModel& machine,
+              const Liveness& liveness, BlockId preheader = kNoBlock);
+
+  [[nodiscard]] std::size_t num_nodes() const { return n_; }
+  [[nodiscard]] const std::vector<DepEdge>& edges() const { return edges_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& preds(std::size_t i) const {
+    return preds_[i];
+  }
+  [[nodiscard]] const DepEdge& edge(std::size_t idx) const { return edges_[idx]; }
+  [[nodiscard]] const std::vector<std::uint32_t>& out_edges(std::size_t i) const {
+    return out_edges_[i];
+  }
+  [[nodiscard]] const std::vector<int>& height() const { return height_; }
+
+ private:
+  void add_edge(std::uint32_t from, std::uint32_t to, int latency, DepKind kind);
+
+  std::size_t n_ = 0;
+  std::vector<DepEdge> edges_;
+  std::vector<std::vector<std::uint32_t>> preds_;
+  std::vector<std::vector<std::uint32_t>> succs_;
+  std::vector<std::vector<std::uint32_t>> in_edges_;
+  std::vector<std::vector<std::uint32_t>> out_edges_;
+  std::vector<int> height_;
+};
+
+// The original scan-and-erase critical-path list scheduler.
+BlockSchedule reference_list_schedule(const RefDepGraph& g, const Function& fn,
+                                      BlockId block, const MachineModel& machine);
+
+// Schedules every block in place through the reference pipeline (reference
+// dep graphs + reference scheduler), mirroring schedule_function.
+void reference_schedule_function(Function& fn, const MachineModel& machine);
+
+}  // namespace ilp

@@ -1,14 +1,40 @@
 #include "sched/scheduler.hpp"
 
 #include <algorithm>
+#include <functional>
+#include <queue>
+#include <utility>
 
-#include "analysis/cfg.hpp"
-#include "analysis/dominators.hpp"
-#include "analysis/liveness.hpp"
-#include "analysis/loops.hpp"
+#include "engine/metrics.hpp"
 #include "support/assert.hpp"
 
 namespace ilp {
+
+namespace {
+
+// Ready nodes are held in max-heaps keyed by (height, lowest-index-first),
+// packed into one uint64 so the heap compares single integers: greater
+// height wins, ties go to the smaller original index — exactly the
+// scan-and-erase selection rule of the reference scheduler
+// (sched/reference.cpp), which tests/sched/scheduler_diff_test.cpp holds
+// this implementation to.
+using ReadyHeap = std::priority_queue<std::uint64_t>;
+
+std::uint64_t pack_ready(int height, std::uint32_t idx) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(height)) << 32) |
+         (0xffffffffu - idx);
+}
+std::uint32_t unpack_index(std::uint64_t key) {
+  return 0xffffffffu - static_cast<std::uint32_t>(key);
+}
+
+// Ready-but-not-yet-issuable nodes, min-heap on their earliest issue cycle.
+using PendingHeap =
+    std::priority_queue<std::pair<int, std::uint32_t>,
+                        std::vector<std::pair<int, std::uint32_t>>,
+                        std::greater<std::pair<int, std::uint32_t>>>;
+
+}  // namespace
 
 BlockSchedule list_schedule(const DepGraph& g, const Function& fn, BlockId block,
                             const MachineModel& machine) {
@@ -23,48 +49,66 @@ BlockSchedule list_schedule(const DepGraph& g, const Function& fn, BlockId block
   for (std::size_t i = 0; i < n; ++i)
     unscheduled_preds[i] = static_cast<int>(g.preds(i).size());
 
-  std::vector<std::uint32_t> ready;
+  // Two ready heaps keep the branch-slot restriction O(1): control
+  // instructions compete from their own heap only while a branch slot is
+  // free.  Nodes whose earliest cycle is still in the future wait in
+  // `pending`; once ready, a node's earliest is final (all producers have
+  // been scheduled), so it moves between the structures at most once.
+  ReadyHeap avail;
+  ReadyHeap avail_ctrl;
+  PendingHeap pending;
+  int cycle = 0;
+  const auto push_ready = [&](std::uint32_t i) {
+    if (earliest[i] > cycle) {
+      pending.push({earliest[i], i});
+    } else {
+      (blk.insts[i].is_control() ? avail_ctrl : avail).push(pack_ready(g.height()[i], i));
+    }
+  };
   for (std::uint32_t i = 0; i < n; ++i)
-    if (unscheduled_preds[i] == 0) ready.push_back(i);
+    if (unscheduled_preds[i] == 0) push_ready(i);
 
   std::size_t remaining = n;
-  int cycle = 0;
   while (remaining > 0) {
+    while (!pending.empty() && pending.top().first <= cycle) {
+      const std::uint32_t i = pending.top().second;
+      pending.pop();
+      (blk.insts[i].is_control() ? avail_ctrl : avail).push(pack_ready(g.height()[i], i));
+    }
+
     int slots = machine.issue_width;
     int branch_slots = machine.branch_slots;
-    bool placed_any = true;
-    while (placed_any && slots > 0) {
-      placed_any = false;
+    while (slots > 0) {
       // Choose the ready node with the greatest height (critical path first);
       // tie-break on original position for stability.
-      std::int64_t best = -1;
-      for (std::size_t k = 0; k < ready.size(); ++k) {
-        const std::uint32_t cand = ready[k];
-        if (earliest[cand] > cycle) continue;
-        if (blk.insts[cand].is_control() && branch_slots == 0) continue;
-        if (best < 0 || g.height()[cand] > g.height()[ready[static_cast<std::size_t>(best)]] ||
-            (g.height()[cand] == g.height()[ready[static_cast<std::size_t>(best)]] &&
-             cand < ready[static_cast<std::size_t>(best)]))
-          best = static_cast<std::int64_t>(k);
-      }
-      if (best < 0) break;
-      const std::uint32_t node = ready[static_cast<std::size_t>(best)];
-      ready.erase(ready.begin() + best);
+      ReadyHeap* heap = nullptr;
+      if (!avail.empty()) heap = &avail;
+      if (branch_slots > 0 && !avail_ctrl.empty() &&
+          (heap == nullptr || avail_ctrl.top() > avail.top()))
+        heap = &avail_ctrl;
+      if (heap == nullptr) break;
+      const std::uint32_t node = unpack_index(heap->top());
+      heap->pop();
 
       sched.issue_time[node] = cycle;
       sched.order.push_back(node);
       --slots;
       if (blk.insts[node].is_control()) --branch_slots;
       --remaining;
-      placed_any = true;
 
       for (std::uint32_t ei : g.out_edges(node)) {
         const DepEdge& e = g.edge(ei);
         earliest[e.to] = std::max(earliest[e.to], cycle + e.latency);
-        if (--unscheduled_preds[e.to] == 0) ready.push_back(e.to);
+        if (--unscheduled_preds[e.to] == 0) push_ready(e.to);
       }
     }
+    if (remaining == 0) break;
     ++cycle;
+    // Nothing issuable until the next pending node matures: skip the dead
+    // cycles (issue times are unaffected — slots reset every cycle).
+    if (avail.empty() && avail_ctrl.empty() && !pending.empty() &&
+        pending.top().first > cycle)
+      cycle = pending.top().first;
   }
   sched.makespan = n == 0 ? 0 : sched.issue_time[sched.order.back()] + 1;
   return sched;
@@ -82,35 +126,37 @@ void apply_schedule(Function& fn, BlockId block, const BlockSchedule& sched) {
 
 }  // namespace
 
-namespace {
-
-// Preheader of each simple-loop body (for loop-relative disambiguation).
-std::vector<BlockId> loop_preheaders(const Function& fn, const Cfg& cfg) {
-  std::vector<BlockId> pre(fn.num_blocks(), kNoBlock);
+ScheduleAnalyses::ScheduleAnalyses(const Function& fn)
+    : cfg(fn), live(cfg), preheaders(fn.num_blocks(), kNoBlock) {
+  // Preheader of each simple-loop body (for loop-relative disambiguation).
   const Dominators dom(cfg);
   for (const SimpleLoop& loop : find_simple_loops(cfg, dom))
-    pre[loop.body] = loop.preheader;
-  return pre;
+    preheaders[loop.body] = loop.preheader;
 }
 
-}  // namespace
-
-void schedule_block(Function& fn, BlockId block, const MachineModel& machine) {
-  const Cfg cfg(fn);
-  const Liveness live(cfg);
-  const DepGraph g(fn, block, machine, live, loop_preheaders(fn, cfg)[block]);
+void schedule_block(Function& fn, BlockId block, const MachineModel& machine,
+                    const ScheduleAnalyses& analyses) {
+  const DepGraph g(fn, block, machine, analyses.live, analyses.preheaders[block]);
   apply_schedule(fn, block, list_schedule(g, fn, block, machine));
 }
 
+void schedule_block(Function& fn, BlockId block, const MachineModel& machine) {
+  const ScheduleAnalyses analyses(fn);
+  schedule_block(fn, block, machine, analyses);
+}
+
 void schedule_function(Function& fn, const MachineModel& machine) {
-  const Cfg cfg(fn);
-  const Liveness live(cfg);
-  const std::vector<BlockId> pre = loop_preheaders(fn, cfg);
+  const ScheduleAnalyses analyses(fn);
+  std::size_t scheduled_blocks = 0;
+  std::size_t scheduled_insts = 0;
   for (const Block& b : fn.blocks()) {
     if (b.insts.size() < 2) continue;
-    const DepGraph g(fn, b.id, machine, live, pre[b.id]);
-    apply_schedule(fn, b.id, list_schedule(g, fn, b.id, machine));
+    schedule_block(fn, b.id, machine, analyses);
+    ++scheduled_blocks;
+    scheduled_insts += b.insts.size();
   }
+  engine::MetricsRegistry::global().add_count("sched.blocks", scheduled_blocks);
+  engine::MetricsRegistry::global().add_count("sched.insts", scheduled_insts);
 }
 
 }  // namespace ilp

@@ -16,7 +16,11 @@
 
 #include <vector>
 
+#include "analysis/cfg.hpp"
 #include "analysis/depgraph.hpp"
+#include "analysis/dominators.hpp"
+#include "analysis/liveness.hpp"
+#include "analysis/loops.hpp"
 #include "ir/function.hpp"
 #include "machine/machine.hpp"
 
@@ -28,14 +32,32 @@ struct BlockSchedule {
   int makespan = 0;                 // last issue cycle + 1
 };
 
+// The per-function analyses scheduling depends on (CFG, liveness for branch
+// targets, loop preheaders for loop-relative memory disambiguation), built
+// once and shared across every block of the function instead of being
+// recomputed per schedule_block call.  Must not outlive `fn`; reordering
+// instructions *within* blocks (which is all scheduling does) keeps it valid.
+struct ScheduleAnalyses {
+  explicit ScheduleAnalyses(const Function& fn);
+
+  Cfg cfg;
+  Liveness live;
+  std::vector<BlockId> preheaders;  // per block; kNoBlock when not a loop body
+};
+
 // Computes a schedule for one block without mutating the function.
 BlockSchedule list_schedule(const DepGraph& g, const Function& fn, BlockId block,
                             const MachineModel& machine);
 
-// Schedules `block` in place (reorders its instructions).
+// Schedules `block` in place (reorders its instructions).  The 3-argument
+// form builds the analyses itself; callers scheduling several blocks of one
+// function should construct ScheduleAnalyses once and use the 4-argument
+// form.
 void schedule_block(Function& fn, BlockId block, const MachineModel& machine);
+void schedule_block(Function& fn, BlockId block, const MachineModel& machine,
+                    const ScheduleAnalyses& analyses);
 
-// Schedules every block of the function in place.
+// Schedules every block of the function in place (one shared analysis pass).
 void schedule_function(Function& fn, const MachineModel& machine);
 
 }  // namespace ilp

@@ -6,39 +6,64 @@
 // and floating loads reinterpret them, matching a real memory.  The paper
 // assumes a 100% cache hit rate, so timing is uniform and lives in the
 // simulator, not here.
+//
+// Cells live in an open-addressed flat table rather than std::unordered_map:
+// every simulated load and store lands here, so the per-access node
+// allocation and pointer chase would otherwise dominate the interpreter loop.
+// The table uses a locality-preserving hash (addresses stride 4 bytes, so
+// addr >> 2): the workloads sweep arrays sequentially, and the shift keeps a
+// sequential address walk a sequential — prefetchable — table walk instead
+// of one cache miss per element.
 #pragma once
 
 #include <bit>
 #include <cstdint>
-#include <unordered_map>
+
+#include "support/flat_map.hpp"
 
 namespace ilp {
 
 class Memory {
  public:
   void store_int(std::int64_t addr, std::int64_t v) {
-    cells_[addr] = std::bit_cast<std::uint64_t>(v);
+    cells_.put(addr, std::bit_cast<std::uint64_t>(v));
   }
   void store_fp(std::int64_t addr, double v) {
-    cells_[addr] = std::bit_cast<std::uint64_t>(v);
+    cells_.put(addr, std::bit_cast<std::uint64_t>(v));
   }
   [[nodiscard]] std::int64_t load_int(std::int64_t addr) const {
-    const auto it = cells_.find(addr);
-    return it == cells_.end() ? 0 : std::bit_cast<std::int64_t>(it->second);
+    const std::uint64_t* p = cells_.find(addr);
+    return p == nullptr ? 0 : std::bit_cast<std::int64_t>(*p);
   }
   [[nodiscard]] double load_fp(std::int64_t addr) const {
-    const auto it = cells_.find(addr);
-    return it == cells_.end() ? 0.0 : std::bit_cast<double>(it->second);
+    const std::uint64_t* p = cells_.find(addr);
+    return p == nullptr ? 0.0 : std::bit_cast<double>(*p);
   }
+
+  // Grows the cell table so `n` cells fit without rehashing; used by
+  // seed_arrays, which knows the total array footprint up front.
+  void reserve(std::size_t n) { cells_.reserve(n); }
 
   [[nodiscard]] std::size_t footprint() const { return cells_.size(); }
-  [[nodiscard]] const std::unordered_map<std::int64_t, std::uint64_t>& cells() const {
-    return cells_;
+
+  // Calls fn(addr, raw_bits) for every written cell, in unspecified order.
+  template <class F>
+  void for_each_cell(F&& fn) const {
+    cells_.for_each(fn);
   }
-  [[nodiscard]] bool operator==(const Memory& o) const { return cells_ == o.cells_; }
+
+  [[nodiscard]] bool operator==(const Memory& o) const {
+    if (cells_.size() != o.cells_.size()) return false;
+    bool equal = true;
+    cells_.for_each([&](std::int64_t addr, std::uint64_t bits) {
+      const std::uint64_t* p = o.cells_.find(addr);
+      if (p == nullptr || *p != bits) equal = false;
+    });
+    return equal;
+  }
 
  private:
-  std::unordered_map<std::int64_t, std::uint64_t> cells_;
+  BasicFlatMap64<ShiftHash<2>> cells_;
 };
 
 }  // namespace ilp

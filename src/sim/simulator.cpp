@@ -1,10 +1,11 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
-#include <unordered_map>
 
 #include "support/assert.hpp"
+#include "support/flat_map.hpp"
 #include "support/strings.hpp"
 
 namespace ilp {
@@ -48,7 +49,19 @@ SimResult Simulator::run(const Function& fn, Memory& mem) const {
     fps[i] = options_.init_fps[i];
   std::vector<std::uint64_t> ready_int(ints.size(), 0);
   std::vector<std::uint64_t> ready_fp(fps.size(), 0);
-  std::unordered_map<std::int64_t, std::uint64_t> mem_ready;
+  // Address -> cycle the latest store to it completes.  An entry only
+  // matters while its cycle is still in the future, so the table is dropped
+  // whenever `cycle` passes the latest pending store (`mem_horizon`).  That
+  // bounds it to the stores in flight — a handful of slots — instead of every
+  // address the program ever wrote, keeping load lookups at ~1 probe.
+  FlatHashMap64 mem_ready;
+  std::uint64_t mem_horizon = 0;
+
+  // MachineModel::latency is an out-of-line switch; tabulate it once so the
+  // per-issue lookup is a single indexed load.
+  std::array<int, kNumOpcodes> lat_table{};
+  for (int op = 0; op < kNumOpcodes; ++op)
+    lat_table[static_cast<std::size_t>(op)] = machine_.latency(static_cast<Opcode>(op));
 
   const auto& blocks = fn.blocks();
   Cursor pc;
@@ -71,9 +84,17 @@ SimResult Simulator::run(const Function& fn, Memory& mem) const {
   };
 
   while (!done) {
+    // Every pending store has completed: all entries are <= cycle and can no
+    // longer delay a load, so forget them wholesale.
+    if (cycle >= mem_horizon && mem_ready.size() != 0) mem_ready.clear();
+
     int issued = 0;
     int branches_this_cycle = 0;
     bool advanced = false;
+    // Cycle the head instruction's last blocking operand becomes ready; set
+    // only when the issue loop breaks on an interlock (not on slot limits or
+    // taken branches, which clear at the next cycle boundary).
+    std::uint64_t stall_until = 0;
 
     while (issued < machine_.issue_width) {
       // Fallthrough across block boundaries is free (sequential fetch).
@@ -90,21 +111,27 @@ SimResult Simulator::run(const Function& fn, Memory& mem) const {
       // Branch-slot restriction.
       if (in.is_control() && branches_this_cycle >= machine_.branch_slots) break;
 
-      // Register interlocks: every source must be ready.
-      bool stalled = false;
-      if (in.src1.valid() && reg_ready(in.src1) > cycle) stalled = true;
-      if (!stalled && in.src2.valid() && !in.src2_is_imm && reg_ready(in.src2) > cycle)
-        stalled = true;
+      // Register interlocks: every source must be ready.  `ready_by` collects
+      // the max ready cycle over all blocking conditions; register *values*
+      // are written at issue, so they (and hence `addr`) are already final
+      // even while the timing model says the instruction must wait.
+      std::uint64_t ready_by = 0;
+      if (in.src1.valid()) ready_by = std::max(ready_by, reg_ready(in.src1));
+      if (in.src2.valid() && !in.src2_is_imm)
+        ready_by = std::max(ready_by, reg_ready(in.src2));
       // Load waits for the latest store to the same address to complete.
       std::int64_t addr = 0;
-      if (!stalled && in.is_memory()) {
+      if (in.is_memory()) {
         addr = wrap_add(iget(in.src1), in.ival);
         if (in.is_load()) {
-          const auto it = mem_ready.find(addr);
-          if (it != mem_ready.end() && it->second > cycle) stalled = true;
+          if (const std::uint64_t* r = mem_ready.find(addr))
+            ready_by = std::max(ready_by, *r);
         }
       }
-      if (stalled) break;
+      if (ready_by > cycle) {
+        stall_until = ready_by;
+        break;
+      }
 
       // ---- Issue: apply functional semantics. ----
       if (res.instructions >= options_.max_instructions) {
@@ -118,7 +145,7 @@ SimResult Simulator::run(const Function& fn, Memory& mem) const {
       if (options_.trace && options_.trace->size() < options_.trace_limit)
         options_.trace->push_back(IssueEvent{in.uid, cycle});
 
-      const int lat = machine_.latency(in.op);
+      const int lat = lat_table[static_cast<std::size_t>(in.op)];
       bool taken = false;
       switch (in.op) {
         case Opcode::IADD:
@@ -241,11 +268,13 @@ SimResult Simulator::run(const Function& fn, Memory& mem) const {
           break;
         case Opcode::ST:
           mem.store_int(addr, iget(in.src2));
-          mem_ready[addr] = cycle + static_cast<std::uint64_t>(lat);
+          mem_ready.put(addr, cycle + static_cast<std::uint64_t>(lat));
+          mem_horizon = std::max(mem_horizon, cycle + static_cast<std::uint64_t>(lat));
           break;
         case Opcode::FST:
           mem.store_fp(addr, fget(in.src2));
-          mem_ready[addr] = cycle + static_cast<std::uint64_t>(lat);
+          mem_ready.put(addr, cycle + static_cast<std::uint64_t>(lat));
+          mem_horizon = std::max(mem_horizon, cycle + static_cast<std::uint64_t>(lat));
           break;
         case Opcode::JUMP:
           taken = true;
@@ -308,6 +337,13 @@ SimResult Simulator::run(const Function& fn, Memory& mem) const {
     }
     if (!advanced) ++res.stall_cycles;
     ++cycle;
+    // While the head instruction waits for `stall_until`, no instruction can
+    // issue (in-order): every intervening cycle is a full stall.  Account for
+    // them in one step instead of looping through each.
+    if (options_.skip_stall_cycles && stall_until > cycle) {
+      res.stall_cycles += stall_until - cycle;
+      cycle = stall_until;
+    }
   }
 
   res.ok = true;
@@ -326,6 +362,9 @@ std::uint64_t splitmix64(std::uint64_t& s) {
 }  // namespace
 
 void seed_arrays(const Function& fn, Memory& mem, std::uint64_t seed) {
+  std::size_t cells = 0;
+  for (const auto& arr : fn.arrays()) cells += static_cast<std::size_t>(arr.length);
+  mem.reserve(cells);
   for (const auto& arr : fn.arrays()) {
     std::uint64_t s = seed;
     for (char c : arr.name) s = s * 131 + static_cast<std::uint64_t>(c);

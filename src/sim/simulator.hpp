@@ -57,6 +57,13 @@ struct SimOptions {
   // function's register count.
   std::vector<std::int64_t> init_ints;
   std::vector<double> init_fps;
+  // When the head instruction is interlocked, jump the clock straight to the
+  // cycle its last blocking operand becomes ready instead of re-evaluating it
+  // every cycle.  Observable behaviour (cycles, stall_cycles, trace, memory,
+  // registers) is identical either way — in-order issue means no later
+  // instruction can issue while the head stalls; tests/sim/cycle_skip_test.cpp
+  // enforces the equivalence.  Off switches back to per-cycle evaluation.
+  bool skip_stall_cycles = true;
 };
 
 struct SimResult {

@@ -1,0 +1,88 @@
+// Differential tests: the optimized dependence graph + heap-based list
+// scheduler must produce byte-identical schedules to the retained reference
+// implementations (sched/reference.hpp) for every block of every workload in
+// the study grid.  This is the contract that lets the hot path change its
+// data structures freely: same issue_time, same order, same makespan.
+#include <gtest/gtest.h>
+
+#include "analysis/depgraph.hpp"
+#include "harness/experiment.hpp"
+#include "machine/machine.hpp"
+#include "sched/reference.hpp"
+#include "sched/scheduler.hpp"
+#include "workloads/suite.hpp"
+
+namespace ilp {
+namespace {
+
+// Compiles a workload with scheduling disabled so the test can schedule each
+// block itself through both pipelines.
+Expected<CompiledLoop> compile_unscheduled(const Workload& w, OptLevel level,
+                                           const MachineModel& m) {
+  CompileOptions opts;
+  opts.schedule = false;
+  return try_compile_workload(w, level, m, opts);
+}
+
+TEST(SchedulerDiff, BlockSchedulesMatchReferenceAcrossStudyGrid) {
+  for (const Workload& w : workload_suite()) {
+    for (OptLevel level : kLevels) {
+      for (int width : kIssueWidths) {
+        const MachineModel m = MachineModel::issue(width);
+        auto compiled = compile_unscheduled(w, level, m);
+        if (!compiled) continue;  // cell fails before scheduling either way
+        const Function& fn = compiled->fn;
+        const ScheduleAnalyses analyses(fn);
+        for (const Block& b : fn.blocks()) {
+          if (b.insts.size() < 2) continue;
+          const DepGraph g(fn, b.id, m, analyses.live, analyses.preheaders[b.id]);
+          const RefDepGraph rg(fn, b.id, m, analyses.live, analyses.preheaders[b.id]);
+          const BlockSchedule got = list_schedule(g, fn, b.id, m);
+          const BlockSchedule want = reference_list_schedule(rg, fn, b.id, m);
+          ASSERT_EQ(got.order, want.order)
+              << w.name << " " << level_name(level) << " issue-" << width
+              << " block " << b.id;
+          ASSERT_EQ(got.issue_time, want.issue_time)
+              << w.name << " " << level_name(level) << " issue-" << width
+              << " block " << b.id;
+          ASSERT_EQ(got.makespan, want.makespan)
+              << w.name << " " << level_name(level) << " issue-" << width
+              << " block " << b.id;
+        }
+      }
+    }
+  }
+}
+
+// Whole-function check: schedule_function (shared analyses, heap scheduler)
+// emits the same instruction sequence as the reference pipeline.
+TEST(SchedulerDiff, ScheduleFunctionMatchesReferencePipeline) {
+  for (const Workload& w : workload_suite()) {
+    for (OptLevel level : kLevels) {
+      for (int width : kIssueWidths) {
+        const MachineModel m = MachineModel::issue(width);
+        auto compiled = compile_unscheduled(w, level, m);
+        if (!compiled) continue;
+        Function opt_fn = compiled->fn;
+        Function ref_fn = compiled->fn;
+        schedule_function(opt_fn, m);
+        reference_schedule_function(ref_fn, m);
+        ASSERT_EQ(opt_fn.num_blocks(), ref_fn.num_blocks());
+        for (const Block& b : opt_fn.blocks()) {
+          const Block& rb = ref_fn.block(b.id);
+          ASSERT_EQ(b.insts.size(), rb.insts.size())
+              << w.name << " " << level_name(level) << " issue-" << width
+              << " block " << b.id;
+          for (std::size_t i = 0; i < b.insts.size(); ++i) {
+            ASSERT_EQ(b.insts[i].uid, rb.insts[i].uid)
+                << w.name << " " << level_name(level) << " issue-" << width
+                << " block " << b.id << " position " << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ilp

@@ -1,0 +1,80 @@
+#include "support/flat_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace ilp {
+namespace {
+
+TEST(FlatHashMap64, PutFindOverwrite) {
+  FlatHashMap64 m;
+  EXPECT_EQ(m.find(42), nullptr);
+  m.put(42, 7);
+  ASSERT_NE(m.find(42), nullptr);
+  EXPECT_EQ(*m.find(42), 7u);
+  m.put(42, 9);  // overwrite, not a second entry
+  EXPECT_EQ(*m.find(42), 9u);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatHashMap64, NegativeAndExtremeKeys) {
+  FlatHashMap64 m;
+  m.put(-1, 1);
+  m.put(0, 2);
+  m.put(INT64_MIN, 3);
+  m.put(INT64_MAX, 4);
+  EXPECT_EQ(*m.find(-1), 1u);
+  EXPECT_EQ(*m.find(0), 2u);
+  EXPECT_EQ(*m.find(INT64_MIN), 3u);
+  EXPECT_EQ(*m.find(INT64_MAX), 4u);
+  EXPECT_EQ(m.find(1), nullptr);
+  EXPECT_EQ(m.size(), 4u);
+}
+
+TEST(FlatHashMap64, GrowthPreservesEntries) {
+  FlatHashMap64 m;
+  // Far past the initial capacity of 64; forces several rehashes.
+  for (std::int64_t k = 0; k < 10000; ++k) m.put(k * 8 + 1000, static_cast<std::uint64_t>(k));
+  EXPECT_EQ(m.size(), 10000u);
+  for (std::int64_t k = 0; k < 10000; ++k) {
+    ASSERT_NE(m.find(k * 8 + 1000), nullptr) << k;
+    EXPECT_EQ(*m.find(k * 8 + 1000), static_cast<std::uint64_t>(k));
+  }
+  EXPECT_EQ(m.find(999), nullptr);
+  m.clear();
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.find(1000), nullptr);
+}
+
+// Randomized differential check against std::unordered_map using a
+// deterministic LCG (no global entropy in tests).
+TEST(FlatHashMap64, MatchesUnorderedMapOracle) {
+  FlatHashMap64 m;
+  std::unordered_map<std::int64_t, std::uint64_t> oracle;
+  std::uint64_t state = 0x243f6a8885a308d3ull;
+  auto next = [&] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state;
+  };
+  for (int step = 0; step < 50000; ++step) {
+    // Small key space so overwrites are frequent.
+    const std::int64_t key = static_cast<std::int64_t>(next() % 4096) - 2048;
+    const std::uint64_t val = next();
+    m.put(key, val);
+    oracle[key] = val;
+  }
+  EXPECT_EQ(m.size(), oracle.size());
+  for (const auto& [key, val] : oracle) {
+    ASSERT_NE(m.find(key), nullptr) << key;
+    EXPECT_EQ(*m.find(key), val) << key;
+  }
+  for (std::int64_t key = -3000; key < 3000; ++key) {
+    const bool in_oracle = oracle.count(key) > 0;
+    EXPECT_EQ(m.find(key) != nullptr, in_oracle) << key;
+  }
+}
+
+}  // namespace
+}  // namespace ilp
