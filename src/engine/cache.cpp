@@ -1,10 +1,12 @@
 #include "engine/cache.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
-#include <thread>
 
 namespace ilp::engine {
 
@@ -86,10 +88,15 @@ void ResultCache::store(std::uint64_t key, std::string_view payload) {
   }
   if (write_disk) {
     // Write-then-rename so concurrent readers never see a torn file.  The
-    // temp name is keyed by thread to avoid collisions between writers.
+    // temp name carries a process-wide ticket: thread-id hashes can collide,
+    // and two writers of the same key sharing one temp path would interleave
+    // writes and then publish the torn file via rename (caught by the
+    // contention test in tests/engine/cache_test.cpp).
+    static std::atomic<std::uint64_t> ticket{0};
     const std::string final_path = path_for(key);
     std::ostringstream tmp;
-    tmp << final_path << ".tmp." << std::hash<std::thread::id>{}(std::this_thread::get_id());
+    tmp << final_path << ".tmp." << ::getpid() << "."
+        << ticket.fetch_add(1, std::memory_order_relaxed);
     {
       std::ofstream out(tmp.str(), std::ios::binary | std::ios::trunc);
       if (!out) return;

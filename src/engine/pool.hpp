@@ -19,12 +19,15 @@
 // order.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <utility>
@@ -75,6 +78,91 @@ class ThreadPool {
   std::size_t executed_ = 0;
   std::size_t peak_depth_ = 0;
   bool stop_ = false;
+};
+
+// Thrown into the future of a group job whose group was cancelled before the
+// job started executing.  Jobs already running are never interrupted.
+struct JobCancelled : std::runtime_error {
+  JobCancelled() : std::runtime_error("job cancelled before start") {}
+};
+
+// A set of related pool jobs that can be awaited and cancelled as one unit
+// (a `batch` service request, the cells behind one deadline).  Cancellation
+// is cooperative and start-gated: cancel() marks the group, and every member
+// that has not yet begun executing completes immediately with JobCancelled in
+// its future instead of running.  wait() returns once every member has
+// settled — run to completion, thrown, or been cancelled at start.
+//
+// The group holds no reference back to the pool's queue; cancelled members
+// still pass through a worker as a cheap no-op, so group lifetime may not
+// exceed the pool's.
+class JobGroup {
+ public:
+  explicit JobGroup(ThreadPool& pool)
+      : pool_(pool), state_(std::make_shared<State>()) {}
+
+  JobGroup(const JobGroup&) = delete;
+  JobGroup& operator=(const JobGroup&) = delete;
+
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      ++state_->outstanding;
+    }
+    auto st = state_;
+    return pool_.submit([st, g = std::forward<F>(f)]() mutable {
+      Settle settle(st);
+      if (st->cancelled.load(std::memory_order_acquire)) {
+        {
+          std::lock_guard<std::mutex> lock(st->mu);
+          ++st->cancelled_jobs;
+        }
+        throw JobCancelled();
+      }
+      return g();
+    });
+  }
+
+  // Marks the group: members not yet started settle with JobCancelled.
+  void cancel() { state_->cancelled.store(true, std::memory_order_release); }
+  [[nodiscard]] bool cancel_requested() const {
+    return state_->cancelled.load(std::memory_order_acquire);
+  }
+
+  // Blocks until every submitted member has settled.
+  void wait() {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [this] { return state_->outstanding == 0; });
+  }
+
+  // Members that settled via cancellation rather than execution.
+  [[nodiscard]] std::size_t cancelled_jobs() const {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->cancelled_jobs;
+  }
+
+ private:
+  struct State {
+    std::atomic<bool> cancelled{false};
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::size_t outstanding = 0;
+    std::size_t cancelled_jobs = 0;
+  };
+  // RAII member settlement: runs on normal return, job exception, and the
+  // cancelled-at-start throw alike.
+  struct Settle {
+    explicit Settle(std::shared_ptr<State> st) : st_(std::move(st)) {}
+    ~Settle() {
+      std::lock_guard<std::mutex> lock(st_->mu);
+      if (--st_->outstanding == 0) st_->cv.notify_all();
+    }
+    std::shared_ptr<State> st_;
+  };
+
+  ThreadPool& pool_;
+  std::shared_ptr<State> state_;
 };
 
 }  // namespace ilp::engine

@@ -1,0 +1,76 @@
+// Minimal JSON value + recursive-descent parser for the ilpd wire protocol.
+//
+// The daemon speaks newline-delimited JSON over a raw POSIX socket and the
+// repository is dependency-free by policy, so this is a deliberately small
+// self-contained reader: UTF-8 pass-through strings, doubles with an exact
+// int64 sidecar for integral literals, objects as insertion-ordered vectors
+// (requests are tiny — linear find beats a map).  Serialization stays where
+// it always was: strformat + json_escape (support/strings.hpp); only parsing
+// needed new machinery.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ilp::server {
+
+class JsonValue {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() = default;
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::Null; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::Bool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::Number; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::String; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::Array; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::Object; }
+
+  [[nodiscard]] bool as_bool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  [[nodiscard]] double as_double(double fallback = 0.0) const {
+    return is_number() ? num_ : fallback;
+  }
+  // Integral literals round-trip exactly; non-integral numbers truncate.
+  [[nodiscard]] std::int64_t as_int(std::int64_t fallback = 0) const {
+    if (!is_number()) return fallback;
+    return int_exact_ ? int_ : static_cast<std::int64_t>(num_);
+  }
+  [[nodiscard]] const std::string& as_string() const { return str_; }
+
+  [[nodiscard]] const std::vector<JsonValue>& items() const { return items_; }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+
+  // Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view name) const;
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  // Parses exactly one JSON document (trailing whitespace allowed, trailing
+  // garbage rejected).  On failure returns nullopt and, when `error` is
+  // non-null, a byte-offset-tagged message.
+  static std::optional<JsonValue> parse(std::string_view text, std::string* error = nullptr);
+
+ private:
+  friend class Parser;
+
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::int64_t int_ = 0;
+  bool int_exact_ = false;
+  std::string str_;
+  std::vector<JsonValue> items_;                           // Array
+  std::vector<std::pair<std::string, JsonValue>> members_;  // Object
+};
+
+}  // namespace ilp::server

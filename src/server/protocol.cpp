@@ -1,0 +1,274 @@
+#include "server/protocol.hpp"
+
+#include <cinttypes>
+
+#include "support/strings.hpp"
+
+namespace ilp::server {
+
+const char* error_kind_name(ErrorKind k) {
+  switch (k) {
+    case ErrorKind::BadRequest: return "bad_request";
+    case ErrorKind::Overloaded: return "overloaded";
+    case ErrorKind::ShuttingDown: return "shutting_down";
+    case ErrorKind::DeadlineExceeded: return "deadline_exceeded";
+    case ErrorKind::CompileError: return "compile_error";
+    case ErrorKind::SimError: return "sim_error";
+    case ErrorKind::Internal: return "internal";
+  }
+  return "internal";
+}
+
+std::optional<OptLevel> parse_level_name(std::string_view name) {
+  if (name == "conv") return OptLevel::Conv;
+  if (name == "lev1") return OptLevel::Lev1;
+  if (name == "lev2") return OptLevel::Lev2;
+  if (name == "lev3") return OptLevel::Lev3;
+  if (name == "lev4") return OptLevel::Lev4;
+  return std::nullopt;
+}
+
+namespace {
+
+// Client ids are echoed byte-for-byte; only scalars are accepted (an id that
+// needed structural round-tripping would force this file to be a full JSON
+// writer for no protocol benefit).
+std::optional<std::string> serialize_scalar(const JsonValue& v) {
+  switch (v.kind()) {
+    case JsonValue::Kind::Null: return std::string("null");
+    case JsonValue::Kind::Bool: return std::string(v.as_bool() ? "true" : "false");
+    case JsonValue::Kind::Number:
+      if (v.as_double() == static_cast<double>(v.as_int()))
+        return strformat("%lld", static_cast<long long>(v.as_int()));
+      return strformat("%.17g", v.as_double());
+    case JsonValue::Kind::String:
+      return strformat("\"%s\"", json_escape(v.as_string()).c_str());
+    default: return std::nullopt;
+  }
+}
+
+bool read_int_field(const JsonValue& obj, const char* name, std::int64_t& out,
+                    std::string* error) {
+  const JsonValue* v = obj.find(name);
+  if (v == nullptr) return true;
+  if (!v->is_number()) {
+    *error = strformat("field '%s' must be a number", name);
+    return false;
+  }
+  out = v->as_int();
+  return true;
+}
+
+bool parse_compile(const JsonValue& obj, CompileRequest& out, std::string* error) {
+  if (const JsonValue* v = obj.find("source")) {
+    if (!v->is_string()) {
+      *error = "field 'source' must be a string";
+      return false;
+    }
+    out.source = v->as_string();
+  }
+  if (const JsonValue* v = obj.find("workload")) {
+    if (!v->is_string()) {
+      *error = "field 'workload' must be a string";
+      return false;
+    }
+    out.workload = v->as_string();
+  }
+  if (out.source.empty() == out.workload.empty()) {
+    *error = "compile requests need exactly one of 'source' or 'workload'";
+    return false;
+  }
+  if (const JsonValue* v = obj.find("level")) {
+    const auto l = v->is_string() ? parse_level_name(v->as_string()) : std::nullopt;
+    if (!l) {
+      *error = "field 'level' must be one of conv|lev1|lev2|lev3|lev4";
+      return false;
+    }
+    out.level = *l;
+  }
+  if (const JsonValue* v = obj.find("transforms")) {
+    if (!v->is_object()) {
+      *error = "field 'transforms' must be an object of booleans";
+      return false;
+    }
+    TransformSet set;
+    for (const auto& [name, flag] : v->members()) {
+      if (!flag.is_bool()) {
+        *error = strformat("transform '%s' must be a boolean", name.c_str());
+        return false;
+      }
+      const bool on = flag.as_bool();
+      if (name == "unroll") set.unroll = on;
+      else if (name == "rename") set.rename = on;
+      else if (name == "combine") set.combine = on;
+      else if (name == "strength") set.strength = on;
+      else if (name == "height") set.height = on;
+      else if (name == "acc_expand") set.acc_expand = on;
+      else if (name == "ind_expand") set.ind_expand = on;
+      else if (name == "search_expand") set.search_expand = on;
+      else {
+        *error = strformat("unknown transform '%s'", name.c_str());
+        return false;
+      }
+    }
+    out.transforms = set;
+  }
+  std::int64_t issue = out.issue, unroll = out.unroll;
+  if (!read_int_field(obj, "issue", issue, error)) return false;
+  if (!read_int_field(obj, "unroll", unroll, error)) return false;
+  if (issue < 1 || issue > 64) {
+    *error = "field 'issue' must be in [1, 64]";
+    return false;
+  }
+  if (unroll < 1 || unroll > 64) {
+    *error = "field 'unroll' must be in [1, 64]";
+    return false;
+  }
+  out.issue = static_cast<int>(issue);
+  out.unroll = static_cast<int>(unroll);
+  if (!read_int_field(obj, "deadline_ms", out.deadline_ms, error)) return false;
+  if (!read_int_field(obj, "debug_sleep_ms", out.debug_sleep_ms, error)) return false;
+  if (out.deadline_ms < 0 || out.debug_sleep_ms < 0) {
+    *error = "deadline_ms / debug_sleep_ms must be non-negative";
+    return false;
+  }
+  return true;
+}
+
+bool parse_batch(const JsonValue& obj, BatchRequest& out, std::string* error) {
+  if (const JsonValue* v = obj.find("workloads")) {
+    if (!v->is_array()) {
+      *error = "field 'workloads' must be an array of names";
+      return false;
+    }
+    for (const JsonValue& item : v->items()) {
+      if (!item.is_string()) {
+        *error = "field 'workloads' must contain only strings";
+        return false;
+      }
+      out.workloads.push_back(item.as_string());
+    }
+  }
+  if (const JsonValue* v = obj.find("levels")) {
+    if (!v->is_array()) {
+      *error = "field 'levels' must be an array of level names";
+      return false;
+    }
+    for (const JsonValue& item : v->items()) {
+      const auto l =
+          item.is_string() ? parse_level_name(item.as_string()) : std::nullopt;
+      if (!l) {
+        *error = "field 'levels' entries must be conv|lev1|lev2|lev3|lev4";
+        return false;
+      }
+      out.levels.push_back(*l);
+    }
+  }
+  if (const JsonValue* v = obj.find("widths")) {
+    if (!v->is_array()) {
+      *error = "field 'widths' must be an array of issue widths";
+      return false;
+    }
+    for (const JsonValue& item : v->items()) {
+      const std::int64_t w = item.is_number() ? item.as_int() : 0;
+      if (w < 1 || w > 64) {
+        *error = "field 'widths' entries must be in [1, 64]";
+        return false;
+      }
+      out.widths.push_back(static_cast<int>(w));
+    }
+  }
+  if (!read_int_field(obj, "deadline_ms", out.deadline_ms, error)) return false;
+  if (out.deadline_ms < 0) {
+    *error = "deadline_ms must be non-negative";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<Request> parse_request(const std::string& line, std::string* error) {
+  const auto doc = JsonValue::parse(line, error);
+  if (!doc) return std::nullopt;
+  if (!doc->is_object()) {
+    *error = "request must be a JSON object";
+    return std::nullopt;
+  }
+
+  Request req;
+  req.id_json = "null";
+  if (const JsonValue* id = doc->find("id")) {
+    const auto echoed = serialize_scalar(*id);
+    if (!echoed) {
+      *error = "field 'id' must be a scalar";
+      return std::nullopt;
+    }
+    req.id_json = *echoed;
+  }
+
+  const JsonValue* kind = doc->find("kind");
+  if (kind == nullptr || !kind->is_string()) {
+    *error = "field 'kind' (string) is required";
+    return std::nullopt;
+  }
+  if (kind->as_string() == "compile") {
+    req.kind = RequestKind::Compile;
+    if (!parse_compile(*doc, req.compile, error)) return std::nullopt;
+  } else if (kind->as_string() == "batch") {
+    req.kind = RequestKind::Batch;
+    if (!parse_batch(*doc, req.batch, error)) return std::nullopt;
+  } else if (kind->as_string() == "stats") {
+    req.kind = RequestKind::Stats;
+  } else {
+    *error = strformat("unknown request kind '%s'", kind->as_string().c_str());
+    return std::nullopt;
+  }
+  return req;
+}
+
+std::string serialize_compile_response(const std::string& id_json,
+                                       const CompileResponse& r) {
+  return strformat(
+      "{\"id\": %s, \"ok\": true, \"kind\": \"compile\", \"cycles\": %" PRIu64
+      ", \"base_cycles\": %" PRIu64 ", \"speedup\": %.6f, "
+      "\"dynamic_instructions\": %" PRIu64 ", \"static_instructions\": %d, "
+      "\"schedule\": {\"blocks\": %d, \"stall_cycles\": %" PRIu64 "}, "
+      "\"registers\": {\"int\": %d, \"fp\": %d}, \"cached\": %s}",
+      id_json.c_str(), r.cycles, r.base_cycles, r.speedup, r.dynamic_instructions,
+      r.static_instructions, r.blocks, r.stall_cycles, r.int_regs, r.fp_regs,
+      r.cached ? "true" : "false");
+}
+
+std::string serialize_batch_response(const std::string& id_json,
+                                     const std::vector<BatchCell>& cells,
+                                     double elapsed_ms) {
+  std::string out = strformat(
+      "{\"id\": %s, \"ok\": true, \"kind\": \"batch\", \"cells\": [", id_json.c_str());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const BatchCell& c = cells[i];
+    out += strformat(
+        "%s{\"workload\": \"%s\", \"level\": \"%s\", \"width\": %d, "
+        "\"cycles\": %" PRIu64 ", \"registers\": {\"int\": %d, \"fp\": %d}, "
+        "\"error\": \"%s\"}",
+        i == 0 ? "" : ", ", json_escape(c.workload).c_str(), level_name(c.level),
+        c.width, c.cycles, c.int_regs, c.fp_regs, json_escape(c.error).c_str());
+  }
+  out += strformat("], \"elapsed_ms\": %.3f}", elapsed_ms);
+  return out;
+}
+
+std::string serialize_stats_response(const std::string& id_json,
+                                     const std::string& stats_body) {
+  return strformat("{\"id\": %s, \"ok\": true, \"kind\": \"stats\", \"stats\": %s}",
+                   id_json.c_str(), stats_body.c_str());
+}
+
+std::string serialize_error(const std::string& id_json, ErrorKind kind,
+                            const std::string& message) {
+  return strformat(
+      "{\"id\": %s, \"ok\": false, \"error\": {\"kind\": \"%s\", \"message\": \"%s\"}}",
+      id_json.c_str(), error_kind_name(kind), json_escape(message).c_str());
+}
+
+}  // namespace ilp::server

@@ -1,0 +1,120 @@
+// The ilpd wire protocol: one JSON object per line, in both directions.
+//
+// Requests (all fields beyond `kind` optional unless noted):
+//
+//   {"id": <any scalar, echoed>, "kind": "compile",
+//    "source": "<DSL text>" | "workload": "<Table 2 name>",   // exactly one
+//    "level": "conv"|"lev1"|"lev2"|"lev3"|"lev4",             // default lev4
+//    "transforms": {"unroll": true, ...},   // overrides level (ablation form)
+//    "issue": 8, "unroll": 8,
+//    "deadline_ms": 10000, "debug_sleep_ms": 0}
+//
+//   {"kind": "batch",
+//    "workloads": ["APS-1", ...],           // empty/absent = full suite
+//    "levels": ["conv", ...], "widths": [1, 2, 4, 8],
+//    "deadline_ms": 60000}
+//
+//   {"kind": "stats"}
+//
+// Responses: {"id": ..., "ok": true, "kind": ..., <result fields>} or
+// {"id": ..., "ok": false, "error": {"kind": "<ErrorKind>", "message": ...}}.
+//
+// Error kinds are a closed enum so clients can switch on them; `overloaded`
+// and `shutting_down` are the admission controller's explicit backpressure
+// signals — the daemon never parks a request it cannot serve.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "server/json.hpp"
+#include "trans/level.hpp"
+
+namespace ilp::server {
+
+enum class RequestKind { Compile, Batch, Stats };
+
+enum class ErrorKind {
+  BadRequest,        // malformed JSON / unknown fields / bad values
+  Overloaded,        // admission queue full — retry later
+  ShuttingDown,      // drain in progress — connect elsewhere
+  DeadlineExceeded,  // request-scoped deadline fired first
+  CompileError,      // DSL front-end / transformation failure
+  SimError,          // simulation failed
+  Internal,          // engine job threw
+};
+
+[[nodiscard]] const char* error_kind_name(ErrorKind k);
+
+struct CompileRequest {
+  std::string source;           // exactly one of source/workload is set
+  std::string workload;
+  OptLevel level = OptLevel::Lev4;
+  std::optional<TransformSet> transforms;  // set => custom ablation pipeline
+  int issue = 8;
+  int unroll = 8;
+  std::int64_t deadline_ms = 0;     // 0 => service default
+  std::int64_t debug_sleep_ms = 0;  // test/bench aid: sleep inside the job
+};
+
+struct BatchRequest {
+  std::vector<std::string> workloads;  // empty => full Table 2 suite
+  std::vector<OptLevel> levels;        // empty => all five
+  std::vector<int> widths;             // empty => {1, 2, 4, 8}
+  std::int64_t deadline_ms = 0;
+};
+
+struct Request {
+  RequestKind kind = RequestKind::Stats;
+  std::string id_json;  // client id, re-serialized verbatim ("null" if absent)
+  CompileRequest compile;
+  BatchRequest batch;
+};
+
+// Parses one request line.  On failure returns nullopt and fills `error`
+// with a message suitable for a bad_request response.
+std::optional<Request> parse_request(const std::string& line, std::string* error);
+
+// --- Response builders (serialization only; the service fills the data) ----
+
+struct CompileResponse {
+  std::uint64_t cycles = 0;
+  std::uint64_t base_cycles = 0;  // Conv @ issue-1 of the same source
+  double speedup = 0.0;
+  std::uint64_t dynamic_instructions = 0;
+  std::uint64_t stall_cycles = 0;  // cycles slot 0 could not issue (schedule quality)
+  int static_instructions = 0;
+  int blocks = 0;                  // schedule summary
+  int int_regs = 0;
+  int fp_regs = 0;
+  bool cached = false;  // served without running compile+simulate
+};
+
+struct BatchCell {
+  std::string workload;
+  OptLevel level = OptLevel::Conv;
+  int width = 1;
+  std::uint64_t cycles = 0;
+  int int_regs = 0;
+  int fp_regs = 0;
+  std::string error;  // per-cell failure; batch itself still succeeds
+};
+
+std::string serialize_compile_response(const std::string& id_json,
+                                       const CompileResponse& r);
+std::string serialize_batch_response(const std::string& id_json,
+                                     const std::vector<BatchCell>& cells,
+                                     double elapsed_ms);
+// `stats_body` is a pre-rendered JSON object (the service owns the schema).
+std::string serialize_stats_response(const std::string& id_json,
+                                     const std::string& stats_body);
+std::string serialize_error(const std::string& id_json, ErrorKind kind,
+                            const std::string& message);
+
+// Shared helpers.
+[[nodiscard]] std::optional<OptLevel> parse_level_name(std::string_view name);
+
+}  // namespace ilp::server

@@ -1,0 +1,167 @@
+#include "server/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/strings.hpp"
+
+namespace ilp::server {
+
+namespace {
+
+// write() the whole buffer, riding out EINTR and short writes.
+bool write_all(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(Service& service, ServerConfig cfg)
+    : service_(service), cfg_(std::move(cfg)) {}
+
+Server::~Server() {
+  request_stop();
+  wait();
+  for (const int fd : {wake_pipe_[0], wake_pipe_[1]})
+    if (fd >= 0) ::close(fd);
+}
+
+bool Server::start() {
+  if (::pipe(wake_pipe_) != 0) {
+    error_ = strformat("pipe: %s", std::strerror(errno));
+    return false;
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    error_ = strformat("socket: %s", std::strerror(errno));
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(cfg_.port));
+  if (::inet_pton(AF_INET, cfg_.host.c_str(), &addr.sin_addr) != 1) {
+    error_ = strformat("invalid listen address '%s'", cfg_.host.c_str());
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    error_ = strformat("bind %s:%d: %s", cfg_.host.c_str(), cfg_.port,
+                       std::strerror(errno));
+    return false;
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    error_ = strformat("listen: %s", std::strerror(errno));
+    return false;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0)
+    port_ = ntohs(addr.sin_port);
+
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void Server::request_stop() {
+  if (wake_pipe_[1] >= 0) {
+    const char b = 's';
+    // Best effort; a full pipe means a stop is already pending.
+    [[maybe_unused]] const ssize_t r = ::write(wake_pipe_[1], &b, 1);
+  }
+}
+
+void Server::wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    const int r = ::poll(fds, 2, -1);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0) break;  // stop requested
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    const int one = 1;
+    ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    connections_.emplace_back([this, conn] { connection_loop(conn); });
+  }
+
+  // Drain: refuse new connections at the kernel, stop admitting new work,
+  // let every accepted request finish, then join the connection threads.
+  stopping_.store(true, std::memory_order_release);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  service_.begin_drain();
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conns.swap(connections_);
+  }
+  for (std::thread& t : conns)
+    if (t.joinable()) t.join();
+  service_.wait_drained();
+}
+
+void Server::connection_loop(int fd) {
+  std::string buf;
+  char chunk[4096];
+  for (;;) {
+    // Serve every complete line already received — during a drain these are
+    // the "accepted" requests that must still be answered.
+    std::size_t nl;
+    while ((nl = buf.find('\n')) != std::string::npos) {
+      std::string line = buf.substr(0, nl);
+      buf.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      const std::string response = service_.handle_line(line) + "\n";
+      if (!write_all(fd, response.data(), response.size())) {
+        ::close(fd);
+        return;
+      }
+    }
+    if (stopping()) break;  // answered everything received; close politely
+
+    pollfd p{fd, POLLIN, 0};
+    const int r = ::poll(&p, 1, cfg_.poll_interval_ms);
+    if (r < 0 && errno != EINTR) break;
+    if (r <= 0) continue;  // timeout: re-check the stopping flag
+    if ((p.revents & (POLLERR | POLLNVAL)) != 0) break;
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;  // peer closed (or POLLHUP with nothing buffered)
+    }
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+}
+
+}  // namespace ilp::server

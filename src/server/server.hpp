@@ -1,0 +1,79 @@
+// POSIX TCP front end for the service: newline-delimited JSON over
+// thread-per-connection sockets, with signal-safe graceful drain.
+//
+// Lifecycle:
+//
+//   Server srv(service, cfg);
+//   srv.start();                 // bound + listening; port() is now real
+//   ... srv.request_stop() ...   // from a signal handler or another thread
+//   srv.wait();                  // accepted requests answered, sockets closed
+//
+// Drain contract (the SIGTERM story): request_stop() writes one byte to a
+// self-pipe — the only async-signal-safe operation involved.  The accept
+// loop wakes, closes the listening socket (new connections are refused by
+// the kernel from that instant), flips the service into drain mode, and the
+// connection threads finish every request whose full line had been received,
+// answer any further lines on live connections with `shutting_down`, then
+// close.  wait() returns only after the service reports zero in-flight
+// cells, so no admitted work is ever dropped.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/service.hpp"
+
+namespace ilp::server {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  int port = 0;  // 0 = kernel-assigned ephemeral port (see Server::port())
+  // Idle poll granularity for connection threads; bounds drain latency.
+  int poll_interval_ms = 50;
+};
+
+class Server {
+ public:
+  Server(Service& service, ServerConfig cfg = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds, listens and spawns the accept thread.  Returns false (with a
+  // message in error()) if the address cannot be bound.
+  bool start();
+  [[nodiscard]] int port() const { return port_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  // Async-signal-safe shutdown trigger (writes to the self-pipe).
+  void request_stop();
+  // Blocks until the drain completes: listener closed, every accepted
+  // request answered, all connection threads joined.
+  void wait();
+  [[nodiscard]] bool stopping() const {
+    return stopping_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void accept_loop();
+  void connection_loop(int fd);
+
+  Service& service_;
+  ServerConfig cfg_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  // [0] read end (polled), [1] signal-safe write end
+  int port_ = 0;
+  std::string error_;
+  std::atomic<bool> stopping_{false};
+
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> connections_;
+};
+
+}  // namespace ilp::server

@@ -1,0 +1,550 @@
+#include "server/service.hpp"
+
+#include <cinttypes>
+
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "frontend/compile.hpp"
+#include "harness/experiment.hpp"
+#include "regalloc/regalloc.hpp"
+#include "sim/simulator.hpp"
+#include "support/strings.hpp"
+#include "workloads/suite.hpp"
+
+namespace ilp::server {
+
+// Future value of one admitted cell; errors are values, never exceptions, so
+// cleanup and accounting stay on one code path.
+struct Service::CellOutcome {
+  bool ok = false;
+  ErrorKind err = ErrorKind::Internal;
+  std::string message;
+  CompileResponse resp;
+};
+
+struct Service::Inflight {
+  std::shared_future<CellOutcome> future;
+  std::shared_ptr<engine::JobGroup> group;  // cancellation hook for the cell
+  std::atomic<int> waiters{1};
+};
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::optional<ErrorKind> parse_error_kind(std::string_view name) {
+  for (const ErrorKind k :
+       {ErrorKind::BadRequest, ErrorKind::Overloaded, ErrorKind::ShuttingDown,
+        ErrorKind::DeadlineExceeded, ErrorKind::CompileError, ErrorKind::SimError,
+        ErrorKind::Internal})
+    if (name == error_kind_name(k)) return k;
+  return std::nullopt;
+}
+
+// Cache payload schema for one served cell.  Versioned like the study cells:
+// an unknown prefix decodes as a miss, never as garbage numbers.
+std::string encode_cell(const Service::CellOutcome& c) {
+  if (!c.ok)
+    return strformat("ilpd-v1 err %s %s", error_kind_name(c.err), c.message.c_str());
+  const CompileResponse& r = c.resp;
+  return strformat("ilpd-v1 ok %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+                   " %d %d %d %d",
+                   r.cycles, r.base_cycles, r.dynamic_instructions, r.stall_cycles,
+                   r.static_instructions, r.blocks, r.int_regs, r.fp_regs);
+}
+
+bool decode_cell(const std::string& payload, Service::CellOutcome& out) {
+  if (payload.rfind("ilpd-v1 err ", 0) == 0) {
+    const std::string rest = payload.substr(12);
+    const std::size_t sp = rest.find(' ');
+    if (sp == std::string::npos) return false;
+    const auto kind = parse_error_kind(rest.substr(0, sp));
+    if (!kind) return false;
+    out = Service::CellOutcome{};
+    out.err = *kind;
+    out.message = rest.substr(sp + 1);
+    return true;
+  }
+  Service::CellOutcome c;
+  CompileResponse& r = c.resp;
+  if (std::sscanf(payload.c_str(),
+                  "ilpd-v1 ok %" SCNu64 " %" SCNu64 " %" SCNu64 " %" SCNu64
+                  " %d %d %d %d",
+                  &r.cycles, &r.base_cycles, &r.dynamic_instructions, &r.stall_cycles,
+                  &r.static_instructions, &r.blocks, &r.int_regs, &r.fp_regs) != 8)
+    return false;
+  c.ok = true;
+  r.speedup = r.cycles == 0 ? 0.0
+                            : static_cast<double>(r.base_cycles) /
+                                  static_cast<double>(r.cycles);
+  out = c;
+  return true;
+}
+
+// Content hash of one service cell; doubles as the in-flight coalescing key.
+std::uint64_t cell_key(const std::string& source, OptLevel level,
+                       const std::optional<TransformSet>& transforms, int issue,
+                       int unroll, std::int64_t debug_sleep_ms) {
+  engine::HashStream h;
+  h.str("ilpd-cell-v1");
+  h.str(source);
+  h.boolean(transforms.has_value());
+  if (transforms) {
+    h.boolean(transforms->unroll).boolean(transforms->rename);
+    h.boolean(transforms->combine).boolean(transforms->strength);
+    h.boolean(transforms->height).boolean(transforms->acc_expand);
+    h.boolean(transforms->ind_expand).boolean(transforms->search_expand);
+  } else {
+    h.i32(static_cast<int>(level));
+  }
+  h.i32(issue).i32(unroll);
+  h.i64(debug_sleep_ms);
+  return h.digest();
+}
+
+// Conv @ issue-1 cycles of `source` — the paper's speedup baseline.  Cached
+// under its own key: every level/width of the same source shares one entry.
+std::uint64_t base_cycles_for(const std::string& source, engine::ResultCache& cache) {
+  engine::HashStream h;
+  h.str("ilpd-base-v1");
+  h.str(source);
+  const std::uint64_t key = h.digest();
+  if (auto payload = cache.lookup(key)) {
+    std::uint64_t cycles = 0;
+    if (std::sscanf(payload->c_str(), "%" SCNu64, &cycles) == 1) return cycles;
+    cache.invalidate(key);
+  }
+  Workload w;
+  w.name = "adhoc";
+  w.source = source;
+  std::uint64_t cycles = 0;
+  auto compiled = try_compile_workload(w, OptLevel::Conv, MachineModel::issue(1));
+  if (compiled) {
+    auto sim = try_simulate_cycles(compiled->fn, MachineModel::issue(1));
+    if (sim) cycles = *sim;
+  }
+  cache.store(key, strformat("%" PRIu64, cycles));
+  return cycles;
+}
+
+// Compile + simulate one cell (no cache, no accounting — callers own both).
+Service::CellOutcome compute_cell(const std::string& source, OptLevel level,
+                                  const std::optional<TransformSet>& transforms,
+                                  int issue, int unroll,
+                                  engine::ResultCache& cache) {
+  Service::CellOutcome out;
+  const MachineModel m = MachineModel::issue(issue);
+  CompileOptions opts;
+  opts.unroll.max_factor = unroll;
+
+  Function fn{"x"};
+  if (transforms) {
+    DiagnosticEngine diags;
+    auto r = dsl::compile(source, diags);
+    if (!r) {
+      out.err = ErrorKind::CompileError;
+      out.message = diags.to_string();
+      return out;
+    }
+    try {
+      compile_with_transforms(r->fn, *transforms, m, opts);
+    } catch (const std::exception& e) {
+      out.err = ErrorKind::CompileError;
+      out.message = e.what();
+      return out;
+    }
+    fn = std::move(r->fn);
+  } else {
+    Workload w;
+    w.name = "adhoc";
+    w.source = source;
+    auto compiled = try_compile_workload(w, level, m, opts);
+    if (!compiled) {
+      out.err = ErrorKind::CompileError;
+      out.message = compiled.error_message();
+      return out;
+    }
+    fn = std::move(compiled->fn);
+  }
+
+  const RegUsage regs = measure_register_usage(fn);
+  const RunOutcome run = run_seeded(fn, m);
+  if (!run.result.ok) {
+    out.err = ErrorKind::SimError;
+    out.message = run.result.error;
+    return out;
+  }
+
+  out.ok = true;
+  CompileResponse& r = out.resp;
+  r.cycles = run.result.cycles;
+  r.dynamic_instructions = run.result.instructions;
+  r.stall_cycles = run.result.stall_cycles;
+  r.static_instructions = static_cast<int>(fn.num_insts());
+  r.blocks = static_cast<int>(fn.num_blocks());
+  r.int_regs = regs.int_regs;
+  r.fp_regs = regs.fp_regs;
+  r.base_cycles = base_cycles_for(source, cache);
+  r.speedup = r.cycles == 0 ? 0.0
+                            : static_cast<double>(r.base_cycles) /
+                                  static_cast<double>(r.cycles);
+  return out;
+}
+
+// Deadline-aware sleep used by debug_sleep_ms: wakes early on cancellation
+// so drains and deadline tests settle promptly.
+void interruptible_sleep(std::int64_t ms, const engine::JobGroup& group) {
+  const auto until = Clock::now() + std::chrono::milliseconds(ms);
+  while (Clock::now() < until && !group.cancel_requested())
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+}
+
+}  // namespace
+
+Service::Service(ServiceConfig cfg) : cfg_(std::move(cfg)), cache_(cfg_.cache_dir) {
+  workers_ = cfg_.workers;
+  if (workers_ <= 0) workers_ = static_cast<int>(std::thread::hardware_concurrency());
+  if (workers_ < 1) workers_ = 1;
+  capacity_ = static_cast<std::size_t>(workers_) + cfg_.queue_limit;
+  pool_ = std::make_unique<engine::ThreadPool>(static_cast<unsigned>(workers_));
+}
+
+Service::~Service() {
+  // Jobs capture `this`; drain them while every member is still alive.
+  pool_->shutdown();
+}
+
+void Service::begin_drain() { draining_.store(true, std::memory_order_release); }
+
+bool Service::draining() const { return draining_.load(std::memory_order_acquire); }
+
+void Service::wait_drained() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_cv_.wait(lock, [this] { return inflight_cells_ == 0; });
+}
+
+std::size_t Service::inflight_cells() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_cells_;
+}
+
+ServiceCounters Service::counters() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return counters_;
+}
+
+void Service::settle_cells(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  inflight_cells_ -= n;
+  if (inflight_cells_ == 0) drained_cv_.notify_all();
+}
+
+std::string Service::handle_line(const std::string& line) {
+  auto bump = [this](std::uint64_t ServiceCounters::* field) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++(counters_.*field);
+  };
+  bump(&ServiceCounters::received);
+
+  std::string error;
+  const auto req = parse_request(line, &error);
+  if (!req) {
+    bump(&ServiceCounters::bad_request);
+    return serialize_error("null", ErrorKind::BadRequest, error);
+  }
+
+  switch (req->kind) {
+    case RequestKind::Stats: {
+      bump(&ServiceCounters::ok);
+      return serialize_stats_response(req->id_json, stats_json());
+    }
+    case RequestKind::Compile:
+    case RequestKind::Batch: {
+      if (draining()) {
+        bump(&ServiceCounters::shutting_down);
+        return serialize_error(req->id_json, ErrorKind::ShuttingDown,
+                               "drain in progress; no new work accepted");
+      }
+      return req->kind == RequestKind::Compile ? handle_compile(*req)
+                                               : handle_batch(*req);
+    }
+  }
+  bump(&ServiceCounters::internal_errors);
+  return serialize_error(req->id_json, ErrorKind::Internal, "unhandled request kind");
+}
+
+std::string Service::handle_compile(const Request& req) {
+  auto bump = [this](std::uint64_t ServiceCounters::* field) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++(counters_.*field);
+  };
+  auto respond = [&](const CellOutcome& out) {
+    if (out.ok) {
+      bump(&ServiceCounters::ok);
+      return serialize_compile_response(req.id_json, out.resp);
+    }
+    bump(out.err == ErrorKind::Internal ? &ServiceCounters::internal_errors
+                                        : &ServiceCounters::compile_errors);
+    return serialize_error(req.id_json, out.err, out.message);
+  };
+
+  const CompileRequest& c = req.compile;
+  std::string source = c.source;
+  if (!c.workload.empty()) {
+    const Workload* w = find_workload(c.workload);
+    if (w == nullptr) {
+      bump(&ServiceCounters::bad_request);
+      return serialize_error(req.id_json, ErrorKind::BadRequest,
+                             strformat("unknown workload '%s'", c.workload.c_str()));
+    }
+    source = w->source;
+  }
+
+  const std::uint64_t key =
+      cell_key(source, c.level, c.transforms, c.issue, c.unroll, c.debug_sleep_ms);
+
+  // Warm path: a previously served identical request costs one cache lookup.
+  if (auto payload = cache_.lookup(key)) {
+    CellOutcome out;
+    if (decode_cell(*payload, out)) {
+      out.resp.cached = true;
+      return respond(out);
+    }
+    cache_.invalidate(key);
+  }
+
+  // Join an identical in-flight request, or admit a new cell.  Admission and
+  // publication are atomic so duplicates can never slip past the map.
+  std::shared_ptr<Inflight> entry;
+  bool joined = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      entry = it->second;
+      entry->waiters.fetch_add(1, std::memory_order_relaxed);
+      joined = true;
+    } else if (inflight_cells_ < capacity_) {
+      // Bounded queue: an admission that would exceed `workers + queue_limit`
+      // cells leaves `entry` null and is rejected outside the lock.
+      ++inflight_cells_;
+      entry = std::make_shared<Inflight>();
+      entry->group = std::make_shared<engine::JobGroup>(*pool_);
+      auto group = entry->group;
+      // Submitted outside the group wrapper: the outcome (including
+      // cancelled-while-queued) is always a value, so the in-flight erase and
+      // cell settlement below run on every path.
+      entry->future =
+          pool_->submit([this, source, c, key, group]() -> CellOutcome {
+            CellOutcome out;
+            if (c.debug_sleep_ms > 0 && !group->cancel_requested())
+              interruptible_sleep(c.debug_sleep_ms, *group);
+            if (group->cancel_requested()) {
+              out.err = ErrorKind::DeadlineExceeded;
+              out.message = "cancelled while queued (deadline exceeded)";
+            } else {
+              out = compute_cell(source, c.level, c.transforms, c.issue, c.unroll,
+                                 cache_);
+              cache_.store(key, encode_cell(out));
+              std::lock_guard<std::mutex> slock(stats_mu_);
+              ++counters_.cells_executed;
+            }
+            {
+              std::lock_guard<std::mutex> mlock(mu_);
+              inflight_.erase(key);
+              if (--inflight_cells_ == 0) drained_cv_.notify_all();
+            }
+            return out;
+          }).share();
+      inflight_.emplace(key, entry);
+    }
+  }
+
+  if (entry == nullptr) {
+    bump(&ServiceCounters::overloaded);
+    return serialize_error(
+        req.id_json, ErrorKind::Overloaded,
+        strformat("admission queue full (%zu cells in flight, capacity %zu)",
+                  inflight_cells(), capacity_));
+  }
+  if (joined) bump(&ServiceCounters::coalesced);
+
+  const std::int64_t deadline_ms =
+      c.deadline_ms > 0 ? c.deadline_ms : cfg_.default_deadline_ms;
+  std::shared_future<CellOutcome> fut = entry->future;
+  if (deadline_ms > 0 &&
+      fut.wait_for(std::chrono::milliseconds(deadline_ms)) ==
+          std::future_status::timeout) {
+    // Last waiter out cancels the job; if it has not started it settles as
+    // cancelled, if it is running it finishes into the cache for next time.
+    if (entry->waiters.fetch_sub(1, std::memory_order_acq_rel) == 1)
+      entry->group->cancel();
+    bump(&ServiceCounters::deadline_exceeded);
+    return serialize_error(req.id_json, ErrorKind::DeadlineExceeded,
+                           strformat("deadline of %lld ms exceeded",
+                                     static_cast<long long>(deadline_ms)));
+  }
+  entry->waiters.fetch_sub(1, std::memory_order_acq_rel);
+  CellOutcome out = fut.get();
+  if (!out.ok && out.err == ErrorKind::DeadlineExceeded)
+    bump(&ServiceCounters::deadline_exceeded);
+  return respond(out);
+}
+
+std::string Service::handle_batch(const Request& req) {
+  auto bump = [this](std::uint64_t ServiceCounters::* field) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++(counters_.*field);
+  };
+  const BatchRequest& b = req.batch;
+  engine::Stopwatch elapsed;
+
+  // Resolve the slice up front so a bad name is a bad_request, not a cell.
+  std::vector<const Workload*> loops;
+  if (b.workloads.empty()) {
+    for (const Workload& w : workload_suite()) loops.push_back(&w);
+  } else {
+    for (const std::string& name : b.workloads) {
+      const Workload* w = find_workload(name);
+      if (w == nullptr) {
+        bump(&ServiceCounters::bad_request);
+        return serialize_error(req.id_json, ErrorKind::BadRequest,
+                               strformat("unknown workload '%s'", name.c_str()));
+      }
+      loops.push_back(w);
+    }
+  }
+  std::vector<OptLevel> levels(b.levels);
+  if (levels.empty()) levels.assign(kLevels.begin(), kLevels.end());
+  std::vector<int> widths(b.widths);
+  if (widths.empty()) widths.assign(kIssueWidths.begin(), kIssueWidths.end());
+
+  const std::size_t n = loops.size() * levels.size() * widths.size();
+  if (n == 0) {
+    bump(&ServiceCounters::bad_request);
+    return serialize_error(req.id_json, ErrorKind::BadRequest, "empty batch");
+  }
+
+  bool admitted = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (inflight_cells_ + n <= capacity_) {
+      inflight_cells_ += n;
+      admitted = true;
+    }
+  }
+  if (!admitted) {
+    bump(&ServiceCounters::overloaded);
+    return serialize_error(
+        req.id_json, ErrorKind::Overloaded,
+        strformat("batch of %zu cells exceeds capacity %zu (in flight: %zu)", n,
+                  capacity_, inflight_cells()));
+  }
+
+  // One job group per batch: the whole slice cancels as a unit when the
+  // deadline fires; members already running finish (and land in the cache).
+  engine::JobGroup group(*pool_);
+  std::vector<BatchCell> cells(n);
+  std::vector<std::future<BatchCell>> futures;
+  futures.reserve(n);
+  std::size_t idx = 0;
+  for (const Workload* w : loops)
+    for (const OptLevel level : levels)
+      for (const int width : widths) {
+        BatchCell& slot = cells[idx++];
+        slot.workload = w->name;
+        slot.level = level;
+        slot.width = width;
+        futures.push_back(group.submit([this, w, level, width]() -> BatchCell {
+          BatchCell cell;
+          cell.workload = w->name;
+          cell.level = level;
+          cell.width = width;
+          const std::uint64_t key =
+              cell_key(w->source, level, std::nullopt, width, 8, 0);
+          if (auto payload = cache_.lookup(key)) {
+            CellOutcome cached;
+            if (decode_cell(*payload, cached)) {
+              if (cached.ok) {
+                cell.cycles = cached.resp.cycles;
+                cell.int_regs = cached.resp.int_regs;
+                cell.fp_regs = cached.resp.fp_regs;
+              } else {
+                cell.error = cached.message;
+              }
+              return cell;
+            }
+            cache_.invalidate(key);
+          }
+          CellOutcome out =
+              compute_cell(w->source, level, std::nullopt, width, 8, cache_);
+          cache_.store(key, encode_cell(out));
+          {
+            std::lock_guard<std::mutex> slock(stats_mu_);
+            ++counters_.cells_executed;
+          }
+          if (out.ok) {
+            cell.cycles = out.resp.cycles;
+            cell.int_regs = out.resp.int_regs;
+            cell.fp_regs = out.resp.fp_regs;
+          } else {
+            cell.error = out.message;
+          }
+          return cell;
+        }));
+      }
+
+  const std::int64_t deadline_ms =
+      b.deadline_ms > 0 ? b.deadline_ms : cfg_.default_deadline_ms;
+  const auto deadline_tp = Clock::now() + std::chrono::milliseconds(
+                                              deadline_ms > 0 ? deadline_ms : 0);
+  bool cancelled = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (deadline_ms > 0 && !cancelled &&
+        futures[i].wait_until(deadline_tp) == std::future_status::timeout) {
+      group.cancel();  // queued members settle as JobCancelled below
+      cancelled = true;
+      bump(&ServiceCounters::deadline_exceeded);
+    }
+    try {
+      cells[i] = futures[i].get();
+    } catch (const engine::JobCancelled&) {
+      cells[i].error = "cancelled: batch deadline exceeded";
+    } catch (const std::exception& e) {
+      cells[i].error = strformat("batch cell threw: %s", e.what());
+    }
+  }
+  settle_cells(n);
+
+  bump(&ServiceCounters::ok);
+  return serialize_batch_response(req.id_json, cells, elapsed.seconds() * 1e3);
+}
+
+std::string Service::stats_json() const {
+  const ServiceCounters c = counters();
+  const engine::CacheStats cs = cache_.stats();
+  return strformat(
+      "{\"uptime_seconds\": %.3f, \"draining\": %s, \"workers\": %d, "
+      "\"capacity\": %zu, \"inflight_cells\": %zu, "
+      "\"requests\": {\"received\": %" PRIu64 ", \"ok\": %" PRIu64
+      ", \"bad_request\": %" PRIu64 ", \"overloaded\": %" PRIu64
+      ", \"shutting_down\": %" PRIu64 ", \"deadline_exceeded\": %" PRIu64
+      ", \"compile_errors\": %" PRIu64 ", \"internal\": %" PRIu64
+      ", \"coalesced\": %" PRIu64 "}, "
+      "\"cells_executed\": %" PRIu64 ", "
+      "\"pool\": {\"jobs_executed\": %zu, \"peak_queue_depth\": %zu}, "
+      "\"cache\": {\"hits\": %" PRIu64 ", \"disk_hits\": %" PRIu64
+      ", \"misses\": %" PRIu64 ", \"invalid\": %" PRIu64 ", \"stores\": %" PRIu64
+      ", \"hit_rate\": %.4f}}",
+      uptime_.seconds(), draining() ? "true" : "false", workers_, capacity_,
+      inflight_cells(), c.received, c.ok, c.bad_request, c.overloaded,
+      c.shutting_down, c.deadline_exceeded, c.compile_errors, c.internal_errors,
+      c.coalesced, c.cells_executed, pool_->jobs_executed(),
+      pool_->peak_queue_depth(), cs.hits, cs.disk_hits, cs.misses, cs.invalid,
+      cs.stores, cs.hit_rate());
+}
+
+}  // namespace ilp::server

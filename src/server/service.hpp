@@ -1,0 +1,121 @@
+// The compile-and-simulate service behind ilpd: admission control, request
+// coalescing, deadlines and graceful drain on top of the experiment engine.
+//
+// Request life cycle:
+//
+//   handle_line(text) -> parse -> admission -> engine pool -> response line
+//
+//   * Admission is a bounded counter: at most `workers + queue_limit` study
+//     cells may be in flight (queued or executing).  A request that would
+//     exceed the bound is rejected immediately with an `overloaded` error —
+//     backpressure is always explicit, never a silently growing queue.
+//   * Identical in-flight compile requests coalesce: the request key is the
+//     engine cache's content hash (HashStream over source, pipeline, machine
+//     and options), and a map of in-flight jobs lets later arrivals share the
+//     first arrival's future instead of submitting duplicate work.
+//   * Completed cells persist in an engine::ResultCache (memory + optional
+//     disk tier), so a warm cache serves repeats without compiling at all.
+//   * Every request carries a deadline (client-set or the service default).
+//     A deadline that fires while the job is still queued cancels it through
+//     the engine's JobGroup cancellation hook; a job already running finishes
+//     and lands in the cache, but the caller gets `deadline_exceeded` now.
+//   * begin_drain() flips the service into shutdown mode: compile/batch
+//     requests are refused with `shutting_down` (stats still answers), and
+//     wait_drained() blocks until every admitted cell has settled.
+//
+// The service is transport-agnostic and fully thread-safe; server.cpp feeds
+// it lines from sockets, tests call handle_line directly.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "engine/cache.hpp"
+#include "engine/metrics.hpp"
+#include "engine/pool.hpp"
+#include "server/protocol.hpp"
+
+namespace ilp::server {
+
+struct ServiceConfig {
+  int workers = 0;                 // 0 = one per hardware thread
+  std::size_t queue_limit = 64;    // admitted-but-unfinished cells beyond workers
+  std::int64_t default_deadline_ms = 30'000;  // 0 = no default deadline
+  std::string cache_dir;           // non-empty: persistent result tier
+};
+
+struct ServiceCounters {
+  std::uint64_t received = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t bad_request = 0;
+  std::uint64_t overloaded = 0;
+  std::uint64_t shutting_down = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t compile_errors = 0;  // compile_error + sim_error responses
+  std::uint64_t internal_errors = 0;
+  std::uint64_t coalesced = 0;       // requests that joined an in-flight twin
+  std::uint64_t cells_executed = 0;  // cells actually computed (not cached)
+};
+
+class Service {
+ public:
+  explicit Service(ServiceConfig cfg = {});
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  // Processes one request line, blocking until the response is ready.
+  // Always returns a single response line (no trailing newline) — every
+  // failure mode has a protocol representation.
+  std::string handle_line(const std::string& line);
+
+  // Refuse new compile/batch work from now on (`shutting_down`); stats
+  // requests still answer so drains are observable.
+  void begin_drain();
+  [[nodiscard]] bool draining() const;
+  // Blocks until every admitted cell has settled (run, failed or cancelled).
+  void wait_drained();
+
+  [[nodiscard]] ServiceCounters counters() const;
+  [[nodiscard]] engine::CacheStats cache_stats() const { return cache_.stats(); }
+  [[nodiscard]] std::size_t inflight_cells() const;
+  [[nodiscard]] int workers() const { return workers_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  // The stats-response body; exposed for ilpd's --stats-on-exit report.
+  [[nodiscard]] std::string stats_json() const;
+
+  // Defined in service.cpp; public so the file-local compute/encode helpers
+  // there can name them.
+  struct CellOutcome;
+  struct Inflight;
+
+ private:
+  std::string handle_compile(const Request& req);
+  std::string handle_batch(const Request& req);
+
+  // Exactly-once bookkeeping when an admitted cell settles.
+  void settle_cells(std::size_t n);
+
+  ServiceConfig cfg_;
+  int workers_ = 1;
+  std::size_t capacity_ = 1;
+  engine::ResultCache cache_;
+  std::unique_ptr<engine::ThreadPool> pool_;
+  engine::Stopwatch uptime_;
+
+  mutable std::mutex mu_;                 // guards inflight_ map + cell count
+  std::condition_variable drained_cv_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Inflight>> inflight_;
+  std::size_t inflight_cells_ = 0;
+  std::atomic<bool> draining_{false};
+
+  mutable std::mutex stats_mu_;
+  ServiceCounters counters_;
+};
+
+}  // namespace ilp::server

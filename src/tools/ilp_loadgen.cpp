@@ -1,0 +1,220 @@
+// ilp_loadgen — closed-loop load generator for ilpd.
+//
+//   ilp_loadgen [--host H] --port P [--connections N] [--duration-s S]
+//               [--corpus N] [--seed-base N] [--issue W] [--out FILE]
+//               [--no-warmup]
+//
+// Builds a corpus of randomized fuzz-generator programs (the same
+// distribution the differential tests replay), pre-serializes one compile
+// request per program, optionally runs a warm-up pass so the daemon's result
+// cache is hot, then hammers the server from N connections for S seconds.
+// Reports throughput and p50/p90/p99/max latency, and writes them as JSON to
+// --out (BENCH_3.json in CI).
+//
+// Exit status is nonzero on any protocol failure — a dropped connection, an
+// unparseable response, or an `ok:false` reply — so CI catches crashes and
+// protocol bugs without being sensitive to machine speed.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fixtures.hpp"
+#include "server/json.hpp"
+#include "server/netclient.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct WorkerResult {
+  std::vector<std::int64_t> latencies_us;
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  std::string first_error;
+};
+
+struct Options {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int connections = 8;
+  int duration_s = 10;
+  int corpus = 32;
+  std::uint64_t seed_base = 7'000;
+  int issue = 8;
+  std::string out;
+  bool warmup = true;
+};
+
+// One closed-loop connection: send, wait for the reply, repeat.
+void run_worker(const Options& opt, const std::vector<std::string>& requests,
+                Clock::time_point deadline, int worker_id, WorkerResult* out) {
+  ilp::server::LineClient client;
+  if (!client.connect(opt.host, opt.port)) {
+    out->errors = 1;
+    out->first_error = "connect failed";
+    return;
+  }
+  std::size_t next = static_cast<std::size_t>(worker_id);  // stagger the corpus walk
+  while (Clock::now() < deadline) {
+    const std::string& line = requests[next % requests.size()];
+    ++next;
+    const auto t0 = Clock::now();
+    if (!client.send_line(line)) {
+      ++out->errors;
+      if (out->first_error.empty()) out->first_error = "send failed";
+      return;
+    }
+    const auto reply = client.recv_line();
+    const auto t1 = Clock::now();
+    if (!reply) {
+      ++out->errors;
+      if (out->first_error.empty()) out->first_error = "recv failed (timeout/EOF)";
+      return;
+    }
+    ++out->requests;
+    out->latencies_us.push_back(
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count());
+    std::string err;
+    const auto parsed = ilp::server::JsonValue::parse(*reply, &err);
+    const ilp::server::JsonValue* ok = parsed ? parsed->find("ok") : nullptr;
+    if (!parsed || ok == nullptr || !ok->is_bool() || !ok->as_bool()) {
+      ++out->errors;
+      if (out->first_error.empty())
+        out->first_error = "bad response: " + *reply;
+    }
+  }
+}
+
+std::int64_t percentile(const std::vector<std::int64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host H] --port P [--connections N] [--duration-s S]\n"
+               "          [--corpus N] [--seed-base N] [--issue W] [--out FILE]\n"
+               "          [--no-warmup]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--host" && (v = next())) opt.host = v;
+    else if (arg == "--port" && (v = next())) opt.port = std::atoi(v);
+    else if (arg == "--connections" && (v = next())) opt.connections = std::atoi(v);
+    else if (arg == "--duration-s" && (v = next())) opt.duration_s = std::atoi(v);
+    else if (arg == "--corpus" && (v = next())) opt.corpus = std::atoi(v);
+    else if (arg == "--seed-base" && (v = next()))
+      opt.seed_base = static_cast<std::uint64_t>(std::atoll(v));
+    else if (arg == "--issue" && (v = next())) opt.issue = std::atoi(v);
+    else if (arg == "--out" && (v = next())) opt.out = v;
+    else if (arg == "--no-warmup") opt.warmup = false;
+    else {
+      std::fprintf(stderr, "unknown or incomplete flag '%s'\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (opt.port <= 0 || opt.connections <= 0 || opt.duration_s <= 0 ||
+      opt.corpus <= 0)
+    return usage(argv[0]);
+
+  // Pre-serialize one compile request per corpus program; id = corpus index.
+  std::vector<std::string> requests;
+  requests.reserve(static_cast<std::size_t>(opt.corpus));
+  for (int c = 0; c < opt.corpus; ++c) {
+    const std::string src = ilp::testing::random_program(opt.seed_base + c);
+    requests.push_back(ilp::strformat(
+        R"({"id":%d,"kind":"compile","source":"%s","level":"lev4","issue":%d})", c,
+        ilp::json_escape(src).c_str(), opt.issue));
+  }
+
+  // Warm-up: one sequential pass so every corpus cell lands in the daemon's
+  // cache; the timed phase then measures service overhead, not compile time.
+  if (opt.warmup) {
+    ilp::server::LineClient warm;
+    if (!warm.connect(opt.host, opt.port)) {
+      std::fprintf(stderr, "ilp_loadgen: cannot connect to %s:%d\n",
+                   opt.host.c_str(), opt.port);
+      return 1;
+    }
+    for (const std::string& line : requests) {
+      if (!warm.send_line(line) || !warm.recv_line(120'000)) {
+        std::fprintf(stderr, "ilp_loadgen: warmup request failed\n");
+        return 1;
+      }
+    }
+  }
+
+  const auto start = Clock::now();
+  const auto deadline = start + std::chrono::seconds(opt.duration_s);
+  std::vector<WorkerResult> results(static_cast<std::size_t>(opt.connections));
+  std::vector<std::thread> threads;
+  threads.reserve(results.size());
+  for (int w = 0; w < opt.connections; ++w)
+    threads.emplace_back(run_worker, std::cref(opt), std::cref(requests), deadline,
+                         w, &results[static_cast<std::size_t>(w)]);
+  for (std::thread& t : threads) t.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::vector<std::int64_t> all;
+  std::uint64_t total = 0, errors = 0;
+  std::string first_error;
+  for (const WorkerResult& r : results) {
+    total += r.requests;
+    errors += r.errors;
+    if (first_error.empty()) first_error = r.first_error;
+    all.insert(all.end(), r.latencies_us.begin(), r.latencies_us.end());
+  }
+  std::sort(all.begin(), all.end());
+  const double rps = elapsed_s > 0 ? static_cast<double>(total) / elapsed_s : 0.0;
+  const std::int64_t p50 = percentile(all, 0.50);
+  const std::int64_t p90 = percentile(all, 0.90);
+  const std::int64_t p99 = percentile(all, 0.99);
+  const std::int64_t mx = all.empty() ? 0 : all.back();
+
+  const std::string report = ilp::strformat(
+      "{\"bench\":\"ilp_loadgen\",\"connections\":%d,\"duration_s\":%.3f,"
+      "\"corpus\":%d,\"issue\":%d,\"warm_cache\":%s,\"requests\":%llu,"
+      "\"errors\":%llu,\"throughput_rps\":%.1f,\"latency_us\":{\"p50\":%lld,"
+      "\"p90\":%lld,\"p99\":%lld,\"max\":%lld}}",
+      opt.connections, elapsed_s, opt.corpus, opt.issue,
+      opt.warmup ? "true" : "false", static_cast<unsigned long long>(total),
+      static_cast<unsigned long long>(errors), rps, static_cast<long long>(p50),
+      static_cast<long long>(p90), static_cast<long long>(p99),
+      static_cast<long long>(mx));
+
+  std::printf("%s\n", report.c_str());
+  if (!opt.out.empty()) {
+    std::FILE* f = std::fopen(opt.out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "ilp_loadgen: cannot write %s\n", opt.out.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s\n", report.c_str());
+    std::fclose(f);
+  }
+  if (errors > 0) {
+    std::fprintf(stderr, "ilp_loadgen: %llu protocol errors (first: %s)\n",
+                 static_cast<unsigned long long>(errors), first_error.c_str());
+    return 1;
+  }
+  return 0;
+}

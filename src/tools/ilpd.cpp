@@ -1,0 +1,107 @@
+// ilpd — the batching compile-and-simulate daemon.
+//
+//   ilpd [--host H] [--port P] [--workers N] [--queue-limit N]
+//        [--deadline-ms MS] [--cache-dir DIR] [--stats-on-exit]
+//
+// Speaks newline-delimited JSON (see src/server/protocol.hpp for the wire
+// format).  SIGTERM/SIGINT trigger a graceful drain: the listener closes
+// immediately, every request whose full line was received is answered, then
+// the process exits 0.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "server/server.hpp"
+#include "server/service.hpp"
+
+namespace {
+
+ilp::server::Server* g_server = nullptr;
+
+void on_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();  // async-signal-safe
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host H] [--port P] [--workers N] [--queue-limit N]\n"
+               "          [--deadline-ms MS] [--cache-dir DIR] [--stats-on-exit]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ilp::server::ServiceConfig scfg;
+  ilp::server::ServerConfig ncfg;
+  bool stats_on_exit = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--host") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      ncfg.host = v;
+    } else if (arg == "--port") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      ncfg.port = std::atoi(v);
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      scfg.workers = std::atoi(v);
+    } else if (arg == "--queue-limit") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      scfg.queue_limit = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--deadline-ms") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      scfg.default_deadline_ms = std::atol(v);
+    } else if (arg == "--cache-dir") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      scfg.cache_dir = v;
+    } else if (arg == "--stats-on-exit") {
+      stats_on_exit = true;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+
+  ilp::server::Service service(scfg);
+  ilp::server::Server server(service, ncfg);
+  if (!server.start()) {
+    std::fprintf(stderr, "ilpd: %s\n", server.error().c_str());
+    return 1;
+  }
+  g_server = &server;
+
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+  signal(SIGPIPE, SIG_IGN);  // peers may close mid-write; write_all handles it
+
+  std::printf("ilpd listening on %s:%d (%d workers, capacity %zu)\n",
+              ncfg.host.c_str(), server.port(), service.workers(),
+              service.capacity());
+  std::fflush(stdout);
+
+  server.wait();  // returns once the drain completes
+  g_server = nullptr;
+
+  if (stats_on_exit) {
+    std::printf("%s\n", service.stats_json().c_str());
+    std::fflush(stdout);
+  }
+  return 0;
+}

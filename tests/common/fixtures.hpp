@@ -1,16 +1,166 @@
 // Shared test helpers: construction of the paper's example loops (Figures 1,
-// 3, 5, 6, 7) and steady-state cycle measurement.
+// 3, 5, 6, 7), steady-state cycle measurement, and the randomized DSL
+// program generator used by the differential fuzz tests, the server tests
+// and the ilp_loadgen corpus.
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
+#include <string>
 
 #include "ir/builder.hpp"
 #include "ir/function.hpp"
 #include "machine/machine.hpp"
 #include "sim/simulator.hpp"
+#include "support/strings.hpp"
 
 namespace ilp::testing {
+
+// --- Randomized DSL corpus ---------------------------------------------------
+
+// Deterministic 64-bit LCG used by all property-based tests.  next() exposes
+// the top 47 bits of the state; range() draws without modulo bias (rejection
+// sampling over the 47-bit output range), so small spans are exactly uniform
+// — the old `next() % span` skewed low values and with them the generated
+// statement mix.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : s_(seed * 2654435761u + 0x9e3779b97f4a7c15ull) {}
+
+  std::uint64_t next() {
+    s_ = s_ * 6364136223846793005ull + 1442695040888963407ull;
+    return s_ >> 17;
+  }
+
+  int range(int lo, int hi) {  // inclusive, unbiased
+    const auto span = static_cast<std::uint64_t>(hi - lo + 1);
+    constexpr std::uint64_t kOutRange = 1ull << 47;  // next() yields [0, 2^47)
+    const std::uint64_t limit = kOutRange - kOutRange % span;
+    std::uint64_t v;
+    do {
+      v = next();
+    } while (v >= limit);
+    return lo + static_cast<int>(v % span);
+  }
+
+  bool chance(int percent) { return range(1, 100) <= percent; }
+
+ private:
+  std::uint64_t s_;
+};
+
+// Scales a fuzz test's seed count by the ILP_FUZZ_SEEDS environment variable:
+// unset/empty/invalid keeps the base count; "10" or "10x" multiplies it by 10
+// (the nightly extended-fuzz CI job runs with ILP_FUZZ_SEEDS=10x).
+inline int fuzz_seed_count(int base) {
+  const char* env = std::getenv("ILP_FUZZ_SEEDS");
+  if (env == nullptr || *env == '\0') return base;
+  char* end = nullptr;
+  const long mult = std::strtol(env, &end, 10);
+  if (mult <= 0 || end == env) return base;
+  return base * static_cast<int>(mult);
+}
+
+// Generates a random structurally valid single-nest program over fp arrays
+// A..E, int arrays K/L and scalars.  The statement mix deliberately covers
+// every transformation family: reductions and searches (expansion), fp and
+// int recurrences, subscript offsets (disambiguation), integer
+// multiply/divide/remainder by constants whose strength-reduced forms are
+// shift/add chains, int-array stores, and — with small probability —
+// zero-trip and single-trip loops, the unroll preconditioning edge cases.
+inline std::string random_program(std::uint64_t seed) {
+  Rng rng(seed);
+  int trip;
+  switch (rng.range(0, 19)) {
+    case 0: trip = 0; break;   // zero-trip: guard branch skips the body
+    case 1: trip = 1; break;   // single-trip: preconditioning leaves no kernel
+    default: trip = rng.range(5, 90); break;
+  }
+  const int lo_off = 4;                // room for negative subscript offsets
+  const int len = trip + 16;
+  const bool nested = rng.chance(35);
+
+  std::string src = "program fuzz\n";
+  for (const char* a : {"A", "B", "C", "D", "E"})
+    src += strformat("array %s[%d] fp\n", a, len);
+  src += strformat("array K[%d] int\n", len);
+  src += strformat("array L[%d] int\n", len);
+  src +=
+      "scalar s fp out\n"
+      "scalar t fp\n"
+      "scalar m fp init -1.0e30 out\n"
+      "scalar n int out\n";
+
+  // Multiplicands whose strength-reduced replacements are single shifts
+  // (2^k) and two-shift add/sub chains (2^a +/- 2^b).
+  static constexpr int kShiftAddConsts[] = {2, 3, 4, 5, 6, 8, 12, 15, 16, 17};
+  auto shift_add_const = [&rng] { return kShiftAddConsts[rng.range(0, 9)]; };
+
+  std::string body;
+  const int stmts = rng.range(2, 8);
+  bool t_defined = false;
+  for (int k = 0; k < stmts; ++k) {
+    switch (rng.range(0, 12)) {
+      case 0:
+        body += strformat("    C[i] = A[i%+d] %c B[i];\n", rng.range(-3, 3),
+                          "+-*"[rng.range(0, 2)]);
+        break;
+      case 1:
+        body += strformat("    D[i%+d] = A[i] * %d.5;\n", rng.range(-2, 2),
+                          rng.range(0, 3));
+        break;
+      case 2:
+        body += "    s = s + A[i] * B[i];\n";
+        break;
+      case 3:
+        body += "    m = max(m, B[i] - A[i]);\n";
+        break;
+      case 4:
+        body += strformat("    t = A[i] * %d.25 + C[i];\n", rng.range(0, 2));
+        t_defined = true;
+        break;
+      case 5:
+        if (t_defined)
+          body += "    E[i] = t + B[i];\n";
+        else
+          body += "    E[i] = B[i] * 2.0;\n";
+        break;
+      case 6:
+        body += strformat("    A[i] = A[i-%d] * 0.5 + B[i];\n", rng.range(1, 4));
+        break;
+      case 7:
+        body += "    s = s + A[i] / (B[i] + 3.0);\n";
+        break;
+      case 8:
+        body += strformat("    n = n + K[i] %% %d + K[i] / %d;\n", rng.range(2, 9),
+                          rng.range(2, 9));
+        break;
+      case 9:
+        body += "    E[i] = (A[i] + B[i]) * (C[i] + 1.5) * D[i] / (B[i] + 2.0);\n";
+        break;
+      case 10:  // int-array store with a shift/add-reducible multiply
+        body += strformat("    K[i%+d] = K[i] * %d + %d;\n", rng.range(-2, 2),
+                          shift_add_const(), rng.range(0, 7));
+        break;
+      case 11:  // int store reading the int reduction scalar (loop-carried)
+        body += strformat("    L[i] = K[i] * %d - n;\n", shift_add_const());
+        break;
+      case 12:  // multiply-by-constant operand feeding an int reduction
+        body += strformat("    n = n + L[i] * %d;\n", shift_add_const());
+        break;
+    }
+  }
+  if (rng.chance(25)) body += "    if (s > 1.0e14) break;\n";
+
+  const std::string inner = strformat("  loop i = %d to %d {\n%s  }\n", lo_off,
+                                      lo_off + trip - 1, body.c_str());
+  if (nested)
+    src += strformat("loop o = 0 to %d {\n%s}\n", rng.range(1, 2), inner.c_str());
+  else
+    src += inner.substr(2);  // unindent
+  return src;
+}
 
 // Measures steady-state cycles per innermost iteration by differencing two
 // runs with different trip counts (removes entry/exit overhead exactly for

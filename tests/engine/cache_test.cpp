@@ -4,6 +4,7 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -120,6 +121,76 @@ TEST(ResultCache, ConcurrentStoreLookupIsRaceFree) {
     });
   for (auto& th : threads) th.join();
   EXPECT_EQ(cache.size(), 25u);
+}
+
+// Heavy contention on one on-disk tier, including the cross-process shape:
+// two ResultCache instances share the directory (as ilpd and a bench binary
+// would), and every thread mixes stores, lookups and invalidations over a
+// small key set.  Every observed payload must decode to a complete value —
+// a torn read here means the write-then-rename publish or the tmp-file
+// naming is broken — and the stats must balance exactly.
+TEST(ResultCache, ContendedDiskTierNeverServesTornEntries) {
+  TempDir dir;
+  ResultCache shared_a(dir.path);
+  ResultCache shared_b(dir.path);  // same disk tier, separate memory tier
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 400;
+  constexpr std::uint64_t kKeys = 7;
+  // Payloads are "v<key> <body>" with a length-checkable body so partial
+  // file contents cannot decode as valid.
+  auto payload_for = [](std::uint64_t key) {
+    std::string body(128, static_cast<char>('a' + key));
+    return "v" + std::to_string(key) + " " + body;
+  };
+
+  std::atomic<std::uint64_t> torn{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      ResultCache& cache = (t % 2 == 0) ? shared_a : shared_b;
+      for (int i = 0; i < kIters; ++i) {
+        const std::uint64_t key = static_cast<std::uint64_t>((t + i)) % kKeys;
+        switch (i % 4) {
+          case 0:
+            cache.store(key, payload_for(key));
+            break;
+          case 3:
+            if (t % 4 == 1 && i % 64 == 3) {
+              cache.invalidate(key);
+              break;
+            }
+            [[fallthrough]];
+          default: {
+            const auto got = cache.lookup(key);
+            if (got && *got != payload_for(key))
+              torn.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+        }
+      }
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(torn.load(), 0u);
+
+  // Hit accounting balances under contention: every lookup was classified
+  // exactly once, and no tier invented hits it never served.
+  for (const ResultCache* cache : {&shared_a, &shared_b}) {
+    const CacheStats s = cache->stats();
+    EXPECT_EQ(s.lookups(), s.hits + s.disk_hits + s.misses);
+    EXPECT_LE(s.invalid, s.hits + s.disk_hits);
+    EXPECT_LE(s.total_hits(), s.lookups());
+    EXPECT_GT(s.stores, 0u);
+    EXPECT_GT(s.lookups(), 0u);
+  }
+
+  // Whatever survived on disk is readable and whole from a fresh instance.
+  ResultCache fresh(dir.path);
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    const auto got = fresh.lookup(key);
+    if (got) EXPECT_EQ(*got, payload_for(key)) << "key " << key;
+  }
 }
 
 }  // namespace

@@ -107,5 +107,67 @@ TEST(ThreadPool, StressConcurrentSubmitAndShutdown) {
   }
 }
 
+TEST(JobGroup, WaitBlocksUntilAllMembersSettle) {
+  ThreadPool pool(2);
+  JobGroup group(pool);
+  std::atomic<int> ran{0};
+  std::vector<std::future<int>> futures;
+  futures.reserve(10);
+  for (int i = 0; i < 10; ++i)
+    futures.push_back(group.submit([&ran, i] {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      return i * i;
+    }));
+  group.wait();
+  EXPECT_EQ(ran.load(), 10);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(futures[i].get(), i * i);
+  EXPECT_EQ(group.cancelled_jobs(), 0u);
+}
+
+// Start-gated cancellation: a one-worker pool is blocked by a gate job, so
+// later members are provably unstarted when cancel() lands — each must
+// settle with JobCancelled instead of running.
+TEST(JobGroup, CancelSkipsUnstartedMembers) {
+  ThreadPool pool(1);
+  JobGroup group(pool);
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::promise<void> started;
+  auto first = group.submit([opened, &started] {
+    started.set_value();
+    opened.wait();
+    return 1;
+  });
+  std::vector<std::future<int>> queued;
+  queued.reserve(5);
+  for (int i = 0; i < 5; ++i)
+    queued.push_back(group.submit([] { return 2; }));
+
+  // Cancellation is start-gated, so the first member only survives if it has
+  // actually begun running when cancel() lands — wait for that, don't race it.
+  started.get_future().wait();
+  group.cancel();
+  EXPECT_TRUE(group.cancel_requested());
+  gate.set_value();
+  group.wait();
+
+  // The running member was never interrupted...
+  EXPECT_EQ(first.get(), 1);
+  // ...and every queued member settled as cancelled, exceptions in futures.
+  for (auto& f : queued) EXPECT_THROW(f.get(), JobCancelled);
+  EXPECT_EQ(group.cancelled_jobs(), 5u);
+}
+
+TEST(JobGroup, MemberExceptionsStayInTheirFutures) {
+  ThreadPool pool(2);
+  JobGroup group(pool);
+  auto bad = group.submit([]() -> int { throw std::runtime_error("boom"); });
+  auto good = group.submit([] { return 7; });
+  group.wait();
+  EXPECT_EQ(good.get(), 7);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  EXPECT_EQ(group.cancelled_jobs(), 0u);
+}
+
 }  // namespace
 }  // namespace ilp::engine

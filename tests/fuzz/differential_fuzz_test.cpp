@@ -11,6 +11,7 @@
 
 #include <string>
 
+#include "common/fixtures.hpp"
 #include "frontend/compile.hpp"
 #include "ir/printer.hpp"
 #include "sim/simulator.hpp"
@@ -23,94 +24,12 @@
 namespace ilp {
 namespace {
 
-class Rng {
- public:
-  explicit Rng(std::uint64_t seed) : s_(seed * 2654435761u + 0x9e3779b97f4a7c15ull) {}
-  std::uint64_t next() {
-    s_ = s_ * 6364136223846793005ull + 1442695040888963407ull;
-    return s_ >> 17;
-  }
-  int range(int lo, int hi) {  // inclusive
-    return lo + static_cast<int>(next() % static_cast<std::uint64_t>(hi - lo + 1));
-  }
-  bool chance(int percent) { return range(1, 100) <= percent; }
-
- private:
-  std::uint64_t s_;
-};
-
-// Generates a random single-nest program over fp arrays A..E and scalars.
-std::string random_program(std::uint64_t seed) {
-  Rng rng(seed);
-  const int trip = rng.range(5, 90);
-  const int lo_off = 4;                // room for negative subscript offsets
-  const int len = trip + 16;
-  const bool nested = rng.chance(35);
-
-  std::string src = "program fuzz\n";
-  for (const char* a : {"A", "B", "C", "D", "E"})
-    src += strformat("array %s[%d] fp\n", a, len);
-  src += strformat("array K[%d] int\n", len);
-  src +=
-      "scalar s fp out\n"
-      "scalar t fp\n"
-      "scalar m fp init -1.0e30 out\n"
-      "scalar n int out\n";
-
-  std::string body;
-  const int stmts = rng.range(2, 8);
-  bool t_defined = false;
-  for (int k = 0; k < stmts; ++k) {
-    switch (rng.range(0, 9)) {
-      case 0:
-        body += strformat("    C[i] = A[i%+d] %c B[i];\n", rng.range(-3, 3),
-                          "+-*"[rng.range(0, 2)]);
-        break;
-      case 1:
-        body += strformat("    D[i%+d] = A[i] * %d.5;\n", rng.range(-2, 2),
-                          rng.range(0, 3));
-        break;
-      case 2:
-        body += "    s = s + A[i] * B[i];\n";
-        break;
-      case 3:
-        body += "    m = max(m, B[i] - A[i]);\n";
-        break;
-      case 4:
-        body += strformat("    t = A[i] * %d.25 + C[i];\n", rng.range(0, 2));
-        t_defined = true;
-        break;
-      case 5:
-        if (t_defined)
-          body += "    E[i] = t + B[i];\n";
-        else
-          body += "    E[i] = B[i] * 2.0;\n";
-        break;
-      case 6:
-        body += strformat("    A[i] = A[i-%d] * 0.5 + B[i];\n", rng.range(1, 4));
-        break;
-      case 7:
-        body += "    s = s + A[i] / (B[i] + 3.0);\n";
-        break;
-      case 8:
-        body += strformat("    n = n + K[i] %% %d + K[i] / %d;\n", rng.range(2, 9),
-                          rng.range(2, 9));
-        break;
-      case 9:
-        body += "    E[i] = (A[i] + B[i]) * (C[i] + 1.5) * D[i] / (B[i] + 2.0);\n";
-        break;
-    }
-  }
-  if (rng.chance(25)) body += "    if (s > 1.0e14) break;\n";
-
-  const std::string inner = strformat("  loop i = %d to %d {\n%s  }\n", lo_off,
-                                      lo_off + trip - 1, body.c_str());
-  if (nested)
-    src += strformat("loop o = 0 to %d {\n%s}\n", rng.range(1, 2), inner.c_str());
-  else
-    src += inner.substr(2);  // unindent
-  return src;
-}
+// The corpus generator lives in tests/common/fixtures.hpp so the server tests
+// and ilp_loadgen replay the same program distribution.  Seed counts scale
+// with ILP_FUZZ_SEEDS (the nightly job sets 10x).
+using testing::fuzz_seed_count;
+using testing::random_program;
+using testing::Rng;
 
 RunOutcome run_program(const std::string& src, OptLevel level, int width,
                        const TransformSet* custom = nullptr) {
@@ -127,7 +46,8 @@ RunOutcome run_program(const std::string& src, OptLevel level, int width,
 }
 
 TEST(DifferentialFuzz, AllLevelsPreserveRandomPrograms) {
-  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+  const std::uint64_t n = fuzz_seed_count(60);
+  for (std::uint64_t seed = 1; seed <= n; ++seed) {
     const std::string src = random_program(seed);
     DiagnosticEngine diags;
     auto base = dsl::compile(src, diags);
@@ -146,7 +66,8 @@ TEST(DifferentialFuzz, AllLevelsPreserveRandomPrograms) {
 }
 
 TEST(DifferentialFuzz, RandomTransformSubsetsPreserveRandomPrograms) {
-  for (std::uint64_t seed = 100; seed <= 140; ++seed) {
+  const std::uint64_t n = 100 + fuzz_seed_count(41) - 1;
+  for (std::uint64_t seed = 100; seed <= n; ++seed) {
     const std::string src = random_program(seed);
     DiagnosticEngine diags;
     auto base = dsl::compile(src, diags);
@@ -172,7 +93,8 @@ TEST(DifferentialFuzz, RandomTransformSubsetsPreserveRandomPrograms) {
 }
 
 TEST(DifferentialFuzz, NarrowAndWideMachinesAgreeFunctionally) {
-  for (std::uint64_t seed = 200; seed <= 220; ++seed) {
+  const std::uint64_t n = 200 + fuzz_seed_count(21) - 1;
+  for (std::uint64_t seed = 200; seed <= n; ++seed) {
     const std::string src = random_program(seed);
     const RunOutcome w1 = run_program(src, OptLevel::Lev4, 1);
     const RunOutcome w8 = run_program(src, OptLevel::Lev4, 8);
@@ -187,7 +109,8 @@ TEST(DifferentialFuzz, NarrowAndWideMachinesAgreeFunctionally) {
 }
 
 TEST(DifferentialFuzz, SoftwarePipeliningPreservesRandomPrograms) {
-  for (std::uint64_t seed = 300; seed <= 330; ++seed) {
+  const std::uint64_t n = 300 + fuzz_seed_count(31) - 1;
+  for (std::uint64_t seed = 300; seed <= n; ++seed) {
     const std::string src = random_program(seed);
     DiagnosticEngine d0;
     auto base = dsl::compile(src, d0);
@@ -214,7 +137,8 @@ TEST(DifferentialFuzz, SoftwarePipeliningPreservesRandomPrograms) {
 }
 
 TEST(DifferentialFuzz, RegisterAssignmentPreservesRandomPrograms) {
-  for (std::uint64_t seed = 400; seed <= 425; ++seed) {
+  const std::uint64_t n = 400 + fuzz_seed_count(26) - 1;
+  for (std::uint64_t seed = 400; seed <= n; ++seed) {
     const std::string src = random_program(seed);
     DiagnosticEngine d0;
     auto base = dsl::compile(src, d0);
