@@ -62,7 +62,7 @@ std::optional<std::string> ResultCache::lookup(std::uint64_t key) {
       std::string payload = ss.str();
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.disk_hits;
-      mem_.emplace(key, payload);
+      if (mem_.emplace(key, payload).second) mem_bytes_ += payload.size();
       return payload;
     }
   }
@@ -76,6 +76,8 @@ void ResultCache::store(std::uint64_t key, std::string_view payload) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.stores;
+    if (auto it = mem_.find(key); it != mem_.end()) mem_bytes_ -= it->second.size();
+    mem_bytes_ += payload.size();
     mem_.insert_or_assign(key, std::string(payload));
     if (!dir_.empty()) {
       if (!dir_ready_) {
@@ -113,7 +115,10 @@ void ResultCache::invalidate(std::uint64_t key) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.invalid;
-    mem_.erase(key);
+    if (auto it = mem_.find(key); it != mem_.end()) {
+      mem_bytes_ -= it->second.size();
+      mem_.erase(it);
+    }
   }
   if (!dir_.empty()) {
     std::error_code ec;
@@ -131,9 +136,15 @@ std::size_t ResultCache::size() const {
   return mem_.size();
 }
 
+std::size_t ResultCache::memory_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return mem_bytes_;
+}
+
 void ResultCache::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   mem_.clear();
+  mem_bytes_ = 0;
   stats_ = CacheStats{};
 }
 

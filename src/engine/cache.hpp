@@ -89,6 +89,9 @@ class ResultCache {
   [[nodiscard]] CacheStats stats() const;
   [[nodiscard]] const std::string& dir() const { return dir_; }
   [[nodiscard]] std::size_t size() const;
+  // Payload bytes currently held by the memory tier (a running counter, not
+  // a walk) — exported as the cache.memory_bytes gauge.
+  [[nodiscard]] std::size_t memory_bytes() const;
 
   void clear();  // memory tier + stats only; disk entries are left alone
 
@@ -97,6 +100,7 @@ class ResultCache {
 
   mutable std::mutex mu_;
   std::unordered_map<std::uint64_t, std::string> mem_;
+  std::size_t mem_bytes_ = 0;  // sum of mem_ payload sizes
   std::string dir_;
   CacheStats stats_;
   bool dir_ready_ = false;

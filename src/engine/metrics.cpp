@@ -1,7 +1,9 @@
 #include "engine/metrics.hpp"
 
-#include <algorithm>
 #include <cstdio>
+#include <set>
+
+#include "obs/prometheus.hpp"
 
 namespace ilp::engine {
 
@@ -12,24 +14,47 @@ MetricsRegistry& MetricsRegistry::global() {
 
 void MetricsRegistry::add_time(std::string_view name, std::uint64_t ns) {
   std::lock_guard<std::mutex> lock(mu_);
-  MetricStat& s = stats_[std::string(name)];
-  ++s.count;
-  s.total_ns += ns;
+  auto it = stats_.find(name);
+  if (it == stats_.end()) it = stats_.emplace(std::string(name), MetricStat{}).first;
+  ++it->second.count;
+  it->second.total_ns += ns;
 }
 
 void MetricsRegistry::add_count(std::string_view name, std::uint64_t delta) {
   std::lock_guard<std::mutex> lock(mu_);
-  stats_[std::string(name)].count += delta;
+  auto it = stats_.find(name);
+  if (it == stats_.end()) it = stats_.emplace(std::string(name), MetricStat{}).first;
+  it->second.count += delta;
+}
+
+obs::Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hists_.find(name);
+  if (it == hists_.end())
+    it = hists_.emplace(std::string(name), std::make_unique<obs::Histogram>()).first;
+  return *it->second;
+}
+
+std::string_view MetricsRegistry::intern_name(std::string_view name) {
+  static std::mutex mu;
+  static std::set<std::string, std::less<>> table;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = table.find(name);
+  if (it == table.end()) it = table.emplace(name).first;
+  return *it;
 }
 
 std::vector<std::pair<std::string, MetricStat>> MetricsRegistry::snapshot() const {
-  std::vector<std::pair<std::string, MetricStat>> out;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    out.assign(stats_.begin(), stats_.end());
-  }
-  std::sort(out.begin(), out.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::lock_guard<std::mutex> lock(mu_);
+  return {stats_.begin(), stats_.end()};
+}
+
+std::vector<std::pair<std::string, obs::Histogram::Snapshot>>
+MetricsRegistry::hist_snapshot() const {
+  std::vector<std::pair<std::string, obs::Histogram::Snapshot>> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(hists_.size());
+  for (const auto& [name, hist] : hists_) out.emplace_back(name, hist->snapshot());
   return out;
 }
 
@@ -51,9 +76,28 @@ std::string MetricsRegistry::to_json(int indent) const {
   return out;
 }
 
+std::string MetricsRegistry::to_prometheus() const {
+  std::string out;
+  for (const auto& [name, stat] : snapshot()) {
+    if (stat.total_ns == 0) {
+      obs::prom::append_counter(out, name, stat.count);
+    } else {
+      obs::prom::append_counter(out, name + "_count", stat.count);
+      obs::prom::append_gauge(out, name + "_seconds_total",
+                              static_cast<double>(stat.total_ns) / 1e9);
+    }
+  }
+  for (const auto& [name, snap] : hist_snapshot())
+    obs::prom::append_histogram(out, name + "_seconds", snap, 1e-9);
+  return out;
+}
+
 void MetricsRegistry::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   stats_.clear();
+  // Histogram references handed out by histogram() must stay valid, so the
+  // entries are zeroed in place rather than erased.
+  for (auto& [name, hist] : hists_) hist->reset();
 }
 
 }  // namespace ilp::engine

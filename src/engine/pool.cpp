@@ -72,4 +72,14 @@ std::size_t ThreadPool::peak_queue_depth() const {
   return peak_depth_;
 }
 
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::size_t ThreadPool::active_jobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
 }  // namespace ilp::engine

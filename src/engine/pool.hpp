@@ -64,6 +64,9 @@ class ThreadPool {
   [[nodiscard]] unsigned size() const { return static_cast<unsigned>(workers_.size()); }
   [[nodiscard]] std::size_t jobs_executed() const;
   [[nodiscard]] std::size_t peak_queue_depth() const;
+  // Instantaneous gauges for the metrics layer.
+  [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] std::size_t active_jobs() const;
 
  private:
   void enqueue(std::function<void()> job);

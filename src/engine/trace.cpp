@@ -32,15 +32,27 @@ std::uint32_t TraceRecorder::dense_tid_locked(std::thread::id id) {
 
 void TraceRecorder::record(std::string_view name, std::string_view category,
                            std::uint64_t ts_us, std::uint64_t dur_us) {
+  record_span(name, category, ts_us, dur_us, {});
+}
+
+void TraceRecorder::record_span(std::string_view name, std::string_view category,
+                                std::uint64_t ts_us, std::uint64_t dur_us,
+                                std::string_view request_id) {
   if (!enabled()) return;
   std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back(TraceEvent{std::string(name), std::string(category), ts_us, dur_us,
+  events_.push_back(TraceEvent{std::string(name), std::string(category),
+                               std::string(request_id), ts_us, dur_us,
                                dense_tid_locked(std::this_thread::get_id())});
 }
 
 std::size_t TraceRecorder::event_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return events_.size();
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
 }
 
 bool TraceRecorder::write_chrome_trace(const std::string& path) const {
@@ -50,13 +62,17 @@ bool TraceRecorder::write_chrome_trace(const std::string& path) const {
   out << "{\"traceEvents\": [\n";
   for (std::size_t i = 0; i < events_.size(); ++i) {
     const TraceEvent& e = events_[i];
-    char line[512];
+    char args[160] = "";
+    if (!e.request_id.empty())
+      std::snprintf(args, sizeof args, ", \"args\": {\"request_id\": \"%s\"}",
+                    e.request_id.c_str());
+    char line[768];
     std::snprintf(line, sizeof line,
                   "  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", \"pid\": 1, "
-                  "\"tid\": %u, \"ts\": %llu, \"dur\": %llu}%s\n",
+                  "\"tid\": %u, \"ts\": %llu, \"dur\": %llu%s}%s\n",
                   e.name.c_str(), e.category.c_str(), e.tid,
                   static_cast<unsigned long long>(e.ts_us),
-                  static_cast<unsigned long long>(e.dur_us),
+                  static_cast<unsigned long long>(e.dur_us), args,
                   i + 1 < events_.size() ? "," : "");
     out << line;
   }

@@ -8,6 +8,13 @@
 // Recording is off by default and costs one atomic load per scope when off.
 // Thread ids are remapped to small dense integers in first-seen order so the
 // trace rows read "worker 0..N-1" rather than opaque pthread handles.
+//
+// The recorder also implements obs::TraceSink, which is how request-scoped
+// tracing works in ilpd: the service builds a private TraceRecorder per
+// traced request, installs it in the request's obs::RequestContext, and the
+// obs::SpanScope instrumentation in the service, engine job and compiler
+// passes routes request/job/pass spans — all tagged with the request id —
+// into that recorder, which is then written out as one Chrome trace file.
 #pragma once
 
 #include <atomic>
@@ -20,18 +27,23 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/context.hpp"
+
 namespace ilp::engine {
 
 struct TraceEvent {
   std::string name;
   std::string category;
+  std::string request_id;    // empty outside request-scoped tracing
   std::uint64_t ts_us = 0;   // start, microseconds since recorder epoch
   std::uint64_t dur_us = 0;  // duration, microseconds
   std::uint32_t tid = 0;     // dense thread id
 };
 
-class TraceRecorder {
+class TraceRecorder : public obs::TraceSink {
  public:
+  // A fresh recorder (per-request tracing); starts disabled.
+  TraceRecorder();
   static TraceRecorder& global();
 
   void enable();
@@ -39,19 +51,23 @@ class TraceRecorder {
   [[nodiscard]] bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   // Microseconds since the recorder's epoch (set at construction/reset).
-  [[nodiscard]] std::uint64_t now_us() const;
+  [[nodiscard]] std::uint64_t now_us() const override;
 
   // Records a complete event; no-op when disabled.
   void record(std::string_view name, std::string_view category, std::uint64_t ts_us,
               std::uint64_t dur_us);
+  // obs::TraceSink: same, with the request id attached as an event arg.
+  void record_span(std::string_view name, std::string_view category,
+                   std::uint64_t ts_us, std::uint64_t dur_us,
+                   std::string_view request_id) override;
 
   [[nodiscard]] std::size_t event_count() const;
+  [[nodiscard]] std::vector<TraceEvent> events() const;
   // Writes the Chrome trace JSON; returns false on I/O failure.
   bool write_chrome_trace(const std::string& path) const;
   void reset();
 
  private:
-  TraceRecorder();
   std::uint32_t dense_tid_locked(std::thread::id id);
 
   std::atomic<bool> enabled_{false};

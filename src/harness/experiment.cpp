@@ -19,14 +19,15 @@ namespace ilp {
 
 Expected<CompiledLoop> try_compile_workload(const Workload& w, OptLevel level,
                                             const MachineModel& m,
-                                            const CompileOptions& opts) {
+                                            const CompileOptions& opts,
+                                            TransformStats* stats) {
   DiagnosticEngine diags;
   auto r = dsl::compile(w.source, diags);
   if (!r)
     return Error{strformat("workload '%s' failed to compile: %s", w.name.c_str(),
                            diags.to_string().c_str())};
   try {
-    compile_at_level(r->fn, level, m, opts);
+    compile_with_transforms(r->fn, TransformSet::for_level(level), m, opts, stats);
   } catch (const std::exception& e) {
     return Error{strformat("workload '%s' failed at %s: %s", w.name.c_str(),
                            level_name(level), e.what())};

@@ -132,9 +132,12 @@ struct CompiledLoop {
 
 // Error-returning paths used by the study so one bad workload fails its
 // cell, not the whole sweep.
+// `stats`, when non-null, receives the per-compile transformation counters
+// (loops unrolled, accumulators expanded, ...; see trans/level.hpp).
 Expected<CompiledLoop> try_compile_workload(const Workload& w, OptLevel level,
                                             const MachineModel& m,
-                                            const CompileOptions& opts = {});
+                                            const CompileOptions& opts = {},
+                                            TransformStats* stats = nullptr);
 Expected<std::uint64_t> try_simulate_cycles(const Function& fn, const MachineModel& m);
 
 // Hard-failing convenience wrappers (abort with the error message), kept for

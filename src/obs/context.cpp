@@ -1,0 +1,32 @@
+#include "obs/context.hpp"
+
+namespace ilp::obs {
+
+namespace {
+thread_local const RequestContext* t_current = nullptr;
+}  // namespace
+
+const RequestContext* current_request() { return t_current; }
+
+std::string_view current_request_id() {
+  return t_current == nullptr ? std::string_view{} : t_current->request_id;
+}
+
+RequestScope::RequestScope(const RequestContext* ctx) : prev_(t_current) {
+  t_current = ctx;
+}
+
+RequestScope::~RequestScope() { t_current = prev_; }
+
+SpanScope::SpanScope(std::string_view name, std::string_view category)
+    : ctx_(t_current), name_(name), category_(category) {
+  if (ctx_ != nullptr && ctx_->sink != nullptr) start_us_ = ctx_->sink->now_us();
+}
+
+SpanScope::~SpanScope() {
+  if (ctx_ != nullptr && ctx_->sink != nullptr)
+    ctx_->sink->record_span(name_, category_, start_us_,
+                            ctx_->sink->now_us() - start_us_, ctx_->request_id);
+}
+
+}  // namespace ilp::obs

@@ -1,0 +1,91 @@
+#include "obs/histogram.hpp"
+
+#include <bit>
+
+namespace ilp::obs {
+
+std::size_t Histogram::bucket_index(std::uint64_t value) {
+  if (value < kSubCount) return static_cast<std::size_t>(value);
+  const int hi = 63 - std::countl_zero(value);
+  const int shift = hi - kSubBits;
+  const std::size_t index =
+      (static_cast<std::size_t>(shift) + 1) * kSubCount +
+      static_cast<std::size_t>((value >> shift) & (kSubCount - 1));
+  return index < kBucketCount ? index : kBucketCount - 1;
+}
+
+std::uint64_t Histogram::bucket_lower(std::size_t index) {
+  if (index < kSubCount) return index;
+  const std::uint64_t shift = (index >> kSubBits) - 1;
+  const std::uint64_t sub = index & (kSubCount - 1);
+  return (kSubCount + sub) << shift;
+}
+
+std::uint64_t Histogram::bucket_upper(std::size_t index) {
+  if (index < kSubCount) return index;
+  const std::uint64_t shift = (index >> kSubBits) - 1;
+  return bucket_lower(index) + (1ull << shift) - 1;
+}
+
+Histogram::Shard& Histogram::shard_for_thread() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned idx =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shards_[idx];
+}
+
+void Histogram::record(std::uint64_t value) {
+  Shard& s = shard_for_thread();
+  s.buckets[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot out;
+  std::array<std::uint64_t, kBucketCount> merged{};
+  for (const Shard& s : shards_) {
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      const std::uint64_t c = s.buckets[i].load(std::memory_order_relaxed);
+      if (c != 0) merged[i] += c;
+    }
+  }
+  for (std::size_t i = 0; i < kBucketCount; ++i)
+    if (merged[i] != 0) {
+      out.buckets.emplace_back(bucket_upper(i), merged[i]);
+      out.max_value = bucket_upper(i);
+    }
+  return out;
+}
+
+void Histogram::reset() {
+  for (Shard& s : shards_) {
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Same rank convention as a sorted vector: index q*(n-1), rounded down.
+  const auto rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(count - 1));
+  std::uint64_t seen = 0;
+  for (const auto& [upper, c] : buckets) {
+    seen += c;
+    if (seen > rank) {
+      const std::size_t idx = bucket_index(upper);
+      return (static_cast<double>(bucket_lower(idx)) +
+              static_cast<double>(upper)) /
+             2.0;
+    }
+  }
+  return static_cast<double>(max_value);
+}
+
+}  // namespace ilp::obs

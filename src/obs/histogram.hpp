@@ -1,0 +1,85 @@
+// Log-bucketed latency histograms (HDR-style log-linear buckets).
+//
+// The bucket layout is log-linear: values 0..31 get exact buckets, then each
+// power-of-two octave is split into 32 linear sub-buckets, so the relative
+// width of any bucket is at most 1/32 (~3.1%) of its lower bound.  That is
+// enough resolution to report p50/p90/p99/p999 of service latencies within a
+// few percent while keeping the bucket array small and fixed-size — no
+// allocation ever happens on the record path.
+//
+// Recording is lock-free and contention-cheap: the bucket array is sharded,
+// each thread hashes to one shard (assigned once, round-robin), and a record
+// is three relaxed atomic adds on that shard.  Snapshots merge the shards;
+// they are not a linearizable cut across concurrent writers, but every
+// completed record before the snapshot is included, which is all a metrics
+// scrape needs.
+//
+// Values are dimensionless uint64s; the service records nanoseconds and the
+// Prometheus exposition rescales to seconds (see obs/prometheus.hpp).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ilp::obs {
+
+class Histogram {
+ public:
+  // 32 sub-buckets per octave.
+  static constexpr int kSubBits = 5;
+  static constexpr std::uint64_t kSubCount = 1ull << kSubBits;
+  // Octaves above the linear range; covers values up to ~2^42 (over an hour
+  // in nanoseconds).  Larger values clamp into the last bucket.
+  static constexpr int kOctaves = 38;
+  static constexpr std::size_t kBucketCount =
+      kSubCount + static_cast<std::size_t>(kOctaves) * kSubCount;
+  static constexpr unsigned kShards = 8;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  // Adds one sample.  Lock-free; safe from any thread.
+  void record(std::uint64_t value);
+
+  // Index of the bucket `value` lands in, and the inclusive value range
+  // [lower, upper] a bucket covers.  Exposed for the boundary tests.
+  static std::size_t bucket_index(std::uint64_t value);
+  static std::uint64_t bucket_lower(std::size_t index);
+  static std::uint64_t bucket_upper(std::size_t index);
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t max_value = 0;  // upper bound of the highest non-empty bucket
+    // Non-empty buckets only, ascending: (inclusive upper bound, count).
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+
+    // Quantile estimate (q in [0, 1]); returns the midpoint of the bucket
+    // holding the rank, 0 for an empty histogram.  Relative error is bounded
+    // by half a bucket width (~1.6% beyond the linear range).
+    [[nodiscard]] double quantile(double q) const;
+    [[nodiscard]] double mean() const {
+      return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+    }
+  };
+
+  [[nodiscard]] Snapshot snapshot() const;
+  // Zeroes all shards.  Not linearizable against concurrent record()s.
+  void reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::array<std::atomic<std::uint64_t>, kBucketCount> buckets{};
+  };
+  Shard& shard_for_thread();
+
+  std::array<Shard, kShards> shards_{};
+};
+
+}  // namespace ilp::obs

@@ -1,0 +1,214 @@
+#include "obs/log.hpp"
+
+#include <chrono>
+#include <cinttypes>
+#include <ctime>
+
+#include "obs/context.hpp"
+
+namespace ilp::obs {
+
+const char* log_level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+    case LogLevel::Off: return "off";
+  }
+  return "info";
+}
+
+bool parse_log_level(std::string_view name, LogLevel* out) {
+  for (const LogLevel l : {LogLevel::Debug, LogLevel::Info, LogLevel::Warn,
+                           LogLevel::Error, LogLevel::Off})
+    if (name == log_level_name(l)) {
+      *out = l;
+      return true;
+    }
+  return false;
+}
+
+namespace {
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+// ISO-8601 UTC with milliseconds: 2026-08-06T17:01:02.345Z
+void append_timestamp(std::string& out) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[40];
+  const std::size_t n = std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%S", &tm);
+  out.append(buf, n);
+  std::snprintf(buf, sizeof buf, ".%03dZ", static_cast<int>(ms));
+  out += buf;
+}
+
+void append_field_value_json(std::string& out, const LogField& f) {
+  char buf[48];
+  switch (f.kind) {
+    case LogField::Kind::Str:
+      out += '"';
+      append_json_escaped(out, f.sval);
+      out += '"';
+      break;
+    case LogField::Kind::Int:
+      std::snprintf(buf, sizeof buf, "%" PRId64, f.ival);
+      out += buf;
+      break;
+    case LogField::Kind::Uint:
+      std::snprintf(buf, sizeof buf, "%" PRIu64, f.uval);
+      out += buf;
+      break;
+    case LogField::Kind::Double:
+      std::snprintf(buf, sizeof buf, "%.6g", f.dval);
+      out += buf;
+      break;
+    case LogField::Kind::Bool: out += f.bval ? "true" : "false"; break;
+  }
+}
+
+void append_field_value_text(std::string& out, const LogField& f) {
+  char buf[48];
+  switch (f.kind) {
+    case LogField::Kind::Str: out.append(f.sval); break;
+    case LogField::Kind::Int:
+      std::snprintf(buf, sizeof buf, "%" PRId64, f.ival);
+      out += buf;
+      break;
+    case LogField::Kind::Uint:
+      std::snprintf(buf, sizeof buf, "%" PRIu64, f.uval);
+      out += buf;
+      break;
+    case LogField::Kind::Double:
+      std::snprintf(buf, sizeof buf, "%.6g", f.dval);
+      out += buf;
+      break;
+    case LogField::Kind::Bool: out += f.bval ? "true" : "false"; break;
+  }
+}
+
+}  // namespace
+
+Logger& Logger::global() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(std::FILE* f) {
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  sink_ = f;
+}
+
+void Logger::log(LogLevel level, std::string_view msg,
+                 std::initializer_list<LogField> fields) {
+  if (!enabled(level) || level == LogLevel::Off) return;
+
+  const std::string_view req = current_request_id();
+  std::string line;
+  line.reserve(128);
+  if (json()) {
+    line += "{\"ts\":\"";
+    append_timestamp(line);
+    line += "\",\"level\":\"";
+    line += log_level_name(level);
+    line += "\",\"msg\":\"";
+    append_json_escaped(line, msg);
+    line += '"';
+    if (!req.empty()) {
+      line += ",\"req\":\"";
+      append_json_escaped(line, req);
+      line += '"';
+    }
+    for (const LogField& f : fields) {
+      line += ",\"";
+      append_json_escaped(line, f.key);
+      line += "\":";
+      append_field_value_json(line, f);
+    }
+    line += "}\n";
+  } else {
+    append_timestamp(line);
+    char lvl[16];
+    std::snprintf(lvl, sizeof lvl, " %-5s ", log_level_name(level));
+    line += lvl;
+    line.append(msg);
+    if (!req.empty()) {
+      line += "  req=";
+      line.append(req);
+    }
+    for (const LogField& f : fields) {
+      line += (&f == fields.begin() && req.empty()) ? "  " : " ";
+      line.append(f.key);
+      line += '=';
+      append_field_value_text(line, f);
+    }
+    line += '\n';
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(sink_mu_);
+    std::FILE* out = sink_ != nullptr ? sink_ : stderr;
+    std::fwrite(line.data(), 1, line.size(), out);
+    std::fflush(out);
+  }
+  lines_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Logger::warn_rate_limited(std::string_view key, std::string_view msg,
+                               std::initializer_list<LogField> fields,
+                               std::uint64_t max_per_sec) {
+  if (!enabled(LogLevel::Warn)) return;
+  const auto now_sec = std::chrono::duration_cast<std::chrono::seconds>(
+                           std::chrono::steady_clock::now().time_since_epoch())
+                           .count();
+  std::uint64_t suppressed_before = 0;
+  {
+    std::lock_guard<std::mutex> lock(rate_mu_);
+    auto it = rate_.find(key);
+    if (it == rate_.end())
+      it = rate_.emplace(std::string(key), RateState{}).first;
+    RateState& st = it->second;
+    if (st.window_sec != now_sec) {
+      st.window_sec = now_sec;
+      st.in_window = 0;
+      suppressed_before = st.suppressed;
+      st.suppressed = 0;
+    }
+    if (st.in_window >= max_per_sec) {
+      ++st.suppressed;
+      return;
+    }
+    ++st.in_window;
+  }
+  if (suppressed_before > 0)
+    log(LogLevel::Warn, "rate-limited warn lines suppressed",
+        {field("rate_key", key), field("suppressed", suppressed_before)});
+  log(LogLevel::Warn, msg, fields);
+}
+
+}  // namespace ilp::obs

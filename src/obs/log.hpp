@@ -1,0 +1,144 @@
+// Structured, leveled, thread-safe logging.
+//
+// One process-wide Logger (plus constructible instances for tests) writes
+// single-line records to a FILE* sink in either human text or JSON-lines
+// form.  A record is a level, a message, and zero or more typed fields;
+// the current request id (obs/context.hpp) is stamped on automatically, so
+// every line a request produces — on the handler thread or a pool worker —
+// carries the same id.
+//
+//   log_info("request admitted", {field("key", key), field("inflight", n)});
+//
+//   text:  2026-08-06T17:01:02.345Z info  request admitted  req=r-17 key=9f inflight=3
+//   json:  {"ts":"...","level":"info","msg":"request admitted","req":"r-17",
+//          "key":"9f","inflight":3}
+//
+// Lines are formatted into a local buffer and written with a single fwrite
+// under a mutex, so concurrent writers interleave whole lines, never bytes.
+// Level filtering is one relaxed atomic load; a disabled level costs nothing
+// else.  warn_rate_limited() bounds a hot warn site to a per-key budget per
+// second and reports how many lines it swallowed when the window reopens.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace ilp::obs {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+[[nodiscard]] const char* log_level_name(LogLevel l);
+// Parses "debug"|"info"|"warn"|"error"|"off"; returns false on anything else.
+bool parse_log_level(std::string_view name, LogLevel* out);
+
+// A typed key=value pair.  Keys must be literals (or otherwise outlive the
+// log call); values are copied into the formatted line immediately.
+struct LogField {
+  enum class Kind { Str, Int, Uint, Double, Bool };
+  std::string_view key;
+  Kind kind = Kind::Str;
+  std::string_view sval;
+  std::int64_t ival = 0;
+  std::uint64_t uval = 0;
+  double dval = 0.0;
+  bool bval = false;
+};
+
+inline LogField field(std::string_view key, std::string_view v) {
+  LogField f{key, LogField::Kind::Str, v, 0, 0, 0.0, false};
+  return f;
+}
+inline LogField field(std::string_view key, const char* v) {
+  return field(key, std::string_view(v));
+}
+inline LogField field(std::string_view key, std::int64_t v) {
+  LogField f{key, LogField::Kind::Int, {}, v, 0, 0.0, false};
+  return f;
+}
+inline LogField field(std::string_view key, int v) {
+  return field(key, static_cast<std::int64_t>(v));
+}
+inline LogField field(std::string_view key, std::uint64_t v) {
+  LogField f{key, LogField::Kind::Uint, {}, 0, v, 0.0, false};
+  return f;
+}
+inline LogField field(std::string_view key, double v) {
+  LogField f{key, LogField::Kind::Double, {}, 0, 0, v, false};
+  return f;
+}
+inline LogField field(std::string_view key, bool v) {
+  LogField f{key, LogField::Kind::Bool, {}, 0, 0, 0.0, v};
+  return f;
+}
+
+class Logger {
+ public:
+  static Logger& global();
+
+  Logger() = default;
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  void set_level(LogLevel l) { level_.store(static_cast<int>(l), std::memory_order_relaxed); }
+  [[nodiscard]] LogLevel level() const {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  [[nodiscard]] bool enabled(LogLevel l) const {
+    return static_cast<int>(l) >= level_.load(std::memory_order_relaxed);
+  }
+  void set_json(bool on) { json_.store(on, std::memory_order_relaxed); }
+  [[nodiscard]] bool json() const { return json_.load(std::memory_order_relaxed); }
+  // Redirects output (default stderr).  Not owned; caller keeps it open for
+  // the logger's lifetime.
+  void set_sink(std::FILE* f);
+
+  void log(LogLevel level, std::string_view msg,
+           std::initializer_list<LogField> fields = {});
+
+  // At most `max_per_sec` lines per distinct key per wall-clock second; the
+  // first line after a suppression window carries a `suppressed` field.
+  void warn_rate_limited(std::string_view key, std::string_view msg,
+                         std::initializer_list<LogField> fields = {},
+                         std::uint64_t max_per_sec = 5);
+
+  [[nodiscard]] std::uint64_t lines_written() const {
+    return lines_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct RateState {
+    std::int64_t window_sec = -1;
+    std::uint64_t in_window = 0;
+    std::uint64_t suppressed = 0;
+  };
+
+  std::atomic<int> level_{static_cast<int>(LogLevel::Info)};
+  std::atomic<bool> json_{false};
+  std::atomic<std::uint64_t> lines_{0};
+  std::mutex sink_mu_;
+  std::FILE* sink_ = nullptr;  // nullptr = stderr
+  std::mutex rate_mu_;
+  std::map<std::string, RateState, std::less<>> rate_;
+};
+
+// Convenience wrappers on the global logger.
+inline void log_debug(std::string_view msg, std::initializer_list<LogField> f = {}) {
+  Logger::global().log(LogLevel::Debug, msg, f);
+}
+inline void log_info(std::string_view msg, std::initializer_list<LogField> f = {}) {
+  Logger::global().log(LogLevel::Info, msg, f);
+}
+inline void log_warn(std::string_view msg, std::initializer_list<LogField> f = {}) {
+  Logger::global().log(LogLevel::Warn, msg, f);
+}
+inline void log_error(std::string_view msg, std::initializer_list<LogField> f = {}) {
+  Logger::global().log(LogLevel::Error, msg, f);
+}
+
+}  // namespace ilp::obs

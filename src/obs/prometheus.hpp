@@ -1,0 +1,37 @@
+// Prometheus text-exposition (version 0.0.4) rendering helpers.
+//
+// These are pure string builders: the metrics owner (engine::MetricsRegistry,
+// server::Service) walks its snapshots and appends families here.  Internal
+// metric names use dots as namespace separators ("pass.unroll",
+// "server.request_latency"); the exposition sanitizes them to the
+// [a-zA-Z_:][a-zA-Z0-9_:]* charset Prometheus requires, so "pass.unroll"
+// scrapes as "pass_unroll".
+//
+// Histograms follow the Prometheus histogram convention exactly: cumulative
+// `_bucket{le="..."}` series ending with le="+Inf", plus `_sum` and `_count`.
+// Time histograms are recorded in nanoseconds; pass scale = 1e-9 to expose
+// them in seconds (the Prometheus base unit).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/histogram.hpp"
+
+namespace ilp::obs::prom {
+
+// Maps every character outside [a-zA-Z0-9_:] to '_'; prefixes '_' if the
+// first character is a digit.
+[[nodiscard]] std::string sanitize_name(std::string_view name);
+
+void append_counter(std::string& out, std::string_view name, std::uint64_t value,
+                    std::string_view help = {});
+void append_gauge(std::string& out, std::string_view name, double value,
+                  std::string_view help = {});
+// `scale` converts recorded values to the exposed unit (1e-9: ns -> s).
+void append_histogram(std::string& out, std::string_view name,
+                      const Histogram::Snapshot& snap, double scale = 1.0,
+                      std::string_view help = {});
+
+}  // namespace ilp::obs::prom

@@ -132,6 +132,13 @@ bool parse_compile(const JsonValue& obj, CompileRequest& out, std::string* error
     *error = "deadline_ms / debug_sleep_ms must be non-negative";
     return false;
   }
+  if (const JsonValue* v = obj.find("trace")) {
+    if (!v->is_bool()) {
+      *error = "field 'trace' must be a boolean";
+      return false;
+    }
+    out.trace = v->as_bool();
+  }
   return true;
 }
 
@@ -220,6 +227,8 @@ std::optional<Request> parse_request(const std::string& line, std::string* error
     if (!parse_batch(*doc, req.batch, error)) return std::nullopt;
   } else if (kind->as_string() == "stats") {
     req.kind = RequestKind::Stats;
+  } else if (kind->as_string() == "metrics") {
+    req.kind = RequestKind::Metrics;
   } else {
     *error = strformat("unknown request kind '%s'", kind->as_string().c_str());
     return std::nullopt;
@@ -229,15 +238,32 @@ std::optional<Request> parse_request(const std::string& line, std::string* error
 
 std::string serialize_compile_response(const std::string& id_json,
                                        const CompileResponse& r) {
-  return strformat(
+  std::string out = strformat(
       "{\"id\": %s, \"ok\": true, \"kind\": \"compile\", \"cycles\": %" PRIu64
       ", \"base_cycles\": %" PRIu64 ", \"speedup\": %.6f, "
       "\"dynamic_instructions\": %" PRIu64 ", \"static_instructions\": %d, "
       "\"schedule\": {\"blocks\": %d, \"stall_cycles\": %" PRIu64 "}, "
-      "\"registers\": {\"int\": %d, \"fp\": %d}, \"cached\": %s}",
+      "\"registers\": {\"int\": %d, \"fp\": %d}, \"cached\": %s",
       id_json.c_str(), r.cycles, r.base_cycles, r.speedup, r.dynamic_instructions,
       r.static_instructions, r.blocks, r.stall_cycles, r.int_regs, r.fp_regs,
       r.cached ? "true" : "false");
+  if (r.have_transforms) {
+    const TransformStats& t = r.transforms;
+    out += strformat(
+        ", \"transforms\": {\"loops_unrolled\": %d, \"regs_renamed\": %d, "
+        "\"accs_expanded\": %d, \"inds_expanded\": %d, \"searches_expanded\": %d, "
+        "\"ops_combined\": %d, \"strength_reduced\": %d, \"trees_rebalanced\": %d, "
+        "\"ir_insts_before\": %zu, \"ir_insts_after\": %zu}",
+        t.loops_unrolled, t.regs_renamed, t.accs_expanded, t.inds_expanded,
+        t.searches_expanded, t.ops_combined, t.strength_reduced,
+        t.trees_rebalanced, t.ir_insts_before, t.ir_insts_after);
+  }
+  if (!r.request_id.empty())
+    out += strformat(", \"request_id\": \"%s\"", json_escape(r.request_id).c_str());
+  if (!r.trace_file.empty())
+    out += strformat(", \"trace_file\": \"%s\"", json_escape(r.trace_file).c_str());
+  out += "}";
+  return out;
 }
 
 std::string serialize_batch_response(const std::string& id_json,
@@ -262,6 +288,14 @@ std::string serialize_stats_response(const std::string& id_json,
                                      const std::string& stats_body) {
   return strformat("{\"id\": %s, \"ok\": true, \"kind\": \"stats\", \"stats\": %s}",
                    id_json.c_str(), stats_body.c_str());
+}
+
+std::string serialize_metrics_response(const std::string& id_json,
+                                       const std::string& exposition) {
+  return strformat(
+      "{\"id\": %s, \"ok\": true, \"kind\": \"metrics\", \"format\": "
+      "\"prometheus-0.0.4\", \"exposition\": \"%s\"}",
+      id_json.c_str(), json_escape(exposition).c_str());
 }
 
 std::string serialize_error(const std::string& id_json, ErrorKind kind,

@@ -16,8 +16,18 @@
 //
 //   {"kind": "stats"}
 //
+//   {"kind": "metrics"}        // Prometheus text exposition, JSON-wrapped
+//
+// Compile requests additionally accept {"trace": true}: when the daemon was
+// started with --trace-dir, the request is traced end to end (request → job
+// → pass spans, all tagged with the minted request id) and the response
+// names the Chrome trace file that was written.
+//
 // Responses: {"id": ..., "ok": true, "kind": ..., <result fields>} or
 // {"id": ..., "ok": false, "error": {"kind": "<ErrorKind>", "message": ...}}.
+// Compile responses echo the server-minted "request_id" and, for cells that
+// were actually compiled (not cache hits from before this schema), the
+// paper's per-transformation counters under "transforms".
 //
 // Error kinds are a closed enum so clients can switch on them; `overloaded`
 // and `shutting_down` are the admission controller's explicit backpressure
@@ -35,7 +45,7 @@
 
 namespace ilp::server {
 
-enum class RequestKind { Compile, Batch, Stats };
+enum class RequestKind { Compile, Batch, Stats, Metrics };
 
 enum class ErrorKind {
   BadRequest,        // malformed JSON / unknown fields / bad values
@@ -58,6 +68,7 @@ struct CompileRequest {
   int unroll = 8;
   std::int64_t deadline_ms = 0;     // 0 => service default
   std::int64_t debug_sleep_ms = 0;  // test/bench aid: sleep inside the job
+  bool trace = false;               // request-scoped Chrome trace (needs --trace-dir)
 };
 
 struct BatchRequest {
@@ -91,6 +102,12 @@ struct CompileResponse {
   int int_regs = 0;
   int fp_regs = 0;
   bool cached = false;  // served without running compile+simulate
+  // Which ILP transformations fired for this cell (trans/level.hpp); absent
+  // from responses decoded out of pre-observability cache entries.
+  bool have_transforms = false;
+  TransformStats transforms;
+  std::string request_id;  // server-minted; also the trace correlation key
+  std::string trace_file;  // non-empty when a request-scoped trace was written
 };
 
 struct BatchCell {
@@ -111,6 +128,9 @@ std::string serialize_batch_response(const std::string& id_json,
 // `stats_body` is a pre-rendered JSON object (the service owns the schema).
 std::string serialize_stats_response(const std::string& id_json,
                                      const std::string& stats_body);
+// Wraps a Prometheus text exposition as a JSON string field.
+std::string serialize_metrics_response(const std::string& id_json,
+                                       const std::string& exposition);
 std::string serialize_error(const std::string& id_json, ErrorKind kind,
                             const std::string& message);
 

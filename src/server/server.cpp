@@ -11,6 +11,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/log.hpp"
 #include "support/strings.hpp"
 
 namespace ilp::server {
@@ -76,6 +77,8 @@ bool Server::start() {
   if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0)
     port_ = ntohs(addr.sin_port);
 
+  obs::log_info("listener started",
+                {obs::field("host", cfg_.host), obs::field("port", port_)});
   accept_thread_ = std::thread([this] { accept_loop(); });
   return true;
 }
@@ -109,12 +112,14 @@ void Server::accept_loop() {
     }
     const int one = 1;
     ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    obs::log_debug("connection accepted", {obs::field("fd", conn)});
     std::lock_guard<std::mutex> lock(conn_mu_);
     connections_.emplace_back([this, conn] { connection_loop(conn); });
   }
 
   // Drain: refuse new connections at the kernel, stop admitting new work,
   // let every accepted request finish, then join the connection threads.
+  obs::log_info("listener closing; drain begins");
   stopping_.store(true, std::memory_order_release);
   ::close(listen_fd_);
   listen_fd_ = -1;
@@ -127,6 +132,7 @@ void Server::accept_loop() {
   for (std::thread& t : conns)
     if (t.joinable()) t.join();
   service_.wait_drained();
+  obs::log_info("drain complete");
 }
 
 void Server::connection_loop(int fd) {
@@ -143,6 +149,9 @@ void Server::connection_loop(int fd) {
       if (line.empty()) continue;
       const std::string response = service_.handle_line(line) + "\n";
       if (!write_all(fd, response.data(), response.size())) {
+        obs::Logger::global().warn_rate_limited(
+            "conn_write", "dropping connection: response write failed",
+            {obs::field("fd", fd), obs::field("errno", std::strerror(errno))});
         ::close(fd);
         return;
       }

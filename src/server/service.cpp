@@ -3,12 +3,17 @@
 #include <cinttypes>
 
 #include <chrono>
+#include <filesystem>
 #include <future>
 #include <thread>
 #include <vector>
 
+#include "engine/trace.hpp"
 #include "frontend/compile.hpp"
 #include "harness/experiment.hpp"
+#include "obs/context.hpp"
+#include "obs/log.hpp"
+#include "obs/prometheus.hpp"
 #include "regalloc/regalloc.hpp"
 #include "sim/simulator.hpp"
 #include "support/strings.hpp"
@@ -31,6 +36,25 @@ struct Service::Inflight {
   std::atomic<int> waiters{1};
 };
 
+// Per-request observability state, shared between the handler thread and the
+// pool job (the job can outlive the handler when a deadline fires, so this
+// is reference-counted, and the trace recorder lives here).
+struct Service::RequestObs {
+  std::string id;
+  engine::Stopwatch wall;  // started at handle_line entry
+  std::shared_ptr<engine::TraceRecorder> recorder;  // null unless traced
+  obs::RequestContext ctx;
+
+  explicit RequestObs(std::string rid, bool traced) : id(std::move(rid)) {
+    if (traced) {
+      recorder = std::make_shared<engine::TraceRecorder>();
+      recorder->enable();
+    }
+    ctx.request_id = id;
+    ctx.sink = recorder.get();
+  }
+};
+
 namespace {
 
 using Clock = std::chrono::steady_clock;
@@ -45,19 +69,25 @@ std::optional<ErrorKind> parse_error_kind(std::string_view name) {
 }
 
 // Cache payload schema for one served cell.  Versioned like the study cells:
-// an unknown prefix decodes as a miss, never as garbage numbers.
+// an unknown prefix (including pre-observability "ilpd-v1" entries, which
+// lack the transformation counters) decodes as a miss, never as garbage.
 std::string encode_cell(const Service::CellOutcome& c) {
   if (!c.ok)
-    return strformat("ilpd-v1 err %s %s", error_kind_name(c.err), c.message.c_str());
+    return strformat("ilpd-v2 err %s %s", error_kind_name(c.err), c.message.c_str());
   const CompileResponse& r = c.resp;
-  return strformat("ilpd-v1 ok %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
-                   " %d %d %d %d",
+  const TransformStats& t = r.transforms;
+  return strformat("ilpd-v2 ok %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+                   " %d %d %d %d %d %d %d %d %d %d %d %d %zu %zu",
                    r.cycles, r.base_cycles, r.dynamic_instructions, r.stall_cycles,
-                   r.static_instructions, r.blocks, r.int_regs, r.fp_regs);
+                   r.static_instructions, r.blocks, r.int_regs, r.fp_regs,
+                   t.loops_unrolled, t.regs_renamed, t.accs_expanded,
+                   t.inds_expanded, t.searches_expanded, t.ops_combined,
+                   t.strength_reduced, t.trees_rebalanced, t.ir_insts_before,
+                   t.ir_insts_after);
 }
 
 bool decode_cell(const std::string& payload, Service::CellOutcome& out) {
-  if (payload.rfind("ilpd-v1 err ", 0) == 0) {
+  if (payload.rfind("ilpd-v2 err ", 0) == 0) {
     const std::string rest = payload.substr(12);
     const std::size_t sp = rest.find(' ');
     if (sp == std::string::npos) return false;
@@ -70,13 +100,19 @@ bool decode_cell(const std::string& payload, Service::CellOutcome& out) {
   }
   Service::CellOutcome c;
   CompileResponse& r = c.resp;
+  TransformStats& t = r.transforms;
   if (std::sscanf(payload.c_str(),
-                  "ilpd-v1 ok %" SCNu64 " %" SCNu64 " %" SCNu64 " %" SCNu64
-                  " %d %d %d %d",
+                  "ilpd-v2 ok %" SCNu64 " %" SCNu64 " %" SCNu64 " %" SCNu64
+                  " %d %d %d %d %d %d %d %d %d %d %d %d %zu %zu",
                   &r.cycles, &r.base_cycles, &r.dynamic_instructions, &r.stall_cycles,
-                  &r.static_instructions, &r.blocks, &r.int_regs, &r.fp_regs) != 8)
+                  &r.static_instructions, &r.blocks, &r.int_regs, &r.fp_regs,
+                  &t.loops_unrolled, &t.regs_renamed, &t.accs_expanded,
+                  &t.inds_expanded, &t.searches_expanded, &t.ops_combined,
+                  &t.strength_reduced, &t.trees_rebalanced, &t.ir_insts_before,
+                  &t.ir_insts_after) != 18)
     return false;
   c.ok = true;
+  r.have_transforms = true;
   r.speedup = r.cycles == 0 ? 0.0
                             : static_cast<double>(r.base_cycles) /
                                   static_cast<double>(r.cycles);
@@ -131,15 +167,26 @@ std::uint64_t base_cycles_for(const std::string& source, engine::ResultCache& ca
 }
 
 // Compile + simulate one cell (no cache, no accounting — callers own both).
+// Phase wall times land in the server.phase.* histograms; the transformation
+// counters land in the response.
 Service::CellOutcome compute_cell(const std::string& source, OptLevel level,
                                   const std::optional<TransformSet>& transforms,
                                   int issue, int unroll,
                                   engine::ResultCache& cache) {
+  static obs::Histogram& compile_hist =
+      engine::MetricsRegistry::global().histogram("server.phase.compile");
+  static obs::Histogram& schedule_hist =
+      engine::MetricsRegistry::global().histogram("server.phase.schedule");
+  static obs::Histogram& simulate_hist =
+      engine::MetricsRegistry::global().histogram("server.phase.simulate");
+
   Service::CellOutcome out;
   const MachineModel m = MachineModel::issue(issue);
   CompileOptions opts;
   opts.unroll.max_factor = unroll;
 
+  TransformStats tstats;
+  engine::Stopwatch compile_watch;
   Function fn{"x"};
   if (transforms) {
     DiagnosticEngine diags;
@@ -150,7 +197,7 @@ Service::CellOutcome compute_cell(const std::string& source, OptLevel level,
       return out;
     }
     try {
-      compile_with_transforms(r->fn, *transforms, m, opts);
+      compile_with_transforms(r->fn, *transforms, m, opts, &tstats);
     } catch (const std::exception& e) {
       out.err = ErrorKind::CompileError;
       out.message = e.what();
@@ -161,7 +208,7 @@ Service::CellOutcome compute_cell(const std::string& source, OptLevel level,
     Workload w;
     w.name = "adhoc";
     w.source = source;
-    auto compiled = try_compile_workload(w, level, m, opts);
+    auto compiled = try_compile_workload(w, level, m, opts, &tstats);
     if (!compiled) {
       out.err = ErrorKind::CompileError;
       out.message = compiled.error_message();
@@ -169,9 +216,16 @@ Service::CellOutcome compute_cell(const std::string& source, OptLevel level,
     }
     fn = std::move(compiled->fn);
   }
+  compile_hist.record(compile_watch.nanos());
+  schedule_hist.record(tstats.schedule_ns);
 
   const RegUsage regs = measure_register_usage(fn);
-  const RunOutcome run = run_seeded(fn, m);
+  engine::Stopwatch sim_watch;
+  const RunOutcome run = [&] {
+    obs::SpanScope span("simulate", "sim");
+    return run_seeded(fn, m);
+  }();
+  simulate_hist.record(sim_watch.nanos());
   if (!run.result.ok) {
     out.err = ErrorKind::SimError;
     out.message = run.result.error;
@@ -187,6 +241,8 @@ Service::CellOutcome compute_cell(const std::string& source, OptLevel level,
   r.blocks = static_cast<int>(fn.num_blocks());
   r.int_regs = regs.int_regs;
   r.fp_regs = regs.fp_regs;
+  r.have_transforms = true;
+  r.transforms = tstats;
   r.base_cycles = base_cycles_for(source, cache);
   r.speedup = r.cycles == 0 ? 0.0
                             : static_cast<double>(r.base_cycles) /
@@ -204,12 +260,22 @@ void interruptible_sleep(std::int64_t ms, const engine::JobGroup& group) {
 
 }  // namespace
 
-Service::Service(ServiceConfig cfg) : cfg_(std::move(cfg)), cache_(cfg_.cache_dir) {
+Service::Service(ServiceConfig cfg)
+    : cfg_(std::move(cfg)),
+      cache_(cfg_.cache_dir),
+      latency_hist_(
+          engine::MetricsRegistry::global().histogram("server.request_latency")),
+      queue_wait_hist_(
+          engine::MetricsRegistry::global().histogram("server.queue_wait")) {
   workers_ = cfg_.workers;
   if (workers_ <= 0) workers_ = static_cast<int>(std::thread::hardware_concurrency());
   if (workers_ < 1) workers_ = 1;
   capacity_ = static_cast<std::size_t>(workers_) + cfg_.queue_limit;
   pool_ = std::make_unique<engine::ThreadPool>(static_cast<unsigned>(workers_));
+  obs::log_info("service started",
+                {obs::field("workers", workers_), obs::field("capacity", capacity_),
+                 obs::field("cache_dir", cfg_.cache_dir),
+                 obs::field("trace_dir", cfg_.trace_dir)});
 }
 
 Service::~Service() {
@@ -217,7 +283,11 @@ Service::~Service() {
   pool_->shutdown();
 }
 
-void Service::begin_drain() { draining_.store(true, std::memory_order_release); }
+void Service::begin_drain() {
+  if (!draining_.exchange(true, std::memory_order_acq_rel))
+    obs::log_info("drain started",
+                  {obs::field("inflight_cells", inflight_cells())});
+}
 
 bool Service::draining() const { return draining_.load(std::memory_order_acquire); }
 
@@ -236,6 +306,11 @@ ServiceCounters Service::counters() const {
   return counters_;
 }
 
+void Service::bump(std::uint64_t ServiceCounters::* field) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++(counters_.*field);
+}
+
 void Service::settle_cells(std::size_t n) {
   std::lock_guard<std::mutex> lock(mu_);
   inflight_cells_ -= n;
@@ -243,16 +318,15 @@ void Service::settle_cells(std::size_t n) {
 }
 
 std::string Service::handle_line(const std::string& line) {
-  auto bump = [this](std::uint64_t ServiceCounters::* field) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++(counters_.*field);
-  };
   bump(&ServiceCounters::received);
 
   std::string error;
   const auto req = parse_request(line, &error);
   if (!req) {
     bump(&ServiceCounters::bad_request);
+    obs::Logger::global().warn_rate_limited(
+        "bad_request", "request rejected: malformed line",
+        {obs::field("error", error)});
     return serialize_error("null", ErrorKind::BadRequest, error);
   }
 
@@ -261,6 +335,10 @@ std::string Service::handle_line(const std::string& line) {
       bump(&ServiceCounters::ok);
       return serialize_stats_response(req->id_json, stats_json());
     }
+    case RequestKind::Metrics: {
+      bump(&ServiceCounters::ok);
+      return serialize_metrics_response(req->id_json, metrics_exposition());
+    }
     case RequestKind::Compile:
     case RequestKind::Batch: {
       if (draining()) {
@@ -268,26 +346,45 @@ std::string Service::handle_line(const std::string& line) {
         return serialize_error(req->id_json, ErrorKind::ShuttingDown,
                                "drain in progress; no new work accepted");
       }
-      return req->kind == RequestKind::Compile ? handle_compile(*req)
-                                               : handle_batch(*req);
+      // Mint the request id and install the request context for the handler
+      // thread; the engine job re-installs it on its worker (RequestObs is
+      // shared with the job, which can outlive this frame on a deadline).
+      const bool traced = req->kind == RequestKind::Compile &&
+                          req->compile.trace && !cfg_.trace_dir.empty();
+      auto ro = std::make_shared<RequestObs>(
+          strformat("r-%" PRIu64,
+                    request_seq_.fetch_add(1, std::memory_order_relaxed) + 1),
+          traced);
+      if (req->compile.trace && !traced && req->kind == RequestKind::Compile)
+        obs::Logger::global().warn_rate_limited(
+            "trace_untraceable", "trace requested but no --trace-dir configured");
+      obs::RequestScope scope(&ro->ctx);
+      obs::log_debug(req->kind == RequestKind::Compile ? "compile request"
+                                                       : "batch request");
+      std::string response = req->kind == RequestKind::Compile
+                                 ? handle_compile(*req, ro)
+                                 : handle_batch(*req);
+      latency_hist_.record(ro->wall.nanos());
+      return response;
     }
   }
   bump(&ServiceCounters::internal_errors);
   return serialize_error(req->id_json, ErrorKind::Internal, "unhandled request kind");
 }
 
-std::string Service::handle_compile(const Request& req) {
-  auto bump = [this](std::uint64_t ServiceCounters::* field) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++(counters_.*field);
-  };
-  auto respond = [&](const CellOutcome& out) {
+std::string Service::handle_compile(const Request& req,
+                                    const std::shared_ptr<RequestObs>& ro) {
+  auto respond = [&](CellOutcome out) {
+    out.resp.request_id = ro->id;
     if (out.ok) {
       bump(&ServiceCounters::ok);
       return serialize_compile_response(req.id_json, out.resp);
     }
     bump(out.err == ErrorKind::Internal ? &ServiceCounters::internal_errors
                                         : &ServiceCounters::compile_errors);
+    obs::log_debug("compile request failed",
+                   {obs::field("kind", error_kind_name(out.err)),
+                    obs::field("message", out.message)});
     return serialize_error(req.id_json, out.err, out.message);
   };
 
@@ -311,7 +408,7 @@ std::string Service::handle_compile(const Request& req) {
     CellOutcome out;
     if (decode_cell(*payload, out)) {
       out.resp.cached = true;
-      return respond(out);
+      return respond(std::move(out));
     }
     cache_.invalidate(key);
   }
@@ -334,11 +431,18 @@ std::string Service::handle_compile(const Request& req) {
       entry = std::make_shared<Inflight>();
       entry->group = std::make_shared<engine::JobGroup>(*pool_);
       auto group = entry->group;
+      engine::Stopwatch queued;
       // Submitted outside the group wrapper: the outcome (including
       // cancelled-while-queued) is always a value, so the in-flight erase and
       // cell settlement below run on every path.
       entry->future =
-          pool_->submit([this, source, c, key, group]() -> CellOutcome {
+          pool_->submit([this, source, c, key, group, ro, queued]() -> CellOutcome {
+            queue_wait_hist_.record(queued.nanos());
+            // Re-establish the minting request's context on the worker so
+            // logs, spans and the trace recorder follow the request across
+            // the thread hop.
+            obs::RequestScope scope(&ro->ctx);
+            obs::SpanScope span("job", "engine");
             CellOutcome out;
             if (c.debug_sleep_ms > 0 && !group->cancel_requested())
               interruptible_sleep(c.debug_sleep_ms, *group);
@@ -349,8 +453,7 @@ std::string Service::handle_compile(const Request& req) {
               out = compute_cell(source, c.level, c.transforms, c.issue, c.unroll,
                                  cache_);
               cache_.store(key, encode_cell(out));
-              std::lock_guard<std::mutex> slock(stats_mu_);
-              ++counters_.cells_executed;
+              bump(&ServiceCounters::cells_executed);
             }
             {
               std::lock_guard<std::mutex> mlock(mu_);
@@ -365,6 +468,9 @@ std::string Service::handle_compile(const Request& req) {
 
   if (entry == nullptr) {
     bump(&ServiceCounters::overloaded);
+    obs::Logger::global().warn_rate_limited(
+        "overloaded", "request rejected: admission queue full",
+        {obs::field("capacity", capacity_)});
     return serialize_error(
         req.id_json, ErrorKind::Overloaded,
         strformat("admission queue full (%zu cells in flight, capacity %zu)",
@@ -383,6 +489,8 @@ std::string Service::handle_compile(const Request& req) {
     if (entry->waiters.fetch_sub(1, std::memory_order_acq_rel) == 1)
       entry->group->cancel();
     bump(&ServiceCounters::deadline_exceeded);
+    obs::log_debug("deadline exceeded while waiting",
+                   {obs::field("deadline_ms", deadline_ms)});
     return serialize_error(req.id_json, ErrorKind::DeadlineExceeded,
                            strformat("deadline of %lld ms exceeded",
                                      static_cast<long long>(deadline_ms)));
@@ -391,14 +499,31 @@ std::string Service::handle_compile(const Request& req) {
   CellOutcome out = fut.get();
   if (!out.ok && out.err == ErrorKind::DeadlineExceeded)
     bump(&ServiceCounters::deadline_exceeded);
-  return respond(out);
+
+  // The trace belongs to the request that admitted the cell; joiners shared
+  // the future but not the spans.  The request span is recorded explicitly
+  // (rather than via SpanScope) so it lands before the file is written.
+  if (ro->recorder != nullptr && !joined) {
+    ro->recorder->record_span("request", "server", 0,
+                              ro->recorder->now_us(), ro->id);
+    const std::string path =
+        (std::filesystem::path(cfg_.trace_dir) / ("req-" + ro->id + ".json"))
+            .string();
+    std::error_code ec;
+    std::filesystem::create_directories(cfg_.trace_dir, ec);
+    if (ro->recorder->write_chrome_trace(path)) {
+      out.resp.trace_file = path;
+      obs::log_info("request trace written",
+                    {obs::field("path", path),
+                     obs::field("spans", ro->recorder->event_count())});
+    } else {
+      obs::log_warn("failed to write request trace", {obs::field("path", path)});
+    }
+  }
+  return respond(std::move(out));
 }
 
 std::string Service::handle_batch(const Request& req) {
-  auto bump = [this](std::uint64_t ServiceCounters::* field) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++(counters_.*field);
-  };
   const BatchRequest& b = req.batch;
   engine::Stopwatch elapsed;
 
@@ -438,6 +563,9 @@ std::string Service::handle_batch(const Request& req) {
   }
   if (!admitted) {
     bump(&ServiceCounters::overloaded);
+    obs::Logger::global().warn_rate_limited(
+        "overloaded", "batch rejected: admission queue full",
+        {obs::field("cells", n), obs::field("capacity", capacity_)});
     return serialize_error(
         req.id_json, ErrorKind::Overloaded,
         strformat("batch of %zu cells exceeds capacity %zu (in flight: %zu)", n,
@@ -458,7 +586,9 @@ std::string Service::handle_batch(const Request& req) {
         slot.workload = w->name;
         slot.level = level;
         slot.width = width;
-        futures.push_back(group.submit([this, w, level, width]() -> BatchCell {
+        engine::Stopwatch queued;
+        futures.push_back(group.submit([this, w, level, width, queued]() -> BatchCell {
+          queue_wait_hist_.record(queued.nanos());
           BatchCell cell;
           cell.workload = w->name;
           cell.level = level;
@@ -482,10 +612,7 @@ std::string Service::handle_batch(const Request& req) {
           CellOutcome out =
               compute_cell(w->source, level, std::nullopt, width, 8, cache_);
           cache_.store(key, encode_cell(out));
-          {
-            std::lock_guard<std::mutex> slock(stats_mu_);
-            ++counters_.cells_executed;
-          }
+          bump(&ServiceCounters::cells_executed);
           if (out.ok) {
             cell.cycles = out.resp.cycles;
             cell.int_regs = out.resp.int_regs;
@@ -526,6 +653,7 @@ std::string Service::handle_batch(const Request& req) {
 std::string Service::stats_json() const {
   const ServiceCounters c = counters();
   const engine::CacheStats cs = cache_.stats();
+  const obs::Histogram::Snapshot lat = latency_hist_.snapshot();
   return strformat(
       "{\"uptime_seconds\": %.3f, \"draining\": %s, \"workers\": %d, "
       "\"capacity\": %zu, \"inflight_cells\": %zu, "
@@ -535,16 +663,71 @@ std::string Service::stats_json() const {
       ", \"compile_errors\": %" PRIu64 ", \"internal\": %" PRIu64
       ", \"coalesced\": %" PRIu64 "}, "
       "\"cells_executed\": %" PRIu64 ", "
-      "\"pool\": {\"jobs_executed\": %zu, \"peak_queue_depth\": %zu}, "
+      "\"latency_us\": {\"count\": %" PRIu64 ", \"p50\": %.1f, \"p90\": %.1f, "
+      "\"p99\": %.1f, \"p999\": %.1f, \"mean\": %.1f}, "
+      "\"pool\": {\"jobs_executed\": %zu, \"queue_depth\": %zu, "
+      "\"active_jobs\": %zu, \"peak_queue_depth\": %zu}, "
       "\"cache\": {\"hits\": %" PRIu64 ", \"disk_hits\": %" PRIu64
       ", \"misses\": %" PRIu64 ", \"invalid\": %" PRIu64 ", \"stores\": %" PRIu64
-      ", \"hit_rate\": %.4f}}",
+      ", \"hit_rate\": %.4f, \"memory_entries\": %zu, \"memory_bytes\": %zu}}",
       uptime_.seconds(), draining() ? "true" : "false", workers_, capacity_,
       inflight_cells(), c.received, c.ok, c.bad_request, c.overloaded,
       c.shutting_down, c.deadline_exceeded, c.compile_errors, c.internal_errors,
-      c.coalesced, c.cells_executed, pool_->jobs_executed(),
-      pool_->peak_queue_depth(), cs.hits, cs.disk_hits, cs.misses, cs.invalid,
-      cs.stores, cs.hit_rate());
+      c.coalesced, c.cells_executed, lat.count, lat.quantile(0.50) / 1e3,
+      lat.quantile(0.90) / 1e3, lat.quantile(0.99) / 1e3,
+      lat.quantile(0.999) / 1e3, lat.mean() / 1e3, pool_->jobs_executed(),
+      pool_->queue_depth(), pool_->active_jobs(), pool_->peak_queue_depth(),
+      cs.hits, cs.disk_hits, cs.misses, cs.invalid, cs.stores, cs.hit_rate(),
+      cache_.size(), cache_.memory_bytes());
+}
+
+std::string Service::metrics_exposition() const {
+  // The registry covers pass.*, trans.*, study.* and the server.* histograms;
+  // the service adds its own counters and point-in-time gauges.
+  std::string out = engine::MetricsRegistry::global().to_prometheus();
+
+  const ServiceCounters c = counters();
+  obs::prom::append_counter(out, "server.requests_received", c.received,
+                            "Request lines received (any verb)");
+  obs::prom::append_counter(out, "server.requests_ok", c.ok);
+  obs::prom::append_counter(out, "server.requests_bad_request", c.bad_request);
+  obs::prom::append_counter(out, "server.requests_overloaded", c.overloaded);
+  obs::prom::append_counter(out, "server.requests_shutting_down", c.shutting_down);
+  obs::prom::append_counter(out, "server.requests_deadline_exceeded",
+                            c.deadline_exceeded);
+  obs::prom::append_counter(out, "server.requests_compile_errors", c.compile_errors);
+  obs::prom::append_counter(out, "server.requests_internal_errors",
+                            c.internal_errors);
+  obs::prom::append_counter(out, "server.requests_coalesced", c.coalesced,
+                            "Requests that joined an in-flight twin");
+  obs::prom::append_counter(out, "server.cells_executed", c.cells_executed,
+                            "Cells actually computed (not cache hits)");
+
+  obs::prom::append_gauge(out, "server.uptime_seconds", uptime_.seconds());
+  obs::prom::append_gauge(out, "server.workers", workers_);
+  obs::prom::append_gauge(out, "server.capacity", static_cast<double>(capacity_));
+  obs::prom::append_gauge(out, "server.inflight_cells",
+                          static_cast<double>(inflight_cells()),
+                          "Admitted-but-unsettled cells (queued or executing)");
+  obs::prom::append_gauge(out, "server.queue_depth",
+                          static_cast<double>(pool_->queue_depth()),
+                          "Jobs waiting in the pool queue right now");
+  obs::prom::append_gauge(out, "server.active_jobs",
+                          static_cast<double>(pool_->active_jobs()));
+  obs::prom::append_gauge(out, "server.draining", draining() ? 1.0 : 0.0);
+
+  const engine::CacheStats cs = cache_.stats();
+  obs::prom::append_counter(out, "cache.hits", cs.hits);
+  obs::prom::append_counter(out, "cache.disk_hits", cs.disk_hits);
+  obs::prom::append_counter(out, "cache.misses", cs.misses);
+  obs::prom::append_counter(out, "cache.invalid", cs.invalid);
+  obs::prom::append_counter(out, "cache.stores", cs.stores);
+  obs::prom::append_gauge(out, "cache.memory_entries",
+                          static_cast<double>(cache_.size()));
+  obs::prom::append_gauge(out, "cache.memory_bytes",
+                          static_cast<double>(cache_.memory_bytes()),
+                          "Payload bytes held by the in-memory tier");
+  return out;
 }
 
 }  // namespace ilp::server

@@ -22,6 +22,13 @@
 //   * begin_drain() flips the service into shutdown mode: compile/batch
 //     requests are refused with `shutting_down` (stats still answers), and
 //     wait_drained() blocks until every admitted cell has settled.
+//   * Observability: every request gets a server-minted id (r-<n>) that is
+//     stamped on log lines, echoed in compile responses, and used as the
+//     span correlation key.  Work requests record end-to-end latency and
+//     queue wait into log-bucketed histograms; the `metrics` verb returns a
+//     Prometheus text exposition of everything, and a compile request with
+//     {"trace": true} writes a request-scoped Chrome trace when the service
+//     has a trace_dir.
 //
 // The service is transport-agnostic and fully thread-safe; server.cpp feeds
 // it lines from sockets, tests call handle_line directly.
@@ -37,6 +44,7 @@
 #include "engine/cache.hpp"
 #include "engine/metrics.hpp"
 #include "engine/pool.hpp"
+#include "obs/histogram.hpp"
 #include "server/protocol.hpp"
 
 namespace ilp::server {
@@ -46,6 +54,9 @@ struct ServiceConfig {
   std::size_t queue_limit = 64;    // admitted-but-unfinished cells beyond workers
   std::int64_t default_deadline_ms = 30'000;  // 0 = no default deadline
   std::string cache_dir;           // non-empty: persistent result tier
+  // Non-empty: compile requests with {"trace": true} write a per-request
+  // Chrome trace (request → job → pass spans) to <trace_dir>/req-<id>.json.
+  std::string trace_dir;
 };
 
 struct ServiceCounters {
@@ -88,18 +99,26 @@ class Service {
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   // The stats-response body; exposed for ilpd's --stats-on-exit report.
   [[nodiscard]] std::string stats_json() const;
+  // Prometheus text exposition: the global MetricsRegistry (pass.*, trans.*,
+  // server.* histograms) plus the service's own gauges and counters.  The
+  // `metrics` wire verb returns this, JSON-wrapped.
+  [[nodiscard]] std::string metrics_exposition() const;
 
   // Defined in service.cpp; public so the file-local compute/encode helpers
   // there can name them.
   struct CellOutcome;
   struct Inflight;
+  struct RequestObs;
 
  private:
-  std::string handle_compile(const Request& req);
+  std::string handle_compile(const Request& req, const std::shared_ptr<RequestObs>& ro);
   std::string handle_batch(const Request& req);
 
   // Exactly-once bookkeeping when an admitted cell settles.
   void settle_cells(std::size_t n);
+  // Single locked increment for a ServiceCounters field — every counter bump
+  // in the service goes through here.
+  void bump(std::uint64_t ServiceCounters::* field);
 
   ServiceConfig cfg_;
   int workers_ = 1;
@@ -107,6 +126,13 @@ class Service {
   engine::ResultCache cache_;
   std::unique_ptr<engine::ThreadPool> pool_;
   engine::Stopwatch uptime_;
+  std::atomic<std::uint64_t> request_seq_{0};  // request-id mint
+
+  // Latency histograms live in the (process-global) MetricsRegistry so the
+  // exposition walks them with everything else; the references are cached
+  // here because histogram() takes the registry lock.
+  obs::Histogram& latency_hist_;
+  obs::Histogram& queue_wait_hist_;
 
   mutable std::mutex mu_;                 // guards inflight_ map + cell count
   std::condition_variable drained_cv_;

@@ -11,6 +11,12 @@
 // Reports throughput and p50/p90/p99/max latency, and writes them as JSON to
 // --out (BENCH_3.json in CI).
 //
+// After the timed phase the daemon's own `stats` verb is queried and its
+// request-latency histogram percentiles are reported next to the
+// client-side numbers: client-side includes the network round trip,
+// server-side is handle_line wall time, so the gap is the transport tax and
+// the two should otherwise agree within histogram resolution (~3%).
+//
 // Exit status is nonzero on any protocol failure — a dropped connection, an
 // unparseable response, or an `ok:false` reply — so CI catches crashes and
 // protocol bugs without being sensitive to machine speed.
@@ -95,6 +101,39 @@ std::int64_t percentile(const std::vector<std::int64_t>& sorted, double p) {
   if (sorted.empty()) return 0;
   const auto idx = static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1));
   return sorted[idx];
+}
+
+// The daemon's view of its own request latency, from the `stats` verb.
+struct ServerLatency {
+  bool ok = false;
+  std::uint64_t count = 0;
+  double p50 = 0.0, p90 = 0.0, p99 = 0.0;
+};
+
+ServerLatency fetch_server_latency(const Options& opt) {
+  ServerLatency out;
+  ilp::server::LineClient client;
+  if (!client.connect(opt.host, opt.port)) return out;
+  if (!client.send_line(R"({"id":"loadgen-stats","kind":"stats"})")) return out;
+  const auto reply = client.recv_line(10'000);
+  if (!reply) return out;
+  std::string err;
+  const auto parsed = ilp::server::JsonValue::parse(*reply, &err);
+  if (!parsed) return out;
+  const ilp::server::JsonValue* stats = parsed->find("stats");
+  const ilp::server::JsonValue* lat =
+      stats != nullptr ? stats->find("latency_us") : nullptr;
+  if (lat == nullptr) return out;
+  auto num = [&](const char* name) -> double {
+    const ilp::server::JsonValue* v = lat->find(name);
+    return v != nullptr && v->is_number() ? v->as_double() : 0.0;
+  };
+  out.ok = true;
+  out.count = static_cast<std::uint64_t>(num("count"));
+  out.p50 = num("p50");
+  out.p90 = num("p90");
+  out.p99 = num("p99");
+  return out;
 }
 
 int usage(const char* argv0) {
@@ -189,19 +228,40 @@ int main(int argc, char** argv) {
   const std::int64_t p90 = percentile(all, 0.90);
   const std::int64_t p99 = percentile(all, 0.99);
   const std::int64_t mx = all.empty() ? 0 : all.back();
+  const ServerLatency server = fetch_server_latency(opt);
 
-  const std::string report = ilp::strformat(
+  std::string report = ilp::strformat(
       "{\"bench\":\"ilp_loadgen\",\"connections\":%d,\"duration_s\":%.3f,"
       "\"corpus\":%d,\"issue\":%d,\"warm_cache\":%s,\"requests\":%llu,"
       "\"errors\":%llu,\"throughput_rps\":%.1f,\"latency_us\":{\"p50\":%lld,"
-      "\"p90\":%lld,\"p99\":%lld,\"max\":%lld}}",
+      "\"p90\":%lld,\"p99\":%lld,\"max\":%lld}",
       opt.connections, elapsed_s, opt.corpus, opt.issue,
       opt.warmup ? "true" : "false", static_cast<unsigned long long>(total),
       static_cast<unsigned long long>(errors), rps, static_cast<long long>(p50),
       static_cast<long long>(p90), static_cast<long long>(p99),
       static_cast<long long>(mx));
+  if (server.ok)
+    report += ilp::strformat(
+        ",\"server_latency_us\":{\"count\":%llu,\"p50\":%.1f,\"p90\":%.1f,"
+        "\"p99\":%.1f}",
+        static_cast<unsigned long long>(server.count), server.p50, server.p90,
+        server.p99);
+  report += "}";
 
   std::printf("%s\n", report.c_str());
+  if (server.ok) {
+    std::fprintf(stderr,
+                 "latency_us    client  |  server\n"
+                 "  p50      %8lld  | %8.0f\n"
+                 "  p90      %8lld  | %8.0f\n"
+                 "  p99      %8lld  | %8.0f\n"
+                 "(client includes the network round trip; server is "
+                 "handle_line wall time over %llu requests)\n",
+                 static_cast<long long>(p50), server.p50,
+                 static_cast<long long>(p90), server.p90,
+                 static_cast<long long>(p99), server.p99,
+                 static_cast<unsigned long long>(server.count));
+  }
   if (!opt.out.empty()) {
     std::FILE* f = std::fopen(opt.out.c_str(), "w");
     if (f == nullptr) {

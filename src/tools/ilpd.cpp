@@ -2,17 +2,25 @@
 //
 //   ilpd [--host H] [--port P] [--workers N] [--queue-limit N]
 //        [--deadline-ms MS] [--cache-dir DIR] [--stats-on-exit]
+//        [--log-level debug|info|warn|error|off] [--log-json]
+//        [--trace-dir DIR]
 //
 // Speaks newline-delimited JSON (see src/server/protocol.hpp for the wire
 // format).  SIGTERM/SIGINT trigger a graceful drain: the listener closes
 // immediately, every request whose full line was received is answered, then
 // the process exits 0.
+//
+// Logs go to stderr (stdout carries only the "listening" line and the
+// optional exit stats, so scripts can keep parsing it).  --trace-dir arms
+// per-request Chrome tracing: compile requests with {"trace": true} write
+// request → job → pass span files there.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "obs/log.hpp"
 #include "server/server.hpp"
 #include "server/service.hpp"
 
@@ -27,7 +35,9 @@ void on_signal(int) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--host H] [--port P] [--workers N] [--queue-limit N]\n"
-               "          [--deadline-ms MS] [--cache-dir DIR] [--stats-on-exit]\n",
+               "          [--deadline-ms MS] [--cache-dir DIR] [--stats-on-exit]\n"
+               "          [--log-level debug|info|warn|error|off] [--log-json]\n"
+               "          [--trace-dir DIR]\n",
                argv0);
   return 2;
 }
@@ -68,6 +78,17 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       scfg.cache_dir = v;
+    } else if (arg == "--trace-dir") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      scfg.trace_dir = v;
+    } else if (arg == "--log-level") {
+      const char* v = next();
+      ilp::obs::LogLevel level{};
+      if (!v || !ilp::obs::parse_log_level(v, &level)) return usage(argv[0]);
+      ilp::obs::Logger::global().set_level(level);
+    } else if (arg == "--log-json") {
+      ilp::obs::Logger::global().set_json(true);
     } else if (arg == "--stats-on-exit") {
       stats_on_exit = true;
     } else {

@@ -2,6 +2,7 @@
 
 #include "engine/metrics.hpp"
 #include "ir/verifier.hpp"
+#include "obs/context.hpp"
 #include "opt/pipeline.hpp"
 #include "sched/scheduler.hpp"
 #include "trans/accexpand.hpp"
@@ -30,51 +31,106 @@ namespace {
 // Per-pass wall-time telemetry (engine/metrics.hpp): each pass of every
 // compile lands in the "pass.<name>" namespace of the global registry,
 // exported via StudyResult::telemetry_json / the benches' --metrics flag.
+// When the current request is traced (obs/context.hpp), the pass also
+// records a span, so request-scoped Chrome traces show request→job→pass.
+// Returns the pass's wall time in nanoseconds.
 template <typename F>
-void timed_pass(const char* name, Function& fn, const char* verify_msg, F&& pass) {
-  engine::ScopedTimer timer(name);
-  pass();
+std::uint64_t timed_pass(const char* name, Function& fn, const char* verify_msg,
+                         F&& pass) {
+  engine::Stopwatch wall;
+  {
+    obs::SpanScope span(name, "pass");
+    engine::ScopedTimer timer(name);
+    pass();
+  }
   verify_or_die(fn, verify_msg);
+  return wall.nanos();
+}
+
+// The level whose transform set equals `set`, for per-level IR-size metric
+// names; custom ablation subsets report as "custom".
+const char* set_label(const TransformSet& set) {
+  for (const OptLevel l : {OptLevel::Conv, OptLevel::Lev1, OptLevel::Lev2,
+                           OptLevel::Lev3, OptLevel::Lev4})
+    if (set == TransformSet::for_level(l)) return level_name(l);
+  return "custom";
 }
 
 }  // namespace
 
 void compile_with_transforms(Function& fn, const TransformSet& set,
-                             const MachineModel& machine, const CompileOptions& opts) {
-  {
-    engine::ScopedTimer timer("pass.conventional");
-    run_conventional_optimizations(fn);
-  }
+                             const MachineModel& machine, const CompileOptions& opts,
+                             TransformStats* stats) {
+  TransformStats local;
+  TransformStats& s = stats != nullptr ? *stats : local;
+  s = TransformStats{};
+
+  timed_pass("pass.conventional", fn, "after conventional optimizations",
+             [&] { run_conventional_optimizations(fn); });
+  s.ir_insts_before = fn.num_insts();
 
   if (set.unroll)
-    timed_pass("pass.unroll", fn, "after unrolling", [&] { unroll_loops(fn, opts.unroll); });
+    timed_pass("pass.unroll", fn, "after unrolling",
+               [&] { s.loops_unrolled = unroll_loops(fn, opts.unroll); });
   // Expansions run before renaming so each recurrence still targets a single
   // register name (the shapes of Figures 2 and 4).
   if (set.acc_expand)
     timed_pass("pass.accexpand", fn, "after accumulator expansion",
-               [&] { accumulator_expansion(fn); });
+               [&] { s.accs_expanded = accumulator_expansion(fn); });
   if (set.ind_expand)
     timed_pass("pass.indexpand", fn, "after induction expansion",
-               [&] { induction_expansion(fn); });
+               [&] { s.inds_expanded = induction_expansion(fn); });
   if (set.search_expand)
     timed_pass("pass.searchexpand", fn, "after search expansion",
-               [&] { search_expansion(fn); });
+               [&] { s.searches_expanded = search_expansion(fn); });
   if (set.rename)
-    timed_pass("pass.rename", fn, "after renaming", [&] { rename_registers(fn); });
+    timed_pass("pass.rename", fn, "after renaming",
+               [&] { s.regs_renamed = rename_registers(fn); });
   if (set.combine)
     timed_pass("pass.combine", fn, "after operation combining",
-               [&] { operation_combining(fn); });
+               [&] { s.ops_combined = operation_combining(fn); });
   if (set.strength)
     timed_pass("pass.strengthred", fn, "after strength reduction",
-               [&] { strength_reduction(fn); });
+               [&] { s.strength_reduced = strength_reduction(fn); });
   if (set.height)
     timed_pass("pass.treeheight", fn, "after tree height reduction",
-               [&] { tree_height_reduction(fn); });
+               [&] { s.trees_rebalanced = tree_height_reduction(fn); });
   timed_pass("pass.cleanup", fn, "after cleanup", [&] { run_cleanup(fn); });
   if (opts.schedule)
-    timed_pass("pass.schedule", fn, "after scheduling",
-               [&] { schedule_function(fn, machine); });
+    s.schedule_ns = timed_pass("pass.schedule", fn, "after scheduling",
+                               [&] { schedule_function(fn, machine); });
   fn.renumber();
+  s.ir_insts_after = fn.num_insts();
+
+  // Global transformation counters: a handful of locked adds per compile,
+  // nothing per-instruction, so the metrics-on overhead stays in the noise.
+  engine::MetricsRegistry& reg = engine::MetricsRegistry::global();
+  if (s.loops_unrolled > 0)
+    reg.add_count("trans.loops_unrolled", static_cast<std::uint64_t>(s.loops_unrolled));
+  if (s.regs_renamed > 0)
+    reg.add_count("trans.regs_renamed", static_cast<std::uint64_t>(s.regs_renamed));
+  if (s.accs_expanded > 0)
+    reg.add_count("trans.accs_expanded", static_cast<std::uint64_t>(s.accs_expanded));
+  if (s.inds_expanded > 0)
+    reg.add_count("trans.inds_expanded", static_cast<std::uint64_t>(s.inds_expanded));
+  if (s.searches_expanded > 0)
+    reg.add_count("trans.searches_expanded",
+                  static_cast<std::uint64_t>(s.searches_expanded));
+  if (s.ops_combined > 0)
+    reg.add_count("trans.ops_combined", static_cast<std::uint64_t>(s.ops_combined));
+  if (s.strength_reduced > 0)
+    reg.add_count("trans.strength_reduced",
+                  static_cast<std::uint64_t>(s.strength_reduced));
+  if (s.trees_rebalanced > 0)
+    reg.add_count("trans.trees_rebalanced",
+                  static_cast<std::uint64_t>(s.trees_rebalanced));
+  const char* label = set_label(set);
+  reg.add_count(engine::MetricsRegistry::intern_name(
+                    std::string("trans.ir_insts_before.") + label),
+                s.ir_insts_before);
+  reg.add_count(engine::MetricsRegistry::intern_name(
+                    std::string("trans.ir_insts_after.") + label),
+                s.ir_insts_after);
 }
 
 void compile_at_level(Function& fn, OptLevel level, const MachineModel& machine,

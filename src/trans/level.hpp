@@ -13,6 +13,9 @@
 //   -> cleanup -> superblock scheduling.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+
 #include "ir/function.hpp"
 #include "machine/machine.hpp"
 #include "trans/unroll.hpp"
@@ -53,9 +56,35 @@ struct TransformSet {
   bool search_expand = false;
 
   static TransformSet for_level(OptLevel level);
+  bool operator==(const TransformSet&) const = default;
+};
+
+// Per-compile transformation statistics — the paper's Table-style data
+// (which of the eight ILP transformations fired and how much the code grew)
+// as a first-class runtime signal.  Filled by compile_with_transforms when a
+// stats pointer is passed; every compile also accumulates the same counts
+// into the global MetricsRegistry under "trans.*".
+struct TransformStats {
+  int loops_unrolled = 0;      // paper: loop unrolling
+  int regs_renamed = 0;        // register renaming (registers split)
+  int accs_expanded = 0;       // accumulator variable expansion
+  int inds_expanded = 0;       // induction variable expansion
+  int searches_expanded = 0;   // search variable expansion
+  int ops_combined = 0;        // operation combining (pairs)
+  int strength_reduced = 0;    // strength reduction (instructions)
+  int trees_rebalanced = 0;    // tree height reduction (expression trees)
+  std::size_t ir_insts_before = 0;  // after conventional opts, before ILP passes
+  std::size_t ir_insts_after = 0;   // after cleanup + scheduling
+  std::uint64_t schedule_ns = 0;    // wall time of the scheduling pass
+
+  [[nodiscard]] int total_applied() const {
+    return loops_unrolled + regs_renamed + accs_expanded + inds_expanded +
+           searches_expanded + ops_combined + strength_reduced + trees_rebalanced;
+  }
 };
 
 void compile_with_transforms(Function& fn, const TransformSet& set,
-                             const MachineModel& machine, const CompileOptions& opts = {});
+                             const MachineModel& machine, const CompileOptions& opts = {},
+                             TransformStats* stats = nullptr);
 
 }  // namespace ilp

@@ -1,0 +1,149 @@
+#include "obs/context.hpp"
+
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/trace.hpp"
+
+namespace ilp::obs {
+namespace {
+
+// Minimal span consumer for testing the context plumbing in isolation.
+class VectorSink : public TraceSink {
+ public:
+  struct Span {
+    std::string name, category, request_id;
+    std::uint64_t ts_us, dur_us;
+  };
+
+  [[nodiscard]] std::uint64_t now_us() const override {
+    return next_now_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_span(std::string_view name, std::string_view category,
+                   std::uint64_t ts_us, std::uint64_t dur_us,
+                   std::string_view request_id) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    spans_.push_back({std::string(name), std::string(category),
+                      std::string(request_id), ts_us, dur_us});
+  }
+  std::vector<Span> spans() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return spans_;
+  }
+
+ private:
+  mutable std::atomic<std::uint64_t> next_now_{0};
+  std::mutex mu_;
+  std::vector<Span> spans_;
+};
+
+TEST(Context, NoRequestOutsideAnyScope) {
+  EXPECT_EQ(current_request(), nullptr);
+  EXPECT_EQ(current_request_id(), "");
+}
+
+TEST(Context, ScopeInstallsAndRestores) {
+  RequestContext outer{"r-outer", nullptr};
+  RequestContext inner{"r-inner", nullptr};
+  {
+    RequestScope a(&outer);
+    EXPECT_EQ(current_request_id(), "r-outer");
+    {
+      RequestScope b(&inner);
+      EXPECT_EQ(current_request_id(), "r-inner");
+    }
+    EXPECT_EQ(current_request_id(), "r-outer");
+  }
+  EXPECT_EQ(current_request(), nullptr);
+}
+
+TEST(Context, SpanScopeIsInertWithoutSinkOrRequest) {
+  // No request installed: must not crash, record nothing anywhere.
+  { SpanScope span("orphan", "test"); }
+  RequestContext untraced{"r-1", nullptr};
+  RequestScope scope(&untraced);
+  { SpanScope span("untraced", "test"); }
+  SUCCEED();
+}
+
+TEST(Context, SpanScopeRecordsAgainstCurrentSink) {
+  VectorSink sink;
+  RequestContext ctx{"r-42", &sink};
+  RequestScope scope(&ctx);
+  {
+    SpanScope outer("outer", "test");
+    SpanScope inner("inner", "test");
+  }
+  const auto spans = sink.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Destruction order: inner closes first.
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[1].name, "outer");
+  for (const auto& s : spans) {
+    EXPECT_EQ(s.request_id, "r-42");
+    EXPECT_EQ(s.category, "test");
+  }
+}
+
+TEST(Context, ContextFollowsRequestAcrossThreadHop) {
+  // The service pattern: the handler installs a context, the pool job
+  // re-installs the same context on its worker thread.
+  VectorSink sink;
+  RequestContext ctx{"r-hop", &sink};
+  {
+    RequestScope handler(&ctx);
+    SpanScope request_span("request", "server");
+    std::thread worker([&ctx] {
+      EXPECT_EQ(current_request(), nullptr);  // fresh thread: no context
+      RequestScope job_scope(&ctx);
+      EXPECT_EQ(current_request_id(), "r-hop");
+      SpanScope job_span("job", "engine");
+    });
+    worker.join();
+  }
+  const auto spans = sink.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "job");
+  EXPECT_EQ(spans[1].name, "request");
+  EXPECT_EQ(spans[0].request_id, "r-hop");
+  EXPECT_EQ(spans[1].request_id, "r-hop");
+}
+
+TEST(Context, ConcurrentRequestsKeepDistinctIds) {
+  VectorSink sink;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t)
+    threads.emplace_back([&sink, t] {
+      RequestContext ctx{"r-" + std::to_string(t), &sink};
+      RequestScope scope(&ctx);
+      for (int i = 0; i < 100; ++i) {
+        ASSERT_EQ(current_request_id(), ctx.request_id);
+        SpanScope span("work", "test");
+      }
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(sink.spans().size(), 800u);
+}
+
+TEST(Context, EngineTraceRecorderImplementsSink) {
+  // The real wiring: a per-request TraceRecorder as the sink, spans tagged
+  // with the request id end up as Chrome-trace events.
+  engine::TraceRecorder recorder;
+  recorder.enable();
+  RequestContext ctx{"r-real", &recorder};
+  {
+    RequestScope scope(&ctx);
+    SpanScope span("pass.unroll", "pass");
+  }
+  const auto events = recorder.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "pass.unroll");
+  EXPECT_EQ(events[0].request_id, "r-real");
+}
+
+}  // namespace
+}  // namespace ilp::obs

@@ -1,0 +1,174 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ilp::obs {
+namespace {
+
+TEST(Histogram, LinearRangeBucketsAreExact) {
+  // Values below kSubCount each get their own bucket: [v, v].
+  for (std::uint64_t v = 0; v < Histogram::kSubCount; ++v) {
+    const std::size_t idx = Histogram::bucket_index(v);
+    EXPECT_EQ(idx, v);
+    EXPECT_EQ(Histogram::bucket_lower(idx), v);
+    EXPECT_EQ(Histogram::bucket_upper(idx), v);
+  }
+}
+
+TEST(Histogram, EveryValueFallsInsideItsBucket) {
+  // Walk powers of two and their neighbourhoods across the full range.
+  std::vector<std::uint64_t> probes;
+  for (int bit = 0; bit < 63; ++bit) {
+    const std::uint64_t base = 1ull << bit;
+    for (const std::uint64_t v : {base - 1, base, base + 1, base + base / 3})
+      probes.push_back(v);
+  }
+  for (const std::uint64_t v : probes) {
+    const std::size_t idx = Histogram::bucket_index(v);
+    ASSERT_LT(idx, Histogram::kBucketCount);
+    if (idx < Histogram::kBucketCount - 1) {
+      EXPECT_LE(Histogram::bucket_lower(idx), v) << "value " << v;
+      EXPECT_GE(Histogram::bucket_upper(idx), v) << "value " << v;
+    } else {
+      // Clamp bucket: only the lower bound is meaningful.
+      EXPECT_LE(Histogram::bucket_lower(idx), v) << "value " << v;
+    }
+  }
+}
+
+TEST(Histogram, BucketsTileTheRangeWithoutGaps) {
+  for (std::size_t i = 1; i < Histogram::kBucketCount; ++i)
+    EXPECT_EQ(Histogram::bucket_lower(i), Histogram::bucket_upper(i - 1) + 1)
+        << "gap or overlap between buckets " << i - 1 << " and " << i;
+}
+
+TEST(Histogram, BucketRelativeWidthIsBounded) {
+  // Beyond the linear range, width(bucket) / lower(bucket) <= 1/32.
+  for (std::size_t i = Histogram::kSubCount; i < Histogram::kBucketCount - 1; ++i) {
+    const double lower = static_cast<double>(Histogram::bucket_lower(i));
+    const double width = static_cast<double>(Histogram::bucket_upper(i) -
+                                             Histogram::bucket_lower(i) + 1);
+    EXPECT_LE(width / lower, 1.0 / 32 + 1e-12) << "bucket " << i;
+  }
+}
+
+TEST(Histogram, EmptySnapshot) {
+  Histogram h;
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0u);
+  EXPECT_TRUE(snap.buckets.empty());
+  EXPECT_EQ(snap.quantile(0.5), 0.0);
+  EXPECT_EQ(snap.quantile(0.999), 0.0);
+  EXPECT_EQ(snap.mean(), 0.0);
+}
+
+TEST(Histogram, SingleSample) {
+  Histogram h;
+  h.record(12'345);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.sum, 12'345u);
+  ASSERT_EQ(snap.buckets.size(), 1u);
+  // Every quantile of a one-sample histogram is that sample's bucket.
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    const double est = snap.quantile(q);
+    EXPECT_NEAR(est, 12'345.0, 12'345.0 / 32) << "q=" << q;
+  }
+}
+
+TEST(Histogram, PercentilesTrackSortedReferenceOn10kRandomSamples) {
+  // Mixed-magnitude distribution (log-uniform-ish), the shape service
+  // latencies actually have.
+  std::mt19937_64 rng(20260806);
+  std::uniform_int_distribution<int> magnitude(0, 26);
+  Histogram h;
+  std::vector<std::uint64_t> reference;
+  reference.reserve(10'000);
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint64_t hi = 1ull << magnitude(rng);
+    std::uniform_int_distribution<std::uint64_t> within(hi, hi * 2 - 1);
+    const std::uint64_t v = within(rng);
+    h.record(v);
+    reference.push_back(v);
+  }
+  std::sort(reference.begin(), reference.end());
+  const auto snap = h.snapshot();
+  ASSERT_EQ(snap.count, reference.size());
+
+  for (const double q : {0.50, 0.90, 0.99, 0.999}) {
+    const auto rank =
+        static_cast<std::size_t>(q * static_cast<double>(reference.size() - 1));
+    const double exact = static_cast<double>(reference[rank]);
+    const double est = snap.quantile(q);
+    // Bucket width is 1/32 of the value; the midpoint estimate stays within
+    // ~2 bucket widths of the exact order statistic.
+    EXPECT_NEAR(est, exact, exact / 16 + 1.0) << "q=" << q;
+  }
+}
+
+TEST(Histogram, SumAndMeanAreExact) {
+  Histogram h;
+  std::uint64_t expected_sum = 0;
+  for (std::uint64_t v = 1; v <= 1000; ++v) {
+    h.record(v * 7);
+    expected_sum += v * 7;
+  }
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1000u);
+  EXPECT_EQ(snap.sum, expected_sum);
+  EXPECT_DOUBLE_EQ(snap.mean(),
+                   static_cast<double>(expected_sum) / 1000.0);
+}
+
+TEST(Histogram, ConcurrentShardMergeIsExact) {
+  // 8 threads × 50k records; the merged snapshot must account for every one.
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50'000;
+  Histogram h;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i)
+        h.record(static_cast<std::uint64_t>(t) * 1'000 + i % 997);
+    });
+  for (std::thread& t : threads) t.join();
+
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (const auto& [upper, count] : snap.buckets) bucket_total += count;
+  EXPECT_EQ(bucket_total, kThreads * kPerThread);
+}
+
+TEST(Histogram, ResetZeroes) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(42);
+  h.reset();
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0u);
+  EXPECT_TRUE(snap.buckets.empty());
+  h.record(7);  // still usable after reset
+  EXPECT_EQ(h.snapshot().count, 1u);
+}
+
+TEST(Histogram, HugeValuesClampIntoLastBucket) {
+  Histogram h;
+  h.record(~0ull);
+  h.record(~0ull - 1);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  ASSERT_EQ(snap.buckets.size(), 1u);
+  EXPECT_EQ(Histogram::bucket_index(~0ull), Histogram::kBucketCount - 1);
+}
+
+}  // namespace
+}  // namespace ilp::obs

@@ -1,0 +1,206 @@
+#include "obs/log.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/context.hpp"
+#include "server/json.hpp"
+
+namespace ilp::obs {
+namespace {
+
+// A Logger writing into a tmpfile we can rewind and read back.
+class CapturingLogger {
+ public:
+  CapturingLogger() : file_(std::tmpfile()) { logger_.set_sink(file_); }
+  ~CapturingLogger() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Logger& logger() { return logger_; }
+
+  std::vector<std::string> lines() {
+    std::fflush(file_);
+    std::rewind(file_);
+    std::vector<std::string> out;
+    std::string line;
+    int c;
+    while ((c = std::fgetc(file_)) != EOF) {
+      if (c == '\n') {
+        out.push_back(line);
+        line.clear();
+      } else {
+        line.push_back(static_cast<char>(c));
+      }
+    }
+    if (!line.empty()) out.push_back(line);
+    return out;
+  }
+
+ private:
+  std::FILE* file_;
+  Logger logger_;
+};
+
+TEST(Log, TextLineCarriesLevelMessageAndFields) {
+  CapturingLogger cap;
+  cap.logger().log(LogLevel::Info, "compile done",
+                   {field("cycles", std::uint64_t{42}), field("ok", true),
+                    field("label", "lev4"), field("ratio", 1.5)});
+  const auto lines = cap.lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("info"), std::string::npos);
+  EXPECT_NE(lines[0].find("compile done"), std::string::npos);
+  EXPECT_NE(lines[0].find("cycles=42"), std::string::npos);
+  EXPECT_NE(lines[0].find("ok=true"), std::string::npos);
+  EXPECT_NE(lines[0].find("label=lev4"), std::string::npos);
+}
+
+TEST(Log, JsonLinesParseAndRoundTripFields) {
+  CapturingLogger cap;
+  cap.logger().set_json(true);
+  cap.logger().log(LogLevel::Warn, "odd \"quoted\" message\twith tab",
+                   {field("n", -3), field("path", "/tmp/x \"y\"")});
+  const auto lines = cap.lines();
+  ASSERT_EQ(lines.size(), 1u);
+  std::string err;
+  const auto doc = server::JsonValue::parse(lines[0], &err);
+  ASSERT_TRUE(doc) << err << " in: " << lines[0];
+  EXPECT_EQ(doc->find("level")->as_string(), "warn");
+  EXPECT_EQ(doc->find("msg")->as_string(), "odd \"quoted\" message\twith tab");
+  EXPECT_EQ(doc->find("n")->as_int(), -3);
+  EXPECT_EQ(doc->find("path")->as_string(), "/tmp/x \"y\"");
+  ASSERT_NE(doc->find("ts"), nullptr);
+  // ISO-8601 UTC: 2026-08-06T17:01:02.345Z
+  const std::string ts = doc->find("ts")->as_string();
+  EXPECT_EQ(ts.size(), 24u) << ts;
+  EXPECT_EQ(ts[10], 'T');
+  EXPECT_EQ(ts.back(), 'Z');
+}
+
+TEST(Log, LevelFilteringSuppressesBelowThreshold) {
+  CapturingLogger cap;
+  cap.logger().set_level(LogLevel::Warn);
+  cap.logger().log(LogLevel::Debug, "invisible");
+  cap.logger().log(LogLevel::Info, "also invisible");
+  cap.logger().log(LogLevel::Warn, "visible");
+  cap.logger().log(LogLevel::Error, "also visible");
+  EXPECT_FALSE(cap.logger().enabled(LogLevel::Info));
+  EXPECT_TRUE(cap.logger().enabled(LogLevel::Warn));
+  const auto lines = cap.lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("visible"), std::string::npos);
+  EXPECT_EQ(cap.logger().lines_written(), 2u);
+}
+
+TEST(Log, OffDisablesEverything) {
+  CapturingLogger cap;
+  cap.logger().set_level(LogLevel::Off);
+  cap.logger().log(LogLevel::Error, "nope");
+  EXPECT_TRUE(cap.lines().empty());
+}
+
+TEST(Log, ConcurrentWritersInterleaveWholeValidJsonLines) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  CapturingLogger cap;
+  cap.logger().set_json(true);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&cap, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        cap.logger().log(LogLevel::Info, "concurrent line with some padding",
+                         {field("thread", t), field("i", i),
+                          field("text", "abcdefghijklmnopqrstuvwxyz")});
+    });
+  for (std::thread& t : threads) t.join();
+
+  const auto lines = cap.lines();
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  for (const std::string& line : lines) {
+    std::string err;
+    const auto doc = server::JsonValue::parse(line, &err);
+    ASSERT_TRUE(doc) << err << " in: " << line;
+    ASSERT_NE(doc->find("thread"), nullptr);
+    ASSERT_NE(doc->find("i"), nullptr);
+  }
+}
+
+TEST(Log, RateLimitBoundsAHotWarnSiteAndReportsSuppression) {
+  CapturingLogger cap;
+  for (int i = 0; i < 100; ++i)
+    cap.logger().warn_rate_limited("hot_key", "something keeps happening",
+                                   {field("i", i)}, 5);
+  // 100 calls in well under a second: at most the budget for one window
+  // (plus one more if the loop straddled a second boundary).
+  const auto burst = cap.lines();
+  EXPECT_GE(burst.size(), 1u);
+  EXPECT_LE(burst.size(), 10u);
+
+  // When the window reopens, the next line reports what was swallowed.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1100));
+  cap.logger().warn_rate_limited("hot_key", "something keeps happening", {}, 5);
+  const auto after = cap.lines();
+  ASSERT_GT(after.size(), burst.size());
+  bool reported = false;
+  for (std::size_t i = burst.size(); i < after.size(); ++i)
+    if (after[i].find("suppressed") != std::string::npos) reported = true;
+  EXPECT_TRUE(reported);
+}
+
+TEST(Log, RateLimitIsPerKey) {
+  CapturingLogger cap;
+  for (int i = 0; i < 20; ++i) {
+    cap.logger().warn_rate_limited("key_a", "a", {}, 2);
+    cap.logger().warn_rate_limited("key_b", "b", {}, 2);
+  }
+  // Each key gets its own budget; neither starves the other.
+  std::size_t a = 0, b = 0;
+  for (const std::string& line : cap.lines()) {
+    if (line.find(" a") != std::string::npos) ++a;
+    if (line.find(" b") != std::string::npos) ++b;
+  }
+  EXPECT_GE(a, 1u);
+  EXPECT_GE(b, 1u);
+}
+
+TEST(Log, StampsCurrentRequestId) {
+  CapturingLogger cap;
+  cap.logger().set_json(true);
+  RequestContext ctx;
+  ctx.request_id = "r-999";
+  {
+    RequestScope scope(&ctx);
+    cap.logger().log(LogLevel::Info, "inside request");
+  }
+  cap.logger().log(LogLevel::Info, "outside request");
+  const auto lines = cap.lines();
+  ASSERT_EQ(lines.size(), 2u);
+  std::string err;
+  const auto inside = server::JsonValue::parse(lines[0], &err);
+  ASSERT_TRUE(inside);
+  ASSERT_NE(inside->find("req"), nullptr);
+  EXPECT_EQ(inside->find("req")->as_string(), "r-999");
+  const auto outside = server::JsonValue::parse(lines[1], &err);
+  ASSERT_TRUE(outside);
+  EXPECT_EQ(outside->find("req"), nullptr);
+}
+
+TEST(Log, ParseLogLevelNames) {
+  LogLevel l{};
+  EXPECT_TRUE(parse_log_level("debug", &l));
+  EXPECT_EQ(l, LogLevel::Debug);
+  EXPECT_TRUE(parse_log_level("off", &l));
+  EXPECT_EQ(l, LogLevel::Off);
+  EXPECT_FALSE(parse_log_level("chatty", &l));
+  EXPECT_FALSE(parse_log_level("", &l));
+}
+
+}  // namespace
+}  // namespace ilp::obs

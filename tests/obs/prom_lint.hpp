@@ -1,0 +1,236 @@
+// A small Prometheus text-exposition (0.0.4) validator, shared by the gtest
+// suites and the prom_scrape CI tool.  It checks the subset the repo emits:
+//
+//   * every line is a `# HELP`/`# TYPE` comment or a `name[{labels}] value`
+//     sample with a legal metric name and a parseable value,
+//   * at most one TYPE per family, declared before the family's samples,
+//   * histogram families are well-formed: `_bucket{le="..."}` series with
+//     strictly ascending le, non-decreasing cumulative counts, a final
+//     le="+Inf", and `_sum`/`_count` samples where `_count` equals the +Inf
+//     bucket.
+//
+// lint_prometheus returns human-readable problems; an empty vector means the
+// exposition passed.
+#pragma once
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ilp::testing {
+
+namespace prom_lint_detail {
+
+inline bool valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (const char c : name.substr(1))
+    if (!head(c) && !std::isdigit(static_cast<unsigned char>(c))) return false;
+  return true;
+}
+
+inline bool parse_value(std::string_view text, double* out) {
+  if (text == "+Inf" || text == "Inf") {
+    *out = HUGE_VAL;
+    return true;
+  }
+  if (text == "-Inf") {
+    *out = -HUGE_VAL;
+    return true;
+  }
+  if (text == "NaN") {
+    *out = NAN;
+    return true;
+  }
+  const std::string s(text);
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0' && end != s.c_str();
+}
+
+struct Sample {
+  std::string name;      // family name with _bucket/_sum/_count intact
+  std::string le;        // value of the le label, "" if absent
+  double value = 0.0;
+};
+
+// Parses `name[{labels}] value`; returns false with *err set on malformed.
+inline bool parse_sample(std::string_view line, Sample* out, std::string* err) {
+  const std::size_t brace = line.find('{');
+  const std::size_t name_end = brace != std::string_view::npos ? brace : line.find(' ');
+  if (name_end == std::string_view::npos) {
+    *err = "sample line has no value";
+    return false;
+  }
+  out->name = std::string(line.substr(0, name_end));
+  if (!valid_metric_name(out->name)) {
+    *err = "invalid metric name '" + out->name + "'";
+    return false;
+  }
+  std::string_view rest = line.substr(name_end);
+  out->le.clear();
+  if (brace != std::string_view::npos) {
+    const std::size_t close = rest.find('}');
+    if (close == std::string_view::npos) {
+      *err = "unterminated label set";
+      return false;
+    }
+    std::string_view labels = rest.substr(1, close - 1);
+    // Labels in this repo are a single le="..." pair; accept any
+    // name="value" list and remember le when present.
+    while (!labels.empty()) {
+      const std::size_t eq = labels.find('=');
+      if (eq == std::string_view::npos || eq + 1 >= labels.size() ||
+          labels[eq + 1] != '"') {
+        *err = "malformed label in '" + std::string(labels) + "'";
+        return false;
+      }
+      const std::size_t quote = labels.find('"', eq + 2);
+      if (quote == std::string_view::npos) {
+        *err = "unterminated label value";
+        return false;
+      }
+      if (labels.substr(0, eq) == "le")
+        out->le = std::string(labels.substr(eq + 2, quote - (eq + 2)));
+      labels.remove_prefix(quote + 1);
+      if (!labels.empty() && labels[0] == ',') labels.remove_prefix(1);
+    }
+    rest = rest.substr(close + 1);
+  }
+  if (rest.empty() || rest[0] != ' ') {
+    *err = "no space before value";
+    return false;
+  }
+  rest.remove_prefix(1);
+  if (!parse_value(rest, &out->value)) {
+    *err = "unparseable value '" + std::string(rest) + "'";
+    return false;
+  }
+  return true;
+}
+
+// Family name of a histogram-series sample, or "" if not one.
+inline std::string histogram_family(const std::string& name) {
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    const std::string_view sv(suffix);
+    if (name.size() > sv.size() &&
+        std::string_view(name).substr(name.size() - sv.size()) == sv)
+      return name.substr(0, name.size() - sv.size());
+  }
+  return "";
+}
+
+}  // namespace prom_lint_detail
+
+inline std::vector<std::string> lint_prometheus(std::string_view text) {
+  using namespace prom_lint_detail;
+  std::vector<std::string> problems;
+  std::map<std::string, std::string> types;     // family -> declared type
+  std::map<std::string, bool> sampled;          // family -> samples seen
+  struct HistState {
+    double prev_le = -HUGE_VAL;
+    double prev_count = -1.0;
+    double inf_count = -1.0;
+    double count_sample = -1.0;
+    bool have_sum = false, have_inf = false, have_count = false;
+  };
+  std::map<std::string, HistState> hists;
+
+  std::size_t lineno = 0;
+  while (!text.empty()) {
+    ++lineno;
+    const std::size_t nl = text.find('\n');
+    std::string_view line = text.substr(0, nl);
+    text = nl == std::string_view::npos ? std::string_view{} : text.substr(nl + 1);
+    if (line.empty()) continue;
+    auto complain = [&](const std::string& what) {
+      problems.push_back("line " + std::to_string(lineno) + ": " + what + " [" +
+                         std::string(line) + "]");
+    };
+
+    if (line[0] == '#') {
+      // "# HELP name text" / "# TYPE name kind"; any other comment is legal.
+      if (line.rfind("# TYPE ", 0) == 0) {
+        std::string_view rest = line.substr(7);
+        const std::size_t sp = rest.find(' ');
+        if (sp == std::string_view::npos) {
+          complain("TYPE line missing kind");
+          continue;
+        }
+        const std::string name(rest.substr(0, sp));
+        const std::string_view kind = rest.substr(sp + 1);
+        if (!valid_metric_name(name)) complain("TYPE for invalid name");
+        if (kind != "counter" && kind != "gauge" && kind != "histogram" &&
+            kind != "summary" && kind != "untyped")
+          complain("unknown TYPE kind '" + std::string(kind) + "'");
+        if (types.count(name) != 0) complain("duplicate TYPE for '" + name + "'");
+        if (sampled.count(name) != 0) complain("TYPE after samples of '" + name + "'");
+        types[name] = std::string(kind);
+      } else if (line.rfind("# HELP ", 0) == 0) {
+        if (line.size() <= 7 || !valid_metric_name(
+                std::string(line.substr(7, line.substr(7).find(' ')))))
+          complain("HELP for invalid name");
+      }
+      continue;
+    }
+
+    Sample s;
+    std::string err;
+    if (!parse_sample(line, &s, &err)) {
+      complain(err);
+      continue;
+    }
+    const std::string family = histogram_family(s.name);
+    sampled[family.empty() ? s.name : family] = true;
+    if (family.empty() || types.count(family) == 0 ||
+        types[family] != "histogram")
+      continue;
+
+    HistState& h = hists[family];
+    if (s.name == family + "_sum") {
+      h.have_sum = true;
+    } else if (s.name == family + "_count") {
+      h.have_count = true;
+      h.count_sample = s.value;
+    } else {  // _bucket
+      if (s.le.empty()) {
+        complain("histogram bucket without le label");
+        continue;
+      }
+      double le = 0.0;
+      if (!parse_value(s.le, &le)) {
+        complain("unparseable le '" + s.le + "'");
+        continue;
+      }
+      if (le <= h.prev_le) complain("le not ascending in '" + family + "'");
+      if (h.prev_count >= 0 && s.value < h.prev_count)
+        complain("bucket counts not cumulative in '" + family + "'");
+      h.prev_le = le;
+      h.prev_count = s.value;
+      if (std::isinf(le) && le > 0) {
+        h.have_inf = true;
+        h.inf_count = s.value;
+      }
+    }
+  }
+
+  for (const auto& [family, h] : hists) {
+    if (!h.have_inf) problems.push_back("histogram '" + family + "' missing +Inf bucket");
+    if (!h.have_sum) problems.push_back("histogram '" + family + "' missing _sum");
+    if (!h.have_count) problems.push_back("histogram '" + family + "' missing _count");
+    if (h.have_inf && h.have_count && h.inf_count != h.count_sample)
+      problems.push_back("histogram '" + family + "': _count " +
+                         std::to_string(h.count_sample) + " != +Inf bucket " +
+                         std::to_string(h.inf_count));
+  }
+  return problems;
+}
+
+}  // namespace ilp::testing

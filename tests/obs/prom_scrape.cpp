@@ -1,0 +1,103 @@
+// prom_scrape — CI helper that scrapes a running ilpd's `metrics` verb,
+// validates the Prometheus exposition with the same linter the unit tests
+// use, and optionally asserts that a histogram family has samples.
+//
+//   prom_scrape --port P [--host H] [--require-hist FAMILY]...
+//
+// Prints the exposition to stdout (so CI can archive it) and exits nonzero
+// on connection failure, a lint problem, or an empty required histogram.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obs/prom_lint.hpp"
+#include "server/json.hpp"
+#include "server/netclient.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --port P [--host H] [--require-hist FAMILY]...\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::vector<std::string> required_hists;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--host" && (v = next())) host = v;
+    else if (arg == "--port" && (v = next())) port = std::atoi(v);
+    else if (arg == "--require-hist" && (v = next())) required_hists.push_back(v);
+    else return usage(argv[0]);
+  }
+  if (port <= 0) return usage(argv[0]);
+
+  ilp::server::LineClient client;
+  if (!client.connect(host, port)) {
+    std::fprintf(stderr, "prom_scrape: cannot connect to %s:%d\n", host.c_str(),
+                 port);
+    return 1;
+  }
+  if (!client.send_line(R"({"id":"prom_scrape","kind":"metrics"})")) {
+    std::fprintf(stderr, "prom_scrape: send failed\n");
+    return 1;
+  }
+  const auto reply = client.recv_line(10'000);
+  if (!reply) {
+    std::fprintf(stderr, "prom_scrape: no reply\n");
+    return 1;
+  }
+  std::string err;
+  const auto doc = ilp::server::JsonValue::parse(*reply, &err);
+  if (!doc) {
+    std::fprintf(stderr, "prom_scrape: bad reply JSON: %s\n", err.c_str());
+    return 1;
+  }
+  const ilp::server::JsonValue* ok = doc->find("ok");
+  const ilp::server::JsonValue* exposition = doc->find("exposition");
+  if (ok == nullptr || !ok->is_bool() || !ok->as_bool() || exposition == nullptr ||
+      !exposition->is_string()) {
+    std::fprintf(stderr, "prom_scrape: metrics verb failed: %s\n", reply->c_str());
+    return 1;
+  }
+  const std::string text = exposition->as_string();
+  std::fwrite(text.data(), 1, text.size(), stdout);
+
+  int rc = 0;
+  const auto problems = ilp::testing::lint_prometheus(text);
+  for (const std::string& p : problems)
+    std::fprintf(stderr, "prom_scrape: lint: %s\n", p.c_str());
+  if (!problems.empty()) rc = 1;
+
+  for (const std::string& family : required_hists) {
+    // Non-empty means the `<family>_count` sample exists and is not 0.
+    const std::string count_line = family + "_count ";
+    const std::size_t at = text.find(count_line);
+    if (at == std::string::npos) {
+      std::fprintf(stderr, "prom_scrape: histogram '%s' not found\n",
+                   family.c_str());
+      rc = 1;
+      continue;
+    }
+    const double n = std::strtod(text.c_str() + at + count_line.size(), nullptr);
+    if (n <= 0) {
+      std::fprintf(stderr, "prom_scrape: histogram '%s' is empty\n",
+                   family.c_str());
+      rc = 1;
+    } else {
+      std::fprintf(stderr, "prom_scrape: %s has %.0f samples\n", family.c_str(), n);
+    }
+  }
+  return rc;
+}

@@ -1,0 +1,106 @@
+#include "obs/prometheus.hpp"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "engine/metrics.hpp"
+#include "obs/histogram.hpp"
+#include "obs/prom_lint.hpp"
+
+namespace ilp::obs {
+namespace {
+
+TEST(Prometheus, SanitizeName) {
+  EXPECT_EQ(prom::sanitize_name("pass.unroll"), "pass_unroll");
+  EXPECT_EQ(prom::sanitize_name("server.request_latency"), "server_request_latency");
+  EXPECT_EQ(prom::sanitize_name("a-b c/d"), "a_b_c_d");
+  EXPECT_EQ(prom::sanitize_name("9lives"), "_9lives");
+  EXPECT_EQ(prom::sanitize_name("ok:name_2"), "ok:name_2");
+}
+
+TEST(Prometheus, CounterAndGaugeRenderCleanly) {
+  std::string out;
+  prom::append_counter(out, "server.requests", 17, "Requests received");
+  prom::append_gauge(out, "server.queue_depth", 3.0);
+  EXPECT_NE(out.find("# HELP server_requests Requests received"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE server_requests counter"), std::string::npos);
+  EXPECT_NE(out.find("server_requests 17"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE server_queue_depth gauge"), std::string::npos);
+  const auto problems = ilp::testing::lint_prometheus(out);
+  EXPECT_TRUE(problems.empty()) << problems.front();
+}
+
+TEST(Prometheus, HistogramFollowsTheConvention) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<std::uint64_t>(i) * 1000);
+  std::string out;
+  prom::append_histogram(out, "server.request_latency", h.snapshot(), 1e-9,
+                         "Request latency");
+  EXPECT_NE(out.find("# TYPE server_request_latency histogram"), std::string::npos);
+  EXPECT_NE(out.find("server_request_latency_bucket{le=\"+Inf\"} 1000"),
+            std::string::npos);
+  EXPECT_NE(out.find("server_request_latency_count 1000"), std::string::npos);
+  EXPECT_NE(out.find("server_request_latency_sum "), std::string::npos);
+  const auto problems = ilp::testing::lint_prometheus(out);
+  EXPECT_TRUE(problems.empty()) << problems.front();
+}
+
+TEST(Prometheus, EmptyHistogramStillWellFormed) {
+  Histogram h;
+  std::string out;
+  prom::append_histogram(out, "empty.hist", h.snapshot());
+  EXPECT_NE(out.find("empty_hist_bucket{le=\"+Inf\"} 0"), std::string::npos);
+  EXPECT_NE(out.find("empty_hist_count 0"), std::string::npos);
+  const auto problems = ilp::testing::lint_prometheus(out);
+  EXPECT_TRUE(problems.empty()) << problems.front();
+}
+
+TEST(Prometheus, LintCatchesBrokenExpositions) {
+  using ilp::testing::lint_prometheus;
+  EXPECT_FALSE(lint_prometheus("bad name 1\n").empty());
+  EXPECT_FALSE(lint_prometheus("name notanumber\n").empty());
+  EXPECT_FALSE(lint_prometheus("# TYPE x bogus\nx 1\n").empty());
+  // Histogram with non-cumulative buckets.
+  EXPECT_FALSE(lint_prometheus("# TYPE h histogram\n"
+                               "h_bucket{le=\"1\"} 5\n"
+                               "h_bucket{le=\"2\"} 3\n"
+                               "h_bucket{le=\"+Inf\"} 5\n"
+                               "h_sum 9\nh_count 5\n")
+                   .empty());
+  // Histogram missing +Inf.
+  EXPECT_FALSE(lint_prometheus("# TYPE h histogram\n"
+                               "h_bucket{le=\"1\"} 5\n"
+                               "h_sum 9\nh_count 5\n")
+                   .empty());
+  // _count disagreeing with the +Inf bucket.
+  EXPECT_FALSE(lint_prometheus("# TYPE h histogram\n"
+                               "h_bucket{le=\"+Inf\"} 4\n"
+                               "h_sum 9\nh_count 5\n")
+                   .empty());
+  // A correct one passes.
+  EXPECT_TRUE(lint_prometheus("# TYPE h histogram\n"
+                              "h_bucket{le=\"1\"} 2\n"
+                              "h_bucket{le=\"+Inf\"} 5\n"
+                              "h_sum 9\nh_count 5\n")
+                  .empty());
+}
+
+TEST(Prometheus, MetricsRegistryRoundTrip) {
+  engine::MetricsRegistry reg;
+  for (int i = 0; i < 3; ++i) reg.add_time("pass.unroll", 1'000'000);
+  reg.add_count("trans.loops_unrolled", 7);
+  reg.histogram("test.latency").record(5'000);
+  reg.histogram("test.latency").record(9'000'000);
+  const std::string out = reg.to_prometheus();
+  const auto problems = ilp::testing::lint_prometheus(out);
+  EXPECT_TRUE(problems.empty()) << problems.front();
+  EXPECT_NE(out.find("pass_unroll_count 3"), std::string::npos);
+  EXPECT_NE(out.find("pass_unroll_seconds_total"), std::string::npos);
+  EXPECT_NE(out.find("trans_loops_unrolled 7"), std::string::npos);
+  EXPECT_NE(out.find("test_latency_seconds_bucket"), std::string::npos);
+  EXPECT_NE(out.find("test_latency_seconds_count 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ilp::obs
