@@ -1,0 +1,31 @@
+// Process-wide heap-allocation counters for the benchmarks.
+//
+// bench/alloc_hook.cpp replaces the global operator new/delete family with
+// forwarding versions that bump these counters (one relaxed atomic add per
+// call — noise next to malloc itself).  Benchmarks snapshot the counters
+// around their timing loop to report allocs/op next to ns/op, which is how
+// BENCH_4.json tracks the pipeline's allocation behavior and how the bench
+// smoke can flag alloc regressions that wall-clock noise would hide.
+//
+// The hook is linked into the bench binaries only; the library and tests run
+// on the stock allocator.
+#pragma once
+
+#include <cstdint>
+
+namespace ilp::allochook {
+
+struct Snapshot {
+  std::uint64_t count = 0;  // operator new/new[] calls
+  std::uint64_t bytes = 0;  // bytes requested through them
+};
+
+// Current totals since process start (monotonic; frees do not subtract).
+Snapshot snapshot();
+
+// Convenience delta helper: allocations between two snapshots.
+inline Snapshot delta(const Snapshot& before, const Snapshot& after) {
+  return {after.count - before.count, after.bytes - before.bytes};
+}
+
+}  // namespace ilp::allochook

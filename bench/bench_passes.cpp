@@ -10,7 +10,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cstddef>
+#include <cstdint>
 
+#include "alloc_hook.hpp"
 #include "analysis/cfg.hpp"
 #include "analysis/depgraph.hpp"
 #include "analysis/dominators.hpp"
@@ -25,9 +27,11 @@
 #include "regalloc/regalloc.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/simulator.hpp"
+#include "support/compile_ctx.hpp"
 #include "trans/accexpand.hpp"
 #include "trans/combine.hpp"
 #include "trans/indexpand.hpp"
+#include "trans/level.hpp"
 #include "trans/rename.hpp"
 #include "trans/strengthred.hpp"
 #include "trans/treeheight.hpp"
@@ -269,6 +273,69 @@ void BM_HotPathSimulateLev4Issue8(benchmark::State& state) {
       static_cast<double>(instructions), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_HotPathSimulateLev4Issue8);
+
+// ---- Compile-pipeline allocation benchmarks -------------------------------
+// The full pass pipeline (conventional opts through scheduling, no
+// simulation) on the largest workload, with heap-allocation counts from the
+// operator-new interposer (alloc_hook.cpp) reported next to ns/compile.
+// The Warm variant is the service steady state: every compile reuses the
+// calling thread's pooled CompileContext, so pass scratch (dense maps,
+// liveness rows, arena chunks) is already hot.  The ColdContext variant
+// constructs a fresh context per compile — the difference is what the
+// context pooling buys.
+
+void BM_HotPathCompileLev4Issue8Warm(benchmark::State& state) {
+  DiagnosticEngine d;
+  auto r = dsl::compile(big_loop().source, d);
+  const Function base = r->fn;
+  const MachineModel m = MachineModel::issue(8);
+  const TransformSet set = TransformSet::for_level(OptLevel::Lev4);
+  {
+    Function fn = base;  // prime the thread's context: measure steady state
+    compile_with_transforms(fn, set, m, {});
+  }
+  std::uint64_t allocs = 0;
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    Function fn = base;
+    const allochook::Snapshot before = allochook::snapshot();
+    compile_with_transforms(fn, set, m, {});
+    const allochook::Snapshot diff = allochook::delta(before, allochook::snapshot());
+    allocs += diff.count;
+    bytes += diff.bytes;
+    benchmark::DoNotOptimize(fn.num_insts());
+  }
+  state.counters["allocs/compile"] =
+      benchmark::Counter(static_cast<double>(allocs), benchmark::Counter::kAvgIterations);
+  state.counters["alloc_bytes/compile"] =
+      benchmark::Counter(static_cast<double>(bytes), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_HotPathCompileLev4Issue8Warm);
+
+void BM_HotPathCompileLev4Issue8ColdContext(benchmark::State& state) {
+  DiagnosticEngine d;
+  auto r = dsl::compile(big_loop().source, d);
+  const Function base = r->fn;
+  const MachineModel m = MachineModel::issue(8);
+  const TransformSet set = TransformSet::for_level(OptLevel::Lev4);
+  std::uint64_t allocs = 0;
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    Function fn = base;
+    const allochook::Snapshot before = allochook::snapshot();
+    CompileContext ctx;
+    compile_with_transforms(fn, set, m, {}, nullptr, ctx);
+    const allochook::Snapshot diff = allochook::delta(before, allochook::snapshot());
+    allocs += diff.count;
+    bytes += diff.bytes;
+    benchmark::DoNotOptimize(fn.num_insts());
+  }
+  state.counters["allocs/compile"] =
+      benchmark::Counter(static_cast<double>(allocs), benchmark::Counter::kAvgIterations);
+  state.counters["alloc_bytes/compile"] =
+      benchmark::Counter(static_cast<double>(bytes), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_HotPathCompileLev4Issue8ColdContext);
 
 // Full cold-cache study, serial: every cell recompiled, rescheduled and
 // resimulated — the end-to-end wall-time figure the ROADMAP tracks.

@@ -1,0 +1,168 @@
+// Standalone compile-phase measurement: ns/compile and allocs/compile for
+// the full pass pipeline on NAS-5 at Lev4/issue-8, plus a per-phase
+// allocation breakdown on a warm context.  The same tool (sans breakdown)
+// was run against the pre-arena tree for the BENCH_4 comparison recorded in
+// EXPERIMENTS.md.
+#include <chrono>
+#include <cstdio>
+
+#include "alloc_hook.hpp"
+#include "frontend/compile.hpp"
+#include "harness/experiment.hpp"
+#include "ir/verifier.hpp"
+#include "machine/machine.hpp"
+#include "opt/constprop.hpp"
+#include "opt/copyprop.hpp"
+#include "opt/cse.hpp"
+#include "opt/dce.hpp"
+#include "opt/ivopt.hpp"
+#include "opt/licm.hpp"
+#include "opt/pipeline.hpp"
+#include "sched/scheduler.hpp"
+#include "support/compile_ctx.hpp"
+#include "trans/accexpand.hpp"
+#include "trans/combine.hpp"
+#include "trans/indexpand.hpp"
+#include "trans/rename.hpp"
+#include "trans/searchexpand.hpp"
+#include "trans/strengthred.hpp"
+#include "trans/treeheight.hpp"
+#include "trans/unroll.hpp"
+#include "workloads/suite.hpp"
+
+using namespace ilp;
+
+namespace {
+
+std::uint64_t phase_allocs(const char* name, const std::uint64_t base,
+                           void (*run)(Function&, CompileContext&), Function& fn,
+                           CompileContext& ctx) {
+  const allochook::Snapshot before = allochook::snapshot();
+  run(fn, ctx);
+  const std::uint64_t n = allochook::delta(before, allochook::snapshot()).count;
+  std::printf("  %-16s %6llu allocs\n", name, static_cast<unsigned long long>(n));
+  return base + n;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  DiagnosticEngine d;
+  auto r = dsl::compile(find_workload("NAS-5")->source, d);
+  if (!r) return 1;
+  const Function base = r->fn;
+  const MachineModel m = MachineModel::issue(8);
+  const TransformSet set = TransformSet::for_level(OptLevel::Lev4);
+
+  // Warm-up: 20 compiles so any lazily-built state is in place.
+  for (int i = 0; i < 20; ++i) {
+    Function fn = base;
+    compile_with_transforms(fn, set, m, {});
+  }
+
+  const int kIters = 500;
+  std::uint64_t ns = 0;
+  std::uint64_t allocs = 0;
+  std::uint64_t bytes = 0;
+  for (int i = 0; i < kIters; ++i) {
+    Function fn = base;
+    const allochook::Snapshot before = allochook::snapshot();
+    const auto t0 = std::chrono::steady_clock::now();
+    compile_with_transforms(fn, set, m, {});
+    const auto t1 = std::chrono::steady_clock::now();
+    const allochook::Snapshot diff = allochook::delta(before, allochook::snapshot());
+    ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+    allocs += diff.count;
+    bytes += diff.bytes;
+  }
+  std::printf("ns/compile=%llu allocs/compile=%llu alloc_bytes/compile=%llu\n",
+              static_cast<unsigned long long>(ns / kIters),
+              static_cast<unsigned long long>(allocs / kIters),
+              static_cast<unsigned long long>(bytes / kIters));
+
+  if (argc > 1 && argv[1][0] == 'c') {  // "conv": conventional sub-pass breakdown
+    CompileContext& ctx = CompileContext::local();
+    Function fn = base;
+    ctx.begin_compile();
+    std::uint64_t counts[8] = {};
+    const char* names[8] = {"constprop", "copyprop", "cse", "copyprop2",
+                            "dce", "licm", "ivopt", "verify"};
+    auto probe = [&](int which, auto&& call) {
+      const allochook::Snapshot before = allochook::snapshot();
+      call();
+      counts[which] += allochook::delta(before, allochook::snapshot()).count;
+      return true;
+    };
+    probe(7, [&] { verify_or_die(fn, "probe"); });
+    for (int round = 0; round < 8; ++round) {
+      bool changed = false;
+      probe(0, [&] { changed |= constant_propagation(fn, ctx); });
+      probe(1, [&] { changed |= copy_propagation(fn, ctx); });
+      probe(2, [&] { changed |= common_subexpression_elimination(fn, ctx); });
+      probe(3, [&] { changed |= copy_propagation(fn, ctx); });
+      probe(4, [&] { changed |= dead_code_elimination(fn, ctx); });
+      if (!changed) break;
+    }
+    probe(5, [&] { loop_invariant_code_motion(fn, ctx); });
+    probe(6, [&] { induction_variable_optimization(fn, ctx); });
+    for (int round = 0; round < 8; ++round) {
+      bool changed = false;
+      probe(0, [&] { changed |= constant_propagation(fn, ctx); });
+      probe(1, [&] { changed |= copy_propagation(fn, ctx); });
+      probe(2, [&] { changed |= common_subexpression_elimination(fn, ctx); });
+      probe(3, [&] { changed |= copy_propagation(fn, ctx); });
+      probe(4, [&] { changed |= dead_code_elimination(fn, ctx); });
+      if (!changed) break;
+    }
+    std::printf("conventional sub-pass allocs (one warm compile):\n");
+    for (int i = 0; i < 8; ++i)
+      std::printf("  %-12s %6llu\n", names[i], static_cast<unsigned long long>(counts[i]));
+    return 0;
+  }
+  if (argc > 1) {  // any argument: print the warm per-phase breakdown
+    CompileContext& ctx = CompileContext::local();
+    Function fn = base;
+    ctx.begin_compile();
+    std::uint64_t total = 0;
+    std::printf("warm per-phase allocs (one compile):\n");
+    total = phase_allocs("conventional", total,
+                         [](Function& f, CompileContext& c) {
+                           run_conventional_optimizations(f, c);
+                         }, fn, ctx);
+    total = phase_allocs("unroll", total,
+                         [](Function& f, CompileContext&) { unroll_loops(f); }, fn, ctx);
+    total = phase_allocs("accexpand", total,
+                         [](Function& f, CompileContext& c) {
+                           accumulator_expansion(f, {}, c);
+                         }, fn, ctx);
+    total = phase_allocs("indexpand", total,
+                         [](Function& f, CompileContext& c) { induction_expansion(f, c); },
+                         fn, ctx);
+    total = phase_allocs("searchexpand", total,
+                         [](Function& f, CompileContext& c) { search_expansion(f, c); },
+                         fn, ctx);
+    total = phase_allocs("rename", total,
+                         [](Function& f, CompileContext& c) { rename_registers(f, c); },
+                         fn, ctx);
+    total = phase_allocs("combine", total,
+                         [](Function& f, CompileContext&) { operation_combining(f); },
+                         fn, ctx);
+    total = phase_allocs("strengthred", total,
+                         [](Function& f, CompileContext&) { strength_reduction(f); },
+                         fn, ctx);
+    total = phase_allocs("treeheight", total,
+                         [](Function& f, CompileContext& c) {
+                           tree_height_reduction(f, {}, c);
+                         }, fn, ctx);
+    total = phase_allocs("cleanup", total,
+                         [](Function& f, CompileContext& c) { run_cleanup(f, c); }, fn,
+                         ctx);
+    total = phase_allocs("schedule", total,
+                         [](Function& f, CompileContext& c) {
+                           schedule_function(f, MachineModel::issue(8), c);
+                         }, fn, ctx);
+    std::printf("  %-16s %6llu allocs\n", "total", static_cast<unsigned long long>(total));
+  }
+  return 0;
+}

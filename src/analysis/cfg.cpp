@@ -6,13 +6,29 @@
 
 namespace ilp {
 
-Cfg::Cfg(const Function& fn) : fn_(&fn) {
+namespace {
+
+// Resizes a vector-of-vectors to n rows, clearing rows but keeping their
+// heap capacity (the whole point of pooling the storage).
+void reuse_rows(std::vector<std::vector<BlockId>>& v, std::size_t n) {
+  if (v.size() > n) v.resize(n);
+  for (auto& row : v) row.clear();
+  while (v.size() < n) v.emplace_back();
+}
+
+}  // namespace
+
+Cfg::Cfg(const Function& fn, CompileContext* ctx) : fn_(&fn) {
+  if (ctx != nullptr) {
+    pool_ = &ctx->cfg.get<StoragePool<CfgStorage>>();
+    st_ = pool_->take();
+  }
   const std::size_t n = fn.num_blocks();
-  succs_.resize(n);
-  preds_.resize(n);
+  reuse_rows(st_.succs, n);
+  reuse_rows(st_.preds, n);
 
   for (const Block& b : fn.blocks()) {
-    auto& out = succs_[fn.layout_index(b.id)];
+    auto& out = st_.succs[fn.layout_index(b.id)];
     bool falls_through = true;
     for (const Instruction& in : b.insts) {
       if (in.is_branch()) {
@@ -35,18 +51,21 @@ Cfg::Cfg(const Function& fn) : fn_(&fn) {
     }
   }
   for (const Block& b : fn.blocks())
-    for (BlockId s : succs_[fn.layout_index(b.id)])
-      preds_[fn.layout_index(s)].push_back(b.id);
+    for (BlockId s : st_.succs[fn.layout_index(b.id)])
+      st_.preds[fn.layout_index(s)].push_back(b.id);
 
   // Reverse postorder via iterative DFS.
-  std::vector<char> state(n, 0);  // 0 unvisited, 1 on stack, 2 done
-  std::vector<BlockId> post;
-  std::vector<std::pair<BlockId, std::size_t>> stack;
+  auto& state = st_.state;  // 0 unvisited, 1 on stack, 2 done
+  state.assign(n, 0);
+  auto& post = st_.post;
+  post.clear();
+  auto& stack = st_.stack;
+  stack.clear();
   stack.emplace_back(entry(), 0);
   state[fn.layout_index(entry())] = 1;
   while (!stack.empty()) {
     auto& [b, i] = stack.back();
-    const auto& out = succs_[fn.layout_index(b)];
+    const auto& out = st_.succs[fn.layout_index(b)];
     if (i < out.size()) {
       const BlockId s = out[i++];
       if (state[fn.layout_index(s)] == 0) {
@@ -59,9 +78,13 @@ Cfg::Cfg(const Function& fn) : fn_(&fn) {
       stack.pop_back();
     }
   }
-  rpo_.assign(post.rbegin(), post.rend());
+  st_.rpo.assign(post.rbegin(), post.rend());
   for (const Block& b : fn.blocks())
-    if (state[fn.layout_index(b.id)] == 0) rpo_.push_back(b.id);
+    if (state[fn.layout_index(b.id)] == 0) st_.rpo.push_back(b.id);
+}
+
+Cfg::~Cfg() {
+  if (pool_ != nullptr) pool_->give(std::move(st_));
 }
 
 }  // namespace ilp

@@ -3,37 +3,56 @@
 // Successors of a block are every conditional-branch target inside it (side
 // exits included), its JUMP target, and its layout fall-through when the
 // block does not end in JUMP/RET.
+//
+// Construction with a CompileContext recycles the adjacency/RPO storage of
+// the previous Cfg built on that context (the pipeline builds dozens per
+// compile), making warm construction allocation-free.
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "ir/function.hpp"
+#include "support/compile_ctx.hpp"
 
 namespace ilp {
 
+// Pooled innards of a Cfg; lives in CompileContext::cfg between instances.
+struct CfgStorage {
+  std::vector<std::vector<BlockId>> succs;
+  std::vector<std::vector<BlockId>> preds;
+  std::vector<BlockId> rpo;
+  // Iterative-DFS scratch.
+  std::vector<char> state;
+  std::vector<BlockId> post;
+  std::vector<std::pair<BlockId, std::size_t>> stack;
+};
+
 class Cfg {
  public:
-  explicit Cfg(const Function& fn);
+  explicit Cfg(const Function& fn, CompileContext* ctx = nullptr);
+  ~Cfg();
+  Cfg(const Cfg&) = delete;
+  Cfg& operator=(const Cfg&) = delete;
 
   [[nodiscard]] const std::vector<BlockId>& succs(BlockId b) const {
-    return succs_[fn_->layout_index(b)];
+    return st_.succs[fn_->layout_index(b)];
   }
   [[nodiscard]] const std::vector<BlockId>& preds(BlockId b) const {
-    return preds_[fn_->layout_index(b)];
+    return st_.preds[fn_->layout_index(b)];
   }
   [[nodiscard]] BlockId entry() const { return fn_->blocks().front().id; }
 
   // Blocks in reverse postorder from the entry (unreachable blocks appended
   // at the end in layout order so analyses still see them).
-  [[nodiscard]] const std::vector<BlockId>& rpo() const { return rpo_; }
+  [[nodiscard]] const std::vector<BlockId>& rpo() const { return st_.rpo; }
 
   [[nodiscard]] const Function& function() const { return *fn_; }
 
  private:
   const Function* fn_;
-  std::vector<std::vector<BlockId>> succs_;  // indexed by layout position
-  std::vector<std::vector<BlockId>> preds_;
-  std::vector<BlockId> rpo_;
+  StoragePool<CfgStorage>* pool_ = nullptr;
+  CfgStorage st_;
 };
 
 }  // namespace ilp

@@ -2,73 +2,116 @@
 
 namespace ilp {
 
-Liveness::Liveness(const Cfg& cfg) : fn_(&cfg.function()), cfg_(&cfg) {
+namespace {
+
+// Re-shapes `bv` to nbits, zeroed, reusing its word storage.
+void reshape_zero(BitVector& bv, std::size_t nbits) {
+  bv.resize(nbits);
+  bv.reset_all();
+}
+
+}  // namespace
+
+Liveness::Liveness(const Cfg& cfg, CompileContext* ctx)
+    : fn_(&cfg.function()), cfg_(&cfg) {
+  if (ctx != nullptr) {
+    pool_ = &ctx->liveness.get<StoragePool<LivenessStorage>>();
+    st_ = pool_->take();
+  }
   const std::uint32_t maxid =
       std::max(fn_->num_regs(RegClass::Int), fn_->num_regs(RegClass::Fp));
   nkeys_ = 2 * static_cast<std::size_t>(maxid) + 2;
 
-  ret_live_ = BitVector(nkeys_);
-  for (const Reg& r : fn_->live_out()) ret_live_.set(RegKey::key(r));
+  reshape_zero(st_.ret_live, nkeys_);
+  for (const Reg& r : fn_->live_out()) st_.ret_live.set(RegKey::key(r));
 
+  // Never shrink the pooled rows: a smaller function reuses a prefix of the
+  // previous one's rows; destroying the excess here would force the next
+  // larger function to reallocate every row.
   const std::size_t n = fn_->num_blocks();
-  live_in_.assign(n, BitVector(nkeys_));
+  for (BitVector& row : st_.rows) reshape_zero(row, nkeys_);
+  while (st_.rows.size() < n) st_.rows.emplace_back(nkeys_);
 
   // Backward iterative fixpoint; visit blocks in reverse layout order (a good
   // approximation of reverse topological order for loop bodies).
+  BitVector& live = st_.scratch;
   bool changed = true;
   while (changed) {
     changed = false;
     for (auto it = fn_->blocks().rbegin(); it != fn_->blocks().rend(); ++it) {
       const Block& b = *it;
-      BitVector live = exit_live(b.id);
+      assign_exit_live(b.id, live);
       for (auto ii = b.insts.rbegin(); ii != b.insts.rend(); ++ii) transfer(*ii, live);
-      if (!(live == live_in_[fn_->layout_index(b.id)])) {
-        live_in_[fn_->layout_index(b.id)] = std::move(live);
+      BitVector& row = st_.rows[fn_->layout_index(b.id)];
+      if (!(live == row)) {
+        std::swap(row, live);
         changed = true;
       }
     }
   }
 }
 
+Liveness::~Liveness() {
+  if (pool_ != nullptr) pool_->give(std::move(st_));
+}
+
 void Liveness::transfer(const Instruction& in, BitVector& live) const {
   if (in.op == Opcode::RET) {
-    live = ret_live_;
+    live = st_.ret_live;
     return;
   }
   if (in.op == Opcode::JUMP) {
-    live = live_in_[fn_->layout_index(in.target)];
+    live = st_.rows[fn_->layout_index(in.target)];
     return;
   }
-  if (in.is_branch()) live |= live_in_[fn_->layout_index(in.target)];
+  if (in.is_branch()) live |= st_.rows[fn_->layout_index(in.target)];
   if (in.has_dest()) live.reset(RegKey::key(in.dst));
   if (in.src1.valid()) live.set(RegKey::key(in.src1));
   if (in.src2.valid() && !in.src2_is_imm) live.set(RegKey::key(in.src2));
 }
 
-BitVector Liveness::exit_live(BlockId b) const {
+void Liveness::assign_exit_live(BlockId b, BitVector& live) const {
   const Block& blk = fn_->block(b);
-  if (blk.has_terminator()) return BitVector(nkeys_);
-  const BlockId next = fn_->layout_next(b);
-  if (next == kNoBlock) return BitVector(nkeys_);
-  return live_in_[fn_->layout_index(next)];
+  const BlockId next = blk.has_terminator() ? kNoBlock : fn_->layout_next(b);
+  if (next == kNoBlock) {
+    reshape_zero(live, nkeys_);
+    return;
+  }
+  live = st_.rows[fn_->layout_index(next)];
 }
 
 BitVector Liveness::live_after(BlockId b, std::size_t idx) const {
   const Block& blk = fn_->block(b);
-  BitVector live = exit_live(b);
+  BitVector live;
+  assign_exit_live(b, live);
   for (std::size_t i = blk.insts.size(); i-- > idx + 1;) transfer(blk.insts[i], live);
   return live;
 }
 
 std::vector<BitVector> Liveness::live_after_all(BlockId b) const {
+  std::vector<BitVector> out;
+  live_after_all_into(b, out);
+  out.resize(fn_->block(b).insts.size());  // _into may leave pooled excess rows
+  return out;
+}
+
+void Liveness::live_after_all_into(BlockId b, std::vector<BitVector>& out) const {
   const Block& blk = fn_->block(b);
-  std::vector<BitVector> out(blk.insts.size(), BitVector(nkeys_));
-  BitVector live = exit_live(b);
-  for (std::size_t i = blk.insts.size(); i-- > 0;) {
+  const std::size_t n = blk.insts.size();
+  // Grow-only, as with the liveness rows: when the previous block was larger,
+  // rows [n, out.size()) are left in place (callers index only [0, n)), so a
+  // sweep over mixed-size blocks reallocates nothing once warm.
+  for (std::size_t i = 0; i < out.size() && i < n; ++i) reshape_zero(out[i], nkeys_);
+  while (out.size() < n) out.emplace_back(nkeys_);
+
+  // The running live set reuses the fixpoint scratch row (sized nkeys_, so
+  // the copy assignments below never reallocate once warm).
+  BitVector& live = st_.scratch;
+  assign_exit_live(b, live);
+  for (std::size_t i = n; i-- > 0;) {
     out[i] = live;
     transfer(blk.insts[i], live);
   }
-  return out;
 }
 
 }  // namespace ilp

@@ -7,21 +7,37 @@
 //
 // Register universe: both classes share one dense key space (RegKey), so one
 // bit vector covers integer and floating registers.
+//
+// Construction with a CompileContext recycles the bit-vector rows of the
+// previous Liveness built on that context; DCE alone rebuilds liveness
+// several times per compile, so the warm path re-fills existing words
+// instead of allocating.
 #pragma once
 
 #include <vector>
 
 #include "analysis/cfg.hpp"
 #include "support/bitvector.hpp"
+#include "support/compile_ctx.hpp"
 
 namespace ilp {
 
+// Pooled innards of a Liveness; lives in CompileContext::liveness.
+struct LivenessStorage {
+  std::vector<BitVector> rows;  // live-in per block (layout index)
+  BitVector ret_live;           // function live-out set as a bit vector
+  BitVector scratch;            // running set for the backward scans
+};
+
 class Liveness {
  public:
-  explicit Liveness(const Cfg& cfg);
+  explicit Liveness(const Cfg& cfg, CompileContext* ctx = nullptr);
+  ~Liveness();
+  Liveness(const Liveness&) = delete;
+  Liveness& operator=(const Liveness&) = delete;
 
   [[nodiscard]] const BitVector& live_in(BlockId b) const {
-    return live_in_[fn_->layout_index(b)];
+    return st_.rows[fn_->layout_index(b)];
   }
 
   // Live set immediately *after* instruction `idx` of block `b` (i.e. before
@@ -33,6 +49,10 @@ class Liveness {
   // Block::insts.  (Used by the interference-graph builder.)
   [[nodiscard]] std::vector<BitVector> live_after_all(BlockId b) const;
 
+  // As live_after_all, but refills `out` in place so a pooled buffer keeps
+  // its allocations across blocks and compiles.
+  void live_after_all_into(BlockId b, std::vector<BitVector>& out) const;
+
   [[nodiscard]] bool is_live_in(BlockId b, const Reg& r) const {
     return live_in(b).test(RegKey::key(r));
   }
@@ -42,15 +62,17 @@ class Liveness {
  private:
   // Applies the backward transfer of one instruction to `live`.
   void transfer(const Instruction& in, BitVector& live) const;
-  // Live set at the end of the block (fallthrough successor's live-in, or
-  // empty if the block ends in JUMP/RET).
-  [[nodiscard]] BitVector exit_live(BlockId b) const;
+  // Sets `live` to the set at the end of the block (fallthrough successor's
+  // live-in, or empty if the block ends in JUMP/RET).
+  void assign_exit_live(BlockId b, BitVector& live) const;
 
   const Function* fn_;
   const Cfg* cfg_;
   std::size_t nkeys_ = 0;
-  BitVector ret_live_;  // function live-out set as a bit vector
-  std::vector<BitVector> live_in_;
+  StoragePool<LivenessStorage>* pool_ = nullptr;
+  // mutable: const queries (live_after_all_into) reuse the scratch row as
+  // their running set; the rows themselves are fixed after construction.
+  mutable LivenessStorage st_;
 };
 
 }  // namespace ilp

@@ -27,6 +27,15 @@ void MetricsRegistry::add_count(std::string_view name, std::uint64_t delta) {
   it->second.count += delta;
 }
 
+void MetricsRegistry::record_max(std::string_view name, std::uint64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    gauges_.emplace(std::string(name), value);
+  else if (value > it->second)
+    it->second = value;
+}
+
 obs::Histogram& MetricsRegistry::histogram(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = hists_.find(name);
@@ -49,6 +58,12 @@ std::vector<std::pair<std::string, MetricStat>> MetricsRegistry::snapshot() cons
   return {stats_.begin(), stats_.end()};
 }
 
+std::vector<std::pair<std::string, std::uint64_t>> MetricsRegistry::gauge_snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {gauges_.begin(), gauges_.end()};
+}
+
 std::vector<std::pair<std::string, obs::Histogram::Snapshot>>
 MetricsRegistry::hist_snapshot() const {
   std::vector<std::pair<std::string, obs::Histogram::Snapshot>> out;
@@ -62,6 +77,7 @@ std::string MetricsRegistry::to_json(int indent) const {
   const std::string pad(static_cast<std::size_t>(indent), ' ');
   std::string out = "{\n";
   const auto snap = snapshot();
+  const auto gauges = gauge_snapshot();
   for (std::size_t i = 0; i < snap.size(); ++i) {
     char line[256];
     std::snprintf(line, sizeof line,
@@ -69,7 +85,15 @@ std::string MetricsRegistry::to_json(int indent) const {
                   pad.c_str(), snap[i].first.c_str(),
                   static_cast<unsigned long long>(snap[i].second.count),
                   snap[i].second.total_ms(), snap[i].second.mean_us(),
-                  i + 1 < snap.size() ? "," : "");
+                  i + 1 < snap.size() || !gauges.empty() ? "," : "");
+    out += line;
+  }
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    char line[256];
+    std::snprintf(line, sizeof line, "%s  \"%s\": {\"max\": %llu}%s\n", pad.c_str(),
+                  gauges[i].first.c_str(),
+                  static_cast<unsigned long long>(gauges[i].second),
+                  i + 1 < gauges.size() ? "," : "");
     out += line;
   }
   out += pad + "}";
@@ -87,6 +111,8 @@ std::string MetricsRegistry::to_prometheus() const {
                               static_cast<double>(stat.total_ns) / 1e9);
     }
   }
+  for (const auto& [name, value] : gauge_snapshot())
+    obs::prom::append_gauge(out, name + "_max", static_cast<double>(value));
   for (const auto& [name, snap] : hist_snapshot())
     obs::prom::append_histogram(out, name + "_seconds", snap, 1e-9);
   return out;
@@ -95,6 +121,7 @@ std::string MetricsRegistry::to_prometheus() const {
 void MetricsRegistry::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   stats_.clear();
+  gauges_.clear();
   // Histogram references handed out by histogram() must stay valid, so the
   // entries are zeroed in place rather than erased.
   for (auto& [name, hist] : hists_) hist->reset();

@@ -44,6 +44,8 @@ class MetricsRegistry {
   void add_time(std::string_view name, std::uint64_t ns);
   // Adds to a pure counter.
   void add_count(std::string_view name, std::uint64_t delta = 1);
+  // High-water gauge: keeps the maximum value ever recorded under `name`.
+  void record_max(std::string_view name, std::uint64_t value);
 
   // The histogram registered under `name`, created on first use.  The
   // reference stays valid for the registry's lifetime (reset() zeroes
@@ -61,6 +63,7 @@ class MetricsRegistry {
 
   // Name-sorted snapshots.
   [[nodiscard]] std::vector<std::pair<std::string, MetricStat>> snapshot() const;
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> gauge_snapshot() const;
   [[nodiscard]] std::vector<std::pair<std::string, obs::Histogram::Snapshot>>
   hist_snapshot() const;
   [[nodiscard]] std::string to_json(int indent = 0) const;
@@ -75,6 +78,7 @@ class MetricsRegistry {
   // std::map for heterogeneous (allocation-free) string_view lookup and
   // naturally sorted snapshots; the registry holds tens of entries.
   std::map<std::string, MetricStat, std::less<>> stats_;
+  std::map<std::string, std::uint64_t, std::less<>> gauges_;  // max-hold
   std::map<std::string, std::unique_ptr<obs::Histogram>, std::less<>> hists_;
 };
 

@@ -13,14 +13,37 @@
 // it as a stable key across pass-internal reordering.
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <vector>
 
 #include "ir/opcode.hpp"
 #include "ir/reg.hpp"
 #include "support/assert.hpp"
 
 namespace ilp {
+
+// The registers an instruction reads: at most two, held inline so querying
+// uses on the hot path never touches the heap.  Iterates like a container.
+class UseList {
+ public:
+  void push(const Reg& r) {
+    ILP_ASSERT(n_ < 2, "UseList overflow");
+    regs_[n_++] = r;
+  }
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+  [[nodiscard]] const Reg& operator[](std::size_t i) const {
+    ILP_ASSERT(i < n_, "UseList index out of range");
+    return regs_[i];
+  }
+  [[nodiscard]] const Reg* begin() const { return regs_.data(); }
+  [[nodiscard]] const Reg* end() const { return regs_.data() + n_; }
+
+ private:
+  std::array<Reg, 2> regs_;
+  std::uint8_t n_ = 0;
+};
 
 using BlockId = std::uint32_t;
 inline constexpr BlockId kNoBlock = 0xffffffffu;
@@ -48,11 +71,11 @@ struct Instruction {
   [[nodiscard]] bool is_store() const { return op_is_store(op); }
   [[nodiscard]] bool is_memory() const { return op_is_memory(op); }
 
-  // Registers read by this instruction (0..2 entries).
-  [[nodiscard]] std::vector<Reg> uses() const {
-    std::vector<Reg> out;
-    if (src1.valid()) out.push_back(src1);
-    if (src2.valid() && !src2_is_imm) out.push_back(src2);
+  // Registers read by this instruction (0..2 entries, no allocation).
+  [[nodiscard]] UseList uses() const {
+    UseList out;
+    if (src1.valid()) out.push(src1);
+    if (src2.valid() && !src2_is_imm) out.push(src2);
     return out;
   }
 

@@ -1,12 +1,12 @@
 #include "opt/constprop.hpp"
 
 #include <optional>
-#include <unordered_map>
 
 #include "analysis/cfg.hpp"
 #include "analysis/dominators.hpp"
 #include "ir/reg.hpp"
 #include "support/assert.hpp"
+#include "support/dense.hpp"
 
 namespace ilp {
 
@@ -55,9 +55,21 @@ std::optional<double> fold_fp(Opcode op, double a, double b) {
   }
 }
 
+// Reusable scratch; lives in CompileContext::constprop across compiles.
+struct ConstPropState {
+  struct GlobalConst {
+    BlockId block = kNoBlock;
+    ConstVal val;
+  };
+  DenseMap<int> def_count;        // RegKey -> #defs seen
+  DenseMap<GlobalConst> global;   // RegKey -> single dominating constant def
+  DenseMap<ConstVal> local;       // RegKey -> block-local environment
+};
+
 class ConstPropPass {
  public:
-  explicit ConstPropPass(Function& fn) : fn_(fn) {}
+  ConstPropPass(Function& fn, CompileContext& ctx)
+      : fn_(fn), ctx_(ctx), st_(ctx.constprop.get<ConstPropState>()) {}
 
   bool run() {
     collect_global_constants();
@@ -68,56 +80,54 @@ class ConstPropPass {
 
  private:
   void collect_global_constants() {
-    // Count definitions per register; single LDI/FLDI defs become global
-    // constants usable in every block their definition dominates.
-    std::unordered_map<Reg, int, RegHash> def_count;
-    std::unordered_map<Reg, std::pair<BlockId, ConstVal>, RegHash> single_const;
+    // Registers with exactly one definition that is an LDI/FLDI become
+    // global constants usable in every block their definition dominates.
+    // Maintained directly in one scan: the first def installs the constant
+    // (if any), any later def of the same register evicts it.
+    st_.def_count.clear();
+    st_.global.clear();
     for (const Block& b : fn_.blocks()) {
       for (const Instruction& in : b.insts) {
         if (!in.has_dest()) continue;
-        const int n = ++def_count[in.dst];
+        const std::size_t k = RegKey::key(in.dst);
+        const int n = ++st_.def_count[k];
         if (n > 1) {
-          single_const.erase(in.dst);
+          st_.global.erase(k);
           continue;
         }
         if (in.op == Opcode::LDI)
-          single_const[in.dst] = {b.id, ConstVal{false, in.ival, 0.0}};
+          st_.global[k] = {b.id, ConstVal{false, in.ival, 0.0}};
         else if (in.op == Opcode::FLDI)
-          single_const[in.dst] = {b.id, ConstVal{true, 0, in.fval}};
+          st_.global[k] = {b.id, ConstVal{true, 0, in.fval}};
       }
     }
-    for (auto& [reg, entry] : single_const)
-      if (def_count[reg] == 1) global_[reg] = entry;
   }
 
-  std::optional<ConstVal> lookup(const Reg& r, BlockId block,
-                                 const std::unordered_map<Reg, ConstVal, RegHash>& local) {
-    const auto lit = local.find(r);
-    if (lit != local.end()) return lit->second;
-    const auto git = global_.find(r);
-    if (git != global_.end()) {
+  std::optional<ConstVal> lookup(const Reg& r, BlockId block) {
+    const std::size_t k = RegKey::key(r);
+    if (const ConstVal* lv = st_.local.find(k)) return *lv;
+    if (const ConstPropState::GlobalConst* g = st_.global.find(k)) {
       if (!dom_) {
-        cfg_.emplace(fn_);
+        cfg_.emplace(fn_, &ctx_);
         dom_.emplace(*cfg_);
       }
       // Strict dominance: a def later in the same block must not propagate
       // upward; same-block forward propagation is handled by the local env.
-      if (git->second.first != block && dom_->dominates(git->second.first, block))
-        return git->second.second;
+      if (g->block != block && dom_->dominates(g->block, block)) return g->val;
     }
     return std::nullopt;
   }
 
   bool run_block(Block& b) {
     bool changed = false;
-    std::unordered_map<Reg, ConstVal, RegHash> local;
+    st_.local.clear();
 
     for (Instruction& in : b.insts) {
       // --- Try to rewrite sources with constants. ---
       const bool fp_ctx = in.is_branch() ? op_is_fp_compare(in.op) : op_dest_is_fp(in.op);
       if ((op_is_binary_arith(in.op) || in.is_branch()) && !in.src2_is_imm &&
           in.src2.valid()) {
-        if (const auto c = lookup(in.src2, b.id, local)) {
+        if (const auto c = lookup(in.src2, b.id)) {
           in.src2 = kNoReg;
           in.src2_is_imm = true;
           if (fp_ctx)
@@ -130,10 +140,10 @@ class ConstPropPass {
       // Commute a constant out of src1 when legal.
       if ((op_is_binary_arith(in.op) && op_is_commutative(in.op)) && in.src1.valid() &&
           !in.src2_is_imm && in.src2.valid()) {
-        if (lookup(in.src1, b.id, local) && !lookup(in.src2, b.id, local)) {
+        if (lookup(in.src1, b.id) && !lookup(in.src2, b.id)) {
           std::swap(in.src1, in.src2);
           changed = true;
-          if (const auto c = lookup(in.src2, b.id, local)) {
+          if (const auto c = lookup(in.src2, b.id)) {
             in.src2 = kNoReg;
             in.src2_is_imm = true;
             if (fp_ctx)
@@ -146,7 +156,7 @@ class ConstPropPass {
 
       // --- Full folds: all operands constant. ---
       if (op_is_binary_arith(in.op) && in.src2_is_imm) {
-        if (const auto a = lookup(in.src1, b.id, local)) {
+        if (const auto a = lookup(in.src1, b.id)) {
           if (!fp_ctx) {
             if (const auto r = fold_int(in.op, a->i, in.ival)) {
               const Reg dst = in.dst;
@@ -163,7 +173,7 @@ class ConstPropPass {
         }
       }
       if ((in.op == Opcode::IMOV || in.op == Opcode::INEG) && in.src1.valid()) {
-        if (const auto a = lookup(in.src1, b.id, local)) {
+        if (const auto a = lookup(in.src1, b.id)) {
           const Reg dst = in.dst;
           in = make_ldi(dst, in.op == Opcode::INEG
                                  ? static_cast<std::int64_t>(
@@ -173,14 +183,14 @@ class ConstPropPass {
         }
       }
       if ((in.op == Opcode::FMOV || in.op == Opcode::FNEG) && in.src1.valid()) {
-        if (const auto a = lookup(in.src1, b.id, local)) {
+        if (const auto a = lookup(in.src1, b.id)) {
           const Reg dst = in.dst;
           in = make_fldi(dst, in.op == Opcode::FNEG ? -a->f : a->f);
           changed = true;
         }
       }
       if (in.op == Opcode::ITOF && in.src1.valid()) {
-        if (const auto a = lookup(in.src1, b.id, local)) {
+        if (const auto a = lookup(in.src1, b.id)) {
           const Reg dst = in.dst;
           in = make_fldi(dst, static_cast<double>(a->i));
           changed = true;
@@ -193,11 +203,11 @@ class ConstPropPass {
       // --- Update local environment. ---
       if (in.has_dest()) {
         if (in.op == Opcode::LDI)
-          local[in.dst] = ConstVal{false, in.ival, 0.0};
+          st_.local[RegKey::key(in.dst)] = ConstVal{false, in.ival, 0.0};
         else if (in.op == Opcode::FLDI)
-          local[in.dst] = ConstVal{true, 0, in.fval};
+          st_.local[RegKey::key(in.dst)] = ConstVal{true, 0, in.fval};
         else
-          local.erase(in.dst);
+          st_.local.erase(RegKey::key(in.dst));
       }
     }
     return changed;
@@ -254,13 +264,20 @@ class ConstPropPass {
   }
 
   Function& fn_;
-  std::unordered_map<Reg, std::pair<BlockId, ConstVal>, RegHash> global_;
+  CompileContext& ctx_;
+  ConstPropState& st_;
   std::optional<Cfg> cfg_;
   std::optional<Dominators> dom_;
 };
 
 }  // namespace
 
-bool constant_propagation(Function& fn) { return ConstPropPass(fn).run(); }
+bool constant_propagation(Function& fn, CompileContext& ctx) {
+  return ConstPropPass(fn, ctx).run();
+}
+
+bool constant_propagation(Function& fn) {
+  return constant_propagation(fn, CompileContext::local());
+}
 
 }  // namespace ilp

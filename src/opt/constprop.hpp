@@ -12,10 +12,14 @@
 #pragma once
 
 #include "ir/function.hpp"
+#include "support/compile_ctx.hpp"
 
 namespace ilp {
 
 // Returns true if anything changed.
+bool constant_propagation(Function& fn, CompileContext& ctx);
+
+// Convenience overload on the calling thread's pooled context.
 bool constant_propagation(Function& fn);
 
 }  // namespace ilp

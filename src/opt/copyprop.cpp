@@ -1,21 +1,36 @@
 #include "opt/copyprop.hpp"
 
-#include <unordered_map>
+#include <vector>
 
 #include "ir/reg.hpp"
+#include "support/dense.hpp"
 
 namespace ilp {
 
-bool copy_propagation(Function& fn) {
+namespace {
+
+// Reusable scratch; lives in CompileContext::copyprop across compiles.
+// `active` lists the dst registers with a possibly-live entry in `copy_of`
+// (the dense map is iteration-free, so invalidation scans this list; block
+// copy chains are short, so the linear scan is cheap).
+struct CopyPropState {
+  DenseMap<Reg> copy_of;  // keyed by RegKey of dst
+  std::vector<Reg> active;
+};
+
+}  // namespace
+
+bool copy_propagation(Function& fn, CompileContext& ctx) {
+  CopyPropState& st = ctx.copyprop.get<CopyPropState>();
   bool changed = false;
   for (Block& b : fn.blocks()) {
     // copy_of[d] = s while valid.
-    std::unordered_map<Reg, Reg, RegHash> copy_of;
+    st.copy_of.clear();
+    st.active.clear();
     for (Instruction& in : b.insts) {
       auto subst = [&](Reg& r) {
-        const auto it = copy_of.find(r);
-        if (it != copy_of.end()) {
-          r = it->second;
+        if (const Reg* s = st.copy_of.find(RegKey::key(r))) {
+          r = *s;
           changed = true;
         }
       };
@@ -24,17 +39,22 @@ bool copy_propagation(Function& fn) {
 
       if (!in.has_dest()) continue;
       // Any redefinition invalidates copies involving the dest.
-      for (auto it = copy_of.begin(); it != copy_of.end();) {
-        if (it->first == in.dst || it->second == in.dst)
-          it = copy_of.erase(it);
-        else
-          ++it;
+      for (const Reg& d : st.active) {
+        const Reg* s = st.copy_of.find(RegKey::key(d));
+        if (s != nullptr && (d == in.dst || *s == in.dst))
+          st.copy_of.erase(RegKey::key(d));
       }
-      if ((in.op == Opcode::IMOV || in.op == Opcode::FMOV) && in.src1 != in.dst)
-        copy_of[in.dst] = in.src1;
+      if ((in.op == Opcode::IMOV || in.op == Opcode::FMOV) && in.src1 != in.dst) {
+        if (!st.copy_of.contains(RegKey::key(in.dst))) st.active.push_back(in.dst);
+        st.copy_of[RegKey::key(in.dst)] = in.src1;
+      }
     }
   }
   return changed;
+}
+
+bool copy_propagation(Function& fn) {
+  return copy_propagation(fn, CompileContext::local());
 }
 
 }  // namespace ilp

@@ -4,9 +4,13 @@
 #pragma once
 
 #include "ir/function.hpp"
+#include "support/compile_ctx.hpp"
 
 namespace ilp {
 
+bool copy_propagation(Function& fn, CompileContext& ctx);
+
+// Convenience overload on the calling thread's pooled context.
 bool copy_propagation(Function& fn);
 
 }  // namespace ilp

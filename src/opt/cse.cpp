@@ -1,12 +1,11 @@
 #include "opt/cse.hpp"
 
 #include <cstring>
-#include <map>
 #include <optional>
-#include <tuple>
-#include <unordered_map>
 
 #include "ir/reg.hpp"
+#include "support/dense.hpp"
+#include "support/flat_table.hpp"
 
 namespace ilp {
 
@@ -15,21 +14,55 @@ namespace {
 // Value-number key for a pure computation.  Immediates are hashed by raw
 // bits so -0.0 and +0.0 stay distinct (they behave differently under FDIV).
 struct ExprKey {
-  Opcode op;
-  std::uint32_t vn1;
-  std::uint32_t vn2;
-  std::uint64_t imm;
-  std::int32_t array;
+  Opcode op = Opcode::NOP;
+  std::uint32_t vn1 = 0;
+  std::uint32_t vn2 = 0;
+  std::uint64_t imm = 0;
+  std::int32_t array = 0;
 
-  bool operator<(const ExprKey& o) const {
-    return std::tie(op, vn1, vn2, imm, array) <
-           std::tie(o.op, o.vn1, o.vn2, o.imm, o.array);
+  bool operator==(const ExprKey& o) const {
+    return op == o.op && vn1 == o.vn1 && vn2 == o.vn2 && imm == o.imm &&
+           array == o.array;
   }
+};
+
+struct ExprKeyHash {
+  std::size_t operator()(const ExprKey& k) const {
+    // FNV-1a over the logical fields (not the padded struct bytes).
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ull;
+    };
+    mix(static_cast<std::uint64_t>(k.op));
+    mix(k.vn1);
+    mix(k.vn2);
+    mix(k.imm);
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.array)));
+    return static_cast<std::size_t>(h);
+  }
+};
+
+struct Binding {
+  Reg reg;
+  std::uint32_t vn = 0;
+};
+
+// Reusable scratch; lives in CompileContext::cse across compiles.  All three
+// containers clear in O(1) via epoch bumps, so per-block reset is free.
+struct CseState {
+  DenseMap<std::uint32_t> vn;         // RegKey -> value number
+  DenseMap<std::uint32_t> mem_epoch;  // array_id + 1 -> store epoch
+  FlatTable<ExprKey, Binding, ExprKeyHash> table;
 };
 
 class BlockCse {
  public:
-  explicit BlockCse(Block& b) : b_(b) {}
+  BlockCse(Block& b, CseState& st) : b_(b), st_(st) {
+    st_.vn.clear();
+    st_.mem_epoch.clear();
+    st_.table.clear();
+  }
 
   bool run() {
     bool changed = false;
@@ -41,10 +74,9 @@ class BlockCse {
       if (!in.has_dest()) continue;
 
       if (const auto key = key_of(in)) {
-        const auto it = table_.find(*key);
-        if (it != table_.end() && holds(it->second)) {
+        if (const Binding* bind = st_.table.find(*key); bind != nullptr && holds(*bind)) {
           // Replace the computation with a move from the previous result.
-          const Reg prev = it->second.reg;
+          const Reg prev = bind->reg;
           const Reg dst = in.dst;
           in = make_unary(dst.cls == RegClass::Fp ? Opcode::FMOV : Opcode::IMOV, dst, prev);
           changed = true;
@@ -53,7 +85,7 @@ class BlockCse {
         }
         const std::uint32_t v = fresh_vn();
         define_as(in.dst, v);
-        table_[*key] = Binding{in.dst, v};
+        st_.table.insert_or_assign(*key, Binding{in.dst, v});
         continue;
       }
       // Unknown computation: new value.
@@ -63,26 +95,20 @@ class BlockCse {
   }
 
  private:
-  struct Binding {
-    Reg reg;
-    std::uint32_t vn;
-  };
-
   std::uint32_t fresh_vn() { return next_vn_++; }
 
   std::uint32_t vn_of(const Reg& r) {
-    const auto it = vn_.find(r);
-    if (it != vn_.end()) return it->second;
+    if (const std::uint32_t* v = st_.vn.find(RegKey::key(r))) return *v;
     const std::uint32_t v = fresh_vn();
-    vn_.emplace(r, v);
+    st_.vn[RegKey::key(r)] = v;
     return v;
   }
 
-  void define_as(const Reg& r, std::uint32_t v) { vn_[r] = v; }
+  void define_as(const Reg& r, std::uint32_t v) { st_.vn[RegKey::key(r)] = v; }
 
   bool holds(const Binding& bind) {
-    const auto it = vn_.find(bind.reg);
-    return it != vn_.end() && it->second == bind.vn;
+    const std::uint32_t* v = st_.vn.find(RegKey::key(bind.reg));
+    return v != nullptr && *v == bind.vn;
   }
 
   std::optional<ExprKey> key_of(Instruction& in) {
@@ -132,15 +158,15 @@ class BlockCse {
     const Opcode load_op = in.op == Opcode::FST ? Opcode::FLD : Opcode::LD;
     const ExprKey key{load_op, vn_of(in.src1), mem_epoch_for(in.array_id),
                       static_cast<std::uint64_t>(in.ival), in.array_id};
-    table_[key] = Binding{in.src2, vn_of(in.src2)};
+    st_.table.insert_or_assign(key, Binding{in.src2, vn_of(in.src2)});
   }
 
   // A load of a known array is invalidated by stores to that array and by
   // stores to unknown memory; an unknown load is invalidated by every store.
   std::uint32_t mem_epoch_for(std::int32_t array) {
     if (array == kMayAliasAll) return total_stores_;
-    const auto it = epoch_.find(array);
-    const std::uint32_t e = it == epoch_.end() ? 0 : it->second;
+    const std::uint32_t e =
+        st_.mem_epoch.get_or(static_cast<std::size_t>(array) + 1, 0u);
     return e * 0x10000u + unknown_stores_;
   }
 
@@ -149,24 +175,27 @@ class BlockCse {
     if (array == kMayAliasAll)
       ++unknown_stores_;
     else
-      ++epoch_[array];
+      ++st_.mem_epoch[static_cast<std::size_t>(array) + 1];
   }
 
   Block& b_;
+  CseState& st_;
   std::uint32_t next_vn_ = 1;
   std::uint32_t total_stores_ = 0;
   std::uint32_t unknown_stores_ = 0;
-  std::unordered_map<Reg, std::uint32_t, RegHash> vn_;
-  std::unordered_map<std::int32_t, std::uint32_t> epoch_;
-  std::map<ExprKey, Binding> table_;
 };
 
 }  // namespace
 
-bool common_subexpression_elimination(Function& fn) {
+bool common_subexpression_elimination(Function& fn, CompileContext& ctx) {
+  CseState& st = ctx.cse.get<CseState>();
   bool changed = false;
-  for (Block& b : fn.blocks()) changed |= BlockCse(b).run();
+  for (Block& b : fn.blocks()) changed |= BlockCse(b, st).run();
   return changed;
+}
+
+bool common_subexpression_elimination(Function& fn) {
+  return common_subexpression_elimination(fn, CompileContext::local());
 }
 
 }  // namespace ilp

@@ -7,9 +7,13 @@
 #pragma once
 
 #include "ir/function.hpp"
+#include "support/compile_ctx.hpp"
 
 namespace ilp {
 
+bool common_subexpression_elimination(Function& fn, CompileContext& ctx);
+
+// Convenience overload on the calling thread's pooled context.
 bool common_subexpression_elimination(Function& fn);
 
 }  // namespace ilp

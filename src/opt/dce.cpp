@@ -1,84 +1,94 @@
 #include "opt/dce.hpp"
 
-#include <unordered_set>
-
 #include "analysis/cfg.hpp"
 #include "analysis/liveness.hpp"
 #include "ir/reg.hpp"
+#include "support/dense.hpp"
 
 namespace ilp {
 
 namespace {
+
+// Reusable scratch; lives in CompileContext::dce across compiles.
+struct DceState {
+  DenseSet needed;
+  std::vector<BitVector> after;  // live_after_all rows, pooled across blocks
+};
+
+// Compacts a block in place, dropping instructions `dead(i, in)` says to.
+// Returns true when anything was removed; never reallocates.
+template <typename DeadFn>
+bool compact_block(Block& b, DeadFn dead) {
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < b.insts.size(); ++i) {
+    if (dead(i, b.insts[i])) continue;
+    if (w != i) b.insts[w] = b.insts[i];
+    ++w;
+  }
+  if (w == b.insts.size()) return false;
+  b.insts.resize(w);
+  return true;
+}
 
 // Faint-code elimination: removes self-sustaining dead cycles (e.g. a loop
 // counter "i = i + 1" whose value feeds nothing but itself), which
 // liveness-based DCE cannot see.  Flow-insensitive: a register is *needed*
 // iff some store/branch/live-out uses it or some kept definition of a needed
 // register reads it.
-bool remove_faint_code(Function& fn) {
-  std::unordered_set<Reg, RegHash> needed;
-  for (const Reg& r : fn.live_out()) needed.insert(r);
+bool remove_faint_code(Function& fn, DceState& st) {
+  DenseSet& needed = st.needed;
+  needed.clear();
+  for (const Reg& r : fn.live_out()) needed.insert(RegKey::key(r));
   for (const Block& b : fn.blocks())
     for (const Instruction& in : b.insts) {
       if (in.has_dest()) continue;  // store/branch/jump/ret roots
-      if (in.src1.valid()) needed.insert(in.src1);
-      if (in.src2.valid() && !in.src2_is_imm) needed.insert(in.src2);
+      if (in.src1.valid()) needed.insert(RegKey::key(in.src1));
+      if (in.src2.valid() && !in.src2_is_imm) needed.insert(RegKey::key(in.src2));
     }
   bool grew = true;
   while (grew) {
     grew = false;
     for (const Block& b : fn.blocks())
       for (const Instruction& in : b.insts) {
-        if (!in.has_dest() || needed.count(in.dst) == 0) continue;
-        if (in.src1.valid() && needed.insert(in.src1).second) grew = true;
-        if (in.src2.valid() && !in.src2_is_imm && needed.insert(in.src2).second)
+        if (!in.has_dest() || !needed.contains(RegKey::key(in.dst))) continue;
+        if (in.src1.valid() && needed.insert(RegKey::key(in.src1))) grew = true;
+        if (in.src2.valid() && !in.src2_is_imm && needed.insert(RegKey::key(in.src2)))
           grew = true;
       }
   }
   bool removed = false;
-  for (Block& b : fn.blocks()) {
-    std::vector<Instruction> kept;
-    kept.reserve(b.insts.size());
-    for (const Instruction& in : b.insts) {
-      if (in.has_dest() && needed.count(in.dst) == 0) {
-        removed = true;
-        continue;
-      }
-      kept.push_back(in);
-    }
-    b.insts = std::move(kept);
-  }
+  for (Block& b : fn.blocks())
+    removed |= compact_block(b, [&](std::size_t, const Instruction& in) {
+      return in.has_dest() && !needed.contains(RegKey::key(in.dst));
+    });
   return removed;
 }
 
 }  // namespace
 
-bool dead_code_elimination(Function& fn) {
+bool dead_code_elimination(Function& fn, CompileContext& ctx) {
+  DceState& st = ctx.dce.get<DceState>();
   bool any = false;
   bool changed = true;
   while (changed) {
-    changed = remove_faint_code(fn);
+    changed = remove_faint_code(fn, st);
     any |= changed;
-    const Cfg cfg(fn);
-    const Liveness live(cfg);
+    const Cfg cfg(fn, &ctx);
+    const Liveness live(cfg, &ctx);
     for (Block& b : fn.blocks()) {
-      const auto after = live.live_after_all(b.id);
-      std::vector<Instruction> kept;
-      kept.reserve(b.insts.size());
-      for (std::size_t i = 0; i < b.insts.size(); ++i) {
-        const Instruction& in = b.insts[i];
-        const bool removable = in.has_dest() && !after[i].test(RegKey::key(in.dst));
-        if (removable) {
-          changed = true;
-          any = true;
-          continue;
-        }
-        kept.push_back(in);
-      }
-      b.insts = std::move(kept);
+      live.live_after_all_into(b.id, st.after);
+      const bool removed = compact_block(b, [&](std::size_t i, const Instruction& in) {
+        return in.has_dest() && !st.after[i].test(RegKey::key(in.dst));
+      });
+      changed |= removed;
+      any |= removed;
     }
   }
   return any;
+}
+
+bool dead_code_elimination(Function& fn) {
+  return dead_code_elimination(fn, CompileContext::local());
 }
 
 }  // namespace ilp

@@ -1,12 +1,13 @@
 #include "opt/ivopt.hpp"
 
-#include <unordered_map>
+#include <vector>
 
 #include "analysis/cfg.hpp"
 #include "analysis/liveness.hpp"
 #include "analysis/loops.hpp"
 #include "ir/reg.hpp"
 #include "support/assert.hpp"
+#include "support/dense.hpp"
 
 namespace ilp {
 
@@ -19,18 +20,34 @@ struct IvInfo {
   std::int64_t slope = 1;   // d(this)/d(root)
 };
 
+// Reusable scratch; lives in CompileContext::ivopt across compiles.
+// `iv_order` lists IV registers in discovery order — the dense map is
+// iteration-free, and the elimination scan walks this list (its pick is
+// order-independent thanks to the unique update-index tie-break, but the
+// explicit list keeps the walk deterministic by construction).
+struct IvOptState {
+  DenseMap<int> defs;      // RegKey -> #defs in the body
+  DenseMap<IvInfo> ivs;    // RegKey -> IV description
+  std::vector<Reg> iv_order;
+};
+
 class LoopIvOpt {
  public:
-  LoopIvOpt(Function& fn, const SimpleLoop& loop) : fn_(fn), loop_(loop) {}
+  LoopIvOpt(Function& fn, const SimpleLoop& loop, CompileContext& ctx, IvOptState& st)
+      : fn_(fn), loop_(loop), ctx_(ctx), st_(st) {
+    st_.defs.clear();
+    st_.ivs.clear();
+    st_.iv_order.clear();
+  }
 
   bool run() {
     Block& body = fn_.block(loop_.body);
     for (std::size_t i = 0; i < body.insts.size(); ++i) {
       const Instruction& in = body.insts[i];
-      if (in.has_dest()) ++defs_[in.dst];
+      if (in.has_dest()) ++st_.defs[RegKey::key(in.dst)];
     }
     find_basic_ivs();
-    if (ivs_.empty()) return false;
+    if (st_.ivs.empty()) return false;
     bool changed = false;
     // Promote derived IVs until none match (promotions enable chains).
     while (promote_one()) changed = true;
@@ -39,24 +56,29 @@ class LoopIvOpt {
   }
 
  private:
+  void add_iv(const Reg& r, const IvInfo& iv) {
+    if (!st_.ivs.contains(RegKey::key(r))) st_.iv_order.push_back(r);
+    st_.ivs[RegKey::key(r)] = iv;
+  }
+
   void find_basic_ivs() {
     Block& body = fn_.block(loop_.body);
     for (std::size_t i = 0; i < body.insts.size(); ++i) {
       const Instruction& in = body.insts[i];
       if ((in.op != Opcode::IADD && in.op != Opcode::ISUB) || !in.src2_is_imm) continue;
       if (!in.dst.is_int() || in.src1 != in.dst) continue;
-      if (defs_[in.dst] != 1) continue;
+      if (st_.defs.get_or(RegKey::key(in.dst), 0) != 1) continue;
       IvInfo iv;
       iv.step = in.op == Opcode::IADD ? in.ival : -in.ival;
       iv.update = i;
       iv.root = in.dst;
       iv.slope = 1;
-      ivs_[in.dst] = iv;
+      add_iv(in.dst, iv);
     }
   }
 
   [[nodiscard]] bool is_invariant(const Reg& r) const {
-    return !r.valid() || defs_.find(r) == defs_.end() || defs_.at(r) == 0;
+    return !r.valid() || st_.defs.get_or(RegKey::key(r), 0) == 0;
   }
 
   // Inserts `in` just before the preheader's terminator.
@@ -72,12 +94,13 @@ class LoopIvOpt {
     for (std::size_t q = 0; q < body.insts.size(); ++q) {
       const Instruction in = body.insts[q];
       if (!in.has_dest() || !in.dst.is_int()) continue;
-      if (defs_[in.dst] != 1) continue;
-      if (ivs_.count(in.dst)) continue;  // already an IV
+      if (st_.defs.get_or(RegKey::key(in.dst), 0) != 1) continue;
+      if (st_.ivs.contains(RegKey::key(in.dst))) continue;  // already an IV
 
-      const auto x_it = in.src1.valid() ? ivs_.find(in.src1) : ivs_.end();
-      if (x_it == ivs_.end()) continue;
-      const IvInfo& x = x_it->second;
+      const IvInfo* x_ptr =
+          in.src1.valid() ? st_.ivs.find(RegKey::key(in.src1)) : nullptr;
+      if (x_ptr == nullptr) continue;
+      const IvInfo& x = *x_ptr;
       const Reg xreg = in.src1;
 
       // Match a promotable form and compute the slope over x.
@@ -146,7 +169,7 @@ class LoopIvOpt {
       t.update = q;
       t.root = x.root;
       t.slope = a * x.slope;
-      ivs_[in.dst] = t;
+      add_iv(in.dst, t);
       return true;
     }
     return false;
@@ -168,9 +191,9 @@ class LoopIvOpt {
     Instruction& br = body.insts[loop_.back_branch];
     if (op_is_fp_compare(br.op) || !br.src1.valid()) return false;
     const Reg iv = br.src1;
-    const auto it = ivs_.find(iv);
-    if (it == ivs_.end() || it->second.root != iv) return false;  // basic only
-    const IvInfo& info = it->second;
+    const IvInfo* iv_info = st_.ivs.find(RegKey::key(iv));
+    if (iv_info == nullptr || iv_info->root != iv) return false;  // basic only
+    const IvInfo& info = *iv_info;
     if (info.update >= loop_.back_branch) return false;  // update must precede branch
     // The bound must be loop-invariant or the precomputed bound' is stale.
     if (!br.src2_is_imm && !is_invariant(br.src2)) return false;
@@ -179,16 +202,23 @@ class LoopIvOpt {
     // was the IV's last non-update use inside the loop.
     if (body_uses(iv, info.update, loop_.back_branch) != 0) return false;
     // Replacement: any promoted IV rooted at iv with positive slope whose
-    // update precedes the branch.
+    // update precedes the branch.  Slope ties break on the earlier update
+    // (update indices are unique), so the pick never depends on walk order.
     const Reg* best = nullptr;
-    for (const auto& [reg, cand] : ivs_) {
+    const IvInfo* best_info = nullptr;
+    for (const Reg& reg : st_.iv_order) {
+      const IvInfo& cand = *st_.ivs.find(RegKey::key(reg));
       if (reg == iv || cand.root != iv || cand.slope <= 0) continue;
       if (cand.update >= loop_.back_branch) continue;
-      if (best == nullptr || cand.slope < ivs_.at(*best).slope) best = &reg;
+      if (best == nullptr || cand.slope < best_info->slope ||
+          (cand.slope == best_info->slope && cand.update < best_info->update)) {
+        best = &reg;
+        best_info = &cand;
+      }
     }
     if (best == nullptr) return false;
     const Reg t = *best;
-    const std::int64_t A = ivs_.at(t).slope;
+    const std::int64_t A = best_info->slope;
 
     // bound' = t + A * (bound - iv), evaluated on preheader entry values.
     const Reg d = fn_.new_int_reg();
@@ -212,8 +242,8 @@ class LoopIvOpt {
     // the loop (used at an exit).  Liveness-based DCE cannot remove the
     // self-sustaining "iv = iv + step", so delete it here when provably dead.
     {
-      const Cfg cfg(fn_);
-      const Liveness live(cfg);
+      const Cfg cfg(fn_, &ctx_);
+      const Liveness live(cfg, &ctx_);
       bool escapes = false;
       const BlockId fall = fn_.layout_next(loop_.body);
       if (fall != kNoBlock && live.is_live_in(fall, iv)) escapes = true;
@@ -229,19 +259,24 @@ class LoopIvOpt {
 
   Function& fn_;
   const SimpleLoop& loop_;
-  std::unordered_map<Reg, int, RegHash> defs_;
-  std::unordered_map<Reg, IvInfo, RegHash> ivs_;
+  CompileContext& ctx_;
+  IvOptState& st_;
 };
 
 }  // namespace
 
-bool induction_variable_optimization(Function& fn) {
-  const Cfg cfg(fn);
+bool induction_variable_optimization(Function& fn, CompileContext& ctx) {
+  const Cfg cfg(fn, &ctx);
   const Dominators dom(cfg);
+  IvOptState& st = ctx.ivopt.get<IvOptState>();
   bool changed = false;
   for (const SimpleLoop& loop : find_simple_loops(cfg, dom))
-    changed |= LoopIvOpt(fn, loop).run();
+    changed |= LoopIvOpt(fn, loop, ctx, st).run();
   return changed;
+}
+
+bool induction_variable_optimization(Function& fn) {
+  return induction_variable_optimization(fn, CompileContext::local());
 }
 
 }  // namespace ilp

@@ -19,9 +19,13 @@
 #pragma once
 
 #include "ir/function.hpp"
+#include "support/compile_ctx.hpp"
 
 namespace ilp {
 
+bool induction_variable_optimization(Function& fn, CompileContext& ctx);
+
+// Convenience overload on the calling thread's pooled context.
 bool induction_variable_optimization(Function& fn);
 
 }  // namespace ilp

@@ -1,38 +1,46 @@
 #include "opt/licm.hpp"
 
-#include <unordered_map>
-#include <unordered_set>
-
 #include "analysis/cfg.hpp"
 #include "analysis/liveness.hpp"
 #include "analysis/loops.hpp"
 #include "ir/reg.hpp"
+#include "support/dense.hpp"
 
 namespace ilp {
 
 namespace {
 
-bool hoist_from_loop(Function& fn, const SimpleLoop& loop, const Liveness& live) {
+// Reusable scratch; lives in CompileContext::licm across compiles.
+struct LicmState {
+  DenseMap<int> defs;       // RegKey -> #defs inside the loop body
+  DenseSet stored_arrays;   // array_id + 1 (membership only)
+};
+
+bool hoist_from_loop(Function& fn, const SimpleLoop& loop, const Liveness& live,
+                     LicmState& st) {
   Block& body = fn.block(loop.body);
   Block& pre = fn.block(loop.preheader);
 
   // Definition counts inside the body.
-  std::unordered_map<Reg, int, RegHash> defs;
+  DenseMap<int>& defs = st.defs;
+  defs.clear();
+  st.stored_arrays.clear();
   bool loop_has_store = false;
-  std::unordered_set<std::int32_t> stored_arrays;
   bool stores_unknown = false;
   for (const Instruction& in : body.insts) {
-    if (in.has_dest()) ++defs[in.dst];
+    if (in.has_dest()) ++defs[RegKey::key(in.dst)];
     if (in.is_store()) {
       loop_has_store = true;
       if (in.array_id == kMayAliasAll)
         stores_unknown = true;
       else
-        stored_arrays.insert(in.array_id);
+        st.stored_arrays.insert(static_cast<std::size_t>(in.array_id) + 1);
     }
   }
 
-  auto invariant_reg = [&](const Reg& r) { return !r.valid() || defs.count(r) == 0; };
+  auto invariant_reg = [&](const Reg& r) {
+    return !r.valid() || defs.get_or(RegKey::key(r), 0) == 0;
+  };
 
   bool changed = false;
   bool progress = true;
@@ -41,14 +49,15 @@ bool hoist_from_loop(Function& fn, const SimpleLoop& loop, const Liveness& live)
     for (std::size_t i = 0; i < body.insts.size(); ++i) {
       const Instruction& in = body.insts[i];
       if (!in.has_dest() || in.is_store()) continue;
-      if (defs[in.dst] != 1) continue;
+      if (defs.get_or(RegKey::key(in.dst), 0) != 1) continue;
       if (!invariant_reg(in.src1)) continue;
       if (in.src2.valid() && !in.src2_is_imm && !invariant_reg(in.src2)) continue;
       if (live.is_live_in(loop.body, in.dst)) continue;
       if (in.is_load()) {
-        const bool clobbered = loop_has_store &&
-                               (stores_unknown || in.array_id == kMayAliasAll ||
-                                stored_arrays.count(in.array_id) > 0);
+        const bool clobbered =
+            loop_has_store &&
+            (stores_unknown || in.array_id == kMayAliasAll ||
+             st.stored_arrays.contains(static_cast<std::size_t>(in.array_id) + 1));
         if (clobbered) continue;
       }
       if ((in.op == Opcode::IDIV || in.op == Opcode::IREM) &&
@@ -57,7 +66,7 @@ bool hoist_from_loop(Function& fn, const SimpleLoop& loop, const Liveness& live)
 
       // Hoist: insert before the preheader's terminator (or at its end).
       Instruction moved = in;
-      defs.erase(moved.dst);
+      defs.erase(RegKey::key(moved.dst));
       body.insts.erase(body.insts.begin() + static_cast<std::ptrdiff_t>(i));
       const std::size_t pos =
           pre.has_terminator() ? pre.insts.size() - 1 : pre.insts.size();
@@ -72,16 +81,17 @@ bool hoist_from_loop(Function& fn, const SimpleLoop& loop, const Liveness& live)
 
 }  // namespace
 
-bool loop_invariant_code_motion(Function& fn) {
+bool loop_invariant_code_motion(Function& fn, CompileContext& ctx) {
+  LicmState& st = ctx.licm.get<LicmState>();
   bool changed = false;
   bool outer_progress = true;
   while (outer_progress) {
     outer_progress = false;
-    const Cfg cfg(fn);
+    const Cfg cfg(fn, &ctx);
     const Dominators dom(cfg);
-    const Liveness live(cfg);
+    const Liveness live(cfg, &ctx);
     for (const SimpleLoop& loop : find_simple_loops(cfg, dom)) {
-      if (hoist_from_loop(fn, loop, live)) {
+      if (hoist_from_loop(fn, loop, live, st)) {
         changed = true;
         outer_progress = true;
         break;  // CFG-derived analyses are stale; recompute
@@ -89,6 +99,10 @@ bool loop_invariant_code_motion(Function& fn) {
     }
   }
   return changed;
+}
+
+bool loop_invariant_code_motion(Function& fn) {
+  return loop_invariant_code_motion(fn, CompileContext::local());
 }
 
 }  // namespace ilp

@@ -15,9 +15,13 @@
 #pragma once
 
 #include "ir/function.hpp"
+#include "support/compile_ctx.hpp"
 
 namespace ilp {
 
+bool loop_invariant_code_motion(Function& fn, CompileContext& ctx);
+
+// Convenience overload on the calling thread's pooled context.
 bool loop_invariant_code_motion(Function& fn);
 
 }  // namespace ilp

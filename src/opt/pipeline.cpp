@@ -10,41 +10,49 @@
 
 namespace ilp {
 
-void run_conventional_optimizations(Function& fn) {
+void run_conventional_optimizations(Function& fn, CompileContext& ctx) {
   verify_or_die(fn, "before conventional optimizations");
   // Scalar cleanup to a bounded fixpoint.
   for (int round = 0; round < 8; ++round) {
     bool changed = false;
-    changed |= constant_propagation(fn);
-    changed |= copy_propagation(fn);
-    changed |= common_subexpression_elimination(fn);
-    changed |= copy_propagation(fn);
-    changed |= dead_code_elimination(fn);
+    changed |= constant_propagation(fn, ctx);
+    changed |= copy_propagation(fn, ctx);
+    changed |= common_subexpression_elimination(fn, ctx);
+    changed |= copy_propagation(fn, ctx);
+    changed |= dead_code_elimination(fn, ctx);
     if (!changed) break;
   }
   // Loop optimizations, then re-clean.
-  loop_invariant_code_motion(fn);
-  induction_variable_optimization(fn);
+  loop_invariant_code_motion(fn, ctx);
+  induction_variable_optimization(fn, ctx);
   for (int round = 0; round < 8; ++round) {
     bool changed = false;
-    changed |= constant_propagation(fn);
-    changed |= copy_propagation(fn);
-    changed |= common_subexpression_elimination(fn);
-    changed |= copy_propagation(fn);
-    changed |= dead_code_elimination(fn);
+    changed |= constant_propagation(fn, ctx);
+    changed |= copy_propagation(fn, ctx);
+    changed |= common_subexpression_elimination(fn, ctx);
+    changed |= copy_propagation(fn, ctx);
+    changed |= dead_code_elimination(fn, ctx);
     if (!changed) break;
   }
   verify_or_die(fn, "after conventional optimizations");
 }
 
-void run_cleanup(Function& fn) {
+void run_conventional_optimizations(Function& fn) {
+  run_conventional_optimizations(fn, CompileContext::local());
+}
+
+void run_cleanup(Function& fn, CompileContext& ctx) {
   for (int round = 0; round < 4; ++round) {
     bool changed = false;
-    changed |= copy_propagation(fn);
-    changed |= constant_propagation(fn);
-    changed |= dead_code_elimination(fn);
+    changed |= copy_propagation(fn, ctx);
+    changed |= constant_propagation(fn, ctx);
+    changed |= dead_code_elimination(fn, ctx);
     if (!changed) break;
   }
+}
+
+void run_cleanup(Function& fn) {
+  run_cleanup(fn, CompileContext::local());
 }
 
 }  // namespace ilp

@@ -6,15 +6,18 @@
 #pragma once
 
 #include "ir/function.hpp"
+#include "support/compile_ctx.hpp"
 
 namespace ilp {
 
 // Runs the conventional pipeline to a fixpoint (bounded).  Verifies the IR
 // after each pass in debug flows via the verifier.
+void run_conventional_optimizations(Function& fn, CompileContext& ctx);
 void run_conventional_optimizations(Function& fn);
 
 // The post-transformation cleanup bundle (copy prop + const prop + DCE),
 // used by the ILP level driver between transformations.
+void run_cleanup(Function& fn, CompileContext& ctx);
 void run_cleanup(Function& fn);
 
 }  // namespace ilp

@@ -91,8 +91,9 @@ class Allocator {
       }
     };
 
+    std::vector<BitVector> after;
     for (const Block& b : fn_.blocks()) {
-      const auto after = live.live_after_all(b.id);
+      live.live_after_all_into(b.id, after);
       for (std::size_t i = 0; i < b.insts.size(); ++i) {
         const Instruction& in = b.insts[i];
         // Count occurrences for spill costs (all operands).

@@ -18,9 +18,9 @@ void InterferenceGraph::add_edge(std::size_t a, std::size_t b) {
   }
 }
 
-InterferenceGraph::InterferenceGraph(const Function& fn) {
-  const Cfg cfg(fn);
-  const Liveness live(cfg);
+InterferenceGraph::InterferenceGraph(const Function& fn, CompileContext* ctx) {
+  const Cfg cfg(fn, ctx);
+  const Liveness live(cfg, ctx);
   adj_.resize(live.universe_size());
   present_.assign(live.universe_size(), false);
 
@@ -34,8 +34,9 @@ InterferenceGraph::InterferenceGraph(const Function& fn) {
 
   // A definition interferes with everything live after the instruction
   // (same class only; int and fp files are separate).
+  std::vector<BitVector> after;
   for (const Block& b : fn.blocks()) {
-    const std::vector<BitVector> after = live.live_after_all(b.id);
+    live.live_after_all_into(b.id, after);
     for (std::size_t i = 0; i < b.insts.size(); ++i) {
       const Instruction& in = b.insts[i];
       if (!in.has_dest()) continue;
@@ -88,12 +89,16 @@ int InterferenceGraph::color_count(RegClass cls) const {
   return static_cast<int>(nodes.empty() ? 0 : max_color + 1);
 }
 
-RegUsage measure_register_usage(const Function& fn) {
-  const InterferenceGraph g(fn);
+RegUsage measure_register_usage(const Function& fn, CompileContext& ctx) {
+  const InterferenceGraph g(fn, &ctx);
   RegUsage u;
   u.int_regs = g.color_count(RegClass::Int);
   u.fp_regs = g.color_count(RegClass::Fp);
   return u;
+}
+
+RegUsage measure_register_usage(const Function& fn) {
+  return measure_register_usage(fn, CompileContext::local());
 }
 
 }  // namespace ilp

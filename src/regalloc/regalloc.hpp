@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "ir/function.hpp"
+#include "support/compile_ctx.hpp"
 
 namespace ilp {
 
@@ -25,13 +26,16 @@ struct RegUsage {
 // Colors the interference graph of `fn` and returns the per-class color
 // counts.  Read-only; virtual registers are not rewritten (nothing downstream
 // needs physical numbers).
+RegUsage measure_register_usage(const Function& fn, CompileContext& ctx);
+
+// Convenience overload on the calling thread's pooled context.
 RegUsage measure_register_usage(const Function& fn);
 
 // The interference graph itself, exposed for tests and for the allocation
 // ablation bench.
 class InterferenceGraph {
  public:
-  explicit InterferenceGraph(const Function& fn);
+  explicit InterferenceGraph(const Function& fn, CompileContext* ctx = nullptr);
 
   [[nodiscard]] std::size_t num_nodes() const { return adj_.size(); }
   [[nodiscard]] bool interferes(const Reg& a, const Reg& b) const;

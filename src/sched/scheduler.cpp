@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <optional>
 #include <queue>
 #include <utility>
 
@@ -37,17 +38,32 @@ using PendingHeap =
 }  // namespace
 
 BlockSchedule list_schedule(const DepGraph& g, const Function& fn, BlockId block,
-                            const MachineModel& machine) {
+                            const MachineModel& machine, Arena* scratch) {
   const Block& blk = fn.block(block);
   const std::size_t n = g.num_nodes();
   BlockSchedule sched;
   sched.issue_time.assign(n, 0);
   sched.order.reserve(n);
 
-  std::vector<int> unscheduled_preds(n, 0);
-  std::vector<int> earliest(n, 0);
-  for (std::size_t i = 0; i < n; ++i)
+  // Working arrays: bump-allocated from the compile context's arena when one
+  // is supplied (rewound on return by the scope), heap otherwise.
+  std::optional<Arena::Scope> scope;
+  std::vector<int> heap_scratch;
+  int* unscheduled_preds = nullptr;
+  int* earliest = nullptr;
+  if (scratch != nullptr && n > 0) {
+    scope.emplace(*scratch);
+    unscheduled_preds = scratch->alloc_array<int>(n);
+    earliest = scratch->alloc_array<int>(n);
+  } else {
+    heap_scratch.assign(2 * n, 0);
+    unscheduled_preds = heap_scratch.data();
+    earliest = heap_scratch.data() + n;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
     unscheduled_preds[i] = static_cast<int>(g.preds(i).size());
+    earliest[i] = 0;
+  }
 
   // Two ready heaps keep the branch-slot restriction O(1): control
   // instructions compete from their own heap only while a branch slot is
@@ -126,8 +142,9 @@ void apply_schedule(Function& fn, BlockId block, const BlockSchedule& sched) {
 
 }  // namespace
 
-ScheduleAnalyses::ScheduleAnalyses(const Function& fn)
-    : cfg(fn), live(cfg), preheaders(fn.num_blocks(), kNoBlock) {
+ScheduleAnalyses::ScheduleAnalyses(const Function& fn, CompileContext* ctx)
+    : cfg(fn, ctx), live(cfg, ctx), preheaders(fn.num_blocks(), kNoBlock),
+      scratch(ctx != nullptr ? &ctx->arena() : nullptr) {
   // Preheader of each simple-loop body (for loop-relative disambiguation).
   const Dominators dom(cfg);
   for (const SimpleLoop& loop : find_simple_loops(cfg, dom))
@@ -137,7 +154,7 @@ ScheduleAnalyses::ScheduleAnalyses(const Function& fn)
 void schedule_block(Function& fn, BlockId block, const MachineModel& machine,
                     const ScheduleAnalyses& analyses) {
   const DepGraph g(fn, block, machine, analyses.live, analyses.preheaders[block]);
-  apply_schedule(fn, block, list_schedule(g, fn, block, machine));
+  apply_schedule(fn, block, list_schedule(g, fn, block, machine, analyses.scratch));
 }
 
 void schedule_block(Function& fn, BlockId block, const MachineModel& machine) {
@@ -145,8 +162,9 @@ void schedule_block(Function& fn, BlockId block, const MachineModel& machine) {
   schedule_block(fn, block, machine, analyses);
 }
 
-void schedule_function(Function& fn, const MachineModel& machine) {
-  const ScheduleAnalyses analyses(fn);
+void schedule_function(Function& fn, const MachineModel& machine,
+                       CompileContext& ctx) {
+  const ScheduleAnalyses analyses(fn, &ctx);
   std::size_t scheduled_blocks = 0;
   std::size_t scheduled_insts = 0;
   for (const Block& b : fn.blocks()) {
@@ -157,6 +175,10 @@ void schedule_function(Function& fn, const MachineModel& machine) {
   }
   engine::MetricsRegistry::global().add_count("sched.blocks", scheduled_blocks);
   engine::MetricsRegistry::global().add_count("sched.insts", scheduled_insts);
+}
+
+void schedule_function(Function& fn, const MachineModel& machine) {
+  schedule_function(fn, machine, CompileContext::local());
 }
 
 }  // namespace ilp

@@ -23,6 +23,7 @@
 #include "analysis/loops.hpp"
 #include "ir/function.hpp"
 #include "machine/machine.hpp"
+#include "support/arena.hpp"
 
 namespace ilp {
 
@@ -38,16 +39,19 @@ struct BlockSchedule {
 // recomputed per schedule_block call.  Must not outlive `fn`; reordering
 // instructions *within* blocks (which is all scheduling does) keeps it valid.
 struct ScheduleAnalyses {
-  explicit ScheduleAnalyses(const Function& fn);
+  explicit ScheduleAnalyses(const Function& fn, CompileContext* ctx = nullptr);
 
   Cfg cfg;
   Liveness live;
   std::vector<BlockId> preheaders;  // per block; kNoBlock when not a loop body
+  Arena* scratch = nullptr;         // ctx arena for per-block scheduler scratch
 };
 
-// Computes a schedule for one block without mutating the function.
+// Computes a schedule for one block without mutating the function.  When
+// `scratch` is given, per-block working arrays come from it (rewound on
+// return); otherwise they are heap-allocated.
 BlockSchedule list_schedule(const DepGraph& g, const Function& fn, BlockId block,
-                            const MachineModel& machine);
+                            const MachineModel& machine, Arena* scratch = nullptr);
 
 // Schedules `block` in place (reorders its instructions).  The 3-argument
 // form builds the analyses itself; callers scheduling several blocks of one
@@ -58,6 +62,10 @@ void schedule_block(Function& fn, BlockId block, const MachineModel& machine,
                     const ScheduleAnalyses& analyses);
 
 // Schedules every block of the function in place (one shared analysis pass).
+void schedule_function(Function& fn, const MachineModel& machine,
+                       CompileContext& ctx);
+
+// Convenience overload on the calling thread's pooled context.
 void schedule_function(Function& fn, const MachineModel& machine);
 
 }  // namespace ilp

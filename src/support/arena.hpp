@@ -1,0 +1,189 @@
+// Monotonic bump-arena allocation for pass-local scratch.
+//
+// The transformation pipeline runs a dozen passes per compile, each of which
+// used to build (and tear down) its own heap-backed scratch: unordered maps,
+// returned vectors, per-block bit-vector arrays.  Under service traffic that
+// churn dominated the compile phase.  The cure is the classic one (LoopModels
+// uses the same shape): allocate pass scratch from a bump arena that is
+// *reset*, not freed, between compiles, so the warm path touches only memory
+// it already owns.
+//
+// Three pieces live here:
+//   Arena         chunked bump allocator with O(1) scoped checkpoints
+//   ArenaVector   push_back-only vector of trivially-copyable T in an Arena
+//   ScratchBuffer reusable std::vector<T> that is cleared, never shrunk
+//
+// None of these run element destructors: Arena/ArenaVector are restricted to
+// trivially destructible types (enforced at compile time).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace ilp {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t first_chunk_bytes = 64 * 1024)
+      : first_chunk_bytes_(first_chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void* alloc(std::size_t bytes, std::size_t align) {
+    ILP_ASSERT((align & (align - 1)) == 0, "Arena alignment must be a power of two");
+    while (cur_ < chunks_.size()) {
+      Chunk& c = chunks_[cur_];
+      const std::size_t base = (c.used + align - 1) & ~(align - 1);
+      if (base + bytes <= c.size) {
+        c.used = base + bytes;
+        live_bytes_ += bytes;
+        if (live_bytes_ > high_water_) high_water_ = live_bytes_;
+        return c.data.get() + base;
+      }
+      ++cur_;
+      if (cur_ < chunks_.size()) chunks_[cur_].used = 0;
+    }
+    // Need a new chunk: double the last size, but always fit the request.
+    std::size_t want = chunks_.empty() ? first_chunk_bytes_ : chunks_.back().size * 2;
+    if (want < bytes + align) want = bytes + align;
+    chunks_.push_back(Chunk{std::make_unique<char[]>(want), want, 0});
+    cur_ = chunks_.size() - 1;
+    return alloc(bytes, align);
+  }
+
+  template <typename T>
+  T* alloc_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    return static_cast<T*>(alloc(n * sizeof(T), alignof(T)));
+  }
+
+  // Scoped checkpoint: everything allocated after mark() is reclaimed by
+  // rewind() in O(1).  Chunks are retained.
+  struct Marker {
+    std::size_t chunk = 0;
+    std::size_t used = 0;
+    std::size_t live = 0;
+  };
+  [[nodiscard]] Marker mark() const {
+    return Marker{cur_, cur_ < chunks_.size() ? chunks_[cur_].used : 0, live_bytes_};
+  }
+  void rewind(const Marker& m) {
+    cur_ = m.chunk;
+    if (cur_ < chunks_.size()) chunks_[cur_].used = m.used;
+    live_bytes_ = m.live;
+  }
+
+  class Scope {
+   public:
+    explicit Scope(Arena& a) : arena_(a), mark_(a.mark()) {}
+    ~Scope() { arena_.rewind(mark_); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Arena& arena_;
+    Marker mark_;
+  };
+
+  // Forgets every allocation but keeps the chunks hot for the next compile.
+  void reset() {
+    cur_ = 0;
+    if (!chunks_.empty()) chunks_[0].used = 0;
+    live_bytes_ = 0;
+  }
+
+  [[nodiscard]] std::size_t live_bytes() const { return live_bytes_; }
+  [[nodiscard]] std::size_t high_water_bytes() const { return high_water_; }
+  [[nodiscard]] std::size_t reserved_bytes() const {
+    std::size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.size;
+    return total;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  std::size_t first_chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t cur_ = 0;
+  std::size_t live_bytes_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+// Growable array of trivially-copyable T whose storage comes from an Arena.
+// Reallocation abandons the old storage (reclaimed at the next reset/rewind);
+// suited to short-lived pass-local lists, not long accumulations.
+template <typename T>
+class ArenaVector {
+  static_assert(std::is_trivially_copyable_v<T> && std::is_trivially_destructible_v<T>,
+                "ArenaVector requires trivial T");
+
+ public:
+  explicit ArenaVector(Arena& arena, std::size_t initial_capacity = 8)
+      : arena_(&arena) {
+    reserve(initial_capacity);
+  }
+
+  void push_back(const T& v) {
+    if (size_ == cap_) grow(cap_ == 0 ? 8 : cap_ * 2);
+    data_[size_++] = v;
+  }
+  void clear() { size_ = 0; }
+  void reserve(std::size_t n) {
+    if (n > cap_) grow(n);
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  T& back() { return data_[size_ - 1]; }
+
+ private:
+  void grow(std::size_t n) {
+    T* next = arena_->alloc_array<T>(n);
+    if (size_ > 0) std::memcpy(next, data_, size_ * sizeof(T));
+    data_ = next;
+    cap_ = n;
+  }
+
+  Arena* arena_;
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = 0;
+};
+
+// A std::vector<T> that hands itself out cleared but never shrunk, so the
+// borrower reuses the previous capacity.  One ScratchBuffer serves one
+// borrow site (no nesting on the same buffer).
+template <typename T>
+class ScratchBuffer {
+ public:
+  std::vector<T>& acquire() {
+    buf_.clear();
+    return buf_;
+  }
+  [[nodiscard]] std::size_t capacity() const { return buf_.capacity(); }
+
+ private:
+  std::vector<T> buf_;
+};
+
+}  // namespace ilp

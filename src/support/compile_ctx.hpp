@@ -1,0 +1,127 @@
+// Per-thread compile state: one arena plus every pass's reusable scratch.
+//
+// A CompileContext owns the memory the transformation pipeline works in.  It
+// is reset — never freed — between compiles, so a warm context compiles with
+// near-zero heap traffic: the arena bump-resets, dense maps bump an epoch,
+// pooled analysis storage (CFG adjacency, liveness rows) is recycled by the
+// next construction.  The engine's worker threads and ilpd's request jobs
+// each get one automatically via CompileContext::local(), which is how
+// service requests reuse hot memory across compiles.
+//
+// Pass scratch is held in type-erased PassSlots keyed by pass name, so each
+// pass keeps its state struct private to its own .cpp: the first use in a
+// context constructs it, later compiles reuse it.  Analyses that can nest
+// (ivopt builds a Cfg while another Cfg is live) stash their storage in a
+// StoragePool, whose take()/give() degrades gracefully to a fresh object
+// when the pooled one is already borrowed.
+//
+// Determinism contract: nothing in this header may influence pass *output* —
+// only where scratch lives.  The pipeline's golden test
+// (tests/trans/pipeline_golden_test.cpp) pins byte-identical IR against the
+// pre-arena implementation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "support/arena.hpp"
+
+namespace ilp {
+
+// One type-erased, lazily-constructed state object.  Each slot is owned by
+// exactly one pass, which always instantiates it at the same type.
+class PassSlot {
+ public:
+  PassSlot() = default;
+  PassSlot(const PassSlot&) = delete;
+  PassSlot& operator=(const PassSlot&) = delete;
+  ~PassSlot() {
+    if (ptr_ != nullptr) destroy_(ptr_);
+  }
+
+  template <typename T>
+  T& get() {
+    if (ptr_ == nullptr) {
+      ptr_ = new T();
+      destroy_ = [](void* p) { delete static_cast<T*>(p); };
+    }
+    return *static_cast<T*>(ptr_);
+  }
+
+ private:
+  void* ptr_ = nullptr;
+  void (*destroy_)(void*) = nullptr;
+};
+
+// Recycles one instance of a storage aggregate between constructions of the
+// same analysis.  take() hands out the pooled instance (capacity intact) or
+// a default-constructed one when the pool is empty/borrowed; give() returns
+// it.  Nested borrowers simply miss the pool — correct, just colder.
+template <typename T>
+class StoragePool {
+ public:
+  [[nodiscard]] T take() {
+    T out = std::move(store_);
+    store_ = T{};
+    return out;
+  }
+  void give(T&& v) { store_ = std::move(v); }
+
+ private:
+  T store_;
+};
+
+class CompileContext {
+ public:
+  CompileContext() = default;
+  CompileContext(const CompileContext&) = delete;
+  CompileContext& operator=(const CompileContext&) = delete;
+
+  // The calling thread's pooled context.  Worker threads in the engine pool
+  // (and therefore ilpd request jobs) land here, so every compile on a warm
+  // thread reuses the previous compile's memory.
+  static CompileContext& local() {
+    thread_local CompileContext ctx;
+    return ctx;
+  }
+
+  Arena& arena() { return arena_; }
+
+  // Marks the start of one compile: reclaims all arena memory (keeping the
+  // chunks) and counts the compile for stats.
+  void begin_compile() {
+    arena_.reset();
+    ++compiles_;
+  }
+
+  [[nodiscard]] std::uint64_t compiles() const { return compiles_; }
+  [[nodiscard]] std::size_t arena_high_water_bytes() const {
+    return arena_.high_water_bytes();
+  }
+
+  // One slot per pass/analysis; see the owning .cpp for each state type.
+  PassSlot cfg;
+  PassSlot liveness;
+  PassSlot reaching;
+  PassSlot constprop;
+  PassSlot copyprop;
+  PassSlot cse;
+  PassSlot dce;
+  PassSlot licm;
+  PassSlot ivopt;
+  PassSlot rename;
+  PassSlot accexpand;
+  PassSlot indexpand;
+  PassSlot searchexpand;
+  PassSlot treeheight;
+  PassSlot unroll;
+  PassSlot scheduler;
+  PassSlot regalloc;
+
+ private:
+  Arena arena_;
+  std::uint64_t compiles_ = 0;
+};
+
+}  // namespace ilp

@@ -1,0 +1,129 @@
+// Epoch-stamped dense maps and sets keyed by small integers.
+//
+// The pass pipeline keys nearly all of its scratch by RegKey (dense register
+// index) or instruction uid.  A dense array beats unordered_map for these:
+// O(1) with no hashing, no nodes, perfect locality — and an epoch stamp makes
+// clear() O(1), so one map instance serves thousands of compiles without
+// re-zeroing.  Slots auto-grow: passes allocate fresh registers mid-flight,
+// so the key universe expands while a map is live.
+//
+// Determinism note: these structures are deliberately iteration-free.  A pass
+// that needs to walk its keys keeps an explicit key list (program order),
+// which is exactly what keeps codegen independent of container layout.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace ilp {
+
+template <typename V>
+class DenseMap {
+ public:
+  // O(1) amortized: bumps the epoch; slot stamps go stale wholesale.
+  void clear() {
+    if (++epoch_ == 0) {  // wraparound after 2^32 clears: hard-reset stamps
+      std::fill(stamp_.begin(), stamp_.end(), 0u);
+      epoch_ = 1;
+    }
+    count_ = 0;
+  }
+
+  void reserve(std::size_t nkeys) {
+    if (nkeys > stamp_.size()) {
+      stamp_.resize(nkeys, 0u);
+      vals_.resize(nkeys);
+    }
+  }
+
+  [[nodiscard]] bool contains(std::size_t k) const {
+    return k < stamp_.size() && stamp_[k] == epoch_;
+  }
+
+  [[nodiscard]] const V* find(std::size_t k) const {
+    return contains(k) ? &vals_[k] : nullptr;
+  }
+  [[nodiscard]] V* find(std::size_t k) {
+    return contains(k) ? &vals_[k] : nullptr;
+  }
+
+  [[nodiscard]] V get_or(std::size_t k, V fallback) const {
+    const V* v = find(k);
+    return v != nullptr ? *v : fallback;
+  }
+
+  // Inserts a default-constructed value on first touch this epoch.
+  V& operator[](std::size_t k) {
+    reserve(k + 1);
+    if (stamp_[k] != epoch_) {
+      stamp_[k] = epoch_;
+      vals_[k] = V{};
+      ++count_;
+    }
+    return vals_[k];
+  }
+
+  void erase(std::size_t k) {
+    if (contains(k)) {
+      stamp_[k] = epoch_ - 1;
+      --count_;
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+ private:
+  std::vector<V> vals_;
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t epoch_ = 1;
+  std::size_t count_ = 0;
+};
+
+class DenseSet {
+ public:
+  void clear() {
+    if (++epoch_ == 0) {
+      std::fill(stamp_.begin(), stamp_.end(), 0u);
+      epoch_ = 1;
+    }
+    count_ = 0;
+  }
+
+  void reserve(std::size_t nkeys) {
+    if (nkeys > stamp_.size()) stamp_.resize(nkeys, 0u);
+  }
+
+  [[nodiscard]] bool contains(std::size_t k) const {
+    return k < stamp_.size() && stamp_[k] == epoch_;
+  }
+
+  // Returns true when k was newly inserted this epoch.
+  bool insert(std::size_t k) {
+    reserve(k + 1);
+    if (stamp_[k] == epoch_) return false;
+    stamp_[k] = epoch_;
+    ++count_;
+    return true;
+  }
+
+  void erase(std::size_t k) {
+    if (contains(k)) {
+      stamp_[k] = epoch_ - 1;
+      --count_;
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+ private:
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t epoch_ = 1;
+  std::size_t count_ = 0;
+};
+
+}  // namespace ilp

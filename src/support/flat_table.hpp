@@ -1,0 +1,93 @@
+// Open-addressed hash table with epoch-stamped O(1) clear.
+//
+// Generalizes flat_map.hpp's int64-keyed map to arbitrary POD keys: slots
+// store the full key and resolve probe collisions by comparing it, so lookup
+// semantics are exactly std::map::find (exact key or nothing) — a hash
+// collision can never merge two distinct keys.  Like DenseMap, clear() bumps
+// an epoch instead of touching slots, so one instance amortizes across every
+// block of every compile.  The table is insert/lookup-only by design — no
+// iteration — which keeps pass output independent of hash layout.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace ilp {
+
+template <typename K, typename V, typename Hash>
+class FlatTable {
+ public:
+  explicit FlatTable(std::size_t initial_capacity = 64) {
+    std::size_t cap = 16;
+    while (cap < initial_capacity) cap *= 2;
+    slots_.resize(cap);
+  }
+
+  void clear() {
+    if (++epoch_ == 0) {
+      for (Slot& s : slots_) s.stamp = 0;
+      epoch_ = 1;
+    }
+    size_ = 0;
+  }
+
+  [[nodiscard]] V* find(const K& key) {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = Hash{}(key) & mask;
+    while (true) {
+      Slot& s = slots_[i];
+      if (s.stamp != epoch_) return nullptr;
+      if (s.key == key) return &s.val;
+      i = (i + 1) & mask;
+    }
+  }
+
+  void insert_or_assign(const K& key, const V& val) {
+    if ((size_ + 1) * 10 >= slots_.size() * 7) grow();
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = Hash{}(key) & mask;
+    while (true) {
+      Slot& s = slots_[i];
+      if (s.stamp != epoch_) {
+        s.stamp = epoch_;
+        s.key = key;
+        s.val = val;
+        ++size_;
+        return;
+      }
+      if (s.key == key) {
+        s.val = val;
+        return;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+ private:
+  struct Slot {
+    K key{};
+    V val{};
+    std::uint32_t stamp = 0;
+  };
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    const std::uint32_t live = epoch_;
+    epoch_ = 1;
+    size_ = 0;
+    for (Slot& s : old)
+      if (s.stamp == live) insert_or_assign(s.key, s.val);
+  }
+
+  std::vector<Slot> slots_;
+  std::uint32_t epoch_ = 1;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ilp

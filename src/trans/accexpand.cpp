@@ -1,16 +1,21 @@
 #include "trans/accexpand.hpp"
 
-#include <unordered_map>
-
 #include "analysis/cfg.hpp"
 #include "analysis/dominators.hpp"
 #include "analysis/loops.hpp"
 #include "ir/reg.hpp"
+#include "support/dense.hpp"
 #include "trans/expand_common.hpp"
 
 namespace ilp {
 
 namespace {
+
+// Reusable scratch; lives in CompileContext::accexpand across compiles.
+struct AccExpandState {
+  DenseMap<int> defs;  // RegKey -> #defs in the body
+  std::vector<Reg> def_order;
+};
 
 enum class AccKind { None, Additive, Multiplicative };
 
@@ -43,18 +48,23 @@ struct Candidate {
   std::vector<std::size_t> def_idx;
 };
 
-int expand_in_loop(Function& fn, const SimpleLoop& loop, const AccExpandOptions& opts) {
+int expand_in_loop(Function& fn, const SimpleLoop& loop, const AccExpandOptions& opts,
+                   AccExpandState& st) {
   // Phase 1: classify candidates without mutating anything (block references
   // are invalidated once fixup blocks get spliced in).
   std::vector<Candidate> candidates;
   {
     const Block& body = fn.block(loop.body);
-    std::unordered_map<Reg, int, RegHash> defs;
+    // Count defs per register, remembering first-def program order so the
+    // expansion sequence (and the temporaries it allocates) is deterministic.
+    st.defs.clear();
+    st.def_order.clear();
     for (const Instruction& in : body.insts)
-      if (in.has_dest()) ++defs[in.dst];
+      if (in.has_dest() && ++st.defs[RegKey::key(in.dst)] == 1)
+        st.def_order.push_back(in.dst);
 
-    for (const auto& [v, count] : defs) {
-      if (count < 2) continue;
+    for (const Reg& v : st.def_order) {
+      if (st.defs.get_or(RegKey::key(v), 0) < 2) continue;
       // Condition 1+2: every def of v is an accumulation of a uniform kind
       // and every read of v inside the loop is the self-operand of such a
       // def.
@@ -131,14 +141,20 @@ int expand_in_loop(Function& fn, const SimpleLoop& loop, const AccExpandOptions&
 
 }  // namespace
 
-int accumulator_expansion(Function& fn, const AccExpandOptions& opts) {
-  const Cfg cfg(fn);
+int accumulator_expansion(Function& fn, const AccExpandOptions& opts,
+                          CompileContext& ctx) {
+  const Cfg cfg(fn, &ctx);
   const Dominators dom(cfg);
+  AccExpandState& st = ctx.accexpand.get<AccExpandState>();
   int n = 0;
   for (const SimpleLoop& loop : find_simple_loops(cfg, dom))
-    n += expand_in_loop(fn, loop, opts);
+    n += expand_in_loop(fn, loop, opts, st);
   if (n > 0) fn.renumber();
   return n;
+}
+
+int accumulator_expansion(Function& fn, const AccExpandOptions& opts) {
+  return accumulator_expansion(fn, opts, CompileContext::local());
 }
 
 }  // namespace ilp

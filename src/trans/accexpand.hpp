@@ -15,6 +15,7 @@
 #pragma once
 
 #include "ir/function.hpp"
+#include "support/compile_ctx.hpp"
 
 namespace ilp {
 
@@ -25,6 +26,10 @@ struct AccExpandOptions {
 };
 
 // Returns the number of accumulators expanded.
+int accumulator_expansion(Function& fn, const AccExpandOptions& opts,
+                          CompileContext& ctx);
+
+// Convenience overload on the calling thread's pooled context.
 int accumulator_expansion(Function& fn, const AccExpandOptions& opts = {});
 
 }  // namespace ilp

@@ -1,17 +1,23 @@
 #include "trans/indexpand.hpp"
 
 #include <optional>
-#include <unordered_map>
 
 #include "analysis/cfg.hpp"
 #include "analysis/dominators.hpp"
 #include "analysis/loops.hpp"
 #include "ir/reg.hpp"
+#include "support/dense.hpp"
 #include "trans/expand_common.hpp"
 
 namespace ilp {
 
 namespace {
+
+// Reusable scratch; lives in CompileContext::indexpand across compiles.
+struct IndExpandState {
+  DenseMap<int> defs;  // RegKey -> #defs in the body
+  std::vector<Reg> def_order;
+};
 
 // The uniform per-iteration step: either an immediate delta or +/- an
 // invariant register.
@@ -29,7 +35,7 @@ struct Candidate {
 };
 
 std::optional<Step> classify_def(const Instruction& in, const Reg& v,
-                                 const std::unordered_map<Reg, int, RegHash>& defs) {
+                                 const DenseMap<int>& defs) {
   if (in.op != Opcode::IADD && in.op != Opcode::ISUB) return std::nullopt;
   if (!in.dst.is_int()) return std::nullopt;
   Step s;
@@ -49,7 +55,7 @@ std::optional<Step> classify_def(const Instruction& in, const Reg& v,
   else
     return std::nullopt;
   if (m == v) return std::nullopt;  // V = V + V is not an induction step
-  if (defs.count(m) > 0) return std::nullopt;
+  if (defs.contains(RegKey::key(m))) return std::nullopt;
   s.is_imm = false;
   s.reg = m;
   s.negate = in.op == Opcode::ISUB;
@@ -63,14 +69,19 @@ bool same_step(const Step& a, const Step& b) {
 }
 
 // Finds one expandable induction variable in `loop`, or nullopt.
-std::optional<Candidate> find_candidate(const Function& fn, const SimpleLoop& loop) {
+std::optional<Candidate> find_candidate(const Function& fn, const SimpleLoop& loop,
+                                        IndExpandState& st) {
   const Block& body = fn.block(loop.body);
-  std::unordered_map<Reg, int, RegHash> defs;
+  // First-def program order keeps the candidate choice (and the fresh
+  // registers expand() allocates for it) deterministic.
+  st.defs.clear();
+  st.def_order.clear();
   for (const Instruction& in : body.insts)
-    if (in.has_dest()) ++defs[in.dst];
+    if (in.has_dest() && ++st.defs[RegKey::key(in.dst)] == 1)
+      st.def_order.push_back(in.dst);
 
-  for (const auto& [v, count] : defs) {
-    if (count < 2 || !v.is_int()) continue;
+  for (const Reg& v : st.def_order) {
+    if (st.defs.get_or(RegKey::key(v), 0) < 2 || !v.is_int()) continue;
     Candidate cand;
     cand.v = v;
     bool ok = true;
@@ -79,7 +90,7 @@ std::optional<Candidate> find_candidate(const Function& fn, const SimpleLoop& lo
     for (std::size_t i = 0; i < body.insts.size() && ok; ++i) {
       const Instruction& in = body.insts[i];
       if (in.writes(v)) {
-        const auto s = classify_def(in, v, defs);
+        const auto s = classify_def(in, v, st.defs);
         if (!s || (!first && !same_step(cand.step, *s))) {
           ok = false;
           break;
@@ -209,15 +220,16 @@ void expand(Function& fn, const SimpleLoop& loop, const Candidate& cand) {
 
 }  // namespace
 
-int induction_expansion(Function& fn) {
+int induction_expansion(Function& fn, CompileContext& ctx) {
+  IndExpandState& st = ctx.indexpand.get<IndExpandState>();
   int n = 0;
   // Expanding changes instruction indices, so re-derive loops per expansion.
   while (true) {
-    const Cfg cfg(fn);
+    const Cfg cfg(fn, &ctx);
     const Dominators dom(cfg);
     bool did = false;
     for (const SimpleLoop& loop : find_simple_loops(cfg, dom)) {
-      if (const auto cand = find_candidate(fn, loop)) {
+      if (const auto cand = find_candidate(fn, loop, st)) {
         expand(fn, loop, *cand);
         ++n;
         did = true;
@@ -228,6 +240,10 @@ int induction_expansion(Function& fn) {
   }
   if (n > 0) fn.renumber();
   return n;
+}
+
+int induction_expansion(Function& fn) {
+  return induction_expansion(fn, CompileContext::local());
 }
 
 }  // namespace ilp

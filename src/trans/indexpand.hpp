@@ -22,10 +22,14 @@
 #pragma once
 
 #include "ir/function.hpp"
+#include "support/compile_ctx.hpp"
 
 namespace ilp {
 
 // Returns the number of induction variables expanded.
+int induction_expansion(Function& fn, CompileContext& ctx);
+
+// Convenience overload on the calling thread's pooled context.
 int induction_expansion(Function& fn);
 
 }  // namespace ilp

@@ -60,13 +60,14 @@ const char* set_label(const TransformSet& set) {
 
 void compile_with_transforms(Function& fn, const TransformSet& set,
                              const MachineModel& machine, const CompileOptions& opts,
-                             TransformStats* stats) {
+                             TransformStats* stats, CompileContext& ctx) {
+  ctx.begin_compile();
   TransformStats local;
   TransformStats& s = stats != nullptr ? *stats : local;
   s = TransformStats{};
 
   timed_pass("pass.conventional", fn, "after conventional optimizations",
-             [&] { run_conventional_optimizations(fn); });
+             [&] { run_conventional_optimizations(fn, ctx); });
   s.ir_insts_before = fn.num_insts();
 
   if (set.unroll)
@@ -76,16 +77,16 @@ void compile_with_transforms(Function& fn, const TransformSet& set,
   // register name (the shapes of Figures 2 and 4).
   if (set.acc_expand)
     timed_pass("pass.accexpand", fn, "after accumulator expansion",
-               [&] { s.accs_expanded = accumulator_expansion(fn); });
+               [&] { s.accs_expanded = accumulator_expansion(fn, {}, ctx); });
   if (set.ind_expand)
     timed_pass("pass.indexpand", fn, "after induction expansion",
-               [&] { s.inds_expanded = induction_expansion(fn); });
+               [&] { s.inds_expanded = induction_expansion(fn, ctx); });
   if (set.search_expand)
     timed_pass("pass.searchexpand", fn, "after search expansion",
-               [&] { s.searches_expanded = search_expansion(fn); });
+               [&] { s.searches_expanded = search_expansion(fn, ctx); });
   if (set.rename)
     timed_pass("pass.rename", fn, "after renaming",
-               [&] { s.regs_renamed = rename_registers(fn); });
+               [&] { s.regs_renamed = rename_registers(fn, ctx); });
   if (set.combine)
     timed_pass("pass.combine", fn, "after operation combining",
                [&] { s.ops_combined = operation_combining(fn); });
@@ -94,11 +95,11 @@ void compile_with_transforms(Function& fn, const TransformSet& set,
                [&] { s.strength_reduced = strength_reduction(fn); });
   if (set.height)
     timed_pass("pass.treeheight", fn, "after tree height reduction",
-               [&] { s.trees_rebalanced = tree_height_reduction(fn); });
-  timed_pass("pass.cleanup", fn, "after cleanup", [&] { run_cleanup(fn); });
+               [&] { s.trees_rebalanced = tree_height_reduction(fn, {}, ctx); });
+  timed_pass("pass.cleanup", fn, "after cleanup", [&] { run_cleanup(fn, ctx); });
   if (opts.schedule)
     s.schedule_ns = timed_pass("pass.schedule", fn, "after scheduling",
-                               [&] { schedule_function(fn, machine); });
+                               [&] { schedule_function(fn, machine, ctx); });
   fn.renumber();
   s.ir_insts_after = fn.num_insts();
 
@@ -131,6 +132,18 @@ void compile_with_transforms(Function& fn, const TransformSet& set,
   reg.add_count(engine::MetricsRegistry::intern_name(
                     std::string("trans.ir_insts_after.") + label),
                 s.ir_insts_after);
+  // Context reuse telemetry: how many compiles landed on warm contexts and
+  // the deepest any context's arena ever got.
+  reg.add_count("ctx.compiles");
+  if (ctx.compiles() > 1) reg.add_count("ctx.warm_compiles");
+  reg.record_max("ctx.arena_high_water_bytes",
+                 static_cast<std::uint64_t>(ctx.arena_high_water_bytes()));
+}
+
+void compile_with_transforms(Function& fn, const TransformSet& set,
+                             const MachineModel& machine, const CompileOptions& opts,
+                             TransformStats* stats) {
+  compile_with_transforms(fn, set, machine, opts, stats, CompileContext::local());
 }
 
 void compile_at_level(Function& fn, OptLevel level, const MachineModel& machine,

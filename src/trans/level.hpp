@@ -18,6 +18,7 @@
 
 #include "ir/function.hpp"
 #include "machine/machine.hpp"
+#include "support/compile_ctx.hpp"
 #include "trans/unroll.hpp"
 
 namespace ilp {
@@ -83,6 +84,15 @@ struct TransformStats {
   }
 };
 
+// Explicit-context form: all pass scratch and analysis storage comes from
+// `ctx`, which is reset (arena rewound, not freed) at the start of the
+// compile.  Two sequential compiles on one warm context produce bit-identical
+// output to two fresh contexts — the context only changes where memory lives.
+void compile_with_transforms(Function& fn, const TransformSet& set,
+                             const MachineModel& machine, const CompileOptions& opts,
+                             TransformStats* stats, CompileContext& ctx);
+
+// Convenience overload on the calling thread's pooled context.
 void compile_with_transforms(Function& fn, const TransformSet& set,
                              const MachineModel& machine, const CompileOptions& opts = {},
                              TransformStats* stats = nullptr);

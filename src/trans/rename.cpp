@@ -1,35 +1,41 @@
 #include "trans/rename.hpp"
 
-#include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
 #include "analysis/cfg.hpp"
 #include "analysis/dominators.hpp"
 #include "analysis/liveness.hpp"
 #include "analysis/loops.hpp"
 #include "ir/reg.hpp"
+#include "support/dense.hpp"
 
 namespace ilp {
 
 namespace {
 
-int rename_in_loop(Function& fn, const SimpleLoop& loop, const Liveness& live) {
+// Reusable scratch; lives in CompileContext::rename across compiles.
+struct RenameState {
+  DenseMap<int> defs;   // RegKey -> #defs in the body
+  DenseSet pinned;      // RegKey of registers that must keep their names
+  DenseSet added;       // candidate membership
+  std::vector<Reg> candidates;
+};
+
+int rename_in_loop(Function& fn, const SimpleLoop& loop, const Liveness& live,
+                   RenameState& st) {
   Block& body = fn.block(loop.body);
 
   // Count defs per register.
-  std::unordered_map<Reg, int, RegHash> defs;
+  st.defs.clear();
   for (const Instruction& in : body.insts)
-    if (in.has_dest()) ++defs[in.dst];
+    if (in.has_dest()) ++st.defs[RegKey::key(in.dst)];
 
   // Registers live into any side-exit target must keep their names.
-  std::unordered_set<Reg, RegHash> pinned;
+  st.pinned.clear();
   for (std::size_t se : loop.side_exits) {
     const Instruction& br = body.insts[se];
-    live.live_in(br.target).for_each_set([&](std::size_t key) {
-      const Reg r{(key & 1) ? RegClass::Fp : RegClass::Int,
-                  static_cast<std::uint32_t>(key >> 1)};
-      pinned.insert(r);
-    });
+    live.live_in(br.target).for_each_set(
+        [&](std::size_t key) { st.pinned.insert(key); });
   }
 
   // Whether the register's final value must land back in the original name:
@@ -38,16 +44,24 @@ int rename_in_loop(Function& fn, const SimpleLoop& loop, const Liveness& live) {
 
   int split = 0;
   // Collect candidates first: renaming one register does not affect others'
-  // def counts.
-  std::vector<Reg> candidates;
-  for (const auto& [reg, count] : defs)
-    if (count >= 2 && pinned.count(reg) == 0) candidates.push_back(reg);
+  // def counts.  Walk the body in program order (first def decides a
+  // register's position) so the renaming sequence — and therefore the fresh
+  // register numbers handed out below — is deterministic.
+  st.added.clear();
+  st.candidates.clear();
+  for (const Instruction& in : body.insts) {
+    if (!in.has_dest()) continue;
+    const Reg reg = in.dst;
+    const std::size_t k = RegKey::key(reg);
+    if (st.defs.get_or(k, 0) < 2 || st.pinned.contains(k)) continue;
+    if (st.added.insert(k)) st.candidates.push_back(reg);
+  }
 
-  for (const Reg& reg : candidates) {
+  for (const Reg& reg : st.candidates) {
     const bool carried = live.is_live_in(loop.body, reg);
     const bool live_at_exit =
         exit_id != kNoBlock && live.is_live_in(exit_id, reg);
-    const int total_defs = defs[reg];
+    const int total_defs = st.defs.get_or(RegKey::key(reg), 0);
 
     Reg cur = reg;  // name holding the register's current value
     int seen = 0;
@@ -72,15 +86,20 @@ int rename_in_loop(Function& fn, const SimpleLoop& loop, const Liveness& live) {
 
 }  // namespace
 
-int rename_registers(Function& fn) {
-  const Cfg cfg(fn);
+int rename_registers(Function& fn, CompileContext& ctx) {
+  const Cfg cfg(fn, &ctx);
   const Dominators dom(cfg);
-  const Liveness live(cfg);
+  const Liveness live(cfg, &ctx);
+  RenameState& st = ctx.rename.get<RenameState>();
   int split = 0;
   for (const SimpleLoop& loop : find_simple_loops(cfg, dom))
-    split += rename_in_loop(fn, loop, live);
+    split += rename_in_loop(fn, loop, live, st);
   if (split > 0) fn.renumber();
   return split;
+}
+
+int rename_registers(Function& fn) {
+  return rename_registers(fn, CompileContext::local());
 }
 
 }  // namespace ilp

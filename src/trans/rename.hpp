@@ -15,10 +15,14 @@
 #pragma once
 
 #include "ir/function.hpp"
+#include "support/compile_ctx.hpp"
 
 namespace ilp {
 
 // Renames within every simple loop body; returns number of registers split.
+int rename_registers(Function& fn, CompileContext& ctx);
+
+// Convenience overload on the calling thread's pooled context.
 int rename_registers(Function& fn);
 
 }  // namespace ilp

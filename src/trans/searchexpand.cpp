@@ -1,17 +1,23 @@
 #include "trans/searchexpand.hpp"
 
 #include <optional>
-#include <unordered_map>
 
 #include "analysis/cfg.hpp"
 #include "analysis/dominators.hpp"
 #include "analysis/loops.hpp"
 #include "ir/reg.hpp"
+#include "support/dense.hpp"
 #include "trans/expand_common.hpp"
 
 namespace ilp {
 
 namespace {
+
+// Reusable scratch; lives in CompileContext::searchexpand across compiles.
+struct SearchExpandState {
+  DenseMap<int> defs;  // RegKey -> #defs in the body
+  std::vector<Reg> def_order;
+};
 
 bool is_search_op(Opcode op) {
   return op == Opcode::FMAX || op == Opcode::FMIN || op == Opcode::IMAX ||
@@ -24,14 +30,19 @@ struct Candidate {
   std::vector<std::size_t> def_idx;
 };
 
-std::optional<Candidate> find_candidate(const Function& fn, const SimpleLoop& loop) {
+std::optional<Candidate> find_candidate(const Function& fn, const SimpleLoop& loop,
+                                        SearchExpandState& st) {
   const Block& body = fn.block(loop.body);
-  std::unordered_map<Reg, int, RegHash> defs;
+  // First-def program order keeps the candidate choice (and the fresh
+  // registers expand() allocates for it) deterministic.
+  st.defs.clear();
+  st.def_order.clear();
   for (const Instruction& in : body.insts)
-    if (in.has_dest()) ++defs[in.dst];
+    if (in.has_dest() && ++st.defs[RegKey::key(in.dst)] == 1)
+      st.def_order.push_back(in.dst);
 
-  for (const auto& [v, count] : defs) {
-    if (count < 2) continue;
+  for (const Reg& v : st.def_order) {
+    if (st.defs.get_or(RegKey::key(v), 0) < 2) continue;
     Candidate cand;
     cand.v = v;
     bool ok = true;
@@ -89,14 +100,15 @@ void expand(Function& fn, const SimpleLoop& loop, const Candidate& cand) {
 
 }  // namespace
 
-int search_expansion(Function& fn) {
+int search_expansion(Function& fn, CompileContext& ctx) {
+  SearchExpandState& st = ctx.searchexpand.get<SearchExpandState>();
   int n = 0;
   while (true) {
-    const Cfg cfg(fn);
+    const Cfg cfg(fn, &ctx);
     const Dominators dom(cfg);
     bool did = false;
     for (const SimpleLoop& loop : find_simple_loops(cfg, dom)) {
-      if (const auto cand = find_candidate(fn, loop)) {
+      if (const auto cand = find_candidate(fn, loop, st)) {
         expand(fn, loop, *cand);
         ++n;
         did = true;
@@ -107,6 +119,10 @@ int search_expansion(Function& fn) {
   }
   if (n > 0) fn.renumber();
   return n;
+}
+
+int search_expansion(Function& fn) {
+  return search_expansion(fn, CompileContext::local());
 }
 
 }  // namespace ilp

@@ -11,10 +11,14 @@
 #pragma once
 
 #include "ir/function.hpp"
+#include "support/compile_ctx.hpp"
 
 namespace ilp {
 
 // Returns the number of search variables expanded.
+int search_expansion(Function& fn, CompileContext& ctx);
+
+// Convenience overload on the calling thread's pooled context.
 int search_expansion(Function& fn);
 
 }  // namespace ilp

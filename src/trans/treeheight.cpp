@@ -3,11 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "ir/reg.hpp"
 #include "support/assert.hpp"
+#include "support/dense.hpp"
 
 namespace ilp {
 
@@ -53,16 +52,28 @@ struct Leaf {
   bool inverted = false;  // negative sign / reciprocal
 };
 
+// Reusable scratch; lives in CompileContext::treeheight across compiles.
+struct TreeHeightState {
+  DenseMap<int> use_count;       // RegKey -> #uses in the function
+  DenseMap<int> def_count;       // RegKey -> #defs in the function
+  DenseMap<std::size_t> def_at;  // RegKey -> defining index in current block
+  DenseSet leaf_regs;            // RegKey membership during stability check
+  DenseSet member_set;           // instruction-index membership
+};
+
 class TreePass {
  public:
-  TreePass(Function& fn, const TreeHeightOptions& opts) : fn_(fn), opts_(opts) {
+  TreePass(Function& fn, const TreeHeightOptions& opts, TreeHeightState& st)
+      : fn_(fn), opts_(opts), st_(st) {
+    st_.use_count.clear();
+    st_.def_count.clear();
     for (const Block& b : fn.blocks())
       for (const Instruction& in : b.insts) {
-        if (in.src1.valid()) ++use_count_[in.src1];
-        if (in.src2.valid() && !in.src2_is_imm) ++use_count_[in.src2];
-        if (in.has_dest()) ++def_count_[in.dst];
+        if (in.src1.valid()) ++st_.use_count[RegKey::key(in.src1)];
+        if (in.src2.valid() && !in.src2_is_imm) ++st_.use_count[RegKey::key(in.src2)];
+        if (in.has_dest()) ++st_.def_count[RegKey::key(in.dst)];
       }
-    for (const Reg& r : fn.live_out()) ++use_count_[r];
+    for (const Reg& r : fn.live_out()) ++st_.use_count[RegKey::key(r)];
   }
 
   int run() {
@@ -76,17 +87,16 @@ class TreePass {
   // A register is absorbable into a tree when its defining instruction can be
   // deleted after the rebuild: single def, single use, defined in this block.
   [[nodiscard]] bool absorbable(const Reg& r) const {
-    const auto d = def_count_.find(r);
-    const auto u = use_count_.find(r);
-    return d != def_count_.end() && d->second == 1 && u != use_count_.end() &&
-           u->second == 1;
+    return st_.def_count.get_or(RegKey::key(r), 0) == 1 &&
+           st_.use_count.get_or(RegKey::key(r), 0) == 1;
   }
 
   int run_block(Block& b) {
     // Map register -> defining index inside this block.
-    std::unordered_map<Reg, std::size_t, RegHash> def_at;
+    DenseMap<std::size_t>& def_at = st_.def_at;
+    def_at.clear();
     for (std::size_t i = 0; i < b.insts.size(); ++i)
-      if (b.insts[i].has_dest()) def_at[b.insts[i].dst] = i;
+      if (b.insts[i].has_dest()) def_at[RegKey::key(b.insts[i].dst)] = i;
 
     int rebuilt = 0;
     // Scan for roots from the top so inner (other-family) subtrees are
@@ -110,15 +120,16 @@ class TreePass {
 
       // Leaf registers must be stable between the earliest member and root.
       const std::size_t first = *std::min_element(members.begin(), members.end());
-      std::unordered_set<Reg, RegHash> leaf_regs;
+      st_.leaf_regs.clear();
       for (const Leaf& l : leaves)
-        if (!l.node.is_imm) leaf_regs.insert(l.node.reg);
-      std::unordered_set<std::size_t> member_set(members.begin(), members.end());
+        if (!l.node.is_imm) st_.leaf_regs.insert(RegKey::key(l.node.reg));
+      st_.member_set.clear();
+      for (std::size_t m : members) st_.member_set.insert(m);
       bool stable = true;
       for (std::size_t i = first; i < root && stable; ++i) {
-        if (member_set.count(i)) continue;
+        if (st_.member_set.contains(i)) continue;
         const Instruction& x = b.insts[i];
-        if (x.has_dest() && leaf_regs.count(x.dst)) stable = false;
+        if (x.has_dest() && st_.leaf_regs.contains(RegKey::key(x.dst))) stable = false;
       }
       if (!stable) continue;
 
@@ -133,7 +144,7 @@ class TreePass {
       // Maintain bookkeeping for subsequent roots in this block.
       def_at.clear();
       for (std::size_t i = 0; i < b.insts.size(); ++i)
-        if (b.insts[i].has_dest()) def_at[b.insts[i].dst] = i;
+        if (b.insts[i].has_dest()) def_at[RegKey::key(b.insts[i].dst)] = i;
       root += seq.size() - 1;
       ++rebuilt;
     }
@@ -148,7 +159,7 @@ class TreePass {
   }
 
   // Recursively flattens the operand tree of instruction `idx`.
-  bool collect(const Block& b, const std::unordered_map<Reg, std::size_t, RegHash>& def_at,
+  bool collect(const Block& b, const DenseMap<std::size_t>& def_at,
                std::size_t idx, Family fam, bool inverted, std::vector<Leaf>& leaves,
                std::vector<std::size_t>& members) {
     if (members.size() > 64) return false;  // runaway guard
@@ -174,20 +185,20 @@ class TreePass {
     return true;
   }
 
-  bool descend(const Block& b, const std::unordered_map<Reg, std::size_t, RegHash>& def_at,
+  bool descend(const Block& b, const DenseMap<std::size_t>& def_at,
                const Reg& r, std::size_t user_idx, Family fam, bool inverted,
                std::vector<Leaf>& leaves, std::vector<std::size_t>& members) {
-    const auto it = def_at.find(r);
-    if (it != def_at.end() && it->second < user_idx && absorbable(r) &&
-        family_of(b.insts[it->second].op) == fam) {
-      return collect(b, def_at, it->second, fam, inverted, leaves, members);
+    const std::size_t* it = def_at.find(RegKey::key(r));
+    if (it != nullptr && *it < user_idx && absorbable(r) &&
+        family_of(b.insts[*it].op) == fam) {
+      return collect(b, def_at, *it, fam, inverted, leaves, members);
     }
     Leaf l;
     l.node.reg = r;
     // Constant materializations count as pure inputs: their values are ready
     // immediately, unlike interior arithmetic results.
-    if (it != def_at.end()) {
-      const Opcode dop = b.insts[it->second].op;
+    if (it != nullptr) {
+      const Opcode dop = b.insts[*it].op;
       l.node.def_in_block = dop != Opcode::LDI && dop != Opcode::FLDI;
       // Latency-weighted mode: a leaf computed in this block is ready no
       // earlier than its producer's latency; weight it so slow producers
@@ -341,14 +352,18 @@ class TreePass {
 
   Function& fn_;
   TreeHeightOptions opts_;
-  std::unordered_map<Reg, int, RegHash> use_count_;
-  std::unordered_map<Reg, int, RegHash> def_count_;
+  TreeHeightState& st_;
 };
 
 }  // namespace
 
+int tree_height_reduction(Function& fn, const TreeHeightOptions& opts,
+                          CompileContext& ctx) {
+  return TreePass(fn, opts, ctx.treeheight.get<TreeHeightState>()).run();
+}
+
 int tree_height_reduction(Function& fn, const TreeHeightOptions& opts) {
-  return TreePass(fn, opts).run();
+  return tree_height_reduction(fn, opts, CompileContext::local());
 }
 
 }  // namespace ilp

@@ -20,6 +20,7 @@
 
 #include "ir/function.hpp"
 #include "machine/machine.hpp"
+#include "support/compile_ctx.hpp"
 
 namespace ilp {
 
@@ -34,6 +35,10 @@ struct TreeHeightOptions {
 };
 
 // Returns the number of expression trees rebalanced.
+int tree_height_reduction(Function& fn, const TreeHeightOptions& opts,
+                          CompileContext& ctx);
+
+// Convenience overload on the calling thread's pooled context.
 int tree_height_reduction(Function& fn, const TreeHeightOptions& opts = {});
 
 }  // namespace ilp
