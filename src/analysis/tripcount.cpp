@@ -1,4 +1,4 @@
-#include "trans/tripcount.hpp"
+#include "analysis/tripcount.hpp"
 
 #include "support/assert.hpp"
 

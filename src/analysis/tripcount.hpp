@@ -1,5 +1,8 @@
 // Runtime trip-count materialization for counted loops, shared by
-// preconditioned unrolling and software pipelining.
+// preconditioned unrolling (trans/unroll) and both software pipeliners
+// (trans/swp and the modulo scheduling backend in sched/modulo).  Lives in
+// the analysis library so the scheduling backend can emit trip counts
+// without a trans <-> sched dependency cycle.
 #pragma once
 
 #include "analysis/loops.hpp"

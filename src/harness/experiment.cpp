@@ -61,7 +61,7 @@ std::uint64_t simulate_cycles(const Function& fn, const MachineModel& m) {
 std::uint64_t study_cell_key(const Workload& w, OptLevel level, const MachineModel& m,
                              const CompileOptions& opts) {
   engine::HashStream h;
-  h.str("ilp92-cell-v1");  // schema version: bump to invalidate disk caches
+  h.str("ilp92-cell-v2");  // schema version: bump to invalidate disk caches
   h.str(w.source);
   h.i32(static_cast<int>(level));
   h.i32(m.issue_width).i32(m.branch_slots);
@@ -72,6 +72,17 @@ std::uint64_t study_cell_key(const Workload& w, OptLevel level, const MachineMod
   h.u64(opts.unroll.max_body_insts);
   h.boolean(opts.unroll.merge_counter_updates);
   h.boolean(opts.schedule);
+  // Scheduler backend identity: results from one backend must never be
+  // served to a request for the other, and any behavior change in the
+  // modulo scheduler (kModuloSchedulerVersion bump) invalidates its cells.
+  h.i32(static_cast<int>(opts.scheduler));
+  if (opts.scheduler == SchedulerKind::Modulo) {
+    h.i32(kModuloSchedulerVersion);
+    h.u64(opts.modulo.max_body_insts);
+    h.i32(opts.modulo.max_stages);
+    h.i32(opts.modulo.max_ii_over_min);
+    h.i32(opts.modulo.budget_ratio);
+  }
   return h.digest();
 }
 

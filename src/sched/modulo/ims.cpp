@@ -1,0 +1,170 @@
+#include "sched/modulo/ims.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace ilp {
+namespace {
+
+// Height priority at a given II: longest slack-weighted path out of each
+// node, H(u) = max(0, max over u->v of H(v) + latency - II*distance).
+// Cyclic graph, so iterate to fixpoint; feasible_ii(II) guarantees no
+// positive cycle and therefore convergence.
+std::vector<int> heights_at(const ModuloDepGraph& g, int ii) {
+  const std::size_t n = g.num_nodes();
+  std::vector<int> h(n, 0);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t u = n; u-- > 0;) {
+      int best = 0;
+      for (std::uint32_t ei : g.out_edges(static_cast<std::uint32_t>(u))) {
+        const ModuloDepEdge& e = g.edges()[ei];
+        best = std::max(best, h[e.to] + e.latency - ii * e.distance);
+      }
+      if (best > h[u]) {
+        h[u] = best;
+        changed = true;
+      }
+    }
+  }
+  return h;
+}
+
+struct ImsState {
+  int ii = 0;
+  int capacity = 0;              // issue slots per MRT row
+  std::vector<int> time;         // -1 = unscheduled
+  std::vector<int> prev_time;    // last slot this op occupied (forcing floor)
+  std::vector<int> row_count;    // modulo reservation table occupancy
+  int backtracks = 0;
+
+  [[nodiscard]] int row(int t) const { return ((t % ii) + ii) % ii; }
+};
+
+std::optional<ModuloSchedule> try_ii(const ModuloDepGraph& g, int ii, int capacity,
+                                     const ModuloOptions& options, int& backtracks_out) {
+  if (!g.feasible_ii(ii)) return std::nullopt;
+  const std::size_t n = g.num_nodes();
+  const std::vector<int> height = heights_at(g, ii);
+
+  ImsState st;
+  st.ii = ii;
+  st.capacity = std::max(1, capacity);
+  st.time.assign(n, -1);
+  st.prev_time.assign(n, -1);
+  st.row_count.assign(ii, 0);
+
+  long budget = static_cast<long>(options.budget_ratio) * static_cast<long>(n) + 8;
+  std::size_t scheduled = 0;
+  while (scheduled < n) {
+    if (budget-- <= 0) {
+      backtracks_out += st.backtracks;
+      return std::nullopt;
+    }
+    // Highest unscheduled op by height, program order breaking ties (keeps
+    // the search deterministic).
+    std::size_t u = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (st.time[i] >= 0) continue;
+      if (u == n || height[i] > height[u]) u = i;
+    }
+    ILP_ASSERT(u < n, "unscheduled op must exist");
+
+    // Earliest start honoring already-scheduled predecessors.
+    int estart = 0;
+    for (std::uint32_t ei : g.in_edges(static_cast<std::uint32_t>(u))) {
+      const ModuloDepEdge& e = g.edges()[ei];
+      if (st.time[e.from] < 0) continue;
+      estart = std::max(estart, st.time[e.from] + e.latency - ii * e.distance);
+    }
+
+    // Scan one full II worth of slots for a resource-free one.
+    int t = -1;
+    for (int cand = estart; cand < estart + ii; ++cand) {
+      if (st.row_count[st.row(cand)] < st.capacity) {
+        t = cand;
+        break;
+      }
+    }
+    const bool forced = t < 0;
+    if (forced) t = std::max(estart, st.prev_time[u] + 1);
+
+    // Evict whatever the placement invalidates: successors now violated,
+    // predecessors violated by a forced early slot, and (when forced into a
+    // full row) the lowest-priority occupant of that row.
+    auto evict = [&](std::size_t v) {
+      ILP_ASSERT(st.time[v] >= 0, "evicting unscheduled op");
+      --st.row_count[st.row(st.time[v])];
+      st.time[v] = -1;
+      --scheduled;
+      ++st.backtracks;
+    };
+    for (std::uint32_t ei : g.out_edges(static_cast<std::uint32_t>(u))) {
+      const ModuloDepEdge& e = g.edges()[ei];
+      if (e.to == u || st.time[e.to] < 0) continue;
+      if (st.time[e.to] < t + e.latency - ii * e.distance) evict(e.to);
+    }
+    for (std::uint32_t ei : g.in_edges(static_cast<std::uint32_t>(u))) {
+      const ModuloDepEdge& e = g.edges()[ei];
+      if (e.from == u || st.time[e.from] < 0) continue;
+      if (st.time[e.from] + e.latency - ii * e.distance > t) evict(e.from);
+    }
+    while (st.row_count[st.row(t)] >= st.capacity) {
+      std::size_t victim = n;
+      for (std::size_t v = 0; v < n; ++v) {
+        if (v == u || st.time[v] < 0 || st.row(st.time[v]) != st.row(t)) continue;
+        if (victim == n || height[v] < height[victim]) victim = v;
+      }
+      ILP_ASSERT(victim < n, "full row must have an occupant");
+      evict(victim);
+    }
+
+    st.time[u] = t;
+    st.prev_time[u] = t;
+    ++st.row_count[st.row(t)];
+    ++scheduled;
+  }
+
+  ModuloSchedule sched;
+  sched.ii = ii;
+  sched.backtracks = st.backtracks;
+  const int tmin = *std::min_element(st.time.begin(), st.time.end());
+  sched.time.resize(n);
+  sched.stage.resize(n);
+  int max_stage = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sched.time[i] = st.time[i] - tmin;
+    sched.stage[i] = sched.time[i] / ii;
+    max_stage = std::max(max_stage, sched.stage[i]);
+  }
+  sched.num_stages = max_stage + 1;
+  if (sched.num_stages > options.max_stages) {
+    backtracks_out += st.backtracks;
+    return std::nullopt;
+  }
+  return sched;
+}
+
+}  // namespace
+
+std::optional<ModuloSchedule> ims_schedule(const ModuloDepGraph& g,
+                                           const MachineModel& machine,
+                                           const ModuloOptions& options, int min_ii,
+                                           int max_ii) {
+  if (g.num_nodes() == 0) return std::nullopt;
+  // Failed IIs still did work; their eviction counts carry into the returned
+  // schedule so sched.modulo.backtracks reflects total search effort.
+  int wasted_backtracks = 0;
+  for (int ii = std::max(1, min_ii); ii <= max_ii; ++ii) {
+    auto s = try_ii(g, ii, machine.issue_width, options, wasted_backtracks);
+    if (s) {
+      s->backtracks += wasted_backtracks;
+      return s;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace ilp

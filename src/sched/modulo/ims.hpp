@@ -1,0 +1,35 @@
+// Iterative modulo scheduling (Rau, MICRO-27): height-priority operation
+// selection, a modulo reservation table tracking issue-slot pressure per
+// `time mod II` row, and eviction-based backtracking when no conflict-free
+// slot exists.  The II search walks upward from MinII until a schedule fits
+// within the placement budget.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "machine/machine.hpp"
+#include "sched/modulo/mdg.hpp"
+#include "sched/modulo/modulo.hpp"
+
+namespace ilp {
+
+struct ModuloSchedule {
+  int ii = 0;
+  std::vector<int> time;   // per MDG node; normalized so min(time) == 0
+  std::vector<int> stage;  // time / ii
+  int num_stages = 0;      // max(stage) + 1
+  int backtracks = 0;      // evictions performed while converging
+};
+
+// Schedules `g` at the smallest II in [min_ii, max_ii] the iterative scheme
+// converges for, subject to `options.max_stages` (schedules needing deeper
+// overlap are rejected so the codegen's prologue/epilogue stay bounded).
+// nullopt when no II in range works.
+std::optional<ModuloSchedule> ims_schedule(const ModuloDepGraph& g,
+                                           const MachineModel& machine,
+                                           const ModuloOptions& options, int min_ii,
+                                           int max_ii);
+
+}  // namespace ilp

@@ -1,0 +1,265 @@
+#include "sched/modulo/mdg.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <unordered_map>
+
+#include "support/assert.hpp"
+
+namespace ilp {
+
+void ModuloDepGraph::add_edge(std::uint32_t from, std::uint32_t to, int latency,
+                              int distance) {
+  if (from == to && distance == 0) return;  // self-dependence within an iteration
+  // Keep duplicates collapsed per (from, to, distance), max latency wins.
+  for (std::uint32_t ei : out_[from]) {
+    ModuloDepEdge& e = edges_[ei];
+    if (e.to == to && e.distance == distance) {
+      e.latency = std::max(e.latency, latency);
+      return;
+    }
+  }
+  const auto ei = static_cast<std::uint32_t>(edges_.size());
+  edges_.push_back(ModuloDepEdge{from, to, latency, distance});
+  out_[from].push_back(ei);
+  in_[to].push_back(ei);
+}
+
+namespace {
+
+// Per-memory-op address info for exact-distance disambiguation: the base
+// register, the cumulative constant added to it by body updates *before*
+// this op (so addresses are normalized to the block entry value of the
+// base), and the immediate offset.
+struct MemRef {
+  std::uint32_t node = 0;
+  Reg base = kNoReg;
+  std::int64_t eff = 0;  // cumulative base updates before op + ival
+  bool is_store = false;
+  std::int32_t array_id = kMayAliasAll;
+  int store_latency = 0;
+};
+
+}  // namespace
+
+ModuloDepGraph::ModuloDepGraph(const Function& fn, const SimpleLoop& loop,
+                               const MachineModel& machine) {
+  const Block& body = fn.block(loop.body);
+  ILP_ASSERT(!body.insts.empty() && body.insts.back().is_branch(),
+             "simple loop body must end in its back branch");
+  n_ = body.insts.size() - 1;  // exclude the back branch
+  n_to_i_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) n_to_i_[i] = i;
+  out_.assign(n_, {});
+  in_.assign(n_, {});
+
+  // ---- Register dependences.  For each register key track the defs and
+  // uses in body order; intra-iteration edges connect adjacent def/use
+  // events, loop-carried (distance 1) edges wrap the last event of one
+  // iteration to the first of the next.
+  struct RegEvents {
+    std::vector<std::uint32_t> defs;  // node indices in body order
+    std::vector<std::uint32_t> uses;
+  };
+  std::unordered_map<std::size_t, RegEvents> events;
+  events.reserve(n_ * 2);
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    const Instruction& in = body.insts[i];
+    for (const Reg& r : in.uses()) events[RegKey::key(r)].uses.push_back(i);
+    if (in.has_dest()) events[RegKey::key(in.dst)].defs.push_back(i);
+  }
+  // The back branch's operands must survive to the end of the iteration,
+  // which the kernel's own countdown regenerates; its only in-body inputs
+  // are the induction-variable chain, whose carried anti/output edges below
+  // already pin those defs to one per II.  No extra nodes needed.
+
+  for (auto& [key, ev] : events) {
+    (void)key;
+    // Intra-iteration: for each def, flow edges to the uses that follow it
+    // before the next def, anti edges from uses to the def that follows
+    // them, output edges between successive defs.
+    std::size_t ui = 0;
+    for (std::size_t di = 0; di < ev.defs.size(); ++di) {
+      const std::uint32_t d = ev.defs[di];
+      const Instruction& din = body.insts[d];
+      const int lat = machine.latency(din.op);
+      // Anti: uses strictly before this def (and after the previous def)
+      // must read before the def overwrites.
+      while (ui < ev.uses.size() && ev.uses[ui] <= d) {
+        if (ev.uses[ui] < d) add_edge(ev.uses[ui], d, 0, 0);
+        // A use at the same index as the def (e.g. r = r + 1) is ordered by
+        // the flow edge from the previous def; nothing to add.
+        ++ui;
+      }
+      // Flow: uses up to and *including* the next def's instruction read this
+      // def (an op like "r = r + 1" reads r before rewriting it).
+      const std::uint32_t next_def = di + 1 < ev.defs.size()
+                                         ? ev.defs[di + 1]
+                                         : static_cast<std::uint32_t>(n_);
+      for (std::size_t uj = ui; uj < ev.uses.size() && ev.uses[uj] <= next_def; ++uj) {
+        add_edge(d, ev.uses[uj], lat, 0);
+      }
+      if (di + 1 < ev.defs.size()) add_edge(d, ev.defs[di + 1], 0, 0);
+    }
+    if (ev.defs.empty()) continue;  // pure live-in, no carried constraint
+    const std::uint32_t first_def = ev.defs.front();
+    const std::uint32_t last_def = ev.defs.back();
+    const Instruction& ldin = body.insts[last_def];
+    const int llat = machine.latency(ldin.op);
+    // Carried flow: last def reaches next iteration's uses before its first
+    // (re)definition.
+    for (std::uint32_t u : ev.uses) {
+      if (u <= first_def) add_edge(last_def, u, llat, 1);
+      else break;  // uses are in order; later uses read this iteration's def
+    }
+    // Carried anti: a use strictly after the last def reads this iteration's
+    // value and must precede next iteration's first def clobbering it.  (A
+    // use at or before last_def is already ordered via the intra anti edge
+    // to its following def plus the carried output edge.)  With the stage-
+    // decomposed code generation (no register renaming) this is what keeps
+    // overlapped iterations from trampling live values — see pipeline.cpp.
+    for (auto it = ev.uses.rbegin(); it != ev.uses.rend(); ++it) {
+      if (*it <= last_def) break;
+      add_edge(*it, first_def, 0, 1);
+    }
+    // Carried output: one def per name per II.
+    if (last_def != first_def) add_edge(last_def, first_def, 0, 1);
+  }
+
+  // ---- Memory dependences with exact distances where the address math
+  // permits.  Collect per-op effective offsets normalized to block entry:
+  // walk the body accumulating constant updates ("b = b +/- C") per base
+  // register; a base with any other kind of in-body def is "unknown".
+  std::vector<MemRef> refs;
+  std::map<std::size_t, std::int64_t> cum;       // base key -> sum of updates so far
+  std::map<std::size_t, std::int64_t> net_step;  // base key -> per-iteration net
+  std::map<std::size_t, bool> base_ok;           // false => non-affine def seen
+  auto classify_def = [&](const Instruction& in) {
+    if (!in.has_dest() || !in.dst.is_int()) return;
+    const std::size_t k = RegKey::key(in.dst);
+    std::int64_t delta = 0;
+    bool affine = false;
+    if (in.src2_is_imm && in.src1 == in.dst) {
+      if (in.op == Opcode::IADD) {
+        delta = in.ival;
+        affine = true;
+      } else if (in.op == Opcode::ISUB) {
+        delta = -in.ival;
+        affine = true;
+      }
+    }
+    if (affine) {
+      cum[k] += delta;
+      net_step[k] += delta;
+    } else {
+      base_ok[k] = false;
+    }
+  };
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    const Instruction& in = body.insts[i];
+    if (in.is_load() || in.is_store()) {
+      MemRef r;
+      r.node = i;
+      r.base = in.src1;
+      const auto it = cum.find(RegKey::key(in.src1));
+      r.eff = (it != cum.end() ? it->second : 0) + in.ival;
+      r.is_store = in.is_store();
+      r.array_id = in.array_id;
+      r.store_latency = machine.latency(in.op);
+      refs.push_back(r);
+    }
+    classify_def(in);
+  }
+
+  auto arrays_compatible = [](std::int32_t a, std::int32_t b) {
+    return a == kMayAliasAll || b == kMayAliasAll || a == b;
+  };
+
+  for (std::size_t a = 0; a < refs.size(); ++a) {
+    for (std::size_t b = 0; b < refs.size(); ++b) {
+      const MemRef& ra = refs[a];
+      const MemRef& rb = refs[b];
+      if (!ra.is_store && !rb.is_store) continue;
+      if (!arrays_compatible(ra.array_id, rb.array_id)) continue;
+      const int lat = ra.is_store && !rb.is_store ? ra.store_latency : 0;
+      const bool same_base = ra.base == rb.base && ra.base.valid();
+      const std::size_t bk = RegKey::key(ra.base);
+      const bool analyzable = same_base && base_ok.find(bk) == base_ok.end();
+      if (analyzable) {
+        // Iteration i's ra address: entry_base + i*step + ra.eff.  It equals
+        // iteration (i+d)'s rb address iff ra.eff = d*step + rb.eff.
+        const std::int64_t step = net_step.count(bk) ? net_step.at(bk) : 0;
+        const std::int64_t diff = ra.eff - rb.eff;
+        if (step == 0) {
+          if (diff != 0) continue;  // provably disjoint, all iterations
+          if (ra.node < rb.node) add_edge(ra.node, rb.node, lat, 0);
+          if (a != b) add_edge(ra.node, rb.node, lat, 1);
+          continue;
+        }
+        if (diff == 0) {
+          if (ra.node < rb.node) add_edge(ra.node, rb.node, lat, 0);
+          continue;
+        }
+        if (diff % step != 0) continue;  // addresses never coincide
+        const std::int64_t d = diff / step;
+        if (d >= 1) add_edge(ra.node, rb.node, lat, static_cast<int>(std::min<std::int64_t>(d, 64)));
+        continue;
+      }
+      // Conservative: order every conflicting pair both within an iteration
+      // and across adjacent iterations.
+      if (a == b) continue;
+      if (ra.node < rb.node) add_edge(ra.node, rb.node, lat, 0);
+      add_edge(ra.node, rb.node, lat, 1);
+    }
+  }
+}
+
+int ModuloDepGraph::res_mii(const MachineModel& machine) const {
+  // The kernel issues the n body ops plus its countdown ISUB and back branch
+  // every II cycles; the in-order front end caps issue at issue_width per
+  // cycle, and a taken branch ends its issue cycle, so the branch's slot
+  // always costs at least one op of bandwidth.
+  const int w = std::max(1, machine.issue_width);
+  const auto ops = static_cast<int>(n_) + 2;
+  return std::max(1, (ops + w - 1) / w);
+}
+
+bool ModuloDepGraph::feasible_ii(int ii) const {
+  // Bellman-Ford longest-path relaxation over weights (latency - II*dist);
+  // a relaxation still possible after n rounds proves a positive cycle.
+  if (n_ == 0) return true;
+  std::vector<std::int64_t> t(n_, 0);
+  for (std::size_t round = 0; round <= n_; ++round) {
+    bool changed = false;
+    for (const ModuloDepEdge& e : edges_) {
+      const std::int64_t cand =
+          t[e.from] + e.latency - static_cast<std::int64_t>(ii) * e.distance;
+      if (cand > t[e.to]) {
+        t[e.to] = cand;
+        changed = true;
+        if (round == n_) return false;
+      }
+    }
+    if (!changed) return true;
+  }
+  return true;
+}
+
+int ModuloDepGraph::rec_mii() const {
+  int lo = 1, hi = 1;
+  for (const ModuloDepEdge& e : edges_) hi += std::max(0, e.latency);
+  // feasible_ii is monotone in II: raising II only lowers edge weights.
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (feasible_ii(mid)) hi = mid;
+    else lo = mid + 1;
+  }
+  return lo;
+}
+
+int ModuloDepGraph::min_ii(const MachineModel& machine) const {
+  return std::max(res_mii(machine), rec_mii());
+}
+
+}  // namespace ilp

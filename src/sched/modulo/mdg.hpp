@@ -1,0 +1,93 @@
+// Loop-carried dependence graph for modulo scheduling (Rau's iterative
+// modulo scheduling; ROADMAP open item 1, paper Section 4 "future work").
+//
+// The intra-block DepGraph (analysis/depgraph.hpp) models one iteration of a
+// loop body as a DAG.  Modulo scheduling needs the cyclic view: every edge
+// carries an iteration *distance* d, and a schedule assigning time t(u) to
+// each operation of the kernel is legal at initiation interval II iff
+//
+//     t(v) >= t(u) + latency(e) - II * d(e)        for every edge e: u -> v
+//
+// Nodes are the loop body's instructions minus the back-edge branch (the
+// pipelined kernel gets its own countdown branch).  Edges:
+//
+//   * register flow/anti/output at distance 0 (program order within the
+//     body) and distance 1 (the wrap-around def->use, use->next-def and
+//     def->next-def pairs).  There is no rotating register file and no
+//     modulo variable expansion, so the d=1 anti edge use->def is a *real*
+//     constraint: a value may not be overwritten before last iteration's
+//     reader consumed it.  Register renaming / unrolling (Lev2/Lev4) is what
+//     relaxes it, exactly as in the paper.
+//   * memory dependences with exact distances where both references use the
+//     same base register whose only in-body updates are "base += C": the
+//     conflict distance solves  eff(u) = eff(v) + d * step  for the
+//     position-normalized offsets.  Unknown bases fall back to conservative
+//     distance-1 edges in both directions (correct, RecMII-pessimistic).
+//
+// MinII = max(ResMII, RecMII).  ResMII is the issue-bandwidth bound
+// ceil(n / issue_width) (plus the branch-slot bound: the kernel retains one
+// branch, so II >= 1 is always enough there).  RecMII is exact: the smallest
+// II for which no dependence cycle has positive total slack
+// (sum(latency) - II * sum(distance) > 0), found by binary search with a
+// Bellman-Ford positive-cycle check.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/loops.hpp"
+#include "ir/function.hpp"
+#include "machine/machine.hpp"
+
+namespace ilp {
+
+struct ModuloDepEdge {
+  std::uint32_t from = 0;  // node indices (body position, back branch excluded)
+  std::uint32_t to = 0;
+  int latency = 0;
+  int distance = 0;  // iteration distance; 0 = same iteration
+};
+
+class ModuloDepGraph {
+ public:
+  // Builds the graph for `loop.body` in `fn`.  The loop must be a simple
+  // loop whose back branch is its last instruction (find_simple_loops
+  // guarantees both); side exits are the caller's eligibility problem.
+  ModuloDepGraph(const Function& fn, const SimpleLoop& loop, const MachineModel& machine);
+
+  [[nodiscard]] std::size_t num_nodes() const { return n_; }
+  [[nodiscard]] const std::vector<ModuloDepEdge>& edges() const { return edges_; }
+  // Edge indices into edges() leaving / entering a node.
+  [[nodiscard]] const std::vector<std::uint32_t>& out_edges(std::uint32_t u) const {
+    return out_[u];
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& in_edges(std::uint32_t u) const {
+    return in_[u];
+  }
+  // Node index -> instruction index within the body block (the back branch
+  // never appears).
+  [[nodiscard]] std::size_t inst_index(std::uint32_t node) const { return n_to_i_[node]; }
+
+  // Resource-minimum II: issue bandwidth for the kernel's n ops plus its two
+  // countdown-control ops (ISUB + branch), which occupy real issue slots.
+  [[nodiscard]] int res_mii(const MachineModel& machine) const;
+  // Recurrence-minimum II (exact over this graph's edges).
+  [[nodiscard]] int rec_mii() const;
+  [[nodiscard]] int min_ii(const MachineModel& machine) const;
+
+  // True when a time assignment satisfying every edge exists at `ii`
+  // ignoring resources — i.e. no dependence cycle with positive slack.
+  [[nodiscard]] bool feasible_ii(int ii) const;
+
+ private:
+  void add_edge(std::uint32_t from, std::uint32_t to, int latency, int distance);
+
+  std::size_t n_ = 0;
+  std::vector<std::size_t> n_to_i_;
+  std::vector<ModuloDepEdge> edges_;
+  std::vector<std::vector<std::uint32_t>> out_;
+  std::vector<std::vector<std::uint32_t>> in_;
+};
+
+}  // namespace ilp

@@ -113,6 +113,14 @@ bool parse_compile(const JsonValue& obj, CompileRequest& out, std::string* error
     }
     out.transforms = set;
   }
+  if (const JsonValue* v = obj.find("scheduler")) {
+    const auto k = v->is_string() ? parse_scheduler_kind(v->as_string()) : std::nullopt;
+    if (!k) {
+      *error = "field 'scheduler' must be \"list\" or \"modulo\"";
+      return false;
+    }
+    out.scheduler = *k;
+  }
   std::int64_t issue = out.issue, unroll = out.unroll;
   if (!read_int_field(obj, "issue", issue, error)) return false;
   if (!read_int_field(obj, "unroll", unroll, error)) return false;
@@ -185,6 +193,14 @@ bool parse_batch(const JsonValue& obj, BatchRequest& out, std::string* error) {
       out.widths.push_back(static_cast<int>(w));
     }
   }
+  if (const JsonValue* v = obj.find("scheduler")) {
+    const auto k = v->is_string() ? parse_scheduler_kind(v->as_string()) : std::nullopt;
+    if (!k) {
+      *error = "field 'scheduler' must be \"list\" or \"modulo\"";
+      return false;
+    }
+    out.scheduler = *k;
+  }
   if (!read_int_field(obj, "deadline_ms", out.deadline_ms, error)) return false;
   if (out.deadline_ms < 0) {
     *error = "deadline_ms must be non-negative";
@@ -247,6 +263,7 @@ std::string serialize_compile_response(const std::string& id_json,
       id_json.c_str(), r.cycles, r.base_cycles, r.speedup, r.dynamic_instructions,
       r.static_instructions, r.blocks, r.stall_cycles, r.int_regs, r.fp_regs,
       r.cached ? "true" : "false");
+  out += strformat(", \"scheduler\": \"%s\"", scheduler_kind_name(r.scheduler));
   if (r.have_transforms) {
     const TransformStats& t = r.transforms;
     out += strformat(
@@ -257,6 +274,15 @@ std::string serialize_compile_response(const std::string& id_json,
         t.loops_unrolled, t.regs_renamed, t.accs_expanded, t.inds_expanded,
         t.searches_expanded, t.ops_combined, t.strength_reduced,
         t.trees_rebalanced, t.ir_insts_before, t.ir_insts_after);
+    if (r.scheduler == SchedulerKind::Modulo) {
+      const ModuloStats& ms = t.modulo;
+      out += strformat(
+          ", \"modulo\": {\"loops_pipelined\": %d, \"loops_fallback\": %d, "
+          "\"backtracks\": %d, \"min_ii_sum\": %d, \"achieved_ii_sum\": %d, "
+          "\"max_stages\": %d}",
+          ms.loops_pipelined, ms.loops_fallback, ms.backtracks, ms.min_ii_sum,
+          ms.achieved_ii_sum, ms.max_stages);
+    }
   }
   if (!r.request_id.empty())
     out += strformat(", \"request_id\": \"%s\"", json_escape(r.request_id).c_str());

@@ -64,6 +64,7 @@ struct CompileRequest {
   std::string workload;
   OptLevel level = OptLevel::Lev4;
   std::optional<TransformSet> transforms;  // set => custom ablation pipeline
+  SchedulerKind scheduler = SchedulerKind::List;  // "scheduler": "list"|"modulo"
   int issue = 8;
   int unroll = 8;
   std::int64_t deadline_ms = 0;     // 0 => service default
@@ -75,6 +76,7 @@ struct BatchRequest {
   std::vector<std::string> workloads;  // empty => full Table 2 suite
   std::vector<OptLevel> levels;        // empty => all five
   std::vector<int> widths;             // empty => {1, 2, 4, 8}
+  SchedulerKind scheduler = SchedulerKind::List;
   std::int64_t deadline_ms = 0;
 };
 
@@ -106,6 +108,7 @@ struct CompileResponse {
   // from responses decoded out of pre-observability cache entries.
   bool have_transforms = false;
   TransformStats transforms;
+  SchedulerKind scheduler = SchedulerKind::List;  // echoed backend choice
   std::string request_id;  // server-minted; also the trace correlation key
   std::string trace_file;  // non-empty when a request-scoped trace was written
 };

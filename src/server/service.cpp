@@ -69,25 +69,30 @@ std::optional<ErrorKind> parse_error_kind(std::string_view name) {
 }
 
 // Cache payload schema for one served cell.  Versioned like the study cells:
-// an unknown prefix (including pre-observability "ilpd-v1" entries, which
-// lack the transformation counters) decodes as a miss, never as garbage.
+// an unknown prefix (including pre-observability "ilpd-v1"/"ilpd-v2" entries,
+// which lack the scheduler identity and modulo counters) decodes as a miss,
+// never as garbage.
 std::string encode_cell(const Service::CellOutcome& c) {
   if (!c.ok)
-    return strformat("ilpd-v2 err %s %s", error_kind_name(c.err), c.message.c_str());
+    return strformat("ilpd-v3 err %s %s", error_kind_name(c.err), c.message.c_str());
   const CompileResponse& r = c.resp;
   const TransformStats& t = r.transforms;
-  return strformat("ilpd-v2 ok %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
-                   " %d %d %d %d %d %d %d %d %d %d %d %d %zu %zu",
+  return strformat("ilpd-v3 ok %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+                   " %d %d %d %d %d %d %d %d %d %d %d %d %zu %zu"
+                   " %d %d %d %d %d %d %d",
                    r.cycles, r.base_cycles, r.dynamic_instructions, r.stall_cycles,
                    r.static_instructions, r.blocks, r.int_regs, r.fp_regs,
                    t.loops_unrolled, t.regs_renamed, t.accs_expanded,
                    t.inds_expanded, t.searches_expanded, t.ops_combined,
                    t.strength_reduced, t.trees_rebalanced, t.ir_insts_before,
-                   t.ir_insts_after);
+                   t.ir_insts_after, static_cast<int>(r.scheduler),
+                   t.modulo.loops_pipelined, t.modulo.loops_fallback,
+                   t.modulo.backtracks, t.modulo.min_ii_sum,
+                   t.modulo.achieved_ii_sum, t.modulo.max_stages);
 }
 
 bool decode_cell(const std::string& payload, Service::CellOutcome& out) {
-  if (payload.rfind("ilpd-v2 err ", 0) == 0) {
+  if (payload.rfind("ilpd-v3 err ", 0) == 0) {
     const std::string rest = payload.substr(12);
     const std::size_t sp = rest.find(' ');
     if (sp == std::string::npos) return false;
@@ -101,16 +106,22 @@ bool decode_cell(const std::string& payload, Service::CellOutcome& out) {
   Service::CellOutcome c;
   CompileResponse& r = c.resp;
   TransformStats& t = r.transforms;
+  int sched_kind = 0;
   if (std::sscanf(payload.c_str(),
-                  "ilpd-v2 ok %" SCNu64 " %" SCNu64 " %" SCNu64 " %" SCNu64
-                  " %d %d %d %d %d %d %d %d %d %d %d %d %zu %zu",
+                  "ilpd-v3 ok %" SCNu64 " %" SCNu64 " %" SCNu64 " %" SCNu64
+                  " %d %d %d %d %d %d %d %d %d %d %d %d %zu %zu"
+                  " %d %d %d %d %d %d %d",
                   &r.cycles, &r.base_cycles, &r.dynamic_instructions, &r.stall_cycles,
                   &r.static_instructions, &r.blocks, &r.int_regs, &r.fp_regs,
                   &t.loops_unrolled, &t.regs_renamed, &t.accs_expanded,
                   &t.inds_expanded, &t.searches_expanded, &t.ops_combined,
                   &t.strength_reduced, &t.trees_rebalanced, &t.ir_insts_before,
-                  &t.ir_insts_after) != 18)
+                  &t.ir_insts_after, &sched_kind, &t.modulo.loops_pipelined,
+                  &t.modulo.loops_fallback, &t.modulo.backtracks,
+                  &t.modulo.min_ii_sum, &t.modulo.achieved_ii_sum,
+                  &t.modulo.max_stages) != 25)
     return false;
+  r.scheduler = sched_kind == 1 ? SchedulerKind::Modulo : SchedulerKind::List;
   c.ok = true;
   r.have_transforms = true;
   r.speedup = r.cycles == 0 ? 0.0
@@ -122,11 +133,16 @@ bool decode_cell(const std::string& payload, Service::CellOutcome& out) {
 
 // Content hash of one service cell; doubles as the in-flight coalescing key.
 std::uint64_t cell_key(const std::string& source, OptLevel level,
-                       const std::optional<TransformSet>& transforms, int issue,
-                       int unroll, std::int64_t debug_sleep_ms) {
+                       const std::optional<TransformSet>& transforms,
+                       SchedulerKind scheduler, int issue, int unroll,
+                       std::int64_t debug_sleep_ms) {
   engine::HashStream h;
-  h.str("ilpd-cell-v1");
+  h.str("ilpd-cell-v2");
   h.str(source);
+  // Backend identity: a warm cache must never answer a modulo request with a
+  // list-scheduled cell (or with pipelined code from an older scheduler).
+  h.i32(static_cast<int>(scheduler));
+  if (scheduler == SchedulerKind::Modulo) h.i32(kModuloSchedulerVersion);
   h.boolean(transforms.has_value());
   if (transforms) {
     h.boolean(transforms->unroll).boolean(transforms->rename);
@@ -171,7 +187,7 @@ std::uint64_t base_cycles_for(const std::string& source, engine::ResultCache& ca
 // counters land in the response.
 Service::CellOutcome compute_cell(const std::string& source, OptLevel level,
                                   const std::optional<TransformSet>& transforms,
-                                  int issue, int unroll,
+                                  SchedulerKind scheduler, int issue, int unroll,
                                   engine::ResultCache& cache) {
   static obs::Histogram& compile_hist =
       engine::MetricsRegistry::global().histogram("server.phase.compile");
@@ -184,6 +200,7 @@ Service::CellOutcome compute_cell(const std::string& source, OptLevel level,
   const MachineModel m = MachineModel::issue(issue);
   CompileOptions opts;
   opts.unroll.max_factor = unroll;
+  opts.scheduler = scheduler;
 
   TransformStats tstats;
   engine::Stopwatch compile_watch;
@@ -243,6 +260,7 @@ Service::CellOutcome compute_cell(const std::string& source, OptLevel level,
   r.fp_regs = regs.fp_regs;
   r.have_transforms = true;
   r.transforms = tstats;
+  r.scheduler = scheduler;
   r.base_cycles = base_cycles_for(source, cache);
   r.speedup = r.cycles == 0 ? 0.0
                             : static_cast<double>(r.base_cycles) /
@@ -400,8 +418,8 @@ std::string Service::handle_compile(const Request& req,
     source = w->source;
   }
 
-  const std::uint64_t key =
-      cell_key(source, c.level, c.transforms, c.issue, c.unroll, c.debug_sleep_ms);
+  const std::uint64_t key = cell_key(source, c.level, c.transforms, c.scheduler,
+                                     c.issue, c.unroll, c.debug_sleep_ms);
 
   // Warm path: a previously served identical request costs one cache lookup.
   if (auto payload = cache_.lookup(key)) {
@@ -450,8 +468,8 @@ std::string Service::handle_compile(const Request& req,
               out.err = ErrorKind::DeadlineExceeded;
               out.message = "cancelled while queued (deadline exceeded)";
             } else {
-              out = compute_cell(source, c.level, c.transforms, c.issue, c.unroll,
-                                 cache_);
+              out = compute_cell(source, c.level, c.transforms, c.scheduler,
+                                 c.issue, c.unroll, cache_);
               cache_.store(key, encode_cell(out));
               bump(&ServiceCounters::cells_executed);
             }
@@ -587,14 +605,16 @@ std::string Service::handle_batch(const Request& req) {
         slot.level = level;
         slot.width = width;
         engine::Stopwatch queued;
-        futures.push_back(group.submit([this, w, level, width, queued]() -> BatchCell {
+        const SchedulerKind scheduler = req.batch.scheduler;
+        futures.push_back(group.submit([this, w, level, width, scheduler,
+                                        queued]() -> BatchCell {
           queue_wait_hist_.record(queued.nanos());
           BatchCell cell;
           cell.workload = w->name;
           cell.level = level;
           cell.width = width;
           const std::uint64_t key =
-              cell_key(w->source, level, std::nullopt, width, 8, 0);
+              cell_key(w->source, level, std::nullopt, scheduler, width, 8, 0);
           if (auto payload = cache_.lookup(key)) {
             CellOutcome cached;
             if (decode_cell(*payload, cached)) {
@@ -609,8 +629,8 @@ std::string Service::handle_batch(const Request& req) {
             }
             cache_.invalidate(key);
           }
-          CellOutcome out =
-              compute_cell(w->source, level, std::nullopt, width, 8, cache_);
+          CellOutcome out = compute_cell(w->source, level, std::nullopt, scheduler,
+                                         width, 8, cache_);
           cache_.store(key, encode_cell(out));
           bump(&ServiceCounters::cells_executed);
           if (out.ok) {

@@ -2,14 +2,16 @@
 //
 //   ilp_loadgen [--host H] --port P [--connections N] [--duration-s S]
 //               [--corpus N] [--seed-base N] [--issue W] [--out FILE]
-//               [--no-warmup]
+//               [--scheduler list|modulo|both] [--no-warmup]
 //
 // Builds a corpus of randomized fuzz-generator programs (the same
 // distribution the differential tests replay), pre-serializes one compile
-// request per program, optionally runs a warm-up pass so the daemon's result
-// cache is hot, then hammers the server from N connections for S seconds.
-// Reports throughput and p50/p90/p99/max latency, and writes them as JSON to
-// --out (BENCH_3.json in CI).
+// request per program per selected scheduling backend, optionally runs a
+// warm-up pass so the daemon's result cache is hot, then hammers the server
+// from N connections for S seconds.  Reports throughput and p50/p90/p99/max
+// latency — overall AND per backend, since modulo compiles are strictly more
+// work than list compiles and mixing their percentiles would hide both
+// distributions — and writes them as JSON to --out (BENCH_3.json in CI).
 //
 // After the timed phase the daemon's own `stats` verb is queried and its
 // request-latency histogram percentiles are reported next to the
@@ -38,8 +40,17 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+// A corpus entry: the pre-serialized request line, tagged with the backend
+// it targets so latency samples never mix across schedulers.
+struct CorpusRequest {
+  std::string line;
+  int sched = 0;  // index into kSchedulerNames
+};
+
+constexpr const char* kSchedulerNames[] = {"list", "modulo"};
+
 struct WorkerResult {
-  std::vector<std::int64_t> latencies_us;
+  std::vector<std::int64_t> latencies_us[2];  // per backend
   std::uint64_t requests = 0;
   std::uint64_t errors = 0;
   std::string first_error;
@@ -53,12 +64,14 @@ struct Options {
   int corpus = 32;
   std::uint64_t seed_base = 7'000;
   int issue = 8;
+  bool run_list = true;    // --scheduler list|modulo|both
+  bool run_modulo = false;
   std::string out;
   bool warmup = true;
 };
 
 // One closed-loop connection: send, wait for the reply, repeat.
-void run_worker(const Options& opt, const std::vector<std::string>& requests,
+void run_worker(const Options& opt, const std::vector<CorpusRequest>& requests,
                 Clock::time_point deadline, int worker_id, WorkerResult* out) {
   ilp::server::LineClient client;
   if (!client.connect(opt.host, opt.port)) {
@@ -68,10 +81,10 @@ void run_worker(const Options& opt, const std::vector<std::string>& requests,
   }
   std::size_t next = static_cast<std::size_t>(worker_id);  // stagger the corpus walk
   while (Clock::now() < deadline) {
-    const std::string& line = requests[next % requests.size()];
+    const CorpusRequest& req = requests[next % requests.size()];
     ++next;
     const auto t0 = Clock::now();
-    if (!client.send_line(line)) {
+    if (!client.send_line(req.line)) {
       ++out->errors;
       if (out->first_error.empty()) out->first_error = "send failed";
       return;
@@ -84,7 +97,7 @@ void run_worker(const Options& opt, const std::vector<std::string>& requests,
       return;
     }
     ++out->requests;
-    out->latencies_us.push_back(
+    out->latencies_us[req.sched].push_back(
         std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count());
     std::string err;
     const auto parsed = ilp::server::JsonValue::parse(*reply, &err);
@@ -140,7 +153,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--host H] --port P [--connections N] [--duration-s S]\n"
                "          [--corpus N] [--seed-base N] [--issue W] [--out FILE]\n"
-               "          [--no-warmup]\n",
+               "          [--scheduler list|modulo|both] [--no-warmup]\n",
                argv0);
   return 2;
 }
@@ -163,6 +176,15 @@ int main(int argc, char** argv) {
     else if (arg == "--seed-base" && (v = next()))
       opt.seed_base = static_cast<std::uint64_t>(std::atoll(v));
     else if (arg == "--issue" && (v = next())) opt.issue = std::atoi(v);
+    else if (arg == "--scheduler" && (v = next())) {
+      const std::string k = v;
+      opt.run_list = k == "list" || k == "both";
+      opt.run_modulo = k == "modulo" || k == "both";
+      if (!opt.run_list && !opt.run_modulo) {
+        std::fprintf(stderr, "bad --scheduler '%s'\n", v);
+        return usage(argv[0]);
+      }
+    }
     else if (arg == "--out" && (v = next())) opt.out = v;
     else if (arg == "--no-warmup") opt.warmup = false;
     else {
@@ -174,14 +196,23 @@ int main(int argc, char** argv) {
       opt.corpus <= 0)
     return usage(argv[0]);
 
-  // Pre-serialize one compile request per corpus program; id = corpus index.
-  std::vector<std::string> requests;
-  requests.reserve(static_cast<std::size_t>(opt.corpus));
+  // Pre-serialize one compile request per (corpus program, backend);
+  // id = corpus index.  Interleaving backends per program keeps each worker's
+  // closed-loop walk mixed, while the per-request `sched` tag keeps the
+  // latency accounting separate.
+  std::vector<CorpusRequest> requests;
+  requests.reserve(static_cast<std::size_t>(opt.corpus) * 2);
   for (int c = 0; c < opt.corpus; ++c) {
     const std::string src = ilp::testing::random_program(opt.seed_base + c);
-    requests.push_back(ilp::strformat(
-        R"({"id":%d,"kind":"compile","source":"%s","level":"lev4","issue":%d})", c,
-        ilp::json_escape(src).c_str(), opt.issue));
+    for (int sched = 0; sched < 2; ++sched) {
+      if ((sched == 0 && !opt.run_list) || (sched == 1 && !opt.run_modulo)) continue;
+      requests.push_back(CorpusRequest{
+          ilp::strformat(R"({"id":%d,"kind":"compile","source":"%s","level":"lev4",)"
+                         R"("issue":%d,"scheduler":"%s"})",
+                         c, ilp::json_escape(src).c_str(), opt.issue,
+                         kSchedulerNames[sched]),
+          sched});
+    }
   }
 
   // Warm-up: one sequential pass so every corpus cell lands in the daemon's
@@ -193,8 +224,8 @@ int main(int argc, char** argv) {
                    opt.host.c_str(), opt.port);
       return 1;
     }
-    for (const std::string& line : requests) {
-      if (!warm.send_line(line) || !warm.recv_line(120'000)) {
+    for (const CorpusRequest& req : requests) {
+      if (!warm.send_line(req.line) || !warm.recv_line(120'000)) {
         std::fprintf(stderr, "ilp_loadgen: warmup request failed\n");
         return 1;
       }
@@ -214,15 +245,22 @@ int main(int argc, char** argv) {
       std::chrono::duration<double>(Clock::now() - start).count();
 
   std::vector<std::int64_t> all;
+  std::vector<std::int64_t> by_sched[2];
   std::uint64_t total = 0, errors = 0;
   std::string first_error;
   for (const WorkerResult& r : results) {
     total += r.requests;
     errors += r.errors;
     if (first_error.empty()) first_error = r.first_error;
-    all.insert(all.end(), r.latencies_us.begin(), r.latencies_us.end());
+    for (int sched = 0; sched < 2; ++sched) {
+      all.insert(all.end(), r.latencies_us[sched].begin(), r.latencies_us[sched].end());
+      by_sched[sched].insert(by_sched[sched].end(), r.latencies_us[sched].begin(),
+                             r.latencies_us[sched].end());
+    }
   }
   std::sort(all.begin(), all.end());
+  std::sort(by_sched[0].begin(), by_sched[0].end());
+  std::sort(by_sched[1].begin(), by_sched[1].end());
   const double rps = elapsed_s > 0 ? static_cast<double>(total) / elapsed_s : 0.0;
   const std::int64_t p50 = percentile(all, 0.50);
   const std::int64_t p90 = percentile(all, 0.90);
@@ -240,6 +278,24 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(errors), rps, static_cast<long long>(p50),
       static_cast<long long>(p90), static_cast<long long>(p99),
       static_cast<long long>(mx));
+  // Per-backend percentiles: present only for the backends that ran, so
+  // downstream tooling never mistakes an empty bucket for a fast one.
+  {
+    std::string sect;
+    for (int sched = 0; sched < 2; ++sched) {
+      if (by_sched[sched].empty()) continue;
+      sect += ilp::strformat(
+          "%s\"%s\":{\"requests\":%llu,\"p50\":%lld,\"p90\":%lld,"
+          "\"p99\":%lld,\"max\":%lld}",
+          sect.empty() ? "" : ",", kSchedulerNames[sched],
+          static_cast<unsigned long long>(by_sched[sched].size()),
+          static_cast<long long>(percentile(by_sched[sched], 0.50)),
+          static_cast<long long>(percentile(by_sched[sched], 0.90)),
+          static_cast<long long>(percentile(by_sched[sched], 0.99)),
+          static_cast<long long>(by_sched[sched].back()));
+    }
+    if (!sect.empty()) report += ",\"by_scheduler\":{" + sect + "}";
+  }
   if (server.ok)
     report += ilp::strformat(
         ",\"server_latency_us\":{\"count\":%llu,\"p50\":%.1f,\"p90\":%.1f,"

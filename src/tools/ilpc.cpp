@@ -49,19 +49,22 @@ void usage() {
   std::fprintf(stderr,
                "usage: ilpc [--level conv|lev1|lev2|lev3|lev4] [--issue N] "
                "[--unroll N]\n"
-               "            [--emit-ir] [--emit-ir-before] [--no-sim] [--classify]\n"
+               "            [--scheduler list|modulo] [--emit-ir] [--emit-ir-before]\n"
+               "            [--no-sim] [--classify]\n"
                "            (<source.ilp> | --workload <name> | --list-workloads)\n"
-               "       ilpc --study [--jobs N | --seq] [--json PATH] "
-               "[--cache-dir DIR]\n"
-               "            [--metrics PATH] [--trace PATH]\n");
+               "       ilpc --study [--scheduler list|modulo] [--jobs N | --seq] "
+               "[--json PATH]\n"
+               "            [--cache-dir DIR] [--metrics PATH] [--trace PATH]\n");
 }
 
 // Runs the full Table 2 study through the experiment engine.
-int run_study_mode(int jobs, const std::string& json_path, const std::string& cache_dir,
-                   const std::string& metrics_path, const std::string& trace_path) {
+int run_study_mode(ilp::SchedulerKind scheduler, int jobs, const std::string& json_path,
+                   const std::string& cache_dir, const std::string& metrics_path,
+                   const std::string& trace_path) {
   using namespace ilp;
   if (!trace_path.empty()) engine::TraceRecorder::global().enable();
   StudyOptions opts;
+  opts.compile.scheduler = scheduler;
   opts.jobs = jobs;
   opts.cache_dir = cache_dir;
   const StudyResult s = run_study(opts);
@@ -117,6 +120,7 @@ int main(int argc, char** argv) {
   using namespace ilp;
 
   OptLevel level = OptLevel::Lev4;
+  SchedulerKind scheduler = SchedulerKind::List;
   int issue = 8;
   int unroll = 8;
   bool emit_ir = false;
@@ -148,6 +152,13 @@ int main(int argc, char** argv) {
         return 1;
       }
       level = *l;
+    } else if (a == "--scheduler") {
+      const auto k = parse_scheduler_kind(next());
+      if (!k) {
+        usage();
+        return 1;
+      }
+      scheduler = *k;
     } else if (a == "--issue") {
       issue = std::atoi(next());
       if (issue < 1) {
@@ -203,7 +214,8 @@ int main(int argc, char** argv) {
   }
 
   if (study_mode)
-    return run_study_mode(jobs, json_path, cache_dir, metrics_path, trace_path);
+    return run_study_mode(scheduler, jobs, json_path, cache_dir, metrics_path,
+                          trace_path);
 
   // Load the source text.
   std::string source;
@@ -253,14 +265,15 @@ int main(int argc, char** argv) {
   const MachineModel machine = MachineModel::issue(issue);
   CompileOptions opts;
   opts.unroll.max_factor = unroll;
+  opts.scheduler = scheduler;
   compile_at_level(compiled->fn, level, machine, opts);
 
   if (emit_ir) std::printf("%s\n", to_string(compiled->fn).c_str());
 
   const RegUsage regs = measure_register_usage(compiled->fn);
-  std::printf("level=%s issue=%d instructions=%zu registers=%d(int)+%d(fp)\n",
-              level_name(level), issue, compiled->fn.num_insts(), regs.int_regs,
-              regs.fp_regs);
+  std::printf("level=%s scheduler=%s issue=%d instructions=%zu registers=%d(int)+%d(fp)\n",
+              level_name(level), scheduler_kind_name(scheduler), issue,
+              compiled->fn.num_insts(), regs.int_regs, regs.fp_regs);
 
   if (do_sim) {
     const RunOutcome run = run_seeded(compiled->fn, machine);

@@ -97,6 +97,12 @@ void compile_with_transforms(Function& fn, const TransformSet& set,
     timed_pass("pass.treeheight", fn, "after tree height reduction",
                [&] { s.trees_rebalanced = tree_height_reduction(fn, {}, ctx); });
   timed_pass("pass.cleanup", fn, "after cleanup", [&] { run_cleanup(fn, ctx); });
+  // The modulo backend pipelines eligible loops into prologue/kernel/epilogue
+  // form; the list scheduler below then packs every block (including the new
+  // kernels), so both backends share one final scheduling pass.
+  if (opts.schedule && opts.scheduler == SchedulerKind::Modulo)
+    timed_pass("pass.modulo", fn, "after modulo pipelining",
+               [&] { s.modulo = modulo_pipeline_function(fn, machine, opts.modulo); });
   if (opts.schedule)
     s.schedule_ns = timed_pass("pass.schedule", fn, "after scheduling",
                                [&] { schedule_function(fn, machine, ctx); });
@@ -125,6 +131,24 @@ void compile_with_transforms(Function& fn, const TransformSet& set,
   if (s.trees_rebalanced > 0)
     reg.add_count("trans.trees_rebalanced",
                   static_cast<std::uint64_t>(s.trees_rebalanced));
+  // Modulo scheduling backend counters (satellite of the scheduler work):
+  // achieved vs. minimum II, search effort, and the fallback rate.
+  if (s.modulo.loops_pipelined > 0) {
+    reg.add_count("sched.modulo.loops_pipelined",
+                  static_cast<std::uint64_t>(s.modulo.loops_pipelined));
+    reg.add_count("sched.modulo.achieved_ii_sum",
+                  static_cast<std::uint64_t>(s.modulo.achieved_ii_sum));
+    reg.add_count("sched.modulo.min_ii_sum",
+                  static_cast<std::uint64_t>(s.modulo.min_ii_sum));
+    reg.record_max("sched.modulo.max_stages",
+                   static_cast<std::uint64_t>(s.modulo.max_stages));
+  }
+  if (s.modulo.loops_fallback > 0)
+    reg.add_count("sched.modulo.loops_fallback",
+                  static_cast<std::uint64_t>(s.modulo.loops_fallback));
+  if (s.modulo.backtracks > 0)
+    reg.add_count("sched.modulo.backtracks",
+                  static_cast<std::uint64_t>(s.modulo.backtracks));
   const char* label = set_label(set);
   reg.add_count(engine::MetricsRegistry::intern_name(
                     std::string("trans.ir_insts_before.") + label),

@@ -18,6 +18,7 @@
 
 #include "ir/function.hpp"
 #include "machine/machine.hpp"
+#include "sched/modulo/modulo.hpp"
 #include "support/compile_ctx.hpp"
 #include "trans/unroll.hpp"
 
@@ -39,6 +40,11 @@ inline const char* level_name(OptLevel l) {
 struct CompileOptions {
   UnrollOptions unroll;
   bool schedule = true;  // superblock-schedule at the end
+  // Scheduling backend.  Modulo software-pipelines eligible counted loops
+  // (sched/modulo/) before the final list-scheduling pass; List is the
+  // default and the only backend exercised on the allocation-free warm path.
+  SchedulerKind scheduler = SchedulerKind::List;
+  ModuloOptions modulo;
 };
 
 // Applies the full pipeline for `level`, scheduling for `machine`.
@@ -77,6 +83,8 @@ struct TransformStats {
   std::size_t ir_insts_before = 0;  // after conventional opts, before ILP passes
   std::size_t ir_insts_after = 0;   // after cleanup + scheduling
   std::uint64_t schedule_ns = 0;    // wall time of the scheduling pass
+  // Modulo backend results (all zero under SchedulerKind::List).
+  ModuloStats modulo;
 
   [[nodiscard]] int total_applied() const {
     return loops_unrolled + regs_renamed + accs_expanded + inds_expanded +

@@ -9,7 +9,7 @@
 #include "analysis/liveness.hpp"
 #include "analysis/loops.hpp"
 #include "sched/scheduler.hpp"
-#include "trans/tripcount.hpp"
+#include "analysis/tripcount.hpp"
 #include "support/assert.hpp"
 
 namespace ilp {

@@ -7,7 +7,7 @@
 #include "analysis/liveness.hpp"
 #include "analysis/loops.hpp"
 #include "ir/builder.hpp"
-#include "trans/tripcount.hpp"
+#include "analysis/tripcount.hpp"
 #include "support/assert.hpp"
 
 namespace ilp {

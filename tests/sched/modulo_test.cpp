@@ -1,0 +1,209 @@
+// Unit tests for the modulo scheduling backend: MinII analysis on the
+// paper's Figure 1 loop, IMS schedule legality (dependences + reservation
+// table), codegen structure, fallback discipline on tiny trip counts, and
+// the SchedulerKind plumbing (parsing + cache-key separation).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/cfg.hpp"
+#include "analysis/dominators.hpp"
+#include "analysis/loops.hpp"
+#include "common/fixtures.hpp"
+#include "harness/experiment.hpp"
+#include "sched/modulo/ims.hpp"
+#include "sched/modulo/mdg.hpp"
+#include "sched/modulo/modulo.hpp"
+#include "sim/simulator.hpp"
+#include "workloads/suite.hpp"
+
+namespace ilp {
+namespace {
+
+using testing::make_fig1_loop;
+using testing::make_fig3_loop;
+
+// Finds the unique simple loop of a single-loop fixture function.
+SimpleLoop only_loop(const Function& fn) {
+  const Cfg cfg(fn);
+  const Dominators dom(cfg);
+  const auto loops = find_simple_loops(cfg, dom);
+  EXPECT_EQ(loops.size(), 1u);
+  return loops.front();
+}
+
+TEST(ModuloMinII, Fig1RecurrenceIsTheAddressRegisterCycle) {
+  const Function fn = make_fig1_loop(64);
+  const MachineModel m = MachineModel::issue(4);
+  const ModuloDepGraph g(fn, only_loop(fn), m);
+  ASSERT_EQ(g.num_nodes(), 5u);  // 2 loads, fadd, store, iv update
+  // Without renaming the shared address register r1, the whole body chain is
+  // a recurrence: fld ->(flow, lat_load 2) fadd ->(flow, lat_fp 3) fst
+  // ->(anti, 0) iaddi ->(carried flow, lat_int 1) next iteration's fld.
+  // RecMII = 2 + 3 + 0 + 1 = 6 — exactly the paper's point that renaming
+  // (Lev2/Lev4), not scheduling, is what unlocks overlap here.
+  EXPECT_EQ(g.rec_mii(), m.lat_load + m.lat_fp_alu + m.lat_int_alu);
+  // 5 body ops + countdown ISUB + branch = 7 issue slots per II at width 4.
+  EXPECT_EQ(g.res_mii(m), 2);
+  EXPECT_EQ(g.min_ii(m), 6);
+  // Width 1 flips the binding constraint to issue bandwidth.
+  EXPECT_EQ(g.res_mii(MachineModel::issue(1)), 7);
+  EXPECT_EQ(g.min_ii(MachineModel::issue(1)), 7);
+}
+
+TEST(ModuloMinII, Fig3AccumulatorRecurrenceBinds) {
+  const Function fn = make_fig3_loop(64);
+  const MachineModel m = MachineModel::issue(8);
+  const ModuloDepGraph g(fn, only_loop(fn), m);
+  // r1f += ... is a distance-1 flow self-recurrence through the fp add.
+  EXPECT_GE(g.rec_mii(), m.lat_fp_alu);
+  EXPECT_EQ(g.min_ii(m), g.rec_mii());
+}
+
+TEST(ModuloIms, SchedulesAreLegalAtTheirII) {
+  for (const int width : {1, 2, 4, 8}) {
+    const Function fn = make_fig1_loop(64);
+    const MachineModel m = MachineModel::issue(width);
+    const ModuloDepGraph g(fn, only_loop(fn), m);
+    const ModuloOptions opts;
+    const int min_ii = g.min_ii(m);
+    const auto sched = ims_schedule(g, m, opts, min_ii, min_ii + opts.max_ii_over_min);
+    ASSERT_TRUE(sched.has_value()) << "width " << width;
+    EXPECT_GE(sched->ii, min_ii);
+    // Every dependence edge holds at the achieved II.
+    for (const ModuloDepEdge& e : g.edges()) {
+      EXPECT_GE(sched->time[e.to],
+                sched->time[e.from] + e.latency - sched->ii * e.distance)
+          << "width " << width << " edge " << e.from << "->" << e.to;
+    }
+    // Modulo reservation table: at most issue_width ops per row.
+    std::vector<int> rows(static_cast<std::size_t>(sched->ii), 0);
+    for (const int t : sched->time)
+      ++rows[static_cast<std::size_t>(t % sched->ii)];
+    for (const int r : rows) EXPECT_LE(r, m.issue_width) << "width " << width;
+    EXPECT_LE(sched->num_stages, opts.max_stages);
+  }
+}
+
+TEST(ModuloIms, AchievesMinIIOnBothFigures) {
+  for (const bool fig3 : {false, true}) {
+    const Function fn = fig3 ? make_fig3_loop(64) : make_fig1_loop(64);
+    const MachineModel m = MachineModel::issue(4);
+    const ModuloDepGraph g(fn, only_loop(fn), m);
+    const ModuloOptions opts;
+    const auto sched = ims_schedule(g, m, opts, g.min_ii(m), g.min_ii(m) + 16);
+    ASSERT_TRUE(sched.has_value()) << "fig3=" << fig3;
+    EXPECT_EQ(sched->ii, g.min_ii(m)) << "fig3=" << fig3;  // MinII is achievable
+  }
+}
+
+// Fig1's address-register recurrence (RecMII 6 ~= the body's list makespan)
+// makes pipelining unprofitable there; Fig3's accumulator loop (RecMII 3,
+// makespan ~8) is the shape modulo scheduling exists for.
+TEST(ModuloPipeline, RewritesFig3IntoProKernelEpi) {
+  Function fn = make_fig3_loop(64);
+  const Function original = fn;
+  const MachineModel m = MachineModel::issue(4);
+  const ModuloStats stats = modulo_pipeline_function(fn, m);
+  ASSERT_EQ(stats.loops_pipelined, 1);
+  EXPECT_GE(stats.achieved_ii_sum, stats.min_ii_sum);
+  EXPECT_GE(stats.max_stages, 2);
+
+  std::set<std::string> names;
+  for (const Block& b : fn.blocks()) names.insert(b.name);
+  EXPECT_TRUE(names.count("L1.pro"));
+  EXPECT_TRUE(names.count("L1.mod"));
+  EXPECT_TRUE(names.count("L1.epi"));
+  EXPECT_TRUE(names.count("L1"));  // fallback body kept behind the guard
+
+  const RunOutcome want = run_seeded(original, m);
+  const RunOutcome got = run_seeded(fn, m);
+  ASSERT_TRUE(want.result.ok);
+  ASSERT_TRUE(got.result.ok) << got.result.error;
+  EXPECT_EQ(compare_observable(original, want, got), "");
+  EXPECT_LT(got.result.cycles, want.result.cycles);  // pipelining must pay off
+}
+
+// Zero-overlap trip counts: the guard must route T < stages executions to
+// the untouched original body, and a pipelined T == stages execution runs
+// the kernel exactly once.  Observable state must match in every case.
+TEST(ModuloPipeline, TinyTripCountsFallBackCleanly) {
+  for (const std::int64_t n : {1, 2, 3, 4, 5}) {
+    Function fn = make_fig3_loop(n);
+    const Function original = fn;
+    const MachineModel m = MachineModel::issue(4);
+    modulo_pipeline_function(fn, m);
+    const RunOutcome want = run_seeded(original, m);
+    const RunOutcome got = run_seeded(fn, m);
+    ASSERT_TRUE(want.result.ok) << "n=" << n;
+    ASSERT_TRUE(got.result.ok) << "n=" << n << ": " << got.result.error;
+    EXPECT_EQ(compare_observable(original, want, got), "") << "n=" << n;
+  }
+}
+
+// The emitted kernel is itself a simple counted loop (countdown + BGT); the
+// driver's re-derive loop must not pipeline its own output.  If it did,
+// we'd see loops_pipelined > 1, extra blocks, or nested ".mod.mod" names.
+TEST(ModuloPipeline, DriverDoesNotRepipelineItsOwnKernel) {
+  Function fn = make_fig3_loop(64);
+  const std::size_t blocks_before = fn.num_blocks();
+  const MachineModel m = MachineModel::issue(4);
+  const ModuloStats stats = modulo_pipeline_function(fn, m);
+  ASSERT_EQ(stats.loops_pipelined, 1);
+  EXPECT_EQ(fn.num_blocks(), blocks_before + 3);  // .pro/.mod/.epi only
+  for (const Block& b : fn.blocks())
+    EXPECT_EQ(b.name.find(".mod.mod"), std::string::npos) << b.name;
+}
+
+TEST(ModuloAnalyze, ReportsMatchPipelineDecisions) {
+  const MachineModel m = MachineModel::issue(4);
+  {
+    const Function fn = make_fig1_loop(64);
+    const auto reports = analyze_modulo_loops(fn, m);
+    ASSERT_EQ(reports.size(), 1u);
+    const ModuloLoopReport& r = reports.front();
+    EXPECT_TRUE(r.eligible);
+    EXPECT_EQ(r.body_insts, 5);
+    EXPECT_EQ(r.min_ii, 6);  // address-register recurrence
+    EXPECT_EQ(r.achieved_ii, 6);
+  }
+  {
+    const Function fn = make_fig3_loop(64);
+    const auto reports = analyze_modulo_loops(fn, m);
+    ASSERT_EQ(reports.size(), 1u);
+    const ModuloLoopReport& r = reports.front();
+    EXPECT_TRUE(r.eligible);
+    EXPECT_EQ(r.body_insts, 6);
+    EXPECT_EQ(r.min_ii, 3);  // accumulator recurrence: lat_fp_alu
+    EXPECT_EQ(r.achieved_ii, 3);
+    EXPECT_GT(r.list_makespan, r.achieved_ii);  // why pipelining is profitable
+  }
+}
+
+TEST(ModuloKind, ParseAndName) {
+  EXPECT_EQ(parse_scheduler_kind("list"), SchedulerKind::List);
+  EXPECT_EQ(parse_scheduler_kind("modulo"), SchedulerKind::Modulo);
+  EXPECT_FALSE(parse_scheduler_kind("swing").has_value());
+  EXPECT_STREQ(scheduler_kind_name(SchedulerKind::List), "list");
+  EXPECT_STREQ(scheduler_kind_name(SchedulerKind::Modulo), "modulo");
+}
+
+// Engine cache separation: the same cell under different backends (or a
+// different modulo scheduler version) must hash differently, so warm caches
+// can never serve one backend's results to the other.
+TEST(ModuloKind, StudyCellKeySeparatesBackends) {
+  const Workload& w = workload_suite().front();
+  const MachineModel m = MachineModel::issue(4);
+  CompileOptions list_opts;
+  CompileOptions modulo_opts;
+  modulo_opts.scheduler = SchedulerKind::Modulo;
+  const std::uint64_t a = study_cell_key(w, OptLevel::Lev4, m, list_opts);
+  const std::uint64_t b = study_cell_key(w, OptLevel::Lev4, m, modulo_opts);
+  EXPECT_NE(a, b);
+  CompileOptions deeper = modulo_opts;
+  deeper.modulo.max_stages = 4;
+  EXPECT_NE(study_cell_key(w, OptLevel::Lev4, m, deeper), b);
+}
+
+}  // namespace
+}  // namespace ilp
