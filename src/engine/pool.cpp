@@ -7,32 +7,55 @@ namespace ilp::engine {
 
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  local_.resize(threads);
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool() { shutdown(); }
 
-void ThreadPool::enqueue(std::function<void()> job) {
+void ThreadPool::enqueue(int worker, std::function<void()> job) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stop_) throw std::runtime_error("ThreadPool::submit after shutdown");
-    queue_.push_back(std::move(job));
-    peak_depth_ = std::max(peak_depth_, queue_.size());
+    std::size_t depth = queue_.size();
+    if (worker == kAnyWorker) {
+      queue_.push_back(std::move(job));
+      ++depth;
+    } else {
+      local_[static_cast<std::size_t>(worker)].push_back(std::move(job));
+    }
+    for (const auto& q : local_) depth += q.size();
+    peak_depth_ = std::max(peak_depth_, depth);
   }
-  work_cv_.notify_one();
+  // A pinned job can only run on its owner, so every waiter must re-check
+  // its own predicate — notify_one could wake the wrong worker and lose the
+  // wakeup.  The shared queue is claimable by anyone; one waker suffices.
+  if (worker == kAnyWorker)
+    work_cv_.notify_one();
+  else
+    work_cv_.notify_all();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(unsigned index) {
+  std::deque<std::function<void()>>& mine = local_[index];
   for (;;) {
     std::function<void()> job;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ set and drained
-      job = std::move(queue_.front());
-      queue_.pop_front();
+      work_cv_.wait(lock, [this, &mine] {
+        return stop_ || !queue_.empty() || !mine.empty();
+      });
+      if (queue_.empty() && mine.empty()) return;  // stop_ set and drained
+      // Local (pinned) work first: it was routed here for cache affinity.
+      if (!mine.empty()) {
+        job = std::move(mine.front());
+        mine.pop_front();
+      } else {
+        job = std::move(queue_.front());
+        queue_.pop_front();
+      }
       ++active_;
     }
     job();  // packaged_task: exceptions land in the future, not here
@@ -40,14 +63,21 @@ void ThreadPool::worker_loop() {
       std::lock_guard<std::mutex> lock(mu_);
       --active_;
       ++executed_;
-      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+      if (active_ == 0 && queue_.empty() &&
+          std::all_of(local_.begin(), local_.end(),
+                      [](const auto& q) { return q.empty(); }))
+        idle_cv_.notify_all();
     }
   }
 }
 
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  idle_cv_.wait(lock, [this] {
+    return active_ == 0 && queue_.empty() &&
+           std::all_of(local_.begin(), local_.end(),
+                       [](const auto& q) { return q.empty(); });
+  });
 }
 
 void ThreadPool::shutdown() {
@@ -74,7 +104,9 @@ std::size_t ThreadPool::peak_queue_depth() const {
 
 std::size_t ThreadPool::queue_depth() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+  std::size_t depth = queue_.size();
+  for (const auto& q : local_) depth += q.size();
+  return depth;
 }
 
 std::size_t ThreadPool::active_jobs() const {

@@ -51,7 +51,23 @@ class ThreadPool {
     using R = std::invoke_result_t<std::decay_t<F>>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
-    enqueue([task]() { (*task)(); });
+    enqueue(kAnyWorker, [task]() { (*task)(); });
+    return fut;
+  }
+
+  // Shard-aware submission: the job lands on worker `worker % size()`'s
+  // local queue and is executed by that worker only.  Jobs keyed by the
+  // same shard therefore share one thread's caches (the sharded service
+  // pins each cell to the worker owning its cache partition).  Ordering
+  // between a worker's local queue and the shared queue is unspecified;
+  // pinned jobs never migrate.
+  template <typename F>
+  auto submit_pinned(unsigned worker, F&& f)
+      -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    enqueue(static_cast<int>(worker % size()), [task]() { (*task)(); });
     return fut;
   }
 
@@ -69,13 +85,15 @@ class ThreadPool {
   [[nodiscard]] std::size_t active_jobs() const;
 
  private:
-  void enqueue(std::function<void()> job);
-  void worker_loop();
+  static constexpr int kAnyWorker = -1;
+  void enqueue(int worker, std::function<void()> job);
+  void worker_loop(unsigned index);
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   // workers wait for jobs / stop
   std::condition_variable idle_cv_;   // wait_idle waits for quiescence
   std::deque<std::function<void()>> queue_;
+  std::vector<std::deque<std::function<void()>>> local_;  // per-worker pinned jobs
   std::vector<std::thread> workers_;
   std::size_t active_ = 0;            // jobs currently executing
   std::size_t executed_ = 0;
@@ -109,22 +127,15 @@ class JobGroup {
 
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
-    {
-      std::lock_guard<std::mutex> lock(state_->mu);
-      ++state_->outstanding;
-    }
-    auto st = state_;
-    return pool_.submit([st, g = std::forward<F>(f)]() mutable {
-      Settle settle(st);
-      if (st->cancelled.load(std::memory_order_acquire)) {
-        {
-          std::lock_guard<std::mutex> lock(st->mu);
-          ++st->cancelled_jobs;
-        }
-        throw JobCancelled();
-      }
-      return g();
-    });
+    return pool_.submit(wrap(std::forward<F>(f)));
+  }
+
+  // Pinned member: same cancellation semantics, but the job runs on pool
+  // worker `worker % size()` only (ThreadPool::submit_pinned).
+  template <typename F>
+  auto submit_pinned(unsigned worker, F&& f)
+      -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    return pool_.submit_pinned(worker, wrap(std::forward<F>(f)));
   }
 
   // Marks the group: members not yet started settle with JobCancelled.
@@ -146,6 +157,28 @@ class JobGroup {
   }
 
  private:
+  // Registers one outstanding member and returns the start-gated wrapper the
+  // pool actually runs (shared by submit and submit_pinned).
+  template <typename F>
+  auto wrap(F&& f) {
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      ++state_->outstanding;
+    }
+    auto st = state_;
+    return [st, g = std::forward<F>(f)]() mutable {
+      Settle settle(st);
+      if (st->cancelled.load(std::memory_order_acquire)) {
+        {
+          std::lock_guard<std::mutex> lock(st->mu);
+          ++st->cancelled_jobs;
+        }
+        throw JobCancelled();
+      }
+      return g();
+    };
+  }
+
   struct State {
     std::atomic<bool> cancelled{false};
     mutable std::mutex mu;

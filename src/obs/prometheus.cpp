@@ -65,6 +65,54 @@ void append_gauge(std::string& out, std::string_view name, double value,
   out += '\n';
 }
 
+namespace {
+
+void append_sample_head(std::string& out, std::string_view name,
+                        std::string_view label, std::string_view label_value) {
+  out += sanitize_name(name);
+  out += '{';
+  out += sanitize_name(label);
+  out += "=\"";
+  for (const char c : label_value) {
+    if (c == '\\' || c == '"') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  out += "\"} ";
+}
+
+}  // namespace
+
+void begin_counter_family(std::string& out, std::string_view name,
+                          std::string_view help) {
+  append_help_and_type(out, sanitize_name(name), help, "counter");
+}
+
+void begin_gauge_family(std::string& out, std::string_view name,
+                        std::string_view help) {
+  append_help_and_type(out, sanitize_name(name), help, "gauge");
+}
+
+void append_counter_sample(std::string& out, std::string_view name,
+                           std::string_view label, std::string_view label_value,
+                           std::uint64_t value) {
+  append_sample_head(out, name, label, label_value);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64 "\n", value);
+  out += buf;
+}
+
+void append_gauge_sample(std::string& out, std::string_view name,
+                         std::string_view label, std::string_view label_value,
+                         double value) {
+  append_sample_head(out, name, label, label_value);
+  append_double(out, value);
+  out += '\n';
+}
+
 void append_histogram(std::string& out, std::string_view name,
                       const Histogram::Snapshot& snap, double scale,
                       std::string_view help) {

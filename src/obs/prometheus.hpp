@@ -34,4 +34,23 @@ void append_histogram(std::string& out, std::string_view name,
                       const Histogram::Snapshot& snap, double scale = 1.0,
                       std::string_view help = {});
 
+// Labeled families (one series per label value — the per-shard gauges).
+// Declare the family once with begin_*_family, then append every sample:
+//
+//   begin_gauge_family(out, "server.shard_queue_depth", "...");
+//   for (i : shards) append_gauge_sample(out, "server.shard_queue_depth",
+//                                        "shard", std::to_string(i), depth[i]);
+//
+// Label values are escaped per the exposition rules (backslash, quote, \n).
+void begin_counter_family(std::string& out, std::string_view name,
+                          std::string_view help = {});
+void begin_gauge_family(std::string& out, std::string_view name,
+                        std::string_view help = {});
+void append_counter_sample(std::string& out, std::string_view name,
+                           std::string_view label, std::string_view label_value,
+                           std::uint64_t value);
+void append_gauge_sample(std::string& out, std::string_view name,
+                         std::string_view label, std::string_view label_value,
+                         double value);
+
 }  // namespace ilp::obs::prom

@@ -65,6 +65,12 @@ class LineClient {
   bool send_line(const std::string& line) {
     std::string framed = line;
     framed += '\n';
+    return send_raw(framed);
+  }
+
+  // Sends bytes exactly as given (no framing) — for pipelining several
+  // already-framed lines in one write.
+  bool send_raw(const std::string& framed) {
     const char* p = framed.data();
     std::size_t n = framed.size();
     while (n > 0) {

@@ -252,18 +252,18 @@ std::optional<Request> parse_request(const std::string& line, std::string* error
   return req;
 }
 
-std::string serialize_compile_response(const std::string& id_json,
-                                       const CompileResponse& r) {
-  std::string out = strformat(
-      "{\"id\": %s, \"ok\": true, \"kind\": \"compile\", \"cycles\": %" PRIu64
+CompileBody serialize_compile_body(const CompileResponse& r) {
+  CompileBody body;
+  body.pre = strformat(
+      ", \"ok\": true, \"kind\": \"compile\", \"cycles\": %" PRIu64
       ", \"base_cycles\": %" PRIu64 ", \"speedup\": %.6f, "
       "\"dynamic_instructions\": %" PRIu64 ", \"static_instructions\": %d, "
       "\"schedule\": {\"blocks\": %d, \"stall_cycles\": %" PRIu64 "}, "
-      "\"registers\": {\"int\": %d, \"fp\": %d}, \"cached\": %s",
-      id_json.c_str(), r.cycles, r.base_cycles, r.speedup, r.dynamic_instructions,
-      r.static_instructions, r.blocks, r.stall_cycles, r.int_regs, r.fp_regs,
-      r.cached ? "true" : "false");
-  out += strformat(", \"scheduler\": \"%s\"", scheduler_kind_name(r.scheduler));
+      "\"registers\": {\"int\": %d, \"fp\": %d}, \"cached\": ",
+      r.cycles, r.base_cycles, r.speedup, r.dynamic_instructions,
+      r.static_instructions, r.blocks, r.stall_cycles, r.int_regs, r.fp_regs);
+  std::string& out = body.post;
+  out = strformat(", \"scheduler\": \"%s\"", scheduler_kind_name(r.scheduler));
   if (r.have_transforms) {
     const TransformStats& t = r.transforms;
     out += strformat(
@@ -284,12 +284,33 @@ std::string serialize_compile_response(const std::string& id_json,
           ms.achieved_ii_sum, ms.max_stages);
     }
   }
-  if (!r.request_id.empty())
-    out += strformat(", \"request_id\": \"%s\"", json_escape(r.request_id).c_str());
-  if (!r.trace_file.empty())
-    out += strformat(", \"trace_file\": \"%s\"", json_escape(r.trace_file).c_str());
+  return body;
+}
+
+std::string assemble_compile_response(const std::string& id_json,
+                                      const CompileBody& body, bool cached,
+                                      const std::string& request_id,
+                                      const std::string& trace_file) {
+  std::string out;
+  out.reserve(8 + id_json.size() + body.pre.size() + body.post.size() +
+              request_id.size() + trace_file.size() + 40);
+  out += "{\"id\": ";
+  out += id_json;
+  out += body.pre;
+  out += cached ? "true" : "false";
+  out += body.post;
+  if (!request_id.empty())
+    out += strformat(", \"request_id\": \"%s\"", json_escape(request_id).c_str());
+  if (!trace_file.empty())
+    out += strformat(", \"trace_file\": \"%s\"", json_escape(trace_file).c_str());
   out += "}";
   return out;
+}
+
+std::string serialize_compile_response(const std::string& id_json,
+                                       const CompileResponse& r) {
+  return assemble_compile_response(id_json, serialize_compile_body(r), r.cached,
+                                   r.request_id, r.trace_file);
 }
 
 std::string serialize_batch_response(const std::string& id_json,

@@ -36,6 +36,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -125,6 +126,51 @@ struct BatchCell {
 
 std::string serialize_compile_response(const std::string& id_json,
                                        const CompileResponse& r);
+
+// --- Zero-copy response segments -------------------------------------------
+//
+// A compile response differs between two replies for the same cell only in
+// the echoed client id, the `cached` flag and the server-minted request id.
+// Everything else is split into two immutable segments that the service
+// caches per cell and the epoll transport emits with writev — no per-reply
+// serialization, no per-reply copy of the (largest) measured part:
+//
+//   {"id": <id_json><pre><true|false><post>, "request_id": "r-N"}\n
+//
+// assemble_compile_response() glues the same pieces into one string; by
+// construction it produces exactly the bytes serialize_compile_response
+// yields for the equivalent CompileResponse (the golden transport-equivalence
+// test in tests/server/ holds the two paths together).
+struct CompileBody {
+  std::string pre;   // `, "ok": true, ... "cached": ` — follows the echoed id
+  std::string post;  // `, "scheduler": ...` — transforms/modulo tail, pre-`}`
+};
+
+// Serializes the id-independent segments of `r` (ignores r.cached,
+// r.request_id and r.trace_file — those are per-reply).
+CompileBody serialize_compile_body(const CompileResponse& r);
+
+std::string assemble_compile_response(const std::string& id_json,
+                                      const CompileBody& body, bool cached,
+                                      const std::string& request_id,
+                                      const std::string& trace_file);
+
+// One response, ready for the wire.  Either `flat` holds the whole line
+// (stats, errors, traced requests, batch), or `body` is set and the line is
+// assembled from shared segments at write time.
+struct Reply {
+  std::string flat;                         // used when body == nullptr
+  std::shared_ptr<const CompileBody> body;  // zero-copy compile form
+  std::string id_json;
+  bool cached = false;
+  std::string request_id;
+
+  [[nodiscard]] std::string to_line() const {
+    return body == nullptr ? flat
+                           : assemble_compile_response(id_json, *body, cached,
+                                                       request_id, {});
+  }
+};
 std::string serialize_batch_response(const std::string& id_json,
                                      const std::vector<BatchCell>& cells,
                                      double elapsed_ms);

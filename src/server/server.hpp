@@ -1,39 +1,71 @@
-// POSIX TCP front end for the service: newline-delimited JSON over
-// thread-per-connection sockets, with signal-safe graceful drain.
+// Shard-per-core TCP front end for the service: newline-delimited JSON over
+// a non-blocking epoll event loop, lock-free dispatch rings, and zero-copy
+// writev responses.
 //
-// Lifecycle:
+// Threading model (one of each per Server):
 //
-//   Server srv(service, cfg);
-//   srv.start();                 // bound + listening; port() is now real
-//   ... srv.request_stop() ...   // from a signal handler or another thread
-//   srv.wait();                  // accepted requests answered, sockets closed
+//   IO thread ──► per-shard MPSC dispatch rings ──► shard workers
+//       ▲                                               │
+//       └────────── completion MPSC ring ◄──────────────┘
 //
-// Drain contract (the SIGTERM story): request_stop() writes one byte to a
-// self-pipe — the only async-signal-safe operation involved.  The accept
-// loop wakes, closes the listening socket (new connections are refused by
-// the kernel from that instant), flips the service into drain mode, and the
-// connection threads finish every request whose full line had been received,
-// answer any further lines on live connections with `shutting_down`, then
-// close.  wait() returns only after the service reports zero in-flight
-// cells, so no admitted work is ever dropped.
+//   * The IO thread owns every socket.  It accepts, does edge-triggered
+//     non-blocking reads with per-connection buffering (partial NDJSON lines
+//     simply wait for the next readable event), parses each complete line
+//     once (Service::parse_and_route) and pushes it onto the dispatch ring
+//     of the shard that owns the request's content hash.  Identical requests
+//     therefore always reach the same shard worker — cache hits and
+//     coalescing are shard-local, with no cross-core locks on the hot path.
+//   * Each shard worker drains its ring in FIFO order and executes requests
+//     inline (Service::serve_parsed), then pushes the reply onto the shared
+//     completion ring.  Rings are bounded and cache-line padded
+//     (support/mpsc_ring.hpp); a full dispatch ring answers `overloaded`
+//     immediately instead of blocking the IO thread, counted in the
+//     server.shard_ring_drops gauge.
+//   * The IO thread sequences replies per connection (pipelined requests may
+//     complete out of order across shards; responses are emitted strictly in
+//     request order) and writes them with writev straight from the service's
+//     pre-serialized response segments — a warm hit is never flattened into
+//     a per-reply string.
+//   * Wakeups are eventfd-based and gated: a producer only issues the write
+//     syscall when the consumer has announced it is parked, so a pipelined
+//     burst costs one wakeup, not one per line.  Every park also has a
+//     poll_interval_ms timeout as a lost-wakeup backstop.
+//
+// Drain contract (the SIGTERM story): request_stop() writes one byte to an
+// eventfd — the only async-signal-safe operation involved.  The IO thread
+// wakes, closes the listening socket (new connections are refused by the
+// kernel from that instant), flips the service into drain mode, and stops
+// reading.  Every complete line received before that instant is still
+// dispatched and answered (possibly with `shutting_down` if the service
+// refused it); partial lines are abandoned.  Connections close once their
+// last reply is flushed, idle connections close immediately, and wait()
+// returns only after the service reports zero in-flight cells — no admitted
+// work is ever dropped.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
+#include <memory>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "server/service.hpp"
+#include "support/mpsc_ring.hpp"
 
 namespace ilp::server {
 
 struct ServerConfig {
   std::string host = "127.0.0.1";
   int port = 0;  // 0 = kernel-assigned ephemeral port (see Server::port())
-  // Idle poll granularity for connection threads; bounds drain latency.
+  // Lost-wakeup backstop for every parked thread (epoll_wait timeout, worker
+  // ring poll); also bounds drain latency.
   int poll_interval_ms = 50;
+  // Per-shard dispatch ring capacity (rounded up to a power of two).  A full
+  // ring is explicit backpressure: the line is answered `overloaded` without
+  // ever blocking the IO thread.
+  std::size_t ring_capacity = 1024;
 };
 
 class Server {
@@ -44,36 +76,86 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  // Binds, listens and spawns the accept thread.  Returns false (with a
-  // message in error()) if the address cannot be bound.
+  // Binds, listens, spawns the IO thread and one worker per service shard.
+  // Returns false (with a message in error()) if the address cannot be bound.
   bool start();
   [[nodiscard]] int port() const { return port_; }
   [[nodiscard]] const std::string& error() const { return error_; }
 
-  // Async-signal-safe shutdown trigger (writes to the self-pipe).
+  // Async-signal-safe shutdown trigger (writes to the stop eventfd).
   void request_stop();
   // Blocks until the drain completes: listener closed, every accepted
-  // request answered, all connection threads joined.
+  // request answered and flushed, workers joined, service drained.
   void wait();
   [[nodiscard]] bool stopping() const {
     return stopping_.load(std::memory_order_acquire);
   }
 
  private:
-  void accept_loop();
-  void connection_loop(int fd);
+  // One request in flight between the IO thread and a shard worker.
+  struct Dispatch {
+    std::uint64_t conn_id = 0;
+    std::uint64_t seq = 0;  // per-connection arrival number
+    Service::ParsedRequest parsed;
+    std::uint64_t enqueued_ns = 0;  // Stopwatch origin for ring wait
+  };
+  struct Completion {
+    std::uint64_t conn_id = 0;
+    std::uint64_t seq = 0;
+    Reply reply;
+  };
+  // A shard's dispatch lane.  Padded: the ring cursors inside already are,
+  // this keeps the per-lane flags of neighbours apart too.
+  struct alignas(64) Lane {
+    explicit Lane(std::size_t capacity) : ring(capacity) {}
+    MpscRing<Dispatch> ring;
+    int efd = -1;                     // worker parks here
+    std::atomic<bool> parked{false};  // gate for the producer-side wakeup
+    std::atomic<std::uint64_t> drops{0};       // ring-full rejections
+    std::atomic<std::uint64_t> dispatched{0};  // lines routed to this lane
+    std::thread thread;
+  };
+  struct Conn;
+
+  void io_loop();
+  void worker_loop(std::size_t shard);
+  void begin_drain_locked_io();
+  void accept_ready();
+  void read_ready(Conn& c);
+  void dispatch_lines(Conn& c);
+  void drain_completions();
+  void on_reply(Conn& c, std::uint64_t seq, Reply r);
+  bool flush_conn(Conn& c);  // false => connection must be closed
+  void close_conn(Conn& c);
+  void maybe_finish_conn(Conn& c);
+  void wake_lane(Lane& lane);
+  void wake_io();
+  void append_transport_metrics(std::string& out) const;
 
   Service& service_;
   ServerConfig cfg_;
   int listen_fd_ = -1;
-  int wake_pipe_[2] = {-1, -1};  // [0] read end (polled), [1] signal-safe write end
+  int epoll_fd_ = -1;
+  int stop_efd_ = -1;  // request_stop() -> IO thread
+  int done_efd_ = -1;  // shard workers -> IO thread (completions pending)
   int port_ = 0;
   std::string error_;
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> workers_stop_{false};
+  std::atomic<int> workers_live_{0};
+  std::atomic<bool> io_parked_{false};
 
-  std::thread accept_thread_;
-  std::mutex conn_mu_;
-  std::vector<std::thread> connections_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::unique_ptr<MpscRing<Completion>> completions_;
+
+  // IO-thread-only state.
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+  // Conn ids share the epoll tag space with the listener (0), the stop
+  // eventfd (1) and the completion eventfd (2), so they start above those.
+  std::uint64_t next_conn_id_ = 3;
+  std::vector<std::uint64_t> dead_conns_;  // deferred erase within one event batch
+
+  std::thread io_thread_;
 };
 
 }  // namespace ilp::server

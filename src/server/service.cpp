@@ -32,7 +32,10 @@ struct Service::CellOutcome {
 
 struct Service::Inflight {
   std::shared_future<CellOutcome> future;
-  std::shared_ptr<engine::JobGroup> group;  // cancellation hook for the cell
+  // Cancellation hook for pool-executed cells; null when the cell runs
+  // inline on a shard worker (an inline cell has started by definition, and
+  // running cells are never interrupted).
+  std::shared_ptr<engine::JobGroup> group;
   std::atomic<int> waiters{1};
 };
 
@@ -131,7 +134,8 @@ bool decode_cell(const std::string& payload, Service::CellOutcome& out) {
   return true;
 }
 
-// Content hash of one service cell; doubles as the in-flight coalescing key.
+// Content hash of one service cell; doubles as the in-flight coalescing key
+// and (mixed) as the shard-routing key.
 std::uint64_t cell_key(const std::string& source, OptLevel level,
                        const std::optional<TransformSet>& transforms,
                        SchedulerKind scheduler, int issue, int unroll,
@@ -157,13 +161,24 @@ std::uint64_t cell_key(const std::string& source, OptLevel level,
   return h.digest();
 }
 
+// Deadline-aware sleep used by debug_sleep_ms: wakes early on cancellation
+// so drains and deadline tests settle promptly.
+void interruptible_sleep(std::int64_t ms, const engine::JobGroup& group) {
+  const auto until = Clock::now() + std::chrono::milliseconds(ms);
+  while (Clock::now() < until && !group.cancel_requested())
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+}
+
+}  // namespace
+
 // Conv @ issue-1 cycles of `source` — the paper's speedup baseline.  Cached
 // under its own key: every level/width of the same source shares one entry.
-std::uint64_t base_cycles_for(const std::string& source, engine::ResultCache& cache) {
+std::uint64_t Service::base_cycles_for(const std::string& source) {
   engine::HashStream h;
   h.str("ilpd-base-v1");
   h.str(source);
   const std::uint64_t key = h.digest();
+  engine::ResultCache& cache = cache_for(key);
   if (auto payload = cache.lookup(key)) {
     std::uint64_t cycles = 0;
     if (std::sscanf(payload->c_str(), "%" SCNu64, &cycles) == 1) return cycles;
@@ -185,10 +200,10 @@ std::uint64_t base_cycles_for(const std::string& source, engine::ResultCache& ca
 // Compile + simulate one cell (no cache, no accounting — callers own both).
 // Phase wall times land in the server.phase.* histograms; the transformation
 // counters land in the response.
-Service::CellOutcome compute_cell(const std::string& source, OptLevel level,
-                                  const std::optional<TransformSet>& transforms,
-                                  SchedulerKind scheduler, int issue, int unroll,
-                                  engine::ResultCache& cache) {
+Service::CellOutcome Service::compute_cell(
+    const std::string& source, OptLevel level,
+    const std::optional<TransformSet>& transforms, SchedulerKind scheduler,
+    int issue, int unroll) {
   static obs::Histogram& compile_hist =
       engine::MetricsRegistry::global().histogram("server.phase.compile");
   static obs::Histogram& schedule_hist =
@@ -261,26 +276,15 @@ Service::CellOutcome compute_cell(const std::string& source, OptLevel level,
   r.have_transforms = true;
   r.transforms = tstats;
   r.scheduler = scheduler;
-  r.base_cycles = base_cycles_for(source, cache);
+  r.base_cycles = base_cycles_for(source);
   r.speedup = r.cycles == 0 ? 0.0
                             : static_cast<double>(r.base_cycles) /
                                   static_cast<double>(r.cycles);
   return out;
 }
 
-// Deadline-aware sleep used by debug_sleep_ms: wakes early on cancellation
-// so drains and deadline tests settle promptly.
-void interruptible_sleep(std::int64_t ms, const engine::JobGroup& group) {
-  const auto until = Clock::now() + std::chrono::milliseconds(ms);
-  while (Clock::now() < until && !group.cancel_requested())
-    std::this_thread::sleep_for(std::chrono::milliseconds(2));
-}
-
-}  // namespace
-
 Service::Service(ServiceConfig cfg)
     : cfg_(std::move(cfg)),
-      cache_(cfg_.cache_dir),
       latency_hist_(
           engine::MetricsRegistry::global().histogram("server.request_latency")),
       queue_wait_hist_(
@@ -289,9 +293,20 @@ Service::Service(ServiceConfig cfg)
   if (workers_ <= 0) workers_ = static_cast<int>(std::thread::hardware_concurrency());
   if (workers_ < 1) workers_ = 1;
   capacity_ = static_cast<std::size_t>(workers_) + cfg_.queue_limit;
+  shards_.reserve(static_cast<std::size_t>(workers_));
+  for (int i = 0; i < workers_; ++i) {
+    auto sh = std::make_unique<Shard>();
+    // Shards partition the memory tier; the disk tier is one directory
+    // shared by all of them (keys are globally unique, so partitions never
+    // collide on a file, and a restart with a different worker count still
+    // finds every entry).
+    sh->cache = std::make_unique<engine::ResultCache>(cfg_.cache_dir);
+    shards_.push_back(std::move(sh));
+  }
   pool_ = std::make_unique<engine::ThreadPool>(static_cast<unsigned>(workers_));
   obs::log_info("service started",
                 {obs::field("workers", workers_), obs::field("capacity", capacity_),
+                 obs::field("shards", static_cast<int>(shards_.size())),
                  obs::field("cache_dir", cfg_.cache_dir),
                  obs::field("trace_dir", cfg_.trace_dir)});
 }
@@ -299,6 +314,19 @@ Service::Service(ServiceConfig cfg)
 Service::~Service() {
   // Jobs capture `this`; drain them while every member is still alive.
   pool_->shutdown();
+}
+
+std::size_t Service::shard_index(std::uint64_t key) const {
+  // Fibonacci-mix the digest so structured keys still spread evenly.
+  return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >> 32) %
+         shards_.size();
+}
+
+void Service::hot_insert(Shard& sh, std::uint64_t key,
+                         std::shared_ptr<const CompileBody> body) {
+  if (cfg_.hot_entries_per_shard == 0) return;
+  if (sh.hot.size() >= cfg_.hot_entries_per_shard) sh.hot.clear();
+  sh.hot[key] = std::move(body);
 }
 
 void Service::begin_drain() {
@@ -310,38 +338,157 @@ void Service::begin_drain() {
 bool Service::draining() const { return draining_.load(std::memory_order_acquire); }
 
 void Service::wait_drained() {
-  std::unique_lock<std::mutex> lock(mu_);
-  drained_cv_.wait(lock, [this] { return inflight_cells_ == 0; });
-}
-
-std::size_t Service::inflight_cells() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return inflight_cells_;
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drained_cv_.wait(lock, [this] {
+    return inflight_cells_.load(std::memory_order_acquire) == 0;
+  });
 }
 
 ServiceCounters Service::counters() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return counters_;
+  auto get = [this](Counter c) {
+    return counters_[c].load(std::memory_order_relaxed);
+  };
+  ServiceCounters c;
+  c.received = get(kReceived);
+  c.ok = get(kOk);
+  c.bad_request = get(kBadRequest);
+  c.overloaded = get(kOverloaded);
+  c.shutting_down = get(kShuttingDown);
+  c.deadline_exceeded = get(kDeadlineExceeded);
+  c.compile_errors = get(kCompileErrors);
+  c.internal_errors = get(kInternalErrors);
+  c.coalesced = get(kCoalesced);
+  c.cells_executed = get(kCellsExecuted);
+  c.hot_hits = get(kHotHits);
+  return c;
 }
 
-void Service::bump(std::uint64_t ServiceCounters::* field) {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  ++(counters_.*field);
+engine::CacheStats Service::cache_stats() const {
+  engine::CacheStats total;
+  for (const auto& sh : shards_) {
+    const engine::CacheStats s = sh->cache->stats();
+    total.hits += s.hits;
+    total.disk_hits += s.disk_hits;
+    total.misses += s.misses;
+    total.invalid += s.invalid;
+    total.stores += s.stores;
+  }
+  return total;
+}
+
+bool Service::try_admit(std::size_t n) {
+  std::size_t cur = inflight_cells_.load(std::memory_order_relaxed);
+  while (cur + n <= capacity_)
+    if (inflight_cells_.compare_exchange_weak(cur, cur + n,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_relaxed))
+      return true;
+  return false;
 }
 
 void Service::settle_cells(std::size_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
-  inflight_cells_ -= n;
-  if (inflight_cells_ == 0) drained_cv_.notify_all();
+  if (inflight_cells_.fetch_sub(n, std::memory_order_acq_rel) == n) {
+    // Notify under the drain lock so a waiter between its predicate check
+    // and its sleep cannot miss the wakeup.
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    drained_cv_.notify_all();
+  }
+}
+
+Service::ParsedRequest Service::parse_and_route(const std::string& line) const {
+  ParsedRequest p;
+  std::string error;
+  p.req = parse_request(line, &error);
+  if (!p.req) {
+    p.parse_error = std::move(error);
+    return p;
+  }
+  if (p.req->kind != RequestKind::Compile) return p;
+  const CompileRequest& c = p.req->compile;
+  if (!c.workload.empty()) {
+    const Workload* w = find_workload(c.workload);
+    if (w == nullptr) return p;  // source stays empty: bad_request downstream
+    p.source = w->source;
+  } else {
+    p.source = c.source;
+  }
+  p.cell_key = cell_key(p.source, c.level, c.transforms, c.scheduler, c.issue,
+                        c.unroll, c.debug_sleep_ms);
+  p.has_key = true;
+  p.shard = shard_index(p.cell_key);
+  return p;
+}
+
+Reply Service::serve(const std::string& line, std::uint64_t queued_ns) {
+  return serve_parsed(parse_and_route(line), queued_ns);
+}
+
+Reply Service::serve_parsed(ParsedRequest p, std::uint64_t queued_ns) {
+  auto flat = [](std::string s) {
+    Reply r;
+    r.flat = std::move(s);
+    return r;
+  };
+  bump(kReceived);
+  if (!p.req) {
+    bump(kBadRequest);
+    obs::Logger::global().warn_rate_limited(
+        "bad_request", "request rejected: malformed line",
+        {obs::field("error", p.parse_error)});
+    return flat(serialize_error("null", ErrorKind::BadRequest, p.parse_error));
+  }
+  const Request& req = *p.req;
+  switch (req.kind) {
+    case RequestKind::Stats: {
+      bump(kOk);
+      return flat(serialize_stats_response(req.id_json, stats_json()));
+    }
+    case RequestKind::Metrics: {
+      bump(kOk);
+      return flat(serialize_metrics_response(req.id_json, metrics_exposition()));
+    }
+    case RequestKind::Compile:
+    case RequestKind::Batch: {
+      if (draining()) {
+        bump(kShuttingDown);
+        return flat(serialize_error(req.id_json, ErrorKind::ShuttingDown,
+                                    "drain in progress; no new work accepted"));
+      }
+      const bool traced = req.kind == RequestKind::Compile &&
+                          req.compile.trace && !cfg_.trace_dir.empty();
+      auto ro = std::make_shared<RequestObs>(
+          strformat("r-%" PRIu64,
+                    request_seq_.fetch_add(1, std::memory_order_relaxed) + 1),
+          traced);
+      if (req.compile.trace && !traced && req.kind == RequestKind::Compile)
+        obs::Logger::global().warn_rate_limited(
+            "trace_untraceable", "trace requested but no --trace-dir configured");
+      obs::RequestScope scope(&ro->ctx);
+      obs::log_debug(req.kind == RequestKind::Compile ? "compile request"
+                                                      : "batch request");
+      Reply r;
+      if (req.kind == RequestKind::Batch)
+        r.flat = handle_batch(req);
+      else if (traced)
+        r.flat = handle_compile(req, ro);  // traces need the pool-span path
+      else
+        r = handle_compile_direct(p, ro, queued_ns);
+      latency_hist_.record(ro->wall.nanos());
+      return r;
+    }
+  }
+  bump(kInternalErrors);
+  return flat(
+      serialize_error(req.id_json, ErrorKind::Internal, "unhandled request kind"));
 }
 
 std::string Service::handle_line(const std::string& line) {
-  bump(&ServiceCounters::received);
+  bump(kReceived);
 
   std::string error;
   const auto req = parse_request(line, &error);
   if (!req) {
-    bump(&ServiceCounters::bad_request);
+    bump(kBadRequest);
     obs::Logger::global().warn_rate_limited(
         "bad_request", "request rejected: malformed line",
         {obs::field("error", error)});
@@ -350,17 +497,17 @@ std::string Service::handle_line(const std::string& line) {
 
   switch (req->kind) {
     case RequestKind::Stats: {
-      bump(&ServiceCounters::ok);
+      bump(kOk);
       return serialize_stats_response(req->id_json, stats_json());
     }
     case RequestKind::Metrics: {
-      bump(&ServiceCounters::ok);
+      bump(kOk);
       return serialize_metrics_response(req->id_json, metrics_exposition());
     }
     case RequestKind::Compile:
     case RequestKind::Batch: {
       if (draining()) {
-        bump(&ServiceCounters::shutting_down);
+        bump(kShuttingDown);
         return serialize_error(req->id_json, ErrorKind::ShuttingDown,
                                "drain in progress; no new work accepted");
       }
@@ -386,7 +533,7 @@ std::string Service::handle_line(const std::string& line) {
       return response;
     }
   }
-  bump(&ServiceCounters::internal_errors);
+  bump(kInternalErrors);
   return serialize_error(req->id_json, ErrorKind::Internal, "unhandled request kind");
 }
 
@@ -395,11 +542,10 @@ std::string Service::handle_compile(const Request& req,
   auto respond = [&](CellOutcome out) {
     out.resp.request_id = ro->id;
     if (out.ok) {
-      bump(&ServiceCounters::ok);
+      bump(kOk);
       return serialize_compile_response(req.id_json, out.resp);
     }
-    bump(out.err == ErrorKind::Internal ? &ServiceCounters::internal_errors
-                                        : &ServiceCounters::compile_errors);
+    bump(out.err == ErrorKind::Internal ? kInternalErrors : kCompileErrors);
     obs::log_debug("compile request failed",
                    {obs::field("kind", error_kind_name(out.err)),
                     obs::field("message", out.message)});
@@ -411,7 +557,7 @@ std::string Service::handle_compile(const Request& req,
   if (!c.workload.empty()) {
     const Workload* w = find_workload(c.workload);
     if (w == nullptr) {
-      bump(&ServiceCounters::bad_request);
+      bump(kBadRequest);
       return serialize_error(req.id_json, ErrorKind::BadRequest,
                              strformat("unknown workload '%s'", c.workload.c_str()));
     }
@@ -420,32 +566,33 @@ std::string Service::handle_compile(const Request& req,
 
   const std::uint64_t key = cell_key(source, c.level, c.transforms, c.scheduler,
                                      c.issue, c.unroll, c.debug_sleep_ms);
+  Shard& sh = shard_for(key);
 
   // Warm path: a previously served identical request costs one cache lookup.
-  if (auto payload = cache_.lookup(key)) {
+  if (auto payload = sh.cache->lookup(key)) {
     CellOutcome out;
     if (decode_cell(*payload, out)) {
       out.resp.cached = true;
       return respond(std::move(out));
     }
-    cache_.invalidate(key);
+    sh.cache->invalidate(key);
   }
 
   // Join an identical in-flight request, or admit a new cell.  Admission and
-  // publication are atomic so duplicates can never slip past the map.
+  // publication are atomic per shard, so duplicates can never slip past the
+  // map; the cell-count bound itself is a lock-free global counter.
   std::shared_ptr<Inflight> entry;
   bool joined = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = inflight_.find(key);
-    if (it != inflight_.end()) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    auto it = sh.inflight.find(key);
+    if (it != sh.inflight.end()) {
       entry = it->second;
       entry->waiters.fetch_add(1, std::memory_order_relaxed);
       joined = true;
-    } else if (inflight_cells_ < capacity_) {
+    } else if (try_admit(1)) {
       // Bounded queue: an admission that would exceed `workers + queue_limit`
       // cells leaves `entry` null and is rejected outside the lock.
-      ++inflight_cells_;
       entry = std::make_shared<Inflight>();
       entry->group = std::make_shared<engine::JobGroup>(*pool_);
       auto group = entry->group;
@@ -469,23 +616,24 @@ std::string Service::handle_compile(const Request& req,
               out.message = "cancelled while queued (deadline exceeded)";
             } else {
               out = compute_cell(source, c.level, c.transforms, c.scheduler,
-                                 c.issue, c.unroll, cache_);
-              cache_.store(key, encode_cell(out));
-              bump(&ServiceCounters::cells_executed);
+                                 c.issue, c.unroll);
+              Shard& osh = shard_for(key);
+              osh.cache->store(key, encode_cell(out));
+              bump(kCellsExecuted);
             }
             {
-              std::lock_guard<std::mutex> mlock(mu_);
-              inflight_.erase(key);
-              if (--inflight_cells_ == 0) drained_cv_.notify_all();
+              std::lock_guard<std::mutex> mlock(shard_for(key).mu);
+              shard_for(key).inflight.erase(key);
             }
+            settle_cells(1);
             return out;
           }).share();
-      inflight_.emplace(key, entry);
+      sh.inflight.emplace(key, entry);
     }
   }
 
   if (entry == nullptr) {
-    bump(&ServiceCounters::overloaded);
+    bump(kOverloaded);
     obs::Logger::global().warn_rate_limited(
         "overloaded", "request rejected: admission queue full",
         {obs::field("capacity", capacity_)});
@@ -494,7 +642,7 @@ std::string Service::handle_compile(const Request& req,
         strformat("admission queue full (%zu cells in flight, capacity %zu)",
                   inflight_cells(), capacity_));
   }
-  if (joined) bump(&ServiceCounters::coalesced);
+  if (joined) bump(kCoalesced);
 
   const std::int64_t deadline_ms =
       c.deadline_ms > 0 ? c.deadline_ms : cfg_.default_deadline_ms;
@@ -504,9 +652,11 @@ std::string Service::handle_compile(const Request& req,
           std::future_status::timeout) {
     // Last waiter out cancels the job; if it has not started it settles as
     // cancelled, if it is running it finishes into the cache for next time.
-    if (entry->waiters.fetch_sub(1, std::memory_order_acq_rel) == 1)
+    // (Inline-executed cells have no group — they are running by definition.)
+    if (entry->waiters.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+        entry->group != nullptr)
       entry->group->cancel();
-    bump(&ServiceCounters::deadline_exceeded);
+    bump(kDeadlineExceeded);
     obs::log_debug("deadline exceeded while waiting",
                    {obs::field("deadline_ms", deadline_ms)});
     return serialize_error(req.id_json, ErrorKind::DeadlineExceeded,
@@ -516,7 +666,7 @@ std::string Service::handle_compile(const Request& req,
   entry->waiters.fetch_sub(1, std::memory_order_acq_rel);
   CellOutcome out = fut.get();
   if (!out.ok && out.err == ErrorKind::DeadlineExceeded)
-    bump(&ServiceCounters::deadline_exceeded);
+    bump(kDeadlineExceeded);
 
   // The trace belongs to the request that admitted the cell; joiners shared
   // the future but not the spans.  The request span is recorded explicitly
@@ -541,6 +691,194 @@ std::string Service::handle_compile(const Request& req,
   return respond(std::move(out));
 }
 
+Reply Service::handle_compile_direct(const ParsedRequest& p,
+                                     const std::shared_ptr<RequestObs>& ro,
+                                     std::uint64_t queued_ns) {
+  const Request& req = *p.req;
+  const CompileRequest& c = req.compile;
+  auto flat = [](std::string s) {
+    Reply r;
+    r.flat = std::move(s);
+    return r;
+  };
+  // Error/bookkeeping twin of the pool path's respond(): same counters, same
+  // bytes (serialize_error for failures, segment assembly for successes).
+  auto respond_error = [&](const CellOutcome& out) {
+    bump(out.err == ErrorKind::Internal ? kInternalErrors : kCompileErrors);
+    obs::log_debug("compile request failed",
+                   {obs::field("kind", error_kind_name(out.err)),
+                    obs::field("message", out.message)});
+    return flat(serialize_error(req.id_json, out.err, out.message));
+  };
+  auto segment_reply = [&](std::shared_ptr<const CompileBody> body, bool cached) {
+    bump(kOk);
+    Reply r;
+    r.body = std::move(body);
+    r.id_json = req.id_json;
+    r.cached = cached;
+    r.request_id = ro->id;
+    return r;
+  };
+
+  if (!c.workload.empty() && p.source.empty()) {
+    bump(kBadRequest);
+    return flat(serialize_error(
+        req.id_json, ErrorKind::BadRequest,
+        strformat("unknown workload '%s'", c.workload.c_str())));
+  }
+  const std::uint64_t key = p.cell_key;
+  Shard& sh = *shards_[p.shard];
+  queue_wait_hist_.record(queued_ns);
+
+  // Hot tier: the response segments for this cell were already built — the
+  // reply is three pointer copies, serialized (or writev'd) at write time.
+  {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    auto it = sh.hot.find(key);
+    if (it != sh.hot.end()) {
+      bump(kHotHits);
+      return segment_reply(it->second, /*cached=*/true);
+    }
+  }
+
+  // Result-cache tier (memory partition, then shared disk).  A decoded hit
+  // is pre-serialized once and promoted into the hot tier.
+  if (auto payload = sh.cache->lookup(key)) {
+    CellOutcome out;
+    if (decode_cell(*payload, out)) {
+      if (out.ok) {
+        auto body =
+            std::make_shared<const CompileBody>(serialize_compile_body(out.resp));
+        {
+          std::lock_guard<std::mutex> lock(sh.mu);
+          hot_insert(sh, key, body);
+        }
+        return segment_reply(std::move(body), /*cached=*/true);
+      }
+      return respond_error(out);
+    }
+    sh.cache->invalidate(key);
+  }
+
+  const std::int64_t deadline_ms =
+      c.deadline_ms > 0 ? c.deadline_ms : cfg_.default_deadline_ms;
+  const std::int64_t queued_ms = static_cast<std::int64_t>(queued_ns / 1'000'000);
+  auto deadline_reply = [&]() {
+    bump(kDeadlineExceeded);
+    obs::log_debug("deadline exceeded while waiting",
+                   {obs::field("deadline_ms", deadline_ms)});
+    return flat(serialize_error(req.id_json, ErrorKind::DeadlineExceeded,
+                                strformat("deadline of %lld ms exceeded",
+                                          static_cast<long long>(deadline_ms))));
+  };
+  // The dispatch ring is this path's admission queue: a line whose ring wait
+  // already consumed its whole deadline is cancelled-while-queued, before it
+  // can occupy an admission slot.
+  if (deadline_ms > 0 && queued_ms >= deadline_ms) return deadline_reply();
+
+  // Join an identical in-flight cell (it can only be executing on another
+  // shard worker or a pool thread — identical keys on THIS shard's ring are
+  // processed serially), or admit and execute inline.
+  std::shared_ptr<Inflight> entry;
+  std::promise<CellOutcome> settle_promise;
+  bool executor = false;
+  {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    auto it = sh.inflight.find(key);
+    if (it != sh.inflight.end()) {
+      entry = it->second;
+      entry->waiters.fetch_add(1, std::memory_order_relaxed);
+    } else if (try_admit(1)) {
+      entry = std::make_shared<Inflight>();
+      entry->future = settle_promise.get_future().share();
+      sh.inflight.emplace(key, entry);
+      executor = true;
+    }
+  }
+  if (entry == nullptr) {
+    bump(kOverloaded);
+    obs::Logger::global().warn_rate_limited(
+        "overloaded", "request rejected: admission queue full",
+        {obs::field("capacity", capacity_)});
+    return flat(serialize_error(
+        req.id_json, ErrorKind::Overloaded,
+        strformat("admission queue full (%zu cells in flight, capacity %zu)",
+                  inflight_cells(), capacity_)));
+  }
+
+  if (!executor) {
+    bump(kCoalesced);
+    std::shared_future<CellOutcome> fut = entry->future;
+    if (deadline_ms > 0 &&
+        fut.wait_for(std::chrono::milliseconds(deadline_ms - queued_ms)) ==
+            std::future_status::timeout) {
+      if (entry->waiters.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+          entry->group != nullptr)
+        entry->group->cancel();
+      return deadline_reply();
+    }
+    entry->waiters.fetch_sub(1, std::memory_order_acq_rel);
+    CellOutcome out = fut.get();
+    if (!out.ok && out.err == ErrorKind::DeadlineExceeded)
+      bump(kDeadlineExceeded);
+    out.resp.request_id = ro->id;
+    if (out.ok) {
+      bump(kOk);
+      return flat(serialize_compile_response(req.id_json, out.resp));
+    }
+    return respond_error(out);
+  }
+
+  // Executor: the cell runs here, on the shard worker that owns its state.
+  CellOutcome out;
+  bool deadline_hit = false;
+  obs::SpanScope span("job", "engine");
+  if (c.debug_sleep_ms > 0) {
+    // debug_sleep stands in for long compute; honor the remaining deadline
+    // budget the way a queued pool job honors cancellation.
+    const auto sleep_end = Clock::now() + std::chrono::milliseconds(c.debug_sleep_ms);
+    const auto deadline_end =
+        Clock::now() + std::chrono::milliseconds(deadline_ms - queued_ms);
+    while (Clock::now() < sleep_end) {
+      if (deadline_ms > 0 && Clock::now() >= deadline_end) {
+        deadline_hit = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  std::shared_ptr<const CompileBody> body;
+  if (deadline_hit) {
+    out.ok = false;
+    out.err = ErrorKind::DeadlineExceeded;
+    out.message = "cancelled while queued (deadline exceeded)";
+  } else {
+    try {
+      out = compute_cell(p.source, c.level, c.transforms, c.scheduler, c.issue,
+                         c.unroll);
+    } catch (const std::exception& e) {
+      out.ok = false;
+      out.err = ErrorKind::Internal;
+      out.message = strformat("cell threw: %s", e.what());
+    }
+    sh.cache->store(key, encode_cell(out));
+    bump(kCellsExecuted);
+    if (out.ok)
+      body = std::make_shared<const CompileBody>(serialize_compile_body(out.resp));
+  }
+  settle_promise.set_value(out);
+  {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    sh.inflight.erase(key);
+    if (body != nullptr) hot_insert(sh, key, body);
+  }
+  settle_cells(1);
+
+  if (deadline_hit) return deadline_reply();
+  if (out.ok) return segment_reply(std::move(body), /*cached=*/false);
+  return respond_error(out);
+}
+
 std::string Service::handle_batch(const Request& req) {
   const BatchRequest& b = req.batch;
   engine::Stopwatch elapsed;
@@ -553,7 +891,7 @@ std::string Service::handle_batch(const Request& req) {
     for (const std::string& name : b.workloads) {
       const Workload* w = find_workload(name);
       if (w == nullptr) {
-        bump(&ServiceCounters::bad_request);
+        bump(kBadRequest);
         return serialize_error(req.id_json, ErrorKind::BadRequest,
                                strformat("unknown workload '%s'", name.c_str()));
       }
@@ -567,20 +905,13 @@ std::string Service::handle_batch(const Request& req) {
 
   const std::size_t n = loops.size() * levels.size() * widths.size();
   if (n == 0) {
-    bump(&ServiceCounters::bad_request);
+    bump(kBadRequest);
     return serialize_error(req.id_json, ErrorKind::BadRequest, "empty batch");
   }
 
-  bool admitted = false;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (inflight_cells_ + n <= capacity_) {
-      inflight_cells_ += n;
-      admitted = true;
-    }
-  }
-  if (!admitted) {
-    bump(&ServiceCounters::overloaded);
+  // All-or-nothing admission for the whole slice.
+  if (!try_admit(n)) {
+    bump(kOverloaded);
     obs::Logger::global().warn_rate_limited(
         "overloaded", "batch rejected: admission queue full",
         {obs::field("cells", n), obs::field("capacity", capacity_)});
@@ -592,6 +923,8 @@ std::string Service::handle_batch(const Request& req) {
 
   // One job group per batch: the whole slice cancels as a unit when the
   // deadline fires; members already running finish (and land in the cache).
+  // Each cell is pinned to the pool worker owning its shard, so a cell's
+  // cache partition is written by the thread that owns it.
   engine::JobGroup group(*pool_);
   std::vector<BatchCell> cells(n);
   std::vector<std::future<BatchCell>> futures;
@@ -606,42 +939,44 @@ std::string Service::handle_batch(const Request& req) {
         slot.width = width;
         engine::Stopwatch queued;
         const SchedulerKind scheduler = req.batch.scheduler;
-        futures.push_back(group.submit([this, w, level, width, scheduler,
-                                        queued]() -> BatchCell {
-          queue_wait_hist_.record(queued.nanos());
-          BatchCell cell;
-          cell.workload = w->name;
-          cell.level = level;
-          cell.width = width;
-          const std::uint64_t key =
-              cell_key(w->source, level, std::nullopt, scheduler, width, 8, 0);
-          if (auto payload = cache_.lookup(key)) {
-            CellOutcome cached;
-            if (decode_cell(*payload, cached)) {
-              if (cached.ok) {
-                cell.cycles = cached.resp.cycles;
-                cell.int_regs = cached.resp.int_regs;
-                cell.fp_regs = cached.resp.fp_regs;
+        const std::uint64_t key =
+            cell_key(w->source, level, std::nullopt, scheduler, width, 8, 0);
+        futures.push_back(group.submit_pinned(
+            static_cast<unsigned>(shard_index(key)),
+            [this, w, level, width, scheduler, key, queued]() -> BatchCell {
+              queue_wait_hist_.record(queued.nanos());
+              BatchCell cell;
+              cell.workload = w->name;
+              cell.level = level;
+              cell.width = width;
+              engine::ResultCache& cache = cache_for(key);
+              if (auto payload = cache.lookup(key)) {
+                CellOutcome cached;
+                if (decode_cell(*payload, cached)) {
+                  if (cached.ok) {
+                    cell.cycles = cached.resp.cycles;
+                    cell.int_regs = cached.resp.int_regs;
+                    cell.fp_regs = cached.resp.fp_regs;
+                  } else {
+                    cell.error = cached.message;
+                  }
+                  return cell;
+                }
+                cache.invalidate(key);
+              }
+              CellOutcome out = compute_cell(w->source, level, std::nullopt,
+                                             scheduler, width, 8);
+              cache.store(key, encode_cell(out));
+              bump(kCellsExecuted);
+              if (out.ok) {
+                cell.cycles = out.resp.cycles;
+                cell.int_regs = out.resp.int_regs;
+                cell.fp_regs = out.resp.fp_regs;
               } else {
-                cell.error = cached.message;
+                cell.error = out.message;
               }
               return cell;
-            }
-            cache_.invalidate(key);
-          }
-          CellOutcome out = compute_cell(w->source, level, std::nullopt, scheduler,
-                                         width, 8, cache_);
-          cache_.store(key, encode_cell(out));
-          bump(&ServiceCounters::cells_executed);
-          if (out.ok) {
-            cell.cycles = out.resp.cycles;
-            cell.int_regs = out.resp.int_regs;
-            cell.fp_regs = out.resp.fp_regs;
-          } else {
-            cell.error = out.message;
-          }
-          return cell;
-        }));
+            }));
       }
 
   const std::int64_t deadline_ms =
@@ -654,7 +989,7 @@ std::string Service::handle_batch(const Request& req) {
         futures[i].wait_until(deadline_tp) == std::future_status::timeout) {
       group.cancel();  // queued members settle as JobCancelled below
       cancelled = true;
-      bump(&ServiceCounters::deadline_exceeded);
+      bump(kDeadlineExceeded);
     }
     try {
       cells[i] = futures[i].get();
@@ -666,22 +1001,30 @@ std::string Service::handle_batch(const Request& req) {
   }
   settle_cells(n);
 
-  bump(&ServiceCounters::ok);
+  bump(kOk);
   return serialize_batch_response(req.id_json, cells, elapsed.seconds() * 1e3);
 }
 
 std::string Service::stats_json() const {
   const ServiceCounters c = counters();
-  const engine::CacheStats cs = cache_.stats();
+  const engine::CacheStats cs = cache_stats();
+  std::size_t cache_entries = 0, cache_bytes = 0, hot_entries = 0;
+  for (const auto& sh : shards_) {
+    cache_entries += sh->cache->size();
+    cache_bytes += sh->cache->memory_bytes();
+    std::lock_guard<std::mutex> lock(sh->mu);
+    hot_entries += sh->hot.size();
+  }
   const obs::Histogram::Snapshot lat = latency_hist_.snapshot();
   return strformat(
       "{\"uptime_seconds\": %.3f, \"draining\": %s, \"workers\": %d, "
+      "\"shards\": %d, "
       "\"capacity\": %zu, \"inflight_cells\": %zu, "
       "\"requests\": {\"received\": %" PRIu64 ", \"ok\": %" PRIu64
       ", \"bad_request\": %" PRIu64 ", \"overloaded\": %" PRIu64
       ", \"shutting_down\": %" PRIu64 ", \"deadline_exceeded\": %" PRIu64
       ", \"compile_errors\": %" PRIu64 ", \"internal\": %" PRIu64
-      ", \"coalesced\": %" PRIu64 "}, "
+      ", \"coalesced\": %" PRIu64 ", \"hot_hits\": %" PRIu64 "}, "
       "\"cells_executed\": %" PRIu64 ", "
       "\"latency_us\": {\"count\": %" PRIu64 ", \"p50\": %.1f, \"p90\": %.1f, "
       "\"p99\": %.1f, \"p999\": %.1f, \"mean\": %.1f}, "
@@ -689,16 +1032,18 @@ std::string Service::stats_json() const {
       "\"active_jobs\": %zu, \"peak_queue_depth\": %zu}, "
       "\"cache\": {\"hits\": %" PRIu64 ", \"disk_hits\": %" PRIu64
       ", \"misses\": %" PRIu64 ", \"invalid\": %" PRIu64 ", \"stores\": %" PRIu64
-      ", \"hit_rate\": %.4f, \"memory_entries\": %zu, \"memory_bytes\": %zu}}",
-      uptime_.seconds(), draining() ? "true" : "false", workers_, capacity_,
-      inflight_cells(), c.received, c.ok, c.bad_request, c.overloaded,
-      c.shutting_down, c.deadline_exceeded, c.compile_errors, c.internal_errors,
-      c.coalesced, c.cells_executed, lat.count, lat.quantile(0.50) / 1e3,
+      ", \"hit_rate\": %.4f, \"memory_entries\": %zu, \"memory_bytes\": %zu, "
+      "\"hot_entries\": %zu}}",
+      uptime_.seconds(), draining() ? "true" : "false", workers_,
+      shard_count(), capacity_, inflight_cells(), c.received, c.ok,
+      c.bad_request, c.overloaded, c.shutting_down, c.deadline_exceeded,
+      c.compile_errors, c.internal_errors, c.coalesced, c.hot_hits,
+      c.cells_executed, lat.count, lat.quantile(0.50) / 1e3,
       lat.quantile(0.90) / 1e3, lat.quantile(0.99) / 1e3,
       lat.quantile(0.999) / 1e3, lat.mean() / 1e3, pool_->jobs_executed(),
       pool_->queue_depth(), pool_->active_jobs(), pool_->peak_queue_depth(),
       cs.hits, cs.disk_hits, cs.misses, cs.invalid, cs.stores, cs.hit_rate(),
-      cache_.size(), cache_.memory_bytes());
+      cache_entries, cache_bytes, hot_entries);
 }
 
 std::string Service::metrics_exposition() const {
@@ -720,11 +1065,15 @@ std::string Service::metrics_exposition() const {
                             c.internal_errors);
   obs::prom::append_counter(out, "server.requests_coalesced", c.coalesced,
                             "Requests that joined an in-flight twin");
+  obs::prom::append_counter(out, "server.requests_hot_hits", c.hot_hits,
+                            "Replies served from pre-serialized segments");
   obs::prom::append_counter(out, "server.cells_executed", c.cells_executed,
                             "Cells actually computed (not cache hits)");
 
   obs::prom::append_gauge(out, "server.uptime_seconds", uptime_.seconds());
   obs::prom::append_gauge(out, "server.workers", workers_);
+  obs::prom::append_gauge(out, "server.shards",
+                          static_cast<double>(shard_count()));
   obs::prom::append_gauge(out, "server.capacity", static_cast<double>(capacity_));
   obs::prom::append_gauge(out, "server.inflight_cells",
                           static_cast<double>(inflight_cells()),
@@ -736,18 +1085,52 @@ std::string Service::metrics_exposition() const {
                           static_cast<double>(pool_->active_jobs()));
   obs::prom::append_gauge(out, "server.draining", draining() ? 1.0 : 0.0);
 
-  const engine::CacheStats cs = cache_.stats();
+  const engine::CacheStats cs = cache_stats();
   obs::prom::append_counter(out, "cache.hits", cs.hits);
   obs::prom::append_counter(out, "cache.disk_hits", cs.disk_hits);
   obs::prom::append_counter(out, "cache.misses", cs.misses);
   obs::prom::append_counter(out, "cache.invalid", cs.invalid);
   obs::prom::append_counter(out, "cache.stores", cs.stores);
+  std::size_t cache_entries = 0, cache_bytes = 0;
+  std::vector<std::size_t> hot_sizes, inflight_sizes;
+  hot_sizes.reserve(shards_.size());
+  inflight_sizes.reserve(shards_.size());
+  for (const auto& sh : shards_) {
+    cache_entries += sh->cache->size();
+    cache_bytes += sh->cache->memory_bytes();
+    std::lock_guard<std::mutex> lock(sh->mu);
+    hot_sizes.push_back(sh->hot.size());
+    inflight_sizes.push_back(sh->inflight.size());
+  }
   obs::prom::append_gauge(out, "cache.memory_entries",
-                          static_cast<double>(cache_.size()));
+                          static_cast<double>(cache_entries));
   obs::prom::append_gauge(out, "cache.memory_bytes",
-                          static_cast<double>(cache_.memory_bytes()),
+                          static_cast<double>(cache_bytes),
                           "Payload bytes held by the in-memory tier");
+
+  obs::prom::begin_gauge_family(out, "server.shard_hot_entries",
+                                "Pre-serialized responses held per shard");
+  for (std::size_t i = 0; i < hot_sizes.size(); ++i)
+    obs::prom::append_gauge_sample(out, "server.shard_hot_entries", "shard",
+                                   std::to_string(i),
+                                   static_cast<double>(hot_sizes[i]));
+  obs::prom::begin_gauge_family(out, "server.shard_inflight",
+                                "Coalescing-map entries per shard");
+  for (std::size_t i = 0; i < inflight_sizes.size(); ++i)
+    obs::prom::append_gauge_sample(out, "server.shard_inflight", "shard",
+                                   std::to_string(i),
+                                   static_cast<double>(inflight_sizes[i]));
+
+  {
+    std::lock_guard<std::mutex> lock(transport_mu_);
+    if (transport_metrics_) transport_metrics_(out);
+  }
   return out;
+}
+
+void Service::set_transport_metrics(std::function<void(std::string&)> fn) {
+  std::lock_guard<std::mutex> lock(transport_mu_);
+  transport_metrics_ = std::move(fn);
 }
 
 }  // namespace ilp::server

@@ -1,24 +1,41 @@
 // The compile-and-simulate service behind ilpd: admission control, request
-// coalescing, deadlines and graceful drain on top of the experiment engine.
+// coalescing, deadlines and graceful drain on top of the experiment engine —
+// sharded per core so the hot path never takes a cross-core lock.
 //
 // Request life cycle:
 //
 //   handle_line(text) -> parse -> admission -> engine pool -> response line
+//   serve(text)       -> parse -> admission -> inline on the shard worker
+//                                              -> zero-copy response segments
 //
+//   * State is sharded: the result cache, the pre-serialized hot-response
+//     tier and the in-flight coalescing map are split into `workers` shards
+//     keyed by the cell's content hash.  The epoll transport routes requests
+//     so that a shard's structures are touched by one worker thread almost
+//     always; per-shard mutexes remain for cross-shard joiners, the
+//     pool-backed handle_line path and the stats walkers, but they are
+//     uncontended in steady state.
 //   * Admission is a bounded counter: at most `workers + queue_limit` study
 //     cells may be in flight (queued or executing).  A request that would
 //     exceed the bound is rejected immediately with an `overloaded` error —
 //     backpressure is always explicit, never a silently growing queue.
 //   * Identical in-flight compile requests coalesce: the request key is the
 //     engine cache's content hash (HashStream over source, pipeline, machine
-//     and options), and a map of in-flight jobs lets later arrivals share the
-//     first arrival's future instead of submitting duplicate work.
-//   * Completed cells persist in an engine::ResultCache (memory + optional
-//     disk tier), so a warm cache serves repeats without compiling at all.
+//     and options), and the owning shard's in-flight map lets later arrivals
+//     share the first arrival's future instead of duplicating work — even
+//     when the arrivals ride different transports.
+//   * Completed cells persist in the shard's engine::ResultCache partition
+//     (memory + optional shared disk tier), and successful compile cells
+//     additionally keep their serialized response segments in the shard's
+//     hot tier, so a warm repeat over the epoll transport costs one hash
+//     lookup and a writev — no JSON is built per reply (protocol.hpp
+//     CompileBody).
 //   * Every request carries a deadline (client-set or the service default).
-//     A deadline that fires while the job is still queued cancels it through
-//     the engine's JobGroup cancellation hook; a job already running finishes
-//     and lands in the cache, but the caller gets `deadline_exceeded` now.
+//     On the pool path a deadline that fires while the job is still queued
+//     cancels it through the engine's JobGroup hook; on the direct path the
+//     queue is the transport's dispatch ring, and a line whose ring wait
+//     already exceeded its deadline is answered `deadline_exceeded` without
+//     executing.  A cell already running always finishes into the cache.
 //   * begin_drain() flips the service into shutdown mode: compile/batch
 //     requests are refused with `shutting_down` (stats still answers), and
 //     wait_drained() blocks until every admitted cell has settled.
@@ -26,20 +43,28 @@
 //     stamped on log lines, echoed in compile responses, and used as the
 //     span correlation key.  Work requests record end-to-end latency and
 //     queue wait into log-bucketed histograms; the `metrics` verb returns a
-//     Prometheus text exposition of everything, and a compile request with
-//     {"trace": true} writes a request-scoped Chrome trace when the service
-//     has a trace_dir.
+//     Prometheus text exposition of everything (including per-shard gauges
+//     the transport registers via set_transport_metrics), and a compile
+//     request with {"trace": true} writes a request-scoped Chrome trace when
+//     the service has a trace_dir.
 //
 // The service is transport-agnostic and fully thread-safe; server.cpp feeds
-// it lines from sockets, tests call handle_line directly.
+// it lines from its shard workers via serve(), tests call handle_line
+// directly.  Both paths produce byte-identical response lines for the same
+// request sequence (pinned by tests/server/epoll_transport_test.cpp).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "engine/cache.hpp"
 #include "engine/metrics.hpp"
@@ -57,6 +82,11 @@ struct ServiceConfig {
   // Non-empty: compile requests with {"trace": true} write a per-request
   // Chrome trace (request → job → pass spans) to <trace_dir>/req-<id>.json.
   std::string trace_dir;
+  // Hot-tier bound per shard: pre-serialized response bodies kept for warm
+  // zero-copy replies.  The tier is cleared wholesale when it fills (the
+  // result cache underneath still answers; only the pre-serialization is
+  // redone), so memory stays bounded under adversarial key churn.
+  std::size_t hot_entries_per_shard = 4096;
 };
 
 struct ServiceCounters {
@@ -70,6 +100,7 @@ struct ServiceCounters {
   std::uint64_t internal_errors = 0;
   std::uint64_t coalesced = 0;       // requests that joined an in-flight twin
   std::uint64_t cells_executed = 0;  // cells actually computed (not cached)
+  std::uint64_t hot_hits = 0;        // replies served from pre-serialized segments
 };
 
 class Service {
@@ -82,8 +113,37 @@ class Service {
 
   // Processes one request line, blocking until the response is ready.
   // Always returns a single response line (no trailing newline) — every
-  // failure mode has a protocol representation.
+  // failure mode has a protocol representation.  Compile cells run on the
+  // engine pool.
   std::string handle_line(const std::string& line);
+
+  // Transport entry, split in two so each half runs on the right thread.
+  //
+  // parse_and_route runs on the IO thread: it parses the line once, resolves
+  // the compile source and computes the cell's content hash, whose shard
+  // index tells the transport which dispatch ring the line belongs to
+  // (identical cells always route to the same shard, so coalescing and cache
+  // hits stay shard-local).  Unroutable lines (parse errors, stats, batch,
+  // unknown workloads) get shard 0 — any shard answers them correctly.
+  //
+  // serve_parsed runs on the shard worker: identical protocol behavior to
+  // handle_line, but compile cells execute inline on the calling thread (the
+  // shard worker set IS the execution resource) and warm hits return shared
+  // pre-serialized segments instead of a fresh string.  `queued_ns` is the
+  // time the line waited in the dispatch ring; it counts against the
+  // request's deadline and lands in the queue-wait histogram.
+  struct ParsedRequest {
+    std::optional<Request> req;  // nullopt => parse_error holds the reason
+    std::string parse_error;
+    std::string source;  // resolved compile source text ("" if unknown workload)
+    std::uint64_t cell_key = 0;
+    bool has_key = false;
+    std::size_t shard = 0;
+  };
+  [[nodiscard]] ParsedRequest parse_and_route(const std::string& line) const;
+  Reply serve_parsed(ParsedRequest p, std::uint64_t queued_ns = 0);
+  // Both halves in one call (tests and single-threaded callers).
+  Reply serve(const std::string& line, std::uint64_t queued_ns = 0);
 
   // Refuse new compile/batch work from now on (`shutting_down`); stats
   // requests still answer so drains are observable.
@@ -93,16 +153,28 @@ class Service {
   void wait_drained();
 
   [[nodiscard]] ServiceCounters counters() const;
-  [[nodiscard]] engine::CacheStats cache_stats() const { return cache_.stats(); }
-  [[nodiscard]] std::size_t inflight_cells() const;
+  [[nodiscard]] engine::CacheStats cache_stats() const;
+  [[nodiscard]] std::size_t inflight_cells() const {
+    return inflight_cells_.load(std::memory_order_acquire);
+  }
   [[nodiscard]] int workers() const { return workers_; }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  // Number of state shards (== workers): cache partition, hot tier and
+  // coalescing map are all split this way, and the transport sizes its
+  // dispatch rings to match.
+  [[nodiscard]] int shard_count() const { return workers_; }
+
   // The stats-response body; exposed for ilpd's --stats-on-exit report.
   [[nodiscard]] std::string stats_json() const;
   // Prometheus text exposition: the global MetricsRegistry (pass.*, trans.*,
-  // server.* histograms) plus the service's own gauges and counters.  The
-  // `metrics` wire verb returns this, JSON-wrapped.
+  // server.* histograms) plus the service's own gauges and counters and
+  // whatever the transport registered.  The `metrics` wire verb returns
+  // this, JSON-wrapped.
   [[nodiscard]] std::string metrics_exposition() const;
+  // Transport hook: called (under a lock) during metrics_exposition so the
+  // server can append its per-shard ring gauges (shard_queue_depth,
+  // shard_ring_drops) to the same exposition.
+  void set_transport_metrics(std::function<void(std::string&)> fn);
 
   // Defined in service.cpp; public so the file-local compute/encode helpers
   // there can name them.
@@ -111,19 +183,60 @@ class Service {
   struct RequestObs;
 
  private:
+  // Internal counter mirror of ServiceCounters (same order); relaxed
+  // atomics so the request path never takes a stats lock.
+  enum Counter : unsigned {
+    kReceived, kOk, kBadRequest, kOverloaded, kShuttingDown,
+    kDeadlineExceeded, kCompileErrors, kInternalErrors, kCoalesced,
+    kCellsExecuted, kHotHits, kCounterCount,
+  };
+  void bump(Counter c) {
+    counters_[c].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // One state shard.  Padded so neighbouring shards never false-share; the
+  // mutex is uncontended when the transport routes by the same hash.
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, std::shared_ptr<Inflight>> inflight;
+    std::unordered_map<std::uint64_t, std::shared_ptr<const CompileBody>> hot;
+    std::unique_ptr<engine::ResultCache> cache;
+  };
+
+  [[nodiscard]] std::size_t shard_index(std::uint64_t key) const;
+  [[nodiscard]] Shard& shard_for(std::uint64_t key) {
+    return *shards_[shard_index(key)];
+  }
+  [[nodiscard]] engine::ResultCache& cache_for(std::uint64_t key) {
+    return *shard_for(key).cache;
+  }
+  // Bounded-insert into the shard's hot tier (clears wholesale when full).
+  void hot_insert(Shard& sh, std::uint64_t key,
+                  std::shared_ptr<const CompileBody> body);
+
+  // Bounded admission: reserves `n` cells or fails without blocking.
+  bool try_admit(std::size_t n);
+  // Exactly-once bookkeeping when admitted cells settle.
+  void settle_cells(std::size_t n);
+
   std::string handle_compile(const Request& req, const std::shared_ptr<RequestObs>& ro);
+  // Direct-execution variant for serve_parsed(): runs the cell on the
+  // calling thread, keeps coalescing via a promise-backed in-flight entry,
+  // returns zero-copy segments on warm hits.
+  Reply handle_compile_direct(const ParsedRequest& p,
+                              const std::shared_ptr<RequestObs>& ro,
+                              std::uint64_t queued_ns);
   std::string handle_batch(const Request& req);
 
-  // Exactly-once bookkeeping when an admitted cell settles.
-  void settle_cells(std::size_t n);
-  // Single locked increment for a ServiceCounters field — every counter bump
-  // in the service goes through here.
-  void bump(std::uint64_t ServiceCounters::* field);
+  CellOutcome compute_cell(const std::string& source, OptLevel level,
+                           const std::optional<TransformSet>& transforms,
+                           SchedulerKind scheduler, int issue, int unroll);
+  std::uint64_t base_cycles_for(const std::string& source);
 
   ServiceConfig cfg_;
   int workers_ = 1;
   std::size_t capacity_ = 1;
-  engine::ResultCache cache_;
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<engine::ThreadPool> pool_;
   engine::Stopwatch uptime_;
   std::atomic<std::uint64_t> request_seq_{0};  // request-id mint
@@ -134,14 +247,15 @@ class Service {
   obs::Histogram& latency_hist_;
   obs::Histogram& queue_wait_hist_;
 
-  mutable std::mutex mu_;                 // guards inflight_ map + cell count
+  std::atomic<std::size_t> inflight_cells_{0};
+  std::mutex drain_mu_;  // pairs with drained_cv_ only (never on the hot path)
   std::condition_variable drained_cv_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<Inflight>> inflight_;
-  std::size_t inflight_cells_ = 0;
   std::atomic<bool> draining_{false};
 
-  mutable std::mutex stats_mu_;
-  ServiceCounters counters_;
+  std::array<std::atomic<std::uint64_t>, kCounterCount> counters_{};
+
+  mutable std::mutex transport_mu_;
+  std::function<void(std::string&)> transport_metrics_;
 };
 
 }  // namespace ilp::server

@@ -1,0 +1,129 @@
+// Bounded lock-free multi-producer/single-consumer ring buffer.
+//
+// This is the dispatch primitive of the shard-per-core server: the epoll
+// thread(s) produce parsed request lines, one shard worker consumes them.
+// It is a Vyukov-style bounded queue — every slot carries a sequence number,
+// so producers claim slots with one fetch_add and publish with one release
+// store, and the consumer never takes a lock.  Capacity is fixed at
+// construction (rounded up to a power of two); a full ring fails the push
+// instead of blocking, which is exactly the explicit-backpressure contract
+// the admission layer wants (the caller turns a failed push into an
+// `overloaded` response and a `shard_ring_drops` tick).
+//
+// Memory layout follows the obs::Histogram shard idiom: the producer cursor,
+// consumer cursor and the slot array start are all cache-line separated so
+// producers on other cores never false-share with the consumer.
+//
+// Progress guarantees: try_push is lock-free across producers; try_pop is
+// wait-free for the single consumer.  The queue is linearizable per slot:
+// a pop observes a fully-constructed element (release/acquire on the slot
+// sequence).  FIFO holds per producer; elements from different producers
+// interleave in claim order.
+//
+// The consumer side is written for ONE consumer thread.  (The algorithm is
+// actually Vyukov's MPMC and would tolerate several consumers, but the
+// server never needs that and the single-consumer contract keeps pop() free
+// of CAS retries on the hot path.)
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace ilp {
+
+template <typename T>
+class MpscRing {
+ public:
+  // `capacity` is rounded up to the next power of two (minimum 2).
+  explicit MpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    cap_mask_ = cap - 1;
+    slots_ = std::make_unique<Slot[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i)
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return cap_mask_ + 1; }
+
+  // Multi-producer push.  Returns false when the ring is full (the element
+  // is NOT consumed; the caller still owns `v`).
+  bool try_push(T& v) {
+    std::uint64_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & cap_mask_];
+      const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+      const std::int64_t dif =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      if (dif == 0) {
+        // Slot is free for this ticket; claim it.
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed))
+          break;
+        // Lost the race; `pos` was reloaded by compare_exchange.
+      } else if (dif < 0) {
+        // The consumer has not recycled this slot yet: ring is full.  Reload
+        // the head once to distinguish "full" from "stale pos" — if head
+        // moved we simply retry with the fresh value.
+        const std::uint64_t head = head_.load(std::memory_order_relaxed);
+        if (head == pos) return false;
+        pos = head;
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    Slot& slot = slots_[pos & cap_mask_];
+    slot.value = std::move(v);
+    slot.seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool try_push(T&& v) { return try_push(v); }
+
+  // Single-consumer pop.  Returns false when the ring is empty.
+  bool try_pop(T& out) {
+    const std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+    Slot& slot = slots_[pos & cap_mask_];
+    const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+    if (static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos + 1) < 0)
+      return false;  // producer has not published this slot yet
+    ILP_ASSERT(seq == pos + 1, "MpscRing: second consumer detected");
+    out = std::move(slot.value);
+    slot.value = T{};  // drop payload refs eagerly (Ts carry shared_ptrs)
+    slot.seq.store(pos + cap_mask_ + 1, std::memory_order_release);
+    tail_.store(pos + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  // Instantaneous occupancy estimate (racy by nature; for gauges only).
+  [[nodiscard]] std::size_t size_approx() const {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    return head >= tail ? static_cast<std::size_t>(head - tail) : 0;
+  }
+
+  [[nodiscard]] bool empty_approx() const { return size_approx() == 0; }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    T value{};
+  };
+
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // producers' claim cursor
+  // Single-consumer cursor; atomic (relaxed) only so gauges on other threads
+  // can read it without a data race.
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  alignas(64) std::unique_ptr<Slot[]> slots_;
+  std::size_t cap_mask_ = 0;
+};
+
+}  // namespace ilp

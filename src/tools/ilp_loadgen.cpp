@@ -1,6 +1,6 @@
 // ilp_loadgen — closed-loop load generator for ilpd.
 //
-//   ilp_loadgen [--host H] --port P [--connections N] [--duration-s S]
+//   ilp_loadgen [--host H] --port P [--connections N[,N...]] [--duration-s S]
 //               [--corpus N] [--seed-base N] [--issue W] [--out FILE]
 //               [--scheduler list|modulo|both] [--no-warmup]
 //
@@ -8,30 +8,40 @@
 // distribution the differential tests replay), pre-serializes one compile
 // request per program per selected scheduling backend, optionally runs a
 // warm-up pass so the daemon's result cache is hot, then hammers the server
-// from N connections for S seconds.  Reports throughput and p50/p90/p99/max
-// latency — overall AND per backend, since modulo compiles are strictly more
-// work than list compiles and mixing their percentiles would hide both
-// distributions — and writes them as JSON to --out (BENCH_3.json in CI).
+// from N connections for S seconds.  Reports throughput and
+// p50/p90/p99/p999/max latency — overall AND per backend, since modulo
+// compiles are strictly more work than list compiles and mixing their
+// percentiles would hide both distributions.  Samples go through
+// obs::Histogram (the daemon's own log-bucketed histogram, ~3% bucket
+// resolution), so the record path is three relaxed atomic adds and the
+// percentile math is shared with the server instead of re-derived from an
+// ad-hoc sort.
 //
-// After the timed phase the daemon's own `stats` verb is queried and its
+// --connections takes a comma-separated sweep (e.g. 8,16,64,128); each point
+// runs the full timed phase and emits one JSON record per line, both to
+// stdout and to --out (BENCH_6.json in CI is the single-point 64-connection
+// run).
+//
+// After each timed phase the daemon's own `stats` verb is queried and its
 // request-latency histogram percentiles are reported next to the
 // client-side numbers: client-side includes the network round trip,
-// server-side is handle_line wall time, so the gap is the transport tax and
-// the two should otherwise agree within histogram resolution (~3%).
+// server-side is request-handling wall time, so the gap is the transport tax
+// and the two should otherwise agree within histogram resolution.
 //
 // Exit status is nonzero on any protocol failure — a dropped connection, an
 // unparseable response, or an `ok:false` reply — so CI catches crashes and
 // protocol bugs without being sensitive to machine speed.
-#include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdint>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/fixtures.hpp"
+#include "obs/histogram.hpp"
 #include "server/json.hpp"
 #include "server/netclient.hpp"
 #include "support/strings.hpp"
@@ -49,8 +59,20 @@ struct CorpusRequest {
 
 constexpr const char* kSchedulerNames[] = {"list", "modulo"};
 
+// Latency sinks for one sweep point: overall plus one histogram per backend.
+// obs::Histogram is internally sharded, so every worker records straight
+// into these with no client-side aggregation step.
+struct LatencySinks {
+  ilp::obs::Histogram overall;
+  ilp::obs::Histogram by_sched[2];
+  void reset() {
+    overall.reset();
+    by_sched[0].reset();
+    by_sched[1].reset();
+  }
+};
+
 struct WorkerResult {
-  std::vector<std::int64_t> latencies_us[2];  // per backend
   std::uint64_t requests = 0;
   std::uint64_t errors = 0;
   std::string first_error;
@@ -59,7 +81,7 @@ struct WorkerResult {
 struct Options {
   std::string host = "127.0.0.1";
   int port = 0;
-  int connections = 8;
+  std::vector<int> connections = {8};  // --connections 8 or a sweep 8,16,64
   int duration_s = 10;
   int corpus = 32;
   std::uint64_t seed_base = 7'000;
@@ -72,7 +94,8 @@ struct Options {
 
 // One closed-loop connection: send, wait for the reply, repeat.
 void run_worker(const Options& opt, const std::vector<CorpusRequest>& requests,
-                Clock::time_point deadline, int worker_id, WorkerResult* out) {
+                Clock::time_point deadline, int worker_id, LatencySinks* lat,
+                WorkerResult* out) {
   ilp::server::LineClient client;
   if (!client.connect(opt.host, opt.port)) {
     out->errors = 1;
@@ -97,8 +120,10 @@ void run_worker(const Options& opt, const std::vector<CorpusRequest>& requests,
       return;
     }
     ++out->requests;
-    out->latencies_us[req.sched].push_back(
+    const auto us = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count());
+    lat->overall.record(us);
+    lat->by_sched[req.sched].record(us);
     std::string err;
     const auto parsed = ilp::server::JsonValue::parse(*reply, &err);
     const ilp::server::JsonValue* ok = parsed ? parsed->find("ok") : nullptr;
@@ -110,17 +135,19 @@ void run_worker(const Options& opt, const std::vector<CorpusRequest>& requests,
   }
 }
 
-std::int64_t percentile(const std::vector<std::int64_t>& sorted, double p) {
-  if (sorted.empty()) return 0;
-  const auto idx = static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1));
-  return sorted[idx];
+// Percentile block shared by the overall and per-backend report sections.
+std::string percentile_json(const ilp::obs::Histogram::Snapshot& snap) {
+  return ilp::strformat(
+      "\"p50\":%.1f,\"p90\":%.1f,\"p99\":%.1f,\"p999\":%.1f,\"max\":%llu",
+      snap.quantile(0.50), snap.quantile(0.90), snap.quantile(0.99),
+      snap.quantile(0.999), static_cast<unsigned long long>(snap.max_value));
 }
 
 // The daemon's view of its own request latency, from the `stats` verb.
 struct ServerLatency {
   bool ok = false;
   std::uint64_t count = 0;
-  double p50 = 0.0, p90 = 0.0, p99 = 0.0;
+  double p50 = 0.0, p90 = 0.0, p99 = 0.0, p999 = 0.0;
 };
 
 ServerLatency fetch_server_latency(const Options& opt) {
@@ -146,16 +173,111 @@ ServerLatency fetch_server_latency(const Options& opt) {
   out.p50 = num("p50");
   out.p90 = num("p90");
   out.p99 = num("p99");
+  out.p999 = num("p999");
   return out;
+}
+
+// Runs one sweep point (N connections for duration_s) and returns its JSON
+// record.  Protocol errors accumulate into *errors / *first_error.
+std::string run_point(const Options& opt,
+                      const std::vector<CorpusRequest>& requests,
+                      int connections, LatencySinks& lat,
+                      std::uint64_t* errors, std::string* first_error) {
+  lat.reset();
+  const auto start = Clock::now();
+  const auto deadline = start + std::chrono::seconds(opt.duration_s);
+  std::vector<WorkerResult> results(static_cast<std::size_t>(connections));
+  std::vector<std::thread> threads;
+  threads.reserve(results.size());
+  for (int w = 0; w < connections; ++w)
+    threads.emplace_back(run_worker, std::cref(opt), std::cref(requests),
+                         deadline, w, &lat, &results[static_cast<std::size_t>(w)]);
+  for (std::thread& t : threads) t.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::uint64_t total = 0;
+  for (const WorkerResult& r : results) {
+    total += r.requests;
+    *errors += r.errors;
+    if (first_error->empty()) *first_error = r.first_error;
+  }
+  const auto all = lat.overall.snapshot();
+  const double rps = elapsed_s > 0 ? static_cast<double>(total) / elapsed_s : 0.0;
+  const ServerLatency server = fetch_server_latency(opt);
+
+  std::string report = ilp::strformat(
+      "{\"bench\":\"ilp_loadgen\",\"connections\":%d,\"duration_s\":%.3f,"
+      "\"corpus\":%d,\"issue\":%d,\"warm_cache\":%s,\"requests\":%llu,"
+      "\"errors\":%llu,\"throughput_rps\":%.1f,\"latency_us\":{%s}",
+      connections, elapsed_s, opt.corpus, opt.issue,
+      opt.warmup ? "true" : "false", static_cast<unsigned long long>(total),
+      static_cast<unsigned long long>(*errors), rps,
+      percentile_json(all).c_str());
+  // Per-backend percentiles: present only for the backends that ran, so
+  // downstream tooling never mistakes an empty bucket for a fast one.
+  {
+    std::string sect;
+    for (int sched = 0; sched < 2; ++sched) {
+      const auto snap = lat.by_sched[sched].snapshot();
+      if (snap.count == 0) continue;
+      sect += ilp::strformat(
+          "%s\"%s\":{\"requests\":%llu,%s}", sect.empty() ? "" : ",",
+          kSchedulerNames[sched], static_cast<unsigned long long>(snap.count),
+          percentile_json(snap).c_str());
+    }
+    if (!sect.empty()) report += ",\"by_scheduler\":{" + sect + "}";
+  }
+  if (server.ok)
+    report += ilp::strformat(
+        ",\"server_latency_us\":{\"count\":%llu,\"p50\":%.1f,\"p90\":%.1f,"
+        "\"p99\":%.1f,\"p999\":%.1f}",
+        static_cast<unsigned long long>(server.count), server.p50, server.p90,
+        server.p99, server.p999);
+  report += "}";
+
+  if (server.ok) {
+    std::fprintf(stderr,
+                 "[%d conns] latency_us    client  |  server\n"
+                 "  p50      %8.0f  | %8.0f\n"
+                 "  p90      %8.0f  | %8.0f\n"
+                 "  p99      %8.0f  | %8.0f\n"
+                 "  p999     %8.0f  | %8.0f\n"
+                 "(client includes the network round trip; server is "
+                 "request-handling wall time over %llu requests)\n",
+                 connections, all.quantile(0.50), server.p50,
+                 all.quantile(0.90), server.p90, all.quantile(0.99), server.p99,
+                 all.quantile(0.999), server.p999,
+                 static_cast<unsigned long long>(server.count));
+  }
+  return report;
 }
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--host H] --port P [--connections N] [--duration-s S]\n"
-               "          [--corpus N] [--seed-base N] [--issue W] [--out FILE]\n"
+               "usage: %s [--host H] --port P [--connections N[,N...]]\n"
+               "          [--duration-s S] [--corpus N] [--seed-base N]\n"
+               "          [--issue W] [--out FILE]\n"
                "          [--scheduler list|modulo|both] [--no-warmup]\n",
                argv0);
   return 2;
+}
+
+bool parse_connections(const char* arg, std::vector<int>* out) {
+  out->clear();
+  std::string cur;
+  for (const char* p = arg;; ++p) {
+    if (*p != '\0' && *p != ',') {
+      cur += *p;
+      continue;
+    }
+    const int n = std::atoi(cur.c_str());
+    if (n <= 0) return false;
+    out->push_back(n);
+    cur.clear();
+    if (*p == '\0') break;
+  }
+  return !out->empty();
 }
 
 }  // namespace
@@ -170,7 +292,12 @@ int main(int argc, char** argv) {
     const char* v = nullptr;
     if (arg == "--host" && (v = next())) opt.host = v;
     else if (arg == "--port" && (v = next())) opt.port = std::atoi(v);
-    else if (arg == "--connections" && (v = next())) opt.connections = std::atoi(v);
+    else if (arg == "--connections" && (v = next())) {
+      if (!parse_connections(v, &opt.connections)) {
+        std::fprintf(stderr, "bad --connections '%s'\n", v);
+        return usage(argv[0]);
+      }
+    }
     else if (arg == "--duration-s" && (v = next())) opt.duration_s = std::atoi(v);
     else if (arg == "--corpus" && (v = next())) opt.corpus = std::atoi(v);
     else if (arg == "--seed-base" && (v = next()))
@@ -192,8 +319,7 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
-  if (opt.port <= 0 || opt.connections <= 0 || opt.duration_s <= 0 ||
-      opt.corpus <= 0)
+  if (opt.port <= 0 || opt.duration_s <= 0 || opt.corpus <= 0)
     return usage(argv[0]);
 
   // Pre-serialize one compile request per (corpus program, backend);
@@ -216,7 +342,7 @@ int main(int argc, char** argv) {
   }
 
   // Warm-up: one sequential pass so every corpus cell lands in the daemon's
-  // cache; the timed phase then measures service overhead, not compile time.
+  // cache; the timed phases then measure service overhead, not compile time.
   if (opt.warmup) {
     ilp::server::LineClient warm;
     if (!warm.connect(opt.host, opt.port)) {
@@ -232,99 +358,26 @@ int main(int argc, char** argv) {
     }
   }
 
-  const auto start = Clock::now();
-  const auto deadline = start + std::chrono::seconds(opt.duration_s);
-  std::vector<WorkerResult> results(static_cast<std::size_t>(opt.connections));
-  std::vector<std::thread> threads;
-  threads.reserve(results.size());
-  for (int w = 0; w < opt.connections; ++w)
-    threads.emplace_back(run_worker, std::cref(opt), std::cref(requests), deadline,
-                         w, &results[static_cast<std::size_t>(w)]);
-  for (std::thread& t : threads) t.join();
-  const double elapsed_s =
-      std::chrono::duration<double>(Clock::now() - start).count();
-
-  std::vector<std::int64_t> all;
-  std::vector<std::int64_t> by_sched[2];
-  std::uint64_t total = 0, errors = 0;
+  // One timed phase per sweep point, one JSON record per line.
+  auto lat = std::make_unique<LatencySinks>();  // too big for the stack
+  std::uint64_t errors = 0;
   std::string first_error;
-  for (const WorkerResult& r : results) {
-    total += r.requests;
-    errors += r.errors;
-    if (first_error.empty()) first_error = r.first_error;
-    for (int sched = 0; sched < 2; ++sched) {
-      all.insert(all.end(), r.latencies_us[sched].begin(), r.latencies_us[sched].end());
-      by_sched[sched].insert(by_sched[sched].end(), r.latencies_us[sched].begin(),
-                             r.latencies_us[sched].end());
-    }
+  std::vector<std::string> records;
+  records.reserve(opt.connections.size());
+  for (const int conns : opt.connections) {
+    records.push_back(
+        run_point(opt, requests, conns, *lat, &errors, &first_error));
+    std::printf("%s\n", records.back().c_str());
+    std::fflush(stdout);
   }
-  std::sort(all.begin(), all.end());
-  std::sort(by_sched[0].begin(), by_sched[0].end());
-  std::sort(by_sched[1].begin(), by_sched[1].end());
-  const double rps = elapsed_s > 0 ? static_cast<double>(total) / elapsed_s : 0.0;
-  const std::int64_t p50 = percentile(all, 0.50);
-  const std::int64_t p90 = percentile(all, 0.90);
-  const std::int64_t p99 = percentile(all, 0.99);
-  const std::int64_t mx = all.empty() ? 0 : all.back();
-  const ServerLatency server = fetch_server_latency(opt);
 
-  std::string report = ilp::strformat(
-      "{\"bench\":\"ilp_loadgen\",\"connections\":%d,\"duration_s\":%.3f,"
-      "\"corpus\":%d,\"issue\":%d,\"warm_cache\":%s,\"requests\":%llu,"
-      "\"errors\":%llu,\"throughput_rps\":%.1f,\"latency_us\":{\"p50\":%lld,"
-      "\"p90\":%lld,\"p99\":%lld,\"max\":%lld}",
-      opt.connections, elapsed_s, opt.corpus, opt.issue,
-      opt.warmup ? "true" : "false", static_cast<unsigned long long>(total),
-      static_cast<unsigned long long>(errors), rps, static_cast<long long>(p50),
-      static_cast<long long>(p90), static_cast<long long>(p99),
-      static_cast<long long>(mx));
-  // Per-backend percentiles: present only for the backends that ran, so
-  // downstream tooling never mistakes an empty bucket for a fast one.
-  {
-    std::string sect;
-    for (int sched = 0; sched < 2; ++sched) {
-      if (by_sched[sched].empty()) continue;
-      sect += ilp::strformat(
-          "%s\"%s\":{\"requests\":%llu,\"p50\":%lld,\"p90\":%lld,"
-          "\"p99\":%lld,\"max\":%lld}",
-          sect.empty() ? "" : ",", kSchedulerNames[sched],
-          static_cast<unsigned long long>(by_sched[sched].size()),
-          static_cast<long long>(percentile(by_sched[sched], 0.50)),
-          static_cast<long long>(percentile(by_sched[sched], 0.90)),
-          static_cast<long long>(percentile(by_sched[sched], 0.99)),
-          static_cast<long long>(by_sched[sched].back()));
-    }
-    if (!sect.empty()) report += ",\"by_scheduler\":{" + sect + "}";
-  }
-  if (server.ok)
-    report += ilp::strformat(
-        ",\"server_latency_us\":{\"count\":%llu,\"p50\":%.1f,\"p90\":%.1f,"
-        "\"p99\":%.1f}",
-        static_cast<unsigned long long>(server.count), server.p50, server.p90,
-        server.p99);
-  report += "}";
-
-  std::printf("%s\n", report.c_str());
-  if (server.ok) {
-    std::fprintf(stderr,
-                 "latency_us    client  |  server\n"
-                 "  p50      %8lld  | %8.0f\n"
-                 "  p90      %8lld  | %8.0f\n"
-                 "  p99      %8lld  | %8.0f\n"
-                 "(client includes the network round trip; server is "
-                 "handle_line wall time over %llu requests)\n",
-                 static_cast<long long>(p50), server.p50,
-                 static_cast<long long>(p90), server.p90,
-                 static_cast<long long>(p99), server.p99,
-                 static_cast<unsigned long long>(server.count));
-  }
   if (!opt.out.empty()) {
     std::FILE* f = std::fopen(opt.out.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "ilp_loadgen: cannot write %s\n", opt.out.c_str());
       return 1;
     }
-    std::fprintf(f, "%s\n", report.c_str());
+    for (const std::string& r : records) std::fprintf(f, "%s\n", r.c_str());
     std::fclose(f);
   }
   if (errors > 0) {

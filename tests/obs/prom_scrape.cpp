@@ -3,9 +3,13 @@
 // use, and optionally asserts that a histogram family has samples.
 //
 //   prom_scrape --port P [--host H] [--require-hist FAMILY]...
+//               [--require-metric NAME]...
 //
-// Prints the exposition to stdout (so CI can archive it) and exits nonzero
-// on connection failure, a lint problem, or an empty required histogram.
+// --require-metric asserts that at least one sample of NAME exists (labeled
+// samples like `name{shard="0"} 3` count) — CI uses it to pin the per-shard
+// transport gauges.  Prints the exposition to stdout (so CI can archive it)
+// and exits nonzero on connection failure, a lint problem, an empty required
+// histogram, or a missing required metric.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -19,7 +23,8 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --port P [--host H] [--require-hist FAMILY]...\n",
+               "usage: %s --port P [--host H] [--require-hist FAMILY]... "
+               "[--require-metric NAME]...\n",
                argv0);
   return 2;
 }
@@ -30,6 +35,7 @@ int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = 0;
   std::vector<std::string> required_hists;
+  std::vector<std::string> required_metrics;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -39,6 +45,7 @@ int main(int argc, char** argv) {
     if (arg == "--host" && (v = next())) host = v;
     else if (arg == "--port" && (v = next())) port = std::atoi(v);
     else if (arg == "--require-hist" && (v = next())) required_hists.push_back(v);
+    else if (arg == "--require-metric" && (v = next())) required_metrics.push_back(v);
     else return usage(argv[0]);
   }
   if (port <= 0) return usage(argv[0]);
@@ -97,6 +104,26 @@ int main(int argc, char** argv) {
       rc = 1;
     } else {
       std::fprintf(stderr, "prom_scrape: %s has %.0f samples\n", family.c_str(), n);
+    }
+  }
+
+  for (const std::string& name : required_metrics) {
+    // A sample line starts with the name followed by '{' (labeled) or ' '.
+    bool found = false;
+    std::size_t at = 0;
+    while (!found && (at = text.find(name, at)) != std::string::npos) {
+      const bool at_line_start = at == 0 || text[at - 1] == '\n';
+      const char after =
+          at + name.size() < text.size() ? text[at + name.size()] : '\0';
+      found = at_line_start && (after == '{' || after == ' ');
+      ++at;
+    }
+    if (!found) {
+      std::fprintf(stderr, "prom_scrape: metric '%s' has no samples\n",
+                   name.c_str());
+      rc = 1;
+    } else {
+      std::fprintf(stderr, "prom_scrape: metric '%s' present\n", name.c_str());
     }
   }
   return rc;

@@ -1,0 +1,144 @@
+// MpscRing: the lock-free dispatch primitive under the shard-per-core
+// server.  Single-producer sanity, full/empty boundaries, drain ordering,
+// and a multi-producer stress that the CI TSan job runs to keep the
+// publish/consume fences honest.
+#include "support/mpsc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace ilp {
+namespace {
+
+TEST(MpscRing, SingleProducerRoundTrips) {
+  MpscRing<int> ring(8);
+  EXPECT_EQ(ring.capacity(), 8u);
+  int out = 0;
+  EXPECT_FALSE(ring.try_pop(out));  // starts empty
+
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(ring.try_push(i));
+  EXPECT_EQ(ring.size_approx(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);  // FIFO
+  }
+  EXPECT_FALSE(ring.try_pop(out));
+  EXPECT_TRUE(ring.empty_approx());
+}
+
+TEST(MpscRing, CapacityRoundsUpToPowerOfTwo) {
+  MpscRing<int> ring(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+  MpscRing<int> tiny(0);
+  EXPECT_EQ(tiny.capacity(), 2u);
+}
+
+TEST(MpscRing, FullRingRejectsPushWithoutConsuming) {
+  MpscRing<std::unique_ptr<int>> ring(4);
+  for (int i = 0; i < 4; ++i) {
+    auto p = std::make_unique<int>(i);
+    EXPECT_TRUE(ring.try_push(std::move(p)));
+  }
+  auto extra = std::make_unique<int>(99);
+  EXPECT_FALSE(ring.try_push(extra));
+  ASSERT_NE(extra, nullptr);  // a failed push must not steal the element
+  EXPECT_EQ(*extra, 99);
+
+  // Freeing one slot re-admits exactly one element.
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(*out, 0);
+  EXPECT_TRUE(ring.try_push(std::move(extra)));
+  auto another = std::make_unique<int>(100);
+  EXPECT_FALSE(ring.try_push(another));
+}
+
+// Wrap the ring several times through interleaved push/pop so the slot
+// sequence numbers are exercised past one lap.
+TEST(MpscRing, SurvivesManyWraps) {
+  MpscRing<int> ring(4);
+  int out = 0;
+  for (int lap = 0; lap < 1000; ++lap) {
+    EXPECT_TRUE(ring.try_push(2 * lap));
+    EXPECT_TRUE(ring.try_push(2 * lap + 1));
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, 2 * lap);
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, 2 * lap + 1);
+  }
+}
+
+// Drain ordering: everything pushed before the consumer starts draining
+// comes out in push order, and the drain observes every element exactly
+// once — the property the graceful-drain path relies on.
+TEST(MpscRing, DrainAfterStopSeesAllElementsInOrder) {
+  MpscRing<std::uint64_t> ring(64);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    std::uint64_t v = i;
+    ASSERT_TRUE(ring.try_push(v));
+  }
+  std::vector<std::uint64_t> drained;
+  std::uint64_t out = 0;
+  while (ring.try_pop(out)) drained.push_back(out);
+  ASSERT_EQ(drained.size(), 50u);
+  for (std::uint64_t i = 0; i < 50; ++i) EXPECT_EQ(drained[i], i);
+}
+
+// Multi-producer stress: N producers push tagged values while one consumer
+// drains; every element must arrive exactly once and per-producer FIFO must
+// hold.  Run under TSan in CI (tsan job builds support_test).
+TEST(MpscRing, MultiProducerStressKeepsPerProducerFifo) {
+  constexpr unsigned kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 20'000;
+  MpscRing<std::uint64_t> ring(256);
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (unsigned p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ring, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        std::uint64_t v = (static_cast<std::uint64_t>(p) << 32) | i;
+        while (!ring.try_push(v)) std::this_thread::yield();
+      }
+    });
+  }
+
+  std::vector<std::uint64_t> next(kProducers, 0);
+  std::uint64_t received = 0;
+  std::thread consumer([&] {
+    std::uint64_t v = 0;
+    while (received < kProducers * kPerProducer) {
+      if (!ring.try_pop(v)) {
+        if (done.load(std::memory_order_acquire) && !ring.try_pop(v)) {
+          if (received < kProducers * kPerProducer) continue;
+          break;
+        }
+        std::this_thread::yield();
+        continue;
+      }
+      const auto p = static_cast<unsigned>(v >> 32);
+      const std::uint64_t seq = v & 0xffffffffull;
+      ASSERT_LT(p, kProducers);
+      ASSERT_EQ(seq, next[p]) << "per-producer FIFO violated";
+      ++next[p];
+      ++received;
+    }
+  });
+
+  for (std::thread& t : producers) t.join();
+  done.store(true, std::memory_order_release);
+  consumer.join();
+
+  EXPECT_EQ(received, kProducers * kPerProducer);
+  for (unsigned p = 0; p < kProducers; ++p) EXPECT_EQ(next[p], kPerProducer);
+  EXPECT_TRUE(ring.empty_approx());
+}
+
+}  // namespace
+}  // namespace ilp
