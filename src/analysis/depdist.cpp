@@ -1,0 +1,667 @@
+#include "analysis/depdist.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ilp {
+
+namespace {
+
+// Single write of `r` in the whole function, if it is an LDI: the only way a
+// loop bound resolves to a compile-time constant in lowered IR.
+bool unique_ldi_value(const Function& fn, const Reg& r, std::int64_t& out) {
+  const Instruction* def = nullptr;
+  for (const auto& b : fn.blocks())
+    for (const auto& in : b.insts)
+      if (in.writes(r)) {
+        if (def != nullptr) return false;
+        def = &in;
+      }
+  if (def == nullptr || def->op != Opcode::LDI) return false;
+  out = def->ival;
+  return true;
+}
+
+std::int64_t trip_count(std::int64_t lo, std::int64_t hi, std::int64_t step) {
+  if (step > 0) return hi < lo ? 0 : (hi - lo) / step + 1;
+  return lo < hi ? 0 : (lo - hi) / (-step) + 1;
+}
+
+// ---- Affine address forms ---------------------------------------------------
+
+// c + a0*iv0 + a1*iv1 + sum(coeff * invariant-symbol).  Symbols are registers
+// never written inside the body, keyed by RegKey so equal registers compare
+// equal across the two references of a pair.
+struct LinForm {
+  bool affine = false;
+  std::int64_t c = 0;
+  std::int64_t a0 = 0, a1 = 0;
+  std::vector<std::pair<std::size_t, std::int64_t>> syms;  // sorted by key
+
+  [[nodiscard]] bool is_const() const {
+    return affine && a0 == 0 && a1 == 0 && syms.empty();
+  }
+};
+
+LinForm lf_unknown() { return LinForm{}; }
+
+LinForm lf_const(std::int64_t v) {
+  LinForm f;
+  f.affine = true;
+  f.c = v;
+  return f;
+}
+
+LinForm lf_sym(std::size_t key) {
+  LinForm f;
+  f.affine = true;
+  f.syms.emplace_back(key, 1);
+  return f;
+}
+
+LinForm lf_combine(const LinForm& a, const LinForm& b, std::int64_t sign) {
+  if (!a.affine || !b.affine) return lf_unknown();
+  LinForm f;
+  f.affine = true;
+  f.c = a.c + sign * b.c;
+  f.a0 = a.a0 + sign * b.a0;
+  f.a1 = a.a1 + sign * b.a1;
+  std::size_t i = 0, j = 0;
+  while (i < a.syms.size() || j < b.syms.size()) {
+    if (j == b.syms.size() || (i < a.syms.size() && a.syms[i].first < b.syms[j].first)) {
+      f.syms.push_back(a.syms[i++]);
+    } else if (i == a.syms.size() || b.syms[j].first < a.syms[i].first) {
+      f.syms.emplace_back(b.syms[j].first, sign * b.syms[j].second);
+      ++j;
+    } else {
+      const std::int64_t k = a.syms[i].second + sign * b.syms[j].second;
+      if (k != 0) f.syms.emplace_back(a.syms[i].first, k);
+      ++i;
+      ++j;
+    }
+  }
+  return f;
+}
+
+LinForm lf_scale(const LinForm& a, std::int64_t k) {
+  if (!a.affine) return lf_unknown();
+  LinForm f;
+  f.affine = true;
+  f.c = a.c * k;
+  f.a0 = a.a0 * k;
+  f.a1 = a.a1 * k;
+  if (k != 0)
+    for (const auto& s : a.syms) f.syms.emplace_back(s.first, s.second * k);
+  return f;
+}
+
+bool same_syms(const LinForm& a, const LinForm& b) { return a.syms == b.syms; }
+
+// Forward symbolic evaluation of one extended basic block: per-memory-op
+// affine address forms plus the loop-carried scalar set (registers defined in
+// the block but read before their first in-block write).
+struct BodyForms {
+  std::vector<LinForm> addr;  // indexed by instruction position (mem ops only)
+  std::vector<Reg> carried;
+};
+
+BodyForms analyze_body(const Function& fn, BlockId body, Reg iv0, Reg iv1) {
+  const Block& blk = fn.block(body);
+  BodyForms out;
+  out.addr.resize(blk.insts.size());
+
+  std::unordered_set<std::size_t> defined;
+  for (const auto& in : blk.insts)
+    if (in.has_dest()) defined.insert(RegKey::key(in.dst));
+
+  std::unordered_map<std::size_t, LinForm> env;
+  std::unordered_set<std::size_t> written;
+  std::unordered_set<std::size_t> carried_keys;
+
+  auto lookup = [&](const Reg& r) -> LinForm {
+    if (iv0.valid() && r == iv0) {
+      LinForm f = lf_const(0);
+      f.a0 = 1;
+      return f;
+    }
+    if (iv1.valid() && r == iv1) {
+      LinForm f = lf_const(0);
+      f.a1 = 1;
+      return f;
+    }
+    const std::size_t k = RegKey::key(r);
+    const auto it = env.find(k);
+    if (it != env.end()) return it->second;
+    if (defined.count(k) != 0) {
+      // Read of an in-block value before its write: the previous iteration's
+      // value flows around the back edge — a loop-carried scalar.
+      if (carried_keys.insert(k).second) out.carried.push_back(r);
+      return lf_unknown();
+    }
+    return lf_sym(k);  // invariant: defined outside the loop body
+  };
+
+  for (std::size_t idx = 0; idx < blk.insts.size(); ++idx) {
+    const Instruction& in = blk.insts[idx];
+    for (const Reg& u : in.uses()) (void)lookup(u);  // carried detection
+    if (in.is_memory()) out.addr[idx] = lf_combine(lookup(in.src1), lf_const(in.ival), 1);
+
+    if (!in.has_dest()) continue;
+    LinForm f = lf_unknown();
+    switch (in.op) {
+      case Opcode::LDI: f = lf_const(in.ival); break;
+      case Opcode::IMOV: f = lookup(in.src1); break;
+      case Opcode::IADD:
+        f = lf_combine(lookup(in.src1),
+                       in.src2_is_imm ? lf_const(in.ival) : lookup(in.src2), 1);
+        break;
+      case Opcode::ISUB:
+        f = lf_combine(lookup(in.src1),
+                       in.src2_is_imm ? lf_const(in.ival) : lookup(in.src2), -1);
+        break;
+      case Opcode::IMUL: {
+        if (in.src2_is_imm) {
+          f = lf_scale(lookup(in.src1), in.ival);
+        } else {
+          const LinForm a = lookup(in.src1);
+          const LinForm b = lookup(in.src2);
+          if (a.is_const())
+            f = lf_scale(b, a.c);
+          else if (b.is_const())
+            f = lf_scale(a, b.c);
+        }
+        break;
+      }
+      case Opcode::ISHL:
+        if (in.src2_is_imm && in.ival >= 0 && in.ival < 62)
+          f = lf_scale(lookup(in.src1), std::int64_t{1} << in.ival);
+        break;
+      case Opcode::INEG: f = lf_scale(lookup(in.src1), -1); break;
+      default: break;  // loads, divisions, fp ops, ...: opaque
+    }
+    env[RegKey::key(in.dst)] = f;
+    written.insert(RegKey::key(in.dst));
+  }
+  return out;
+}
+
+// ---- Pair solving -----------------------------------------------------------
+
+constexpr std::int64_t kUnknownTrip = -1;
+constexpr std::int64_t kEnumCap = 4096;  // larger iteration-difference ranges degrade to '*'
+
+// Accumulates the set of canonical (lexicographically non-negative) direction
+// pairs between one reference pair, tracking whether the solution set is a
+// single concrete distance vector.
+struct VecSet {
+  bool present[4][4] = {};
+  int solutions = 0;
+  std::int64_t d0 = 0, d1 = 0;
+
+  [[nodiscard]] bool empty() const {
+    for (const auto& row : present)
+      for (bool p : row)
+        if (p) return false;
+    return true;
+  }
+
+  void add(Dir a, Dir b) {
+    present[static_cast<int>(a)][static_cast<int>(b)] = true;
+  }
+
+  void add_star() {
+    add(Dir::Star, Dir::Star);
+    solutions += 2;  // never report a unique distance
+  }
+
+  static Dir dir_of(std::int64_t d) { return d > 0 ? Dir::Lt : d < 0 ? Dir::Gt : Dir::Eq; }
+
+  // One concrete solution: distance (D0, D1) = sink iteration - source
+  // iteration.  Lexicographically negative solutions are the same dependence
+  // with source and sink swapped; canonicalize by negating.
+  void add_solution(std::int64_t D0, std::int64_t D1) {
+    if (D0 < 0 || (D0 == 0 && D1 < 0)) {
+      D0 = -D0;
+      D1 = -D1;
+    }
+    add(dir_of(D0), dir_of(D1));
+    if (solutions == 0) {
+      d0 = D0;
+      d1 = D1;
+      ++solutions;
+    } else if (solutions == 1 && (D0 != d0 || D1 != d1)) {
+      ++solutions;
+    }
+  }
+};
+
+std::int64_t bound_of(std::int64_t trip) {
+  return trip == kUnknownTrip ? kUnknownTrip : trip - 1;
+}
+
+bool within(std::int64_t v, std::int64_t bound) {
+  if (bound == kUnknownTrip) return true;
+  return v >= -bound && v <= bound;
+}
+
+// Intersects two affine references over the iteration box.  `U0`/`U1` are
+// trip counts (kUnknownTrip when not compile-time constant); `skip_same`
+// drops the (0,0) solution (a reference is not dependent on its own
+// instance).  Conflicts that cannot be characterized add a (*,*) vector.
+void solve_pair(const LinForm& fp, const LinForm& fq, std::int64_t U0, std::int64_t U1,
+                bool skip_same, VecSet& vs) {
+  if (!fp.affine || !fq.affine || !same_syms(fp, fq)) {
+    vs.add_star();
+    return;
+  }
+  // A loop with a known trip of zero or one carries nothing at that level.
+  const std::int64_t B0 = bound_of(U0), B1 = bound_of(U1);
+  const std::int64_t delta = fq.c - fp.c;
+  if (fp.a0 == fq.a0 && fp.a1 == fq.a1) {
+    const std::int64_t a0 = fp.a0, a1 = fp.a1;
+    // a0*e0 + a1*e1 = delta, e = source iteration - sink iteration, d = -e.
+    if (a0 == 0 && a1 == 0) {
+      if (delta != 0) return;  // distinct constant addresses
+      if ((B0 == 0 || U0 == 1) && (B1 == 0 || U1 == 1)) {
+        if (!skip_same) vs.add_solution(0, 0);
+        return;
+      }
+      vs.add_star();  // one address touched on every iteration
+      return;
+    }
+    if (a0 == 0 || a1 == 0) {
+      // One axis fixed by the equation, the other free within its bound.
+      const std::int64_t a = a0 == 0 ? a1 : a0;
+      if (delta % a != 0) return;
+      const std::int64_t e_fixed = delta / a;
+      const std::int64_t fixed_bound = a0 == 0 ? B1 : B0;
+      const std::int64_t free_bound = a0 == 0 ? B0 : B1;
+      if (!within(e_fixed, fixed_bound)) return;
+      const std::int64_t d_fixed = -e_fixed;
+      std::vector<std::int64_t> free_vals{0};
+      if (free_bound != 0) {
+        free_vals.push_back(1);
+        free_vals.push_back(-1);
+      }
+      for (const std::int64_t d_free : free_vals) {
+        const std::int64_t D0 = a0 == 0 ? d_free : d_fixed;
+        const std::int64_t D1 = a0 == 0 ? d_fixed : d_free;
+        if (skip_same && D0 == 0 && D1 == 0) continue;
+        vs.add_solution(D0, D1);
+      }
+      return;
+    }
+    // Both coefficients nonzero: enumerate the smaller-range axis.
+    const bool enum_outer = B0 != kUnknownTrip && (B1 == kUnknownTrip || B0 <= B1);
+    const std::int64_t range = enum_outer ? B0 : B1;
+    if (range == kUnknownTrip || range > kEnumCap) {
+      vs.add_star();
+      return;
+    }
+    const std::int64_t ae = enum_outer ? a0 : a1;
+    const std::int64_t ao = enum_outer ? a1 : a0;
+    const std::int64_t bo = enum_outer ? B1 : B0;
+    for (std::int64_t e = -range; e <= range; ++e) {
+      const std::int64_t rem = delta - ae * e;
+      if (rem % ao != 0) continue;
+      const std::int64_t other = rem / ao;
+      if (!within(other, bo)) continue;
+      const std::int64_t e0 = enum_outer ? e : other;
+      const std::int64_t e1 = enum_outer ? other : e;
+      if (skip_same && e0 == 0 && e1 == 0) continue;
+      vs.add_solution(-e0, -e1);
+    }
+    return;
+  }
+  // Different linear parts: a gcd test is the only cheap disproof.
+  std::int64_t g = 0;
+  for (const std::int64_t a : {fp.a0, fp.a1, fq.a0, fq.a1}) g = std::gcd(g, a);
+  if (g != 0 && delta % g != 0) return;
+  vs.add_star();
+}
+
+// True when the pair of memory operations can touch common storage at all
+// (alias-set screening before any subscript analysis).
+bool arrays_may_overlap(const Instruction& p, const Instruction& q) {
+  if (p.array_id >= 0 && q.array_id >= 0) return p.array_id == q.array_id;
+  return true;  // kMayAliasAll conflicts with everything
+}
+
+}  // namespace
+
+// ---- Canonical loop recognition --------------------------------------------
+
+std::vector<CanonLoop> find_canonical_loops(const Function& fn) {
+  std::vector<CanonLoop> out;
+  const auto& blocks = fn.blocks();
+  for (std::size_t li = 0; li < blocks.size(); ++li) {
+    const Block& latch = blocks[li];
+    if (latch.insts.size() < 2) continue;
+    const Instruction& br = latch.insts.back();
+    if (!br.is_branch() || br.src2_is_imm || !br.src2.valid()) continue;
+    const std::size_t head_pos = fn.layout_index(br.target);
+    if (head_pos > li || head_pos == 0) continue;  // need a back edge with a preheader
+    const Instruction& upd = latch.insts[latch.insts.size() - 2];
+    if (upd.op != Opcode::IADD || !upd.src2_is_imm) continue;
+    if (upd.dst != br.src1 || upd.src1 != upd.dst) continue;
+
+    CanonLoop L;
+    L.iv = upd.dst;
+    L.step = upd.ival;
+    if (L.step == 0) continue;
+    if (L.step > 0 && br.op != Opcode::BLE) continue;
+    if (L.step < 0 && br.op != Opcode::BGE) continue;
+    L.latch = latch.id;
+    L.update_idx = latch.insts.size() - 2;
+    L.header = br.target;
+    L.hi_reg = br.src2;
+
+    const Block& pre = blocks[head_pos - 1];
+    if (pre.insts.empty()) continue;
+    const Instruction& guard = pre.insts.back();
+    if (guard.op != (L.step > 0 ? Opcode::BGT : Opcode::BLT)) continue;
+    if (guard.src1 != L.iv || guard.src2_is_imm || guard.src2 != L.hi_reg) continue;
+    if (li + 1 >= blocks.size() || guard.target != blocks[li + 1].id) continue;
+    L.pre = pre.id;
+    L.exit = guard.target;
+
+    // The last write of the induction variable before the guard must be the
+    // canonical "IMOV iv, lo" initialization.
+    bool found_init = false;
+    for (std::size_t k = pre.insts.size() - 1; k-- > 0;) {
+      if (!pre.insts[k].writes(L.iv)) continue;
+      if (pre.insts[k].op == Opcode::IMOV) {
+        L.init_idx = k;
+        L.lo_reg = pre.insts[k].src1;
+        found_init = true;
+      }
+      break;
+    }
+    if (!found_init) continue;
+
+    // The body must leave the induction variable and the bound alone.
+    bool clean = true;
+    for (std::size_t bi = head_pos; bi <= li && clean; ++bi) {
+      const auto& insts = blocks[bi].insts;
+      for (std::size_t k = 0; k < insts.size(); ++k) {
+        if (bi == li && k == L.update_idx) continue;
+        if (insts[k].writes(L.iv) || insts[k].writes(L.hi_reg)) {
+          clean = false;
+          break;
+        }
+      }
+    }
+    if (!clean) continue;
+
+    L.lo_known = unique_ldi_value(fn, L.lo_reg, L.lo);
+    L.hi_known = unique_ldi_value(fn, L.hi_reg, L.hi);
+    if (L.lo_known && L.hi_known) {
+      L.trip_known = true;
+      L.trip = trip_count(L.lo, L.hi, L.step);
+    }
+    out.push_back(L);
+  }
+  return out;
+}
+
+bool perfectly_nested(const Function& fn, const CanonLoop& outer, const CanonLoop& inner) {
+  if (outer.header != inner.pre || outer.latch != inner.exit) return false;
+  if (!inner.single_block()) return false;
+  const Block& outer_latch = fn.block(outer.latch);
+  if (outer_latch.insts.size() != 2) return false;  // exactly [update, back branch]
+  // The shared block may hold only the inner loop's scalar prologue + guard.
+  const Block& shared = fn.block(outer.header);
+  for (std::size_t k = 0; k + 1 < shared.insts.size(); ++k) {
+    const Instruction& in = shared.insts[k];
+    if (!in.has_dest() || in.is_memory() || in.is_control()) return false;
+  }
+  // The inner body may not branch anywhere except its own back edge.
+  const Block& body = fn.block(inner.header);
+  for (std::size_t k = 0; k + 1 < body.insts.size(); ++k)
+    if (body.insts[k].is_control()) return false;
+  return true;
+}
+
+std::vector<NestDep> nest_dependences(const Function& fn, const CanonLoop& outer,
+                                      const CanonLoop& inner) {
+  std::vector<NestDep> out;
+  if (!inner.single_block()) return out;
+  const Block& body = fn.block(inner.header);
+  const BodyForms forms = analyze_body(fn, inner.header, outer.iv, inner.iv);
+  const std::int64_t U0 = outer.trip_known ? outer.trip : kUnknownTrip;
+  const std::int64_t U1 = inner.trip_known ? inner.trip : kUnknownTrip;
+
+  std::vector<std::size_t> mem;
+  for (std::size_t k = 0; k < body.insts.size(); ++k)
+    if (body.insts[k].is_memory()) mem.push_back(k);
+
+  for (std::size_t i = 0; i < mem.size(); ++i) {
+    for (std::size_t j = i; j < mem.size(); ++j) {
+      const Instruction& p = body.insts[mem[i]];
+      const Instruction& q = body.insts[mem[j]];
+      if (!p.is_store() && !q.is_store()) continue;  // load/load pairs are free
+      if (!arrays_may_overlap(p, q)) continue;
+      VecSet vs;
+      solve_pair(forms.addr[mem[i]], forms.addr[mem[j]], U0, U1, /*skip_same=*/i == j, vs);
+      if (vs.empty()) continue;
+      for (int a = 0; a < 4; ++a) {
+        for (int b = 0; b < 4; ++b) {
+          if (!vs.present[a][b]) continue;
+          NestDep d;
+          d.a = mem[i];
+          d.b = mem[j];
+          d.d0 = static_cast<Dir>(a);
+          d.d1 = static_cast<Dir>(b);
+          if (vs.solutions == 1) {
+            d.dist_known = true;
+            d.dist0 = vs.d0;
+            d.dist1 = vs.d1;
+          }
+          out.push_back(d);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool interchange_legal_vectors(const std::vector<NestDep>& deps) {
+  for (const NestDep& d : deps) {
+    const bool outer_lt = d.d0 == Dir::Lt || d.d0 == Dir::Star;
+    const bool inner_gt = d.d1 == Dir::Gt || d.d1 == Dir::Star;
+    if (outer_lt && inner_gt) return false;  // (<, >) flips lexicographic order
+  }
+  return true;
+}
+
+std::vector<Reg> carried_scalars(const Function& fn, const CanonLoop& loop) {
+  if (!loop.single_block()) return {};
+  BodyForms forms = analyze_body(fn, loop.header, kNoReg, loop.iv);
+  return std::move(forms.carried);
+}
+
+bool interchange_structural(const Function& fn, const CanonLoop& outer,
+                            const CanonLoop& inner) {
+  if (!perfectly_nested(fn, outer, inner)) return false;
+
+  const Block& body = fn.block(inner.header);
+  const Block& shared = fn.block(outer.header);
+
+  // Registers written in the body (the inner induction variable included —
+  // its update lives there).
+  std::unordered_set<std::size_t> body_defs;
+  for (const auto& in : body.insts)
+    if (in.has_dest()) body_defs.insert(RegKey::key(in.dst));
+
+  // The shared prologue must be invariant in the outer loop: it may read
+  // neither the outer induction variable nor anything the body writes, and
+  // what it defines must not be redefined by the body.  The one exception is
+  // the inner loop's own init ("IMOV iv, lo"): its destination is the inner
+  // induction variable, which the body's update necessarily redefines.
+  std::unordered_set<std::size_t> local_defs;
+  for (std::size_t k = 0; k + 1 < shared.insts.size(); ++k) {
+    const Instruction& in = shared.insts[k];
+    for (const Reg& u : in.uses()) {
+      if (u == outer.iv) return false;
+      const std::size_t key = RegKey::key(u);
+      if (body_defs.count(key) != 0 && local_defs.count(key) == 0) return false;
+    }
+    if (k != inner.init_idx && body_defs.count(RegKey::key(in.dst)) != 0) return false;
+    local_defs.insert(RegKey::key(in.dst));
+  }
+  return true;
+}
+
+bool interchange_legal(const Function& fn, const CanonLoop& outer, const CanonLoop& inner) {
+  if (!interchange_structural(fn, outer, inner)) return false;
+
+  const Block& body = fn.block(inner.header);
+  const Block& shared = fn.block(outer.header);
+
+  std::unordered_set<std::size_t> body_defs;
+  for (const auto& in : body.insts)
+    if (in.has_dest()) body_defs.insert(RegKey::key(in.dst));
+  std::unordered_set<std::size_t> local_defs;
+  for (std::size_t k = 0; k + 1 < shared.insts.size(); ++k)
+    local_defs.insert(RegKey::key(shared.insts[k].dst));
+
+  // Nothing computed per-iteration may be observable after the nest: the
+  // interchange permutes iteration execution order (and the prologue hoist
+  // changes execution counts), which only final memory and live-out scalars
+  // can witness.
+  std::unordered_set<std::size_t> internal = body_defs;
+  for (const std::size_t k : local_defs) internal.insert(k);
+  internal.insert(RegKey::key(outer.iv));
+  internal.insert(RegKey::key(inner.iv));
+  for (const Reg& r : fn.live_out())
+    if (internal.count(RegKey::key(r)) != 0) return false;
+  for (const auto& blk : fn.blocks()) {
+    if (blk.id == body.id || blk.id == shared.id) continue;
+    const bool is_outer_latch = blk.id == outer.latch;
+    const bool is_outer_pre = blk.id == outer.pre;
+    for (std::size_t k = 0; k < blk.insts.size(); ++k) {
+      for (const Reg& u : blk.insts[k].uses()) {
+        const std::size_t key = RegKey::key(u);
+        if (internal.count(key) == 0) continue;
+        // Structural reads of the induction variables are part of the nest.
+        if (is_outer_latch && u == outer.iv) continue;
+        if (is_outer_pre && u == outer.iv && k >= outer.init_idx) continue;
+        return false;
+      }
+    }
+  }
+
+  // Loop-carried scalar recurrences (reductions, searches) order-depend on
+  // the iteration sequence; interchange would reassociate them.
+  if (!carried_scalars(fn, inner).empty()) return false;
+
+  return interchange_legal_vectors(nest_dependences(fn, outer, inner));
+}
+
+NestStrides nest_strides(const Function& fn, const CanonLoop& outer, const CanonLoop& inner) {
+  NestStrides s;
+  if (!inner.single_block()) return s;
+  const Block& body = fn.block(inner.header);
+  const BodyForms forms = analyze_body(fn, inner.header, outer.iv, inner.iv);
+  for (std::size_t k = 0; k < body.insts.size(); ++k) {
+    if (!body.insts[k].is_memory()) continue;
+    const LinForm& f = forms.addr[k];
+    if (!f.affine) continue;
+    s.known = true;
+    s.outer += f.a0 < 0 ? -f.a0 : f.a0;
+    s.inner += f.a1 < 0 ? -f.a1 : f.a1;
+  }
+  return s;
+}
+
+DepSigns loop_ref_dep_signs(const Function& fn, const CanonLoop& loop, std::size_t p_idx,
+                            std::size_t q_idx) {
+  DepSigns s;
+  if (!loop.single_block()) {
+    s.neg = s.zero = s.pos = true;
+    return s;
+  }
+  const Block& body = fn.block(loop.header);
+  const Instruction& p = body.insts[p_idx];
+  const Instruction& q = body.insts[q_idx];
+  if (!arrays_may_overlap(p, q)) return s;
+
+  const BodyForms forms = analyze_body(fn, loop.header, kNoReg, loop.iv);
+  const LinForm& fp = forms.addr[p_idx];
+  const LinForm& fq = forms.addr[q_idx];
+  const std::int64_t U = loop.trip_known ? loop.trip : kUnknownTrip;
+  const std::int64_t B = bound_of(U);
+
+  if (!fp.affine || !fq.affine || !same_syms(fp, fq)) {
+    s.neg = s.zero = s.pos = true;
+    return s;
+  }
+  const std::int64_t delta = fq.c - fp.c;
+  if (fp.a1 == fq.a1) {
+    const std::int64_t a = fp.a1;
+    if (a == 0) {
+      if (delta != 0) return s;
+      s.zero = true;
+      if (B != 0) s.neg = s.pos = true;
+      return s;
+    }
+    if (delta % a != 0) return s;
+    const std::int64_t d = -delta / a;  // sink iteration - source iteration
+    if (!within(d, B)) return s;
+    (d < 0 ? s.neg : d > 0 ? s.pos : s.zero) = true;
+    return s;
+  }
+  const std::int64_t g = std::gcd(std::gcd(fp.a1, fq.a1), std::int64_t{0});
+  if (g != 0 && delta % g != 0) return s;
+  s.neg = s.zero = s.pos = true;
+  return s;
+}
+
+bool fusion_preventing_dep(const Function& fn, const CanonLoop& first,
+                           const CanonLoop& second) {
+  if (!first.single_block() || !second.single_block()) return true;
+  const Block& b1 = fn.block(first.header);
+  const Block& b2 = fn.block(second.header);
+  const BodyForms f1 = analyze_body(fn, first.header, kNoReg, first.iv);
+  const BodyForms f2 = analyze_body(fn, second.header, kNoReg, second.iv);
+  const std::int64_t U = first.trip_known ? first.trip : kUnknownTrip;
+  const std::int64_t B = bound_of(U);
+
+  for (std::size_t i = 0; i < b1.insts.size(); ++i) {
+    const Instruction& p = b1.insts[i];
+    if (!p.is_memory()) continue;
+    for (std::size_t j = 0; j < b2.insts.size(); ++j) {
+      const Instruction& q = b2.insts[j];
+      if (!q.is_memory()) continue;
+      if (!p.is_store() && !q.is_store()) continue;
+      if (!arrays_may_overlap(p, q)) continue;
+      const LinForm& fp = f1.addr[i];
+      const LinForm& fq = f2.addr[j];
+      if (!fp.affine || !fq.affine || !same_syms(fp, fq)) return true;
+      const std::int64_t delta = fq.c - fp.c;
+      if (fp.a1 == fq.a1) {
+        const std::int64_t a = fp.a1;
+        if (a == 0) {
+          // Same fixed address in both bodies: any second-body access at
+          // iteration y conflicts with a first-body access at x > y.
+          if (delta == 0 && (B != 0)) return true;
+          continue;
+        }
+        // Conflict between first@x and second@y needs a*(x - y) = delta;
+        // fusion breaks when some x > y solution exists inside the trip box.
+        if (delta % a != 0) continue;
+        const std::int64_t k = delta / a;  // x - y
+        if (k >= 1 && (B == kUnknownTrip || k <= B)) return true;
+        continue;
+      }
+      const std::int64_t g = std::gcd(fp.a1, fq.a1);
+      if (g != 0 && delta % g != 0) continue;
+      return true;  // incomparable subscript shapes: assume the worst
+    }
+  }
+  return false;
+}
+
+}  // namespace ilp

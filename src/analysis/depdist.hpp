@@ -1,0 +1,147 @@
+// Loop-carried dependence direction/distance vectors over affine subscripts.
+//
+// The frontend lowers every DSL loop to one canonical shape (see
+// frontend/compile.cpp lower_loop):
+//
+//   pre:     ...          IMOV iv, lo
+//            ...          <guard: BGT/BLT iv, hi -> exit>   (last instruction)
+//   header:  ...body blocks...
+//   latch:   ...          IADD iv, iv, #step
+//                         <back: BLE/BGE iv, hi -> header>  (last instruction)
+//   exit:    (layout successor of latch)
+//
+// find_canonical_loops recognizes exactly this shape, which is why the nest
+// transformations (trans/nest/) run *before* the conventional optimizations:
+// once LICM/ivopt rewrite induction variables into pointer-bumping form the
+// subscript structure is gone and none of this analysis applies.
+//
+// Dependence testing follows the paper's per-nest model: every memory
+// reference address is symbolically evaluated to an affine form
+// c + sum(a_k * iv_k) + sum(b_j * sym_j) over the analyzed induction
+// variables and loop-invariant symbolic roots, then pairs of references are
+// intersected with trip-count-bounded integer solving.  Direction vectors use
+// the standard notation: '<' at level k means the source iteration precedes
+// the sink iteration at that level (distance d_k > 0), '=' means same
+// iteration, '*' means unknown.  Anything non-affine degrades to '*' — never
+// to silence.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace ilp {
+
+// A loop in the frontend's canonical lowered shape.
+struct CanonLoop {
+  Reg iv;
+  std::int64_t step = 0;
+  BlockId pre = kNoBlock;      // block ending in the zero-trip guard
+  std::size_t init_idx = 0;    // index in `pre` of "IMOV iv, lo"
+  BlockId header = kNoBlock;   // first body block (back-branch target)
+  BlockId latch = kNoBlock;    // block ending [iv update, back branch]
+  std::size_t update_idx = 0;  // index in `latch` of "iv += step"
+  BlockId exit = kNoBlock;     // guard target (layout successor of latch)
+  Reg lo_reg, hi_reg;
+  bool lo_known = false, hi_known = false;  // constant bound values resolved
+  std::int64_t lo = 0, hi = 0;
+  bool trip_known = false;
+  std::int64_t trip = 0;  // iterations executed (0 when the guard skips)
+
+  // True when the whole body is one extended basic block (header == latch),
+  // the shape every dependence query below requires.
+  [[nodiscard]] bool single_block() const { return header == latch; }
+};
+
+// All canonical loops in `fn`, in layout order of their headers.  Loops whose
+// induction variable or bound is also written elsewhere in the body are
+// rejected (the canonical shape must fully describe the iteration space).
+std::vector<CanonLoop> find_canonical_loops(const Function& fn);
+
+// True when `outer` immediately and perfectly encloses `inner`: the shared
+// block between them holds only the inner loop's prologue and the outer
+// latch holds nothing but the update/back-branch pair.  This is the
+// structural precondition for interchange and tiling.
+bool perfectly_nested(const Function& fn, const CanonLoop& outer, const CanonLoop& inner);
+
+// Direction of a dependence at one loop level.
+enum class Dir : unsigned char { Lt, Eq, Gt, Star };
+
+inline char dir_char(Dir d) {
+  switch (d) {
+    case Dir::Lt: return '<';
+    case Dir::Eq: return '=';
+    case Dir::Gt: return '>';
+    case Dir::Star: return '*';
+  }
+  return '?';
+}
+
+// One dependence between two memory references of a 2-deep nest body.
+struct NestDep {
+  std::size_t a = 0, b = 0;  // instruction indices into the inner body block
+  Dir d0 = Dir::Star;        // outer-loop direction
+  Dir d1 = Dir::Star;        // inner-loop direction
+  bool dist_known = false;   // true when the solution is a unique distance
+  std::int64_t dist0 = 0, dist1 = 0;
+};
+
+// All dependences (flow/anti/output, canonicalized to lexicographically
+// non-negative vectors) between memory references in the single-block body of
+// the perfect nest (outer, inner).  Pairs provably disjoint are omitted.
+std::vector<NestDep> nest_dependences(const Function& fn, const CanonLoop& outer,
+                                      const CanonLoop& inner);
+
+// Interchange is illegal exactly when some dependence could be (<, >): such a
+// vector becomes lexicographically negative after the swap, i.e. the sink
+// would execute before its source.
+bool interchange_legal_vectors(const std::vector<NestDep>& deps);
+
+// Mechanical validity of the control swap alone: perfect nesting plus an
+// outer-invariant prologue whose definitions the body does not clobber.
+// interchange_legal adds the semantic layer (carried scalars, escaping
+// definitions, direction vectors) on top of this.
+bool interchange_structural(const Function& fn, const CanonLoop& outer,
+                            const CanonLoop& inner);
+
+// Full interchange (and tiling) legality: interchange_structural, no
+// loop-carried scalar recurrences in the body, no body-defined register
+// observable after the nest, and no (<, >) vector.
+bool interchange_legal(const Function& fn, const CanonLoop& outer, const CanonLoop& inner);
+
+// Sum over body memory references of the absolute address coefficient on each
+// induction variable: the interchange profitability signal (a smaller inner
+// coefficient means better spatial locality in the inner loop).
+struct NestStrides {
+  std::int64_t outer = 0, inner = 0;
+  bool known = false;
+};
+NestStrides nest_strides(const Function& fn, const CanonLoop& outer, const CanonLoop& inner);
+
+// Sign set of possible iteration distances (sink minus source) between two
+// memory references of one single-block loop body; used by fission to orient
+// dependence edges.  `neg` means the reference later in program order can
+// depend backward (sink iteration earlier), which reverses the edge.
+struct DepSigns {
+  bool neg = false, zero = false, pos = false;
+  [[nodiscard]] bool any() const { return neg || zero || pos; }
+};
+DepSigns loop_ref_dep_signs(const Function& fn, const CanonLoop& loop, std::size_t p_idx,
+                            std::size_t q_idx);
+
+// True when fusing `first` and `second` (same constant bounds and step, with
+// `second`'s body mapped onto `first`'s induction variable) would create a
+// backward loop-carried dependence: some reference of `second` at iteration y
+// conflicting with a reference of `first` at iteration x > y.  Only the
+// memory side; the fusion pass performs the structural and scalar checks.
+bool fusion_preventing_dep(const Function& fn, const CanonLoop& first,
+                           const CanonLoop& second);
+
+// Registers written inside the single-block body that are read before their
+// first in-body write (loop-carried scalar recurrences, e.g. reductions).
+// The induction variable is excluded.  Interchange/tiling reject nests with
+// any of these: reordering iterations would reassociate the recurrence.
+std::vector<Reg> carried_scalars(const Function& fn, const CanonLoop& loop);
+
+}  // namespace ilp

@@ -61,7 +61,7 @@ std::uint64_t simulate_cycles(const Function& fn, const MachineModel& m) {
 std::uint64_t study_cell_key(const Workload& w, OptLevel level, const MachineModel& m,
                              const CompileOptions& opts) {
   engine::HashStream h;
-  h.str("ilp92-cell-v2");  // schema version: bump to invalidate disk caches
+  h.str("ilp92-cell-v3");  // schema version: bump to invalidate disk caches
   h.str(w.source);
   h.i32(static_cast<int>(level));
   h.i32(m.issue_width).i32(m.branch_slots);
@@ -71,6 +71,10 @@ std::uint64_t study_cell_key(const Workload& w, OptLevel level, const MachineMod
   h.i32(opts.unroll.max_factor);
   h.u64(opts.unroll.max_body_insts);
   h.boolean(opts.unroll.merge_counter_updates);
+  // Nest restructuring knobs change the compiled shape before any other pass.
+  h.boolean(opts.nest.interchange).boolean(opts.nest.fuse);
+  h.boolean(opts.nest.fission).boolean(opts.nest.tile);
+  h.i32(opts.nest.tile_size);
   h.boolean(opts.schedule);
   // Scheduler backend identity: results from one backend must never be
   // served to a request for the other, and any behavior change in the

@@ -113,6 +113,36 @@ bool parse_compile(const JsonValue& obj, CompileRequest& out, std::string* error
     }
     out.transforms = set;
   }
+  if (const JsonValue* v = obj.find("nest")) {
+    if (!v->is_object()) {
+      *error = "field 'nest' must be an object";
+      return false;
+    }
+    for (const auto& [name, flag] : v->members()) {
+      if (name == "tile_size") {
+        const std::int64_t ts = flag.is_number() ? flag.as_int() : 0;
+        if (ts < 2 || ts > 4096) {
+          *error = "nest field 'tile_size' must be in [2, 4096]";
+          return false;
+        }
+        out.nest.tile_size = static_cast<int>(ts);
+        continue;
+      }
+      if (!flag.is_bool()) {
+        *error = strformat("nest pass '%s' must be a boolean", name.c_str());
+        return false;
+      }
+      const bool on = flag.as_bool();
+      if (name == "interchange") out.nest.interchange = on;
+      else if (name == "fuse") out.nest.fuse = on;
+      else if (name == "fission") out.nest.fission = on;
+      else if (name == "tile") out.nest.tile = on;
+      else {
+        *error = strformat("unknown nest pass '%s'", name.c_str());
+        return false;
+      }
+    }
+  }
   if (const JsonValue* v = obj.find("scheduler")) {
     const auto k = v->is_string() ? parse_scheduler_kind(v->as_string()) : std::nullopt;
     if (!k) {
@@ -270,10 +300,13 @@ CompileBody serialize_compile_body(const CompileResponse& r) {
         ", \"transforms\": {\"loops_unrolled\": %d, \"regs_renamed\": %d, "
         "\"accs_expanded\": %d, \"inds_expanded\": %d, \"searches_expanded\": %d, "
         "\"ops_combined\": %d, \"strength_reduced\": %d, \"trees_rebalanced\": %d, "
+        "\"loops_interchanged\": %d, \"loops_fused\": %d, \"loops_fissioned\": %d, "
+        "\"loops_tiled\": %d, "
         "\"ir_insts_before\": %zu, \"ir_insts_after\": %zu}",
         t.loops_unrolled, t.regs_renamed, t.accs_expanded, t.inds_expanded,
         t.searches_expanded, t.ops_combined, t.strength_reduced,
-        t.trees_rebalanced, t.ir_insts_before, t.ir_insts_after);
+        t.trees_rebalanced, t.loops_interchanged, t.loops_fused,
+        t.loops_fissioned, t.loops_tiled, t.ir_insts_before, t.ir_insts_after);
     if (r.scheduler == SchedulerKind::Modulo) {
       const ModuloStats& ms = t.modulo;
       out += strformat(

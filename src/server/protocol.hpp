@@ -6,6 +6,8 @@
 //    "source": "<DSL text>" | "workload": "<Table 2 name>",   // exactly one
 //    "level": "conv"|"lev1"|"lev2"|"lev3"|"lev4",             // default lev4
 //    "transforms": {"unroll": true, ...},   // overrides level (ablation form)
+//    "nest": {"interchange": true, "fuse": true, "fission": true,
+//             "tile": true, "tile_size": 16},  // pre-pass loop restructuring
 //    "issue": 8, "unroll": 8,
 //    "deadline_ms": 10000, "debug_sleep_ms": 0}
 //
@@ -65,6 +67,7 @@ struct CompileRequest {
   std::string workload;
   OptLevel level = OptLevel::Lev4;
   std::optional<TransformSet> transforms;  // set => custom ablation pipeline
+  NestOptions nest;  // affine nest restructuring pre-passes (all off by default)
   SchedulerKind scheduler = SchedulerKind::List;  // "scheduler": "list"|"modulo"
   int issue = 8;
   int unroll = 8;

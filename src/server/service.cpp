@@ -72,30 +72,31 @@ std::optional<ErrorKind> parse_error_kind(std::string_view name) {
 }
 
 // Cache payload schema for one served cell.  Versioned like the study cells:
-// an unknown prefix (including pre-observability "ilpd-v1"/"ilpd-v2" entries,
-// which lack the scheduler identity and modulo counters) decodes as a miss,
-// never as garbage.
+// an unknown prefix (including pre-observability "ilpd-v1"/"ilpd-v2" entries
+// and "ilpd-v3" ones, which lack the nest-restructuring counters) decodes as
+// a miss, never as garbage.
 std::string encode_cell(const Service::CellOutcome& c) {
   if (!c.ok)
-    return strformat("ilpd-v3 err %s %s", error_kind_name(c.err), c.message.c_str());
+    return strformat("ilpd-v4 err %s %s", error_kind_name(c.err), c.message.c_str());
   const CompileResponse& r = c.resp;
   const TransformStats& t = r.transforms;
-  return strformat("ilpd-v3 ok %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
-                   " %d %d %d %d %d %d %d %d %d %d %d %d %zu %zu"
+  return strformat("ilpd-v4 ok %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+                   " %d %d %d %d %d %d %d %d %d %d %d %d %d %d %d %d %zu %zu"
                    " %d %d %d %d %d %d %d",
                    r.cycles, r.base_cycles, r.dynamic_instructions, r.stall_cycles,
                    r.static_instructions, r.blocks, r.int_regs, r.fp_regs,
                    t.loops_unrolled, t.regs_renamed, t.accs_expanded,
                    t.inds_expanded, t.searches_expanded, t.ops_combined,
-                   t.strength_reduced, t.trees_rebalanced, t.ir_insts_before,
-                   t.ir_insts_after, static_cast<int>(r.scheduler),
+                   t.strength_reduced, t.trees_rebalanced, t.loops_interchanged,
+                   t.loops_fused, t.loops_fissioned, t.loops_tiled,
+                   t.ir_insts_before, t.ir_insts_after, static_cast<int>(r.scheduler),
                    t.modulo.loops_pipelined, t.modulo.loops_fallback,
                    t.modulo.backtracks, t.modulo.min_ii_sum,
                    t.modulo.achieved_ii_sum, t.modulo.max_stages);
 }
 
 bool decode_cell(const std::string& payload, Service::CellOutcome& out) {
-  if (payload.rfind("ilpd-v3 err ", 0) == 0) {
+  if (payload.rfind("ilpd-v4 err ", 0) == 0) {
     const std::string rest = payload.substr(12);
     const std::size_t sp = rest.find(' ');
     if (sp == std::string::npos) return false;
@@ -111,18 +112,19 @@ bool decode_cell(const std::string& payload, Service::CellOutcome& out) {
   TransformStats& t = r.transforms;
   int sched_kind = 0;
   if (std::sscanf(payload.c_str(),
-                  "ilpd-v3 ok %" SCNu64 " %" SCNu64 " %" SCNu64 " %" SCNu64
-                  " %d %d %d %d %d %d %d %d %d %d %d %d %zu %zu"
+                  "ilpd-v4 ok %" SCNu64 " %" SCNu64 " %" SCNu64 " %" SCNu64
+                  " %d %d %d %d %d %d %d %d %d %d %d %d %d %d %d %d %zu %zu"
                   " %d %d %d %d %d %d %d",
                   &r.cycles, &r.base_cycles, &r.dynamic_instructions, &r.stall_cycles,
                   &r.static_instructions, &r.blocks, &r.int_regs, &r.fp_regs,
                   &t.loops_unrolled, &t.regs_renamed, &t.accs_expanded,
                   &t.inds_expanded, &t.searches_expanded, &t.ops_combined,
-                  &t.strength_reduced, &t.trees_rebalanced, &t.ir_insts_before,
-                  &t.ir_insts_after, &sched_kind, &t.modulo.loops_pipelined,
-                  &t.modulo.loops_fallback, &t.modulo.backtracks,
-                  &t.modulo.min_ii_sum, &t.modulo.achieved_ii_sum,
-                  &t.modulo.max_stages) != 25)
+                  &t.strength_reduced, &t.trees_rebalanced, &t.loops_interchanged,
+                  &t.loops_fused, &t.loops_fissioned, &t.loops_tiled,
+                  &t.ir_insts_before, &t.ir_insts_after, &sched_kind,
+                  &t.modulo.loops_pipelined, &t.modulo.loops_fallback,
+                  &t.modulo.backtracks, &t.modulo.min_ii_sum,
+                  &t.modulo.achieved_ii_sum, &t.modulo.max_stages) != 29)
     return false;
   r.scheduler = sched_kind == 1 ? SchedulerKind::Modulo : SchedulerKind::List;
   c.ok = true;
@@ -138,10 +140,10 @@ bool decode_cell(const std::string& payload, Service::CellOutcome& out) {
 // and (mixed) as the shard-routing key.
 std::uint64_t cell_key(const std::string& source, OptLevel level,
                        const std::optional<TransformSet>& transforms,
-                       SchedulerKind scheduler, int issue, int unroll,
-                       std::int64_t debug_sleep_ms) {
+                       const NestOptions& nest, SchedulerKind scheduler, int issue,
+                       int unroll, std::int64_t debug_sleep_ms) {
   engine::HashStream h;
-  h.str("ilpd-cell-v2");
+  h.str("ilpd-cell-v3");
   h.str(source);
   // Backend identity: a warm cache must never answer a modulo request with a
   // list-scheduled cell (or with pipelined code from an older scheduler).
@@ -156,6 +158,9 @@ std::uint64_t cell_key(const std::string& source, OptLevel level,
   } else {
     h.i32(static_cast<int>(level));
   }
+  h.boolean(nest.interchange).boolean(nest.fuse);
+  h.boolean(nest.fission).boolean(nest.tile);
+  h.i32(nest.tile_size);
   h.i32(issue).i32(unroll);
   h.i64(debug_sleep_ms);
   return h.digest();
@@ -202,8 +207,8 @@ std::uint64_t Service::base_cycles_for(const std::string& source) {
 // counters land in the response.
 Service::CellOutcome Service::compute_cell(
     const std::string& source, OptLevel level,
-    const std::optional<TransformSet>& transforms, SchedulerKind scheduler,
-    int issue, int unroll) {
+    const std::optional<TransformSet>& transforms, const NestOptions& nest,
+    SchedulerKind scheduler, int issue, int unroll) {
   static obs::Histogram& compile_hist =
       engine::MetricsRegistry::global().histogram("server.phase.compile");
   static obs::Histogram& schedule_hist =
@@ -215,6 +220,7 @@ Service::CellOutcome Service::compute_cell(
   const MachineModel m = MachineModel::issue(issue);
   CompileOptions opts;
   opts.unroll.max_factor = unroll;
+  opts.nest = nest;
   opts.scheduler = scheduler;
 
   TransformStats tstats;
@@ -412,8 +418,8 @@ Service::ParsedRequest Service::parse_and_route(const std::string& line) const {
   } else {
     p.source = c.source;
   }
-  p.cell_key = cell_key(p.source, c.level, c.transforms, c.scheduler, c.issue,
-                        c.unroll, c.debug_sleep_ms);
+  p.cell_key = cell_key(p.source, c.level, c.transforms, c.nest, c.scheduler,
+                        c.issue, c.unroll, c.debug_sleep_ms);
   p.has_key = true;
   p.shard = shard_index(p.cell_key);
   return p;
@@ -564,8 +570,8 @@ std::string Service::handle_compile(const Request& req,
     source = w->source;
   }
 
-  const std::uint64_t key = cell_key(source, c.level, c.transforms, c.scheduler,
-                                     c.issue, c.unroll, c.debug_sleep_ms);
+  const std::uint64_t key = cell_key(source, c.level, c.transforms, c.nest,
+                                     c.scheduler, c.issue, c.unroll, c.debug_sleep_ms);
   Shard& sh = shard_for(key);
 
   // Warm path: a previously served identical request costs one cache lookup.
@@ -615,8 +621,8 @@ std::string Service::handle_compile(const Request& req,
               out.err = ErrorKind::DeadlineExceeded;
               out.message = "cancelled while queued (deadline exceeded)";
             } else {
-              out = compute_cell(source, c.level, c.transforms, c.scheduler,
-                                 c.issue, c.unroll);
+              out = compute_cell(source, c.level, c.transforms, c.nest,
+                                 c.scheduler, c.issue, c.unroll);
               Shard& osh = shard_for(key);
               osh.cache->store(key, encode_cell(out));
               bump(kCellsExecuted);
@@ -854,8 +860,8 @@ Reply Service::handle_compile_direct(const ParsedRequest& p,
     out.message = "cancelled while queued (deadline exceeded)";
   } else {
     try {
-      out = compute_cell(p.source, c.level, c.transforms, c.scheduler, c.issue,
-                         c.unroll);
+      out = compute_cell(p.source, c.level, c.transforms, c.nest, c.scheduler,
+                         c.issue, c.unroll);
     } catch (const std::exception& e) {
       out.ok = false;
       out.err = ErrorKind::Internal;
@@ -939,8 +945,8 @@ std::string Service::handle_batch(const Request& req) {
         slot.width = width;
         engine::Stopwatch queued;
         const SchedulerKind scheduler = req.batch.scheduler;
-        const std::uint64_t key =
-            cell_key(w->source, level, std::nullopt, scheduler, width, 8, 0);
+        const std::uint64_t key = cell_key(w->source, level, std::nullopt,
+                                           NestOptions{}, scheduler, width, 8, 0);
         futures.push_back(group.submit_pinned(
             static_cast<unsigned>(shard_index(key)),
             [this, w, level, width, scheduler, key, queued]() -> BatchCell {
@@ -965,7 +971,7 @@ std::string Service::handle_batch(const Request& req) {
                 cache.invalidate(key);
               }
               CellOutcome out = compute_cell(w->source, level, std::nullopt,
-                                             scheduler, width, 8);
+                                             NestOptions{}, scheduler, width, 8);
               cache.store(key, encode_cell(out));
               bump(kCellsExecuted);
               if (out.ok) {

@@ -230,7 +230,8 @@ class Service {
 
   CellOutcome compute_cell(const std::string& source, OptLevel level,
                            const std::optional<TransformSet>& transforms,
-                           SchedulerKind scheduler, int issue, int unroll);
+                           const NestOptions& nest, SchedulerKind scheduler,
+                           int issue, int unroll);
   std::uint64_t base_cycles_for(const std::string& source);
 
   ServiceConfig cfg_;

@@ -8,6 +8,9 @@
 //   --level conv|lev1|lev2|lev3|lev4  transformation level (default lev4)
 //   --issue N                         issue width (default 8)
 //   --unroll N                        max unroll factor (default 8)
+//   --nest p1,p2,...                  enable affine nest pre-passes, from
+//                                     interchange|fuse|fission|tile (or "all")
+//   --tile-size N                     tile size for --nest tile (default 16)
 //   --emit-ir                         print the final IR
 //   --emit-ir-before                  print the IR before optimization
 //   --no-sim                          skip simulation
@@ -49,6 +52,7 @@ void usage() {
   std::fprintf(stderr,
                "usage: ilpc [--level conv|lev1|lev2|lev3|lev4] [--issue N] "
                "[--unroll N]\n"
+               "            [--nest interchange,fuse,fission,tile|all] [--tile-size N]\n"
                "            [--scheduler list|modulo] [--emit-ir] [--emit-ir-before]\n"
                "            [--no-sim] [--classify]\n"
                "            (<source.ilp> | --workload <name> | --list-workloads)\n"
@@ -104,6 +108,24 @@ int run_study_mode(ilp::SchedulerKind scheduler, int jobs, const std::string& js
   return failed == 0 ? 0 : 3;
 }
 
+// "--nest interchange,fuse" style comma list; "all" turns on every pass.
+bool parse_nest_list(const char* s, ilp::NestOptions& out) {
+  std::string item;
+  std::istringstream in(s);
+  while (std::getline(in, item, ',')) {
+    if (item == "interchange") out.interchange = true;
+    else if (item == "fuse") out.fuse = true;
+    else if (item == "fission") out.fission = true;
+    else if (item == "tile") out.tile = true;
+    else if (item == "all") out.interchange = out.fuse = out.fission = out.tile = true;
+    else {
+      std::fprintf(stderr, "unknown nest pass '%s'\n", item.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
 std::optional<ilp::OptLevel> parse_level(const char* s) {
   using ilp::OptLevel;
   if (!std::strcmp(s, "conv")) return OptLevel::Conv;
@@ -121,6 +143,7 @@ int main(int argc, char** argv) {
 
   OptLevel level = OptLevel::Lev4;
   SchedulerKind scheduler = SchedulerKind::List;
+  NestOptions nest;
   int issue = 8;
   int unroll = 8;
   bool emit_ir = false;
@@ -167,6 +190,17 @@ int main(int argc, char** argv) {
       }
     } else if (a == "--unroll") {
       unroll = std::atoi(next());
+    } else if (a == "--nest") {
+      if (!parse_nest_list(next(), nest)) {
+        usage();
+        return 1;
+      }
+    } else if (a == "--tile-size") {
+      nest.tile_size = std::atoi(next());
+      if (nest.tile_size < 2) {
+        usage();
+        return 1;
+      }
     } else if (a == "--emit-ir") {
       emit_ir = true;
     } else if (a == "--emit-ir-before") {
@@ -265,8 +299,11 @@ int main(int argc, char** argv) {
   const MachineModel machine = MachineModel::issue(issue);
   CompileOptions opts;
   opts.unroll.max_factor = unroll;
+  opts.nest = nest;
   opts.scheduler = scheduler;
-  compile_at_level(compiled->fn, level, machine, opts);
+  TransformStats tstats;
+  compile_with_transforms(compiled->fn, TransformSet::for_level(level), machine, opts,
+                          &tstats);
 
   if (emit_ir) std::printf("%s\n", to_string(compiled->fn).c_str());
 
@@ -274,6 +311,10 @@ int main(int argc, char** argv) {
   std::printf("level=%s scheduler=%s issue=%d instructions=%zu registers=%d(int)+%d(fp)\n",
               level_name(level), scheduler_kind_name(scheduler), issue,
               compiled->fn.num_insts(), regs.int_regs, regs.fp_regs);
+  if (nest.any())
+    std::printf("nest: interchanged=%d fused=%d fissioned=%d tiled=%d\n",
+                tstats.loops_interchanged, tstats.loops_fused, tstats.loops_fissioned,
+                tstats.loops_tiled);
 
   if (do_sim) {
     const RunOutcome run = run_seeded(compiled->fn, machine);

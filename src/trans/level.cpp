@@ -66,6 +66,22 @@ void compile_with_transforms(Function& fn, const TransformSet& set,
   TransformStats& s = stats != nullptr ? *stats : local;
   s = TransformStats{};
 
+  // Nest restructuring sees the naive lowered IR: explicit affine subscripts
+  // and the canonical guarded loop shape, both of which the conventional
+  // optimizations rewrite away.
+  if (opts.nest.fuse)
+    timed_pass("pass.nest.fuse", fn, "after loop fusion",
+               [&] { s.loops_fused = fuse_loops(fn, opts.nest); });
+  if (opts.nest.interchange)
+    timed_pass("pass.nest.interchange", fn, "after loop interchange",
+               [&] { s.loops_interchanged = interchange_loops(fn, opts.nest); });
+  if (opts.nest.tile)
+    timed_pass("pass.nest.tile", fn, "after loop tiling",
+               [&] { s.loops_tiled = tile_loops(fn, opts.nest); });
+  if (opts.nest.fission)
+    timed_pass("pass.nest.fission", fn, "after loop fission",
+               [&] { s.loops_fissioned = fission_loops(fn, opts.nest); });
+
   timed_pass("pass.conventional", fn, "after conventional optimizations",
              [&] { run_conventional_optimizations(fn, ctx); });
   s.ir_insts_before = fn.num_insts();
@@ -112,6 +128,16 @@ void compile_with_transforms(Function& fn, const TransformSet& set,
   // Global transformation counters: a handful of locked adds per compile,
   // nothing per-instruction, so the metrics-on overhead stays in the noise.
   engine::MetricsRegistry& reg = engine::MetricsRegistry::global();
+  if (s.loops_fused > 0)
+    reg.add_count("trans.nest.loops_fused", static_cast<std::uint64_t>(s.loops_fused));
+  if (s.loops_interchanged > 0)
+    reg.add_count("trans.nest.loops_interchanged",
+                  static_cast<std::uint64_t>(s.loops_interchanged));
+  if (s.loops_tiled > 0)
+    reg.add_count("trans.nest.loops_tiled", static_cast<std::uint64_t>(s.loops_tiled));
+  if (s.loops_fissioned > 0)
+    reg.add_count("trans.nest.loops_fissioned",
+                  static_cast<std::uint64_t>(s.loops_fissioned));
   if (s.loops_unrolled > 0)
     reg.add_count("trans.loops_unrolled", static_cast<std::uint64_t>(s.loops_unrolled));
   if (s.regs_renamed > 0)

@@ -20,6 +20,7 @@
 #include "machine/machine.hpp"
 #include "sched/modulo/modulo.hpp"
 #include "support/compile_ctx.hpp"
+#include "trans/nest/nest.hpp"
 #include "trans/unroll.hpp"
 
 namespace ilp {
@@ -39,6 +40,10 @@ inline const char* level_name(OptLevel l) {
 
 struct CompileOptions {
   UnrollOptions unroll;
+  // Affine nest restructuring (trans/nest/): runs before the conventional
+  // optimizations — the passes pattern-match the frontend's canonical loop
+  // shape, which LICM/ivopt destroy.  All off by default.
+  NestOptions nest;
   bool schedule = true;  // superblock-schedule at the end
   // Scheduling backend.  Modulo software-pipelines eligible counted loops
   // (sched/modulo/) before the final list-scheduling pass; List is the
@@ -72,6 +77,13 @@ struct TransformSet {
 // stats pointer is passed; every compile also accumulates the same counts
 // into the global MetricsRegistry under "trans.*".
 struct TransformStats {
+  // Nest restructuring pre-passes (trans/nest/, CompileOptions::nest knobs).
+  // These precede the paper's eight transformations and are deliberately not
+  // part of total_applied(), which counts exactly the paper's set.
+  int loops_interchanged = 0;
+  int loops_fused = 0;
+  int loops_fissioned = 0;
+  int loops_tiled = 0;
   int loops_unrolled = 0;      // paper: loop unrolling
   int regs_renamed = 0;        // register renaming (registers split)
   int accs_expanded = 0;       // accumulator variable expansion

@@ -1,0 +1,229 @@
+// Loop fission (distribution): split a single-block counted loop at its
+// maximal strongly-connected dependence regions, giving each region its own
+// loop.  Smaller bodies lower register pressure under high unroll factors and
+// isolate recurrences so DOALL-shaped statements schedule freely (the
+// ICC-inspired fission model from PAPERS.md).
+//
+//   P:  [.., IMOV i,lo, guard -> E]          P:  unchanged (the one guard
+//   B:  [S1.., S2.., i+=1, BLE -> B]              covers every piece: equal
+//   E:                                            trip counts by construction)
+//                                            B:  [S1.., i+=1, BLE -> B]
+//                                            Pk: [IMOV ik, lo]
+//                                            Bk: [S2[i:=ik].., ik+=1, BLE -> Bk]
+//                                            E:  unchanged
+//
+// The dependence graph: register def/use relations are bidirectional (any
+// two statements touching a body-defined scalar stay together — this keeps
+// reductions intact), memory edges are oriented by the sign of the iteration
+// distance (analysis/depdist loop_ref_dep_signs), and unanalyzable pairs get
+// both directions.  A dependence cycle therefore always lands inside one
+// SCC and is never split — fission has no illegal outcome, only finer or
+// coarser partitions.
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/depdist.hpp"
+#include "trans/nest/nest.hpp"
+
+namespace ilp {
+
+namespace {
+
+// Tarjan's algorithm, iterative; returns the component id per node with
+// components numbered in reverse topological order of the condensation.
+struct SccFinder {
+  const std::vector<std::vector<std::size_t>>& adj;
+  std::vector<int> comp, low, num;
+  std::vector<std::size_t> stack;
+  std::vector<bool> on_stack;
+  int counter = 0, comps = 0;
+
+  explicit SccFinder(const std::vector<std::vector<std::size_t>>& a)
+      : adj(a), comp(a.size(), -1), low(a.size(), 0), num(a.size(), -1),
+        on_stack(a.size(), false) {}
+
+  void run(std::size_t root) {
+    // Explicit DFS frame: (node, next child index).
+    std::vector<std::pair<std::size_t, std::size_t>> frames{{root, 0}};
+    num[root] = low[root] = counter++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      auto& [v, child] = frames.back();
+      if (child < adj[v].size()) {
+        const std::size_t w = adj[v][child++];
+        if (num[w] == -1) {
+          num[w] = low[w] = counter++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.emplace_back(w, 0);
+        } else if (on_stack[w]) {
+          low[v] = std::min(low[v], num[w]);
+        }
+        continue;
+      }
+      if (low[v] == num[v]) {
+        while (true) {
+          const std::size_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          comp[w] = comps;
+          if (w == v) break;
+        }
+        ++comps;
+      }
+      const std::size_t done = v;
+      frames.pop_back();
+      if (!frames.empty())
+        low[frames.back().first] = std::min(low[frames.back().first], low[done]);
+    }
+  }
+};
+
+// Partition the body statements of `loop` into dependence regions, ordered so
+// every edge points forward.  Empty result means "don't split".
+std::vector<std::vector<std::size_t>> dependence_regions(const Function& fn,
+                                                         const CanonLoop& loop) {
+  const Block& body = fn.block(loop.header);
+  if (body.insts.size() < 4) return {};  // need at least two statements
+  const std::size_t n = body.insts.size() - 2;
+  for (std::size_t k = 0; k + 1 < body.insts.size(); ++k)
+    if (body.insts[k].is_control()) return {};
+
+  std::vector<std::vector<std::size_t>> adj(n);
+  auto edge = [&](std::size_t a, std::size_t b) { adj[a].push_back(b); };
+
+  // Register relations: every pair of statements touching the same
+  // body-defined register is welded together (covers flow, anti, output, and
+  // loop-carried scalar recurrences in one rule).
+  std::unordered_map<std::size_t, std::vector<std::size_t>> touchers;
+  for (std::size_t k = 0; k < n; ++k)
+    if (body.insts[k].has_dest()) touchers[RegKey::key(body.insts[k].dst)];
+  for (std::size_t k = 0; k < n; ++k) {
+    const Instruction& in = body.insts[k];
+    if (in.has_dest()) {
+      const auto it = touchers.find(RegKey::key(in.dst));
+      if (it != touchers.end()) it->second.push_back(k);
+    }
+    for (const Reg& u : in.uses()) {
+      if (u == loop.iv) continue;
+      const auto it = touchers.find(RegKey::key(u));
+      if (it != touchers.end() &&
+          (it->second.empty() || it->second.back() != k))
+        it->second.push_back(k);
+    }
+  }
+  for (const auto& [key, nodes] : touchers) {
+    (void)key;
+    for (std::size_t k = 1; k < nodes.size(); ++k) {
+      edge(nodes[k - 1], nodes[k]);
+      edge(nodes[k], nodes[k - 1]);
+    }
+  }
+
+  // Memory edges, oriented by the iteration-distance sign.
+  for (std::size_t p = 0; p < n; ++p) {
+    if (!body.insts[p].is_memory()) continue;
+    for (std::size_t q = p + 1; q < n; ++q) {
+      if (!body.insts[q].is_memory()) continue;
+      if (!body.insts[p].is_store() && !body.insts[q].is_store()) continue;
+      const DepSigns s = loop_ref_dep_signs(fn, loop, p, q);
+      if (s.pos || s.zero) edge(p, q);
+      if (s.neg) edge(q, p);
+    }
+  }
+
+  SccFinder scc(adj);
+  for (std::size_t k = 0; k < n; ++k)
+    if (scc.num[k] == -1) scc.run(k);
+  if (scc.comps < 2) return {};
+
+  // Tarjan numbers components in reverse topological order, so ordering
+  // regions by descending component id makes every dependence edge point
+  // into the same or a later region.  Statements keep program order inside a
+  // region.
+  std::vector<std::vector<std::size_t>> regions(static_cast<std::size_t>(scc.comps));
+  for (std::size_t k = 0; k < n; ++k)
+    regions[static_cast<std::size_t>(scc.comps - 1 - scc.comp[k])].push_back(k);
+  return regions;
+}
+
+bool split_loop(Function& fn, const CanonLoop& loop) {
+  if (!loop.single_block()) return false;
+  if (loop.lo_reg == loop.iv) return false;
+  const Block& body0 = fn.block(loop.header);
+  // The split prologues re-read the bound registers after the original body
+  // ran; the body must leave them alone (the canonical shape already bans
+  // writes of iv/hi, this adds lo).
+  for (const Instruction& in : body0.insts)
+    if (in.has_dest() && in.dst == loop.lo_reg) return false;
+
+  const auto regions = dependence_regions(fn, loop);
+  if (regions.size() < 2) return false;
+
+  const std::vector<Instruction> orig = body0.insts;
+  const Instruction upd = orig[orig.size() - 2];
+  const Instruction br = orig.back();
+
+  struct NewPiece {
+    BlockId pre, body;
+    Reg iv;
+    const std::vector<std::size_t>* nodes;
+  };
+  std::vector<NewPiece> pieces;
+  BlockId after = loop.header;
+  for (std::size_t g = 1; g < regions.size(); ++g) {
+    NewPiece p;
+    p.iv = fn.new_int_reg();
+    p.pre = fn.insert_block_after(after, "fiss.pre." + std::to_string(g));
+    p.body = fn.insert_block_after(p.pre, "fiss." + std::to_string(g));
+    p.nodes = &regions[g];
+    after = p.body;
+    pieces.push_back(p);
+  }
+
+  std::vector<Instruction> first;
+  for (const std::size_t idx : regions[0]) first.push_back(orig[idx]);
+  first.push_back(upd);
+  first.push_back(br);
+  fn.block(loop.header).insts = std::move(first);
+
+  for (const NewPiece& p : pieces) {
+    fn.block(p.pre).insts = {make_unary(Opcode::IMOV, p.iv, loop.lo_reg)};
+    auto& insts = fn.block(p.body).insts;
+    for (const std::size_t idx : *p.nodes) {
+      Instruction in = orig[idx];
+      in.replace_uses(loop.iv, p.iv);
+      insts.push_back(in);
+    }
+    insts.push_back(make_binary_imm(Opcode::IADD, p.iv, p.iv, loop.step));
+    insts.push_back(make_branch(loop.step > 0 ? Opcode::BLE : Opcode::BGE, p.iv,
+                                loop.hi_reg, p.body));
+  }
+  fn.renumber();
+  return true;
+}
+
+}  // namespace
+
+int fission_loops(Function& fn, const NestOptions& opts) {
+  (void)opts;  // fission has no illegal outcome; nothing to unsafely skip
+  int split = 0;
+  for (int round = 0; round < 16; ++round) {
+    const std::vector<CanonLoop> loops = find_canonical_loops(fn);
+    bool changed = false;
+    for (const CanonLoop& loop : loops) {
+      if (!split_loop(fn, loop)) continue;
+      ++split;
+      changed = true;
+      break;  // block layout changed: re-analyze
+    }
+    if (!changed) break;
+  }
+  return split;
+}
+
+}  // namespace ilp

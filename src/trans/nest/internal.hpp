@@ -1,0 +1,20 @@
+// Shared mechanics between interchange and tiling.
+#pragma once
+
+#include "analysis/depdist.hpp"
+#include "ir/function.hpp"
+
+namespace ilp::nest_detail {
+
+// Swaps control of a perfect pair: the outer loop described by `outer` and an
+// inner control structure whose prologue + zero-trip guard sit in
+// outer.header and whose [update, back branch] tail sits in `inner_tail`
+// (== the inner header for plain interchange, the strip latch for tiling),
+// back-branching to `inner_head`.  After the swap the previously-inner
+// control is outermost and the whole region is again in canonical shape.
+// Callers are responsible for the structural preconditions
+// (interchange_structural) and must renumber the function afterwards.
+void swap_control(Function& fn, const CanonLoop& outer, BlockId inner_head,
+                  BlockId inner_tail);
+
+}  // namespace ilp::nest_detail

@@ -1,0 +1,18 @@
+#include "trans/nest/nest.hpp"
+
+namespace ilp {
+
+NestStats run_nest_pipeline(Function& fn, const NestOptions& opts) {
+  NestStats s;
+  if (!opts.any()) return s;
+  // Fusion first (bigger bodies for the others to work with), then the
+  // reordering passes, fission last: its split loops deliberately leave the
+  // canonical guarded shape, so nothing downstream of it re-analyzes nests.
+  if (opts.fuse) s.fused = fuse_loops(fn, opts);
+  if (opts.interchange) s.interchanged = interchange_loops(fn, opts);
+  if (opts.tile) s.tiled = tile_loops(fn, opts);
+  if (opts.fission) s.fissioned = fission_loops(fn, opts);
+  return s;
+}
+
+}  // namespace ilp

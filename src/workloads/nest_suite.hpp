@@ -1,0 +1,20 @@
+// Loop nests sized for the affine restructuring passes (trans/nest/):
+// column-major traversals that interchange fixes, adjacent conformable loops
+// that fuse, mixed-recurrence bodies that fission splits, and square nests
+// big enough for tiling to matter.  Kept separate from workload_suite() —
+// that set is pinned to the paper's Table 2 (exactly 40 single-innermost
+// nests) and validated as such by tests/workloads/suite_test.cpp.
+//
+// bench_nest.cpp sweeps this suite across levels x widths x nest on/off and
+// writes the BENCH_7 artifact; nest_semantics_test runs every entry through
+// the differential interpreter oracle.
+#pragma once
+
+#include "workloads/suite.hpp"
+
+namespace ilp {
+
+// Nest-restructuring workload set (names prefixed "NEST-").
+const std::vector<Workload>& nest_suite();
+
+}  // namespace ilp

@@ -159,6 +159,143 @@ inline std::string random_program(std::uint64_t seed) {
     src += strformat("loop o = 0 to %d {\n%s}\n", rng.range(1, 2), inner.c_str());
   else
     src += inner.substr(2);  // unindent
+
+  // Adjacent second loop: every seed ending in 7 gets one deterministically
+  // (so any 10 consecutive seeds contain a multi-loop program — the nest
+  // passes and their differential tests need loop sequences in the corpus),
+  // plus a random 20% of the rest.  Bounds match the first loop 60% of the
+  // time to produce fusion candidates; the rest are non-conformable.
+  if (seed % 10 == 7 || rng.chance(20)) {
+    const int trip2 = rng.chance(60) ? trip : rng.range(3, 40);
+    std::string body2;
+    const int stmts2 = rng.range(1, 4);
+    for (int k = 0; k < stmts2; ++k) {
+      switch (rng.range(0, 4)) {
+        case 0: body2 += "    B[i] = A[i] * 1.5;\n"; break;
+        case 1: body2 += "    s = s + C[i];\n"; break;
+        case 2: body2 += strformat("    K[i] = K[i] + %d;\n", rng.range(1, 5)); break;
+        case 3: body2 += strformat("    D[i] = C[i%+d] + A[i];\n", rng.range(-2, 2)); break;
+        case 4: body2 += "    E[i] = E[i] * 0.5 + B[i];\n"; break;
+      }
+    }
+    src += strformat("loop i = %d to %d {\n%s}\n", lo_off, lo_off + trip2 - 1,
+                     body2.c_str());
+  }
+  return src;
+}
+
+// Generates programs shaped for the affine nest transformations
+// (trans/nest/): perfect and imperfect 2-3-deep nests over 2-D arrays with
+// every direction-vector class — (=,=), (=,<), (<,=), and the
+// interchange-illegal (<,>) — transposed accesses that make interchange
+// profitable, loop-carried scalar reductions (which interchange/tiling must
+// refuse), adjacent fusable and fusion-preventing loop pairs, and
+// multi-statement bodies for fission.  Subscript offsets stay within the +-1
+// ring, and loop bounds keep every reference in range.
+inline std::string random_nest_program(std::uint64_t seed) {
+  Rng rng(seed);
+  const int rows = rng.range(4, 8);    // 2-D outer dimension
+  const int cols = rng.range(8, 24);   // 2-D inner dimension
+  const int ti = rng.range(2, rows - 2);  // outer trip, i in [1, ti]
+  const int tj = rng.range(4, cols - 2);  // inner trip, j in [1, tj]
+  const int t1 = rng.range(4, 30);        // 1-D loop trip, i in [1, t1]
+  const int len1 = t1 + 4;
+
+  std::string src = "program nest\n";
+  src += strformat("array M[%d][%d] fp\n", rows, cols);
+  src += strformat("array N[%d][%d] fp\n", rows, cols);
+  src += strformat("array A[%d] fp\narray B[%d] fp\narray C[%d] fp\n", len1, len1, len1);
+  src += strformat("array K[%d] int\n", len1);
+  src +=
+      "scalar s fp out\n"
+      "scalar t fp\n"
+      "scalar n int out\n";
+
+  // One statement of the perfect-nest body; the mix covers every direction
+  // class plus transposed (interchange-profitable) accesses.
+  auto nest_stmt = [&rng](const char* i, const char* j) {
+    switch (rng.range(0, 6)) {
+      case 0: return strformat("    M[%s][%s] = M[%s][%s] * 1.5 + N[%s][%s];\n",
+                               i, j, i, j, i, j);              // (=,=)
+      case 1: return strformat("    M[%s][%s] = M[%s][%s-1] + N[%s][%s];\n",
+                               i, j, i, j, i, j);              // (=,<) serial inner
+      case 2: return strformat("    M[%s][%s] = M[%s-1][%s] + 1.25;\n",
+                               i, j, i, j);                    // (<,=)
+      case 3: return strformat("    M[%s][%s] = M[%s-1][%s+1] * 0.5;\n",
+                               i, j, i, j);                    // (<,>): interchange-illegal
+      case 4: return strformat("    M[%s][%s] = M[%s][%s] + N[%s][%s];\n",
+                               j, i, j, i, j, i);              // transposed: profitable swap
+      case 5: return strformat("    N[%s][%s] = M[%s][%s] * 0.75;\n",
+                               i, j, i, j);                    // two-array flow
+      default: return strformat("    s = s + M[%s][%s];\n", i, j);  // carried scalar
+    }
+  };
+
+  auto adjacent_1d_pair = [&] {
+    std::string p = strformat("loop i = 1 to %d {\n    A[i] = B[i] * 1.5 + C[i];\n", t1);
+    if (rng.chance(40)) p += "    K[i] = K[i] * 3 + 1;\n";
+    p += "}\n";
+    switch (rng.range(0, 2)) {
+      case 0:  // fusable: same bounds, forward (distance <= 0) dependence only
+        p += strformat("loop i = 1 to %d {\n    C[i] = A[i] + 2.0;\n}\n", t1);
+        break;
+      case 1:  // fusion-preventing: reads ahead of the producer
+        p += strformat("loop i = 1 to %d {\n    C[i] = A[i+1] + 2.0;\n}\n", t1);
+        break;
+      case 2:  // non-conformable bounds
+        p += strformat("loop i = 2 to %d {\n    C[i] = A[i] + 2.0;\n}\n", t1);
+        break;
+    }
+    return p;
+  };
+
+  std::string prog;
+  switch (seed % 6) {
+    case 0: {  // perfect 2-deep nest
+      std::string body;
+      const int stmts = rng.range(1, 3);
+      for (int k = 0; k < stmts; ++k) body += nest_stmt("i", "j");
+      prog = strformat("loop i = 1 to %d {\n  loop j = 1 to %d {\n%s  }\n}\n", ti, tj,
+                       body.c_str());
+      break;
+    }
+    case 1: {  // imperfect: scalar work before and after the inner loop
+      std::string body = nest_stmt("i", "j");
+      prog = strformat(
+          "loop i = 1 to %d {\n  t = A[i] * 2.0;\n  loop j = 1 to %d {\n%s"
+          "    N[i][j] = N[i][j] + t;\n  }\n  B[i] = t + 1.0;\n}\n",
+          ti, tj, body.c_str());
+      break;
+    }
+    case 2: {  // 3-deep: the inner pair is perfect, the outer is not
+      std::string body = nest_stmt("j", "k");
+      prog = strformat(
+          "loop i = 1 to %d {\n  loop j = 1 to %d {\n    loop k = 1 to %d {\n"
+          "  %s      N[j][k] = N[j][k] + A[i];\n    }\n  }\n}\n",
+          rng.range(1, 2), ti, tj, body.c_str());
+      break;
+    }
+    case 3:  // adjacent 1-D pairs: fusion candidates and rejections
+      prog = adjacent_1d_pair();
+      break;
+    case 4: {  // fission shapes: one loop, independent statement groups
+      std::string body = strformat("    A[i] = B[i] * 1.5;\n    C[i] = C[i%+d] + 0.5;\n",
+                                   rng.range(-1, 0));
+      if (rng.chance(50)) body += "    s = s + B[i];\n";
+      if (rng.chance(40)) body += strformat("    K[i] = K[i] * %d + 2;\n", rng.range(2, 5));
+      prog = strformat("loop i = 1 to %d {\n%s}\n", t1, body.c_str());
+      break;
+    }
+    default: {  // nest followed by an adjacent 1-D loop
+      std::string body = nest_stmt("i", "j");
+      prog = strformat("loop i = 1 to %d {\n  loop j = 1 to %d {\n%s  }\n}\n", ti, tj,
+                       body.c_str());
+      prog += strformat("loop i = 1 to %d {\n    n = n + K[i];\n    B[i] = A[i] + 1.0;\n}\n",
+                        t1);
+      break;
+    }
+  }
+  src += prog;
   return src;
 }
 

@@ -1,0 +1,253 @@
+// Big-step IR interpreter: the semantic oracle for the nest-transformation
+// differential tests.  It executes IR sequentially (no timing model, no issue
+// widths, no stall accounting) with the exact functional semantics of
+// src/sim/simulator.cpp — wrapping 64-bit integer arithmetic, the INT64_MIN
+// division edge cases, 6-bit shift masking, 64-bit memory cells defaulting
+// to zero — so it is an *independent implementation* of the same contract:
+// if the simulator and this interpreter ever disagree on observable state,
+// one of them is wrong (tests/trans/nest_semantics_test.cpp pins their
+// agreement on the whole workload suite).
+//
+// Observable state is reduced to a single FNV-1a digest over the function's
+// declared live-out registers and every array cell.  The nest passes never
+// reassociate floating-point work (interchange/tiling reject carried
+// scalars), so the comparison is bit-exact — no tolerance.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/function.hpp"
+#include "sim/memory.hpp"
+#include "sim/simulator.hpp"
+
+namespace ilp::testing {
+
+struct InterpResult {
+  bool ok = false;
+  std::string error;
+  std::uint64_t steps = 0;  // instructions executed
+  RegFile regs;
+};
+
+// Executes `fn` from its first layout block to RET, mutating `mem`.
+inline InterpResult interpret(const Function& fn, Memory& mem,
+                              std::uint64_t max_steps = 200'000'000ull) {
+  InterpResult res;
+  if (fn.num_blocks() == 0) {
+    res.error = "empty function";
+    return res;
+  }
+  std::vector<std::int64_t> ints(std::max<std::size_t>(fn.num_regs(RegClass::Int), 1), 0);
+  std::vector<double> fps(std::max<std::size_t>(fn.num_regs(RegClass::Fp), 1), 0.0);
+
+  const auto wrap_add = [](std::int64_t a, std::int64_t b) {
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                     static_cast<std::uint64_t>(b));
+  };
+  const auto wrap_sub = [](std::int64_t a, std::int64_t b) {
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
+                                     static_cast<std::uint64_t>(b));
+  };
+  const auto wrap_mul = [](std::int64_t a, std::int64_t b) {
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) *
+                                     static_cast<std::uint64_t>(b));
+  };
+
+  const auto& blocks = fn.blocks();
+  std::size_t bpos = 0, idx = 0;
+  const auto fail = [&](std::string msg) { res.error = std::move(msg); };
+
+  while (true) {
+    while (idx >= blocks[bpos].insts.size()) {
+      if (bpos + 1 >= blocks.size()) {
+        fail("fell off end of function");
+        return res;
+      }
+      ++bpos;
+      idx = 0;
+    }
+    const Instruction& in = blocks[bpos].insts[idx];
+    if (res.steps++ >= max_steps) {
+      fail("interpreter step budget exceeded");
+      return res;
+    }
+    const auto iget = [&](const Reg& r) { return ints[r.id]; };
+    const auto fget = [&](const Reg& r) { return fps[r.id]; };
+    const auto isrc2 = [&] { return in.src2_is_imm ? in.ival : iget(in.src2); };
+    const auto fsrc2 = [&] { return in.src2_is_imm ? in.fval : fget(in.src2); };
+
+    bool taken = false;
+    bool done = false;
+    switch (in.op) {
+      case Opcode::IADD: ints[in.dst.id] = wrap_add(iget(in.src1), isrc2()); break;
+      case Opcode::ISUB: ints[in.dst.id] = wrap_sub(iget(in.src1), isrc2()); break;
+      case Opcode::IMUL: ints[in.dst.id] = wrap_mul(iget(in.src1), isrc2()); break;
+      case Opcode::IMULH: {
+        const __int128 p = static_cast<__int128>(iget(in.src1)) * static_cast<__int128>(isrc2());
+        ints[in.dst.id] = static_cast<std::int64_t>(p >> 64);
+        break;
+      }
+      case Opcode::IDIV:
+      case Opcode::IREM: {
+        const std::int64_t a = iget(in.src1);
+        const std::int64_t b = isrc2();
+        if (b == 0) {
+          fail("integer division by zero");
+          return res;
+        }
+        const std::int64_t q = (a == INT64_MIN && b == -1) ? INT64_MIN : a / b;
+        ints[in.dst.id] = in.op == Opcode::IDIV ? q : wrap_sub(a, wrap_mul(q, b));
+        break;
+      }
+      case Opcode::ISHL:
+      case Opcode::ISHRA:
+      case Opcode::ISHRL: {
+        const auto a = static_cast<std::uint64_t>(iget(in.src1));
+        const int s = static_cast<int>(isrc2() & 63);
+        std::uint64_t r = 0;
+        if (in.op == Opcode::ISHL)
+          r = a << s;
+        else if (in.op == Opcode::ISHRL)
+          r = a >> s;
+        else
+          r = static_cast<std::uint64_t>(static_cast<std::int64_t>(a) >> s);
+        ints[in.dst.id] = static_cast<std::int64_t>(r);
+        break;
+      }
+      case Opcode::IAND: ints[in.dst.id] = iget(in.src1) & isrc2(); break;
+      case Opcode::IOR: ints[in.dst.id] = iget(in.src1) | isrc2(); break;
+      case Opcode::IXOR: ints[in.dst.id] = iget(in.src1) ^ isrc2(); break;
+      case Opcode::IMAX: ints[in.dst.id] = std::max(iget(in.src1), isrc2()); break;
+      case Opcode::IMIN: ints[in.dst.id] = std::min(iget(in.src1), isrc2()); break;
+      case Opcode::IMOV: ints[in.dst.id] = iget(in.src1); break;
+      case Opcode::INEG: ints[in.dst.id] = wrap_sub(0, iget(in.src1)); break;
+      case Opcode::LDI: ints[in.dst.id] = in.ival; break;
+      case Opcode::FADD: fps[in.dst.id] = fget(in.src1) + fsrc2(); break;
+      case Opcode::FSUB: fps[in.dst.id] = fget(in.src1) - fsrc2(); break;
+      case Opcode::FMUL: fps[in.dst.id] = fget(in.src1) * fsrc2(); break;
+      case Opcode::FDIV: fps[in.dst.id] = fget(in.src1) / fsrc2(); break;
+      case Opcode::FMAX: fps[in.dst.id] = std::max(fget(in.src1), fsrc2()); break;
+      case Opcode::FMIN: fps[in.dst.id] = std::min(fget(in.src1), fsrc2()); break;
+      case Opcode::FMOV: fps[in.dst.id] = fget(in.src1); break;
+      case Opcode::FNEG: fps[in.dst.id] = -fget(in.src1); break;
+      case Opcode::FLDI: fps[in.dst.id] = in.fval; break;
+      case Opcode::ITOF: fps[in.dst.id] = static_cast<double>(iget(in.src1)); break;
+      case Opcode::FTOI: {
+        const double v = fget(in.src1);
+        if (!(v >= -9.2e18 && v <= 9.2e18)) {
+          fail("ftoi out of range");
+          return res;
+        }
+        ints[in.dst.id] = static_cast<std::int64_t>(v);
+        break;
+      }
+      case Opcode::LD: ints[in.dst.id] = mem.load_int(wrap_add(iget(in.src1), in.ival)); break;
+      case Opcode::FLD: fps[in.dst.id] = mem.load_fp(wrap_add(iget(in.src1), in.ival)); break;
+      case Opcode::ST: mem.store_int(wrap_add(iget(in.src1), in.ival), iget(in.src2)); break;
+      case Opcode::FST: mem.store_fp(wrap_add(iget(in.src1), in.ival), fget(in.src2)); break;
+      case Opcode::JUMP: taken = true; break;
+      case Opcode::RET: done = true; break;
+      case Opcode::NOP: break;
+      default: {
+        ILP_ASSERT(in.is_branch(), "unhandled opcode in interpreter");
+        bool cond;
+        if (op_is_fp_compare(in.op)) {
+          const double a = fget(in.src1);
+          const double b = fsrc2();
+          switch (in.op) {
+            case Opcode::FBEQ: cond = a == b; break;
+            case Opcode::FBNE: cond = a != b; break;
+            case Opcode::FBLT: cond = a < b; break;
+            case Opcode::FBLE: cond = a <= b; break;
+            case Opcode::FBGT: cond = a > b; break;
+            default: cond = a >= b; break;  // FBGE
+          }
+        } else {
+          const std::int64_t a = iget(in.src1);
+          const std::int64_t b = isrc2();
+          switch (in.op) {
+            case Opcode::BEQ: cond = a == b; break;
+            case Opcode::BNE: cond = a != b; break;
+            case Opcode::BLT: cond = a < b; break;
+            case Opcode::BLE: cond = a <= b; break;
+            case Opcode::BGT: cond = a > b; break;
+            default: cond = a >= b; break;  // BGE
+          }
+        }
+        taken = cond;
+        break;
+      }
+    }
+    if (done) break;
+    if (taken) {
+      bpos = fn.layout_index(in.target);
+      idx = 0;
+    } else {
+      ++idx;
+    }
+  }
+
+  res.ok = true;
+  res.regs.ints = std::move(ints);
+  res.regs.fps = std::move(fps);
+  return res;
+}
+
+// FNV-1a over the observable final state: live-out registers (raw bits, in
+// declaration order) then every array cell.  Induction variables and dead
+// temporaries legitimately differ across transformations, so whole-register-
+// file hashing would be meaningless; this is exactly the state
+// compare_observable() checks, collapsed to one word.
+inline std::uint64_t state_digest(const Function& fn, const InterpResult& r,
+                                  const Memory& mem) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  for (const Reg& reg : fn.live_out()) {
+    mix(reg.cls == RegClass::Fp ? 0xf0f0f0f0ull : 0x0e0e0e0eull);
+    if (reg.cls == RegClass::Fp) {
+      double v = r.regs.get_fp(reg.id);
+      std::uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(v));
+      __builtin_memcpy(&bits, &v, sizeof(bits));
+      mix(bits);
+    } else {
+      mix(static_cast<std::uint64_t>(r.regs.get_int(reg.id)));
+    }
+  }
+  for (const auto& arr : fn.arrays()) {
+    mix(static_cast<std::uint64_t>(arr.base));
+    for (std::int64_t i = 0; i < arr.length; ++i) {
+      const std::int64_t addr = arr.base + i * arr.elem_size;
+      if (arr.is_fp) {
+        double v = mem.load_fp(addr);
+        std::uint64_t bits;
+        __builtin_memcpy(&bits, &v, sizeof(bits));
+        mix(bits);
+      } else {
+        mix(static_cast<std::uint64_t>(mem.load_int(addr)));
+      }
+    }
+  }
+  return h;
+}
+
+// Seeds arrays exactly like run_seeded, interprets, and digests.  `ok_out`
+// distinguishes "ran and produced this digest" from execution failure.
+inline std::uint64_t run_digest(const Function& fn, bool* ok_out = nullptr,
+                                std::string* err_out = nullptr) {
+  Memory mem;
+  seed_arrays(fn, mem);
+  const InterpResult r = interpret(fn, mem);
+  if (ok_out != nullptr) *ok_out = r.ok;
+  if (err_out != nullptr) *err_out = r.error;
+  if (!r.ok) return 0;
+  return state_digest(fn, r, mem);
+}
+
+}  // namespace ilp::testing

@@ -184,5 +184,41 @@ TEST(DifferentialFuzz, RegisterAssignmentPreservesRandomPrograms) {
   }
 }
 
+// The nest transformations (fusion in particular) only find work in programs
+// with more than one loop, and for a long time the corpus never produced any
+// — every generated program was a single (possibly nested) loop, so the
+// fusion paths of downstream differential tests ran against nothing.  The
+// generator now appends an adjacent loop for every seed ending in 7; pin
+// that corpus property so it cannot silently regress.
+TEST(DifferentialFuzz, CorpusContainsMultiLoopPrograms) {
+  const std::uint64_t n = fuzz_seed_count(200);
+  auto loop_count = [](const std::string& src) {
+    int count = 0;
+    for (std::size_t pos = src.find("loop "); pos != std::string::npos;
+         pos = src.find("loop ", pos + 5))
+      ++count;
+    return count;
+  };
+  int multi = 0;
+  for (std::uint64_t start = 1; start + 9 <= n; start += 10) {
+    int in_window = 0;
+    for (std::uint64_t seed = start; seed < start + 10; ++seed) {
+      // "Multi-loop" means adjacent loops, not a nest: a 2-deep nest has two
+      // `loop` keywords but only one top-level statement sequence.  Seeds
+      // ending in 7 get an adjacent loop appended regardless of nesting, so
+      // count programs whose loop count exceeds nesting alone can explain.
+      const std::string src = random_program(seed);
+      const bool nested = src.find("loop o") != std::string::npos;
+      if (loop_count(src) >= (nested ? 3 : 2)) ++in_window;
+    }
+    EXPECT_GE(in_window, 1) << "no multi-loop program in seeds [" << start << ", "
+                            << (start + 9) << "]";
+    multi += in_window;
+  }
+  // Beyond the per-window floor, adjacent loops should make up a healthy
+  // fraction of the corpus overall (deterministic 10% + random 20%).
+  EXPECT_GE(multi, static_cast<int>(n) / 5);
+}
+
 }  // namespace
 }  // namespace ilp
