@@ -45,6 +45,15 @@ void TraceRecorder::record_span(std::string_view name, std::string_view category
                                dense_tid_locked(std::this_thread::get_id())});
 }
 
+void TraceRecorder::record_issue_slot(std::string_view op_name, std::uint64_t cycle,
+                                      int slot, std::string_view request_id) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(TraceEvent{std::string(op_name), "issue_slot",
+                               std::string(request_id), cycle, 1,
+                               kIssueSlotLaneBase + static_cast<std::uint32_t>(slot)});
+}
+
 std::size_t TraceRecorder::event_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return events_.size();

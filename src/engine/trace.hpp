@@ -60,6 +60,16 @@ class TraceRecorder : public obs::TraceSink {
   void record_span(std::string_view name, std::string_view category,
                    std::uint64_t ts_us, std::uint64_t dur_us,
                    std::string_view request_id) override;
+  // obs::TraceSink: simulated issue slots become per-lane "issue_slot"
+  // events — lane tid kIssueSlotLaneBase + slot, one simulated cycle mapped
+  // to one trace microsecond — so Chrome/Perfetto render the issue window as
+  // `issue_width` parallel rows under the wall-clock span rows.
+  void record_issue_slot(std::string_view op_name, std::uint64_t cycle, int slot,
+                         std::string_view request_id) override;
+
+  // Synthetic tid of issue-slot lane 0; real threads get dense ids from 0 so
+  // the gap keeps the two row families visually separate.
+  static constexpr std::uint32_t kIssueSlotLaneBase = 1000;
 
   [[nodiscard]] std::size_t event_count() const;
   [[nodiscard]] std::vector<TraceEvent> events() const;

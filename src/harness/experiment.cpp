@@ -45,6 +45,17 @@ Expected<std::uint64_t> try_simulate_cycles(const Function& fn, const MachineMod
   return out.result.cycles;
 }
 
+Expected<ProfiledSim> try_simulate_profile(const Function& fn, const MachineModel& m) {
+  engine::ScopedTimer timer("pass.simulate");
+  ProfiledSim out;
+  SimOptions opts;
+  opts.profile = &out.profile;
+  RunOutcome run = run_seeded(fn, m, std::move(opts));
+  if (!run.result.ok) return Error{"simulation failed: " + run.result.error};
+  out.result = std::move(run.result);
+  return out;
+}
+
 CompiledLoop compile_workload(const Workload& w, OptLevel level, const MachineModel& m,
                               const CompileOptions& opts) {
   auto r = try_compile_workload(w, level, m, opts);

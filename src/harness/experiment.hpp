@@ -27,6 +27,8 @@
 
 #include "engine/cache.hpp"
 #include "regalloc/regalloc.hpp"
+#include "sim/profile.hpp"
+#include "sim/simulator.hpp"
 #include "support/expected.hpp"
 #include "trans/level.hpp"
 #include "workloads/suite.hpp"
@@ -139,6 +141,16 @@ Expected<CompiledLoop> try_compile_workload(const Workload& w, OptLevel level,
                                             const CompileOptions& opts = {},
                                             TransformStats* stats = nullptr);
 Expected<std::uint64_t> try_simulate_cycles(const Function& fn, const MachineModel& m);
+
+// Profiled variant: same seeded run, but every cycle x issue slot is
+// attributed through sim/profile.hpp.  The profile is returned next to the
+// result so callers (ilpc --profile, the explain layer, ilpd, bench_profile)
+// get cycles and the why-of-the-cycles from one simulation.
+struct ProfiledSim {
+  SimResult result;
+  CycleProfile profile;
+};
+Expected<ProfiledSim> try_simulate_profile(const Function& fn, const MachineModel& m);
 
 // Hard-failing convenience wrappers (abort with the error message), kept for
 // direct callers — the ablation/regpressure/swp benches — where a failure is

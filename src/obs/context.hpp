@@ -29,6 +29,17 @@ class TraceSink {
   virtual void record_span(std::string_view name, std::string_view category,
                            std::uint64_t ts_us, std::uint64_t dur_us,
                            std::string_view request_id) = 0;
+  // One simulated issue slot: instruction `op_name` issued in `cycle` at
+  // slot position `slot` (0-based within the cycle).  Sinks that render
+  // timelines map these onto per-slot lanes; the default drops them so
+  // span-only sinks are unaffected.  Simulated cycles, not wall time.
+  virtual void record_issue_slot(std::string_view op_name, std::uint64_t cycle,
+                                 int slot, std::string_view request_id) {
+    (void)op_name;
+    (void)cycle;
+    (void)slot;
+    (void)request_id;
+  }
 };
 
 struct RequestContext {

@@ -177,6 +177,13 @@ bool parse_compile(const JsonValue& obj, CompileRequest& out, std::string* error
     }
     out.trace = v->as_bool();
   }
+  if (const JsonValue* v = obj.find("profile")) {
+    if (!v->is_bool()) {
+      *error = "field 'profile' must be a boolean";
+      return false;
+    }
+    out.profile = v->as_bool();
+  }
   return true;
 }
 
@@ -275,11 +282,27 @@ std::optional<Request> parse_request(const std::string& line, std::string* error
     req.kind = RequestKind::Stats;
   } else if (kind->as_string() == "metrics") {
     req.kind = RequestKind::Metrics;
+  } else if (kind->as_string() == "profile") {
+    req.kind = RequestKind::Profile;
   } else {
     *error = strformat("unknown request kind '%s'", kind->as_string().c_str());
     return std::nullopt;
   }
   return req;
+}
+
+std::string ProfileSummary::to_json() const {
+  std::string out = strformat("{\"width\": %d, \"cycles\": %" PRIu64 ", \"slots\": {",
+                              width, cycles);
+  for (int c = 0; c < kNumStallCauses; ++c)
+    out += strformat("%s\"%s\": %" PRIu64, c == 0 ? "" : ", ",
+                     stall_cause_name(static_cast<StallCause>(c)),
+                     slots[static_cast<std::size_t>(c)]);
+  out += "}, \"occupancy\": [";
+  for (std::size_t k = 0; k < occupancy.size(); ++k)
+    out += strformat("%s%" PRIu64, k == 0 ? "" : ", ", occupancy[k]);
+  out += "]}";
+  return out;
 }
 
 CompileBody serialize_compile_body(const CompileResponse& r) {
@@ -317,6 +340,7 @@ CompileBody serialize_compile_body(const CompileResponse& r) {
           ms.achieved_ii_sum, ms.max_stages);
     }
   }
+  if (r.have_profile) out += ", \"profile\": " + r.profile.to_json();
   return body;
 }
 
@@ -376,6 +400,13 @@ std::string serialize_metrics_response(const std::string& id_json,
       "{\"id\": %s, \"ok\": true, \"kind\": \"metrics\", \"format\": "
       "\"prometheus-0.0.4\", \"exposition\": \"%s\"}",
       id_json.c_str(), json_escape(exposition).c_str());
+}
+
+std::string serialize_profile_response(const std::string& id_json,
+                                       const std::string& profile_body) {
+  return strformat(
+      "{\"id\": %s, \"ok\": true, \"kind\": \"profile\", \"profile\": %s}",
+      id_json.c_str(), profile_body.c_str());
 }
 
 std::string serialize_error(const std::string& id_json, ErrorKind kind,

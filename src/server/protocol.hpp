@@ -20,10 +20,18 @@
 //
 //   {"kind": "metrics"}        // Prometheus text exposition, JSON-wrapped
 //
+//   {"kind": "profile"}        // daemon-lifetime stall accounting: global
+//                              // per-cause slot totals and the issue-
+//                              // occupancy histogram over every simulated
+//                              // cell (sim/profile.hpp taxonomy)
+//
 // Compile requests additionally accept {"trace": true}: when the daemon was
 // started with --trace-dir, the request is traced end to end (request → job
 // → pass spans, all tagged with the minted request id) and the response
-// names the Chrome trace file that was written.
+// names the Chrome trace file that was written; traced requests also carry
+// the simulated issue-slot lanes.  {"profile": true} attaches the cell's
+// cycle-accounting summary (per-cause slots + occupancy histogram) to the
+// compile response under "profile".
 //
 // Responses: {"id": ..., "ok": true, "kind": ..., <result fields>} or
 // {"id": ..., "ok": false, "error": {"kind": "<ErrorKind>", "message": ...}}.
@@ -44,11 +52,12 @@
 #include <vector>
 
 #include "server/json.hpp"
+#include "sim/profile.hpp"
 #include "trans/level.hpp"
 
 namespace ilp::server {
 
-enum class RequestKind { Compile, Batch, Stats, Metrics };
+enum class RequestKind { Compile, Batch, Stats, Metrics, Profile };
 
 enum class ErrorKind {
   BadRequest,        // malformed JSON / unknown fields / bad values
@@ -74,6 +83,7 @@ struct CompileRequest {
   std::int64_t deadline_ms = 0;     // 0 => service default
   std::int64_t debug_sleep_ms = 0;  // test/bench aid: sleep inside the job
   bool trace = false;               // request-scoped Chrome trace (needs --trace-dir)
+  bool profile = false;             // attach the cell's stall-accounting summary
 };
 
 struct BatchRequest {
@@ -97,6 +107,28 @@ std::optional<Request> parse_request(const std::string& line, std::string* error
 
 // --- Response builders (serialization only; the service fills the data) ----
 
+// Wire-compact cycle-accounting summary: the global per-cause totals and the
+// occupancy histogram of one cell's profiled run.  The full CycleProfile
+// (per-block matrix, per-opcode tallies) stays server-local — the summary is
+// what round-trips through the response and the result cache.
+struct ProfileSummary {
+  int width = 0;
+  std::uint64_t cycles = 0;
+  std::array<std::uint64_t, kNumStallCauses> slots{};
+  std::vector<std::uint64_t> occupancy;  // width + 1 bins
+
+  static ProfileSummary from(const CycleProfile& p) {
+    ProfileSummary s;
+    s.width = p.width;
+    s.cycles = p.cycles;
+    s.slots = p.slots;
+    s.occupancy = p.occupancy;
+    return s;
+  }
+  // {"width": W, "cycles": C, "slots": {"issued": ...}, "occupancy": [...]}
+  [[nodiscard]] std::string to_json() const;
+};
+
 struct CompileResponse {
   std::uint64_t cycles = 0;
   std::uint64_t base_cycles = 0;  // Conv @ issue-1 of the same source
@@ -112,6 +144,10 @@ struct CompileResponse {
   // from responses decoded out of pre-observability cache entries.
   bool have_transforms = false;
   TransformStats transforms;
+  // Set when the request asked for {"profile": true}; serialized into the
+  // response's "profile" field.
+  bool have_profile = false;
+  ProfileSummary profile;
   SchedulerKind scheduler = SchedulerKind::List;  // echoed backend choice
   std::string request_id;  // server-minted; also the trace correlation key
   std::string trace_file;  // non-empty when a request-scoped trace was written
@@ -183,6 +219,10 @@ std::string serialize_stats_response(const std::string& id_json,
 // Wraps a Prometheus text exposition as a JSON string field.
 std::string serialize_metrics_response(const std::string& id_json,
                                        const std::string& exposition);
+// `profile_body` is a pre-rendered JSON object (the service owns the schema:
+// daemon-lifetime per-cause totals + occupancy accumulated over every cell).
+std::string serialize_profile_response(const std::string& id_json,
+                                       const std::string& profile_body);
 std::string serialize_error(const std::string& id_json, ErrorKind kind,
                             const std::string& message);
 

@@ -3,6 +3,7 @@
 #include <cinttypes>
 
 #include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <future>
 #include <thread>
@@ -72,31 +73,40 @@ std::optional<ErrorKind> parse_error_kind(std::string_view name) {
 }
 
 // Cache payload schema for one served cell.  Versioned like the study cells:
-// an unknown prefix (including pre-observability "ilpd-v1"/"ilpd-v2" entries
-// and "ilpd-v3" ones, which lack the nest-restructuring counters) decodes as
-// a miss, never as garbage.
+// an unknown prefix (including pre-observability "ilpd-v1"/"ilpd-v2" entries,
+// "ilpd-v3" ones, which lack the nest-restructuring counters, and "ilpd-v4"
+// ones, which lack the stall-accounting tail) decodes as a miss, never as
+// garbage.  The v5 tail is the ProfileSummary: width, cycles, the six
+// per-cause slot totals, then the occupancy histogram (count-prefixed).
 std::string encode_cell(const Service::CellOutcome& c) {
   if (!c.ok)
-    return strformat("ilpd-v4 err %s %s", error_kind_name(c.err), c.message.c_str());
+    return strformat("ilpd-v5 err %s %s", error_kind_name(c.err), c.message.c_str());
   const CompileResponse& r = c.resp;
   const TransformStats& t = r.transforms;
-  return strformat("ilpd-v4 ok %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
-                   " %d %d %d %d %d %d %d %d %d %d %d %d %d %d %d %d %zu %zu"
-                   " %d %d %d %d %d %d %d",
-                   r.cycles, r.base_cycles, r.dynamic_instructions, r.stall_cycles,
-                   r.static_instructions, r.blocks, r.int_regs, r.fp_regs,
-                   t.loops_unrolled, t.regs_renamed, t.accs_expanded,
-                   t.inds_expanded, t.searches_expanded, t.ops_combined,
-                   t.strength_reduced, t.trees_rebalanced, t.loops_interchanged,
-                   t.loops_fused, t.loops_fissioned, t.loops_tiled,
-                   t.ir_insts_before, t.ir_insts_after, static_cast<int>(r.scheduler),
-                   t.modulo.loops_pipelined, t.modulo.loops_fallback,
-                   t.modulo.backtracks, t.modulo.min_ii_sum,
-                   t.modulo.achieved_ii_sum, t.modulo.max_stages);
+  std::string s =
+      strformat("ilpd-v5 ok %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+                " %d %d %d %d %d %d %d %d %d %d %d %d %d %d %d %d %zu %zu"
+                " %d %d %d %d %d %d %d",
+                r.cycles, r.base_cycles, r.dynamic_instructions, r.stall_cycles,
+                r.static_instructions, r.blocks, r.int_regs, r.fp_regs,
+                t.loops_unrolled, t.regs_renamed, t.accs_expanded,
+                t.inds_expanded, t.searches_expanded, t.ops_combined,
+                t.strength_reduced, t.trees_rebalanced, t.loops_interchanged,
+                t.loops_fused, t.loops_fissioned, t.loops_tiled,
+                t.ir_insts_before, t.ir_insts_after, static_cast<int>(r.scheduler),
+                t.modulo.loops_pipelined, t.modulo.loops_fallback,
+                t.modulo.backtracks, t.modulo.min_ii_sum,
+                t.modulo.achieved_ii_sum, t.modulo.max_stages);
+  const ProfileSummary& p = r.profile;
+  s += strformat(" %d %" PRIu64, p.width, p.cycles);
+  for (const std::uint64_t v : p.slots) s += strformat(" %" PRIu64, v);
+  s += strformat(" %zu", p.occupancy.size());
+  for (const std::uint64_t v : p.occupancy) s += strformat(" %" PRIu64, v);
+  return s;
 }
 
 bool decode_cell(const std::string& payload, Service::CellOutcome& out) {
-  if (payload.rfind("ilpd-v4 err ", 0) == 0) {
+  if (payload.rfind("ilpd-v5 err ", 0) == 0) {
     const std::string rest = payload.substr(12);
     const std::size_t sp = rest.find(' ');
     if (sp == std::string::npos) return false;
@@ -111,10 +121,11 @@ bool decode_cell(const std::string& payload, Service::CellOutcome& out) {
   CompileResponse& r = c.resp;
   TransformStats& t = r.transforms;
   int sched_kind = 0;
+  int consumed = 0;
   if (std::sscanf(payload.c_str(),
-                  "ilpd-v4 ok %" SCNu64 " %" SCNu64 " %" SCNu64 " %" SCNu64
+                  "ilpd-v5 ok %" SCNu64 " %" SCNu64 " %" SCNu64 " %" SCNu64
                   " %d %d %d %d %d %d %d %d %d %d %d %d %d %d %d %d %zu %zu"
-                  " %d %d %d %d %d %d %d",
+                  " %d %d %d %d %d %d %d%n",
                   &r.cycles, &r.base_cycles, &r.dynamic_instructions, &r.stall_cycles,
                   &r.static_instructions, &r.blocks, &r.int_regs, &r.fp_regs,
                   &t.loops_unrolled, &t.regs_renamed, &t.accs_expanded,
@@ -124,8 +135,28 @@ bool decode_cell(const std::string& payload, Service::CellOutcome& out) {
                   &t.ir_insts_before, &t.ir_insts_after, &sched_kind,
                   &t.modulo.loops_pipelined, &t.modulo.loops_fallback,
                   &t.modulo.backtracks, &t.modulo.min_ii_sum,
-                  &t.modulo.achieved_ii_sum, &t.modulo.max_stages) != 29)
+                  &t.modulo.achieved_ii_sum, &t.modulo.max_stages, &consumed) != 29)
     return false;
+  const char* q = payload.c_str() + consumed;
+  auto next_u64 = [&q](std::uint64_t& v) {
+    char* end = nullptr;
+    v = std::strtoull(q, &end, 10);
+    if (end == q) return false;
+    q = end;
+    return true;
+  };
+  ProfileSummary& p = r.profile;
+  std::uint64_t width = 0, occ_count = 0;
+  if (!next_u64(width) || !next_u64(p.cycles)) return false;
+  p.width = static_cast<int>(width);
+  for (std::uint64_t& v : p.slots)
+    if (!next_u64(v)) return false;
+  // Occupancy is width + 1 bins by construction; a tail claiming more is a
+  // corrupt payload, not a larger machine.
+  if (!next_u64(occ_count) || occ_count != width + 1) return false;
+  p.occupancy.resize(occ_count);
+  for (std::uint64_t& v : p.occupancy)
+    if (!next_u64(v)) return false;
   r.scheduler = sched_kind == 1 ? SchedulerKind::Modulo : SchedulerKind::List;
   c.ok = true;
   r.have_transforms = true;
@@ -259,9 +290,22 @@ Service::CellOutcome Service::compute_cell(
 
   const RegUsage regs = measure_register_usage(fn);
   engine::Stopwatch sim_watch;
+  // Every executed cell is profiled: the daemon-lifetime accumulators behind
+  // the `profile` verb and the sim_stall_slots_total exposition sum over all
+  // cells, and {"profile": true} responses serialize the summary straight
+  // out of the cache entry.  A profiled run is observably identical to an
+  // unprofiled one (SimOptions::profile contract), so the cell key does not
+  // include the flag and coalescing/caching work across it.
+  CycleProfile profile;
+  std::vector<IssueEvent> issue_events;
+  SimOptions sim_opts;
+  sim_opts.profile = &profile;
+  const obs::RequestContext* rc = obs::current_request();
+  const bool lanes = rc != nullptr && rc->sink != nullptr;
+  if (lanes) sim_opts.trace = &issue_events;
   const RunOutcome run = [&] {
     obs::SpanScope span("simulate", "sim");
-    return run_seeded(fn, m);
+    return run_seeded(fn, m, sim_opts);
   }();
   simulate_hist.record(sim_watch.nanos());
   if (!run.result.ok) {
@@ -269,9 +313,32 @@ Service::CellOutcome Service::compute_cell(
     out.message = run.result.error;
     return out;
   }
+  accumulate_profile(profile);
+  if (lanes && !issue_events.empty()) {
+    // Per-request Chrome trace: render the (trace_limit-bounded) issue window
+    // as one lane per slot.  Slot index is the event's position within its
+    // cycle — the trace records issues in order, so a cycle's events arrive
+    // consecutively.
+    std::unordered_map<std::uint32_t, Opcode> op_of;
+    for (const Block& b : fn.blocks())
+      for (const Instruction& in : b.insts) op_of.emplace(in.uid, in.op);
+    std::uint64_t cur_cycle = ~std::uint64_t{0};
+    int slot = 0;
+    for (const IssueEvent& e : issue_events) {
+      if (e.cycle != cur_cycle) {
+        cur_cycle = e.cycle;
+        slot = 0;
+      }
+      const auto it = op_of.find(e.uid);
+      rc->sink->record_issue_slot(
+          it != op_of.end() ? opcode_name(it->second) : "?", e.cycle, slot++,
+          rc->request_id);
+    }
+  }
 
   out.ok = true;
   CompileResponse& r = out.resp;
+  r.profile = ProfileSummary::from(profile);
   r.cycles = run.result.cycles;
   r.dynamic_instructions = run.result.instructions;
   r.stall_cycles = run.result.stall_cycles;
@@ -453,6 +520,11 @@ Reply Service::serve_parsed(ParsedRequest p, std::uint64_t queued_ns) {
       bump(kOk);
       return flat(serialize_metrics_response(req.id_json, metrics_exposition()));
     }
+    case RequestKind::Profile: {
+      // Like stats: answers during a drain so accounting stays observable.
+      bump(kOk);
+      return flat(serialize_profile_response(req.id_json, profile_json()));
+    }
     case RequestKind::Compile:
     case RequestKind::Batch: {
       if (draining()) {
@@ -510,6 +582,10 @@ std::string Service::handle_line(const std::string& line) {
       bump(kOk);
       return serialize_metrics_response(req->id_json, metrics_exposition());
     }
+    case RequestKind::Profile: {
+      bump(kOk);
+      return serialize_profile_response(req->id_json, profile_json());
+    }
     case RequestKind::Compile:
     case RequestKind::Batch: {
       if (draining()) {
@@ -549,6 +625,10 @@ std::string Service::handle_compile(const Request& req,
     out.resp.request_id = ro->id;
     if (out.ok) {
       bump(kOk);
+      // Every cell carries its summary; the request's flag only gates
+      // serialization, so coalesced twins with different flags each get
+      // the response shape they asked for.
+      out.resp.have_profile = req.compile.profile;
       return serialize_compile_response(req.id_json, out.resp);
     }
     bump(out.err == ErrorKind::Internal ? kInternalErrors : kCompileErrors);
@@ -621,11 +701,28 @@ std::string Service::handle_compile(const Request& req,
               out.err = ErrorKind::DeadlineExceeded;
               out.message = "cancelled while queued (deadline exceeded)";
             } else {
-              out = compute_cell(source, c.level, c.transforms, c.nest,
-                                 c.scheduler, c.issue, c.unroll);
               Shard& osh = shard_for(key);
-              osh.cache->store(key, encode_cell(out));
-              bump(kCellsExecuted);
+              // Close the lookup->admit race: an identical cell can finish
+              // (cache store, then inflight erase, in that order) between
+              // this request's cache miss and its admission.  The admission
+              // lock synchronizes with the erase, so re-checking here is
+              // guaranteed to see the twin's payload — every cell executes
+              // (and accumulates into the profile counters) exactly once.
+              bool raced_hit = false;
+              if (auto payload = osh.cache->lookup(key)) {
+                CellOutcome hit;
+                if (decode_cell(*payload, hit)) {
+                  hit.resp.cached = true;
+                  out = std::move(hit);
+                  raced_hit = true;
+                }
+              }
+              if (!raced_hit) {
+                out = compute_cell(source, c.level, c.transforms, c.nest,
+                                   c.scheduler, c.issue, c.unroll);
+                osh.cache->store(key, encode_cell(out));
+                bump(kCellsExecuted);
+              }
             }
             {
               std::lock_guard<std::mutex> mlock(shard_for(key).mu);
@@ -733,6 +830,12 @@ Reply Service::handle_compile_direct(const ParsedRequest& p,
         strformat("unknown workload '%s'", c.workload.c_str())));
   }
   const std::uint64_t key = p.cell_key;
+  // Pre-serialized bodies differ between profiled and unprofiled responses
+  // (the "profile" field lives in the shared `post` segment), so the hot
+  // tier keys the two shapes apart.  The cell key itself — coalescing, the
+  // result cache, shard routing — is profile-blind: every executed cell
+  // carries its summary and the flag only gates serialization.
+  const std::uint64_t hot_key = c.profile ? key ^ 0x70726f66696c65ull : key;
   Shard& sh = *shards_[p.shard];
   queue_wait_hist_.record(queued_ns);
 
@@ -740,7 +843,7 @@ Reply Service::handle_compile_direct(const ParsedRequest& p,
   // reply is three pointer copies, serialized (or writev'd) at write time.
   {
     std::lock_guard<std::mutex> lock(sh.mu);
-    auto it = sh.hot.find(key);
+    auto it = sh.hot.find(hot_key);
     if (it != sh.hot.end()) {
       bump(kHotHits);
       return segment_reply(it->second, /*cached=*/true);
@@ -753,11 +856,12 @@ Reply Service::handle_compile_direct(const ParsedRequest& p,
     CellOutcome out;
     if (decode_cell(*payload, out)) {
       if (out.ok) {
+        out.resp.have_profile = c.profile;
         auto body =
             std::make_shared<const CompileBody>(serialize_compile_body(out.resp));
         {
           std::lock_guard<std::mutex> lock(sh.mu);
-          hot_insert(sh, key, body);
+          hot_insert(sh, hot_key, body);
         }
         return segment_reply(std::move(body), /*cached=*/true);
       }
@@ -830,6 +934,7 @@ Reply Service::handle_compile_direct(const ParsedRequest& p,
     out.resp.request_id = ro->id;
     if (out.ok) {
       bump(kOk);
+      out.resp.have_profile = c.profile;
       return flat(serialize_compile_response(req.id_json, out.resp));
     }
     return respond_error(out);
@@ -854,34 +959,52 @@ Reply Service::handle_compile_direct(const ParsedRequest& p,
     }
   }
   std::shared_ptr<const CompileBody> body;
+  bool raced_hit = false;
   if (deadline_hit) {
     out.ok = false;
     out.err = ErrorKind::DeadlineExceeded;
     out.message = "cancelled while queued (deadline exceeded)";
   } else {
-    try {
-      out = compute_cell(p.source, c.level, c.transforms, c.nest, c.scheduler,
-                         c.issue, c.unroll);
-    } catch (const std::exception& e) {
-      out.ok = false;
-      out.err = ErrorKind::Internal;
-      out.message = strformat("cell threw: %s", e.what());
+    // Close the lookup->admit race: an identical cell can finish (cache
+    // store, then inflight erase, in that order) between this request's
+    // cache miss and its admission.  The admission lock synchronizes with
+    // the erase, so re-checking here is guaranteed to see the twin's
+    // payload — every cell executes (and accumulates into the profile
+    // counters) exactly once.
+    if (auto payload = sh.cache->lookup(key)) {
+      CellOutcome hit;
+      if (decode_cell(*payload, hit)) {
+        out = std::move(hit);
+        raced_hit = true;
+      }
     }
-    sh.cache->store(key, encode_cell(out));
-    bump(kCellsExecuted);
-    if (out.ok)
+    if (!raced_hit) {
+      try {
+        out = compute_cell(p.source, c.level, c.transforms, c.nest, c.scheduler,
+                           c.issue, c.unroll);
+      } catch (const std::exception& e) {
+        out.ok = false;
+        out.err = ErrorKind::Internal;
+        out.message = strformat("cell threw: %s", e.what());
+      }
+      sh.cache->store(key, encode_cell(out));
+      bump(kCellsExecuted);
+    }
+    if (out.ok) {
+      out.resp.have_profile = c.profile;  // joiners re-gate from their own flag
       body = std::make_shared<const CompileBody>(serialize_compile_body(out.resp));
+    }
   }
   settle_promise.set_value(out);
   {
     std::lock_guard<std::mutex> lock(sh.mu);
     sh.inflight.erase(key);
-    if (body != nullptr) hot_insert(sh, key, body);
+    if (body != nullptr) hot_insert(sh, hot_key, body);
   }
   settle_cells(1);
 
   if (deadline_hit) return deadline_reply();
-  if (out.ok) return segment_reply(std::move(body), /*cached=*/false);
+  if (out.ok) return segment_reply(std::move(body), /*cached=*/raced_hit);
   return respond_error(out);
 }
 
@@ -1011,6 +1134,45 @@ std::string Service::handle_batch(const Request& req) {
   return serialize_batch_response(req.id_json, cells, elapsed.seconds() * 1e3);
 }
 
+void Service::accumulate_profile(const CycleProfile& p) {
+  for (int i = 0; i < kNumStallCauses; ++i)
+    stall_slots_[static_cast<std::size_t>(i)].fetch_add(
+        p.slots[static_cast<std::size_t>(i)], std::memory_order_relaxed);
+  for (std::size_t k = 0; k < p.occupancy.size(); ++k) {
+    const std::size_t bin = k < kOccupancyBins ? k : kOccupancyBins - 1;
+    occupancy_[bin].fetch_add(p.occupancy[k], std::memory_order_relaxed);
+  }
+  profiled_cells_.fetch_add(1, std::memory_order_relaxed);
+  profiled_cycles_.fetch_add(p.cycles, std::memory_order_relaxed);
+}
+
+std::string Service::profile_json() const {
+  std::string slots = "{";
+  for (int i = 0; i < kNumStallCauses; ++i) {
+    if (i > 0) slots += ", ";
+    slots += strformat(
+        "\"%s\": %" PRIu64, stall_cause_name(static_cast<StallCause>(i)),
+        stall_slots_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed));
+  }
+  slots += "}";
+  // Trim trailing zero bins so single-width daemons stay readable; bin 0 is
+  // always reported (it is the stall-cycle count).
+  std::size_t top = kOccupancyBins;
+  while (top > 1 && occupancy_[top - 1].load(std::memory_order_relaxed) == 0)
+    --top;
+  std::string occ = "[";
+  for (std::size_t k = 0; k < top; ++k) {
+    if (k > 0) occ += ", ";
+    occ += strformat("%" PRIu64, occupancy_[k].load(std::memory_order_relaxed));
+  }
+  occ += "]";
+  return strformat("{\"cells\": %" PRIu64 ", \"cycles\": %" PRIu64
+                   ", \"slots\": %s, \"occupancy\": %s}",
+                   profiled_cells_.load(std::memory_order_relaxed),
+                   profiled_cycles_.load(std::memory_order_relaxed), slots.c_str(),
+                   occ.c_str());
+}
+
 std::string Service::stats_json() const {
   const ServiceCounters c = counters();
   const engine::CacheStats cs = cache_stats();
@@ -1022,6 +1184,7 @@ std::string Service::stats_json() const {
     hot_entries += sh->hot.size();
   }
   const obs::Histogram::Snapshot lat = latency_hist_.snapshot();
+  const obs::Histogram::Snapshot qw = queue_wait_hist_.snapshot();
   return strformat(
       "{\"uptime_seconds\": %.3f, \"draining\": %s, \"workers\": %d, "
       "\"shards\": %d, "
@@ -1033,6 +1196,8 @@ std::string Service::stats_json() const {
       ", \"coalesced\": %" PRIu64 ", \"hot_hits\": %" PRIu64 "}, "
       "\"cells_executed\": %" PRIu64 ", "
       "\"latency_us\": {\"count\": %" PRIu64 ", \"p50\": %.1f, \"p90\": %.1f, "
+      "\"p99\": %.1f, \"p999\": %.1f, \"mean\": %.1f}, "
+      "\"queue_wait_us\": {\"count\": %" PRIu64 ", \"p50\": %.1f, \"p90\": %.1f, "
       "\"p99\": %.1f, \"p999\": %.1f, \"mean\": %.1f}, "
       "\"pool\": {\"jobs_executed\": %zu, \"queue_depth\": %zu, "
       "\"active_jobs\": %zu, \"peak_queue_depth\": %zu}, "
@@ -1046,7 +1211,9 @@ std::string Service::stats_json() const {
       c.compile_errors, c.internal_errors, c.coalesced, c.hot_hits,
       c.cells_executed, lat.count, lat.quantile(0.50) / 1e3,
       lat.quantile(0.90) / 1e3, lat.quantile(0.99) / 1e3,
-      lat.quantile(0.999) / 1e3, lat.mean() / 1e3, pool_->jobs_executed(),
+      lat.quantile(0.999) / 1e3, lat.mean() / 1e3, qw.count,
+      qw.quantile(0.50) / 1e3, qw.quantile(0.90) / 1e3, qw.quantile(0.99) / 1e3,
+      qw.quantile(0.999) / 1e3, qw.mean() / 1e3, pool_->jobs_executed(),
       pool_->queue_depth(), pool_->active_jobs(), pool_->peak_queue_depth(),
       cs.hits, cs.disk_hits, cs.misses, cs.invalid, cs.stores, cs.hit_rate(),
       cache_entries, cache_bytes, hot_entries);
@@ -1075,6 +1242,34 @@ std::string Service::metrics_exposition() const {
                             "Replies served from pre-serialized segments");
   obs::prom::append_counter(out, "server.cells_executed", c.cells_executed,
                             "Cells actually computed (not cache hits)");
+
+  // Cycle-accounting taxonomy (sim/profile.hpp), summed over every executed
+  // cell: the six series partition width * cycles exactly.
+  obs::prom::begin_counter_family(
+      out, "sim.stall_slots_total",
+      "Simulated issue slots by attribution cause (closed taxonomy; the "
+      "series sum to issue_width * cycles over all executed cells)");
+  for (int i = 0; i < kNumStallCauses; ++i)
+    obs::prom::append_counter_sample(
+        out, "sim.stall_slots_total", "cause",
+        stall_cause_name(static_cast<StallCause>(i)),
+        stall_slots_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed));
+  obs::prom::begin_counter_family(
+      out, "sim.issue_occupancy_total",
+      "Simulated cycles by number of instructions issued that cycle");
+  for (std::size_t k = 0; k < kOccupancyBins; ++k) {
+    const std::uint64_t v = occupancy_[k].load(std::memory_order_relaxed);
+    if (v != 0 || k == 0)
+      obs::prom::append_counter_sample(out, "sim.issue_occupancy_total", "slots",
+                                       std::to_string(k), v);
+  }
+  obs::prom::append_counter(out, "sim.profiled_cells", profiled_cells_.load(
+                                                           std::memory_order_relaxed),
+                            "Executed cells whose profile was accumulated");
+  obs::prom::append_counter(
+      out, "sim.profiled_cycles",
+      profiled_cycles_.load(std::memory_order_relaxed),
+      "Simulated cycles across all accumulated profiles");
 
   obs::prom::append_gauge(out, "server.uptime_seconds", uptime_.seconds());
   obs::prom::append_gauge(out, "server.workers", workers_);

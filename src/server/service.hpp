@@ -46,7 +46,14 @@
 //     Prometheus text exposition of everything (including per-shard gauges
 //     the transport registers via set_transport_metrics), and a compile
 //     request with {"trace": true} writes a request-scoped Chrome trace when
-//     the service has a trace_dir.
+//     the service has a trace_dir — with the simulated issue window rendered
+//     as per-slot lanes next to the wall-clock spans.
+//   * Cycle accounting: every executed cell runs under the simulator's
+//     stall-attribution profile (sim/profile.hpp).  A compile request with
+//     {"profile": true} gets the cell's summary in its response; the
+//     `profile` verb reports daemon-lifetime per-cause totals; the metrics
+//     exposition carries them as sim_stall_slots_total{cause=...} and
+//     sim_issue_occupancy_total{slots=...}.
 //
 // The service is transport-agnostic and fully thread-safe; server.cpp feeds
 // it lines from its shard workers via serve(), tests call handle_line
@@ -166,6 +173,11 @@ class Service {
 
   // The stats-response body; exposed for ilpd's --stats-on-exit report.
   [[nodiscard]] std::string stats_json() const;
+  // The profile-response body: daemon-lifetime cycle-accounting totals
+  // (per-cause slots + issue-occupancy histogram, sim/profile.hpp taxonomy)
+  // summed over every executed cell.  Like stats, the `profile` verb answers
+  // during a drain.
+  [[nodiscard]] std::string profile_json() const;
   // Prometheus text exposition: the global MetricsRegistry (pass.*, trans.*,
   // server.* histograms) plus the service's own gauges and counters and
   // whatever the transport registered.  The `metrics` wire verb returns
@@ -233,6 +245,9 @@ class Service {
                            const NestOptions& nest, SchedulerKind scheduler,
                            int issue, int unroll);
   std::uint64_t base_cycles_for(const std::string& source);
+  // Folds one executed cell's profile into the daemon-lifetime accumulators
+  // behind profile_json() and the sim.* metric families.
+  void accumulate_profile(const CycleProfile& p);
 
   ServiceConfig cfg_;
   int workers_ = 1;
@@ -254,6 +269,15 @@ class Service {
   std::atomic<bool> draining_{false};
 
   std::array<std::atomic<std::uint64_t>, kCounterCount> counters_{};
+
+  // Daemon-lifetime cycle accounting (relaxed: totals, not orderings).
+  // Occupancy bins cover issue widths up to kOccupancyBins - 1; wider
+  // machines clamp into the top bin.
+  static constexpr std::size_t kOccupancyBins = 33;
+  std::array<std::atomic<std::uint64_t>, kNumStallCauses> stall_slots_{};
+  std::array<std::atomic<std::uint64_t>, kOccupancyBins> occupancy_{};
+  std::atomic<std::uint64_t> profiled_cells_{0};
+  std::atomic<std::uint64_t> profiled_cycles_{0};
 
   mutable std::mutex transport_mu_;
   std::function<void(std::string&)> transport_metrics_;

@@ -1,0 +1,134 @@
+#include "sim/profile.hpp"
+
+#include "ir/function.hpp"
+#include "support/strings.hpp"
+
+namespace ilp {
+
+const char* stall_cause_name(StallCause c) {
+  switch (c) {
+    case StallCause::Issued: return "issued";
+    case StallCause::RawWait: return "raw_wait";
+    case StallCause::MemWait: return "mem_wait";
+    case StallCause::ResourceWidth: return "resource_width";
+    case StallCause::BranchFetch: return "branch_fetch";
+    case StallCause::Drain: return "drain";
+  }
+  return "?";
+}
+
+void CycleProfile::reset(int machine_width, const Function& fn) {
+  width = machine_width;
+  cycles = 0;
+  slots.fill(0);
+  issued_by_opcode.fill(0);
+  stall_by_opcode.fill(0);
+  block_names.clear();
+  block_names.reserve(fn.num_blocks());
+  for (const Block& b : fn.blocks()) block_names.push_back(b.name);
+  block_slots.assign(fn.num_blocks(), {});
+  occupancy.assign(static_cast<std::size_t>(machine_width) + 1, 0);
+}
+
+std::uint64_t CycleProfile::total_slots() const {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t s : slots) sum += s;
+  return sum;
+}
+
+double CycleProfile::fraction(StallCause c) const {
+  const std::uint64_t total = total_slots();
+  return total == 0 ? 0.0
+                    : static_cast<double>(slots[static_cast<std::size_t>(c)]) /
+                          static_cast<double>(total);
+}
+
+std::string CycleProfile::check_conservation() const {
+  const std::uint64_t want =
+      static_cast<std::uint64_t>(width) * cycles;
+  if (total_slots() != want)
+    return strformat("sum(slots)=%llu != width*cycles=%llu",
+                     static_cast<unsigned long long>(total_slots()),
+                     static_cast<unsigned long long>(want));
+  for (int c = 0; c < kNumStallCauses; ++c) {
+    std::uint64_t col = 0;
+    for (const auto& row : block_slots) col += row[static_cast<std::size_t>(c)];
+    if (col != slots[static_cast<std::size_t>(c)])
+      return strformat("block column '%s'=%llu != global %llu",
+                       stall_cause_name(static_cast<StallCause>(c)),
+                       static_cast<unsigned long long>(col),
+                       static_cast<unsigned long long>(
+                           slots[static_cast<std::size_t>(c)]));
+  }
+  std::uint64_t occ_cycles = 0, occ_issued = 0;
+  for (std::size_t k = 0; k < occupancy.size(); ++k) {
+    occ_cycles += occupancy[k];
+    occ_issued += static_cast<std::uint64_t>(k) * occupancy[k];
+  }
+  if (occ_cycles != cycles)
+    return strformat("sum(occupancy)=%llu != cycles=%llu",
+                     static_cast<unsigned long long>(occ_cycles),
+                     static_cast<unsigned long long>(cycles));
+  if (occ_issued != slots[0])
+    return strformat("sum(k*occupancy[k])=%llu != issued slots %llu",
+                     static_cast<unsigned long long>(occ_issued),
+                     static_cast<unsigned long long>(slots[0]));
+  std::uint64_t op_issued = 0, op_stalled = 0;
+  for (int op = 0; op < kNumOpcodes; ++op) {
+    op_issued += issued_by_opcode[static_cast<std::size_t>(op)];
+    op_stalled += stall_by_opcode[static_cast<std::size_t>(op)];
+  }
+  if (op_issued != slots[0])
+    return strformat("sum(issued_by_opcode)=%llu != issued slots %llu",
+                     static_cast<unsigned long long>(op_issued),
+                     static_cast<unsigned long long>(slots[0]));
+  if (op_stalled != stalled_slots())
+    return strformat("sum(stall_by_opcode)=%llu != stalled slots %llu",
+                     static_cast<unsigned long long>(op_stalled),
+                     static_cast<unsigned long long>(stalled_slots()));
+  return {};
+}
+
+std::string CycleProfile::to_json() const {
+  std::string out;
+  out.reserve(512 + block_slots.size() * 128);
+  out += strformat("{\"width\": %d, \"cycles\": %llu, \"slots\": {", width,
+                   static_cast<unsigned long long>(cycles));
+  for (int c = 0; c < kNumStallCauses; ++c)
+    out += strformat("%s\"%s\": %llu", c == 0 ? "" : ", ",
+                     stall_cause_name(static_cast<StallCause>(c)),
+                     static_cast<unsigned long long>(
+                         slots[static_cast<std::size_t>(c)]));
+  out += "}, \"occupancy\": [";
+  for (std::size_t k = 0; k < occupancy.size(); ++k)
+    out += strformat("%s%llu", k == 0 ? "" : ", ",
+                     static_cast<unsigned long long>(occupancy[k]));
+  out += "], \"blocks\": [";
+  for (std::size_t i = 0; i < block_slots.size(); ++i) {
+    out += strformat("%s{\"name\": \"%s\", \"slots\": [", i == 0 ? "" : ", ",
+                     json_escape(block_names[i]).c_str());
+    for (int c = 0; c < kNumStallCauses; ++c)
+      out += strformat("%s%llu", c == 0 ? "" : ", ",
+                       static_cast<unsigned long long>(
+                           block_slots[i][static_cast<std::size_t>(c)]));
+    out += "]}";
+  }
+  out += "], \"opcodes\": [";
+  bool first = true;
+  for (int op = 0; op < kNumOpcodes; ++op) {
+    const std::uint64_t iss = issued_by_opcode[static_cast<std::size_t>(op)];
+    const std::uint64_t st = stall_by_opcode[static_cast<std::size_t>(op)];
+    if (iss == 0 && st == 0) continue;
+    out += strformat("%s{\"op\": \"%.*s\", \"issued\": %llu, \"stalled\": %llu}",
+                     first ? "" : ", ",
+                     static_cast<int>(opcode_name(static_cast<Opcode>(op)).size()),
+                     opcode_name(static_cast<Opcode>(op)).data(),
+                     static_cast<unsigned long long>(iss),
+                     static_cast<unsigned long long>(st));
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace ilp

@@ -1,0 +1,97 @@
+// Cycle-accounting profile for the in-order superscalar simulator.
+//
+// Every simulated cycle offers exactly `issue_width` issue slots.  When
+// profiling is on, the simulator attributes each slot to exactly one cause
+// in a closed taxonomy, so the per-cause totals are a *partition* of the
+// machine's whole capacity:
+//
+//   issued          the slot carried an instruction
+//   raw_wait        register interlock whose latest producer was not a load
+//   mem_wait        memory latency: a load waiting on a store to the same
+//                   address, or an interlock whose latest producer was a load
+//   resource_width  structural issue restriction (the cycle's branch slot was
+//                   already taken when a control instruction reached the head)
+//   branch_fetch    slots squashed because a taken branch/jump ended the
+//                   cycle (redirect + fetch latency)
+//   drain           trailing slots of the final cycle, after RET issued
+//
+// Attribution priority when several conditions coincide (one cause per slot):
+// the branch-slot restriction is checked before interlocks, so a control
+// instruction that is both slot-blocked and operand-blocked counts as
+// resource_width; among simultaneous interlocks the *latest* blocking
+// constraint names the cause, and a memory constraint wins a tie with a
+// register constraint (memory is the deeper reason the operand is late).
+//
+// The conservation invariant — sum over causes of slots[c] == width * cycles,
+// exactly, with the per-block matrix and the occupancy histogram summing to
+// the same totals — is what makes the profile a differential-strength oracle
+// rather than telemetry; check_conservation() verifies every identity and
+// tests/sim/profile_test.cpp enforces it across the workload grid.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/opcode.hpp"
+
+namespace ilp {
+
+class Function;
+
+enum class StallCause : std::uint8_t {
+  Issued = 0,
+  RawWait,
+  MemWait,
+  ResourceWidth,
+  BranchFetch,
+  Drain,
+};
+inline constexpr int kNumStallCauses = 6;
+
+// Wire/exposition name: "issued", "raw_wait", "mem_wait", "resource_width",
+// "branch_fetch", "drain".
+[[nodiscard]] const char* stall_cause_name(StallCause c);
+
+struct CycleProfile {
+  int width = 0;             // issue width the run was profiled at
+  std::uint64_t cycles = 0;  // == SimResult::cycles of the same run
+  // Global per-cause totals; slots[Issued] == dynamic instruction count.
+  std::array<std::uint64_t, kNumStallCauses> slots{};
+  // Per-block attribution in layout order: stalled slots land on the block
+  // of the instruction that blocked (for branch_fetch, the branch's block).
+  std::vector<std::string> block_names;
+  std::vector<std::array<std::uint64_t, kNumStallCauses>> block_slots;
+  // Per-opcode attribution: slots issued as this opcode, and slots lost
+  // while an instruction of this opcode was the blocked head (or the
+  // redirecting branch / the RET for drain).
+  std::array<std::uint64_t, kNumOpcodes> issued_by_opcode{};
+  std::array<std::uint64_t, kNumOpcodes> stall_by_opcode{};
+  // occupancy[k]: cycles that issued exactly k instructions (width+1 bins).
+  std::vector<std::uint64_t> occupancy;
+
+  // Re-binds the profile to one run: zeroes every counter and sizes the
+  // per-block matrix and occupancy histogram for (fn, machine width).
+  void reset(int machine_width, const Function& fn);
+
+  [[nodiscard]] std::uint64_t total_slots() const;
+  [[nodiscard]] std::uint64_t stalled_slots() const {
+    return total_slots() - slots[0];
+  }
+  // Share of all slots attributed to `c`, in [0, 1].
+  [[nodiscard]] double fraction(StallCause c) const;
+
+  // Verifies every accounting identity; "" when the profile conserves:
+  //   sum(slots)              == width * cycles
+  //   per-block column sums   == slots
+  //   sum(occupancy)          == cycles
+  //   sum(k * occupancy[k])   == slots[issued] == sum(issued_by_opcode)
+  //   sum(stall_by_opcode)    == stalled_slots()
+  [[nodiscard]] std::string check_conservation() const;
+
+  // Full JSON object (totals, occupancy, per-block, nonzero opcodes).
+  [[nodiscard]] std::string to_json() const;
+};
+
+}  // namespace ilp

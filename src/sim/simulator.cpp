@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 
+#include "sim/profile.hpp"
 #include "support/assert.hpp"
 #include "support/flat_map.hpp"
 #include "support/strings.hpp"
@@ -34,6 +35,14 @@ struct Cursor {
 }  // namespace
 
 SimResult Simulator::run(const Function& fn, Memory& mem) const {
+  // Compile-time dispatch keeps the unprofiled path exactly what it was
+  // before profiling existed: no extra state, no per-issue bookkeeping.
+  return options_.profile != nullptr ? run_impl<true>(fn, mem)
+                                     : run_impl<false>(fn, mem);
+}
+
+template <bool kProfile>
+SimResult Simulator::run_impl(const Function& fn, Memory& mem) const {
   SimResult res;
   if (fn.num_blocks() == 0) {
     res.error = "empty function";
@@ -56,6 +65,18 @@ SimResult Simulator::run(const Function& fn, Memory& mem) const {
   // address the program ever wrote, keeping load lookups at ~1 probe.
   FlatHashMap64 mem_ready;
   std::uint64_t mem_horizon = 0;
+
+  // Profiling state.  The raw/mem split needs to know whether a register's
+  // latest producer was a load; the flag vectors parallel the ready arrays
+  // and exist only in the profiled instantiation.
+  CycleProfile* prof = nullptr;
+  std::vector<std::uint8_t> load_made_int, load_made_fp;
+  if constexpr (kProfile) {
+    prof = options_.profile;
+    prof->reset(machine_.issue_width, fn);
+    load_made_int.assign(ints.size(), 0);
+    load_made_fp.assign(fps.size(), 0);
+  }
 
   // MachineModel::latency is an out-of-line switch; tabulate it once so the
   // per-issue lookup is a single indexed load.
@@ -95,6 +116,13 @@ SimResult Simulator::run(const Function& fn, Memory& mem) const {
     // only when the issue loop breaks on an interlock (not on slot limits or
     // taken branches, which clear at the next cycle boundary).
     std::uint64_t stall_until = 0;
+    // Attribution of this cycle's unissued slots (profiled runs only): the
+    // cause, the blocked/redirecting instruction's layout block and opcode.
+    // The defaults are never read — every path that leaves slots unissued
+    // overwrites all three before the cycle's books are closed.
+    [[maybe_unused]] StallCause cycle_cause = StallCause::Drain;
+    [[maybe_unused]] std::size_t cause_block = 0;
+    [[maybe_unused]] Opcode cause_op = Opcode::NOP;
 
     while (issued < machine_.issue_width) {
       // Fallthrough across block boundaries is free (sequential fetch).
@@ -108,28 +136,60 @@ SimResult Simulator::run(const Function& fn, Memory& mem) const {
       }
       const Instruction& in = blocks[pc.block_pos].insts[pc.inst_idx];
 
-      // Branch-slot restriction.
-      if (in.is_control() && branches_this_cycle >= machine_.branch_slots) break;
+      // Branch-slot restriction: a structural width limit, not a data hazard.
+      if (in.is_control() && branches_this_cycle >= machine_.branch_slots) {
+        if constexpr (kProfile) {
+          cycle_cause = StallCause::ResourceWidth;
+          cause_block = pc.block_pos;
+          cause_op = in.op;
+        }
+        break;
+      }
 
       // Register interlocks: every source must be ready.  `ready_by` collects
       // the max ready cycle over all blocking conditions; register *values*
       // are written at issue, so they (and hence `addr`) are already final
       // even while the timing model says the instruction must wait.
       std::uint64_t ready_by = 0;
-      if (in.src1.valid()) ready_by = std::max(ready_by, reg_ready(in.src1));
+      [[maybe_unused]] bool stall_mem = false;
+      // Raises the pending-constraint max; under profiling also tracks
+      // whether the *latest* constraint is memory-shaped.  Ties go to memory
+      // — the deeper reason the operand is late — which keeps attribution
+      // identical between skip-stall and per-cycle evaluation.
+      auto raise = [&](std::uint64_t r, [[maybe_unused]] bool is_mem) {
+        if constexpr (kProfile) {
+          if (r > ready_by)
+            stall_mem = is_mem;
+          else if (r == ready_by && is_mem)
+            stall_mem = true;
+        }
+        ready_by = std::max(ready_by, r);
+      };
+      [[maybe_unused]] auto made_by_load = [&](const Reg& r) -> bool {
+        if constexpr (kProfile)
+          return (r.cls == RegClass::Int ? load_made_int[r.id]
+                                         : load_made_fp[r.id]) != 0;
+        else
+          return false;
+      };
+      if (in.src1.valid()) raise(reg_ready(in.src1), made_by_load(in.src1));
       if (in.src2.valid() && !in.src2_is_imm)
-        ready_by = std::max(ready_by, reg_ready(in.src2));
+        raise(reg_ready(in.src2), made_by_load(in.src2));
       // Load waits for the latest store to the same address to complete.
       std::int64_t addr = 0;
       if (in.is_memory()) {
         addr = wrap_add(iget(in.src1), in.ival);
         if (in.is_load()) {
-          if (const std::uint64_t* r = mem_ready.find(addr))
-            ready_by = std::max(ready_by, *r);
+          if (const std::uint64_t* r = mem_ready.find(addr)) raise(*r, true);
         }
       }
       if (ready_by > cycle) {
         stall_until = ready_by;
+        if constexpr (kProfile) {
+          cycle_cause = stall_mem ? StallCause::MemWait : StallCause::RawWait;
+          cause_block = pc.block_pos;
+          cause_op = in.op;
+        }
         break;
       }
 
@@ -144,6 +204,11 @@ SimResult Simulator::run(const Function& fn, Memory& mem) const {
       advanced = true;
       if (options_.trace && options_.trace->size() < options_.trace_limit)
         options_.trace->push_back(IssueEvent{in.uid, cycle});
+      if constexpr (kProfile) {
+        ++prof->issued_by_opcode[static_cast<std::size_t>(in.op)];
+        ++prof->block_slots[pc.block_pos]
+                           [static_cast<std::size_t>(StallCause::Issued)];
+      }
 
       const int lat = lat_table[static_cast<std::size_t>(in.op)];
       bool taken = false;
@@ -315,7 +380,13 @@ SimResult Simulator::run(const Function& fn, Memory& mem) const {
         }
       }
 
-      if (in.has_dest()) set_ready(in.dst, cycle + static_cast<std::uint64_t>(lat));
+      if (in.has_dest()) {
+        set_ready(in.dst, cycle + static_cast<std::uint64_t>(lat));
+        if constexpr (kProfile)
+          (in.dst.cls == RegClass::Int ? load_made_int
+                                       : load_made_fp)[in.dst.id] =
+              in.is_load() ? 1 : 0;
+      }
       if (in.is_control()) {
         ++branches_this_cycle;
         ++res.branches;
@@ -323,6 +394,13 @@ SimResult Simulator::run(const Function& fn, Memory& mem) const {
       if (done) break;
 
       if (taken) {
+        if constexpr (kProfile) {
+          // Slots squashed by the redirect land on the branch's own block,
+          // recorded before pc moves to the target.
+          cycle_cause = StallCause::BranchFetch;
+          cause_block = pc.block_pos;
+          cause_op = in.op;
+        }
         // Redirect: target issues no earlier than cycle + branch latency.
         pc.block_pos = fn.layout_index(in.target);
         pc.inst_idx = 0;
@@ -331,8 +409,30 @@ SimResult Simulator::run(const Function& fn, Memory& mem) const {
       ++pc.inst_idx;
     }
 
+    if constexpr (kProfile) {
+      // Close the cycle's books: `issued` slots already landed per-block and
+      // per-opcode above; the remainder all share one cause.  The final
+      // cycle's remainder is the pipeline drain behind RET.
+      const auto w = static_cast<std::uint64_t>(machine_.issue_width);
+      const auto rem = w - static_cast<std::uint64_t>(issued);
+      ++prof->occupancy[static_cast<std::size_t>(issued)];
+      prof->slots[static_cast<std::size_t>(StallCause::Issued)] +=
+          static_cast<std::uint64_t>(issued);
+      if (done) {
+        cycle_cause = StallCause::Drain;
+        cause_block = pc.block_pos;
+        cause_op = Opcode::RET;
+      }
+      if (rem > 0) {
+        prof->slots[static_cast<std::size_t>(cycle_cause)] += rem;
+        prof->block_slots[cause_block][static_cast<std::size_t>(cycle_cause)] +=
+            rem;
+        prof->stall_by_opcode[static_cast<std::size_t>(cause_op)] += rem;
+      }
+    }
     if (done) {
       res.cycles = cycle + 1;
+      if constexpr (kProfile) prof->cycles = res.cycles;
       break;
     }
     if (!advanced) ++res.stall_cycles;
@@ -341,7 +441,21 @@ SimResult Simulator::run(const Function& fn, Memory& mem) const {
     // issue (in-order): every intervening cycle is a full stall.  Account for
     // them in one step instead of looping through each.
     if (options_.skip_stall_cycles && stall_until > cycle) {
-      res.stall_cycles += stall_until - cycle;
+      const std::uint64_t skipped = stall_until - cycle;
+      res.stall_cycles += skipped;
+      if constexpr (kProfile) {
+        // Each skipped cycle is a full-width stall with the same blocking
+        // cause as the cycle that set `stall_until` (the constraint set is
+        // frozen while the head waits), so attributing them here keeps
+        // skip-on and skip-off profiles identical.
+        const auto w = static_cast<std::uint64_t>(machine_.issue_width);
+        prof->occupancy[0] += skipped;
+        prof->slots[static_cast<std::size_t>(cycle_cause)] += skipped * w;
+        prof->block_slots[cause_block][static_cast<std::size_t>(cycle_cause)] +=
+            skipped * w;
+        prof->stall_by_opcode[static_cast<std::size_t>(cause_op)] +=
+            skipped * w;
+      }
       cycle = stall_until;
     }
   }

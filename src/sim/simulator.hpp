@@ -30,6 +30,8 @@
 
 namespace ilp {
 
+struct CycleProfile;  // sim/profile.hpp
+
 // Final architectural register state.
 struct RegFile {
   std::vector<std::int64_t> ints;
@@ -64,6 +66,14 @@ struct SimOptions {
   // instruction can issue while the head stalls; tests/sim/cycle_skip_test.cpp
   // enforces the equivalence.  Off switches back to per-cycle evaluation.
   bool skip_stall_cycles = true;
+  // When non-null, the run attributes every cycle x issue-slot to one cause
+  // of the closed taxonomy in sim/profile.hpp (reset() is called on entry).
+  // The profiled run's observable output (cycles, stalls, trace, registers,
+  // memory) is byte-identical to an unprofiled run: the two paths are one
+  // `if constexpr` template, so profile == nullptr pays nothing — no extra
+  // state, no allocation, no per-issue bookkeeping.  Only meaningful when
+  // the run succeeds (res.ok); a failed run leaves a partial profile.
+  CycleProfile* profile = nullptr;
 };
 
 struct SimResult {
@@ -86,6 +96,11 @@ class Simulator {
   [[nodiscard]] SimResult run(const Function& fn, Memory& mem) const;
 
  private:
+  // kProfile selects the cycle-accounting instrumentation at compile time;
+  // run() dispatches on options_.profile.
+  template <bool kProfile>
+  [[nodiscard]] SimResult run_impl(const Function& fn, Memory& mem) const;
+
   MachineModel machine_;
   SimOptions options_;
 };

@@ -14,6 +14,12 @@
 //   --emit-ir                         print the final IR
 //   --emit-ir-before                  print the IR before optimization
 //   --no-sim                          skip simulation
+//   --profile                         cycle-accounting profile of the run
+//                                     (per-cause slot table, occupancy, top
+//                                     stall blocks/opcodes)
+//   --explain                         profile Conv..Lev4 and report which
+//                                     stall causes each level removed, plus
+//                                     the list-vs-modulo diff at Lev4
 //   --classify                        print the loop classification and exit
 //   --list-workloads                  list the built-in Table 2 suite
 //
@@ -39,6 +45,7 @@
 #include "frontend/compile.hpp"
 #include "frontend/parser.hpp"
 #include "harness/experiment.hpp"
+#include "harness/explain.hpp"
 #include "ir/printer.hpp"
 #include "machine/machine.hpp"
 #include "regalloc/regalloc.hpp"
@@ -54,7 +61,7 @@ void usage() {
                "[--unroll N]\n"
                "            [--nest interchange,fuse,fission,tile|all] [--tile-size N]\n"
                "            [--scheduler list|modulo] [--emit-ir] [--emit-ir-before]\n"
-               "            [--no-sim] [--classify]\n"
+               "            [--no-sim] [--profile] [--explain] [--classify]\n"
                "            (<source.ilp> | --workload <name> | --list-workloads)\n"
                "       ilpc --study [--scheduler list|modulo] [--jobs N | --seq] "
                "[--json PATH]\n"
@@ -149,6 +156,8 @@ int main(int argc, char** argv) {
   bool emit_ir = false;
   bool emit_ir_before = false;
   bool do_sim = true;
+  bool do_profile = false;
+  bool do_explain = false;
   bool classify_only = false;
   bool study_mode = false;
   int jobs = 1;
@@ -207,6 +216,10 @@ int main(int argc, char** argv) {
       emit_ir_before = true;
     } else if (a == "--no-sim") {
       do_sim = false;
+    } else if (a == "--profile") {
+      do_profile = true;
+    } else if (a == "--explain") {
+      do_explain = true;
     } else if (a == "--classify") {
       classify_only = true;
     } else if (a == "--study") {
@@ -289,6 +302,24 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (do_explain) {
+    const MachineModel machine = MachineModel::issue(issue);
+    CompileOptions opts;
+    opts.unroll.max_factor = unroll;
+    opts.nest = nest;
+    opts.scheduler = scheduler;
+    const std::string label =
+        !workload_name.empty() ? workload_name
+                               : (!source_path.empty() ? source_path : "program");
+    auto report = explain_source(label, source, machine, opts);
+    if (!report) {
+      std::fprintf(stderr, "%s\n", report.error_message().c_str());
+      return 3;
+    }
+    std::printf("%s", report->c_str());
+    return 0;
+  }
+
   auto compiled = dsl::compile(source, diags);
   if (!compiled) {
     std::fprintf(stderr, "%s", diags.to_string().c_str());
@@ -317,7 +348,10 @@ int main(int argc, char** argv) {
                 tstats.loops_tiled);
 
   if (do_sim) {
-    const RunOutcome run = run_seeded(compiled->fn, machine);
+    CycleProfile profile;
+    SimOptions sim_opts;
+    if (do_profile) sim_opts.profile = &profile;
+    const RunOutcome run = run_seeded(compiled->fn, machine, std::move(sim_opts));
     if (!run.result.ok) {
       std::fprintf(stderr, "simulation failed: %s\n", run.result.error.c_str());
       return 3;
@@ -327,6 +361,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(run.result.instructions),
                 static_cast<double>(run.result.instructions) /
                     static_cast<double>(run.result.cycles));
+    if (do_profile) std::printf("%s", format_profile(profile).c_str());
     for (const auto& [name, reg] : compiled->scalar_regs) {
       bool is_out = false;
       for (const Reg& r : compiled->fn.live_out())

@@ -6,14 +6,18 @@
 //        [--trace-dir DIR]
 //
 // Speaks newline-delimited JSON (see src/server/protocol.hpp for the wire
-// format).  SIGTERM/SIGINT trigger a graceful drain: the listener closes
-// immediately, every request whose full line was received is answered, then
-// the process exits 0.
+// format): `compile` / `batch` / `stats` / `metrics` / `profile` verbs.
+// Compile requests accept {"profile": true} to attach the cell's
+// stall-accounting summary; the `profile` verb reports the daemon-lifetime
+// per-cause totals.  SIGTERM/SIGINT trigger a graceful drain: the listener
+// closes immediately, every request whose full line was received is
+// answered, then the process exits 0.
 //
 // Logs go to stderr (stdout carries only the "listening" line and the
 // optional exit stats, so scripts can keep parsing it).  --trace-dir arms
 // per-request Chrome tracing: compile requests with {"trace": true} write
-// request → job → pass span files there.
+// request → job → pass span files there, with the simulated issue window
+// rendered as per-slot lanes.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
