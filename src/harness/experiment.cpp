@@ -11,6 +11,7 @@
 #include "engine/pool.hpp"
 #include "engine/trace.hpp"
 #include "frontend/compile.hpp"
+#include "harness/cache_key.hpp"
 #include "sim/simulator.hpp"
 #include "support/assert.hpp"
 #include "support/strings.hpp"
@@ -72,32 +73,11 @@ std::uint64_t simulate_cycles(const Function& fn, const MachineModel& m) {
 std::uint64_t study_cell_key(const Workload& w, OptLevel level, const MachineModel& m,
                              const CompileOptions& opts) {
   engine::HashStream h;
-  h.str("ilp92-cell-v3");  // schema version: bump to invalidate disk caches
+  hash_domain_salt(h, "ilp92-cell");  // shared version: see harness/cache_key.hpp
   h.str(w.source);
   h.i32(static_cast<int>(level));
-  h.i32(m.issue_width).i32(m.branch_slots);
-  h.i32(m.lat_int_alu).i32(m.lat_int_mul).i32(m.lat_int_div).i32(m.lat_branch);
-  h.i32(m.lat_load).i32(m.lat_store);
-  h.i32(m.lat_fp_alu).i32(m.lat_fp_conv).i32(m.lat_fp_mul).i32(m.lat_fp_div);
-  h.i32(opts.unroll.max_factor);
-  h.u64(opts.unroll.max_body_insts);
-  h.boolean(opts.unroll.merge_counter_updates);
-  // Nest restructuring knobs change the compiled shape before any other pass.
-  h.boolean(opts.nest.interchange).boolean(opts.nest.fuse);
-  h.boolean(opts.nest.fission).boolean(opts.nest.tile);
-  h.i32(opts.nest.tile_size);
-  h.boolean(opts.schedule);
-  // Scheduler backend identity: results from one backend must never be
-  // served to a request for the other, and any behavior change in the
-  // modulo scheduler (kModuloSchedulerVersion bump) invalidates its cells.
-  h.i32(static_cast<int>(opts.scheduler));
-  if (opts.scheduler == SchedulerKind::Modulo) {
-    h.i32(kModuloSchedulerVersion);
-    h.u64(opts.modulo.max_body_insts);
-    h.i32(opts.modulo.max_stages);
-    h.i32(opts.modulo.max_ii_over_min);
-    h.i32(opts.modulo.budget_ratio);
-  }
+  hash_machine_model(h, m);
+  hash_compile_options(h, opts);
   return h.digest();
 }
 

@@ -246,6 +246,80 @@ bool parse_batch(const JsonValue& obj, BatchRequest& out, std::string* error) {
   return true;
 }
 
+bool parse_autotune(const JsonValue& obj, AutotuneRequest& out, std::string* error) {
+  if (const JsonValue* v = obj.find("source")) {
+    if (!v->is_string()) {
+      *error = "field 'source' must be a string";
+      return false;
+    }
+    out.source = v->as_string();
+  }
+  if (const JsonValue* v = obj.find("workload")) {
+    if (!v->is_string()) {
+      *error = "field 'workload' must be a string";
+      return false;
+    }
+    out.workload = v->as_string();
+  }
+  if (out.source.empty() == out.workload.empty()) {
+    *error = "autotune requests need exactly one of 'source' or 'workload'";
+    return false;
+  }
+  std::int64_t issue = out.issue, beam = out.beam, rounds = out.rounds,
+               max_sims = out.max_sims;
+  if (!read_int_field(obj, "issue", issue, error)) return false;
+  if (!read_int_field(obj, "beam", beam, error)) return false;
+  if (!read_int_field(obj, "rounds", rounds, error)) return false;
+  if (!read_int_field(obj, "max_sims", max_sims, error)) return false;
+  if (issue < 1 || issue > 64) {
+    *error = "field 'issue' must be in [1, 64]";
+    return false;
+  }
+  if (beam < 1 || beam > 64) {
+    *error = "field 'beam' must be in [1, 64]";
+    return false;
+  }
+  if (rounds < 0 || rounds > 64) {
+    *error = "field 'rounds' must be in [0, 64]";
+    return false;
+  }
+  if (max_sims < 1 || max_sims > 4096) {
+    *error = "field 'max_sims' must be in [1, 4096]";
+    return false;
+  }
+  out.issue = static_cast<int>(issue);
+  out.beam = static_cast<int>(beam);
+  out.rounds = static_cast<int>(rounds);
+  out.max_sims = static_cast<int>(max_sims);
+  if (const JsonValue* v = obj.find("sim_fraction")) {
+    if (!v->is_number() || v->as_double() <= 0.0 || v->as_double() > 1.0) {
+      *error = "field 'sim_fraction' must be a number in (0, 1]";
+      return false;
+    }
+    out.sim_fraction = v->as_double();
+  }
+  if (const JsonValue* v = obj.find("cost_model")) {
+    if (!v->is_bool()) {
+      *error = "field 'cost_model' must be a boolean";
+      return false;
+    }
+    out.cost_model = v->as_bool();
+  }
+  if (!read_int_field(obj, "deadline_ms", out.deadline_ms, error)) return false;
+  if (out.deadline_ms < 0) {
+    *error = "deadline_ms must be non-negative";
+    return false;
+  }
+  if (const JsonValue* v = obj.find("trace")) {
+    if (!v->is_bool()) {
+      *error = "field 'trace' must be a boolean";
+      return false;
+    }
+    out.trace = v->as_bool();
+  }
+  return true;
+}
+
 }  // namespace
 
 std::optional<Request> parse_request(const std::string& line, std::string* error) {
@@ -278,6 +352,9 @@ std::optional<Request> parse_request(const std::string& line, std::string* error
   } else if (kind->as_string() == "batch") {
     req.kind = RequestKind::Batch;
     if (!parse_batch(*doc, req.batch, error)) return std::nullopt;
+  } else if (kind->as_string() == "autotune") {
+    req.kind = RequestKind::Autotune;
+    if (!parse_autotune(*doc, req.autotune, error)) return std::nullopt;
   } else if (kind->as_string() == "stats") {
     req.kind = RequestKind::Stats;
   } else if (kind->as_string() == "metrics") {
@@ -368,6 +445,24 @@ std::string serialize_compile_response(const std::string& id_json,
                                        const CompileResponse& r) {
   return assemble_compile_response(id_json, serialize_compile_body(r), r.cached,
                                    r.request_id, r.trace_file);
+}
+
+std::string serialize_autotune_response(const std::string& id_json,
+                                        const std::string& result_json,
+                                        bool cached,
+                                        const std::string& request_id,
+                                        const std::string& trace_file,
+                                        double elapsed_ms) {
+  std::string out = strformat(
+      "{\"id\": %s, \"ok\": true, \"kind\": \"autotune\", \"result\": %s, "
+      "\"cached\": %s",
+      id_json.c_str(), result_json.c_str(), cached ? "true" : "false");
+  if (!request_id.empty())
+    out += strformat(", \"request_id\": \"%s\"", json_escape(request_id).c_str());
+  if (!trace_file.empty())
+    out += strformat(", \"trace_file\": \"%s\"", json_escape(trace_file).c_str());
+  out += strformat(", \"elapsed_ms\": %.3f}", elapsed_ms);
+  return out;
 }
 
 std::string serialize_batch_response(const std::string& id_json,

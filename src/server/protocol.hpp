@@ -16,6 +16,13 @@
 //    "levels": ["conv", ...], "widths": [1, 2, 4, 8],
 //    "deadline_ms": 60000}
 //
+//   {"kind": "autotune",
+//    "source": "<DSL text>" | "workload": "<Table 2 name>",   // exactly one
+//    "issue": 8, "beam": 4, "rounds": 3, "sim_fraction": 0.5,
+//    "max_sims": 48, "cost_model": true,    // false: exhaustive (no pruning)
+//    "deadline_ms": 30000, "trace": true}   // deadline stops the search with
+//                                           // the best found so far
+//
 //   {"kind": "stats"}
 //
 //   {"kind": "metrics"}        // Prometheus text exposition, JSON-wrapped
@@ -57,7 +64,7 @@
 
 namespace ilp::server {
 
-enum class RequestKind { Compile, Batch, Stats, Metrics, Profile };
+enum class RequestKind { Compile, Batch, Autotune, Stats, Metrics, Profile };
 
 enum class ErrorKind {
   BadRequest,        // malformed JSON / unknown fields / bad values
@@ -94,11 +101,25 @@ struct BatchRequest {
   std::int64_t deadline_ms = 0;
 };
 
+struct AutotuneRequest {
+  std::string source;  // exactly one of source/workload is set
+  std::string workload;
+  int issue = 8;
+  int beam = 4;
+  int rounds = 3;
+  double sim_fraction = 0.5;
+  int max_sims = 48;
+  bool cost_model = true;  // false: simulate every candidate (exhaustive)
+  std::int64_t deadline_ms = 0;  // 0 => service default; stops, not kills
+  bool trace = false;  // request-scoped Chrome trace (needs --trace-dir)
+};
+
 struct Request {
   RequestKind kind = RequestKind::Stats;
   std::string id_json;  // client id, re-serialized verbatim ("null" if absent)
   CompileRequest compile;
   BatchRequest batch;
+  AutotuneRequest autotune;
 };
 
 // Parses one request line.  On failure returns nullopt and fills `error`
@@ -210,6 +231,14 @@ struct Reply {
                                                        request_id, {});
   }
 };
+// `result_json` is the tuner's own "tune-result-v1" object (tune/tune.hpp);
+// `cached` marks a whole-search replay from the tune result cache.
+std::string serialize_autotune_response(const std::string& id_json,
+                                        const std::string& result_json,
+                                        bool cached,
+                                        const std::string& request_id,
+                                        const std::string& trace_file,
+                                        double elapsed_ms);
 std::string serialize_batch_response(const std::string& id_json,
                                      const std::vector<BatchCell>& cells,
                                      double elapsed_ms);

@@ -4,6 +4,7 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <future>
 #include <thread>
@@ -11,6 +12,7 @@
 
 #include "engine/trace.hpp"
 #include "frontend/compile.hpp"
+#include "harness/cache_key.hpp"
 #include "harness/experiment.hpp"
 #include "obs/context.hpp"
 #include "obs/log.hpp"
@@ -18,6 +20,7 @@
 #include "regalloc/regalloc.hpp"
 #include "sim/simulator.hpp"
 #include "support/strings.hpp"
+#include "tune/tune.hpp"
 #include "workloads/suite.hpp"
 
 namespace ilp::server {
@@ -173,28 +176,12 @@ std::uint64_t cell_key(const std::string& source, OptLevel level,
                        const std::optional<TransformSet>& transforms,
                        const NestOptions& nest, SchedulerKind scheduler, int issue,
                        int unroll, std::int64_t debug_sleep_ms) {
-  engine::HashStream h;
-  h.str("ilpd-cell-v3");
-  h.str(source);
-  // Backend identity: a warm cache must never answer a modulo request with a
-  // list-scheduled cell (or with pipelined code from an older scheduler).
-  h.i32(static_cast<int>(scheduler));
-  if (scheduler == SchedulerKind::Modulo) h.i32(kModuloSchedulerVersion);
-  h.boolean(transforms.has_value());
-  if (transforms) {
-    h.boolean(transforms->unroll).boolean(transforms->rename);
-    h.boolean(transforms->combine).boolean(transforms->strength);
-    h.boolean(transforms->height).boolean(transforms->acc_expand);
-    h.boolean(transforms->ind_expand).boolean(transforms->search_expand);
-  } else {
-    h.i32(static_cast<int>(level));
-  }
-  h.boolean(nest.interchange).boolean(nest.fuse);
-  h.boolean(nest.fission).boolean(nest.tile);
-  h.i32(nest.tile_size);
-  h.i32(issue).i32(unroll);
-  h.i64(debug_sleep_ms);
-  return h.digest();
+  // Delegates to the shared versioned salt builder (harness/cache_key.hpp)
+  // so autotune candidate evaluations and compile requests for identical
+  // work land on the same cache entry, and a new knob bumps this key, the
+  // study key and the hot tier together.
+  return service_cell_key(source, level, transforms, nest, scheduler, issue, unroll,
+                          debug_sleep_ms);
 }
 
 // Deadline-aware sleep used by debug_sleep_ms: wakes early on cancellation
@@ -204,6 +191,26 @@ void interruptible_sleep(std::int64_t ms, const engine::JobGroup& group) {
   while (Clock::now() < until && !group.cancel_requested())
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
 }
+
+// Content hash of one autotune search: source + every search knob, salted in
+// the shared version domain so a knob bump rolls the whole-result cache over
+// with the cells.
+std::uint64_t tune_request_key(const std::string& source, const AutotuneRequest& a) {
+  engine::HashStream h;
+  hash_domain_salt(h, "ilpd-tune");
+  h.str(source);
+  h.i32(a.issue).i32(a.beam).i32(a.rounds).i32(a.max_sims);
+  std::uint64_t frac_bits = 0;
+  static_assert(sizeof(frac_bits) == sizeof(a.sim_fraction));
+  std::memcpy(&frac_bits, &a.sim_fraction, sizeof(frac_bits));
+  h.u64(frac_bits);
+  h.boolean(a.cost_model);
+  return h.digest();
+}
+
+// Cache payload prefix for whole autotune results: the stored body is the
+// "tune-result-v1" JSON object, replayed verbatim on a warm hit.
+constexpr std::string_view kTunePayloadPrefix = "ilpd-tune-v1 ";
 
 }  // namespace
 
@@ -356,6 +363,135 @@ Service::CellOutcome Service::compute_cell(
   return out;
 }
 
+// --- Autotune plumbing ------------------------------------------------------
+
+// Future value of one whole autotune search (the coalescing unit).
+struct Service::TuneOutcome {
+  bool ok = false;
+  ErrorKind err = ErrorKind::Internal;
+  std::string message;
+  std::string result_json;  // "tune-result-v1" object when ok
+  bool stopped_early = false;
+};
+
+struct Service::TuneInflight {
+  std::shared_future<TuneOutcome> future;
+};
+
+// Evaluation backend bridging the tuner onto the service.  Candidate
+// measurements run as shard-pinned pool jobs keyed with the compile verb's
+// cell key, so autotune traffic and compile traffic for identical work share
+// one cache entry — and one execution.  Batches return in submission-index
+// order, preserving the tuner's determinism contract; batch wall times land
+// in the tune.phase.* histograms that stats_json and loadgen report.
+class Service::TuneEvaluator final : public tune::Evaluator {
+ public:
+  TuneEvaluator(Service& svc, std::shared_ptr<RequestObs> ro)
+      : svc_(svc), ro_(std::move(ro)) {}
+
+  std::vector<Analysis> analyze(const std::string& source, int issue,
+                                const std::vector<tune::TuneConfig>& cfgs) override {
+    static obs::Histogram& search_hist =
+        engine::MetricsRegistry::global().histogram("tune.phase.search");
+    engine::Stopwatch wall;
+    const MachineModel m = MachineModel::issue(issue);
+    std::vector<std::future<Analysis>> futures;
+    futures.reserve(cfgs.size());
+    for (const tune::TuneConfig& c : cfgs)
+      futures.push_back(svc_.pool_->submit([this, &source, &m, c]() -> Analysis {
+        obs::RequestScope scope(&ro_->ctx);
+        const std::string label = "analyze " + c.name();
+        obs::SpanScope span(label, "tune");
+        Analysis a;
+        Workload w;
+        w.name = "tune";
+        w.source = source;
+        auto compiled =
+            try_compile_workload(w, c.level, m, tune::to_compile_options(c));
+        if (!compiled) {
+          a.error = compiled.error_message();
+          return a;
+        }
+        a.ok = true;
+        a.features = tune::extract_features(compiled->fn, m);
+        return a;
+      }));
+    std::vector<Analysis> out(cfgs.size());
+    for (std::size_t i = 0; i < cfgs.size(); ++i) out[i] = futures[i].get();
+    search_hist.record(wall.nanos());
+    return out;
+  }
+
+  std::vector<Measurement> measure(const std::string& source, int issue,
+                                   const std::vector<tune::TuneConfig>& cfgs) override {
+    static obs::Histogram& simulate_hist =
+        engine::MetricsRegistry::global().histogram("tune.phase.simulate");
+    engine::Stopwatch wall;
+    std::vector<std::future<Measurement>> futures;
+    futures.reserve(cfgs.size());
+    for (const tune::TuneConfig& c : cfgs) {
+      const std::uint64_t key = cell_key(source, c.level, std::nullopt, c.nest,
+                                         c.scheduler, issue, c.unroll, 0);
+      futures.push_back(svc_.pool_->submit_pinned(
+          static_cast<unsigned>(svc_.shard_index(key)),
+          [this, &source, issue, c, key]() -> Measurement {
+            obs::RequestScope scope(&ro_->ctx);
+            const std::string label = "measure " + c.name();
+            obs::SpanScope span(label, "tune");
+            engine::ResultCache& cache = svc_.cache_for(key);
+            if (auto payload = cache.lookup(key)) {
+              CellOutcome hit;
+              if (decode_cell(*payload, hit))
+                return to_measurement(hit, /*cache_hit=*/true);
+              cache.invalidate(key);
+            }
+            CellOutcome out = svc_.compute_cell(source, c.level, std::nullopt,
+                                                c.nest, c.scheduler, issue,
+                                                c.unroll);
+            cache.store(key, encode_cell(out));
+            svc_.bump(kCellsExecuted);
+            return to_measurement(out, /*cache_hit=*/false);
+          }));
+    }
+    std::vector<Measurement> out(cfgs.size());
+    for (std::size_t i = 0; i < cfgs.size(); ++i) out[i] = futures[i].get();
+    simulate_hist.record(wall.nanos());
+    return out;
+  }
+
+ private:
+  // Converts a service cell into the tuner's measurement, enforcing the
+  // conservation identity on the cached ProfileSummary — a result whose slot
+  // accounting does not close must never rank, let alone win.
+  static Measurement to_measurement(const CellOutcome& cell, bool cache_hit) {
+    Measurement m;
+    m.cache_hit = cache_hit;
+    if (!cell.ok) {
+      m.error = cell.message;
+      return m;
+    }
+    const ProfileSummary& p = cell.resp.profile;
+    std::uint64_t total = 0;
+    for (const std::uint64_t v : p.slots) total += v;
+    if (total != static_cast<std::uint64_t>(p.width) * p.cycles) {
+      m.error = "profile summary conservation violated";
+      return m;
+    }
+    m.ok = true;
+    m.cycles = cell.resp.cycles;
+    m.mem_wait =
+        total == 0
+            ? 0.0
+            : static_cast<double>(
+                  p.slots[static_cast<std::size_t>(StallCause::MemWait)]) /
+                  static_cast<double>(total);
+    return m;
+  }
+
+  Service& svc_;
+  std::shared_ptr<RequestObs> ro_;
+};
+
 Service::Service(ServiceConfig cfg)
     : cfg_(std::move(cfg)),
       latency_hist_(
@@ -377,6 +513,10 @@ Service::Service(ServiceConfig cfg)
     shards_.push_back(std::move(sh));
   }
   pool_ = std::make_unique<engine::ThreadPool>(static_cast<unsigned>(workers_));
+  // Materialize the tune-phase histograms at boot so the exposition carries
+  // them before the first autotune request (scrapes can --require-hist them).
+  engine::MetricsRegistry::global().histogram("tune.phase.search");
+  engine::MetricsRegistry::global().histogram("tune.phase.simulate");
   obs::log_info("service started",
                 {obs::field("workers", workers_), obs::field("capacity", capacity_),
                  obs::field("shards", static_cast<int>(shards_.size())),
@@ -433,6 +573,15 @@ ServiceCounters Service::counters() const {
   c.coalesced = get(kCoalesced);
   c.cells_executed = get(kCellsExecuted);
   c.hot_hits = get(kHotHits);
+  c.tune_requests = get(kTuneRequests);
+  c.tune_cached = get(kTuneCached);
+  c.tune_coalesced = get(kTuneCoalesced);
+  c.tune_stopped_early = get(kTuneStoppedEarly);
+  c.tune_candidates_simulated =
+      tune_cand_simulated_.load(std::memory_order_relaxed);
+  c.tune_candidates_pruned = tune_cand_pruned_.load(std::memory_order_relaxed);
+  c.tune_candidate_cache_hits =
+      tune_cand_cache_hits_.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -526,27 +675,33 @@ Reply Service::serve_parsed(ParsedRequest p, std::uint64_t queued_ns) {
       return flat(serialize_profile_response(req.id_json, profile_json()));
     }
     case RequestKind::Compile:
-    case RequestKind::Batch: {
+    case RequestKind::Batch:
+    case RequestKind::Autotune: {
       if (draining()) {
         bump(kShuttingDown);
         return flat(serialize_error(req.id_json, ErrorKind::ShuttingDown,
                                     "drain in progress; no new work accepted"));
       }
-      const bool traced = req.kind == RequestKind::Compile &&
-                          req.compile.trace && !cfg_.trace_dir.empty();
+      const bool wants_trace =
+          (req.kind == RequestKind::Compile && req.compile.trace) ||
+          (req.kind == RequestKind::Autotune && req.autotune.trace);
+      const bool traced = wants_trace && !cfg_.trace_dir.empty();
       auto ro = std::make_shared<RequestObs>(
           strformat("r-%" PRIu64,
                     request_seq_.fetch_add(1, std::memory_order_relaxed) + 1),
           traced);
-      if (req.compile.trace && !traced && req.kind == RequestKind::Compile)
+      if (wants_trace && !traced)
         obs::Logger::global().warn_rate_limited(
             "trace_untraceable", "trace requested but no --trace-dir configured");
       obs::RequestScope scope(&ro->ctx);
-      obs::log_debug(req.kind == RequestKind::Compile ? "compile request"
-                                                      : "batch request");
+      obs::log_debug(req.kind == RequestKind::Compile  ? "compile request"
+                     : req.kind == RequestKind::Batch ? "batch request"
+                                                      : "autotune request");
       Reply r;
       if (req.kind == RequestKind::Batch)
         r.flat = handle_batch(req);
+      else if (req.kind == RequestKind::Autotune)
+        r.flat = handle_autotune(req, ro);
       else if (traced)
         r.flat = handle_compile(req, ro);  // traces need the pool-span path
       else
@@ -587,7 +742,8 @@ std::string Service::handle_line(const std::string& line) {
       return serialize_profile_response(req->id_json, profile_json());
     }
     case RequestKind::Compile:
-    case RequestKind::Batch: {
+    case RequestKind::Batch:
+    case RequestKind::Autotune: {
       if (draining()) {
         bump(kShuttingDown);
         return serialize_error(req->id_json, ErrorKind::ShuttingDown,
@@ -596,20 +752,25 @@ std::string Service::handle_line(const std::string& line) {
       // Mint the request id and install the request context for the handler
       // thread; the engine job re-installs it on its worker (RequestObs is
       // shared with the job, which can outlive this frame on a deadline).
-      const bool traced = req->kind == RequestKind::Compile &&
-                          req->compile.trace && !cfg_.trace_dir.empty();
+      const bool wants_trace =
+          (req->kind == RequestKind::Compile && req->compile.trace) ||
+          (req->kind == RequestKind::Autotune && req->autotune.trace);
+      const bool traced = wants_trace && !cfg_.trace_dir.empty();
       auto ro = std::make_shared<RequestObs>(
           strformat("r-%" PRIu64,
                     request_seq_.fetch_add(1, std::memory_order_relaxed) + 1),
           traced);
-      if (req->compile.trace && !traced && req->kind == RequestKind::Compile)
+      if (wants_trace && !traced)
         obs::Logger::global().warn_rate_limited(
             "trace_untraceable", "trace requested but no --trace-dir configured");
       obs::RequestScope scope(&ro->ctx);
-      obs::log_debug(req->kind == RequestKind::Compile ? "compile request"
-                                                       : "batch request");
+      obs::log_debug(req->kind == RequestKind::Compile  ? "compile request"
+                     : req->kind == RequestKind::Batch ? "batch request"
+                                                       : "autotune request");
       std::string response = req->kind == RequestKind::Compile
                                  ? handle_compile(*req, ro)
+                             : req->kind == RequestKind::Autotune
+                                 ? handle_autotune(*req, ro)
                                  : handle_batch(*req);
       latency_hist_.record(ro->wall.nanos());
       return response;
@@ -835,7 +996,7 @@ Reply Service::handle_compile_direct(const ParsedRequest& p,
   // tier keys the two shapes apart.  The cell key itself — coalescing, the
   // result cache, shard routing — is profile-blind: every executed cell
   // carries its summary and the flag only gates serialization.
-  const std::uint64_t hot_key = c.profile ? key ^ 0x70726f66696c65ull : key;
+  const std::uint64_t hot_key = c.profile ? hot_profile_variant(key) : key;
   Shard& sh = *shards_[p.shard];
   queue_wait_hist_.record(queued_ns);
 
@@ -1134,6 +1295,189 @@ std::string Service::handle_batch(const Request& req) {
   return serialize_batch_response(req.id_json, cells, elapsed.seconds() * 1e3);
 }
 
+std::string Service::handle_autotune(const Request& req,
+                                     const std::shared_ptr<RequestObs>& ro) {
+  bump(kTuneRequests);
+  const AutotuneRequest& a = req.autotune;
+  std::string source = a.source;
+  if (!a.workload.empty()) {
+    const Workload* w = find_workload(a.workload);
+    if (w == nullptr) {
+      bump(kBadRequest);
+      return serialize_error(req.id_json, ErrorKind::BadRequest,
+                             strformat("unknown workload '%s'", a.workload.c_str()));
+    }
+    source = w->source;
+  }
+
+  const std::uint64_t tkey = tune_request_key(source, a);
+  engine::ResultCache& tcache = cache_for(tkey);
+
+  auto respond = [&](const TuneOutcome& out, bool cached,
+                     const std::string& trace_file) {
+    if (out.ok) {
+      bump(kOk);
+      return serialize_autotune_response(req.id_json, out.result_json, cached,
+                                         ro->id, trace_file,
+                                         ro->wall.seconds() * 1e3);
+    }
+    bump(out.err == ErrorKind::Internal ? kInternalErrors : kCompileErrors);
+    obs::log_debug("autotune request failed",
+                   {obs::field("kind", error_kind_name(out.err)),
+                    obs::field("message", out.message)});
+    return serialize_error(req.id_json, out.err, out.message);
+  };
+
+  // Warm path: an identical search already ran to completion — replay it.
+  if (auto payload = tcache.lookup(tkey)) {
+    if (payload->rfind(kTunePayloadPrefix, 0) == 0) {
+      bump(kTuneCached);
+      TuneOutcome out;
+      out.ok = true;
+      out.result_json = payload->substr(kTunePayloadPrefix.size());
+      return respond(out, /*cached=*/true, {});
+    }
+    tcache.invalidate(tkey);
+  }
+
+  // Join an identical in-flight search, or admit a new one against both the
+  // tune-job bound (searches saturate the pool, so a handful is plenty) and
+  // the global admission counter (a search occupies one cell slot end to
+  // end, which is what folds it into drain accounting).
+  std::shared_ptr<TuneInflight> entry;
+  std::promise<TuneOutcome> publish;
+  bool executor = false;
+  {
+    std::lock_guard<std::mutex> lock(tune_mu_);
+    auto it = tune_inflight_.find(tkey);
+    if (it != tune_inflight_.end()) {
+      entry = it->second;
+    } else if (tune_jobs_.load(std::memory_order_relaxed) < cfg_.tune_job_limit &&
+               try_admit(1)) {
+      tune_jobs_.fetch_add(1, std::memory_order_relaxed);
+      entry = std::make_shared<TuneInflight>();
+      entry->future = publish.get_future().share();
+      tune_inflight_.emplace(tkey, entry);
+      executor = true;
+    }
+  }
+  if (entry == nullptr) {
+    bump(kOverloaded);
+    obs::Logger::global().warn_rate_limited(
+        "overloaded", "autotune rejected: job limit reached",
+        {obs::field("limit", cfg_.tune_job_limit)});
+    return serialize_error(
+        req.id_json, ErrorKind::Overloaded,
+        strformat("autotune job limit reached (%zu searches in flight)",
+                  cfg_.tune_job_limit));
+  }
+
+  const std::int64_t deadline_ms =
+      a.deadline_ms > 0 ? a.deadline_ms : cfg_.default_deadline_ms;
+
+  if (!executor) {
+    bump(kTuneCoalesced);
+    std::shared_future<TuneOutcome> fut = entry->future;
+    if (deadline_ms > 0 &&
+        fut.wait_for(std::chrono::milliseconds(deadline_ms)) ==
+            std::future_status::timeout) {
+      bump(kDeadlineExceeded);
+      obs::log_debug("deadline exceeded while waiting",
+                     {obs::field("deadline_ms", deadline_ms)});
+      return serialize_error(req.id_json, ErrorKind::DeadlineExceeded,
+                             strformat("deadline of %lld ms exceeded",
+                                       static_cast<long long>(deadline_ms)));
+    }
+    return respond(fut.get(), /*cached=*/false, {});
+  }
+
+  // Executor: the search runs on this thread; candidate evaluations fan onto
+  // the pool through the evaluator.  The deadline and a drain both feed the
+  // tuner's cancellation hook, so either stops the search between batches
+  // with the best found so far (stopped_early), never a dropped request.
+  const auto deadline_tp =
+      Clock::now() +
+      std::chrono::milliseconds(deadline_ms > 0 ? deadline_ms : 0);
+  tune::TuneOptions topts;
+  topts.issue = a.issue;
+  topts.beam_width = a.beam;
+  topts.max_rounds = a.rounds;
+  topts.sim_fraction = a.sim_fraction;
+  topts.max_sims = a.max_sims;
+  topts.use_cost_model = a.cost_model;
+  topts.cancelled = [this, deadline_ms, deadline_tp] {
+    return draining() || (deadline_ms > 0 && Clock::now() >= deadline_tp);
+  };
+
+  TuneOutcome out;
+  {
+    obs::SpanScope span("autotune", "tune");
+    TuneEvaluator eval(*this, ro);
+    const tune::TuneResult r = [&] {
+      try {
+        return tune::autotune(source, topts, eval);
+      } catch (const std::exception& e) {
+        tune::TuneResult bad;
+        bad.error = strformat("search threw: %s", e.what());
+        return bad;
+      }
+    }();
+    tune_cand_simulated_.fetch_add(r.simulated, std::memory_order_relaxed);
+    tune_cand_pruned_.fetch_add(r.pruned, std::memory_order_relaxed);
+    tune_cand_cache_hits_.fetch_add(r.cache_hits, std::memory_order_relaxed);
+    if (r.stopped_early) bump(kTuneStoppedEarly);
+    out.stopped_early = r.stopped_early;
+    if (r.ok) {
+      out.ok = true;
+      out.result_json = r.to_json();
+      // Whole-search memoization: only complete runs are stored — a
+      // deadline-truncated search must not shadow the full answer for the
+      // next identical request.
+      if (!r.stopped_early)
+        tcache.store(tkey, std::string(kTunePayloadPrefix) + out.result_json);
+      obs::log_info(
+          "autotune finished",
+          {obs::field("best", r.best.name()),
+           obs::field("best_cycles", r.best_cycles),
+           obs::field("lev4_cycles", r.lev4_cycles),
+           obs::field("simulated", r.simulated),
+           obs::field("pruned", r.pruned),
+           obs::field("stopped_early", r.stopped_early ? 1 : 0)});
+    } else {
+      out.err = ErrorKind::CompileError;
+      out.message = r.error;
+    }
+  }
+
+  publish.set_value(out);
+  {
+    std::lock_guard<std::mutex> lock(tune_mu_);
+    tune_inflight_.erase(tkey);
+  }
+  tune_jobs_.fetch_sub(1, std::memory_order_relaxed);
+  settle_cells(1);
+
+  std::string trace_file;
+  if (ro->recorder != nullptr) {
+    ro->recorder->record_span("request", "server", 0, ro->recorder->now_us(),
+                              ro->id);
+    const std::string path =
+        (std::filesystem::path(cfg_.trace_dir) / ("req-" + ro->id + ".json"))
+            .string();
+    std::error_code ec;
+    std::filesystem::create_directories(cfg_.trace_dir, ec);
+    if (ro->recorder->write_chrome_trace(path)) {
+      trace_file = path;
+      obs::log_info("request trace written",
+                    {obs::field("path", path),
+                     obs::field("spans", ro->recorder->event_count())});
+    } else {
+      obs::log_warn("failed to write request trace", {obs::field("path", path)});
+    }
+  }
+  return respond(out, /*cached=*/false, trace_file);
+}
+
 void Service::accumulate_profile(const CycleProfile& p) {
   for (int i = 0; i < kNumStallCauses; ++i)
     stall_slots_[static_cast<std::size_t>(i)].fetch_add(
@@ -1185,6 +1529,30 @@ std::string Service::stats_json() const {
   }
   const obs::Histogram::Snapshot lat = latency_hist_.snapshot();
   const obs::Histogram::Snapshot qw = queue_wait_hist_.snapshot();
+  // Per-stage search/simulate wall percentiles: what loadgen's --autotune
+  // mode reports as the server-side split of tuning latency.
+  const obs::Histogram::Snapshot tsearch =
+      engine::MetricsRegistry::global().histogram("tune.phase.search").snapshot();
+  const obs::Histogram::Snapshot tsim =
+      engine::MetricsRegistry::global().histogram("tune.phase.simulate").snapshot();
+  const std::string tune = strformat(
+      "\"tune\": {\"requests\": %" PRIu64 ", \"cached\": %" PRIu64
+      ", \"coalesced\": %" PRIu64 ", \"stopped_early\": %" PRIu64
+      ", \"jobs_inflight\": %zu, "
+      "\"candidates\": {\"simulated\": %" PRIu64 ", \"pruned\": %" PRIu64
+      ", \"cache_hits\": %" PRIu64 "}, "
+      "\"search_us\": {\"count\": %" PRIu64 ", \"p50\": %.1f, \"p90\": %.1f, "
+      "\"p99\": %.1f, \"p999\": %.1f, \"mean\": %.1f}, "
+      "\"simulate_us\": {\"count\": %" PRIu64 ", \"p50\": %.1f, \"p90\": %.1f, "
+      "\"p99\": %.1f, \"p999\": %.1f, \"mean\": %.1f}}",
+      c.tune_requests, c.tune_cached, c.tune_coalesced, c.tune_stopped_early,
+      tune_jobs_.load(std::memory_order_relaxed), c.tune_candidates_simulated,
+      c.tune_candidates_pruned, c.tune_candidate_cache_hits, tsearch.count,
+      tsearch.quantile(0.50) / 1e3, tsearch.quantile(0.90) / 1e3,
+      tsearch.quantile(0.99) / 1e3, tsearch.quantile(0.999) / 1e3,
+      tsearch.mean() / 1e3, tsim.count, tsim.quantile(0.50) / 1e3,
+      tsim.quantile(0.90) / 1e3, tsim.quantile(0.99) / 1e3,
+      tsim.quantile(0.999) / 1e3, tsim.mean() / 1e3);
   return strformat(
       "{\"uptime_seconds\": %.3f, \"draining\": %s, \"workers\": %d, "
       "\"shards\": %d, "
@@ -1204,7 +1572,7 @@ std::string Service::stats_json() const {
       "\"cache\": {\"hits\": %" PRIu64 ", \"disk_hits\": %" PRIu64
       ", \"misses\": %" PRIu64 ", \"invalid\": %" PRIu64 ", \"stores\": %" PRIu64
       ", \"hit_rate\": %.4f, \"memory_entries\": %zu, \"memory_bytes\": %zu, "
-      "\"hot_entries\": %zu}}",
+      "\"hot_entries\": %zu}, %s}",
       uptime_.seconds(), draining() ? "true" : "false", workers_,
       shard_count(), capacity_, inflight_cells(), c.received, c.ok,
       c.bad_request, c.overloaded, c.shutting_down, c.deadline_exceeded,
@@ -1216,7 +1584,7 @@ std::string Service::stats_json() const {
       qw.quantile(0.999) / 1e3, qw.mean() / 1e3, pool_->jobs_executed(),
       pool_->queue_depth(), pool_->active_jobs(), pool_->peak_queue_depth(),
       cs.hits, cs.disk_hits, cs.misses, cs.invalid, cs.stores, cs.hit_rate(),
-      cache_entries, cache_bytes, hot_entries);
+      cache_entries, cache_bytes, hot_entries, tune.c_str());
 }
 
 std::string Service::metrics_exposition() const {
@@ -1242,6 +1610,23 @@ std::string Service::metrics_exposition() const {
                             "Replies served from pre-serialized segments");
   obs::prom::append_counter(out, "server.cells_executed", c.cells_executed,
                             "Cells actually computed (not cache hits)");
+
+  obs::prom::append_counter(out, "tune.requests", c.tune_requests,
+                            "Autotune searches requested");
+  obs::prom::append_counter(out, "tune.results_cached", c.tune_cached,
+                            "Whole-search results replayed from the cache");
+  obs::prom::append_counter(out, "tune.coalesced", c.tune_coalesced,
+                            "Requests that joined an identical in-flight search");
+  obs::prom::append_counter(out, "tune.stopped_early", c.tune_stopped_early,
+                            "Searches stopped by a deadline or drain");
+  obs::prom::append_counter(out, "tune.candidates_simulated",
+                            c.tune_candidates_simulated);
+  obs::prom::append_counter(out, "tune.candidates_pruned",
+                            c.tune_candidates_pruned,
+                            "Candidates skipped by the cost model");
+  obs::prom::append_counter(out, "tune.candidate_cache_hits",
+                            c.tune_candidate_cache_hits,
+                            "Candidate measurements served from the cell cache");
 
   // Cycle-accounting taxonomy (sim/profile.hpp), summed over every executed
   // cell: the six series partition width * cycles exactly.
@@ -1285,6 +1670,10 @@ std::string Service::metrics_exposition() const {
   obs::prom::append_gauge(out, "server.active_jobs",
                           static_cast<double>(pool_->active_jobs()));
   obs::prom::append_gauge(out, "server.draining", draining() ? 1.0 : 0.0);
+  obs::prom::append_gauge(out, "tune.jobs_inflight",
+                          static_cast<double>(
+                              tune_jobs_.load(std::memory_order_relaxed)),
+                          "Autotune searches currently executing");
 
   const engine::CacheStats cs = cache_stats();
   obs::prom::append_counter(out, "cache.hits", cs.hits);

@@ -94,6 +94,10 @@ struct ServiceConfig {
   // result cache underneath still answers; only the pre-serialization is
   // redone), so memory stays bounded under adversarial key churn.
   std::size_t hot_entries_per_shard = 4096;
+  // Concurrent autotune searches (each one fans candidate evaluations onto
+  // the engine pool, so a handful saturates every worker).  A request beyond
+  // the bound is refused `overloaded`, like any admission failure.
+  std::size_t tune_job_limit = 4;
 };
 
 struct ServiceCounters {
@@ -108,6 +112,14 @@ struct ServiceCounters {
   std::uint64_t coalesced = 0;       // requests that joined an in-flight twin
   std::uint64_t cells_executed = 0;  // cells actually computed (not cached)
   std::uint64_t hot_hits = 0;        // replies served from pre-serialized segments
+  // Autotune verb accounting (the tune.* metric families).
+  std::uint64_t tune_requests = 0;
+  std::uint64_t tune_cached = 0;         // whole-search replays from the cache
+  std::uint64_t tune_coalesced = 0;      // joined an identical in-flight search
+  std::uint64_t tune_stopped_early = 0;  // deadline/drain stopped the search
+  std::uint64_t tune_candidates_simulated = 0;
+  std::uint64_t tune_candidates_pruned = 0;    // skipped by the cost model
+  std::uint64_t tune_candidate_cache_hits = 0; // measurements served from cache
 };
 
 class Service {
@@ -193,6 +205,9 @@ class Service {
   struct CellOutcome;
   struct Inflight;
   struct RequestObs;
+  struct TuneOutcome;
+  struct TuneInflight;
+  class TuneEvaluator;
 
  private:
   // Internal counter mirror of ServiceCounters (same order); relaxed
@@ -200,7 +215,8 @@ class Service {
   enum Counter : unsigned {
     kReceived, kOk, kBadRequest, kOverloaded, kShuttingDown,
     kDeadlineExceeded, kCompileErrors, kInternalErrors, kCoalesced,
-    kCellsExecuted, kHotHits, kCounterCount,
+    kCellsExecuted, kHotHits, kTuneRequests, kTuneCached, kTuneCoalesced,
+    kTuneStoppedEarly, kCounterCount,
   };
   void bump(Counter c) {
     counters_[c].fetch_add(1, std::memory_order_relaxed);
@@ -239,6 +255,12 @@ class Service {
                               const std::shared_ptr<RequestObs>& ro,
                               std::uint64_t queued_ns);
   std::string handle_batch(const Request& req);
+  // Autotune verb: coalesced by search content hash, whole results cached,
+  // candidate evaluations fanned onto the pool via TuneEvaluator (sharing
+  // the compile verb's cell cache), deadline/drain folded into the search's
+  // cancellation hook so it stops with the best found so far.
+  std::string handle_autotune(const Request& req,
+                              const std::shared_ptr<RequestObs>& ro);
 
   CellOutcome compute_cell(const std::string& source, OptLevel level,
                            const std::optional<TransformSet>& transforms,
@@ -278,6 +300,16 @@ class Service {
   std::array<std::atomic<std::uint64_t>, kOccupancyBins> occupancy_{};
   std::atomic<std::uint64_t> profiled_cells_{0};
   std::atomic<std::uint64_t> profiled_cycles_{0};
+
+  // Autotune state: a service-wide coalescing map (searches are rare and
+  // long compared to cells, so one mutex is fine) and bounded-concurrency
+  // accounting.  Candidate counters are add-by-n, hence outside Counter.
+  std::mutex tune_mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<TuneInflight>> tune_inflight_;
+  std::atomic<std::size_t> tune_jobs_{0};
+  std::atomic<std::uint64_t> tune_cand_simulated_{0};
+  std::atomic<std::uint64_t> tune_cand_pruned_{0};
+  std::atomic<std::uint64_t> tune_cand_cache_hits_{0};
 
   mutable std::mutex transport_mu_;
   std::function<void(std::string&)> transport_metrics_;

@@ -2,7 +2,16 @@
 //
 //   ilp_loadgen [--host H] --port P [--connections N[,N...]] [--duration-s S]
 //               [--corpus N] [--seed-base N] [--issue W] [--out FILE]
-//               [--scheduler list|modulo|both] [--no-warmup]
+//               [--scheduler list|modulo|both] [--no-warmup] [--autotune]
+//
+// --autotune switches the corpus from compile requests to autotune requests
+// (one bounded search per fuzz program: beam 2, one mutation round).  The
+// warm-up pass runs every search once, so the timed phase measures the
+// daemon's whole-result replay path plus whatever coalesces mid-flight; the
+// report then adds the server's own per-stage tuning percentiles (search =
+// analyze+rank wall, simulate = measurement batches) from the stats verb's
+// tune section, which is where the search-vs-simulate split actually lives —
+// client latency can't see it.
 //
 // Builds a corpus of randomized fuzz-generator programs (the same
 // distribution the differential tests replay), pre-serializes one compile
@@ -88,6 +97,7 @@ struct Options {
   int issue = 8;
   bool run_list = true;    // --scheduler list|modulo|both
   bool run_modulo = false;
+  bool autotune = false;   // corpus of autotune searches instead of compiles
   std::string out;
   bool warmup = true;
 };
@@ -177,6 +187,47 @@ ServerLatency fetch_server_latency(const Options& opt) {
   return out;
 }
 
+// The daemon's per-stage tuning split (stats verb, "tune" section): search =
+// analyze+rank batches, simulate = measurement batches.
+struct TunePhases {
+  bool ok = false;
+  ServerLatency search, simulate;
+};
+
+TunePhases fetch_tune_phases(const Options& opt) {
+  TunePhases out;
+  ilp::server::LineClient client;
+  if (!client.connect(opt.host, opt.port)) return out;
+  if (!client.send_line(R"({"id":"loadgen-tune","kind":"stats"})")) return out;
+  const auto reply = client.recv_line(10'000);
+  if (!reply) return out;
+  std::string err;
+  const auto parsed = ilp::server::JsonValue::parse(*reply, &err);
+  if (!parsed) return out;
+  const ilp::server::JsonValue* stats = parsed->find("stats");
+  const ilp::server::JsonValue* tune =
+      stats != nullptr ? stats->find("tune") : nullptr;
+  if (tune == nullptr) return out;
+  auto read = [&](const char* section, ServerLatency* dst) {
+    const ilp::server::JsonValue* s = tune->find(section);
+    if (s == nullptr) return;
+    auto num = [&](const char* name) -> double {
+      const ilp::server::JsonValue* v = s->find(name);
+      return v != nullptr && v->is_number() ? v->as_double() : 0.0;
+    };
+    dst->ok = true;
+    dst->count = static_cast<std::uint64_t>(num("count"));
+    dst->p50 = num("p50");
+    dst->p90 = num("p90");
+    dst->p99 = num("p99");
+    dst->p999 = num("p999");
+  };
+  read("search_us", &out.search);
+  read("simulate_us", &out.simulate);
+  out.ok = out.search.ok && out.simulate.ok;
+  return out;
+}
+
 // Runs one sweep point (N connections for duration_s) and returns its JSON
 // record.  Protocol errors accumulate into *errors / *first_error.
 std::string run_point(const Options& opt,
@@ -207,16 +258,20 @@ std::string run_point(const Options& opt,
   const ServerLatency server = fetch_server_latency(opt);
 
   std::string report = ilp::strformat(
-      "{\"bench\":\"ilp_loadgen\",\"connections\":%d,\"duration_s\":%.3f,"
+      "{\"bench\":\"ilp_loadgen\",\"mode\":\"%s\",\"connections\":%d,"
+      "\"duration_s\":%.3f,"
       "\"corpus\":%d,\"issue\":%d,\"warm_cache\":%s,\"requests\":%llu,"
       "\"errors\":%llu,\"throughput_rps\":%.1f,\"latency_us\":{%s}",
-      connections, elapsed_s, opt.corpus, opt.issue,
-      opt.warmup ? "true" : "false", static_cast<unsigned long long>(total),
+      opt.autotune ? "autotune" : "compile", connections, elapsed_s, opt.corpus,
+      opt.issue, opt.warmup ? "true" : "false",
+      static_cast<unsigned long long>(total),
       static_cast<unsigned long long>(*errors), rps,
       percentile_json(all).c_str());
   // Per-backend percentiles: present only for the backends that ran, so
   // downstream tooling never mistakes an empty bucket for a fast one.
-  {
+  // (Autotune searches explore both backends internally, so the per-backend
+  // split doesn't apply in that mode.)
+  if (!opt.autotune) {
     std::string sect;
     for (int sched = 0; sched < 2; ++sched) {
       const auto snap = lat.by_sched[sched].snapshot();
@@ -234,6 +289,38 @@ std::string run_point(const Options& opt,
         "\"p99\":%.1f,\"p999\":%.1f}",
         static_cast<unsigned long long>(server.count), server.p50, server.p90,
         server.p99, server.p999);
+  if (opt.autotune) {
+    const TunePhases phases = fetch_tune_phases(opt);
+    if (phases.ok) {
+      auto phase_json = [](const ServerLatency& p) {
+        return ilp::strformat(
+            "{\"count\":%llu,\"p50\":%.1f,\"p90\":%.1f,\"p99\":%.1f,"
+            "\"p999\":%.1f}",
+            static_cast<unsigned long long>(p.count), p.p50, p.p90, p.p99,
+            p.p999);
+      };
+      report += ",\"server_tune_us\":{\"search\":" + phase_json(phases.search) +
+                ",\"simulate\":" + phase_json(phases.simulate) + "}";
+      std::fprintf(stderr,
+                   "[%d conns] tune_us       search  |  simulate\n"
+                   "  p50      %8.0f  | %8.0f\n"
+                   "  p90      %8.0f  | %8.0f\n"
+                   "  p99      %8.0f  | %8.0f\n"
+                   "  p999     %8.0f  | %8.0f\n"
+                   "(server-side per-stage wall: %llu search batches, "
+                   "%llu measurement batches)\n",
+                   connections, phases.search.p50, phases.simulate.p50,
+                   phases.search.p90, phases.simulate.p90, phases.search.p99,
+                   phases.simulate.p99, phases.search.p999,
+                   phases.simulate.p999,
+                   static_cast<unsigned long long>(phases.search.count),
+                   static_cast<unsigned long long>(phases.simulate.count));
+    } else {
+      std::fprintf(stderr,
+                   "[%d conns] server tune stats unavailable (old daemon?)\n",
+                   connections);
+    }
+  }
   report += "}";
 
   if (server.ok) {
@@ -258,7 +345,8 @@ int usage(const char* argv0) {
                "usage: %s [--host H] --port P [--connections N[,N...]]\n"
                "          [--duration-s S] [--corpus N] [--seed-base N]\n"
                "          [--issue W] [--out FILE]\n"
-               "          [--scheduler list|modulo|both] [--no-warmup]\n",
+               "          [--scheduler list|modulo|both] [--no-warmup]\n"
+               "          [--autotune]\n",
                argv0);
   return 2;
 }
@@ -314,6 +402,7 @@ int main(int argc, char** argv) {
     }
     else if (arg == "--out" && (v = next())) opt.out = v;
     else if (arg == "--no-warmup") opt.warmup = false;
+    else if (arg == "--autotune") opt.autotune = true;
     else {
       std::fprintf(stderr, "unknown or incomplete flag '%s'\n", arg.c_str());
       return usage(argv[0]);
@@ -330,6 +419,18 @@ int main(int argc, char** argv) {
   requests.reserve(static_cast<std::size_t>(opt.corpus) * 2);
   for (int c = 0; c < opt.corpus; ++c) {
     const std::string src = ilp::testing::random_program(opt.seed_base + c);
+    if (opt.autotune) {
+      // One bounded search per program.  The small budget (beam 2, one
+      // mutation round, ≤16 simulations) keeps closed-loop iterations short;
+      // the warm-up pass completes each search once, so the timed phase hits
+      // the whole-result cache and whatever coalesces onto in-flight repeats.
+      requests.push_back(CorpusRequest{
+          ilp::strformat(R"({"id":%d,"kind":"autotune","source":"%s",)"
+                         R"("issue":%d,"beam":2,"rounds":1,"max_sims":16})",
+                         c, ilp::json_escape(src).c_str(), opt.issue),
+          0});
+      continue;
+    }
     for (int sched = 0; sched < 2; ++sched) {
       if ((sched == 0 && !opt.run_list) || (sched == 1 && !opt.run_modulo)) continue;
       requests.push_back(CorpusRequest{

@@ -32,6 +32,16 @@
 //   --metrics PATH                    write engine telemetry JSON
 //   --trace PATH                      write a Chrome trace of the sweep
 //
+// Autotune mode (beam search over {level, unroll, nest, tile, scheduler}):
+//   --autotune                        tune the given source/workload
+//   --beam N                          beam width (default 4)
+//   --rounds N                        mutation rounds after the seeds (default 3)
+//   --sim-fraction F                  share of each frontier simulated (0,1]
+//   --max-sims N                      simulation budget, seeds included
+//   --no-cost-model                   simulate every candidate (exhaustive)
+//   (--issue/--jobs/--cache-dir/--json apply; the cache makes repeat and
+//   overlapping tuning runs nearly free)
+//
 // Exit codes: 0 ok, 1 usage, 2 compile error, 3 simulation error.
 #include <cstdio>
 #include <cstring>
@@ -39,6 +49,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "engine/trace.hpp"
 #include "frontend/classify.hpp"
@@ -51,6 +62,7 @@
 #include "regalloc/regalloc.hpp"
 #include "sim/simulator.hpp"
 #include "trans/level.hpp"
+#include "tune/tune.hpp"
 #include "workloads/suite.hpp"
 
 namespace {
@@ -65,7 +77,11 @@ void usage() {
                "            (<source.ilp> | --workload <name> | --list-workloads)\n"
                "       ilpc --study [--scheduler list|modulo] [--jobs N | --seq] "
                "[--json PATH]\n"
-               "            [--cache-dir DIR] [--metrics PATH] [--trace PATH]\n");
+               "            [--cache-dir DIR] [--metrics PATH] [--trace PATH]\n"
+               "       ilpc --autotune [--beam N] [--rounds N] [--sim-fraction F]\n"
+               "            [--max-sims N] [--no-cost-model] [--issue N] [--jobs N]\n"
+               "            [--cache-dir DIR] [--json PATH] "
+               "(<source.ilp> | --workload <name>)\n");
 }
 
 // Runs the full Table 2 study through the experiment engine.
@@ -115,6 +131,46 @@ int run_study_mode(ilp::SchedulerKind scheduler, int jobs, const std::string& js
   return failed == 0 ? 0 : 3;
 }
 
+// Tunes one program: beam search over the transformation space on a thread
+// pool, memoized through the (optionally persistent) result cache.
+int run_autotune_mode(const std::string& source, const ilp::tune::TuneOptions& topts,
+                      int jobs, const std::string& cache_dir,
+                      const std::string& json_path) {
+  using namespace ilp;
+  engine::ThreadPool pool(jobs == 0 ? std::thread::hardware_concurrency()
+                                    : static_cast<unsigned>(jobs));
+  engine::ResultCache cache(cache_dir);
+  const tune::TuneResult r = tune::autotune(source, topts, &pool, &cache);
+  if (!r.ok) {
+    std::fprintf(stderr, "autotune failed: %s\n", r.error.c_str());
+    return 2;
+  }
+  std::printf("best    %s\n", r.best.name().c_str());
+  std::printf("cycles  %llu (Lev4 baseline %llu, speedup %.3fx)%s\n",
+              static_cast<unsigned long long>(r.best_cycles),
+              static_cast<unsigned long long>(r.lev4_cycles), r.speedup_vs_lev4(),
+              r.stopped_early ? "  [stopped early]" : "");
+  std::printf("search  %d rounds, %llu candidates: %llu simulated, %llu pruned "
+              "(%llu cache hits), model MAPE %.1f%%\n",
+              r.rounds, static_cast<unsigned long long>(r.considered),
+              static_cast<unsigned long long>(r.simulated),
+              static_cast<unsigned long long>(r.pruned),
+              static_cast<unsigned long long>(r.cache_hits), 100.0 * r.model_mape);
+  for (const tune::CandidateEval& e : r.evals)
+    if (e.simulated && e.ok && e.cycles == r.best_cycles &&
+        e.config == r.best)
+      std::printf("found   round %d\n", e.round);
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 3;
+    }
+    out << r.to_json();
+  }
+  return 0;
+}
+
 // "--nest interchange,fuse" style comma list; "all" turns on every pass.
 bool parse_nest_list(const char* s, ilp::NestOptions& out) {
   std::string item;
@@ -160,6 +216,8 @@ int main(int argc, char** argv) {
   bool do_explain = false;
   bool classify_only = false;
   bool study_mode = false;
+  bool autotune_mode = false;
+  tune::TuneOptions topts;
   int jobs = 1;
   std::string json_path;
   std::string cache_dir;
@@ -224,6 +282,34 @@ int main(int argc, char** argv) {
       classify_only = true;
     } else if (a == "--study") {
       study_mode = true;
+    } else if (a == "--autotune") {
+      autotune_mode = true;
+    } else if (a == "--beam") {
+      topts.beam_width = std::atoi(next());
+      if (topts.beam_width < 1) {
+        usage();
+        return 1;
+      }
+    } else if (a == "--rounds") {
+      topts.max_rounds = std::atoi(next());
+      if (topts.max_rounds < 0) {
+        usage();
+        return 1;
+      }
+    } else if (a == "--sim-fraction") {
+      topts.sim_fraction = std::atof(next());
+      if (topts.sim_fraction <= 0.0 || topts.sim_fraction > 1.0) {
+        usage();
+        return 1;
+      }
+    } else if (a == "--max-sims") {
+      topts.max_sims = std::atoi(next());
+      if (topts.max_sims < 1) {
+        usage();
+        return 1;
+      }
+    } else if (a == "--no-cost-model") {
+      topts.use_cost_model = false;
     } else if (a == "--jobs") {
       jobs = std::atoi(next());
       if (jobs < 0) {
@@ -286,6 +372,11 @@ int main(int argc, char** argv) {
   } else {
     usage();
     return 1;
+  }
+
+  if (autotune_mode) {
+    topts.issue = issue;
+    return run_autotune_mode(source, topts, jobs, cache_dir, json_path);
   }
 
   DiagnosticEngine diags;

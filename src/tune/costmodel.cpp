@@ -1,0 +1,199 @@
+#include "tune/costmodel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "analysis/dominators.hpp"
+#include "analysis/loops.hpp"
+#include "ir/reg.hpp"
+
+namespace ilp::tune {
+
+namespace {
+
+// Initial value of the induction register: the last write to it in the
+// preheader, when that write is a load-immediate.  Anything else (copies,
+// computed starts) defeats the static trip estimate.
+std::optional<std::int64_t> ldi_init(const Function& fn, BlockId pre, const Reg& iv) {
+  const Block& b = fn.block(pre);
+  for (auto it = b.insts.rbegin(); it != b.insts.rend(); ++it) {
+    if (!it->writes(iv)) continue;
+    if (it->op == Opcode::LDI) return it->ival;
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+// Body executions of a counted loop entered with iv == init.  The body runs
+// once unconditionally (the preheader falls into it), then while the
+// back-edge comparison of the *updated* iv holds.
+std::int64_t counted_trips(const CountedLoopInfo& c, std::int64_t init) {
+  const std::int64_t step = c.step;
+  const std::int64_t dist = c.bound_imm - init;
+  auto ceil_div = [](std::int64_t a, std::int64_t b) {
+    return a <= 0 ? 0 : (a + b - 1) / b;
+  };
+  std::int64_t t = -1;
+  switch (c.cmp) {
+    case Opcode::BLT:
+      if (step > 0) t = ceil_div(dist, step);
+      break;
+    case Opcode::BLE:
+      if (step > 0) t = ceil_div(dist + 1, step);
+      break;
+    case Opcode::BGT:
+      if (step < 0) t = ceil_div(-dist, -step);
+      break;
+    case Opcode::BGE:
+      if (step < 0) t = ceil_div(-dist + 1, -step);
+      break;
+    case Opcode::BNE:
+      if (step != 0 && dist % step == 0 && dist / step >= 0) t = dist / step;
+      break;
+    default:
+      break;
+  }
+  return t < 1 ? -1 : t;
+}
+
+}  // namespace
+
+IrFeatures extract_features(const Function& fn, const MachineModel& m) {
+  IrFeatures f;
+  f.static_insts = fn.num_insts();
+  f.blocks = fn.num_blocks();
+
+  const Cfg cfg(fn);
+  const Dominators dom(cfg);
+
+  // Per-block execution multiplier: the product of trip estimates of every
+  // natural loop containing the block, so tiled/restructured nests weigh
+  // their inner blocks more heavily than their controls.
+  std::vector<double> mult(fn.num_blocks(), 1.0);
+  const auto simple = find_simple_loops(cfg, dom);
+  for (const NaturalLoop& loop : find_natural_loops(cfg, dom)) {
+    std::int64_t trips = -1;
+    // Self-loops may carry the counted pattern the unroller recognizes; for
+    // those with an immediate bound and a visible init the estimate is exact
+    // (and automatically shrinks by the unroll factor: the kernel's step is
+    // the scaled one).
+    for (const SimpleLoop& s : simple) {
+      if (s.body != loop.header) continue;
+      if (const auto c = match_counted_loop(fn, s)) {
+        if (c->bound_is_imm) {
+          if (const auto init = ldi_init(fn, s.preheader, c->iv))
+            trips = counted_trips(*c, *init);
+          else
+            // No visible init (e.g. the unrolled kernel, whose iv arrives
+            // from the preconditioning loop): assume a zero start.  The
+            // absolute count may be off by the unknown offset, but the
+            // bound/step ratio still shrinks with the unroll factor, which
+            // is what the ranking needs; a flat default would instead make
+            // the estimate grow with the duplicated body.
+            trips = counted_trips(*c, 0);
+        }
+      }
+      break;
+    }
+    if (trips < 0) {
+      trips = kDefaultTrips;
+      ++f.default_loops;
+    } else {
+      ++f.counted_loops;
+    }
+    for (const BlockId b : loop.blocks) {
+      double& v = mult[fn.layout_index(b)];
+      v = std::min(v * static_cast<double>(trips), 1e12);
+    }
+  }
+
+  // Per-block cost: dataflow critical path under Table-1 latencies vs. the
+  // issue-width floor, whichever binds.  Register ready-times are tracked in
+  // a dense table; memory ordering and cross-block overlap are ignored — the
+  // calibration layer absorbs those.
+  const std::size_t nregs =
+      (static_cast<std::size_t>(
+           std::max(fn.num_regs(RegClass::Int), fn.num_regs(RegClass::Fp))) +
+       1)
+      << 1;
+  std::vector<std::uint64_t> ready(nregs, 0);
+  double total = 0.0;
+  double load_slots = 0.0;
+  const int width = std::max(1, m.issue_width);
+  for (const Block& b : fn.blocks()) {
+    if (b.insts.empty()) continue;
+    std::fill(ready.begin(), ready.end(), 0);
+    std::uint64_t crit = 0;
+    std::uint64_t loads = 0;
+    for (const Instruction& in : b.insts) {
+      std::uint64_t start = 0;
+      for (const Reg& r : in.uses()) start = std::max(start, ready[RegKey::key(r)]);
+      const std::uint64_t fin =
+          start + static_cast<std::uint64_t>(std::max(1, m.latency(in.op)));
+      if (in.has_dest()) ready[RegKey::key(in.dst)] = fin;
+      crit = std::max(crit, fin);
+      if (in.is_load()) ++loads;
+    }
+    const std::uint64_t floor =
+        (static_cast<std::uint64_t>(b.insts.size()) +
+         static_cast<std::uint64_t>(width) - 1) /
+        static_cast<std::uint64_t>(width);
+    const double cycles = static_cast<double>(std::max(crit, floor));
+    const double k = mult[fn.layout_index(b.id)];
+    total += cycles * k;
+    load_slots += static_cast<double>(loads) * k;
+  }
+  f.analytic_cycles = static_cast<std::uint64_t>(std::min(total, 1e18));
+  f.load_slots = static_cast<std::uint64_t>(std::min(load_slots, 1e18));
+  return f;
+}
+
+double CostModel::raw(const IrFeatures& f) const {
+  // Memory-wait correction: every load exposes the pipeline to the stalls
+  // the seed profile measured; loads on hot paths (high trip multipliers)
+  // carry proportionally more of that exposure.
+  return static_cast<double>(f.analytic_cycles) +
+         mem_wait_share_ * static_cast<double>(f.load_slots);
+}
+
+double CostModel::predict(const IrFeatures& f, OptLevel level) const {
+  const Ratio& lvl = per_level_[static_cast<std::size_t>(level)];
+  double ratio = 1.0;
+  if (lvl.n > 0)
+    ratio = lvl.sum / lvl.n;
+  else if (global_.n > 0)
+    ratio = global_.sum / global_.n;
+  return raw(f) * ratio;
+}
+
+void CostModel::observe(const IrFeatures& f, OptLevel level,
+                        std::uint64_t true_cycles) {
+  const double base = raw(f);
+  if (base <= 0.0 || true_cycles == 0) return;
+  const bool calibrated =
+      per_level_[static_cast<std::size_t>(level)].n > 0 || global_.n > 0;
+  if (calibrated) {
+    const double pred = predict(f, level);
+    abs_pct_err_sum_ +=
+        std::fabs(pred - static_cast<double>(true_cycles)) /
+        static_cast<double>(true_cycles);
+    ++err_n_;
+  } else {
+    ++uncalibrated_n_;
+  }
+  const double r = static_cast<double>(true_cycles) / base;
+  Ratio& lvl = per_level_[static_cast<std::size_t>(level)];
+  lvl.sum += r;
+  ++lvl.n;
+  global_.sum += r;
+  ++global_.n;
+}
+
+double CostModel::mape() const {
+  return err_n_ == 0 ? 0.0 : abs_pct_err_sum_ / err_n_;
+}
+
+}  // namespace ilp::tune

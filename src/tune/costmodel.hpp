@@ -1,0 +1,89 @@
+// Analytic-then-calibrated cost model for the autotuner.
+//
+// The model answers one question per candidate configuration: "roughly how
+// many cycles will the simulator report for this compiled function?" — fast
+// enough to ask for every frontier member, so only the promising fraction is
+// actually simulated.  It has two layers:
+//
+//   1. An *analytic* estimate from static IR features: per block, the
+//      scoreboard critical path under the machine's Table-1 latencies and
+//      the issue-width floor ceil(insts/width), whichever binds, scaled by a
+//      trip-count estimate (exact for counted loops with an immediate bound
+//      and an LDI-initialized induction register; a fixed default otherwise).
+//   2. An online *calibration* layer fit from the candidates that were
+//      simulated anyway (the seeds, then every survivor): the running mean
+//      of true/analytic per transformation level — which absorbs the
+//      systematic errors the analytic layer cannot see (actual trip counts,
+//      cross-block overlap, stall pile-ups) — plus a memory-wait correction
+//      scaled by the seed profile's CycleProfile mem_wait share.
+//
+// Predictions are *only* used to rank candidates within one tuning run, so
+// per-run calibration is the right scope; accuracy is reported per run
+// (mean absolute percentage error + pruning precision) for auditability.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/function.hpp"
+#include "machine/machine.hpp"
+#include "trans/level.hpp"
+
+namespace ilp::tune {
+
+// Static features of one compiled candidate, extracted without simulating.
+struct IrFeatures {
+  std::uint64_t analytic_cycles = 0;  // sum over blocks of cycles x trips
+  std::uint64_t load_slots = 0;       // loads x trips (memory-wait exposure)
+  std::uint64_t static_insts = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t counted_loops = 0;    // loops with an exact trip estimate
+  std::uint64_t default_loops = 0;    // loops that fell back to the default
+};
+
+// Trip estimate used when a loop's count cannot be derived statically.
+inline constexpr std::int64_t kDefaultTrips = 16;
+
+IrFeatures extract_features(const Function& fn, const MachineModel& m);
+
+class CostModel {
+ public:
+  // `mem_wait_share` is the fraction of issue slots the seed profile
+  // attributes to memory waits (CycleProfile::fraction(StallCause) of the
+  // default config); it scales the per-load correction term.
+  explicit CostModel(double mem_wait_share = 0.0)
+      : mem_wait_share_(mem_wait_share) {}
+
+  // Installs the measured share once the seed round's default config lands;
+  // call before any observe() of that round so raw() stays consistent
+  // between calibration and prediction.
+  void set_mem_wait_share(double s) { mem_wait_share_ = s; }
+
+  // Predicted simulated cycles for a candidate compiled at `level`.
+  [[nodiscard]] double predict(const IrFeatures& f, OptLevel level) const;
+
+  // Feeds one simulated ground truth back into the calibration layer.  Call
+  // in deterministic (submission-index) order: the running means make the
+  // model state — and therefore later pruning decisions — order-sensitive.
+  void observe(const IrFeatures& f, OptLevel level, std::uint64_t true_cycles);
+
+  // Mean absolute percentage error of predict() at observe() time, over all
+  // observations with at least one prior calibration point.
+  [[nodiscard]] double mape() const;
+  [[nodiscard]] int observations() const { return err_n_ + uncalibrated_n_; }
+
+ private:
+  [[nodiscard]] double raw(const IrFeatures& f) const;
+
+  struct Ratio {
+    double sum = 0.0;
+    int n = 0;
+  };
+  Ratio per_level_[5];
+  Ratio global_;
+  double mem_wait_share_;
+  double abs_pct_err_sum_ = 0.0;
+  int err_n_ = 0;
+  int uncalibrated_n_ = 0;
+};
+
+}  // namespace ilp::tune

@@ -7,9 +7,12 @@
 //
 // --require-metric asserts that at least one sample of NAME exists (labeled
 // samples like `name{shard="0"} 3` count) — CI uses it to pin the per-shard
-// transport gauges.  Prints the exposition to stdout (so CI can archive it)
-// and exits nonzero on connection failure, a lint problem, an empty required
-// histogram, or a missing required metric.
+// transport gauges.  A NAME ending in '*' is a prefix match: `tune_*` asserts
+// that some metric starting with `tune_` has a sample, which pins a whole
+// family without enumerating it.  Prints the exposition to stdout (so CI can
+// archive it) and exits nonzero on connection failure, a lint problem, an
+// empty required histogram, or a missing required metric.
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -109,12 +112,21 @@ int main(int argc, char** argv) {
 
   for (const std::string& name : required_metrics) {
     // A sample line starts with the name followed by '{' (labeled) or ' '.
+    // A trailing '*' makes the name a prefix: any metric character may
+    // continue it before the '{' or ' '.
+    const bool prefix = !name.empty() && name.back() == '*';
+    const std::string stem = prefix ? name.substr(0, name.size() - 1) : name;
     bool found = false;
     std::size_t at = 0;
-    while (!found && (at = text.find(name, at)) != std::string::npos) {
+    while (!found && (at = text.find(stem, at)) != std::string::npos) {
       const bool at_line_start = at == 0 || text[at - 1] == '\n';
-      const char after =
-          at + name.size() < text.size() ? text[at + name.size()] : '\0';
+      std::size_t end = at + stem.size();
+      if (prefix)
+        while (end < text.size() &&
+               (std::isalnum(static_cast<unsigned char>(text[end])) ||
+                text[end] == '_' || text[end] == ':'))
+          ++end;
+      const char after = end < text.size() ? text[end] : '\0';
       found = at_line_start && (after == '{' || after == ' ');
       ++at;
     }
